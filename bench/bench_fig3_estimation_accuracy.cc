@@ -1,0 +1,179 @@
+// Figure 3 + §3 text-number reproduction: estimation accuracy of bootstrap
+// and closed-form error estimation on Facebook-mix and Conviva-mix
+// workloads, bucketed into {not applicable, optimistic, correct,
+// pessimistic}.
+//
+// Protocol (paper §3, scaled to laptop size): for each query compute the
+// true confidence interval from repeated sampling, then estimate a CI on
+// each of `kTrials` fresh samples; the query fails pessimistically/
+// optimistically if delta = (est - true)/true falls outside +/-0.2 on at
+// least 5% of samples.
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "estimation/bootstrap.h"
+#include "estimation/closed_form.h"
+#include "estimation/ground_truth.h"
+#include "workload/data_gen.h"
+#include "workload/query_gen.h"
+
+namespace aqp {
+namespace {
+
+struct BucketCounts {
+  int not_applicable = 0;
+  int optimistic = 0;
+  int correct = 0;
+  int pessimistic = 0;
+
+  int total() const {
+    return not_applicable + optimistic + correct + pessimistic;
+  }
+};
+
+struct StudyResult {
+  BucketCounts buckets;
+  // Per aggregate-category failure accounting (for the §3 text numbers).
+  std::map<std::string, std::pair<int, int>> category_failures;  // fail/total
+};
+
+StudyResult RunStudy(const std::shared_ptr<const Table>& population,
+                     const std::vector<WorkloadQuery>& queries,
+                     const ErrorEstimator& estimator, uint64_t seed) {
+  constexpr int64_t kSampleRows = 8000;
+  constexpr int kGroundTruthSamples = 300;
+  EvaluationProtocol protocol;
+  protocol.num_trials = 30;
+
+  StudyResult result;
+  Rng rng(seed);
+  for (const WorkloadQuery& wq : queries) {
+    auto& [failures, total] = result.category_failures[wq.category];
+    if (!estimator.Applicable(wq.query)) {
+      ++result.buckets.not_applicable;
+      continue;
+    }
+    // Smoothed ground-truth radius, matching the smoothed estimators: the
+    // comparison then measures estimator bias, not order-statistic noise.
+    Result<GroundTruth> truth = ComputeGroundTruth(
+        population, wq.query, 0.95, kSampleRows, kGroundTruthSamples, rng,
+        /*normal_approximation=*/true);
+    if (!truth.ok() || truth->true_half_width == 0.0) {
+      ++result.buckets.not_applicable;  // Degenerate query.
+      continue;
+    }
+    Result<EstimatorEvaluation> eval =
+        EvaluateEstimator(population, wq.query, estimator, *truth, 0.95,
+                          kSampleRows, protocol, rng);
+    if (!eval.ok()) {
+      ++result.buckets.not_applicable;
+      continue;
+    }
+    ++total;
+    switch (eval->outcome) {
+      case EstimationOutcome::kNotApplicable:
+        ++result.buckets.not_applicable;
+        break;
+      case EstimationOutcome::kCorrect:
+        ++result.buckets.correct;
+        break;
+      case EstimationOutcome::kOptimistic:
+        ++result.buckets.optimistic;
+        ++failures;
+        break;
+      case EstimationOutcome::kPessimistic:
+        ++result.buckets.pessimistic;
+        ++failures;
+        break;
+    }
+  }
+  return result;
+}
+
+void PrintBuckets(const char* label, const BucketCounts& buckets) {
+  double total = buckets.total();
+  std::printf("%-26s  n/a %5.1f%%  optimistic %5.1f%%  correct %5.1f%%  "
+              "pessimistic %5.1f%%\n",
+              label, 100.0 * buckets.not_applicable / total,
+              100.0 * buckets.optimistic / total,
+              100.0 * buckets.correct / total,
+              100.0 * buckets.pessimistic / total);
+}
+
+int Main() {
+  constexpr int64_t kPopulationRows = 150000;
+  constexpr int kQueries = 60;
+
+  bench::PrintHeader(
+      "Figure 3: estimation accuracy of bootstrap / closed forms on "
+      "Facebook-mix and Conviva-mix workloads");
+  std::printf(
+      "(%d queries per cell; paper used 69,438 FB / 18,321 Conviva queries "
+      "at n=1e6 — shape, not absolute scale, is the target)\n",
+      kQueries);
+
+  auto events = GenerateEventsTable(kPopulationRows, 1);
+  auto sessions = GenerateSessionsTable(kPopulationRows, 2);
+  QueryGenerator fb_gen(events, 3);
+  QueryGenerator cv_gen(sessions, 4);
+  std::vector<WorkloadQuery> fb_queries =
+      fb_gen.Generate(FacebookMix(), kQueries, "fb");
+  std::vector<WorkloadQuery> cv_queries =
+      cv_gen.Generate(ConvivaMix(), kQueries, "cv");
+
+  BootstrapEstimator bootstrap(100);
+  ClosedFormEstimator closed_form;
+
+  bench::PrintRule();
+  StudyResult fb_bootstrap = RunStudy(events, fb_queries, bootstrap, 10);
+  PrintBuckets("Bootstrap (Facebook)", fb_bootstrap.buckets);
+  StudyResult fb_closed = RunStudy(events, fb_queries, closed_form, 11);
+  PrintBuckets("Closed Forms (Facebook)", fb_closed.buckets);
+  StudyResult cv_bootstrap = RunStudy(sessions, cv_queries, bootstrap, 12);
+  PrintBuckets("Bootstrap (Conviva)", cv_bootstrap.buckets);
+  StudyResult cv_closed = RunStudy(sessions, cv_queries, closed_form, 13);
+  PrintBuckets("Closed Forms (Conviva)", cv_closed.buckets);
+
+  bench::PrintRule();
+  std::printf("Per-category bootstrap failure rates, Facebook mix "
+              "(paper: MIN/MAX fail 86.17%%, UDF 23.19%%):\n");
+  int minmax_failures = 0;
+  int minmax_total = 0;
+  int udf_failures = 0;
+  int udf_total = 0;
+  for (const auto& [category, counts] : fb_bootstrap.category_failures) {
+    const auto& [failures, total] = counts;
+    if (total == 0) continue;
+    std::printf("  %-16s fail %2d / %2d\n", category.c_str(), failures,
+                total);
+    if (category.rfind("MIN", 0) == 0 || category.rfind("MAX", 0) == 0) {
+      minmax_failures += failures;
+      minmax_total += total;
+    }
+    if (category.find("+UDF") != std::string::npos) {
+      udf_failures += failures;
+      udf_total += total;
+    }
+  }
+  if (minmax_total > 0) {
+    std::printf("MIN/MAX bootstrap failure rate: %.1f%% (paper: 86.17%%)\n",
+                100.0 * minmax_failures / minmax_total);
+  }
+  if (udf_total > 0) {
+    std::printf("UDF bootstrap failure rate: %.1f%% (paper: 23.19%%)\n",
+                100.0 * udf_failures / udf_total);
+  }
+  std::printf(
+      "\nPaper shape: closed forms inapplicable to a large fraction "
+      "(FB: 43.21%% bootstrap-only); both methods fail on a nontrivial "
+      "minority, dominated by MIN/MAX and UDFs.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace aqp
+
+int main() { return aqp::Main(); }

@@ -1,0 +1,96 @@
+// Figure 8(c)/(d) reproduction: the two physical-plan trade-off curves.
+//   (c) response time vs. degree of parallelism (number of machines) — the
+//       paper finds error estimation + diagnostics are most efficient at
+//       ~20 machines, with added parallelism hurting beyond that;
+//   (d) response time vs. fraction of input samples cached — best at
+//       30-40% (input caching competes with per-slot execution memory).
+// Both averaged over QSet-1 + QSet-2 with .01/.99 quantile bars.
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.h"
+#include "cluster/simulator.h"
+#include "sim_workload.h"
+#include "util/stats.h"
+
+namespace aqp {
+namespace {
+
+std::vector<bench::SimQuery> AllQueries(uint64_t seed) {
+  std::vector<bench::SimQuery> queries =
+      bench::GenerateSimQueries(50, /*closed_form=*/true, seed);
+  std::vector<bench::SimQuery> qset2 =
+      bench::GenerateSimQueries(50, /*closed_form=*/false, seed + 1);
+  queries.insert(queries.end(), qset2.begin(), qset2.end());
+  return queries;
+}
+
+/// Mean combined latency of error estimation + diagnostics (the jobs the
+/// paper sweeps in 8(c)/(d)) under `tuning`.
+Summary SweepPoint(const std::vector<bench::SimQuery>& queries,
+                   const ExecutionTuning& tuning, uint64_t seed) {
+  ClusterSimulator sim(ClusterConfig{}, seed);
+  std::vector<double> latencies;
+  for (const bench::SimQuery& q : queries) {
+    bench::PipelineJobs jobs = bench::ConsolidatedJobs(q, /*pushdown=*/true);
+    double est = sim.SimulateJob(jobs.error_estimation, tuning).duration_s;
+    double diag = sim.SimulateJob(jobs.diagnostics, tuning).duration_s;
+    latencies.push_back(std::max(est, diag));
+  }
+  return Summarize(latencies);
+}
+
+int Main() {
+  bench::PrintHeader(
+      "Figure 8(c)/(d): parallelism and cache-fraction trade-offs "
+      "(QSet-1 + QSet-2, consolidated plans)");
+  std::vector<bench::SimQuery> queries = AllQueries(500);
+
+  std::printf("\n-- Fig 8(c): latency vs number of machines "
+              "(cache 35%%) --\n");
+  std::printf("%10s %12s %12s %12s\n", "machines", "mean_s", "p01_s",
+              "p99_s");
+  double best_latency = 1e18;
+  int best_machines = 0;
+  for (int machines : {1, 2, 5, 10, 20, 40, 60, 80, 100}) {
+    ExecutionTuning tuning = bench::TunedPhysical();
+    tuning.max_machines = machines;
+    tuning.straggler_mitigation = false;
+    Summary s = SweepPoint(queries, tuning, 501);
+    std::printf("%10d %12.2f %12.2f %12.2f\n", machines, s.mean, s.p01,
+                s.p99);
+    if (s.mean < best_latency) {
+      best_latency = s.mean;
+      best_machines = machines;
+    }
+  }
+  std::printf("sweet spot: %d machines (paper: ~20)\n", best_machines);
+
+  std::printf("\n-- Fig 8(d): latency vs %% of input samples cached "
+              "(100 machines) --\n");
+  std::printf("%10s %12s %12s %12s\n", "cached_%", "mean_s", "p01_s",
+              "p99_s");
+  best_latency = 1e18;
+  double best_fraction = 0.0;
+  for (double fraction : {0.0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.8, 1.0}) {
+    ExecutionTuning tuning = bench::UntunedPhysical();
+    // Straggler mitigation on, so the sweep isolates the caching effect.
+    tuning.straggler_mitigation = true;
+    tuning.cached_fraction = fraction;
+    Summary s = SweepPoint(queries, tuning, 502);
+    std::printf("%9.0f%% %12.2f %12.2f %12.2f\n", fraction * 100, s.mean,
+                s.p01, s.p99);
+    if (s.mean < best_latency) {
+      best_latency = s.mean;
+      best_fraction = fraction;
+    }
+  }
+  std::printf("sweet spot: %.0f%% cached (paper: 30-40%%)\n",
+              best_fraction * 100);
+  return 0;
+}
+
+}  // namespace
+}  // namespace aqp
+
+int main() { return aqp::Main(); }

@@ -1,0 +1,44 @@
+// Shared helpers for the figure-reproduction benches: table printing and
+// simple CDF extraction. Header-only; benches are small single-file mains.
+#ifndef AQP_BENCH_BENCH_UTIL_H_
+#define AQP_BENCH_BENCH_UTIL_H_
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace aqp {
+namespace bench {
+
+inline void PrintHeader(const std::string& title) {
+  std::printf("\n==== %s ====\n", title.c_str());
+}
+
+inline void PrintRule() {
+  std::printf("--------------------------------------------------------------------------\n");
+}
+
+/// Prints the CDF of `values` at the given percentiles as one line per
+/// percentile: "pXX  value".
+inline void PrintCdf(const char* label, std::vector<double> values) {
+  std::sort(values.begin(), values.end());
+  const double percentiles[] = {0.05, 0.25, 0.5, 0.75, 0.95};
+  std::printf("%-44s", label);
+  if (values.empty()) {
+    std::printf("(no data)\n");
+    return;
+  }
+  for (double p : percentiles) {
+    size_t idx = static_cast<size_t>(p * static_cast<double>(values.size()));
+    if (idx >= values.size()) idx = values.size() - 1;
+    std::printf("  p%02.0f=%8.2f", p * 100, values[idx]);
+  }
+  std::printf("\n");
+}
+
+}  // namespace bench
+}  // namespace aqp
+
+#endif  // AQP_BENCH_BENCH_UTIL_H_
+

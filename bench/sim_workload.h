@@ -1,0 +1,147 @@
+// Shared simulated-cluster workload used by the Fig. 7 / 8 / 9 benches, so
+// speedups are computed against identical per-query parameters.
+//
+// Each simulated query mirrors the §7 setup: a cached sample of at most
+// 20 GB drawn from 17 TB, a filter of some selectivity, and an error
+// estimation strategy — closed forms for QSet-1, the bootstrap for QSet-2 —
+// plus the diagnostic. The paper's resampling parameters are K = 100,
+// p = 100, k = 3.
+#ifndef AQP_BENCH_SIM_WORKLOAD_H_
+#define AQP_BENCH_SIM_WORKLOAD_H_
+
+#include <vector>
+
+#include "cluster/simulator.h"
+#include "plan/rewriter.h"
+#include "util/random.h"
+
+namespace aqp {
+namespace bench {
+
+/// One simulated query's physical parameters.
+struct SimQuery {
+  double sample_mb = 0.0;     ///< Size of the sample the query runs on.
+  double selectivity = 0.1;   ///< Filter selectivity (weight volume after pushdown).
+  bool closed_form = true;    ///< QSet-1 (closed forms) vs QSet-2 (bootstrap).
+};
+
+inline std::vector<SimQuery> GenerateSimQueries(int count, bool closed_form,
+                                                uint64_t seed) {
+  Rng rng(seed);
+  std::vector<SimQuery> queries(static_cast<size_t>(count));
+  for (SimQuery& q : queries) {
+    // Samples between 2 GB and 20 GB (paper: "at most 20 GB").
+    q.sample_mb = rng.NextDoubleInRange(2.0, 20.0) * 1024.0;
+    q.selectivity = rng.NextDoubleInRange(0.01, 0.30);
+    q.closed_form = closed_form;
+  }
+  return queries;
+}
+
+/// The paper's resampling configuration for a query class. Closed-form
+/// error estimation needs no bootstrap replicates (a second set of moment
+/// accumulators piggybacks on the scan), and its diagnostic runs ξ once per
+/// subsample; the bootstrap needs K = 100 replicates everywhere.
+inline ResampleSpec SpecFor(const SimQuery& q) {
+  ResampleSpec spec;
+  int xi_replicates = q.closed_form ? 1 : 100;
+  spec.bootstrap_replicates = q.closed_form ? 1 : 100;
+  spec.diagnostic_sets = {
+      {/*subsample_rows=*/0, 100, xi_replicates},
+      {0, 100, xi_replicates},
+      {0, 100, xi_replicates},
+  };
+  return spec;
+}
+
+/// Diagnostic subsample payload per subquery in the baseline rewrite: the
+/// paper's subsamples total 50-200 MB of rows.
+inline double DiagnosticSubsampleMb(Rng& rng) {
+  const double sizes[] = {50.0, 100.0, 200.0};
+  return sizes[rng.NextInt(3)];
+}
+
+/// Builds the three baseline (§5.2) jobs: plain query, error estimation as
+/// independent subqueries, diagnostics as independent subsample subqueries.
+struct PipelineJobs {
+  JobSpec query;
+  JobSpec error_estimation;
+  JobSpec diagnostics;
+};
+
+inline PipelineJobs BaselineJobs(const SimQuery& q, Rng& rng) {
+  ResampleSpec spec = SpecFor(q);
+  PipelineJobs jobs;
+  jobs.query.num_subqueries = 1;
+  jobs.query.bytes_per_subquery_mb = q.sample_mb;
+
+  // Error estimation: K separate bootstrap subqueries over the sample for
+  // QSet-2; for QSet-1 a single variance-computing subquery.
+  jobs.error_estimation.num_subqueries = spec.bootstrap_replicates;
+  jobs.error_estimation.bytes_per_subquery_mb = q.sample_mb;
+
+  // Diagnostics: p * replicates subqueries per subsample size, each over a
+  // small (50-200 MB) subsample.
+  int64_t diag_subqueries = 0;
+  for (const auto& d : spec.diagnostic_sets) {
+    diag_subqueries += static_cast<int64_t>(d.num_subsamples) * d.replicates;
+  }
+  jobs.diagnostics.num_subqueries = diag_subqueries;
+  jobs.diagnostics.bytes_per_subquery_mb = DiagnosticSubsampleMb(rng);
+  return jobs;
+}
+
+/// Builds the consolidated (§5.3) jobs: one pass carrying the bootstrap
+/// weight columns (over filtered rows when pushdown is on) and one pass for
+/// the diagnostics' weight sets over the subsample-designated rows.
+inline PipelineJobs ConsolidatedJobs(const SimQuery& q, bool pushdown) {
+  ResampleSpec spec = SpecFor(q);
+  PipelineJobs jobs;
+  jobs.query.num_subqueries = 1;
+  jobs.query.bytes_per_subquery_mb = q.sample_mb;
+
+  jobs.error_estimation.num_subqueries = 1;
+  jobs.error_estimation.bytes_per_subquery_mb = q.sample_mb;
+  jobs.error_estimation.weight_columns = spec.bootstrap_replicates;
+  jobs.error_estimation.weight_volume_fraction =
+      pushdown ? q.selectivity : 1.0;
+
+  // Diagnostics consolidate to one scan of the sample: the 3 x 100
+  // subsample partitions (50-200 MB each) jointly cover it, so every row
+  // carries one replicate weight set per size class.
+  int diag_weight_columns = 0;
+  for (const auto& d : spec.diagnostic_sets) {
+    diag_weight_columns += d.replicates;
+  }
+  jobs.diagnostics.num_subqueries = 1;
+  jobs.diagnostics.bytes_per_subquery_mb = q.sample_mb;
+  jobs.diagnostics.weight_columns = diag_weight_columns;
+  jobs.diagnostics.weight_volume_fraction = pushdown ? q.selectivity : 1.0;
+  return jobs;
+}
+
+/// Default physical settings of the §5.3-optimized system (before §6
+/// tuning): all machines, fully cached samples, no straggler mitigation.
+inline ExecutionTuning UntunedPhysical() {
+  ExecutionTuning tuning;
+  tuning.max_machines = 100;
+  tuning.cached_fraction = 0.9;
+  tuning.straggler_mitigation = false;
+  return tuning;
+}
+
+/// §6-tuned physical settings: bounded parallelism (paper: ~20 machines is
+/// the sweet spot for error estimation and diagnostics), 30-40% input
+/// caching, straggler mitigation on.
+inline ExecutionTuning TunedPhysical() {
+  ExecutionTuning tuning;
+  tuning.max_machines = 20;
+  tuning.cached_fraction = 0.35;
+  tuning.straggler_mitigation = true;
+  return tuning;
+}
+
+}  // namespace bench
+}  // namespace aqp
+
+#endif  // AQP_BENCH_SIM_WORKLOAD_H_

@@ -1,0 +1,89 @@
+// EXPLAIN-style walkthrough of the paper's query-plan optimizations (§5.3):
+// shows the plain plan, the naive error-estimation rewrite, and the
+// consolidated + pushed-down rewrite, then executes both rewrites with the
+// deterministic plan interpreter to demonstrate they produce identical
+// results (the correctness claim behind operator pushdown).
+#include <cstdio>
+
+#include "plan/interpreter.h"
+#include "plan/plan.h"
+#include "plan/rewriter.h"
+#include "workload/data_gen.h"
+
+int main() {
+  using namespace aqp;
+
+  QuerySpec query;
+  query.id = "explain_demo";
+  query.table = "sessions";
+  query.filter = StringEquals(ColumnRef("city"), "NYC");
+  query.aggregate.kind = AggregateKind::kAvg;
+  query.aggregate.input = ColumnRef("session_time");
+
+  std::printf("query: %s\n", query.ToString().c_str());
+
+  PlanNodePtr plain = BuildQueryPlan(query);
+  std::printf("\n-- plain plan --\n%s", ExplainPlan(plain).c_str());
+
+  ResampleSpec spec;
+  spec.bootstrap_replicates = 100;
+  spec.diagnostic_sets = {{1000, 100, 100}, {2000, 100, 100},
+                          {4000, 100, 100}};
+
+  Result<PlanNodePtr> naive = RewriteForErrorEstimation(
+      plain, spec, RewriteOptions{/*scan_consolidation=*/true,
+                                  /*operator_pushdown=*/false});
+  Result<PlanNodePtr> pushed = RewriteForErrorEstimation(
+      plain, spec, RewriteOptions{true, true});
+  if (!naive.ok() || !pushed.ok()) {
+    std::fprintf(stderr, "rewrite failed\n");
+    return 1;
+  }
+  std::printf("\n-- consolidated, resampler above the scan (naive "
+              "placement) --\n%s",
+              ExplainPlan(*naive).c_str());
+  std::printf("\n-- consolidated + operator pushdown (\xc2\xa7""5.3.2) --\n%s",
+              ExplainPlan(*pushed).c_str());
+
+  PlanProfile baseline = BaselineProfile(spec);
+  PlanProfile optimized = ProfilePlan(*pushed);
+  std::printf("\n-- work profile --\n");
+  std::printf("baseline (\xc2\xa7""5.2 UNION ALL rewrite): %lld subqueries, "
+              "%lld scans of the sample\n",
+              static_cast<long long>(baseline.num_subqueries),
+              static_cast<long long>(baseline.base_scans));
+  std::printf("consolidated: %lld subquery, %lld scan, %d weight columns, "
+              "weights attached %s\n",
+              static_cast<long long>(optimized.num_subqueries),
+              static_cast<long long>(optimized.base_scans),
+              optimized.weight_columns,
+              optimized.weights_attached_after_passthrough
+                  ? "after the filters (pushdown)"
+                  : "at the scan");
+
+  // Execute both rewrites on real data: identical replicate estimates.
+  auto sessions = GenerateSessionsTable(50000, /*seed=*/5);
+  ResampleSpec small = spec;
+  small.diagnostic_sets.clear();
+  small.bootstrap_replicates = 20;
+  Result<PlanNodePtr> naive_small =
+      RewriteForErrorEstimation(plain, small, RewriteOptions{true, false});
+  Result<PlanNodePtr> pushed_small =
+      RewriteForErrorEstimation(plain, small, RewriteOptions{true, true});
+  Result<PlanExecutionResult> a =
+      ExecutePlan(*naive_small, *sessions, 1.0, /*seed=*/99);
+  Result<PlanExecutionResult> b =
+      ExecutePlan(*pushed_small, *sessions, 1.0, /*seed=*/99);
+  if (!a.ok() || !b.ok()) {
+    std::fprintf(stderr, "execution failed\n");
+    return 1;
+  }
+  bool identical = a->replicates == b->replicates;
+  std::printf("\n-- pushdown correctness (20 replicates, same seed) --\n");
+  std::printf("estimate: %.6f (both)\nreplicates identical across "
+              "placements: %s\n",
+              a->estimate, identical ? "yes" : "NO");
+  std::printf("bootstrap CI: %.4f +/- %.4f\n", a->ci.center,
+              a->ci.half_width);
+  return identical ? 0 : 1;
+}

@@ -1,0 +1,97 @@
+// Quickstart: answer the paper's motivating query —
+//
+//   SELECT AVG(session_time) FROM sessions WHERE city = 'NYC'
+//
+// approximately on a 2% sample, with error bars and a runtime diagnostic,
+// and compare against the exact answer.
+//
+// Build & run:
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/quickstart
+#include <chrono>
+#include <cstdio>
+
+#include "core/engine.h"
+#include "workload/data_gen.h"
+
+namespace {
+
+double SecondsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+}  // namespace
+
+int main() {
+  using namespace aqp;
+
+  // 1. Generate the "full" dataset D (stands in for terabytes of sessions).
+  constexpr int64_t kRows = 2'000'000;
+  std::printf("generating %lld sessions...\n",
+              static_cast<long long>(kRows));
+  auto sessions = GenerateSessionsTable(kRows, /*seed=*/7);
+
+  // 2. Stand up the AQP engine and precompute a 5% sample (BlinkDB-style).
+  EngineOptions options;
+  // Subsample ladders must stay meaningful under the query's filter
+  // (NYC keeps ~15% of rows), so use fewer, larger diagnostic subsamples.
+  options.diagnostic.num_subsamples = 50;
+  options.default_sample_rows = 100000;
+  AqpEngine engine(options);
+  if (Status s = engine.RegisterTable(sessions); !s.ok()) {
+    std::fprintf(stderr, "register failed: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  if (Status s = engine.CreateSample("sessions", kRows / 20); !s.ok()) {
+    std::fprintf(stderr, "sampling failed: %s\n", s.ToString().c_str());
+    return 1;
+  }
+
+  // 3. The query.
+  QuerySpec query;
+  query.id = "avg_nyc_session_time";
+  query.table = "sessions";
+  query.filter = StringEquals(ColumnRef("city"), "NYC");
+  query.aggregate.kind = AggregateKind::kAvg;
+  query.aggregate.input = ColumnRef("session_time");
+  std::printf("\nquery: %s\n", query.ToString().c_str());
+
+  // 4. Approximate answer with error bars + diagnostic.
+  auto t0 = std::chrono::steady_clock::now();
+  Result<ApproxResult> approx = engine.ExecuteApproximate(query);
+  double approx_s = SecondsSince(t0);
+  if (!approx.ok()) {
+    std::fprintf(stderr, "approximate execution failed: %s\n",
+                 approx.status().ToString().c_str());
+    return 1;
+  }
+  std::printf(
+      "\napproximate: %.3f s  +/- %.3f s  (95%% CI, %s, rel.err %.2f%%)\n",
+      approx->estimate, approx->ci.half_width,
+      EstimationMethodName(approx->method), 100.0 * approx->RelativeError());
+  std::printf("diagnostic: %s\n",
+              !approx->diagnostic_ran ? "not run"
+              : approx->diagnostic_ok ? "accepted (error bars trustworthy)"
+                                      : "REJECTED (fell back)");
+  std::printf("sample: %lld of %lld rows   time: %.3f s\n",
+              static_cast<long long>(approx->sample_rows),
+              static_cast<long long>(approx->population_rows), approx_s);
+
+  // 5. Exact answer, for comparison.
+  t0 = std::chrono::steady_clock::now();
+  Result<double> exact = engine.ExecuteExact(query);
+  double exact_s = SecondsSince(t0);
+  if (!exact.ok()) {
+    std::fprintf(stderr, "exact execution failed: %s\n",
+                 exact.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("\nexact:       %.3f s                      time: %.3f s "
+              "(%.1fx slower)\n",
+              *exact, exact_s, exact_s / approx_s);
+  std::printf("exact answer inside the error bars: %s\n",
+              approx->ci.Contains(*exact) ? "yes" : "NO");
+  return 0;
+}

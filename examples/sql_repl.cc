@@ -1,0 +1,101 @@
+// A minimal approximate-SQL shell: type SQL, get an answer with error bars,
+// an error-estimation method, and a diagnostic verdict — the end-user
+// experience of the paper's Fig. 5 pipeline.
+//
+// Reads statements from stdin (one per line; blank line or EOF quits).
+// When stdin is not a TTY-fed script, a built-in demo script runs, so the
+// example is exercisable non-interactively:
+//   ./build/examples/sql_repl                     # demo script
+//   echo "SELECT AVG(bytes) FROM sessions" | ./build/examples/sql_repl
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/engine.h"
+#include "sql/parser.h"
+#include "workload/data_gen.h"
+
+namespace {
+
+using namespace aqp;
+
+void RunStatement(AqpEngine& engine, const UdfRegistry& udfs,
+                  const std::string& sql) {
+  std::printf("aqp> %s\n", sql.c_str());
+  // Parse first so GROUP BY statements can fan out into per-group answers.
+  Result<ParsedQuery> parsed = ParseSql(sql, &udfs);
+  if (!parsed.ok()) {
+    std::printf("  error: %s\n", parsed.status().ToString().c_str());
+    return;
+  }
+  if (!parsed->group_by.empty()) {
+    auto results = engine.ExecuteApproximateGroupBySql(sql, &udfs);
+    if (!results.ok()) {
+      std::printf("  error: %s\n", results.status().ToString().c_str());
+      return;
+    }
+    for (const auto& group : *results) {
+      std::printf("  %-14s %14.4f +/- %10.4f  (%s%s)\n", group.group.c_str(),
+                  group.result.estimate, group.result.ci.half_width,
+                  EstimationMethodName(group.result.method),
+                  group.result.fell_back ? ", fell back" : "");
+    }
+    return;
+  }
+  Result<ApproxResult> r = engine.ExecuteApproximateSql(sql, &udfs);
+  if (!r.ok()) {
+    std::printf("  error: %s\n", r.status().ToString().c_str());
+    return;
+  }
+  std::printf("  %14.4f +/- %10.4f   method=%s  diagnostic=%s%s\n",
+              r->estimate, r->ci.half_width, EstimationMethodName(r->method),
+              !r->diagnostic_ran ? "off"
+              : r->diagnostic_ok ? "accepted"
+                                 : "rejected",
+              r->fell_back ? "  (fell back to exact)" : "");
+}
+
+}  // namespace
+
+int main() {
+  std::printf("loading 1M-row sessions table and a 5%% sample...\n");
+  auto sessions = GenerateSessionsTable(1'000'000, /*seed=*/3);
+  EngineOptions options;
+  options.diagnostic.num_subsamples = 50;
+  options.default_sample_rows = 50000;
+  AqpEngine engine(options);
+  if (!engine.RegisterTable(sessions).ok() ||
+      !engine.CreateSample("sessions", 50000).ok()) {
+    std::fprintf(stderr, "setup failed\n");
+    return 1;
+  }
+  UdfRegistry udfs;
+  udfs.RegisterBuiltins();
+
+  std::string line;
+  bool interactive = false;
+  std::printf("schema: sessions(session_time, join_time_ms, "
+              "buffering_ratio, bitrate_kbps, bytes, ad_impressions, city, "
+              "content_type, cdn)\n\n");
+  if (std::getline(std::cin, line)) {
+    interactive = true;
+    do {
+      if (line.empty()) break;
+      RunStatement(engine, udfs, line);
+    } while (std::getline(std::cin, line));
+  }
+  if (!interactive) {
+    const std::vector<std::string> demo = {
+        "SELECT AVG(session_time) FROM sessions WHERE city = 'NYC'",
+        "SELECT COUNT(*) FROM sessions WHERE bitrate_kbps > 2000",
+        "SELECT PERCENTILE(join_time_ms, 0.95) FROM sessions",
+        "SELECT SUM(bytes) FROM sessions WHERE content_type = 'live'",
+        "SELECT AVG(qoe_score(buffering_ratio, join_time_ms, bitrate_kbps)) "
+        "FROM sessions GROUP BY cdn",
+        "SELECT MAX(bytes) FROM sessions",  // Diagnostic should reject this.
+    };
+    for (const std::string& sql : demo) RunStatement(engine, udfs, sql);
+  }
+  return 0;
+}

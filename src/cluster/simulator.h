@@ -1,0 +1,166 @@
+#ifndef AQP_CLUSTER_SIMULATOR_H_
+#define AQP_CLUSTER_SIMULATOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/random.h"
+#include "util/status.h"
+
+namespace aqp {
+
+/// Static description of the simulated cluster, default-calibrated to the
+/// paper's testbed: 100 EC2 m1.large instances (4 ECU ≈ 4 slots, 7.5 GB RAM,
+/// 840 GB disk), 600 GB aggregate RAM cache, 75 TB aggregate disk (§7).
+///
+/// The simulator is a cost model, not a packet-level simulator: it captures
+/// the effects the paper's evaluation turns on — per-task scheduling
+/// overhead, disk vs. memory scan bandwidth, weight-column CPU cost,
+/// many-to-one aggregation cost, stragglers, and the cache/working-memory
+/// trade-off — with stochastic task durations for realistic spreads.
+struct ClusterConfig {
+  int num_machines = 100;
+  int slots_per_machine = 4;
+  double ram_per_machine_mb = 7.5 * 1024;
+
+  /// Sequential scan bandwidth per slot.
+  double disk_bandwidth_mbps = 90.0;
+  /// Effective scan bandwidth from the RAM cache per slot.
+  double memory_bandwidth_mbps = 1800.0;
+  /// Base per-slot processing rate for filter/project/aggregate work.
+  double cpu_process_mbps = 700.0;
+  /// Relative extra CPU per resampling weight column carried by a row
+  /// (generation of a Poisson weight + weighted accumulation).
+  double weight_column_cpu_factor = 0.012;
+
+  /// Scheduler dispatch cost per task; dispatch is serialized at the
+  /// driver, which is what makes tens of thousands of tiny subqueries slow.
+  double task_dispatch_overhead_s = 0.005;
+  /// Per-task startup (JVM/executor handshake etc.), paid in parallel.
+  double task_startup_overhead_s = 0.06;
+  /// Many-to-one combine cost per finished task at the aggregation stage.
+  double aggregation_cost_per_task_s = 0.001;
+  /// Fixed per-(sub)query planning + result latency.
+  double per_subquery_fixed_s = 0.03;
+
+  /// Probability a task is a straggler. Straggler delay is additive
+  /// (GC pauses, IO contention, co-tenant interference are fixed-duration
+  /// events, not proportional slowdowns): a Pareto-tailed extra delay in
+  /// seconds, capped. More tasks therefore mean more straggler exposure —
+  /// one ingredient of the §6.1 parallelism knee — and abandoning the
+  /// slowest 10% (§6.3) removes exactly these delays.
+  double straggler_prob = 0.06;
+  double straggler_pareto_shape = 1.2;
+  double straggler_min_delay_s = 1.0;
+  double straggler_max_delay_s = 30.0;
+  /// Lognormal sigma of benign task-duration jitter.
+  double jitter_sigma = 0.12;
+
+  /// Total size of the sample store that could be cached (all samples of
+  /// all tables), and the penalty model for spilling intermediate state.
+  double total_sample_store_mb = 1000.0 * 1024;
+  /// Relative working-set growth per weight column carried by a task's
+  /// rows (intermediate state for weighted accumulators + shuffle buffers).
+  double working_set_per_weight_column = 0.03;
+  /// Fixed per-weight-column working-set cost in MB (accumulator and
+  /// shuffle-buffer state scales with the number of weight columns
+  /// regardless of task input size).
+  double working_set_fixed_per_weight_column_mb = 1.5;
+  /// Input split size: one task per `partition_mb` of scanned data, but a
+  /// subquery is split finer (down to `min_task_mb` per task) to use its
+  /// fair share of the available slots — more machines therefore mean more,
+  /// smaller tasks, which is what makes added parallelism eventually
+  /// counterproductive (§6.1).
+  double partition_mb = 256.0;
+  double min_task_mb = 16.0;
+
+  double total_slots() const {
+    return static_cast<double>(num_machines) * slots_per_machine;
+  }
+  double total_ram_mb() const {
+    return static_cast<double>(num_machines) * ram_per_machine_mb;
+  }
+};
+
+/// One job in the pipeline: `num_subqueries` identical subqueries, each
+/// scanning `bytes_per_subquery_mb` and carrying `weight_columns` resampling
+/// weight columns over a `weight_volume_fraction` of its rows (operator
+/// pushdown shrinks this fraction to the filter selectivity).
+struct JobSpec {
+  int64_t num_subqueries = 1;
+  double bytes_per_subquery_mb = 0.0;
+  int weight_columns = 0;
+  double weight_volume_fraction = 1.0;
+
+  /// True when there is nothing to run (e.g. closed-form error estimation
+  /// piggybacks on the main query at negligible cost).
+  bool empty() const {
+    return num_subqueries == 0 || bytes_per_subquery_mb <= 0.0;
+  }
+};
+
+/// Knobs of §6: degree of parallelism, input-cache fraction, straggler
+/// mitigation.
+struct ExecutionTuning {
+  /// Machines the scheduler may use for this query (paper Fig. 8(c)).
+  int max_machines = 100;
+  /// Fraction of the sample store resident in the RAM cache (Fig. 8(d)).
+  double cached_fraction = 1.0;
+  /// §6.3: spawn 10% task clones and don't wait for the slowest 10%.
+  bool straggler_mitigation = false;
+  double clone_fraction = 0.10;
+};
+
+/// Simulated wall-clock result for one job.
+struct JobTiming {
+  double duration_s = 0.0;
+  int64_t tasks_launched = 0;
+};
+
+/// Simulated end-to-end response for the three-part pipeline of Fig. 5/7:
+/// the query itself, the error-estimation overhead, and the diagnostics
+/// overhead (the three run concurrently; the paper reports them separately).
+struct PipelineTiming {
+  double query_s = 0.0;
+  double error_estimation_s = 0.0;
+  double diagnostics_s = 0.0;
+  int64_t tasks_launched = 0;
+
+  double total_s() const {
+    double t = query_s;
+    if (error_estimation_s > t) t = error_estimation_s;
+    if (diagnostics_s > t) t = diagnostics_s;
+    return t;
+  }
+};
+
+/// Simulates query execution on the configured cluster. Deterministic given
+/// the seed.
+class ClusterSimulator {
+ public:
+  ClusterSimulator(ClusterConfig config, uint64_t seed);
+
+  /// Simulates one job (a set of subqueries) under `tuning`.
+  JobTiming SimulateJob(const JobSpec& job, const ExecutionTuning& tuning);
+
+  /// Simulates the full pipeline: query + error estimation + diagnostics.
+  PipelineTiming SimulatePipeline(const JobSpec& query,
+                                  const JobSpec& error_estimation,
+                                  const JobSpec& diagnostics,
+                                  const ExecutionTuning& tuning);
+
+  const ClusterConfig& config() const { return config_; }
+
+ private:
+  /// Duration of one task scanning `task_mb` with the given weight payload.
+  double TaskDuration(double task_mb, int weight_columns,
+                      double weight_volume_fraction,
+                      const ExecutionTuning& tuning);
+
+  ClusterConfig config_;
+  Rng rng_;
+};
+
+}  // namespace aqp
+
+#endif  // AQP_CLUSTER_SIMULATOR_H_

@@ -1,0 +1,435 @@
+#include "core/engine.h"
+
+#include <cmath>
+#include <fstream>
+#include <sstream>
+
+#include "storage/serialize.h"
+
+namespace aqp {
+
+const char* EstimationMethodName(EstimationMethod method) {
+  switch (method) {
+    case EstimationMethod::kClosedForm:
+      return "closed-form";
+    case EstimationMethod::kBootstrap:
+      return "bootstrap";
+    case EstimationMethod::kLargeDeviation:
+      return "large-deviation";
+    case EstimationMethod::kExact:
+      return "exact";
+  }
+  return "unknown";
+}
+
+AqpEngine::AqpEngine(EngineOptions options)
+    : options_(options),
+      bootstrap_(options.bootstrap_replicates),
+      rng_(options.seed) {}
+
+Status AqpEngine::RegisterTable(std::shared_ptr<const Table> table) {
+  return catalog_.AddTable(std::move(table));
+}
+
+Status AqpEngine::CreateSample(const std::string& table, int64_t rows) {
+  Result<std::shared_ptr<const Table>> source = catalog_.GetTable(table);
+  if (!source.ok()) return source.status();
+  Result<Sample> sample =
+      CreateUniformSample(*source, rows, /*with_replacement=*/false, rng_);
+  if (!sample.ok()) return sample.status();
+  samples_.Add(table, std::move(sample).value());
+  return Status::OK();
+}
+
+Status AqpEngine::CreateStratifiedSample(const std::string& table,
+                                         const std::string& column,
+                                         int64_t cap) {
+  Result<std::shared_ptr<const Table>> source = catalog_.GetTable(table);
+  if (!source.ok()) return source.status();
+  Result<StratifiedSample> sample =
+      aqp::CreateStratifiedSample(*source, column, cap, rng_);
+  if (!sample.ok()) return sample.status();
+  std::vector<StratifiedSample>& list = stratified_[table];
+  for (const StratifiedSample& existing : list) {
+    if (existing.column == column) {
+      return Status::AlreadyExists("stratified sample on '" + table + "." +
+                                   column + "' already exists");
+    }
+  }
+  list.push_back(std::move(sample).value());
+  return Status::OK();
+}
+
+namespace {
+
+/// Flattens a conjunctive filter into its conjuncts (a single non-AND node
+/// flattens to itself).
+void CollectConjuncts(const ExprPtr& expr, std::vector<ExprPtr>& out) {
+  std::vector<ExprPtr> operands;
+  if (expr->GetAndOperands(operands)) {
+    for (const ExprPtr& operand : operands) {
+      CollectConjuncts(operand, out);
+    }
+  } else {
+    out.push_back(expr);
+  }
+}
+
+/// Rebuilds a conjunction from `conjuncts` (null when empty).
+ExprPtr RebuildConjunction(const std::vector<ExprPtr>& conjuncts) {
+  ExprPtr filter;
+  for (const ExprPtr& conjunct : conjuncts) {
+    filter = filter == nullptr ? conjunct : And(filter, conjunct);
+  }
+  return filter;
+}
+
+}  // namespace
+
+Result<AqpEngine::ResolvedSample> AqpEngine::ResolveSample(
+    const QuerySpec& query) {
+  // Runtime sample selection: when a filter conjunct is `column = 'value'`
+  // and a stratified sample on that column exists, the matching stratum is
+  // a uniform sample of exactly the filtered subpopulation — usually far
+  // larger (for rare values) than the uniform sample's slice of it.
+  if (query.filter != nullptr) {
+    auto it = stratified_.find(query.table);
+    if (it != stratified_.end()) {
+      std::vector<ExprPtr> conjuncts;
+      CollectConjuncts(query.filter, conjuncts);
+      for (size_t i = 0; i < conjuncts.size(); ++i) {
+        std::string column;
+        std::string value;
+        if (!conjuncts[i]->GetStringEquality(&column, &value)) continue;
+        for (const StratifiedSample& stratified : it->second) {
+          if (stratified.column != column) continue;
+          Result<Sample> stratum = SampleForStratum(stratified, value);
+          if (!stratum.ok()) continue;  // Unknown value: no rows anywhere.
+          ResolvedSample resolved;
+          resolved.data = stratum->data;
+          resolved.population_rows = stratum->population_rows;
+          resolved.effective_query = query;
+          std::vector<ExprPtr> residual = conjuncts;
+          residual.erase(residual.begin() + static_cast<int64_t>(i));
+          resolved.effective_query.filter = RebuildConjunction(residual);
+          return resolved;
+        }
+      }
+    }
+  }
+  Result<const Sample*> sample =
+      samples_.SelectAtLeast(query.table, options_.default_sample_rows);
+  if (!sample.ok()) return sample.status();
+  ResolvedSample resolved;
+  resolved.data = (*sample)->data;
+  resolved.population_rows = (*sample)->population_rows;
+  resolved.effective_query = query;
+  return resolved;
+}
+
+Result<double> AqpEngine::ExecuteExact(const QuerySpec& query) {
+  Result<std::shared_ptr<const Table>> table = catalog_.GetTable(query.table);
+  if (!table.ok()) return table.status();
+  return ExecutePlainAggregate(**table, query, /*scale_factor=*/1.0);
+}
+
+Result<ApproxResult> AqpEngine::FallBack(const QuerySpec& query,
+                                         ApproxResult result) {
+  result.fell_back = true;
+  switch (options_.fallback) {
+    case FallbackPolicy::kNone:
+      result.fell_back = false;  // Keep the flagged estimate.
+      return result;
+    case FallbackPolicy::kLargeDeviation: {
+      Result<std::shared_ptr<const Table>> population =
+          catalog_.GetTable(query.table);
+      if (population.ok()) {
+        Result<ValueRange> range = ComputeValueRange(**population, query);
+        if (range.ok()) {
+          LargeDeviationEstimator ldb(*range);
+          if (ldb.Applicable(query)) {
+            Result<const Sample*> sample =
+                samples_.SelectAtLeast(query.table,
+                                       options_.default_sample_rows);
+            if (sample.ok()) {
+              Result<ConfidenceInterval> ci = ldb.Estimate(
+                  *(*sample)->data, query, (*sample)->scale_factor(),
+                  options_.alpha, rng_);
+              if (ci.ok()) {
+                result.estimate = ci->center;
+                result.ci = *ci;
+                result.method = EstimationMethod::kLargeDeviation;
+                return result;
+              }
+            }
+          }
+        }
+      }
+      [[fallthrough]];
+    }
+    case FallbackPolicy::kExactExecution: {
+      Result<double> exact = ExecuteExact(query);
+      if (!exact.ok()) return exact.status();
+      result.estimate = *exact;
+      result.ci.center = *exact;
+      result.ci.half_width = 0.0;
+      result.method = EstimationMethod::kExact;
+      return result;
+    }
+  }
+  return Status::Internal("unknown fallback policy");
+}
+
+Result<ApproxResult> AqpEngine::ExecuteApproximateSql(
+    const std::string& sql, const UdfRegistry* udfs) {
+  Result<ParsedQuery> parsed = ParseSql(sql, udfs);
+  if (!parsed.ok()) return parsed.status();
+  if (!parsed->group_by.empty()) {
+    return Status::InvalidArgument(
+        "GROUP BY statements go through ExecuteApproximateGroupBySql");
+  }
+  parsed->query.id = sql;
+  return ExecuteApproximate(parsed->query);
+}
+
+Result<std::vector<AqpEngine::GroupApproxResult>>
+AqpEngine::ExecuteApproximateGroupBySql(const std::string& sql,
+                                        const UdfRegistry* udfs) {
+  Result<ParsedQuery> parsed = ParseSql(sql, udfs);
+  if (!parsed.ok()) return parsed.status();
+  if (parsed->group_by.empty()) {
+    return Status::InvalidArgument("statement has no GROUP BY clause");
+  }
+  parsed->query.id = sql;
+  return ExecuteApproximateGroupBy(parsed->query, parsed->group_by);
+}
+
+Result<std::vector<AqpEngine::GroupApproxResult>>
+AqpEngine::ExecuteApproximateGroupBy(const QuerySpec& query,
+                                     const std::string& group_column,
+                                     int64_t min_group_rows) {
+  Result<const Sample*> sample_result =
+      samples_.SelectAtLeast(query.table, options_.default_sample_rows);
+  if (!sample_result.ok()) return sample_result.status();
+  const Sample& sample = **sample_result;
+  Result<const Column*> group_col = sample.data->ColumnByName(group_column);
+  if (!group_col.ok()) return group_col.status();
+  if ((*group_col)->is_numeric()) {
+    return Status::InvalidArgument("GROUP BY column '" + group_column +
+                                   "' must be a string column");
+  }
+  // Count sample rows per group so tiny groups can be skipped up front.
+  std::vector<int64_t> group_rows(
+      static_cast<size_t>((*group_col)->dictionary_size()), 0);
+  for (int32_t code : (*group_col)->codes()) {
+    ++group_rows[static_cast<size_t>(code)];
+  }
+  std::vector<GroupApproxResult> results;
+  for (size_t code = 0; code < group_rows.size(); ++code) {
+    if (group_rows[code] < min_group_rows) continue;
+    const std::string& value = (*group_col)->dictionary()[code];
+    QuerySpec per_group = query;
+    per_group.id = query.id + "#" + value;
+    ExprPtr group_filter = StringEquals(ColumnRef(group_column), value);
+    per_group.filter = query.filter == nullptr
+                           ? group_filter
+                           : And(query.filter, group_filter);
+    Result<ApproxResult> result = ExecuteApproximate(per_group);
+    if (!result.ok()) continue;  // Degenerate group under this aggregate.
+    results.push_back(GroupApproxResult{value, std::move(result).value()});
+  }
+  return results;
+}
+
+Result<ApproxResult> AqpEngine::ExecuteWithErrorBound(
+    const QuerySpec& query, double target_relative_error) {
+  if (target_relative_error <= 0.0) {
+    return Status::InvalidArgument("target relative error must be positive");
+  }
+  const ErrorEstimator* estimator =
+      closed_form_.Applicable(query)
+          ? static_cast<const ErrorEstimator*>(&closed_form_)
+          : &bootstrap_;
+  // Probe samples smallest-first; the first one whose estimated error bars
+  // meet the target wins. Error estimates are exactly what lets the system
+  // "make a smooth and controlled trade-off between accuracy and query
+  // time" (paper §1).
+  for (const Sample* sample : samples_.SamplesFor(query.table)) {
+    Result<ConfidenceInterval> ci = estimator->Estimate(
+        *sample->data, query, sample->scale_factor(), options_.alpha, rng_);
+    if (!ci.ok()) continue;
+    double relative = ci->center == 0.0
+                          ? 0.0
+                          : ci->half_width / std::abs(ci->center);
+    if (relative > target_relative_error) continue;
+    // This sample is accurate enough; run the fully diagnosed pipeline on
+    // it by pinning the engine's sample-size floor to it.
+    int64_t saved = options_.default_sample_rows;
+    options_.default_sample_rows = sample->num_rows();
+    Result<ApproxResult> result = ExecuteApproximate(query);
+    options_.default_sample_rows = saved;
+    return result;
+  }
+  // No stored sample meets the target: exact execution.
+  Result<double> exact = ExecuteExact(query);
+  if (!exact.ok()) return exact.status();
+  ApproxResult result;
+  result.estimate = *exact;
+  result.ci.center = *exact;
+  result.method = EstimationMethod::kExact;
+  result.fell_back = true;
+  return result;
+}
+
+Result<ApproxResult> AqpEngine::ExecuteWithTimeBound(const QuerySpec& query,
+                                                     double budget_seconds) {
+  if (budget_seconds <= 0.0) {
+    return Status::InvalidArgument("time budget must be positive");
+  }
+  std::vector<const Sample*> candidates = samples_.SamplesFor(query.table);
+  if (candidates.empty()) {
+    return Status::NotFound("no samples for table '" + query.table + "'");
+  }
+  // Rows affordable within the budget; the pipeline overhead (bootstrap +
+  // diagnostic) is folded into rows_per_second.
+  double affordable = budget_seconds * options_.rows_per_second;
+  const Sample* chosen = candidates.front();
+  for (const Sample* sample : candidates) {
+    if (static_cast<double>(sample->num_rows()) <= affordable) {
+      chosen = sample;  // Candidates ascend by size: keep the largest fit.
+    }
+  }
+  int64_t saved = options_.default_sample_rows;
+  options_.default_sample_rows = chosen->num_rows();
+  Result<ApproxResult> result = ExecuteApproximate(query);
+  options_.default_sample_rows = saved;
+  return result;
+}
+
+Status AqpEngine::SaveSamples(const std::string& directory) const {
+  std::string manifest_path = directory + "/samples.manifest";
+  std::ofstream manifest(manifest_path);
+  if (!manifest.is_open()) {
+    return Status::NotFound("cannot open '" + manifest_path +
+                            "' for writing");
+  }
+  int index = 0;
+  for (const std::string& table : catalog_.TableNames()) {
+    for (const Sample* sample : samples_.SamplesFor(table)) {
+      std::string file = "sample_" + std::to_string(index++) + ".aqt";
+      AQP_RETURN_IF_ERROR(
+          WriteTableFile(*sample->data, directory + "/" + file));
+      manifest << table << "\t" << file << "\t" << sample->population_rows
+               << "\t" << (sample->with_replacement ? 1 : 0) << "\n";
+    }
+  }
+  if (!manifest.good()) return Status::Internal("manifest write failed");
+  return Status::OK();
+}
+
+Status AqpEngine::LoadSamples(const std::string& directory) {
+  std::string manifest_path = directory + "/samples.manifest";
+  std::ifstream manifest(manifest_path);
+  if (!manifest.is_open()) {
+    return Status::NotFound("cannot open '" + manifest_path + "'");
+  }
+  std::string line;
+  while (std::getline(manifest, line)) {
+    if (line.empty()) continue;
+    std::istringstream fields(line);
+    std::string table;
+    std::string file;
+    int64_t population_rows = 0;
+    int with_replacement = 0;
+    if (!(fields >> table >> file >> population_rows >> with_replacement)) {
+      return Status::InvalidArgument("malformed manifest line: " + line);
+    }
+    Result<std::shared_ptr<const Table>> data =
+        ReadTableFile(directory + "/" + file);
+    if (!data.ok()) return data.status();
+    Sample sample;
+    sample.data = std::move(data).value();
+    sample.population_rows = population_rows;
+    sample.with_replacement = with_replacement != 0;
+    samples_.Add(table, std::move(sample));
+  }
+  return Status::OK();
+}
+
+Result<ApproxResult> AqpEngine::ExecuteApproximate(const QuerySpec& query) {
+  Result<ResolvedSample> resolved = ResolveSample(query);
+  if (!resolved.ok()) return resolved.status();
+  const Table& data = *resolved->data;
+  const QuerySpec& effective = resolved->effective_query;
+  double scale = data.num_rows() == 0
+                     ? 0.0
+                     : static_cast<double>(resolved->population_rows) /
+                           static_cast<double>(data.num_rows());
+
+  ApproxResult result;
+  result.sample_rows = data.num_rows();
+  result.population_rows = resolved->population_rows;
+
+  // Pick the cheapest applicable error-estimation procedure: closed forms
+  // when the aggregate admits one, otherwise the bootstrap.
+  const ErrorEstimator* estimator;
+  if (closed_form_.Applicable(effective)) {
+    estimator = &closed_form_;
+    result.method = EstimationMethod::kClosedForm;
+  } else {
+    estimator = &bootstrap_;
+    result.method = EstimationMethod::kBootstrap;
+  }
+
+  // Bootstrap path on streaming aggregates: the full §5.3.1 single scan
+  // computes the answer, the CI, and the diagnostic in one pass.
+  if (estimator == &bootstrap_ && options_.run_diagnostic &&
+      WeightedAccumulator::SupportsKind(effective.aggregate.kind)) {
+    DiagnosticConfig config = options_.diagnostic;
+    config.alpha = options_.alpha;
+    Result<SingleScanResult> single = RunSingleScanPipeline(
+        data, effective, resolved->population_rows,
+        options_.bootstrap_replicates, options_.bootstrap_replicates, config,
+        bootstrap_.mode(), rng_);
+    if (single.ok()) {
+      result.estimate = single->theta;
+      result.ci = single->ci;
+      result.diagnostic_ran = true;
+      result.diagnostic_ok = single->diagnostic.accepted;
+      result.diagnostic = std::move(single->diagnostic);
+      if (!result.diagnostic_ok) return FallBack(query, std::move(result));
+      return result;
+    }
+    // Degenerate for the single-scan path: fall through to two-phase.
+  }
+
+  Result<ConfidenceInterval> ci =
+      estimator->Estimate(data, effective, scale, options_.alpha, rng_);
+  if (!ci.ok()) return ci.status();
+  result.estimate = ci->center;
+  result.ci = *ci;
+
+  if (options_.run_diagnostic) {
+    DiagnosticConfig config = options_.diagnostic;
+    config.alpha = options_.alpha;
+    // Scan-consolidated diagnosis (§5.3.1); falls back internally to the
+    // reference implementation for estimators without a prepared path.
+    Result<DiagnosticReport> report = RunDiagnosticConsolidated(
+        data, effective, *estimator, resolved->population_rows, config,
+        rng_);
+    if (report.ok()) {
+      result.diagnostic_ran = true;
+      result.diagnostic_ok = report->accepted;
+      result.diagnostic = std::move(report).value();
+      if (!result.diagnostic_ok) return FallBack(query, std::move(result));
+    } else {
+      // Diagnosis itself failed (degenerate subsamples): treat as rejection.
+      result.diagnostic_ran = false;
+      result.diagnostic_ok = false;
+      return FallBack(query, std::move(result));
+    }
+  }
+  return result;
+}
+
+}  // namespace aqp

@@ -1,0 +1,208 @@
+#ifndef AQP_CORE_ENGINE_H_
+#define AQP_CORE_ENGINE_H_
+
+#include <memory>
+#include <string>
+
+#include "diagnostics/diagnostic.h"
+#include "diagnostics/single_scan.h"
+#include "estimation/bootstrap.h"
+#include "estimation/closed_form.h"
+#include "estimation/confidence_interval.h"
+#include "estimation/large_deviation.h"
+#include "exec/executor.h"
+#include "exec/query_spec.h"
+#include "sampling/sampler.h"
+#include "sampling/stratified.h"
+#include "sql/parser.h"
+#include "storage/catalog.h"
+#include "util/random.h"
+#include "util/status.h"
+
+namespace aqp {
+
+/// How the engine reacts when the diagnostic rejects error estimation for a
+/// query (the "fall back to slower, more accurate solutions" spectrum of
+/// paper §1).
+enum class FallbackPolicy {
+  /// Re-execute the query exactly on the full data (always correct; slow).
+  kExactExecution,
+  /// Use conservative large-deviation bounds when available, else exact.
+  kLargeDeviation,
+  /// Return the (diagnosed-unreliable) estimate anyway, flagged.
+  kNone,
+};
+
+/// Which procedure produced the returned error bars.
+enum class EstimationMethod {
+  kClosedForm,
+  kBootstrap,
+  kLargeDeviation,
+  kExact,  ///< No error bars needed: exact answer.
+};
+
+const char* EstimationMethodName(EstimationMethod method);
+
+/// Engine configuration. Defaults follow the paper: alpha = 0.95, K = 100
+/// bootstrap replicates, diagnostic at p = 100, k = 3.
+struct EngineOptions {
+  double alpha = 0.95;
+  int bootstrap_replicates = 100;
+  DiagnosticConfig diagnostic;
+  /// Running the diagnostic can be disabled (e.g. for microbenchmarks).
+  bool run_diagnostic = true;
+  FallbackPolicy fallback = FallbackPolicy::kExactExecution;
+  /// Sample size targeted when auto-creating samples.
+  int64_t default_sample_rows = 100000;
+  /// Throughput model for time-bounded execution: rows the engine can
+  /// process per second for a typical query (pipeline included). Calibrate
+  /// per deployment; the default is conservative for one core.
+  double rows_per_second = 5e6;
+  uint64_t seed = 42;
+};
+
+/// An approximate answer with error bars and its provenance.
+struct ApproxResult {
+  /// The estimate (θ(S), or θ(D) if execution fell back to exact).
+  double estimate = 0.0;
+  ConfidenceInterval ci;
+  EstimationMethod method = EstimationMethod::kBootstrap;
+  bool diagnostic_ran = false;
+  /// True if the diagnostic accepted the error estimate (meaningful only
+  /// when `diagnostic_ran`).
+  bool diagnostic_ok = false;
+  /// True if the engine discarded the sample estimate per FallbackPolicy.
+  bool fell_back = false;
+  int64_t sample_rows = 0;
+  int64_t population_rows = 0;
+  DiagnosticReport diagnostic;
+
+  /// Relative half-width of the error bars (half_width / |estimate|).
+  double RelativeError() const {
+    return estimate == 0.0 ? 0.0 : ci.half_width / std::abs(estimate);
+  }
+};
+
+/// The end-to-end AQP pipeline of paper Fig. 5: samples + approximate
+/// execution + error estimation + runtime diagnostics + fallback.
+///
+/// Example:
+///   AqpEngine engine;
+///   engine.RegisterTable(sessions);                 // full data D
+///   engine.CreateSample("sessions", 100000);        // sample S
+///   QuerySpec q = ...;                              // AVG(time) WHERE ...
+///   Result<ApproxResult> r = engine.ExecuteApproximate(q);
+class AqpEngine {
+ public:
+  explicit AqpEngine(EngineOptions options = {});
+
+  /// Registers the full table D (used for exact fallback and as sampling
+  /// source).
+  Status RegisterTable(std::shared_ptr<const Table> table);
+
+  /// Draws and stores a uniform sample of `rows` rows of `table`.
+  Status CreateSample(const std::string& table, int64_t rows);
+
+  /// Builds and stores a stratified sample of `table` on string column
+  /// `column` with at most `cap` rows per distinct value. At query time,
+  /// equality filters on `column` are answered from the matching stratum
+  /// (BlinkDB's "select the best sample at runtime", paper §6) — rare
+  /// segments keep full-resolution error bars.
+  Status CreateStratifiedSample(const std::string& table,
+                                const std::string& column, int64_t cap);
+
+  /// Runs `query` approximately: executes on the best sample, estimates
+  /// error (closed form when applicable, else bootstrap), diagnoses the
+  /// estimate, and applies the fallback policy on rejection.
+  Result<ApproxResult> ExecuteApproximate(const QuerySpec& query);
+
+  /// Runs `query` exactly on the registered full table.
+  Result<double> ExecuteExact(const QuerySpec& query);
+
+  /// Parses and runs a SQL statement approximately. GROUP BY statements are
+  /// rejected here — use ExecuteApproximateGroupBySql. `udfs` may be null.
+  Result<ApproxResult> ExecuteApproximateSql(const std::string& sql,
+                                             const UdfRegistry* udfs = nullptr);
+
+  /// One group's approximate answer in a GROUP BY execution.
+  struct GroupApproxResult {
+    std::string group;
+    ApproxResult result;
+  };
+
+  /// Approximate GROUP BY: each group is treated as an independent query
+  /// θ_g with its own error bars and diagnostic (paper §2.1: "when a query
+  /// produces multiple results, we treat each result as a separate query").
+  /// Groups whose filter keeps fewer than `min_group_rows` sample rows are
+  /// skipped (their estimates would be meaningless).
+  Result<std::vector<GroupApproxResult>> ExecuteApproximateGroupBy(
+      const QuerySpec& query, const std::string& group_column,
+      int64_t min_group_rows = 100);
+
+  /// Parses and runs a GROUP BY SQL statement approximately.
+  Result<std::vector<GroupApproxResult>> ExecuteApproximateGroupBySql(
+      const std::string& sql, const UdfRegistry* udfs = nullptr);
+
+  /// Error-bounded execution (the BlinkDB-style contract the paper builds
+  /// on): picks the smallest stored sample whose estimated error bars meet
+  /// `target_relative_error`, then runs the full diagnosed pipeline on it.
+  /// Falls back per FallbackPolicy when no sample is accurate enough or the
+  /// diagnostic rejects.
+  Result<ApproxResult> ExecuteWithErrorBound(const QuerySpec& query,
+                                             double target_relative_error);
+
+  /// Time-bounded execution (BlinkDB's other constraint type: "queries with
+  /// response time ... constraints"): picks the largest stored sample whose
+  /// predicted scan cost fits `budget_seconds` under the engine's
+  /// throughput model (`EngineOptions::rows_per_second`), then runs the
+  /// diagnosed pipeline on it. Falls back to the smallest sample when none
+  /// fits.
+  Result<ApproxResult> ExecuteWithTimeBound(const QuerySpec& query,
+                                            double budget_seconds);
+
+  /// Persists every uniform sample of every table to `directory` (one
+  /// binary table file per sample plus a manifest), so samples survive
+  /// restarts — sampling terabytes is the expensive step in production.
+  Status SaveSamples(const std::string& directory) const;
+
+  /// Loads samples previously written by SaveSamples. Tables referenced by
+  /// the manifest must already be registered (for population row counts).
+  Status LoadSamples(const std::string& directory);
+
+  const Catalog& catalog() const { return catalog_; }
+  const SampleStore& samples() const { return samples_; }
+  const EngineOptions& options() const { return options_; }
+
+ private:
+  /// The sample a query runs on, after runtime sample selection.
+  struct ResolvedSample {
+    /// Materialized data to execute against (a uniform sample, or one
+    /// stratum of a stratified sample).
+    std::shared_ptr<const Table> data;
+    int64_t population_rows = 0;
+    /// Query with any filter conjunct already answered by the sample choice
+    /// removed (e.g. the `city = 'NYC'` equality when the NYC stratum was
+    /// selected).
+    QuerySpec effective_query;
+  };
+
+  /// Picks the best stored sample for `query`: a stratified stratum when an
+  /// equality filter matches a stratified column, else the default uniform
+  /// sample.
+  Result<ResolvedSample> ResolveSample(const QuerySpec& query);
+
+  Result<ApproxResult> FallBack(const QuerySpec& query, ApproxResult result);
+
+  EngineOptions options_;
+  Catalog catalog_;
+  SampleStore samples_;
+  /// Stratified samples per table (at most one per (table, column)).
+  std::unordered_map<std::string, std::vector<StratifiedSample>> stratified_;
+  ClosedFormEstimator closed_form_;
+  BootstrapEstimator bootstrap_;
+  Rng rng_;
+};
+
+}  // namespace aqp
+
+#endif  // AQP_CORE_ENGINE_H_

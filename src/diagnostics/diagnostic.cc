@@ -1,0 +1,262 @@
+#include "diagnostics/diagnostic.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "exec/executor.h"
+#include "util/logging.h"
+#include "util/stats.h"
+
+namespace aqp {
+
+std::vector<int64_t> DefaultSubsampleSizes(int64_t sample_rows, int p, int k) {
+  AQP_CHECK(p > 0 && k > 0);
+  std::vector<int64_t> sizes(static_cast<size_t>(k));
+  int64_t top = std::max<int64_t>(sample_rows / p, 2);
+  for (int i = k - 1; i >= 0; --i) {
+    sizes[static_cast<size_t>(i)] = std::max<int64_t>(top, 2);
+    top /= 2;
+  }
+  // Enforce strictly increasing sizes after the floor at 2.
+  for (size_t i = 1; i < sizes.size(); ++i) {
+    if (sizes[i] <= sizes[i - 1]) sizes[i] = sizes[i - 1] + 1;
+  }
+  return sizes;
+}
+
+namespace {
+
+/// Relative statistic guard: when the true half-width x_i is zero, a zero
+/// estimate is a perfect match and anything else is a gross miss.
+double RelativeTo(double value, double reference) {
+  if (reference == 0.0) return value == 0.0 ? 0.0 : 1e9;
+  return value / reference;
+}
+
+}  // namespace
+
+namespace diag_internal {
+
+Result<std::vector<int64_t>> ResolveSubsampleSizes(
+    const DiagnosticConfig& config, int64_t sample_rows) {
+  if (sample_rows < 4) {
+    return Status::InvalidArgument("sample too small for diagnosis");
+  }
+  std::vector<int64_t> sizes = config.subsample_sizes;
+  if (sizes.empty()) {
+    sizes = DefaultSubsampleSizes(sample_rows, config.num_subsamples,
+                                  config.num_sizes);
+  }
+  if (!std::is_sorted(sizes.begin(), sizes.end())) {
+    return Status::InvalidArgument("subsample sizes must be increasing");
+  }
+  for (int64_t b : sizes) {
+    if (b < 2 || b > sample_rows) {
+      return Status::InvalidArgument(
+          "subsample size " + std::to_string(b) + " invalid for sample of " +
+          std::to_string(sample_rows) + " rows");
+    }
+    if (sample_rows / b < 10) {
+      return Status::InvalidArgument(
+          "subsample size " + std::to_string(b) + " leaves only " +
+          std::to_string(sample_rows / b) + " disjoint subsamples");
+    }
+  }
+  return sizes;
+}
+
+DiagnosticSizeStats ComputeSizeStats(const std::vector<double>& thetas,
+                                     const std::vector<double>& half_widths,
+                                     double t, int64_t subsample_size,
+                                     const DiagnosticConfig& config) {
+  DiagnosticSizeStats stats;
+  stats.subsample_size = subsample_size;
+  stats.num_subsamples = static_cast<int>(thetas.size());
+  // x_i: smallest symmetric interval around theta(S) covering alpha of the
+  // subsample theta distribution.
+  stats.true_half_width =
+      SmallestSymmetricCoverRadius(thetas, t, config.alpha);
+  double mean_hw = Mean(half_widths);
+  stats.mean_deviation =
+      std::abs(RelativeTo(mean_hw, stats.true_half_width) - 1.0);
+  if (stats.true_half_width == 0.0) {
+    stats.mean_deviation = mean_hw == 0.0 ? 0.0 : 1e9;
+  }
+  stats.spread =
+      RelativeTo(SampleStddev(half_widths), stats.true_half_width);
+  int close = 0;
+  for (double hw : half_widths) {
+    double rel = stats.true_half_width == 0.0
+                     ? (hw == 0.0 ? 0.0 : 1e9)
+                     : std::abs(hw - stats.true_half_width) /
+                           stats.true_half_width;
+    if (rel <= config.c3) ++close;
+  }
+  stats.close_fraction =
+      static_cast<double>(close) / static_cast<double>(half_widths.size());
+  return stats;
+}
+
+void ApplyAcceptanceCriteria(DiagnosticReport& report,
+                             const DiagnosticConfig& config) {
+  // Acceptance criteria: deviations and spreads decreasing or small for
+  // every i >= 2, and most estimates close at the largest size.
+  bool all_acceptable = true;
+  for (size_t i = 1; i < report.per_size.size(); ++i) {
+    DiagnosticSizeStats& cur = report.per_size[i];
+    const DiagnosticSizeStats& prev = report.per_size[i - 1];
+    cur.deviation_acceptable = cur.mean_deviation < prev.mean_deviation ||
+                               cur.mean_deviation < config.c1;
+    cur.spread_acceptable =
+        cur.spread < prev.spread || cur.spread < config.c2;
+    all_acceptable =
+        all_acceptable && cur.deviation_acceptable && cur.spread_acceptable;
+  }
+  report.final_proportion_acceptable =
+      !report.per_size.empty() &&
+      report.per_size.back().close_fraction >= config.rho;
+  report.accepted = all_acceptable && report.final_proportion_acceptable;
+}
+
+}  // namespace diag_internal
+
+Result<DiagnosticReport> RunDiagnostic(const Table& sample,
+                                       const QuerySpec& query,
+                                       const ErrorEstimator& estimator,
+                                       int64_t population_rows,
+                                       const DiagnosticConfig& config,
+                                       Rng& rng) {
+  if (!estimator.Applicable(query)) {
+    return Status::InvalidArgument("estimator '" + estimator.name() +
+                                   "' not applicable to " + query.ToString());
+  }
+  int64_t n = sample.num_rows();
+  Result<std::vector<int64_t>> sizes =
+      diag_internal::ResolveSubsampleSizes(config, n);
+  if (!sizes.ok()) return sizes.status();
+
+  // t = theta(S): the best available estimate of theta(D).
+  double sample_scale = static_cast<double>(population_rows) /
+                        static_cast<double>(n);
+  Result<double> t = ExecutePlainAggregate(sample, query, sample_scale);
+  if (!t.ok()) return t.status();
+
+  DiagnosticReport report;
+  report.per_size.reserve(sizes->size());
+
+  for (int64_t b : *sizes) {
+    // Disjoint partitions of the (randomly ordered) sample are mutually
+    // independent simple random samples of D — the paper's key observation.
+    int p = static_cast<int>(std::min<int64_t>(config.num_subsamples, n / b));
+    double subsample_scale = static_cast<double>(population_rows) /
+                             static_cast<double>(b);
+
+    std::vector<double> thetas;       // t̂_ij
+    std::vector<double> half_widths;  // x̂_ij
+    thetas.reserve(static_cast<size_t>(p));
+    half_widths.reserve(static_cast<size_t>(p));
+    for (int j = 0; j < p; ++j) {
+      Table subsample = sample.SliceRows(j * b, (j + 1) * b);
+      Result<double> theta =
+          ExecutePlainAggregate(subsample, query, subsample_scale);
+      Result<ConfidenceInterval> ci = estimator.Estimate(
+          subsample, query, subsample_scale, config.alpha, rng);
+      ++report.total_subqueries;
+      if (!theta.ok() || !ci.ok()) continue;  // Degenerate subsample.
+      thetas.push_back(*theta);
+      half_widths.push_back(ci->half_width);
+    }
+    if (thetas.size() < 10) {
+      return Status::FailedPrecondition(
+          "too few subsamples produced values at size " + std::to_string(b));
+    }
+    report.per_size.push_back(
+        diag_internal::ComputeSizeStats(thetas, half_widths, *t, b, config));
+  }
+
+  diag_internal::ApplyAcceptanceCriteria(report, config);
+  return report;
+}
+
+Result<DiagnosticReport> RunDiagnosticConsolidated(
+    const Table& sample, const QuerySpec& query,
+    const ErrorEstimator& estimator, int64_t population_rows,
+    const DiagnosticConfig& config, Rng& rng) {
+  if (!estimator.Applicable(query)) {
+    return Status::InvalidArgument("estimator '" + estimator.name() +
+                                   "' not applicable to " + query.ToString());
+  }
+  int64_t n = sample.num_rows();
+  Result<std::vector<int64_t>> sizes =
+      diag_internal::ResolveSubsampleSizes(config, n);
+  if (!sizes.ok()) return sizes.status();
+
+  // The single pass of scan consolidation: filter + projection evaluated
+  // once over the whole sample. prepared.rows is ascending by construction,
+  // so each subsample's passing rows form a contiguous run.
+  Result<PreparedQuery> prepared = PrepareQuery(sample, query);
+  if (!prepared.ok()) return prepared.status();
+
+  double sample_scale = static_cast<double>(population_rows) /
+                        static_cast<double>(n);
+  Result<double> t =
+      ComputeAggregate(*prepared, query.aggregate, sample_scale);
+  if (!t.ok()) return t.status();
+
+  DiagnosticReport report;
+  report.per_size.reserve(sizes->size());
+  for (int64_t b : *sizes) {
+    int p = static_cast<int>(std::min<int64_t>(config.num_subsamples, n / b));
+    double subsample_scale = static_cast<double>(population_rows) /
+                             static_cast<double>(b);
+
+    std::vector<double> thetas;
+    std::vector<double> half_widths;
+    thetas.reserve(static_cast<size_t>(p));
+    half_widths.reserve(static_cast<size_t>(p));
+    size_t cursor = 0;  // Index into prepared.rows, advanced monotonically.
+    for (int j = 0; j < p; ++j) {
+      int64_t row_end = (static_cast<int64_t>(j) + 1) * b;
+      size_t first = cursor;
+      while (cursor < prepared->rows.size() &&
+             prepared->rows[cursor] < row_end) {
+        ++cursor;
+      }
+      // Slice of the prepared data belonging to this subsample.
+      PreparedQuery sub;
+      sub.table_rows = b;
+      sub.rows.assign(prepared->rows.begin() + static_cast<int64_t>(first),
+                      prepared->rows.begin() + static_cast<int64_t>(cursor));
+      if (!prepared->values.empty()) {
+        sub.values.assign(
+            prepared->values.begin() + static_cast<int64_t>(first),
+            prepared->values.begin() + static_cast<int64_t>(cursor));
+      }
+      Result<double> theta =
+          ComputeAggregate(sub, query.aggregate, subsample_scale);
+      Result<ConfidenceInterval> ci = estimator.EstimateFromPrepared(
+          sub, query.aggregate, subsample_scale, config.alpha, rng);
+      if (ci.status().code() == StatusCode::kUnimplemented) {
+        // Estimator lacks a prepared-query path: use the reference
+        // implementation instead.
+        return RunDiagnostic(sample, query, estimator, population_rows,
+                             config, rng);
+      }
+      ++report.total_subqueries;
+      if (!theta.ok() || !ci.ok()) continue;
+      thetas.push_back(*theta);
+      half_widths.push_back(ci->half_width);
+    }
+    if (thetas.size() < 10) {
+      return Status::FailedPrecondition(
+          "too few subsamples produced values at size " + std::to_string(b));
+    }
+    report.per_size.push_back(
+        diag_internal::ComputeSizeStats(thetas, half_widths, *t, b, config));
+  }
+
+  diag_internal::ApplyAcceptanceCriteria(report, config);
+  return report;
+}
+
+}  // namespace aqp

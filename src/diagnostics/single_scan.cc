@@ -1,0 +1,201 @@
+#include "diagnostics/single_scan.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "exec/aggregate.h"
+#include "exec/executor.h"
+#include "sampling/poisson_resample.h"
+#include "util/normal.h"
+#include "util/stats.h"
+
+namespace aqp {
+namespace {
+
+/// Replicate accumulators for one resampled estimate group (the bootstrap
+/// replicates of the full sample, or of one diagnostic subsample).
+struct ReplicateGroup {
+  std::vector<WeightedAccumulator> accumulators;
+  /// Rows of the underlying (sub)sample, for the COUNT/SUM size
+  /// conditioning.
+  int64_t base_rows = 0;
+  /// Passing rows seen, to derive the non-passing count at finalize time.
+  int64_t passing_rows = 0;
+
+  ReplicateGroup(int replicates, AggregateKind kind, int64_t rows)
+      : accumulators(static_cast<size_t>(replicates),
+                     WeightedAccumulator(kind)),
+        base_rows(rows) {}
+
+  void Add(double value, Rng& rng) {
+    ++passing_rows;
+    for (WeightedAccumulator& acc : accumulators) {
+      int32_t w = PoissonOneWeight(rng);
+      if (w > 0) acc.Add(value, static_cast<double>(w));
+    }
+  }
+
+  /// Finalizes all replicates, applying the Hájek size conditioning for
+  /// COUNT/SUM (see MultiResampleStreaming in exec/executor.cc).
+  std::vector<double> Finalize(AggregateKind kind, double scale_factor,
+                               Rng& rng) const {
+    bool size_scaled =
+        kind == AggregateKind::kCount || kind == AggregateKind::kSum;
+    double non_passing = static_cast<double>(base_rows - passing_rows);
+    std::vector<double> thetas;
+    thetas.reserve(accumulators.size());
+    for (const WeightedAccumulator& acc : accumulators) {
+      Result<double> theta = acc.Finalize(scale_factor);
+      if (!theta.ok()) continue;
+      double value = *theta;
+      if (size_scaled && base_rows > 0) {
+        double resample_size =
+            acc.weight_sum() +
+            static_cast<double>(rng.NextPoisson(non_passing));
+        if (resample_size > 0.0) {
+          value *= static_cast<double>(base_rows) / resample_size;
+        }
+      }
+      thetas.push_back(value);
+    }
+    return thetas;
+  }
+};
+
+/// CI readout from a replicate distribution (mirrors BootstrapEstimator).
+Result<ConfidenceInterval> ReadCi(const std::vector<double>& replicates,
+                                  double center, double alpha,
+                                  BootstrapCiMode mode) {
+  if (replicates.size() < 2) {
+    return Status::FailedPrecondition(
+        "bootstrap produced fewer than 2 valid replicates");
+  }
+  ConfidenceInterval ci;
+  ci.center = center;
+  if (mode == BootstrapCiMode::kNormalApprox) {
+    ci.half_width = TwoSidedNormalCritical(alpha) * SampleStddev(replicates);
+  } else {
+    ci.half_width = SmallestSymmetricCoverRadius(replicates, center, alpha);
+  }
+  if (ci.half_width < 1e-9 * std::abs(ci.center)) ci.half_width = 0.0;
+  return ci;
+}
+
+}  // namespace
+
+Result<SingleScanResult> RunSingleScanPipeline(
+    const Table& sample, const QuerySpec& query, int64_t population_rows,
+    int bootstrap_replicates, int diag_replicates,
+    const DiagnosticConfig& config, BootstrapCiMode mode, Rng& rng) {
+  if (bootstrap_replicates < 2 || diag_replicates < 2) {
+    return Status::InvalidArgument("need >= 2 replicates");
+  }
+  if (!WeightedAccumulator::SupportsKind(query.aggregate.kind)) {
+    return Status::InvalidArgument(
+        std::string(AggregateKindName(query.aggregate.kind)) +
+        " is not a streaming aggregate; use the two-pass pipeline");
+  }
+  int64_t n = sample.num_rows();
+  Result<std::vector<int64_t>> sizes =
+      diag_internal::ResolveSubsampleSizes(config, n);
+  if (!sizes.ok()) return sizes.status();
+
+  // --- The single scan: filter + projection once. -------------------------
+  Result<PreparedQuery> prepared = PrepareQuery(sample, query);
+  if (!prepared.ok()) return prepared.status();
+
+  // Per-size partition geometry and subsample state.
+  size_t num_sizes = sizes->size();
+  std::vector<int> subsamples_per_size(num_sizes);
+  std::vector<std::vector<ReplicateGroup>> diag_groups(num_sizes);
+  std::vector<std::vector<WeightedAccumulator>> diag_plain(num_sizes);
+  std::vector<std::vector<int64_t>> diag_plain_rows(num_sizes);
+  for (size_t i = 0; i < num_sizes; ++i) {
+    int64_t b = (*sizes)[i];
+    int p = static_cast<int>(std::min<int64_t>(config.num_subsamples, n / b));
+    subsamples_per_size[i] = p;
+    diag_groups[i].reserve(static_cast<size_t>(p));
+    for (int j = 0; j < p; ++j) {
+      diag_groups[i].emplace_back(diag_replicates, query.aggregate.kind, b);
+    }
+    diag_plain[i].assign(static_cast<size_t>(p),
+                         WeightedAccumulator(query.aggregate.kind));
+    diag_plain_rows[i].assign(static_cast<size_t>(p), 0);
+  }
+  ReplicateGroup bootstrap_group(bootstrap_replicates, query.aggregate.kind,
+                                 n);
+  WeightedAccumulator plain(query.aggregate.kind);
+
+  bool has_input = query.aggregate.input != nullptr;
+  for (size_t idx = 0; idx < prepared->rows.size(); ++idx) {
+    int64_t row = prepared->rows[idx];
+    double value = has_input ? prepared->values[idx] : 0.0;
+    // The plain answer and the K bootstrap replicates.
+    plain.Add(value, 1.0);
+    bootstrap_group.Add(value, rng);
+    // One diagnostic subsample per size class holds this row; that
+    // subsample's plain estimate and K' replicates all see it. This is the
+    // row's Da/Db/Dc weight set from Fig. 6(a).
+    for (size_t i = 0; i < num_sizes; ++i) {
+      int64_t j = row / (*sizes)[i];
+      if (j >= subsamples_per_size[i]) continue;
+      diag_plain[i][static_cast<size_t>(j)].Add(value, 1.0);
+      ++diag_plain_rows[i][static_cast<size_t>(j)];
+      diag_groups[i][static_cast<size_t>(j)].Add(value, rng);
+    }
+  }
+
+  // --- Finalize: answer + CI. ----------------------------------------------
+  double sample_scale =
+      static_cast<double>(population_rows) / static_cast<double>(n);
+  Result<double> theta = plain.Finalize(sample_scale);
+  if (!theta.ok()) return theta.status();
+  SingleScanResult result;
+  result.theta = *theta;
+  // The plain COUNT/SUM estimate needs no conditioning, but the replicates
+  // do; reuse the group's finalize for them.
+  std::vector<double> bootstrap_thetas =
+      bootstrap_group.Finalize(query.aggregate.kind, sample_scale, rng);
+  Result<ConfidenceInterval> ci =
+      ReadCi(bootstrap_thetas, *theta, config.alpha, mode);
+  if (!ci.ok()) return ci.status();
+  result.ci = *ci;
+
+  // --- Finalize: diagnostic stats per size. --------------------------------
+  result.diagnostic.per_size.reserve(num_sizes);
+  for (size_t i = 0; i < num_sizes; ++i) {
+    int64_t b = (*sizes)[i];
+    double subsample_scale =
+        static_cast<double>(population_rows) / static_cast<double>(b);
+    std::vector<double> thetas;
+    std::vector<double> half_widths;
+    for (int j = 0; j < subsamples_per_size[i]; ++j) {
+      result.diagnostic.total_subqueries += 1;
+      Result<double> sub_theta =
+          diag_plain[i][static_cast<size_t>(j)].Finalize(subsample_scale);
+      if (!sub_theta.ok()) continue;
+      double sub_value = *sub_theta;
+      // Plain COUNT/SUM over a subsample scale by b / passing-rows already
+      // handled by Finalize(scale); nothing extra needed (weights are 1).
+      std::vector<double> replicate_thetas =
+          diag_groups[i][static_cast<size_t>(j)].Finalize(
+              query.aggregate.kind, subsample_scale, rng);
+      Result<ConfidenceInterval> sub_ci =
+          ReadCi(replicate_thetas, sub_value, config.alpha, mode);
+      if (!sub_ci.ok()) continue;
+      thetas.push_back(sub_value);
+      half_widths.push_back(sub_ci->half_width);
+    }
+    if (thetas.size() < 10) {
+      return Status::FailedPrecondition(
+          "too few subsamples produced values at size " + std::to_string(b));
+    }
+    result.diagnostic.per_size.push_back(diag_internal::ComputeSizeStats(
+        thetas, half_widths, *theta, b, config));
+  }
+  diag_internal::ApplyAcceptanceCriteria(result.diagnostic, config);
+  return result;
+}
+
+}  // namespace aqp

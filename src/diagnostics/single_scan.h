@@ -1,0 +1,49 @@
+#ifndef AQP_DIAGNOSTICS_SINGLE_SCAN_H_
+#define AQP_DIAGNOSTICS_SINGLE_SCAN_H_
+
+#include "diagnostics/diagnostic.h"
+#include "estimation/bootstrap.h"
+#include "estimation/confidence_interval.h"
+#include "exec/query_spec.h"
+#include "storage/table.h"
+#include "util/random.h"
+#include "util/status.h"
+
+namespace aqp {
+
+/// Everything the error-estimation pipeline produces for one query, from
+/// one scan.
+struct SingleScanResult {
+  /// θ(S), the approximate answer.
+  double theta = 0.0;
+  /// Bootstrap confidence interval around θ(S).
+  ConfidenceInterval ci;
+  /// Algorithm 1's verdict and evidence.
+  DiagnosticReport diagnostic;
+};
+
+/// The full §5.3.1 execution: ONE pass over the sample computes the
+/// approximate answer, all K bootstrap replicates, and every diagnostic
+/// subsample's plain estimate and bootstrap replicates — the in-memory
+/// equivalent of a scan that fans out S1..S_K bootstrap weight columns plus
+/// Da/Db/Dc diagnostic weight sets (paper Fig. 6(a)). With the defaults
+/// (K = 100, k = 3 sizes × K' = 100 replicates) each passing row feeds 400
+/// weight draws, exactly the paper's 400 weight columns.
+///
+/// Restricted to streaming aggregates (COUNT, SUM, AVG, VARIANCE, STDEV,
+/// MIN, MAX); PERCENTILE needs the sort-based path and is rejected with
+/// InvalidArgument — use BootstrapEstimator + RunDiagnosticConsolidated for
+/// it (two logical passes, still one filter evaluation each).
+///
+/// Statistically equivalent to running BootstrapEstimator::Estimate plus
+/// RunDiagnosticConsolidated with a bootstrap ξ of `diag_replicates`;
+/// exists because it does the whole job in one pass and because it is the
+/// faithful implementation of the paper's weight-column fan-out.
+Result<SingleScanResult> RunSingleScanPipeline(
+    const Table& sample, const QuerySpec& query, int64_t population_rows,
+    int bootstrap_replicates, int diag_replicates,
+    const DiagnosticConfig& config, BootstrapCiMode mode, Rng& rng);
+
+}  // namespace aqp
+
+#endif  // AQP_DIAGNOSTICS_SINGLE_SCAN_H_

@@ -1,0 +1,47 @@
+#include "estimation/bootstrap.h"
+
+#include <cmath>
+
+#include "exec/executor.h"
+#include "util/normal.h"
+#include "util/stats.h"
+
+namespace aqp {
+
+Result<ConfidenceInterval> BootstrapEstimator::Estimate(
+    const Table& sample, const QuerySpec& query, double scale_factor,
+    double alpha, Rng& rng) const {
+  Result<PreparedQuery> prepared = PrepareQuery(sample, query);
+  if (!prepared.ok()) return prepared.status();
+  return EstimateFromPrepared(*prepared, query.aggregate, scale_factor,
+                              alpha, rng);
+}
+
+Result<ConfidenceInterval> BootstrapEstimator::EstimateFromPrepared(
+    const PreparedQuery& prepared, const AggregateSpec& aggregate,
+    double scale_factor, double alpha, Rng& rng) const {
+  Result<double> theta = ComputeAggregate(prepared, aggregate, scale_factor);
+  if (!theta.ok()) return theta.status();
+  Result<std::vector<double>> replicates = MultiResampleFromPrepared(
+      prepared, aggregate, scale_factor, num_resamples_, rng);
+  if (!replicates.ok()) return replicates.status();
+  if (replicates->size() < 2) {
+    return Status::FailedPrecondition(
+        "bootstrap produced fewer than 2 valid replicates");
+  }
+  ConfidenceInterval ci;
+  ci.center = *theta;
+  if (mode_ == BootstrapCiMode::kNormalApprox) {
+    ci.half_width = TwoSidedNormalCritical(alpha) * SampleStddev(*replicates);
+  } else {
+    ci.half_width =
+        SmallestSymmetricCoverRadius(*replicates, *theta, alpha);
+  }
+  // Snap floating-point residue to an exact zero: deterministic aggregates
+  // (e.g. unfiltered COUNT under size-conditioned resampling) produce
+  // replicates equal to theta up to rounding.
+  if (ci.half_width < 1e-9 * std::abs(ci.center)) ci.half_width = 0.0;
+  return ci;
+}
+
+}  // namespace aqp

@@ -1,0 +1,124 @@
+#include "estimation/closed_form.h"
+
+#include <cmath>
+
+#include "exec/executor.h"
+#include "util/normal.h"
+#include "util/stats.h"
+
+namespace aqp {
+namespace {
+
+/// Central moments of the passing values.
+struct Moments {
+  double m = 0.0;   // count of passing rows
+  double mean = 0.0;
+  double m2 = 0.0;  // sum of squared deviations
+  double m4 = 0.0;  // sum of 4th-power deviations
+};
+
+Moments ComputeMoments(const std::vector<double>& values) {
+  Moments mo;
+  mo.m = static_cast<double>(values.size());
+  if (values.empty()) return mo;
+  mo.mean = Mean(values);
+  for (double v : values) {
+    double d = v - mo.mean;
+    mo.m2 += d * d;
+    mo.m4 += d * d * d * d;
+  }
+  return mo;
+}
+
+}  // namespace
+
+Result<ConfidenceInterval> ClosedFormEstimator::Estimate(
+    const Table& sample, const QuerySpec& query, double scale_factor,
+    double alpha, Rng& rng) const {
+  if (!Applicable(query)) {
+    return Status::InvalidArgument(
+        "closed-form estimation not applicable to " + query.ToString());
+  }
+  Result<PreparedQuery> prepared = PrepareQuery(sample, query);
+  if (!prepared.ok()) return prepared.status();
+  return EstimateFromPrepared(*prepared, query.aggregate, scale_factor,
+                              alpha, rng);
+}
+
+Result<ConfidenceInterval> ClosedFormEstimator::EstimateFromPrepared(
+    const PreparedQuery& prepared_in, const AggregateSpec& aggregate,
+    double scale_factor, double alpha, Rng& /*rng*/) const {
+  const PreparedQuery* prepared = &prepared_in;
+  Result<double> theta = ComputeAggregate(*prepared, aggregate,
+                                          scale_factor);
+  if (!theta.ok()) return theta.status();
+
+  double n = static_cast<double>(prepared->table_rows);
+  double m = static_cast<double>(prepared->rows.size());
+  double z = TwoSidedNormalCritical(alpha);
+
+  double se = 0.0;
+  switch (aggregate.kind) {
+    case AggregateKind::kAvg: {
+      if (m < 2) return Status::FailedPrecondition("AVG needs >= 2 rows");
+      double s2 = SampleVariance(prepared->values);
+      se = std::sqrt(s2 / m);
+      break;
+    }
+    case AggregateKind::kCount: {
+      if (n < 1) return Status::FailedPrecondition("empty sample");
+      double p = m / n;
+      se = scale_factor * std::sqrt(n * p * (1.0 - p));
+      break;
+    }
+    case AggregateKind::kSum: {
+      if (n < 2) return Status::FailedPrecondition("SUM needs >= 2 rows");
+      // Per-sample-row variable y_i = v_i * 1[pass]; theta = scale * n *
+      // mean(y). Compute Var(y) including the zeros of non-passing rows.
+      double sum = 0.0;
+      double sum_sq = 0.0;
+      for (double v : prepared->values) {
+        sum += v;
+        sum_sq += v * v;
+      }
+      double mean_y = sum / n;
+      double var_y = (sum_sq - n * mean_y * mean_y) / (n - 1.0);
+      if (var_y < 0.0) var_y = 0.0;
+      se = scale_factor * std::sqrt(n * var_y);
+      break;
+    }
+    case AggregateKind::kVariance: {
+      if (m < 2) return Status::FailedPrecondition("VARIANCE needs >= 2 rows");
+      Moments mo = ComputeMoments(prepared->values);
+      double s2 = mo.m2 / (mo.m - 1.0);
+      double mu4 = mo.m4 / mo.m;
+      double var_s2 = (mu4 - s2 * s2) / mo.m;
+      if (var_s2 < 0.0) var_s2 = 0.0;
+      se = std::sqrt(var_s2);
+      break;
+    }
+    case AggregateKind::kStddev: {
+      if (m < 2) return Status::FailedPrecondition("STDEV needs >= 2 rows");
+      Moments mo = ComputeMoments(prepared->values);
+      double s2 = mo.m2 / (mo.m - 1.0);
+      double s = std::sqrt(s2);
+      double mu4 = mo.m4 / mo.m;
+      double var_s2 = (mu4 - s2 * s2) / mo.m;
+      if (var_s2 < 0.0) var_s2 = 0.0;
+      // Delta method: Var(s) ~= Var(s^2) / (4 s^2).
+      se = s > 0.0 ? std::sqrt(var_s2) / (2.0 * s) : 0.0;
+      break;
+    }
+    default:
+      return Status::InvalidArgument(
+          std::string("no closed form for ") +
+          AggregateKindName(aggregate.kind));
+  }
+
+  ConfidenceInterval ci;
+  ci.center = *theta;
+  ci.half_width = z * se;
+  return ci;
+}
+
+}  // namespace aqp

@@ -1,0 +1,43 @@
+#ifndef AQP_ESTIMATION_CLOSED_FORM_H_
+#define AQP_ESTIMATION_CLOSED_FORM_H_
+
+#include "estimation/error_estimator.h"
+
+namespace aqp {
+
+/// Closed-form CLT-based error estimation (paper §2.3.2): approximates the
+/// sampling distribution of θ(S) by N(θ(S), σ²) with σ² estimated by an
+/// aggregate-specific formula derived by manual analysis:
+///
+///   AVG       σ² = s²/m                        (m = passing rows)
+///   COUNT     σ² = scale² · n · p(1-p)          (p = pass fraction)
+///   SUM       σ² = scale² · n · Var(v·1[pass])  (over all n sample rows)
+///   VARIANCE  σ² = (m₄ − s⁴)/m                 (asymptotic var of s²)
+///   STDEV     delta method: σ(s) = σ(s²)/(2s)
+///
+/// Not applicable to MIN/MAX/PERCENTILE or UDF queries — that restriction is
+/// exactly why the paper needs the bootstrap and the diagnostic.
+class ClosedFormEstimator final : public ErrorEstimator {
+ public:
+  std::string name() const override { return "closed-form"; }
+
+  bool Applicable(const QuerySpec& query) const override {
+    return query.ClosedFormApplicable();
+  }
+
+  Result<ConfidenceInterval> Estimate(const Table& sample,
+                                      const QuerySpec& query,
+                                      double scale_factor, double alpha,
+                                      Rng& rng) const override;
+
+  /// Prepared-query path (enables the scan-consolidated diagnostic).
+  /// The caller is responsible for the UDF-applicability taxonomy; this
+  /// checks only that the aggregate kind has a known formula.
+  Result<ConfidenceInterval> EstimateFromPrepared(
+      const PreparedQuery& prepared, const AggregateSpec& aggregate,
+      double scale_factor, double alpha, Rng& rng) const override;
+};
+
+}  // namespace aqp
+
+#endif  // AQP_ESTIMATION_CLOSED_FORM_H_

@@ -1,0 +1,31 @@
+#ifndef AQP_ESTIMATION_CONFIDENCE_INTERVAL_H_
+#define AQP_ESTIMATION_CONFIDENCE_INTERVAL_H_
+
+namespace aqp {
+
+/// A symmetric centered confidence interval [center - half_width,
+/// center + half_width] (paper §2.2). The half-width is the quantity the
+/// paper's δ metric and the diagnostic's x̂ statistics compare.
+struct ConfidenceInterval {
+  double center = 0.0;
+  double half_width = 0.0;
+
+  double lo() const { return center - half_width; }
+  double hi() const { return center + half_width; }
+  double width() const { return 2.0 * half_width; }
+  bool Contains(double value) const {
+    return value >= lo() && value <= hi();
+  }
+};
+
+/// The paper's interval-accuracy metric for one estimate:
+/// δ = (estimated width − true width) / true width.
+/// δ > 0.2 ⇒ pessimistic (too wide); δ < −0.2 ⇒ optimistic (too narrow).
+/// (See DESIGN.md for the sign-convention note.) Returns 0 when the true
+/// width is 0 and the estimate matches, and +/-inf-free saturation
+/// otherwise.
+double IntervalDelta(double estimated_half_width, double true_half_width);
+
+}  // namespace aqp
+
+#endif  // AQP_ESTIMATION_CONFIDENCE_INTERVAL_H_

@@ -1,0 +1,59 @@
+#ifndef AQP_ESTIMATION_ERROR_ESTIMATOR_H_
+#define AQP_ESTIMATION_ERROR_ESTIMATOR_H_
+
+#include <string>
+
+#include "estimation/confidence_interval.h"
+#include "exec/executor.h"
+#include "exec/query_spec.h"
+#include "storage/table.h"
+#include "util/random.h"
+#include "util/status.h"
+
+namespace aqp {
+
+/// The ξ of the paper: a procedure that, given a sample, a query θ, and a
+/// coverage level α, produces a symmetric centered confidence interval
+/// estimate for θ(D). Implementations: closed-form CLT, nonparametric
+/// bootstrap, large-deviation bounds. The diagnostic (Algorithm 1) is generic
+/// over this interface — that genericity is contribution #2 of the paper.
+class ErrorEstimator {
+ public:
+  virtual ~ErrorEstimator() = default;
+
+  /// Short display name ("closed-form", "bootstrap", "hoeffding").
+  virtual std::string name() const = 0;
+
+  /// True if this estimator can handle the query's aggregate at all.
+  virtual bool Applicable(const QuerySpec& query) const = 0;
+
+  /// Estimates the confidence interval from `sample` alone. `scale_factor`
+  /// is |D|/|S| for SUM/COUNT scaling; `alpha` the desired coverage
+  /// (e.g. 0.95). `rng` is used by resampling-based estimators.
+  virtual Result<ConfidenceInterval> Estimate(const Table& sample,
+                                              const QuerySpec& query,
+                                              double scale_factor,
+                                              double alpha,
+                                              Rng& rng) const = 0;
+
+  /// Estimates the interval from an already-prepared query (filter and
+  /// aggregate input evaluated once, upstream). Implementations enable the
+  /// scan-consolidated diagnostic (§5.3.1), which prepares the sample a
+  /// single time and diagnoses from row-range slices. Default:
+  /// Unimplemented — callers fall back to Estimate().
+  virtual Result<ConfidenceInterval> EstimateFromPrepared(
+      const PreparedQuery& prepared, const AggregateSpec& aggregate,
+      double scale_factor, double alpha, Rng& rng) const {
+    (void)prepared;
+    (void)aggregate;
+    (void)scale_factor;
+    (void)alpha;
+    (void)rng;
+    return Status::Unimplemented(name() +
+                                 " has no prepared-query estimation path");
+  }
+};
+
+}  // namespace aqp
+
+#endif  // AQP_ESTIMATION_ERROR_ESTIMATOR_H_

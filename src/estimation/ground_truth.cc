@@ -1,0 +1,119 @@
+#include "estimation/ground_truth.h"
+
+#include <cmath>
+
+#include "estimation/confidence_interval.h"
+#include "exec/executor.h"
+#include "util/normal.h"
+#include "sampling/sampler.h"
+#include "util/stats.h"
+
+namespace aqp {
+
+double IntervalDelta(double estimated_half_width, double true_half_width) {
+  if (true_half_width == 0.0) {
+    return estimated_half_width == 0.0 ? 0.0 : 1e9;
+  }
+  return (estimated_half_width - true_half_width) / true_half_width;
+}
+
+Result<GroundTruth> ComputeGroundTruth(
+    const std::shared_ptr<const Table>& population, const QuerySpec& query,
+    double alpha, int64_t sample_rows, int num_samples, Rng& rng,
+    bool normal_approximation) {
+  if (population == nullptr) return Status::InvalidArgument("null population");
+  if (num_samples < 2) {
+    return Status::InvalidArgument("need >= 2 samples for ground truth");
+  }
+  GroundTruth truth;
+  Result<double> theta_d = ExecutePlainAggregate(*population, query, 1.0);
+  if (!theta_d.ok()) return theta_d.status();
+  truth.theta_d = *theta_d;
+
+  truth.sample_thetas.reserve(static_cast<size_t>(num_samples));
+  for (int i = 0; i < num_samples; ++i) {
+    Result<Sample> sample = CreateUniformSample(population, sample_rows,
+                                                /*with_replacement=*/true, rng);
+    if (!sample.ok()) return sample.status();
+    Result<double> theta = ExecutePlainAggregate(*sample->data, query,
+                                                 sample->scale_factor());
+    if (!theta.ok()) continue;  // e.g. filter matched no rows in this sample.
+    truth.sample_thetas.push_back(*theta);
+  }
+  if (truth.sample_thetas.size() < 2) {
+    return Status::FailedPrecondition(
+        "too few samples produced a value for " + query.ToString());
+  }
+  if (normal_approximation) {
+    truth.true_half_width =
+        TwoSidedNormalCritical(alpha) * SampleStddev(truth.sample_thetas);
+  } else {
+    truth.true_half_width = SmallestSymmetricCoverRadius(
+        truth.sample_thetas, truth.theta_d, alpha);
+  }
+  // Snap floating-point residue on deterministic aggregates to exact zero.
+  if (truth.true_half_width < 1e-9 * std::abs(truth.theta_d)) {
+    truth.true_half_width = 0.0;
+  }
+  return truth;
+}
+
+const char* EstimationOutcomeName(EstimationOutcome outcome) {
+  switch (outcome) {
+    case EstimationOutcome::kNotApplicable:
+      return "not-applicable";
+    case EstimationOutcome::kCorrect:
+      return "correct";
+    case EstimationOutcome::kOptimistic:
+      return "optimistic";
+    case EstimationOutcome::kPessimistic:
+      return "pessimistic";
+  }
+  return "unknown";
+}
+
+Result<EstimatorEvaluation> EvaluateEstimator(
+    const std::shared_ptr<const Table>& population, const QuerySpec& query,
+    const ErrorEstimator& estimator, const GroundTruth& truth, double alpha,
+    int64_t sample_rows, const EvaluationProtocol& protocol, Rng& rng) {
+  EstimatorEvaluation eval;
+  if (!estimator.Applicable(query)) {
+    eval.outcome = EstimationOutcome::kNotApplicable;
+    return eval;
+  }
+  eval.deltas.reserve(static_cast<size_t>(protocol.num_trials));
+  for (int t = 0; t < protocol.num_trials; ++t) {
+    Result<Sample> sample = CreateUniformSample(population, sample_rows,
+                                                /*with_replacement=*/true, rng);
+    if (!sample.ok()) return sample.status();
+    Result<ConfidenceInterval> ci = estimator.Estimate(
+        *sample->data, query, sample->scale_factor(), alpha, rng);
+    if (!ci.ok()) continue;  // Degenerate sample for this query; skip trial.
+    eval.deltas.push_back(IntervalDelta(ci->half_width,
+                                        truth.true_half_width));
+  }
+  if (eval.deltas.empty()) {
+    eval.outcome = EstimationOutcome::kNotApplicable;
+    return eval;
+  }
+  int optimistic = 0;
+  int pessimistic = 0;
+  for (double d : eval.deltas) {
+    if (d < -protocol.delta_threshold) ++optimistic;
+    if (d > protocol.delta_threshold) ++pessimistic;
+  }
+  double n = static_cast<double>(eval.deltas.size());
+  eval.frac_optimistic = optimistic / n;
+  eval.frac_pessimistic = pessimistic / n;
+  // Optimism is the worse failure (misleads the user), so it wins ties.
+  if (eval.frac_optimistic >= protocol.failure_fraction) {
+    eval.outcome = EstimationOutcome::kOptimistic;
+  } else if (eval.frac_pessimistic >= protocol.failure_fraction) {
+    eval.outcome = EstimationOutcome::kPessimistic;
+  } else {
+    eval.outcome = EstimationOutcome::kCorrect;
+  }
+  return eval;
+}
+
+}  // namespace aqp

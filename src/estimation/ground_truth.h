@@ -1,0 +1,78 @@
+#ifndef AQP_ESTIMATION_GROUND_TRUTH_H_
+#define AQP_ESTIMATION_GROUND_TRUTH_H_
+
+#include <memory>
+#include <vector>
+
+#include "estimation/error_estimator.h"
+#include "exec/query_spec.h"
+#include "storage/table.h"
+#include "util/random.h"
+#include "util/status.h"
+
+namespace aqp {
+
+/// The "true confidence interval" of paper §2.2: the (deterministic)
+/// symmetric interval centered on θ(D) covering a proportion α of the actual
+/// sampling distribution Dist(θ(S)), obtained by brute force — repeatedly
+/// sampling D and computing θ. Expensive by design; this is the evaluation
+/// oracle, not a production code path.
+struct GroundTruth {
+  /// θ(D), the exact answer.
+  double theta_d = 0.0;
+  /// Half-width of the true confidence interval.
+  double true_half_width = 0.0;
+  /// The θ(S) draws used (size = num_samples).
+  std::vector<double> sample_thetas;
+};
+
+/// Computes ground truth for `query` at sample size `sample_rows`, using
+/// `num_samples` independent samples of D.
+///
+/// `normal_approximation` selects how the true radius is read off the
+/// empirical Dist(theta(S)): false = the literal §2.2 smallest symmetric
+/// covering interval (noise ~0.37/sqrt(num_samples/100) relative); true =
+/// z_alpha * stddev of the sample thetas (noise ~1/sqrt(2 num_samples)),
+/// appropriate when comparing against smoothed estimators.
+Result<GroundTruth> ComputeGroundTruth(
+    const std::shared_ptr<const Table>& population, const QuerySpec& query,
+    double alpha, int64_t sample_rows, int num_samples, Rng& rng,
+    bool normal_approximation = false);
+
+/// Paper §3 failure taxonomy for an error-estimation method on one query.
+enum class EstimationOutcome {
+  kNotApplicable,  ///< The estimator cannot handle this query.
+  kCorrect,        ///< δ within ±0.2 on >= 95% of samples.
+  kOptimistic,     ///< δ < −0.2 on >= 5% of samples (intervals too narrow).
+  kPessimistic,    ///< δ > 0.2 on >= 5% of samples (intervals too wide).
+};
+
+const char* EstimationOutcomeName(EstimationOutcome outcome);
+
+/// Result of evaluating one estimator on one query across many samples.
+struct EstimatorEvaluation {
+  EstimationOutcome outcome = EstimationOutcome::kNotApplicable;
+  /// δ per trial (empty when not applicable).
+  std::vector<double> deltas;
+  double frac_optimistic = 0.0;
+  double frac_pessimistic = 0.0;
+};
+
+/// Thresholds of the §3 evaluation protocol.
+struct EvaluationProtocol {
+  double delta_threshold = 0.2;
+  double failure_fraction = 0.05;
+  int num_trials = 100;
+};
+
+/// Runs the §3 protocol: draws `protocol.num_trials` samples of size
+/// `sample_rows`, estimates a CI on each with `estimator`, computes δ
+/// against `truth`, and classifies the outcome.
+Result<EstimatorEvaluation> EvaluateEstimator(
+    const std::shared_ptr<const Table>& population, const QuerySpec& query,
+    const ErrorEstimator& estimator, const GroundTruth& truth, double alpha,
+    int64_t sample_rows, const EvaluationProtocol& protocol, Rng& rng);
+
+}  // namespace aqp
+
+#endif  // AQP_ESTIMATION_GROUND_TRUTH_H_

@@ -1,0 +1,170 @@
+#include "estimation/large_deviation.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "exec/executor.h"
+#include "util/stats.h"
+
+namespace {
+
+/// Empirical-Bernstein half-width for a mean of m values with sample
+/// standard deviation `sd` and range `span`, at failure probability
+/// `delta` (Maurer & Pontil 2009):
+///   |mean - mu| <= sd sqrt(2 ln(3/delta) / m) + 3 span ln(3/delta) / m.
+double EmpiricalBernsteinHalfWidth(double sd, double span, double m,
+                                   double delta) {
+  double log_term = std::log(3.0 / delta);
+  return sd * std::sqrt(2.0 * log_term / m) + 3.0 * span * log_term / m;
+}
+
+}  // namespace
+
+namespace aqp {
+
+Result<ValueRange> ComputeValueRange(const Table& population,
+                                     const QuerySpec& query) {
+  Result<PreparedQuery> prepared = PrepareQuery(population, query);
+  if (!prepared.ok()) return prepared.status();
+  ValueRange range;
+  if (prepared->values.empty()) return range;
+  range.lo = prepared->values[0];
+  range.hi = prepared->values[0];
+  for (double v : prepared->values) {
+    range.lo = std::min(range.lo, v);
+    range.hi = std::max(range.hi, v);
+  }
+  return range;
+}
+
+bool LargeDeviationEstimator::Applicable(const QuerySpec& query) const {
+  if (query.HasUdf()) return false;
+  switch (query.aggregate.kind) {
+    case AggregateKind::kAvg:
+    case AggregateKind::kSum:
+    case AggregateKind::kCount:
+    case AggregateKind::kVariance:
+    case AggregateKind::kStddev:
+    case AggregateKind::kPercentile:
+      return true;
+    case AggregateKind::kMin:
+    case AggregateKind::kMax:
+      return false;
+  }
+  return false;
+}
+
+Result<ConfidenceInterval> LargeDeviationEstimator::Estimate(
+    const Table& sample, const QuerySpec& query, double scale_factor,
+    double alpha, Rng& /*rng*/) const {
+  if (!Applicable(query)) {
+    return Status::InvalidArgument(
+        "large-deviation bounds unavailable for " + query.ToString());
+  }
+  Result<PreparedQuery> prepared = PrepareQuery(sample, query);
+  if (!prepared.ok()) return prepared.status();
+  Result<double> theta = ComputeAggregate(*prepared, query.aggregate,
+                                          scale_factor);
+  if (!theta.ok()) return theta.status();
+
+  double n = static_cast<double>(prepared->table_rows);
+  double m = static_cast<double>(prepared->rows.size());
+  // Hoeffding: P(|mean - mu| > t) <= 2 exp(-2 m t^2 / (b-a)^2); inverting at
+  // failure probability (1 - alpha) gives t = (b-a) sqrt(ln(2/(1-a)) / (2m)).
+  double delta = 1.0 - alpha;
+  double log_term = std::log(2.0 / delta);
+  double span = range_.span();
+  bool bernstein = kind_ == LargeDeviationKind::kEmpiricalBernstein;
+
+  ConfidenceInterval ci;
+  ci.center = *theta;
+  switch (query.aggregate.kind) {
+    case AggregateKind::kAvg: {
+      if (m < 1) return Status::FailedPrecondition("empty passing set");
+      if (bernstein) {
+        ci.half_width = EmpiricalBernsteinHalfWidth(
+            SampleStddev(prepared->values), span, m, delta);
+      } else {
+        ci.half_width = span * std::sqrt(log_term / (2.0 * m));
+      }
+      break;
+    }
+    case AggregateKind::kSum: {
+      if (n < 1) return Status::FailedPrecondition("empty sample");
+      // Per-row variable v * 1[pass] ranges over [min(lo,0), max(hi,0)].
+      double lo = std::min(range_.lo, 0.0);
+      double hi = std::max(range_.hi, 0.0);
+      double row_span = hi - lo;
+      if (bernstein) {
+        // Moments of y = v * 1[pass] over all n rows (zeros included).
+        double sum = 0.0;
+        double sum_sq = 0.0;
+        for (double v : prepared->values) {
+          sum += v;
+          sum_sq += v * v;
+        }
+        double mean_y = sum / n;
+        double var_y = n > 1 ? (sum_sq - n * mean_y * mean_y) / (n - 1.0)
+                             : 0.0;
+        if (var_y < 0.0) var_y = 0.0;
+        ci.half_width =
+            scale_factor * n *
+            EmpiricalBernsteinHalfWidth(std::sqrt(var_y), row_span, n, delta);
+      } else {
+        // theta = scale * n * mean(y); bound the mean, scale up.
+        ci.half_width =
+            scale_factor * n * row_span * std::sqrt(log_term / (2.0 * n));
+      }
+      break;
+    }
+    case AggregateKind::kCount: {
+      if (n < 1) return Status::FailedPrecondition("empty sample");
+      // Indicator variables range over [0, 1].
+      if (bernstein) {
+        double pass_fraction = m / n;
+        double sd = std::sqrt(pass_fraction * (1.0 - pass_fraction));
+        ci.half_width =
+            scale_factor * n * EmpiricalBernsteinHalfWidth(sd, 1.0, n, delta);
+      } else {
+        ci.half_width = scale_factor * n * std::sqrt(log_term / (2.0 * n));
+      }
+      break;
+    }
+    case AggregateKind::kVariance:
+    case AggregateKind::kStddev: {
+      if (m < 2) return Status::FailedPrecondition("needs >= 2 rows");
+      // Bounded differences: replacing one point moves s^2 by at most
+      // ~(b-a)^2/m, so McDiarmid gives half-width (b-a)^2 sqrt(ln(2/e)/2m).
+      double var_half = span * span * std::sqrt(log_term / (2.0 * m));
+      if (query.aggregate.kind == AggregateKind::kVariance) {
+        ci.half_width = var_half;
+      } else {
+        double s = *theta;
+        ci.half_width = s > 0.0 ? var_half / (2.0 * s) : var_half;
+      }
+      break;
+    }
+    case AggregateKind::kPercentile: {
+      if (m < 1) return Status::FailedPrecondition("empty passing set");
+      // DKW: sup |F_m - F| <= eps w.p. >= alpha, with
+      // eps = sqrt(ln(2/(1-alpha)) / (2m)). The quantile CI is
+      // [Q(q - eps), Q(q + eps)]; report its symmetric hull.
+      double eps = std::sqrt(log_term / (2.0 * m));
+      double q = query.aggregate.percentile;
+      std::vector<double> sorted = prepared->values;
+      std::sort(sorted.begin(), sorted.end());
+      double lo_q = std::max(0.0, q - eps);
+      double hi_q = std::min(1.0, q + eps);
+      double lo_v = QuantileSorted(sorted, lo_q);
+      double hi_v = QuantileSorted(sorted, hi_q);
+      ci.half_width =
+          std::max(std::abs(*theta - lo_v), std::abs(hi_v - *theta));
+      break;
+    }
+    default:
+      return Status::Internal("unreachable: applicability checked above");
+  }
+  return ci;
+}
+
+}  // namespace aqp

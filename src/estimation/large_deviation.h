@@ -1,0 +1,70 @@
+#ifndef AQP_ESTIMATION_LARGE_DEVIATION_H_
+#define AQP_ESTIMATION_LARGE_DEVIATION_H_
+
+#include "estimation/error_estimator.h"
+
+namespace aqp {
+
+/// Precomputed "sensitivity" of a query's aggregated values: the value range
+/// over the full dataset D (paper §2.3.3 — large-deviation bounds require
+/// per-θ sensitivity quantities derived offline).
+struct ValueRange {
+  double lo = 0.0;
+  double hi = 0.0;
+  double span() const { return hi - lo; }
+};
+
+/// Computes the range of `query`'s aggregate input over the rows of
+/// `population` that pass the filter. This is the offline precomputation
+/// step a deployment would run once per (table, expression).
+Result<ValueRange> ComputeValueRange(const Table& population,
+                                     const QuerySpec& query);
+
+/// Which concentration inequality backs the bound (the paper's §2.3.3
+/// footnote lists Hoeffding, Chernoff, Bernstein, McDiarmid as the family).
+enum class LargeDeviationKind {
+  /// Range-only Hoeffding bound: widest, needs only [lo, hi].
+  kHoeffding,
+  /// Empirical-Bernstein (Maurer & Pontil): uses the sample variance plus
+  /// the range, collapsing toward the CLT width when the data's spread is
+  /// far below its range — still distribution-free and never undercovers.
+  kEmpiricalBernstein,
+};
+
+/// Large-deviation-bound error estimation (paper §2.3.3): distribution-free
+/// bounds on the tails of Dist(θ(S)) using the precomputed value range.
+/// Never undercovers (coverage ≥ α by construction) but is typically far
+/// too wide — Figure 1's 1–2 orders-of-magnitude sample-size penalty.
+///
+/// Supported: AVG, SUM, COUNT (Hoeffding / empirical Bernstein),
+/// VARIANCE/STDEV (bounded differences), PERCENTILE
+/// (Dvoretzky–Kiefer–Wolfowitz). MIN/MAX and UDFs have no distribution-free
+/// bound and are rejected.
+class LargeDeviationEstimator final : public ErrorEstimator {
+ public:
+  /// `range` must come from ComputeValueRange over the population (or a
+  /// domain-knowledge bound on the values).
+  explicit LargeDeviationEstimator(
+      ValueRange range, LargeDeviationKind kind = LargeDeviationKind::kHoeffding)
+      : range_(range), kind_(kind) {}
+
+  std::string name() const override {
+    return kind_ == LargeDeviationKind::kHoeffding ? "hoeffding"
+                                                   : "bernstein";
+  }
+
+  bool Applicable(const QuerySpec& query) const override;
+
+  Result<ConfidenceInterval> Estimate(const Table& sample,
+                                      const QuerySpec& query,
+                                      double scale_factor, double alpha,
+                                      Rng& rng) const override;
+
+ private:
+  ValueRange range_;
+  LargeDeviationKind kind_;
+};
+
+}  // namespace aqp
+
+#endif  // AQP_ESTIMATION_LARGE_DEVIATION_H_

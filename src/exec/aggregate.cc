@@ -1,0 +1,166 @@
+#include "exec/aggregate.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace aqp {
+
+WeightedAccumulator::WeightedAccumulator(AggregateKind kind) : kind_(kind) {
+  AQP_CHECK(SupportsKind(kind));
+}
+
+bool WeightedAccumulator::SupportsKind(AggregateKind kind) {
+  return kind != AggregateKind::kPercentile;
+}
+
+void WeightedAccumulator::Add(double value, double weight) {
+  AQP_DCHECK(weight >= 0.0);
+  if (weight == 0.0) return;
+  any_ = true;
+  switch (kind_) {
+    case AggregateKind::kCount:
+      weight_sum_ += weight;
+      break;
+    case AggregateKind::kSum:
+      weight_sum_ += weight;
+      sum_ += weight * value;
+      break;
+    case AggregateKind::kAvg:
+    case AggregateKind::kVariance:
+    case AggregateKind::kStddev: {
+      weight_sum_ += weight;
+      double delta = value - mean_;
+      mean_ += (weight / weight_sum_) * delta;
+      m2_ += weight * delta * (value - mean_);
+      break;
+    }
+    case AggregateKind::kMin:
+      weight_sum_ += weight;
+      min_ = (weight_sum_ == weight) ? value : std::min(min_, value);
+      break;
+    case AggregateKind::kMax:
+      weight_sum_ += weight;
+      max_ = (weight_sum_ == weight) ? value : std::max(max_, value);
+      break;
+    case AggregateKind::kPercentile:
+      break;  // Unreachable: rejected in the constructor.
+  }
+}
+
+void WeightedAccumulator::Merge(const WeightedAccumulator& other) {
+  AQP_CHECK(kind_ == other.kind_);
+  if (!other.any_) return;
+  if (!any_) {
+    *this = other;
+    return;
+  }
+  switch (kind_) {
+    case AggregateKind::kCount:
+      weight_sum_ += other.weight_sum_;
+      break;
+    case AggregateKind::kSum:
+      weight_sum_ += other.weight_sum_;
+      sum_ += other.sum_;
+      break;
+    case AggregateKind::kAvg:
+    case AggregateKind::kVariance:
+    case AggregateKind::kStddev: {
+      double total = weight_sum_ + other.weight_sum_;
+      double delta = other.mean_ - mean_;
+      m2_ += other.m2_ +
+             delta * delta * weight_sum_ * other.weight_sum_ / total;
+      mean_ += delta * other.weight_sum_ / total;
+      weight_sum_ = total;
+      break;
+    }
+    case AggregateKind::kMin:
+      weight_sum_ += other.weight_sum_;
+      min_ = std::min(min_, other.min_);
+      break;
+    case AggregateKind::kMax:
+      weight_sum_ += other.weight_sum_;
+      max_ = std::max(max_, other.max_);
+      break;
+    case AggregateKind::kPercentile:
+      break;
+  }
+}
+
+Result<double> WeightedAccumulator::Finalize(double scale_factor) const {
+  switch (kind_) {
+    case AggregateKind::kCount:
+      return weight_sum_ * scale_factor;
+    case AggregateKind::kSum:
+      return sum_ * scale_factor;
+    case AggregateKind::kAvg:
+      if (!any_) return Status::FailedPrecondition("AVG over empty input");
+      return mean_;
+    case AggregateKind::kVariance:
+      if (weight_sum_ <= 1.0) {
+        return Status::FailedPrecondition("VARIANCE needs weight > 1");
+      }
+      return m2_ / (weight_sum_ - 1.0);
+    case AggregateKind::kStddev:
+      if (weight_sum_ <= 1.0) {
+        return Status::FailedPrecondition("STDEV needs weight > 1");
+      }
+      return std::sqrt(m2_ / (weight_sum_ - 1.0));
+    case AggregateKind::kMin:
+      if (!any_) return Status::FailedPrecondition("MIN over empty input");
+      return min_;
+    case AggregateKind::kMax:
+      if (!any_) return Status::FailedPrecondition("MAX over empty input");
+      return max_;
+    case AggregateKind::kPercentile:
+      return Status::Internal("PERCENTILE is not a streaming aggregate");
+  }
+  return Status::Internal("unknown aggregate kind");
+}
+
+Result<double> WeightedQuantileSorted(const std::vector<double>& values,
+                                      const std::vector<int64_t>& order,
+                                      const double* weights, double q) {
+  AQP_CHECK(q >= 0.0 && q <= 1.0);
+  AQP_CHECK(order.size() == values.size());
+  double total = 0.0;
+  for (size_t i = 0; i < values.size(); ++i) {
+    total += weights[i];
+  }
+  if (total <= 0.0) {
+    return Status::FailedPrecondition("quantile over empty (zero-weight) input");
+  }
+  // Type-7 (linear interpolation) quantile of the expanded multiset in which
+  // each value appears `weight` times — identical to Quantile() applied to
+  // the physically duplicated rows. The expanded multiset has `total`
+  // entries; we need expanded order statistics floor(pos) and floor(pos)+1.
+  double pos = q * (total - 1.0);
+  double lo_index = std::floor(pos);
+  double frac = pos - lo_index;
+  double cumulative = 0.0;  // Entries consumed so far in expanded order.
+  double lo_value = 0.0;
+  bool have_lo = false;
+  for (int64_t idx : order) {
+    double w = weights[static_cast<size_t>(idx)];
+    if (w <= 0.0) continue;
+    double value = values[static_cast<size_t>(idx)];
+    cumulative += w;  // This run covers expanded indices up to `cumulative`.
+    if (!have_lo && lo_index < cumulative) {
+      lo_value = value;
+      have_lo = true;
+      // If the upper index also falls in this run (or there is no
+      // interpolation), we are done.
+      if (frac == 0.0 || lo_index + 1.0 < cumulative) return value;
+      continue;
+    }
+    if (have_lo) {
+      // This run holds the upper order statistic.
+      return lo_value + frac * (value - lo_value);
+    }
+  }
+  // lo_index was the last expanded entry.
+  return lo_value;
+}
+
+}  // namespace aqp

@@ -1,0 +1,64 @@
+#ifndef AQP_EXEC_AGGREGATE_H_
+#define AQP_EXEC_AGGREGATE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "exec/query_spec.h"
+#include "util/status.h"
+
+namespace aqp {
+
+/// Streaming accumulator for one aggregate over (value, weight) pairs — the
+/// "aggregate functions modified to directly operate on weighted data" of
+/// paper §5.3.1. Weight 1 everywhere reproduces the plain aggregate; Poisson
+/// weights produce a bootstrap-resample aggregate.
+///
+/// Supports COUNT, SUM, AVG, VARIANCE, STDEV, MIN, MAX. PERCENTILE needs the
+/// sort-based path in the executor (it is not a streaming moment).
+class WeightedAccumulator {
+ public:
+  explicit WeightedAccumulator(AggregateKind kind);
+
+  /// True if `kind` is supported by this streaming accumulator.
+  static bool SupportsKind(AggregateKind kind);
+
+  /// Folds in `value` with integral frequency `weight` >= 0. A zero weight
+  /// is a no-op (the row is absent from the resample).
+  void Add(double value, double weight);
+
+  /// Merges another accumulator of the same kind (partial aggregation
+  /// across tasks).
+  void Merge(const WeightedAccumulator& other);
+
+  /// Final aggregate value. `scale_factor` = |D| / |S| multiplies SUM and
+  /// COUNT up to population scale and is ignored by the others. Fails with
+  /// FailedPrecondition for value-aggregates (AVG/VAR/STDEV/MIN/MAX) over an
+  /// empty input.
+  Result<double> Finalize(double scale_factor) const;
+
+  AggregateKind kind() const { return kind_; }
+  double weight_sum() const { return weight_sum_; }
+
+ private:
+  AggregateKind kind_;
+  double weight_sum_ = 0.0;
+  double sum_ = 0.0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  bool any_ = false;
+};
+
+/// Weighted empirical quantile: the smallest value v (over entries with
+/// positive weight) whose cumulative weight reaches q * total_weight.
+/// `order` must be a permutation sorting `values` ascending. Fails if total
+/// weight is zero.
+Result<double> WeightedQuantileSorted(const std::vector<double>& values,
+                                      const std::vector<int64_t>& order,
+                                      const double* weights, double q);
+
+}  // namespace aqp
+
+#endif  // AQP_EXEC_AGGREGATE_H_

@@ -1,0 +1,296 @@
+#include "exec/executor.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "sampling/poisson_resample.h"
+#include "util/logging.h"
+#include "util/stats.h"
+
+namespace aqp {
+
+Result<PreparedQuery> PrepareQuery(const Table& table,
+                                   const QuerySpec& query) {
+  PreparedQuery prepared;
+  prepared.table_rows = table.num_rows();
+  if (query.filter != nullptr) {
+    Result<std::vector<char>> mask = query.filter->EvalPredicate(table, nullptr);
+    if (!mask.ok()) return mask.status();
+    prepared.rows.reserve(mask->size() / 4);
+    for (size_t i = 0; i < mask->size(); ++i) {
+      if ((*mask)[i]) prepared.rows.push_back(static_cast<int64_t>(i));
+    }
+  } else {
+    prepared.rows.resize(static_cast<size_t>(table.num_rows()));
+    std::iota(prepared.rows.begin(), prepared.rows.end(), 0);
+  }
+  if (query.aggregate.input != nullptr) {
+    Result<std::vector<double>> values =
+        query.aggregate.input->EvalNumeric(table, &prepared.rows);
+    if (!values.ok()) return values.status();
+    prepared.values = std::move(values).value();
+  } else if (query.aggregate.kind != AggregateKind::kCount) {
+    return Status::InvalidArgument(
+        std::string(AggregateKindName(query.aggregate.kind)) +
+        " requires an input expression");
+  }
+  return prepared;
+}
+
+namespace {
+
+/// Sort permutation of `values`, ascending.
+std::vector<int64_t> SortOrder(const std::vector<double>& values) {
+  std::vector<int64_t> order(values.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&values](int64_t a, int64_t b) {
+    return values[static_cast<size_t>(a)] < values[static_cast<size_t>(b)];
+  });
+  return order;
+}
+
+}  // namespace
+
+Result<double> ComputeAggregate(const PreparedQuery& prepared,
+                                const AggregateSpec& aggregate,
+                                double scale_factor) {
+  if (aggregate.kind == AggregateKind::kPercentile) {
+    if (prepared.values.empty()) {
+      return Status::FailedPrecondition("PERCENTILE over empty input");
+    }
+    return Quantile(prepared.values, aggregate.percentile);
+  }
+  WeightedAccumulator acc(aggregate.kind);
+  if (aggregate.input == nullptr) {
+    // COUNT(*): every passing row contributes weight 1 and no value.
+    for (size_t i = 0; i < prepared.rows.size(); ++i) acc.Add(0.0, 1.0);
+  } else {
+    for (double v : prepared.values) acc.Add(v, 1.0);
+  }
+  return acc.Finalize(scale_factor);
+}
+
+Result<double> ExecutePlainAggregate(const Table& table,
+                                     const QuerySpec& query,
+                                     double scale_factor) {
+  Result<PreparedQuery> prepared = PrepareQuery(table, query);
+  if (!prepared.ok()) return prepared.status();
+  return ComputeAggregate(*prepared, query.aggregate, scale_factor);
+}
+
+Result<double> ComputeWeightedAggregate(const PreparedQuery& prepared,
+                                        const AggregateSpec& aggregate,
+                                        double scale_factor,
+                                        const double* weights) {
+  size_t n = prepared.rows.size();
+  if (aggregate.kind == AggregateKind::kPercentile) {
+    std::vector<int64_t> order = SortOrder(prepared.values);
+    return WeightedQuantileSorted(prepared.values, order, weights,
+                                  aggregate.percentile);
+  }
+  WeightedAccumulator acc(aggregate.kind);
+  if (aggregate.input == nullptr) {
+    for (size_t i = 0; i < n; ++i) acc.Add(0.0, weights[i]);
+  } else {
+    for (size_t i = 0; i < n; ++i) acc.Add(prepared.values[i], weights[i]);
+  }
+  return acc.Finalize(scale_factor);
+}
+
+namespace {
+
+/// Streaming-aggregate fast path for multi-resample execution: one pass over
+/// the prepared rows, K accumulators updated with independent Poisson(1)
+/// weights. This is the inner loop of scan consolidation.
+///
+/// For the size-scaled linear aggregates (COUNT, SUM), the raw Poissonized
+/// replicate is conditioned on the resample size (a Hájek-style ratio
+/// correction): Poissonization makes the resample size random, which for a
+/// plain multinomial bootstrap is fixed at |S| — without the correction an
+/// unfiltered COUNT would report nonzero sampling error, and a filtered
+/// COUNT's error would be inflated by 1/sqrt(1-selectivity). The total
+/// weight of the rows *not* passing the filter is itself Poisson(n - m), so
+/// the correction costs O(1) per replicate and preserves the streaming,
+/// pushdown-compatible execution of §5.3.
+std::vector<double> MultiResampleStreaming(const PreparedQuery& prepared,
+                                           const AggregateSpec& aggregate,
+                                           double scale_factor,
+                                           int num_resamples, Rng& rng) {
+  std::vector<WeightedAccumulator> accumulators(
+      static_cast<size_t>(num_resamples), WeightedAccumulator(aggregate.kind));
+  size_t n = prepared.rows.size();
+  bool has_input = aggregate.input != nullptr;
+  for (size_t i = 0; i < n; ++i) {
+    double value = has_input ? prepared.values[i] : 0.0;
+    for (auto& acc : accumulators) {
+      int32_t w = PoissonOneWeight(rng);
+      if (w > 0) acc.Add(value, static_cast<double>(w));
+    }
+  }
+  bool size_scaled = aggregate.kind == AggregateKind::kCount ||
+                     aggregate.kind == AggregateKind::kSum;
+  double non_passing =
+      static_cast<double>(prepared.table_rows) - static_cast<double>(n);
+  double total_rows = static_cast<double>(prepared.table_rows);
+  std::vector<double> thetas;
+  thetas.reserve(accumulators.size());
+  for (const auto& acc : accumulators) {
+    Result<double> theta = acc.Finalize(scale_factor);
+    if (!theta.ok()) continue;
+    double value = *theta;
+    if (size_scaled && total_rows > 0.0) {
+      double resample_size =
+          acc.weight_sum() +
+          static_cast<double>(rng.NextPoisson(non_passing));
+      if (resample_size > 0.0) {
+        value *= total_rows / resample_size;
+      }
+    }
+    thetas.push_back(value);
+  }
+  return thetas;
+}
+
+/// Sort-once path for PERCENTILE: values are sorted a single time, then each
+/// resample re-weights the sorted order.
+Result<std::vector<double>> MultiResamplePercentile(
+    const PreparedQuery& prepared, const AggregateSpec& aggregate,
+    int num_resamples, Rng& rng) {
+  if (prepared.values.empty()) {
+    return Status::FailedPrecondition("PERCENTILE over empty input");
+  }
+  std::vector<int64_t> order = SortOrder(prepared.values);
+  size_t n = prepared.values.size();
+  std::vector<double> weights(n);
+  std::vector<double> thetas;
+  thetas.reserve(static_cast<size_t>(num_resamples));
+  for (int k = 0; k < num_resamples; ++k) {
+    for (double& w : weights) {
+      w = static_cast<double>(PoissonOneWeight(rng));
+    }
+    Result<double> theta = WeightedQuantileSorted(prepared.values, order,
+                                                  weights.data(),
+                                                  aggregate.percentile);
+    if (theta.ok()) thetas.push_back(*theta);
+  }
+  return thetas;
+}
+
+}  // namespace
+
+Result<std::vector<double>> ExecuteMultiResample(const Table& table,
+                                                 const QuerySpec& query,
+                                                 double scale_factor,
+                                                 int num_resamples, Rng& rng) {
+  if (num_resamples <= 0) {
+    return Status::InvalidArgument("num_resamples must be positive");
+  }
+  Result<PreparedQuery> prepared = PrepareQuery(table, query);
+  if (!prepared.ok()) return prepared.status();
+  return MultiResampleFromPrepared(*prepared, query.aggregate, scale_factor,
+                                   num_resamples, rng);
+}
+
+Result<std::vector<double>> MultiResampleFromPrepared(
+    const PreparedQuery& prepared, const AggregateSpec& aggregate,
+    double scale_factor, int num_resamples, Rng& rng) {
+  if (num_resamples <= 0) {
+    return Status::InvalidArgument("num_resamples must be positive");
+  }
+  if (aggregate.kind == AggregateKind::kPercentile) {
+    return MultiResamplePercentile(prepared, aggregate, num_resamples, rng);
+  }
+  return MultiResampleStreaming(prepared, aggregate, scale_factor,
+                                num_resamples, rng);
+}
+
+Result<std::vector<double>> ExecuteMultiResampleExact(const Table& table,
+                                                      const QuerySpec& query,
+                                                      double scale_factor,
+                                                      int num_resamples,
+                                                      Rng& rng) {
+  if (num_resamples <= 0) {
+    return Status::InvalidArgument("num_resamples must be positive");
+  }
+  Result<PreparedQuery> prepared = PrepareQuery(table, query);
+  if (!prepared.ok()) return prepared.status();
+  int64_t n = table.num_rows();
+  // Row -> position within the passing set, or -1.
+  std::vector<int64_t> passing_position(static_cast<size_t>(n), -1);
+  for (size_t i = 0; i < prepared->rows.size(); ++i) {
+    passing_position[static_cast<size_t>(prepared->rows[i])] =
+        static_cast<int64_t>(i);
+  }
+  std::vector<double> thetas;
+  thetas.reserve(static_cast<size_t>(num_resamples));
+  std::vector<double> weights(prepared->rows.size());
+  for (int k = 0; k < num_resamples; ++k) {
+    std::fill(weights.begin(), weights.end(), 0.0);
+    // Draw exactly n rows of S with replacement; count hits on passing rows.
+    for (int64_t draw = 0; draw < n; ++draw) {
+      int64_t row = rng.NextInt(n);
+      int64_t pos = passing_position[static_cast<size_t>(row)];
+      if (pos >= 0) weights[static_cast<size_t>(pos)] += 1.0;
+    }
+    Result<double> theta = ComputeWeightedAggregate(*prepared, query.aggregate,
+                                                    scale_factor,
+                                                    weights.data());
+    if (theta.ok()) thetas.push_back(*theta);
+  }
+  return thetas;
+}
+
+Result<std::vector<GroupResult>> ExecuteGroupBy(const Table& table,
+                                                const QuerySpec& query,
+                                                const std::string& group_column,
+                                                double scale_factor) {
+  Result<const Column*> group_col = table.ColumnByName(group_column);
+  if (!group_col.ok()) return group_col.status();
+  const Column& gc = **group_col;
+  if (gc.is_numeric()) {
+    return Status::InvalidArgument("GROUP BY column '" + group_column +
+                                   "' must be a string column");
+  }
+  Result<PreparedQuery> prepared = PrepareQuery(table, query);
+  if (!prepared.ok()) return prepared.status();
+
+  int64_t num_groups = gc.dictionary_size();
+  bool percentile = query.aggregate.kind == AggregateKind::kPercentile;
+  std::vector<WeightedAccumulator> accumulators;
+  std::vector<std::vector<double>> group_values;
+  if (percentile) {
+    group_values.resize(static_cast<size_t>(num_groups));
+  } else {
+    accumulators.assign(static_cast<size_t>(num_groups),
+                        WeightedAccumulator(query.aggregate.kind));
+  }
+  bool has_input = query.aggregate.input != nullptr;
+  for (size_t i = 0; i < prepared->rows.size(); ++i) {
+    int32_t code = gc.CodeAt(prepared->rows[i]);
+    double value = has_input ? prepared->values[i] : 0.0;
+    if (percentile) {
+      group_values[static_cast<size_t>(code)].push_back(value);
+    } else {
+      accumulators[static_cast<size_t>(code)].Add(value, 1.0);
+    }
+  }
+  std::vector<GroupResult> results;
+  for (int64_t g = 0; g < num_groups; ++g) {
+    GroupResult result;
+    result.group = gc.dictionary()[static_cast<size_t>(g)];
+    if (percentile) {
+      std::vector<double>& values = group_values[static_cast<size_t>(g)];
+      if (values.empty()) continue;  // Group has no passing rows.
+      result.value = Quantile(std::move(values), query.aggregate.percentile);
+    } else {
+      Result<double> value =
+          accumulators[static_cast<size_t>(g)].Finalize(scale_factor);
+      if (!value.ok()) continue;  // Empty group under a value aggregate.
+      result.value = *value;
+    }
+    results.push_back(std::move(result));
+  }
+  return results;
+}
+
+}  // namespace aqp

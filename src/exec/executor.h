@@ -1,0 +1,99 @@
+#ifndef AQP_EXEC_EXECUTOR_H_
+#define AQP_EXEC_EXECUTOR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "exec/aggregate.h"
+#include "exec/query_spec.h"
+#include "storage/table.h"
+#include "util/random.h"
+#include "util/status.h"
+
+namespace aqp {
+
+/// A query evaluated against one table, reduced to the data the aggregate
+/// needs: the passing row set and the aggregate-input value per passing row.
+/// Preparing once and aggregating many times is what makes the consolidated
+/// (single-scan) bootstrap/diagnostic execution of §5.3.1 cheap: the filter
+/// and projection run exactly once regardless of the number of resamples.
+struct PreparedQuery {
+  /// Indices (into the source table) of rows passing the filter.
+  std::vector<int64_t> rows;
+  /// Aggregate-input values, aligned with `rows`. Empty iff the query is
+  /// COUNT(*) (no input expression).
+  std::vector<double> values;
+  /// Total rows in the source table (before filtering).
+  int64_t table_rows = 0;
+
+  bool has_values() const { return !values.empty() || rows.empty(); }
+};
+
+/// Evaluates filter + aggregate input of `query` over `table`.
+Result<PreparedQuery> PrepareQuery(const Table& table, const QuerySpec& query);
+
+/// Computes the plain (unweighted) aggregate from a prepared query.
+/// `scale_factor` = |D|/|S| (1.0 when running directly on the full data).
+Result<double> ComputeAggregate(const PreparedQuery& prepared,
+                                const AggregateSpec& aggregate,
+                                double scale_factor);
+
+/// Convenience: PrepareQuery + ComputeAggregate.
+Result<double> ExecutePlainAggregate(const Table& table,
+                                     const QuerySpec& query,
+                                     double scale_factor);
+
+/// Computes the aggregate under per-row frequency weights (one weight per
+/// entry of `prepared.rows`). This is θ on one Poissonized resample.
+Result<double> ComputeWeightedAggregate(const PreparedQuery& prepared,
+                                        const AggregateSpec& aggregate,
+                                        double scale_factor,
+                                        const double* weights);
+
+/// Executes `num_resamples` bootstrap replicates of the query in one logical
+/// pass (scan consolidation, §5.3.1): the filter/projection run once, then
+/// per row `num_resamples` independent Poisson(1) weights feed per-resample
+/// accumulators. Resamples that fail to produce a value (e.g. an all-zero
+/// weight vector on a tiny input) are skipped, so the result may have fewer
+/// than `num_resamples` entries.
+Result<std::vector<double>> ExecuteMultiResample(const Table& table,
+                                                 const QuerySpec& query,
+                                                 double scale_factor,
+                                                 int num_resamples, Rng& rng);
+
+/// Same replicate computation, but over an already-prepared query — the
+/// entry point the consolidated diagnostic uses to resample subsample
+/// slices without re-running the filter or projection.
+Result<std::vector<double>> MultiResampleFromPrepared(
+    const PreparedQuery& prepared, const AggregateSpec& aggregate,
+    double scale_factor, int num_resamples, Rng& rng);
+
+/// Same replicate computation via exact with-replacement resampling
+/// (the Tuple-Augmentation-style baseline of §5.1): each replicate draws
+/// |S| row indices, materializes per-row counts, then aggregates. Slower and
+/// O(|S|) extra memory per resample; exists to quantify the §5.1 claim.
+Result<std::vector<double>> ExecuteMultiResampleExact(const Table& table,
+                                                      const QuerySpec& query,
+                                                      double scale_factor,
+                                                      int num_resamples,
+                                                      Rng& rng);
+
+/// One (group value, aggregate) pair from a GROUP BY execution.
+struct GroupResult {
+  std::string group;
+  double value = 0.0;
+};
+
+/// Executes the query grouped by string column `group_column`, returning
+/// one aggregate per group (groups ordered by dictionary code). Per the
+/// paper each group is treated as an independent θ for estimation purposes;
+/// this entry point exists for end-user queries.
+Result<std::vector<GroupResult>> ExecuteGroupBy(const Table& table,
+                                                const QuerySpec& query,
+                                                const std::string& group_column,
+                                                double scale_factor);
+
+}  // namespace aqp
+
+#endif  // AQP_EXEC_EXECUTOR_H_

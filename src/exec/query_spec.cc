@@ -1,0 +1,60 @@
+#include "exec/query_spec.h"
+
+namespace aqp {
+
+const char* AggregateKindName(AggregateKind kind) {
+  switch (kind) {
+    case AggregateKind::kCount:
+      return "COUNT";
+    case AggregateKind::kSum:
+      return "SUM";
+    case AggregateKind::kAvg:
+      return "AVG";
+    case AggregateKind::kVariance:
+      return "VARIANCE";
+    case AggregateKind::kStddev:
+      return "STDEV";
+    case AggregateKind::kMin:
+      return "MIN";
+    case AggregateKind::kMax:
+      return "MAX";
+    case AggregateKind::kPercentile:
+      return "PERCENTILE";
+  }
+  return "UNKNOWN";
+}
+
+bool QuerySpec::ClosedFormApplicable() const {
+  switch (aggregate.kind) {
+    case AggregateKind::kCount:
+    case AggregateKind::kSum:
+    case AggregateKind::kAvg:
+    case AggregateKind::kVariance:
+    case AggregateKind::kStddev:
+      break;
+    default:
+      return false;
+  }
+  return !HasUdf();
+}
+
+bool QuerySpec::HasUdf() const {
+  if (aggregate.input != nullptr && aggregate.input->HasUdf()) return true;
+  if (filter != nullptr && filter->HasUdf()) return true;
+  return false;
+}
+
+std::string QuerySpec::ToString() const {
+  std::string s = "SELECT ";
+  s += AggregateKindName(aggregate.kind);
+  s += "(";
+  if (aggregate.kind == AggregateKind::kPercentile) {
+    s += std::to_string(aggregate.percentile) + ", ";
+  }
+  s += aggregate.input == nullptr ? "*" : aggregate.input->ToString();
+  s += ") FROM " + table;
+  if (filter != nullptr) s += " WHERE " + filter->ToString();
+  return s;
+}
+
+}  // namespace aqp

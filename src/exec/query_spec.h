@@ -1,0 +1,62 @@
+#ifndef AQP_EXEC_QUERY_SPEC_H_
+#define AQP_EXEC_QUERY_SPEC_H_
+
+#include <string>
+
+#include "expr/expr.h"
+
+namespace aqp {
+
+/// Aggregate functions supported by the executor. The first five admit
+/// closed-form CLT error estimation (§2.3.2 of the paper); MIN/MAX/PERCENTILE
+/// and anything involving a UDF are bootstrap-only.
+enum class AggregateKind {
+  kCount,
+  kSum,
+  kAvg,
+  kVariance,
+  kStddev,
+  kMin,
+  kMax,
+  kPercentile,
+};
+
+/// Printable aggregate name ("AVG", "PERCENTILE", ...).
+const char* AggregateKindName(AggregateKind kind);
+
+/// One aggregate: a function over a scalar input expression. `input` may be
+/// null only for COUNT (COUNT(*)).
+struct AggregateSpec {
+  AggregateKind kind = AggregateKind::kCount;
+  ExprPtr input;
+  /// Quantile in (0, 1) for kPercentile.
+  double percentile = 0.5;
+};
+
+/// A single-aggregate analytic query θ: SELECT agg(expr) FROM table
+/// [WHERE filter]. This is the unit of approximation in the paper (§2.1:
+/// queries with GROUP BY are treated as one query per group).
+struct QuerySpec {
+  /// Identifier used in experiment reports.
+  std::string id;
+  /// Source (logical) table name; resolution to a sample happens upstream.
+  std::string table;
+  /// Optional row predicate; null keeps all rows.
+  ExprPtr filter;
+  AggregateSpec aggregate;
+
+  /// True if the aggregate admits a closed-form CLT variance estimate:
+  /// COUNT/SUM/AVG/VARIANCE/STDEV with no UDF anywhere in the query.
+  bool ClosedFormApplicable() const;
+
+  /// True if the query contains a scalar UDF (in the filter or the
+  /// aggregate input).
+  bool HasUdf() const;
+
+  /// Human-readable SQL-ish rendering.
+  std::string ToString() const;
+};
+
+}  // namespace aqp
+
+#endif  // AQP_EXEC_QUERY_SPEC_H_

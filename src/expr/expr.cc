@@ -1,0 +1,474 @@
+#include "expr/expr.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace aqp {
+
+Result<std::vector<char>> Expr::EvalPredicate(
+    const Table& table, const std::vector<int64_t>* rows) const {
+  Result<std::vector<double>> values = EvalNumeric(table, rows);
+  if (!values.ok()) return values.status();
+  std::vector<char> mask(values->size());
+  for (size_t i = 0; i < values->size(); ++i) {
+    mask[i] = (*values)[i] != 0.0 ? 1 : 0;
+  }
+  return mask;
+}
+
+namespace {
+
+class ColumnRefExpr final : public Expr {
+ public:
+  explicit ColumnRefExpr(std::string name)
+      : Expr(ExprKind::kColumnRef), name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+
+  Result<std::vector<double>> EvalNumeric(
+      const Table& table, const std::vector<int64_t>* rows) const override {
+    Result<const Column*> col = table.ColumnByName(name_);
+    if (!col.ok()) return col.status();
+    const Column& c = **col;
+    if (!c.is_numeric()) {
+      return Status::InvalidArgument("column '" + name_ +
+                                     "' is not numeric");
+    }
+    std::vector<double> out;
+    if (rows == nullptr) {
+      out = c.doubles();
+    } else {
+      out.reserve(rows->size());
+      for (int64_t r : *rows) out.push_back(c.DoubleAt(r));
+    }
+    return out;
+  }
+
+  void CollectColumns(std::vector<std::string>& out) const override {
+    out.push_back(name_);
+  }
+
+  std::string ToString() const override { return name_; }
+
+ private:
+  std::string name_;
+};
+
+class LiteralExpr final : public Expr {
+ public:
+  explicit LiteralExpr(double value)
+      : Expr(ExprKind::kLiteral), value_(value) {}
+
+  Result<std::vector<double>> EvalNumeric(
+      const Table& table, const std::vector<int64_t>* rows) const override {
+    return std::vector<double>(
+        static_cast<size_t>(SelectedCount(table, rows)), value_);
+  }
+
+  void CollectColumns(std::vector<std::string>&) const override {}
+
+  std::string ToString() const override { return std::to_string(value_); }
+
+ private:
+  double value_;
+};
+
+class ArithmeticExpr final : public Expr {
+ public:
+  ArithmeticExpr(ArithOp op, ExprPtr lhs, ExprPtr rhs)
+      : Expr(ExprKind::kArithmetic),
+        op_(op),
+        lhs_(std::move(lhs)),
+        rhs_(std::move(rhs)) {}
+
+  Result<std::vector<double>> EvalNumeric(
+      const Table& table, const std::vector<int64_t>* rows) const override {
+    Result<std::vector<double>> lv = lhs_->EvalNumeric(table, rows);
+    if (!lv.ok()) return lv.status();
+    Result<std::vector<double>> rv = rhs_->EvalNumeric(table, rows);
+    if (!rv.ok()) return rv.status();
+    std::vector<double> out = std::move(lv).value();
+    const std::vector<double>& r = *rv;
+    switch (op_) {
+      case ArithOp::kAdd:
+        for (size_t i = 0; i < out.size(); ++i) out[i] += r[i];
+        break;
+      case ArithOp::kSub:
+        for (size_t i = 0; i < out.size(); ++i) out[i] -= r[i];
+        break;
+      case ArithOp::kMul:
+        for (size_t i = 0; i < out.size(); ++i) out[i] *= r[i];
+        break;
+      case ArithOp::kDiv:
+        for (size_t i = 0; i < out.size(); ++i) {
+          out[i] = r[i] == 0.0 ? 0.0 : out[i] / r[i];
+        }
+        break;
+    }
+    return out;
+  }
+
+  void CollectColumns(std::vector<std::string>& out) const override {
+    lhs_->CollectColumns(out);
+    rhs_->CollectColumns(out);
+  }
+
+  bool HasUdf() const override { return lhs_->HasUdf() || rhs_->HasUdf(); }
+
+  std::string ToString() const override {
+    const char* symbol = "?";
+    switch (op_) {
+      case ArithOp::kAdd:
+        symbol = "+";
+        break;
+      case ArithOp::kSub:
+        symbol = "-";
+        break;
+      case ArithOp::kMul:
+        symbol = "*";
+        break;
+      case ArithOp::kDiv:
+        symbol = "/";
+        break;
+    }
+    return "(" + lhs_->ToString() + " " + symbol + " " + rhs_->ToString() +
+           ")";
+  }
+
+ private:
+  ArithOp op_;
+  ExprPtr lhs_;
+  ExprPtr rhs_;
+};
+
+class ComparisonExpr final : public Expr {
+ public:
+  ComparisonExpr(CompareOp op, ExprPtr lhs, ExprPtr rhs)
+      : Expr(ExprKind::kComparison),
+        op_(op),
+        lhs_(std::move(lhs)),
+        rhs_(std::move(rhs)) {}
+
+  Result<std::vector<double>> EvalNumeric(
+      const Table& table, const std::vector<int64_t>* rows) const override {
+    Result<std::vector<char>> mask = EvalPredicate(table, rows);
+    if (!mask.ok()) return mask.status();
+    std::vector<double> out(mask->size());
+    for (size_t i = 0; i < mask->size(); ++i) out[i] = (*mask)[i] ? 1.0 : 0.0;
+    return out;
+  }
+
+  Result<std::vector<char>> EvalPredicate(
+      const Table& table, const std::vector<int64_t>* rows) const override {
+    Result<std::vector<double>> lv = lhs_->EvalNumeric(table, rows);
+    if (!lv.ok()) return lv.status();
+    Result<std::vector<double>> rv = rhs_->EvalNumeric(table, rows);
+    if (!rv.ok()) return rv.status();
+    const std::vector<double>& l = *lv;
+    const std::vector<double>& r = *rv;
+    std::vector<char> out(l.size());
+    switch (op_) {
+      case CompareOp::kEq:
+        for (size_t i = 0; i < l.size(); ++i) out[i] = l[i] == r[i];
+        break;
+      case CompareOp::kNe:
+        for (size_t i = 0; i < l.size(); ++i) out[i] = l[i] != r[i];
+        break;
+      case CompareOp::kLt:
+        for (size_t i = 0; i < l.size(); ++i) out[i] = l[i] < r[i];
+        break;
+      case CompareOp::kLe:
+        for (size_t i = 0; i < l.size(); ++i) out[i] = l[i] <= r[i];
+        break;
+      case CompareOp::kGt:
+        for (size_t i = 0; i < l.size(); ++i) out[i] = l[i] > r[i];
+        break;
+      case CompareOp::kGe:
+        for (size_t i = 0; i < l.size(); ++i) out[i] = l[i] >= r[i];
+        break;
+    }
+    return out;
+  }
+
+  void CollectColumns(std::vector<std::string>& out) const override {
+    lhs_->CollectColumns(out);
+    rhs_->CollectColumns(out);
+  }
+
+  bool HasUdf() const override { return lhs_->HasUdf() || rhs_->HasUdf(); }
+
+  std::string ToString() const override {
+    const char* symbol = "?";
+    switch (op_) {
+      case CompareOp::kEq:
+        symbol = "==";
+        break;
+      case CompareOp::kNe:
+        symbol = "!=";
+        break;
+      case CompareOp::kLt:
+        symbol = "<";
+        break;
+      case CompareOp::kLe:
+        symbol = "<=";
+        break;
+      case CompareOp::kGt:
+        symbol = ">";
+        break;
+      case CompareOp::kGe:
+        symbol = ">=";
+        break;
+    }
+    return "(" + lhs_->ToString() + " " + symbol + " " + rhs_->ToString() +
+           ")";
+  }
+
+ private:
+  CompareOp op_;
+  ExprPtr lhs_;
+  ExprPtr rhs_;
+};
+
+class StringEqualsExpr final : public Expr {
+ public:
+  StringEqualsExpr(std::string column, std::string value)
+      : Expr(ExprKind::kStringEq),
+        column_(std::move(column)),
+        value_(std::move(value)) {}
+
+  Result<std::vector<double>> EvalNumeric(
+      const Table& table, const std::vector<int64_t>* rows) const override {
+    Result<std::vector<char>> mask = EvalPredicate(table, rows);
+    if (!mask.ok()) return mask.status();
+    std::vector<double> out(mask->size());
+    for (size_t i = 0; i < mask->size(); ++i) out[i] = (*mask)[i] ? 1.0 : 0.0;
+    return out;
+  }
+
+  Result<std::vector<char>> EvalPredicate(
+      const Table& table, const std::vector<int64_t>* rows) const override {
+    Result<const Column*> col = table.ColumnByName(column_);
+    if (!col.ok()) return col.status();
+    const Column& c = **col;
+    if (c.is_numeric()) {
+      return Status::InvalidArgument("column '" + column_ +
+                                     "' is not a string column");
+    }
+    int32_t code = c.FindCode(value_);
+    int64_t count = SelectedCount(table, rows);
+    std::vector<char> out(static_cast<size_t>(count), 0);
+    if (code < 0) return out;  // Value absent from dictionary: all false.
+    if (rows == nullptr) {
+      const std::vector<int32_t>& codes = c.codes();
+      for (size_t i = 0; i < codes.size(); ++i) out[i] = codes[i] == code;
+    } else {
+      for (size_t i = 0; i < rows->size(); ++i) {
+        out[i] = c.CodeAt((*rows)[i]) == code;
+      }
+    }
+    return out;
+  }
+
+  void CollectColumns(std::vector<std::string>& out) const override {
+    out.push_back(column_);
+  }
+
+  bool GetStringEquality(std::string* column,
+                         std::string* value) const override {
+    *column = column_;
+    *value = value_;
+    return true;
+  }
+
+  std::string ToString() const override {
+    return "(" + column_ + " == '" + value_ + "')";
+  }
+
+ private:
+  std::string column_;
+  std::string value_;
+};
+
+class LogicalExpr final : public Expr {
+ public:
+  LogicalExpr(LogicalOp op, ExprPtr lhs, ExprPtr rhs)
+      : Expr(ExprKind::kLogical),
+        op_(op),
+        lhs_(std::move(lhs)),
+        rhs_(std::move(rhs)) {}
+
+  Result<std::vector<double>> EvalNumeric(
+      const Table& table, const std::vector<int64_t>* rows) const override {
+    Result<std::vector<char>> mask = EvalPredicate(table, rows);
+    if (!mask.ok()) return mask.status();
+    std::vector<double> out(mask->size());
+    for (size_t i = 0; i < mask->size(); ++i) out[i] = (*mask)[i] ? 1.0 : 0.0;
+    return out;
+  }
+
+  Result<std::vector<char>> EvalPredicate(
+      const Table& table, const std::vector<int64_t>* rows) const override {
+    Result<std::vector<char>> lv = lhs_->EvalPredicate(table, rows);
+    if (!lv.ok()) return lv.status();
+    Result<std::vector<char>> rv = rhs_->EvalPredicate(table, rows);
+    if (!rv.ok()) return rv.status();
+    std::vector<char> out = std::move(lv).value();
+    const std::vector<char>& r = *rv;
+    if (op_ == LogicalOp::kAnd) {
+      for (size_t i = 0; i < out.size(); ++i) out[i] = out[i] && r[i];
+    } else {
+      for (size_t i = 0; i < out.size(); ++i) out[i] = out[i] || r[i];
+    }
+    return out;
+  }
+
+  void CollectColumns(std::vector<std::string>& out) const override {
+    lhs_->CollectColumns(out);
+    rhs_->CollectColumns(out);
+  }
+
+  bool HasUdf() const override { return lhs_->HasUdf() || rhs_->HasUdf(); }
+
+  bool GetAndOperands(std::vector<ExprPtr>& out) const override {
+    if (op_ != LogicalOp::kAnd) return false;
+    out.push_back(lhs_);
+    out.push_back(rhs_);
+    return true;
+  }
+
+  std::string ToString() const override {
+    return "(" + lhs_->ToString() +
+           (op_ == LogicalOp::kAnd ? " AND " : " OR ") + rhs_->ToString() +
+           ")";
+  }
+
+ private:
+  LogicalOp op_;
+  ExprPtr lhs_;
+  ExprPtr rhs_;
+};
+
+class NotExpr final : public Expr {
+ public:
+  explicit NotExpr(ExprPtr operand)
+      : Expr(ExprKind::kNot), operand_(std::move(operand)) {}
+
+  Result<std::vector<double>> EvalNumeric(
+      const Table& table, const std::vector<int64_t>* rows) const override {
+    Result<std::vector<char>> mask = EvalPredicate(table, rows);
+    if (!mask.ok()) return mask.status();
+    std::vector<double> out(mask->size());
+    for (size_t i = 0; i < mask->size(); ++i) out[i] = (*mask)[i] ? 1.0 : 0.0;
+    return out;
+  }
+
+  Result<std::vector<char>> EvalPredicate(
+      const Table& table, const std::vector<int64_t>* rows) const override {
+    Result<std::vector<char>> mask = operand_->EvalPredicate(table, rows);
+    if (!mask.ok()) return mask.status();
+    std::vector<char> out = std::move(mask).value();
+    for (char& b : out) b = !b;
+    return out;
+  }
+
+  void CollectColumns(std::vector<std::string>& out) const override {
+    operand_->CollectColumns(out);
+  }
+
+  bool HasUdf() const override { return operand_->HasUdf(); }
+
+  std::string ToString() const override {
+    return "NOT " + operand_->ToString();
+  }
+
+ private:
+  ExprPtr operand_;
+};
+
+class UdfExpr final : public Expr {
+ public:
+  UdfExpr(std::string name, ScalarUdf fn, std::vector<ExprPtr> args)
+      : Expr(ExprKind::kUdf),
+        name_(std::move(name)),
+        fn_(std::move(fn)),
+        args_(std::move(args)) {}
+
+  Result<std::vector<double>> EvalNumeric(
+      const Table& table, const std::vector<int64_t>* rows) const override {
+    std::vector<std::vector<double>> arg_values;
+    arg_values.reserve(args_.size());
+    for (const ExprPtr& arg : args_) {
+      Result<std::vector<double>> v = arg->EvalNumeric(table, rows);
+      if (!v.ok()) return v.status();
+      arg_values.push_back(std::move(v).value());
+    }
+    size_t count = static_cast<size_t>(SelectedCount(table, rows));
+    std::vector<double> out(count);
+    std::vector<double> row_args(args_.size());
+    for (size_t i = 0; i < count; ++i) {
+      for (size_t a = 0; a < args_.size(); ++a) row_args[a] = arg_values[a][i];
+      out[i] = fn_(row_args);
+    }
+    return out;
+  }
+
+  void CollectColumns(std::vector<std::string>& out) const override {
+    for (const ExprPtr& arg : args_) arg->CollectColumns(out);
+  }
+
+  bool HasUdf() const override { return true; }
+
+  std::string ToString() const override {
+    std::string s = name_ + "(";
+    for (size_t i = 0; i < args_.size(); ++i) {
+      if (i > 0) s += ", ";
+      s += args_[i]->ToString();
+    }
+    return s + ")";
+  }
+
+ private:
+  std::string name_;
+  ScalarUdf fn_;
+  std::vector<ExprPtr> args_;
+};
+
+}  // namespace
+
+ExprPtr ColumnRef(std::string name) {
+  return std::make_shared<ColumnRefExpr>(std::move(name));
+}
+
+ExprPtr Literal(double value) { return std::make_shared<LiteralExpr>(value); }
+
+ExprPtr Arithmetic(ArithOp op, ExprPtr lhs, ExprPtr rhs) {
+  return std::make_shared<ArithmeticExpr>(op, std::move(lhs), std::move(rhs));
+}
+
+ExprPtr Comparison(CompareOp op, ExprPtr lhs, ExprPtr rhs) {
+  return std::make_shared<ComparisonExpr>(op, std::move(lhs), std::move(rhs));
+}
+
+ExprPtr StringEquals(ExprPtr column, std::string value) {
+  AQP_CHECK(column != nullptr && column->kind() == ExprKind::kColumnRef);
+  // Extract the column name from its rendering (a ColumnRef prints as its
+  // bare name).
+  return std::make_shared<StringEqualsExpr>(column->ToString(),
+                                            std::move(value));
+}
+
+ExprPtr Logical(LogicalOp op, ExprPtr lhs, ExprPtr rhs) {
+  return std::make_shared<LogicalExpr>(op, std::move(lhs), std::move(rhs));
+}
+
+ExprPtr Not(ExprPtr operand) {
+  return std::make_shared<NotExpr>(std::move(operand));
+}
+
+ExprPtr Udf(std::string name, ScalarUdf fn, std::vector<ExprPtr> args) {
+  return std::make_shared<UdfExpr>(std::move(name), std::move(fn),
+                                   std::move(args));
+}
+
+}  // namespace aqp

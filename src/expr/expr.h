@@ -1,0 +1,169 @@
+#ifndef AQP_EXPR_EXPR_H_
+#define AQP_EXPR_EXPR_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "storage/table.h"
+#include "util/status.h"
+
+namespace aqp {
+
+class Expr;
+using ExprPtr = std::shared_ptr<const Expr>;
+
+/// Expression node kinds.
+enum class ExprKind {
+  kColumnRef,   ///< Named numeric or string column.
+  kLiteral,     ///< Numeric constant.
+  kArithmetic,  ///< +, -, *, / over numeric subexpressions.
+  kComparison,  ///< ==, !=, <, <=, >, >= over numeric subexpressions.
+  kStringEq,    ///< column == 'constant' (dictionary-code comparison).
+  kLogical,     ///< AND / OR over boolean subexpressions.
+  kNot,         ///< Boolean negation.
+  kUdf,         ///< Scalar user-defined function over numeric args.
+};
+
+enum class ArithOp { kAdd, kSub, kMul, kDiv };
+enum class CompareOp { kEq, kNe, kLt, kLe, kGt, kGe };
+enum class LogicalOp { kAnd, kOr };
+
+/// Scalar UDF: maps one row's evaluated argument values to a double.
+using ScalarUdf = std::function<double(const std::vector<double>& args)>;
+
+/// Immutable expression tree evaluated column-at-a-time against a `Table`.
+///
+/// Two evaluation entry points exist: `EvalNumeric` produces one double per
+/// selected row; `EvalPredicate` produces a 0/1 mask per selected row. A
+/// numeric expression used as a predicate is truthy when nonzero.
+///
+/// Example (AVG(time) WHERE city = 'NYC' is expressed by the caller as an
+/// aggregate over this filter):
+///   ExprPtr pred = StringEquals(ColumnRef("city"), "NYC");
+class Expr {
+ public:
+  virtual ~Expr() = default;
+
+  ExprKind kind() const { return kind_; }
+
+  /// Evaluates this expression as numeric values for the rows listed in
+  /// `rows` (or all table rows when `rows` is nullptr). Boolean expressions
+  /// evaluate to 0.0 / 1.0.
+  virtual Result<std::vector<double>> EvalNumeric(
+      const Table& table, const std::vector<int64_t>* rows) const = 0;
+
+  /// Evaluates this expression as a 0/1 mask over the selected rows.
+  /// Defaults to EvalNumeric-and-threshold; boolean nodes override.
+  virtual Result<std::vector<char>> EvalPredicate(
+      const Table& table, const std::vector<int64_t>* rows) const;
+
+  /// Collects the column names referenced by this expression into `out`.
+  virtual void CollectColumns(std::vector<std::string>& out) const = 0;
+
+  /// True if any node in this tree is a UDF. Used to classify queries as
+  /// closed-form-amenable vs. bootstrap-only (paper §2.3.2: closed forms are
+  /// unknown for black-box UDFs).
+  virtual bool HasUdf() const { return false; }
+
+  /// If this node is exactly `column == 'value'`, fills the outputs and
+  /// returns true. Lets planners match filters against stratified samples.
+  virtual bool GetStringEquality(std::string* column,
+                                 std::string* value) const {
+    (void)column;
+    (void)value;
+    return false;
+  }
+
+  /// If this node is a conjunction (AND), appends its two operands to `out`
+  /// and returns true. Lets planners flatten conjunctive filters.
+  virtual bool GetAndOperands(std::vector<ExprPtr>& out) const {
+    (void)out;
+    return false;
+  }
+
+  /// Human-readable rendering for plan explanations.
+  virtual std::string ToString() const = 0;
+
+ protected:
+  explicit Expr(ExprKind kind) : kind_(kind) {}
+
+  /// Number of rows selected by `rows` over `table`.
+  static int64_t SelectedCount(const Table& table,
+                               const std::vector<int64_t>* rows) {
+    return rows == nullptr ? table.num_rows()
+                           : static_cast<int64_t>(rows->size());
+  }
+
+ private:
+  ExprKind kind_;
+};
+
+// ---------------------------------------------------------------------------
+// Factory functions (the public way to build expression trees).
+// ---------------------------------------------------------------------------
+
+/// References the named column.
+ExprPtr ColumnRef(std::string name);
+
+/// Numeric constant.
+ExprPtr Literal(double value);
+
+/// Arithmetic combination of two numeric expressions.
+ExprPtr Arithmetic(ArithOp op, ExprPtr lhs, ExprPtr rhs);
+
+/// Numeric comparison producing a boolean.
+ExprPtr Comparison(CompareOp op, ExprPtr lhs, ExprPtr rhs);
+
+/// Dictionary-code equality: `column == value`. `column` must be a
+/// kColumnRef naming a string column.
+ExprPtr StringEquals(ExprPtr column, std::string value);
+
+/// AND / OR of two boolean expressions.
+ExprPtr Logical(LogicalOp op, ExprPtr lhs, ExprPtr rhs);
+
+/// Boolean negation.
+ExprPtr Not(ExprPtr operand);
+
+/// Scalar UDF application. `name` is used for display only.
+ExprPtr Udf(std::string name, ScalarUdf fn, std::vector<ExprPtr> args);
+
+// Convenience shorthands.
+inline ExprPtr Add(ExprPtr a, ExprPtr b) {
+  return Arithmetic(ArithOp::kAdd, std::move(a), std::move(b));
+}
+inline ExprPtr Sub(ExprPtr a, ExprPtr b) {
+  return Arithmetic(ArithOp::kSub, std::move(a), std::move(b));
+}
+inline ExprPtr Mul(ExprPtr a, ExprPtr b) {
+  return Arithmetic(ArithOp::kMul, std::move(a), std::move(b));
+}
+inline ExprPtr Div(ExprPtr a, ExprPtr b) {
+  return Arithmetic(ArithOp::kDiv, std::move(a), std::move(b));
+}
+inline ExprPtr Lt(ExprPtr a, ExprPtr b) {
+  return Comparison(CompareOp::kLt, std::move(a), std::move(b));
+}
+inline ExprPtr Le(ExprPtr a, ExprPtr b) {
+  return Comparison(CompareOp::kLe, std::move(a), std::move(b));
+}
+inline ExprPtr Gt(ExprPtr a, ExprPtr b) {
+  return Comparison(CompareOp::kGt, std::move(a), std::move(b));
+}
+inline ExprPtr Ge(ExprPtr a, ExprPtr b) {
+  return Comparison(CompareOp::kGe, std::move(a), std::move(b));
+}
+inline ExprPtr Eq(ExprPtr a, ExprPtr b) {
+  return Comparison(CompareOp::kEq, std::move(a), std::move(b));
+}
+inline ExprPtr And(ExprPtr a, ExprPtr b) {
+  return Logical(LogicalOp::kAnd, std::move(a), std::move(b));
+}
+inline ExprPtr Or(ExprPtr a, ExprPtr b) {
+  return Logical(LogicalOp::kOr, std::move(a), std::move(b));
+}
+
+}  // namespace aqp
+
+#endif  // AQP_EXPR_EXPR_H_

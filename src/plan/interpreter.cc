@@ -1,0 +1,194 @@
+#include "plan/interpreter.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "exec/aggregate.h"
+#include "exec/executor.h"
+#include "sampling/poisson_resample.h"
+#include "util/logging.h"
+#include "util/random.h"
+#include "util/stats.h"
+
+namespace aqp {
+namespace {
+
+/// Deterministic per-(row, replicate) Poisson(1) weight: a tiny counter-mode
+/// RNG keyed by (seed, row, replicate). Placement-independent by
+/// construction.
+double RowReplicateWeight(uint64_t seed, int64_t row, int replicate) {
+  Rng rng(seed ^ (static_cast<uint64_t>(row) * 0x9E3779B97F4A7C15ULL) ^
+          (static_cast<uint64_t>(replicate) * 0xC2B2AE3D27D4EB4FULL));
+  return static_cast<double>(PoissonOneWeight(rng));
+}
+
+/// Interpreter state flowing up the plan chain.
+struct Dataflow {
+  /// Materialized working table (projections append columns).
+  Table table{"dataflow"};
+  /// Original input-row id per current row (keys weight generation).
+  std::vector<int64_t> origin_rows;
+  /// Per replicate: weight per current row. Empty until a resampler runs.
+  std::vector<std::vector<double>> weights;
+  bool resampled = false;
+};
+
+Status ApplyScan(const Table& input, Dataflow& flow) {
+  std::vector<int64_t> all(static_cast<size_t>(input.num_rows()));
+  std::iota(all.begin(), all.end(), 0);
+  flow.table = input.GatherRows(all);
+  flow.origin_rows = std::move(all);
+  return Status::OK();
+}
+
+Status ApplyFilter(const PlanNode& node, Dataflow& flow) {
+  Result<std::vector<char>> mask =
+      node.expr->EvalPredicate(flow.table, nullptr);
+  if (!mask.ok()) return mask.status();
+  std::vector<int64_t> keep;
+  keep.reserve(mask->size());
+  for (size_t i = 0; i < mask->size(); ++i) {
+    if ((*mask)[i]) keep.push_back(static_cast<int64_t>(i));
+  }
+  Table filtered = flow.table.GatherRows(keep);
+  std::vector<int64_t> origins;
+  origins.reserve(keep.size());
+  for (int64_t i : keep) {
+    origins.push_back(flow.origin_rows[static_cast<size_t>(i)]);
+  }
+  if (flow.resampled) {
+    for (auto& w : flow.weights) {
+      std::vector<double> filtered_w;
+      filtered_w.reserve(keep.size());
+      for (int64_t i : keep) filtered_w.push_back(w[static_cast<size_t>(i)]);
+      w = std::move(filtered_w);
+    }
+  }
+  flow.table = std::move(filtered);
+  flow.origin_rows = std::move(origins);
+  return Status::OK();
+}
+
+Status ApplyProject(const PlanNode& node, Dataflow& flow) {
+  Result<std::vector<double>> values =
+      node.expr->EvalNumeric(flow.table, nullptr);
+  if (!values.ok()) return values.status();
+  Column col = Column::MakeDouble(node.output_name);
+  for (double v : *values) col.AppendDouble(v);
+  return flow.table.AddColumn(std::move(col));
+}
+
+Status ApplyResample(const PlanNode& node, uint64_t seed, Dataflow& flow) {
+  if (flow.resampled) {
+    return Status::InvalidArgument("plan contains two resample operators");
+  }
+  int k = node.resample.bootstrap_replicates;
+  flow.weights.assign(static_cast<size_t>(k), {});
+  for (int r = 0; r < k; ++r) {
+    std::vector<double>& w = flow.weights[static_cast<size_t>(r)];
+    w.reserve(flow.origin_rows.size());
+    for (int64_t origin : flow.origin_rows) {
+      w.push_back(RowReplicateWeight(seed, origin, r));
+    }
+  }
+  flow.resampled = true;
+  return Status::OK();
+}
+
+Result<double> AggregateCurrent(const PlanNode& node, const Dataflow& flow,
+                                double scale_factor, const double* weights) {
+  const AggregateSpec& agg = node.aggregate;
+  PreparedQuery prepared;
+  prepared.table_rows = flow.table.num_rows();
+  prepared.rows.resize(static_cast<size_t>(flow.table.num_rows()));
+  std::iota(prepared.rows.begin(), prepared.rows.end(), 0);
+  if (agg.input != nullptr) {
+    Result<std::vector<double>> values =
+        agg.input->EvalNumeric(flow.table, nullptr);
+    if (!values.ok()) return values.status();
+    prepared.values = std::move(values).value();
+  } else if (agg.kind != AggregateKind::kCount) {
+    return Status::InvalidArgument("aggregate requires an input expression");
+  }
+  if (weights == nullptr) {
+    return ComputeAggregate(prepared, agg, scale_factor);
+  }
+  return ComputeWeightedAggregate(prepared, agg, scale_factor, weights);
+}
+
+}  // namespace
+
+Result<PlanExecutionResult> ExecutePlan(const PlanNodePtr& plan,
+                                        const Table& input,
+                                        double scale_factor, uint64_t seed) {
+  if (plan == nullptr) return Status::InvalidArgument("null plan");
+  std::vector<const PlanNode*> chain = Linearize(plan);
+  std::reverse(chain.begin(), chain.end());  // leaf (scan) first
+  if (chain.front()->kind != PlanNodeKind::kScan) {
+    return Status::InvalidArgument("plan must start at a Scan");
+  }
+
+  PlanExecutionResult result;
+  Dataflow flow;
+  bool aggregated = false;
+  for (const PlanNode* node : chain) {
+    switch (node->kind) {
+      case PlanNodeKind::kScan:
+        AQP_RETURN_IF_ERROR(ApplyScan(input, flow));
+        break;
+      case PlanNodeKind::kFilter:
+        if (aggregated) {
+          return Status::InvalidArgument("Filter above Aggregate");
+        }
+        AQP_RETURN_IF_ERROR(ApplyFilter(*node, flow));
+        break;
+      case PlanNodeKind::kProject:
+        AQP_RETURN_IF_ERROR(ApplyProject(*node, flow));
+        break;
+      case PlanNodeKind::kPoissonResample:
+        AQP_RETURN_IF_ERROR(ApplyResample(*node, seed, flow));
+        break;
+      case PlanNodeKind::kAggregate:
+      case PlanNodeKind::kWeightedAggregate: {
+        Result<double> plain =
+            AggregateCurrent(*node, flow, scale_factor, nullptr);
+        if (!plain.ok()) return plain.status();
+        result.estimate = *plain;
+        if (node->kind == PlanNodeKind::kWeightedAggregate) {
+          if (!flow.resampled) {
+            return Status::InvalidArgument(
+                "WeightedAggregate requires a PoissonResample below it");
+          }
+          result.replicates.reserve(flow.weights.size());
+          for (const std::vector<double>& w : flow.weights) {
+            Result<double> theta =
+                AggregateCurrent(*node, flow, scale_factor, w.data());
+            if (theta.ok()) result.replicates.push_back(*theta);
+          }
+        }
+        aggregated = true;
+        break;
+      }
+      case PlanNodeKind::kBootstrap: {
+        if (!aggregated || result.replicates.size() < 2) {
+          return Status::InvalidArgument(
+              "Bootstrap operator needs replicate estimates below it");
+        }
+        result.ci.center = result.estimate;
+        result.ci.half_width = SmallestSymmetricCoverRadius(
+            result.replicates, result.estimate, node->alpha);
+        result.has_ci = true;
+        break;
+      }
+      case PlanNodeKind::kDiagnostic:
+        result.diagnostic_requested = true;
+        break;
+    }
+  }
+  if (!aggregated) {
+    return Status::InvalidArgument("plan has no aggregate");
+  }
+  return result;
+}
+
+}  // namespace aqp

@@ -1,0 +1,48 @@
+#ifndef AQP_PLAN_INTERPRETER_H_
+#define AQP_PLAN_INTERPRETER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "estimation/confidence_interval.h"
+#include "plan/plan.h"
+#include "storage/table.h"
+#include "util/status.h"
+
+namespace aqp {
+
+/// Output of interpreting a logical plan on a concrete table.
+struct PlanExecutionResult {
+  /// Plain θ(S) (always produced).
+  double estimate = 0.0;
+  /// One estimate per bootstrap weight column, when the plan contains a
+  /// PoissonResample + WeightedAggregate pair.
+  std::vector<double> replicates;
+  /// Produced when the plan contains a Bootstrap operator.
+  ConfidenceInterval ci;
+  bool has_ci = false;
+  /// True when the plan carries a Diagnostic operator (the interpreter
+  /// records the request; Algorithm 1 itself runs via RunDiagnostic, which
+  /// needs the subsample partition structure).
+  bool diagnostic_requested = false;
+};
+
+/// Reference interpreter for logical plans, used to validate the rewriters:
+/// it executes Scan / Filter / Project / PoissonResample /
+/// (Weighted)Aggregate / Bootstrap chains directly against `input`.
+///
+/// Resampling weights are generated *deterministically per (original row,
+/// replicate)* from `seed`, independent of where the resampler sits in the
+/// plan. This makes "resample then filter" and "filter then resample"
+/// produce bit-identical results — exactly the commutation property that
+/// justifies operator pushdown (§5.3.2) — so tests can assert equality, not
+/// just distributional similarity.
+///
+/// `scale_factor` = |D| / |S| for SUM/COUNT scaling.
+Result<PlanExecutionResult> ExecutePlan(const PlanNodePtr& plan,
+                                        const Table& input,
+                                        double scale_factor, uint64_t seed);
+
+}  // namespace aqp
+
+#endif  // AQP_PLAN_INTERPRETER_H_

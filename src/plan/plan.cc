@@ -1,0 +1,161 @@
+#include "plan/plan.h"
+
+#include "util/logging.h"
+
+namespace aqp {
+
+const char* PlanNodeKindName(PlanNodeKind kind) {
+  switch (kind) {
+    case PlanNodeKind::kScan:
+      return "Scan";
+    case PlanNodeKind::kFilter:
+      return "Filter";
+    case PlanNodeKind::kProject:
+      return "Project";
+    case PlanNodeKind::kPoissonResample:
+      return "PoissonResample";
+    case PlanNodeKind::kAggregate:
+      return "Aggregate";
+    case PlanNodeKind::kWeightedAggregate:
+      return "WeightedAggregate";
+    case PlanNodeKind::kBootstrap:
+      return "Bootstrap";
+    case PlanNodeKind::kDiagnostic:
+      return "Diagnostic";
+  }
+  return "Unknown";
+}
+
+namespace {
+
+std::shared_ptr<PlanNode> NewNode(PlanNodeKind kind, PlanNodePtr child) {
+  auto node = std::make_shared<PlanNode>();
+  node->kind = kind;
+  node->child = std::move(child);
+  return node;
+}
+
+}  // namespace
+
+PlanNodePtr ScanNode(std::string table) {
+  auto node = NewNode(PlanNodeKind::kScan, nullptr);
+  node->table = std::move(table);
+  return node;
+}
+
+PlanNodePtr FilterNode(PlanNodePtr child, ExprPtr predicate) {
+  AQP_CHECK(child != nullptr && predicate != nullptr);
+  auto node = NewNode(PlanNodeKind::kFilter, std::move(child));
+  node->expr = std::move(predicate);
+  return node;
+}
+
+PlanNodePtr ProjectNode(PlanNodePtr child, std::string output_name,
+                        ExprPtr expr) {
+  AQP_CHECK(child != nullptr && expr != nullptr);
+  auto node = NewNode(PlanNodeKind::kProject, std::move(child));
+  node->output_name = std::move(output_name);
+  node->expr = std::move(expr);
+  return node;
+}
+
+PlanNodePtr ResampleNode(PlanNodePtr child, ResampleSpec spec) {
+  AQP_CHECK(child != nullptr);
+  auto node = NewNode(PlanNodeKind::kPoissonResample, std::move(child));
+  node->resample = std::move(spec);
+  return node;
+}
+
+PlanNodePtr AggregateNode(PlanNodePtr child, AggregateSpec aggregate) {
+  AQP_CHECK(child != nullptr);
+  auto node = NewNode(PlanNodeKind::kAggregate, std::move(child));
+  node->aggregate = std::move(aggregate);
+  return node;
+}
+
+PlanNodePtr WeightedAggregateNode(PlanNodePtr child,
+                                  AggregateSpec aggregate) {
+  AQP_CHECK(child != nullptr);
+  auto node = NewNode(PlanNodeKind::kWeightedAggregate, std::move(child));
+  node->aggregate = std::move(aggregate);
+  return node;
+}
+
+PlanNodePtr BootstrapNode(PlanNodePtr child, double alpha) {
+  AQP_CHECK(child != nullptr);
+  auto node = NewNode(PlanNodeKind::kBootstrap, std::move(child));
+  node->alpha = alpha;
+  return node;
+}
+
+PlanNodePtr DiagnosticNode(PlanNodePtr child, double alpha) {
+  AQP_CHECK(child != nullptr);
+  auto node = NewNode(PlanNodeKind::kDiagnostic, std::move(child));
+  node->alpha = alpha;
+  return node;
+}
+
+PlanNodePtr BuildQueryPlan(const QuerySpec& query) {
+  PlanNodePtr plan = ScanNode(query.table);
+  if (query.filter != nullptr) plan = FilterNode(plan, query.filter);
+  return AggregateNode(plan, query.aggregate);
+}
+
+std::vector<const PlanNode*> Linearize(const PlanNodePtr& root) {
+  std::vector<const PlanNode*> nodes;
+  for (const PlanNode* node = root.get(); node != nullptr;
+       node = node->child.get()) {
+    nodes.push_back(node);
+  }
+  return nodes;
+}
+
+std::string ExplainPlan(const PlanNodePtr& root) {
+  std::string out;
+  int depth = 0;
+  for (const PlanNode* node : Linearize(root)) {
+    for (int i = 0; i < depth; ++i) out += "  ";
+    out += PlanNodeKindName(node->kind);
+    switch (node->kind) {
+      case PlanNodeKind::kScan:
+        out += "(" + node->table + ")";
+        break;
+      case PlanNodeKind::kFilter:
+        out += "(" + node->expr->ToString() + ")";
+        break;
+      case PlanNodeKind::kProject:
+        out += "(" + node->output_name + " = " + node->expr->ToString() + ")";
+        break;
+      case PlanNodeKind::kPoissonResample: {
+        out += "(K=" + std::to_string(node->resample.bootstrap_replicates);
+        for (const auto& d : node->resample.diagnostic_sets) {
+          out += ", diag{b=" + std::to_string(d.subsample_rows) +
+                 ",p=" + std::to_string(d.num_subsamples) +
+                 ",K=" + std::to_string(d.replicates) + "}";
+        }
+        out += ", weight_cols=" +
+               std::to_string(node->resample.TotalWeightColumns()) + ")";
+        break;
+      }
+      case PlanNodeKind::kAggregate:
+      case PlanNodeKind::kWeightedAggregate:
+        out += "(";
+        out += AggregateKindName(node->aggregate.kind);
+        out += "(";
+        out += node->aggregate.input == nullptr
+                   ? "*"
+                   : node->aggregate.input->ToString();
+        out += "))";
+        break;
+      case PlanNodeKind::kBootstrap:
+      case PlanNodeKind::kDiagnostic:
+        out += "(alpha=" + std::to_string(node->alpha) + ")";
+        break;
+    }
+    out += "\n";
+    ++depth;
+  }
+  return out;
+}
+
+}  // namespace aqp

@@ -1,0 +1,104 @@
+#ifndef AQP_PLAN_PLAN_H_
+#define AQP_PLAN_PLAN_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "exec/query_spec.h"
+#include "expr/expr.h"
+
+namespace aqp {
+
+/// Logical operators of the error-estimation pipeline (paper Fig. 6). The
+/// three operators the paper adds to BlinkDB — Poissonized resampling,
+/// bootstrap, diagnostics — appear alongside the standard relational ones.
+enum class PlanNodeKind {
+  kScan,             ///< Reads a (sample) table.
+  kFilter,           ///< Row predicate. Pass-through for resampling.
+  kProject,          ///< Adds a computed column. Pass-through.
+  kPoissonResample,  ///< Attaches per-row resampling weight columns (§5.2).
+  kAggregate,        ///< Plain aggregate (one output value).
+  kWeightedAggregate,///< Aggregate replicated per weight column (§5.3.1).
+  kBootstrap,        ///< Turns replicate estimates into a CI (§5.3.1).
+  kDiagnostic,       ///< Runs acceptance checks on diagnostic replicates.
+};
+
+const char* PlanNodeKindName(PlanNodeKind kind);
+
+/// How many resampling weight columns a PoissonResample operator attaches:
+/// K columns for the bootstrap plus, per diagnostic subsample size, the
+/// replicate weights for the (single) subsample each row belongs to.
+/// With the paper's defaults (K = 100, k = 3 sizes x 100 replicates) every
+/// row carries 400 weight columns — this is the scan-consolidation payload.
+struct ResampleSpec {
+  /// K: bootstrap replicates.
+  int bootstrap_replicates = 100;
+
+  /// One diagnostic "weight set" per subsample size b_i.
+  struct DiagnosticSet {
+    int64_t subsample_rows = 0;  ///< b_i.
+    int num_subsamples = 100;    ///< p.
+    int replicates = 100;        ///< K used by ξ on each subsample.
+  };
+  std::vector<DiagnosticSet> diagnostic_sets;
+
+  int TotalWeightColumns() const {
+    int total = bootstrap_replicates;
+    for (const DiagnosticSet& d : diagnostic_sets) total += d.replicates;
+    return total;
+  }
+};
+
+struct PlanNode;
+using PlanNodePtr = std::shared_ptr<const PlanNode>;
+
+/// One node of a single-child logical plan chain (analytic single-aggregate
+/// queries produce linear plans; the paper's Fig. 6 operates on the same
+/// shape).
+struct PlanNode {
+  PlanNodeKind kind = PlanNodeKind::kScan;
+  PlanNodePtr child;  ///< Null only for kScan.
+
+  // Payload fields; which are meaningful depends on `kind`.
+  std::string table;          ///< kScan: table name.
+  ExprPtr expr;               ///< kFilter predicate / kProject expression.
+  std::string output_name;    ///< kProject: name of the computed column.
+  AggregateSpec aggregate;    ///< kAggregate / kWeightedAggregate.
+  ResampleSpec resample;      ///< kPoissonResample.
+  double alpha = 0.95;        ///< kBootstrap / kDiagnostic coverage.
+
+  /// True if this operator does not change the statistical properties of
+  /// the columns being aggregated (§5.3.2 footnote 11): scans, filters,
+  /// projections. The resampling operator commutes with these.
+  bool IsPassThrough() const {
+    return kind == PlanNodeKind::kScan || kind == PlanNodeKind::kFilter ||
+           kind == PlanNodeKind::kProject;
+  }
+};
+
+// -- Builders ---------------------------------------------------------------
+
+PlanNodePtr ScanNode(std::string table);
+PlanNodePtr FilterNode(PlanNodePtr child, ExprPtr predicate);
+PlanNodePtr ProjectNode(PlanNodePtr child, std::string output_name,
+                        ExprPtr expr);
+PlanNodePtr ResampleNode(PlanNodePtr child, ResampleSpec spec);
+PlanNodePtr AggregateNode(PlanNodePtr child, AggregateSpec aggregate);
+PlanNodePtr WeightedAggregateNode(PlanNodePtr child, AggregateSpec aggregate);
+PlanNodePtr BootstrapNode(PlanNodePtr child, double alpha);
+PlanNodePtr DiagnosticNode(PlanNodePtr child, double alpha);
+
+/// Builds the plain query plan Scan -> [Filter] -> Aggregate for `query`.
+PlanNodePtr BuildQueryPlan(const QuerySpec& query);
+
+/// Multi-line EXPLAIN-style rendering (top operator first).
+std::string ExplainPlan(const PlanNodePtr& root);
+
+/// Nodes from root to leaf, for analysis passes.
+std::vector<const PlanNode*> Linearize(const PlanNodePtr& root);
+
+}  // namespace aqp
+
+#endif  // AQP_PLAN_PLAN_H_

@@ -1,0 +1,121 @@
+#include "plan/rewriter.h"
+
+#include <algorithm>
+
+namespace aqp {
+namespace {
+
+/// Copies a node, giving it a new child.
+std::shared_ptr<PlanNode> CopyWithChild(const PlanNode& node,
+                                        PlanNodePtr child) {
+  auto copy = std::make_shared<PlanNode>(node);
+  copy->child = std::move(child);
+  return copy;
+}
+
+}  // namespace
+
+Result<PlanNodePtr> RewriteForErrorEstimation(const PlanNodePtr& plan,
+                                              const ResampleSpec& spec,
+                                              const RewriteOptions& options) {
+  if (plan == nullptr) return Status::InvalidArgument("null plan");
+  std::vector<const PlanNode*> chain = Linearize(plan);  // root ... leaf
+  if (chain.front()->kind != PlanNodeKind::kAggregate) {
+    return Status::InvalidArgument(
+        "rewrite expects a plan topped by a single Aggregate; got " +
+        std::string(PlanNodeKindName(chain.front()->kind)));
+  }
+  if (chain.back()->kind != PlanNodeKind::kScan) {
+    return Status::InvalidArgument("plan must bottom out at a Scan");
+  }
+  for (size_t i = 1; i < chain.size(); ++i) {
+    if (!chain[i]->IsPassThrough()) {
+      return Status::InvalidArgument(
+          "operators below the aggregate must be pass-through; found " +
+          std::string(PlanNodeKindName(chain[i]->kind)));
+    }
+  }
+
+  // Rebuild leaf-to-root, inserting the resampler above the node at
+  // `insert_above` (chain is root-first). With pushdown the resampler sits
+  // immediately below the aggregate, i.e. above chain[1] — the whole prefix
+  // below the aggregate is pass-through, so resampling commutes with it.
+  // Without pushdown it sits immediately above the scan (chain.back()).
+  size_t insert_above = options.operator_pushdown ? 1 : chain.size() - 1;
+
+  PlanNodePtr rebuilt;
+  for (size_t i = chain.size(); i-- > 0;) {
+    const PlanNode& node = *chain[i];
+    if (node.kind == PlanNodeKind::kScan) {
+      rebuilt = CopyWithChild(node, nullptr);
+    } else if (node.kind == PlanNodeKind::kAggregate) {
+      rebuilt = WeightedAggregateNode(rebuilt, node.aggregate);
+    } else {
+      rebuilt = CopyWithChild(node, rebuilt);
+    }
+    if (i == insert_above) {
+      rebuilt = ResampleNode(rebuilt, spec);
+    }
+  }
+  rebuilt = BootstrapNode(rebuilt, 0.95);
+  if (!spec.diagnostic_sets.empty()) {
+    rebuilt = DiagnosticNode(rebuilt, 0.95);
+  }
+  return rebuilt;
+}
+
+PlanProfile ProfilePlan(const PlanNodePtr& plan) {
+  PlanProfile profile;
+  std::vector<const PlanNode*> chain = Linearize(plan);
+  bool saw_resample = false;
+  bool saw_non_passthrough_below_resample = false;
+  for (size_t i = 0; i < chain.size(); ++i) {
+    const PlanNode* node = chain[i];
+    switch (node->kind) {
+      case PlanNodeKind::kPoissonResample: {
+        saw_resample = true;
+        profile.weight_columns = node->resample.TotalWeightColumns();
+        // Everything below this node (toward the leaf) that filters rows
+        // means weights attach post-filter.
+        for (size_t j = i + 1; j < chain.size(); ++j) {
+          if (chain[j]->kind == PlanNodeKind::kFilter ||
+              chain[j]->kind == PlanNodeKind::kProject) {
+            saw_non_passthrough_below_resample = true;
+          }
+        }
+        break;
+      }
+      case PlanNodeKind::kDiagnostic:
+        profile.has_diagnostic = true;
+        break;
+      default:
+        break;
+    }
+  }
+  profile.weights_attached_after_passthrough =
+      saw_resample && saw_non_passthrough_below_resample;
+  profile.num_subqueries = 1;
+  profile.base_scans = 1;
+  return profile;
+}
+
+PlanProfile BaselineProfile(const ResampleSpec& spec) {
+  PlanProfile profile;
+  // 1 plain query + K bootstrap subqueries, each a separate scan.
+  int64_t subqueries = 1 + spec.bootstrap_replicates;
+  // Each diagnostic subsample needs `replicates` bootstrap executions
+  // (p subsamples per size); each is an independent subquery in the naive
+  // SQL rewrite. With the paper's defaults this contributes
+  // 3 * 100 * 100 = 30,000 subqueries.
+  for (const ResampleSpec::DiagnosticSet& d : spec.diagnostic_sets) {
+    subqueries += static_cast<int64_t>(d.num_subsamples) * d.replicates;
+  }
+  profile.num_subqueries = subqueries;
+  profile.base_scans = subqueries;
+  profile.weight_columns = 0;
+  profile.weights_attached_after_passthrough = false;
+  profile.has_diagnostic = !spec.diagnostic_sets.empty();
+  return profile;
+}
+
+}  // namespace aqp

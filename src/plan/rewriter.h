@@ -1,0 +1,63 @@
+#ifndef AQP_PLAN_REWRITER_H_
+#define AQP_PLAN_REWRITER_H_
+
+#include "plan/plan.h"
+#include "util/status.h"
+
+namespace aqp {
+
+/// Which of the paper's logical-plan optimizations (§5.3) to apply.
+struct RewriteOptions {
+  /// §5.3.1: one scan computes the answer, all K bootstrap replicates, and
+  /// all diagnostic replicates via weight columns. When false the pipeline
+  /// degenerates to the §5.2 baseline of independent subqueries (modeled by
+  /// BaselineProfile; the rewriter itself always emits a consolidated plan).
+  bool scan_consolidation = true;
+  /// §5.3.2: insert the resampling operator after the longest pass-through
+  /// prefix instead of directly above the scan, so weight columns are only
+  /// attached to rows that survive filtering.
+  bool operator_pushdown = true;
+};
+
+/// Rewrites a plain plan (Scan -> pass-through* -> Aggregate) into the
+/// error-estimation pipeline of Fig. 6(b): inserts the PoissonResample
+/// operator (placement per `options.operator_pushdown`), converts the
+/// Aggregate into a WeightedAggregate computing one estimate per weight
+/// column, and stacks Bootstrap and (if `spec.diagnostic_sets` is nonempty)
+/// Diagnostic operators on top.
+///
+/// Fails if the plan is not a linear pass-through chain topped by a single
+/// Aggregate (the shape produced by BuildQueryPlan).
+Result<PlanNodePtr> RewriteForErrorEstimation(const PlanNodePtr& plan,
+                                              const ResampleSpec& spec,
+                                              const RewriteOptions& options);
+
+/// Work profile of an (optionally rewritten) plan, consumed by the cluster
+/// cost model: how many passes over the base sample, how many independent
+/// subquery executions, and how many weight columns ride along.
+struct PlanProfile {
+  /// Independent subquery executions against the sample (baseline rewrite:
+  /// 1 + K + diagnostic subqueries; consolidated: 1).
+  int64_t num_subqueries = 1;
+  /// Full passes over the base sample data.
+  int64_t base_scans = 1;
+  /// Resampling weight columns carried through the plan (0 = plain query).
+  int weight_columns = 0;
+  /// True when weights are attached after the pass-through prefix, so only
+  /// filtered rows carry them.
+  bool weights_attached_after_passthrough = false;
+  /// True when the plan contains a Diagnostic operator.
+  bool has_diagnostic = false;
+};
+
+/// Profiles a (possibly rewritten) consolidated plan.
+PlanProfile ProfilePlan(const PlanNodePtr& plan);
+
+/// Profile of the §5.2 baseline implementation for the same spec: each
+/// bootstrap replicate is an independent subquery and every diagnostic
+/// subsample replicate is another, each re-scanning the sample.
+PlanProfile BaselineProfile(const ResampleSpec& spec);
+
+}  // namespace aqp
+
+#endif  // AQP_PLAN_REWRITER_H_

@@ -1,0 +1,44 @@
+#include "sampling/poisson_resample.h"
+
+#include "util/logging.h"
+
+namespace aqp {
+
+std::vector<int32_t> GeneratePoissonWeights(int64_t n, Rng& rng, double rate) {
+  AQP_CHECK(n >= 0 && rate >= 0.0);
+  std::vector<int32_t> weights(static_cast<size_t>(n));
+  if (rate == 1.0) {
+    for (int32_t& w : weights) w = PoissonOneWeight(rng);
+  } else {
+    for (int32_t& w : weights) {
+      w = static_cast<int32_t>(rng.NextPoisson(rate));
+    }
+  }
+  return weights;
+}
+
+WeightMatrix::WeightMatrix(int64_t num_resamples, int64_t num_rows, Rng& rng)
+    : num_resamples_(num_resamples), num_rows_(num_rows) {
+  AQP_CHECK(num_resamples >= 0 && num_rows >= 0);
+  data_.resize(static_cast<size_t>(num_resamples * num_rows));
+  for (uint8_t& w : data_) {
+    int32_t count = PoissonOneWeight(rng);
+    w = count > 255 ? 255 : static_cast<uint8_t>(count);
+  }
+}
+
+int64_t WeightMatrix::ResampleSize(int64_t resample) const {
+  const uint8_t* row = Row(resample);
+  int64_t total = 0;
+  for (int64_t i = 0; i < num_rows_; ++i) total += row[i];
+  return total;
+}
+
+std::vector<int64_t> ExactResampleIndices(int64_t n, Rng& rng) {
+  AQP_CHECK(n >= 0);
+  std::vector<int64_t> indices(static_cast<size_t>(n));
+  for (int64_t& idx : indices) idx = rng.NextInt(n);
+  return indices;
+}
+
+}  // namespace aqp

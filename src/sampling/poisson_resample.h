@@ -1,0 +1,79 @@
+#ifndef AQP_SAMPLING_POISSON_RESAMPLE_H_
+#define AQP_SAMPLING_POISSON_RESAMPLE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "util/random.h"
+
+namespace aqp {
+
+/// Poissonized resampling (paper §5.1).
+///
+/// A bootstrap resample of a sample S is equivalent to assigning each row a
+/// multinomial count summing to |S|. Dropping the sum constraint decouples
+/// the rows: each row independently receives a Poisson(1) count. The
+/// resample size is then ~ Normal(|S|, sqrt(|S|)) — concentrated enough that
+/// the bootstrap is unaffected — and weight generation becomes a streaming,
+/// embarrassingly parallel operation with O(1) state.
+
+/// Draws one Poisson(1) count. Exposed for the tight inner loops in the
+/// consolidated executor; equivalent to rng.NextPoisson(1.0) but avoids the
+/// general-lambda dispatch.
+inline int32_t PoissonOneWeight(Rng& rng) {
+  // Knuth's method specialized to lambda = 1: limit = e^{-1}.
+  constexpr double kExpNegOne = 0.36787944117144233;
+  double product = rng.NextDouble();
+  int32_t count = 0;
+  while (product > kExpNegOne) {
+    ++count;
+    product *= rng.NextDouble();
+  }
+  return count;
+}
+
+/// Generates one resample's weights: `n` independent Poisson(rate) counts.
+/// Rate 1.0 is the standard bootstrap; other rates implement
+/// TABLESAMPLE POISSONIZED (100 * rate).
+std::vector<int32_t> GeneratePoissonWeights(int64_t n, Rng& rng,
+                                            double rate = 1.0);
+
+/// Dense row-major weight matrix: `num_resamples` x `num_rows` Poisson(1)
+/// counts, stored as uint8 (P[count > 255] is astronomically small). Used by
+/// tests and the materializing execution path; the consolidated executor
+/// streams weights instead.
+class WeightMatrix {
+ public:
+  WeightMatrix(int64_t num_resamples, int64_t num_rows, Rng& rng);
+
+  int64_t num_resamples() const { return num_resamples_; }
+  int64_t num_rows() const { return num_rows_; }
+
+  uint8_t At(int64_t resample, int64_t row) const {
+    return data_[static_cast<size_t>(resample * num_rows_ + row)];
+  }
+
+  /// Contiguous weights of one resample.
+  const uint8_t* Row(int64_t resample) const {
+    return data_.data() + static_cast<size_t>(resample * num_rows_);
+  }
+
+  /// Total weight (resample size) of one resample.
+  int64_t ResampleSize(int64_t resample) const;
+
+ private:
+  int64_t num_resamples_;
+  int64_t num_rows_;
+  std::vector<uint8_t> data_;
+};
+
+/// Exact with-replacement resample indices (the Tuple-Augmentation-style
+/// baseline the paper compares against in §5.1/§5.2): draws exactly `n` row
+/// indices uniformly with replacement and materializes the index list,
+/// using O(n) memory per resample.
+std::vector<int64_t> ExactResampleIndices(int64_t n, Rng& rng);
+
+}  // namespace aqp
+
+#endif  // AQP_SAMPLING_POISSON_RESAMPLE_H_

@@ -1,0 +1,71 @@
+#include "sampling/sampler.h"
+
+#include <algorithm>
+
+namespace aqp {
+
+Result<Sample> CreateUniformSample(const std::shared_ptr<const Table>& source,
+                                   int64_t n, bool with_replacement,
+                                   Rng& rng) {
+  if (source == nullptr) return Status::InvalidArgument("null source table");
+  if (n < 0) return Status::InvalidArgument("negative sample size");
+  int64_t rows = source->num_rows();
+  if (!with_replacement && n > rows) {
+    return Status::InvalidArgument(
+        "sample size " + std::to_string(n) + " exceeds table rows " +
+        std::to_string(rows) + " (without replacement)");
+  }
+  std::vector<int64_t> indices;
+  if (with_replacement) {
+    indices.reserve(static_cast<size_t>(n));
+    for (int64_t i = 0; i < n; ++i) indices.push_back(rng.NextInt(rows));
+  } else {
+    indices = rng.SampleWithoutReplacement(rows, n);
+  }
+  // SampleWithoutReplacement / with-replacement draws are already in random
+  // order, so the materialized sample's physical order is a random shuffle:
+  // any partition of it is itself a uniform sample.
+  auto data = std::make_shared<Table>(source->GatherRows(indices));
+  Sample sample;
+  sample.data = std::move(data);
+  sample.population_rows = rows;
+  sample.with_replacement = with_replacement;
+  return sample;
+}
+
+void SampleStore::Add(const std::string& table_name, Sample sample) {
+  std::vector<Sample>& list = samples_[table_name];
+  list.push_back(std::move(sample));
+  std::sort(list.begin(), list.end(), [](const Sample& a, const Sample& b) {
+    return a.num_rows() < b.num_rows();
+  });
+}
+
+Result<const Sample*> SampleStore::SelectAtLeast(const std::string& table_name,
+                                                 int64_t min_rows) const {
+  auto it = samples_.find(table_name);
+  if (it == samples_.end() || it->second.empty()) {
+    return Status::NotFound("no samples for table '" + table_name + "'");
+  }
+  for (const Sample& s : it->second) {
+    if (s.num_rows() >= min_rows) return &s;
+  }
+  return &it->second.back();
+}
+
+std::vector<const Sample*> SampleStore::SamplesFor(
+    const std::string& table_name) const {
+  std::vector<const Sample*> out;
+  auto it = samples_.find(table_name);
+  if (it == samples_.end()) return out;
+  out.reserve(it->second.size());
+  for (const Sample& s : it->second) out.push_back(&s);
+  return out;
+}
+
+bool SampleStore::HasSamples(const std::string& table_name) const {
+  auto it = samples_.find(table_name);
+  return it != samples_.end() && !it->second.empty();
+}
+
+}  // namespace aqp

@@ -1,0 +1,80 @@
+#ifndef AQP_SAMPLING_SAMPLER_H_
+#define AQP_SAMPLING_SAMPLER_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "storage/table.h"
+#include "util/random.h"
+#include "util/status.h"
+
+namespace aqp {
+
+/// A materialized uniform random sample of a source table, together with the
+/// metadata estimators need (population size, sampling fraction).
+///
+/// Rows are stored in random order, so — as the paper exploits in §5.1 and
+/// §6.1 — any contiguous slice or disjoint partition of the sample is itself
+/// a uniform random sample of the population.
+struct Sample {
+  std::shared_ptr<const Table> data;
+  /// Number of rows in the source table D.
+  int64_t population_rows = 0;
+  /// Whether rows were drawn with replacement.
+  bool with_replacement = false;
+  /// Seed used to draw the sample (for reproducibility).
+  uint64_t seed = 0;
+
+  int64_t num_rows() const { return data == nullptr ? 0 : data->num_rows(); }
+  /// |S| / |D|.
+  double fraction() const {
+    return population_rows == 0
+               ? 0.0
+               : static_cast<double>(num_rows()) /
+                     static_cast<double>(population_rows);
+  }
+  /// |D| / |S| — multiplies SUM/COUNT sample estimates up to population
+  /// scale.
+  double scale_factor() const {
+    int64_t n = num_rows();
+    return n == 0 ? 0.0
+                  : static_cast<double>(population_rows) /
+                        static_cast<double>(n);
+  }
+};
+
+/// Draws a uniform random sample of `n` rows from `source`.
+///
+/// With replacement matches the paper's analytical setting (§2.1); without
+/// replacement is what production systems use and gives slightly tighter
+/// estimates. Fails if n < 0, or n > rows when sampling without replacement.
+Result<Sample> CreateUniformSample(const std::shared_ptr<const Table>& source,
+                                   int64_t n, bool with_replacement, Rng& rng);
+
+/// A set of pre-computed samples of increasing size for one source table —
+/// the BlinkDB-style sample store the engine selects from at query time.
+class SampleStore {
+ public:
+  /// Registers a sample for `table_name`. Samples may arrive in any order.
+  void Add(const std::string& table_name, Sample sample);
+
+  /// Returns the smallest registered sample for `table_name` with at least
+  /// `min_rows` rows, or the largest available if none is big enough.
+  Result<const Sample*> SelectAtLeast(const std::string& table_name,
+                                      int64_t min_rows) const;
+
+  /// Returns all samples for `table_name`, ascending by size.
+  std::vector<const Sample*> SamplesFor(const std::string& table_name) const;
+
+  bool HasSamples(const std::string& table_name) const;
+
+ private:
+  // Ascending by row count per table.
+  std::unordered_map<std::string, std::vector<Sample>> samples_;
+};
+
+}  // namespace aqp
+
+#endif  // AQP_SAMPLING_SAMPLER_H_

@@ -1,0 +1,85 @@
+#include "sampling/stratified.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace aqp {
+
+Result<StratifiedSample> CreateStratifiedSample(
+    const std::shared_ptr<const Table>& source, const std::string& column,
+    int64_t cap, Rng& rng) {
+  if (source == nullptr) return Status::InvalidArgument("null source table");
+  if (cap < 1) return Status::InvalidArgument("cap must be >= 1");
+  Result<const Column*> col = source->ColumnByName(column);
+  if (!col.ok()) return col.status();
+  if ((*col)->is_numeric()) {
+    return Status::InvalidArgument("stratification column '" + column +
+                                   "' must be a string column");
+  }
+
+  // Bucket row indices by stratum.
+  int64_t num_strata = (*col)->dictionary_size();
+  std::vector<std::vector<int64_t>> buckets(
+      static_cast<size_t>(num_strata));
+  const std::vector<int32_t>& codes = (*col)->codes();
+  for (size_t row = 0; row < codes.size(); ++row) {
+    buckets[static_cast<size_t>(codes[row])].push_back(
+        static_cast<int64_t>(row));
+  }
+
+  // Downsample each stratum to the cap and lay strata out contiguously.
+  StratifiedSample out;
+  out.column = column;
+  out.cap = cap;
+  out.population_rows = source->num_rows();
+  std::vector<int64_t> selected;
+  selected.reserve(static_cast<size_t>(
+      std::min<int64_t>(source->num_rows(), cap * num_strata)));
+  for (int64_t code = 0; code < num_strata; ++code) {
+    std::vector<int64_t>& bucket = buckets[static_cast<size_t>(code)];
+    StratifiedSample::StratumInfo info;
+    info.population_rows = static_cast<int64_t>(bucket.size());
+    info.first_row = static_cast<int64_t>(selected.size());
+    if (info.population_rows <= cap) {
+      // Keep the whole stratum, shuffled so prefixes stay uniform.
+      rng.Shuffle(bucket);
+      selected.insert(selected.end(), bucket.begin(), bucket.end());
+      info.sample_rows = info.population_rows;
+    } else {
+      std::vector<int64_t> picks = rng.SampleWithoutReplacement(
+          info.population_rows, cap);
+      for (int64_t pick : picks) {
+        selected.push_back(bucket[static_cast<size_t>(pick)]);
+      }
+      info.sample_rows = cap;
+    }
+    if (info.population_rows > 0) {
+      out.strata.emplace(static_cast<int32_t>(code), info);
+    }
+  }
+  out.data = std::make_shared<Table>(source->GatherRows(selected));
+  return out;
+}
+
+Result<Sample> SampleForStratum(const StratifiedSample& stratified,
+                                const std::string& value) {
+  if (stratified.data == nullptr) {
+    return Status::FailedPrecondition("empty stratified sample");
+  }
+  Result<const Column*> col = stratified.data->ColumnByName(stratified.column);
+  if (!col.ok()) return col.status();
+  int32_t code = (*col)->FindCode(value);
+  auto it = code < 0 ? stratified.strata.end() : stratified.strata.find(code);
+  if (it == stratified.strata.end()) {
+    return Status::NotFound("no stratum for value '" + value + "'");
+  }
+  const StratifiedSample::StratumInfo& info = it->second;
+  Sample sample;
+  sample.data = std::make_shared<Table>(stratified.data->SliceRows(
+      info.first_row, info.first_row + info.sample_rows));
+  sample.population_rows = info.population_rows;
+  sample.with_replacement = false;
+  return sample;
+}
+
+}  // namespace aqp

@@ -1,0 +1,66 @@
+#ifndef AQP_SAMPLING_STRATIFIED_H_
+#define AQP_SAMPLING_STRATIFIED_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+
+#include "sampling/sampler.h"
+#include "storage/table.h"
+#include "util/random.h"
+#include "util/status.h"
+
+namespace aqp {
+
+/// A BlinkDB-style stratified sample: at most `cap` rows per distinct value
+/// of a categorical column. Strata with <= cap rows are kept entirely
+/// (sampling fraction 1); larger strata are uniformly downsampled to cap
+/// rows. This is the "carefully chosen collection of samples" of paper §6 —
+/// uniform samples starve rare groups, stratified samples guarantee every
+/// group enough rows for meaningful error bars.
+///
+/// Rows are stored stratum-contiguous but shuffled within each stratum, so
+/// any prefix of a stratum is a uniform sample of that group.
+struct StratifiedSample {
+  std::shared_ptr<const Table> data;
+  /// The column stratified on.
+  std::string column;
+  /// Per-stratum cap used at build time.
+  int64_t cap = 0;
+  /// Rows in the source table D.
+  int64_t population_rows = 0;
+  /// Per stratum (keyed by the data table's dictionary code): rows of this
+  /// stratum in D and in the sample.
+  struct StratumInfo {
+    int64_t population_rows = 0;
+    int64_t sample_rows = 0;
+    int64_t first_row = 0;  ///< Offset of the stratum's rows in `data`.
+    double scale_factor() const {
+      return sample_rows == 0 ? 0.0
+                              : static_cast<double>(population_rows) /
+                                    static_cast<double>(sample_rows);
+    }
+  };
+  std::unordered_map<int32_t, StratumInfo> strata;
+
+  int64_t num_rows() const { return data == nullptr ? 0 : data->num_rows(); }
+};
+
+/// Builds a stratified sample of `source` on string column `column` with
+/// the given per-stratum `cap`. Fails if the column is missing or numeric,
+/// or cap < 1.
+Result<StratifiedSample> CreateStratifiedSample(
+    const std::shared_ptr<const Table>& source, const std::string& column,
+    int64_t cap, Rng& rng);
+
+/// Extracts the stratum for `value` as a self-contained uniform `Sample` of
+/// that group (population_rows = the group's rows in D), directly usable by
+/// every estimator and the diagnostic. NotFound if the value has no
+/// stratum.
+Result<Sample> SampleForStratum(const StratifiedSample& stratified,
+                                const std::string& value);
+
+}  // namespace aqp
+
+#endif  // AQP_SAMPLING_STRATIFIED_H_

@@ -1,0 +1,134 @@
+#include "sql/lexer.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <unordered_set>
+
+namespace aqp {
+namespace {
+
+const std::unordered_set<std::string>& Keywords() {
+  static const std::unordered_set<std::string>* kKeywords =
+      new std::unordered_set<std::string>{
+          "SELECT", "FROM",  "WHERE", "GROUP",      "BY",      "AND",
+          "OR",     "NOT",   "AVG",   "SUM",        "COUNT",   "MIN",
+          "MAX",    "STDEV", "VARIANCE", "PERCENTILE", "TABLESAMPLE",
+          "POISSONIZED", "UNION", "ALL", "AS",
+      };
+  return *kKeywords;
+}
+
+std::string ToUpper(std::string s) {
+  for (char& c : s) c = static_cast<char>(std::toupper(c));
+  return s;
+}
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+}  // namespace
+
+Result<std::vector<Token>> LexSql(const std::string& sql) {
+  std::vector<Token> tokens;
+  size_t i = 0;
+  size_t n = sql.size();
+  while (i < n) {
+    char c = sql[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    Token token;
+    token.offset = i;
+    if (IsIdentStart(c)) {
+      size_t start = i;
+      while (i < n && IsIdentChar(sql[i])) ++i;
+      std::string word = sql.substr(start, i - start);
+      std::string upper = ToUpper(word);
+      if (Keywords().count(upper) > 0) {
+        token.kind = TokenKind::kKeyword;
+        token.text = upper;
+      } else {
+        token.kind = TokenKind::kIdentifier;
+        token.text = word;
+      }
+    } else if (std::isdigit(static_cast<unsigned char>(c)) ||
+               (c == '.' && i + 1 < n &&
+                std::isdigit(static_cast<unsigned char>(sql[i + 1])))) {
+      char* end = nullptr;
+      token.kind = TokenKind::kNumber;
+      token.number = std::strtod(sql.c_str() + i, &end);
+      size_t len = static_cast<size_t>(end - (sql.c_str() + i));
+      token.text = sql.substr(i, len);
+      i += len;
+    } else if (c == '\'') {
+      token.kind = TokenKind::kString;
+      ++i;
+      std::string value;
+      bool closed = false;
+      while (i < n) {
+        if (sql[i] == '\'') {
+          if (i + 1 < n && sql[i + 1] == '\'') {  // '' escapes a quote.
+            value += '\'';
+            i += 2;
+            continue;
+          }
+          ++i;
+          closed = true;
+          break;
+        }
+        value += sql[i];
+        ++i;
+      }
+      if (!closed) {
+        return Status::InvalidArgument(
+            "unterminated string literal at offset " +
+            std::to_string(token.offset));
+      }
+      token.text = std::move(value);
+    } else {
+      token.kind = TokenKind::kOperator;
+      // Two-character operators first.
+      if (i + 1 < n) {
+        std::string two = sql.substr(i, 2);
+        if (two == "<=" || two == ">=" || two == "!=" || two == "<>") {
+          token.text = two == "<>" ? "!=" : two;
+          i += 2;
+          tokens.push_back(std::move(token));
+          continue;
+        }
+      }
+      switch (c) {
+        case '+':
+        case '-':
+        case '*':
+        case '/':
+        case '(':
+        case ')':
+        case ',':
+        case '=':
+        case '<':
+        case '>':
+          token.text = std::string(1, c);
+          ++i;
+          break;
+        default:
+          return Status::InvalidArgument(
+              std::string("unexpected character '") + c + "' at offset " +
+              std::to_string(i));
+      }
+    }
+    tokens.push_back(std::move(token));
+  }
+  Token end;
+  end.kind = TokenKind::kEnd;
+  end.offset = n;
+  tokens.push_back(std::move(end));
+  return tokens;
+}
+
+}  // namespace aqp

@@ -1,0 +1,49 @@
+#ifndef AQP_SQL_LEXER_H_
+#define AQP_SQL_LEXER_H_
+
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace aqp {
+
+/// Token kinds for the SQL subset this engine accepts (see parser.h for the
+/// grammar).
+enum class TokenKind {
+  kIdentifier,   ///< Unquoted name: column, table, or function.
+  kKeyword,      ///< Reserved word, normalized to upper case.
+  kNumber,       ///< Numeric literal (integer or decimal, optional exponent).
+  kString,       ///< Single-quoted string literal ('' escapes a quote).
+  kOperator,     ///< One of  + - * / ( ) , = != <> < <= > >= .
+  kStar,         ///< `*` when used as COUNT(*) argument (lexed as operator).
+  kEnd,          ///< End of input sentinel.
+};
+
+/// One lexed token with its source offset (for error messages).
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  /// Normalized text: keywords upper-cased, identifiers as written, string
+  /// literals unescaped (without quotes), operators verbatim.
+  std::string text;
+  /// Numeric value for kNumber tokens.
+  double number = 0.0;
+  /// Byte offset of the token's first character in the input.
+  size_t offset = 0;
+
+  bool IsKeyword(const char* word) const {
+    return kind == TokenKind::kKeyword && text == word;
+  }
+  bool IsOperator(const char* symbol) const {
+    return kind == TokenKind::kOperator && text == symbol;
+  }
+};
+
+/// Lexes `sql` into a token stream terminated by a kEnd token. Fails with
+/// InvalidArgument on unterminated strings or unexpected characters,
+/// pointing at the offending offset.
+Result<std::vector<Token>> LexSql(const std::string& sql);
+
+}  // namespace aqp
+
+#endif  // AQP_SQL_LEXER_H_

@@ -1,0 +1,381 @@
+#include "sql/parser.h"
+
+#include "sql/lexer.h"
+
+#include <optional>
+
+#include "workload/udfs.h"
+
+namespace aqp {
+
+void UdfRegistry::Register(std::string name, Factory factory) {
+  factories_[std::move(name)] = std::move(factory);
+}
+
+void UdfRegistry::RegisterBuiltins() {
+  auto unary = [this](const char* name, ExprPtr (*make)(ExprPtr)) {
+    Register(name, [name, make](std::vector<ExprPtr> args) -> Result<ExprPtr> {
+      if (args.size() != 1) {
+        return Status::InvalidArgument(std::string(name) +
+                                       " takes exactly 1 argument");
+      }
+      return make(std::move(args[0]));
+    });
+  };
+  unary("log1p", [](ExprPtr x) { return UdfLog1p(std::move(x)); });
+  unary("sqrt_abs", [](ExprPtr x) { return UdfSqrtAbs(std::move(x)); });
+  unary("squash", [](ExprPtr x) { return UdfSquash(std::move(x)); });
+  Register("ratio", [](std::vector<ExprPtr> args) -> Result<ExprPtr> {
+    if (args.size() != 2) {
+      return Status::InvalidArgument("ratio takes exactly 2 arguments");
+    }
+    return UdfRatio(std::move(args[0]), std::move(args[1]));
+  });
+  Register("bucket", [](std::vector<ExprPtr> args) -> Result<ExprPtr> {
+    if (args.size() != 1) {
+      return Status::InvalidArgument("bucket takes exactly 1 argument");
+    }
+    return UdfBucket(std::move(args[0]), 100.0);
+  });
+  Register("exp_scale", [](std::vector<ExprPtr> args) -> Result<ExprPtr> {
+    if (args.size() != 1) {
+      return Status::InvalidArgument("exp_scale takes exactly 1 argument");
+    }
+    return UdfExpScale(std::move(args[0]), 50.0);
+  });
+  Register("qoe_score", [](std::vector<ExprPtr> args) -> Result<ExprPtr> {
+    if (args.size() != 3) {
+      return Status::InvalidArgument("qoe_score takes exactly 3 arguments");
+    }
+    return UdfQoeScore(std::move(args[0]), std::move(args[1]),
+                       std::move(args[2]));
+  });
+}
+
+Result<const UdfRegistry::Factory*> UdfRegistry::Find(
+    const std::string& name) const {
+  auto it = factories_.find(name);
+  if (it == factories_.end()) {
+    return Status::NotFound("no UDF named '" + name + "'");
+  }
+  return &it->second;
+}
+
+namespace {
+
+/// Recursive-descent parser over the lexed token stream. Boolean and
+/// numeric expressions share one Expr tree (booleans evaluate to 0/1), so
+/// one expression grammar serves WHERE conditions and aggregate inputs.
+class Parser {
+ public:
+  Parser(std::vector<Token> tokens, const UdfRegistry* udfs)
+      : tokens_(std::move(tokens)), udfs_(udfs) {}
+
+  Result<ParsedQuery> ParseStatement() {
+    AQP_RETURN_IF_ERROR(ExpectKeyword("SELECT"));
+    ParsedQuery parsed;
+    Result<AggregateSpec> aggregate = ParseAggregate();
+    if (!aggregate.ok()) return aggregate.status();
+    parsed.query.aggregate = std::move(aggregate).value();
+
+    AQP_RETURN_IF_ERROR(ExpectKeyword("FROM"));
+    if (Peek().kind != TokenKind::kIdentifier) {
+      return Error("expected table name after FROM");
+    }
+    parsed.query.table = Next().text;
+
+    if (Peek().IsKeyword("WHERE")) {
+      Next();
+      Result<ExprPtr> condition = ParseOr();
+      if (!condition.ok()) return condition.status();
+      parsed.query.filter = std::move(condition).value();
+    }
+    if (Peek().IsKeyword("GROUP")) {
+      Next();
+      AQP_RETURN_IF_ERROR(ExpectKeyword("BY"));
+      if (Peek().kind != TokenKind::kIdentifier) {
+        return Error("expected column name after GROUP BY");
+      }
+      parsed.group_by = Next().text;
+    }
+    if (Peek().kind != TokenKind::kEnd) {
+      return Error("unexpected trailing input '" + Peek().text + "'");
+    }
+    return parsed;
+  }
+
+ private:
+  const Token& Peek(size_t ahead = 0) const {
+    size_t idx = pos_ + ahead;
+    if (idx >= tokens_.size()) idx = tokens_.size() - 1;  // kEnd sentinel.
+    return tokens_[idx];
+  }
+  const Token& Next() { return tokens_[pos_++]; }
+
+  Status Error(const std::string& message) const {
+    return Status::InvalidArgument(message + " (at offset " +
+                                   std::to_string(Peek().offset) + ")");
+  }
+
+  Status ExpectKeyword(const char* word) {
+    if (!Peek().IsKeyword(word)) {
+      return Error(std::string("expected ") + word);
+    }
+    Next();
+    return Status::OK();
+  }
+
+  Status ExpectOperator(const char* symbol) {
+    if (!Peek().IsOperator(symbol)) {
+      return Error(std::string("expected '") + symbol + "'");
+    }
+    Next();
+    return Status::OK();
+  }
+
+  Result<AggregateSpec> ParseAggregate() {
+    static const struct {
+      const char* keyword;
+      AggregateKind kind;
+    } kAggregates[] = {
+        {"COUNT", AggregateKind::kCount},
+        {"SUM", AggregateKind::kSum},
+        {"AVG", AggregateKind::kAvg},
+        {"VARIANCE", AggregateKind::kVariance},
+        {"STDEV", AggregateKind::kStddev},
+        {"MIN", AggregateKind::kMin},
+        {"MAX", AggregateKind::kMax},
+        {"PERCENTILE", AggregateKind::kPercentile},
+    };
+    for (const auto& entry : kAggregates) {
+      if (!Peek().IsKeyword(entry.keyword)) continue;
+      Next();
+      AggregateSpec spec;
+      spec.kind = entry.kind;
+      AQP_RETURN_IF_ERROR(ExpectOperator("("));
+      if (entry.kind == AggregateKind::kCount && Peek().IsOperator("*")) {
+        Next();
+        AQP_RETURN_IF_ERROR(ExpectOperator(")"));
+        return spec;
+      }
+      Result<ExprPtr> input = ParseOr();
+      if (!input.ok()) return input.status();
+      spec.input = std::move(input).value();
+      if (entry.kind == AggregateKind::kPercentile) {
+        AQP_RETURN_IF_ERROR(ExpectOperator(","));
+        if (Peek().kind != TokenKind::kNumber) {
+          return Error("PERCENTILE needs a numeric quantile");
+        }
+        spec.percentile = Next().number;
+        if (spec.percentile <= 0.0 || spec.percentile >= 1.0) {
+          return Status::InvalidArgument(
+              "PERCENTILE quantile must be in (0, 1)");
+        }
+      }
+      AQP_RETURN_IF_ERROR(ExpectOperator(")"));
+      return spec;
+    }
+    return Error("expected an aggregate function "
+                 "(COUNT/SUM/AVG/VARIANCE/STDEV/MIN/MAX/PERCENTILE)");
+  }
+
+  Result<ExprPtr> ParseOr() {
+    Result<ExprPtr> lhs = ParseAnd();
+    if (!lhs.ok()) return lhs;
+    ExprPtr out = std::move(lhs).value();
+    while (Peek().IsKeyword("OR")) {
+      Next();
+      Result<ExprPtr> rhs = ParseAnd();
+      if (!rhs.ok()) return rhs;
+      out = Or(std::move(out), std::move(rhs).value());
+    }
+    return out;
+  }
+
+  Result<ExprPtr> ParseAnd() {
+    Result<ExprPtr> lhs = ParseNot();
+    if (!lhs.ok()) return lhs;
+    ExprPtr out = std::move(lhs).value();
+    while (Peek().IsKeyword("AND")) {
+      Next();
+      Result<ExprPtr> rhs = ParseNot();
+      if (!rhs.ok()) return rhs;
+      out = And(std::move(out), std::move(rhs).value());
+    }
+    return out;
+  }
+
+  Result<ExprPtr> ParseNot() {
+    if (Peek().IsKeyword("NOT")) {
+      Next();
+      Result<ExprPtr> operand = ParseNot();
+      if (!operand.ok()) return operand;
+      return Not(std::move(operand).value());
+    }
+    return ParseComparison();
+  }
+
+  /// One side of a comparison: either a string literal (for dictionary
+  /// equality) or a numeric expression.
+  struct Operand {
+    ExprPtr expr;                       // Null when `text` is set.
+    std::optional<std::string> text;    // String literal.
+  };
+
+  Result<Operand> ParseOperand() {
+    if (Peek().kind == TokenKind::kString) {
+      Operand operand;
+      operand.text = Next().text;
+      return operand;
+    }
+    Result<ExprPtr> expr = ParseAdditive();
+    if (!expr.ok()) return expr.status();
+    Operand operand;
+    operand.expr = std::move(expr).value();
+    return operand;
+  }
+
+  Result<ExprPtr> ParseComparison() {
+    Result<Operand> lhs = ParseOperand();
+    if (!lhs.ok()) return lhs.status();
+    static const struct {
+      const char* symbol;
+      CompareOp op;
+    } kOps[] = {
+        {"=", CompareOp::kEq},  {"!=", CompareOp::kNe},
+        {"<=", CompareOp::kLe}, {"<", CompareOp::kLt},
+        {">=", CompareOp::kGe}, {">", CompareOp::kGt},
+    };
+    for (const auto& entry : kOps) {
+      if (!Peek().IsOperator(entry.symbol)) continue;
+      Next();
+      Result<Operand> rhs = ParseOperand();
+      if (!rhs.ok()) return rhs.status();
+      bool lhs_string = lhs->text.has_value();
+      bool rhs_string = rhs->text.has_value();
+      if (lhs_string || rhs_string) {
+        if (entry.op != CompareOp::kEq && entry.op != CompareOp::kNe) {
+          return Error("string literals support only = and !=");
+        }
+        // Normalize to column-op-string.
+        ExprPtr column = lhs_string ? rhs->expr : lhs->expr;
+        const std::string& value = lhs_string ? *lhs->text : *rhs->text;
+        if (column == nullptr || column->kind() != ExprKind::kColumnRef) {
+          return Error("string comparison requires a bare column name");
+        }
+        ExprPtr eq = StringEquals(std::move(column), value);
+        return entry.op == CompareOp::kEq ? eq : Not(std::move(eq));
+      }
+      return Comparison(entry.op, std::move(lhs->expr),
+                        std::move(rhs->expr));
+    }
+    if (lhs->text.has_value()) {
+      return Error("dangling string literal");
+    }
+    return std::move(lhs->expr);
+  }
+
+  Result<ExprPtr> ParseAdditive() {
+    Result<ExprPtr> lhs = ParseMultiplicative();
+    if (!lhs.ok()) return lhs;
+    ExprPtr out = std::move(lhs).value();
+    while (Peek().IsOperator("+") || Peek().IsOperator("-")) {
+      bool add = Next().text == "+";
+      Result<ExprPtr> rhs = ParseMultiplicative();
+      if (!rhs.ok()) return rhs;
+      out = add ? Add(std::move(out), std::move(rhs).value())
+                : Sub(std::move(out), std::move(rhs).value());
+    }
+    return out;
+  }
+
+  Result<ExprPtr> ParseMultiplicative() {
+    Result<ExprPtr> lhs = ParsePrimary();
+    if (!lhs.ok()) return lhs;
+    ExprPtr out = std::move(lhs).value();
+    while (Peek().IsOperator("*") || Peek().IsOperator("/")) {
+      bool mul = Next().text == "*";
+      Result<ExprPtr> rhs = ParsePrimary();
+      if (!rhs.ok()) return rhs;
+      out = mul ? Mul(std::move(out), std::move(rhs).value())
+                : Div(std::move(out), std::move(rhs).value());
+    }
+    return out;
+  }
+
+  Result<ExprPtr> ParsePrimary() {
+    const Token& token = Peek();
+    switch (token.kind) {
+      case TokenKind::kNumber: {
+        double value = Next().number;
+        return Literal(value);
+      }
+      case TokenKind::kOperator:
+        if (token.IsOperator("(")) {
+          Next();
+          Result<ExprPtr> inner = ParseOr();
+          if (!inner.ok()) return inner;
+          AQP_RETURN_IF_ERROR(ExpectOperator(")"));
+          return inner;
+        }
+        if (token.IsOperator("-")) {  // Unary minus.
+          Next();
+          Result<ExprPtr> operand = ParsePrimary();
+          if (!operand.ok()) return operand;
+          return Sub(Literal(0.0), std::move(operand).value());
+        }
+        return Error("unexpected operator '" + token.text + "'");
+      case TokenKind::kIdentifier: {
+        std::string name = Next().text;
+        if (Peek().IsOperator("(")) {
+          // UDF call.
+          if (udfs_ == nullptr) {
+            return Status::InvalidArgument("no UDFs registered; cannot call '" +
+                                           name + "'");
+          }
+          Result<const UdfRegistry::Factory*> factory = udfs_->Find(name);
+          if (!factory.ok()) return factory.status();
+          Next();  // '('
+          std::vector<ExprPtr> args;
+          if (!Peek().IsOperator(")")) {
+            for (;;) {
+              Result<ExprPtr> arg = ParseOr();
+              if (!arg.ok()) return arg;
+              args.push_back(std::move(arg).value());
+              if (Peek().IsOperator(",")) {
+                Next();
+                continue;
+              }
+              break;
+            }
+          }
+          AQP_RETURN_IF_ERROR(ExpectOperator(")"));
+          return (**factory)(std::move(args));
+        }
+        return ColumnRef(std::move(name));
+      }
+      default:
+        return Error("unexpected token '" + token.text + "'");
+    }
+  }
+
+  std::vector<Token> tokens_;
+  const UdfRegistry* udfs_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<ParsedQuery> ParseSql(const std::string& sql,
+                             const UdfRegistry* udfs) {
+  Result<std::vector<Token>> tokens = LexSql(sql);
+  if (!tokens.ok()) return tokens.status();
+  Parser parser(std::move(tokens).value(), udfs);
+  return parser.ParseStatement();
+}
+
+Result<ParsedQuery> ParseSql(const std::string& sql) {
+  return ParseSql(sql, nullptr);
+}
+
+}  // namespace aqp

@@ -1,0 +1,77 @@
+#ifndef AQP_SQL_PARSER_H_
+#define AQP_SQL_PARSER_H_
+
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "exec/query_spec.h"
+#include "expr/expr.h"
+#include "util/status.h"
+
+namespace aqp {
+
+/// Registry of scalar UDFs callable from SQL by name (case-insensitive on
+/// lookup as written). Each factory receives the parsed argument
+/// expressions and returns the UDF expression or an error (e.g. arity
+/// mismatch).
+class UdfRegistry {
+ public:
+  using Factory =
+      std::function<Result<ExprPtr>(std::vector<ExprPtr> args)>;
+
+  /// Registers `factory` under `name`; overwrites an existing entry.
+  void Register(std::string name, Factory factory);
+
+  /// Registers the workload UDF library (log1p, sqrt_abs, squash, ratio,
+  /// bucket, exp_scale, qoe_score) under their canonical names.
+  void RegisterBuiltins();
+
+  /// Looks up a factory; NotFound if absent.
+  Result<const Factory*> Find(const std::string& name) const;
+
+  bool Contains(const std::string& name) const {
+    return factories_.find(name) != factories_.end();
+  }
+
+ private:
+  std::unordered_map<std::string, Factory> factories_;
+};
+
+/// A parsed statement: the single-aggregate query plus the optional GROUP BY
+/// column (empty when absent).
+struct ParsedQuery {
+  QuerySpec query;
+  std::string group_by;
+};
+
+/// Parses the SQL subset the AQP engine executes:
+///
+///   SELECT <agg> FROM <table> [WHERE <condition>] [GROUP BY <column>]
+///
+///   <agg>       := COUNT(*) | COUNT(<expr>) | SUM(<expr>) | AVG(<expr>)
+///                | VARIANCE(<expr>) | STDEV(<expr>) | MIN(<expr>)
+///                | MAX(<expr>) | PERCENTILE(<expr>, <number>)
+///   <expr>      := arithmetic (+ - * /) over columns, numeric literals,
+///                  parentheses, and registered UDF calls f(<expr>, ...)
+///   <condition> := comparisons (= != < <= > >=) over <expr>s, string
+///                  equality <column> = '<literal>', AND / OR / NOT,
+///                  parentheses
+///
+/// Examples:
+///   SELECT AVG(session_time) FROM sessions WHERE city = 'NYC'
+///   SELECT PERCENTILE(join_time_ms, 0.99) FROM sessions
+///     WHERE bitrate_kbps > 2000 AND NOT (cdn = 'cdn_b')
+///   SELECT SUM(bytes) FROM sessions GROUP BY city
+///
+/// `udfs` may be null (no UDFs callable). The returned QuerySpec's id is
+/// left empty for the caller to fill.
+Result<ParsedQuery> ParseSql(const std::string& sql, const UdfRegistry* udfs);
+
+/// Convenience overload with no UDF registry.
+Result<ParsedQuery> ParseSql(const std::string& sql);
+
+}  // namespace aqp
+
+#endif  // AQP_SQL_PARSER_H_

@@ -1,0 +1,61 @@
+#include "sql/rewrite_sql.h"
+
+namespace aqp {
+namespace {
+
+std::string AggregateCall(const QuerySpec& query) {
+  std::string call = AggregateKindName(query.aggregate.kind);
+  call += "(";
+  if (query.aggregate.kind == AggregateKind::kPercentile) {
+    call += query.aggregate.input->ToString() + ", " +
+            std::to_string(query.aggregate.percentile);
+  } else if (query.aggregate.input == nullptr) {
+    call += "*";
+  } else {
+    call += query.aggregate.input->ToString();
+  }
+  call += ")";
+  return call;
+}
+
+std::string WhereClause(const QuerySpec& query) {
+  if (query.filter == nullptr) return "";
+  return " WHERE " + query.filter->ToString();
+}
+
+}  // namespace
+
+std::string EmitBaselineRewriteSql(const QuerySpec& query, int replicates) {
+  std::string agg = AggregateCall(query);
+  std::string where = WhereClause(query);
+  std::string sql = "SELECT " + agg +
+                    ", xi(resample_answer) AS error\nFROM (\n";
+  for (int k = 0; k < replicates; ++k) {
+    if (k > 0) sql += "  UNION ALL\n";
+    sql += "  SELECT " + agg + " AS resample_answer\n  FROM " + query.table +
+           " TABLESAMPLE POISSONIZED (100)" + where + "\n";
+  }
+  sql += ")";
+  return sql;
+}
+
+std::string EmitConsolidatedSql(const QuerySpec& query, int replicates) {
+  std::string agg = AggregateCall(query);
+  std::string where = WhereClause(query);
+  std::string sql = "-- single scan; weight columns S1..S" +
+                    std::to_string(replicates) +
+                    " are Poisson(1) draws attached after the pass-through"
+                    " prefix\nSELECT\n  " +
+                    agg + ",\n";
+  sql += "  BOOTSTRAP(";
+  for (int k = 1; k <= std::min(replicates, 3); ++k) {
+    if (k > 1) sql += ", ";
+    sql += "WEIGHTED_" + std::string(AggregateKindName(query.aggregate.kind)) +
+           "(S" + std::to_string(k) + ")";
+  }
+  if (replicates > 3) sql += ", ...";
+  sql += ") AS error\nFROM " + query.table + where;
+  return sql;
+}
+
+}  // namespace aqp

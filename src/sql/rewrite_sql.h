@@ -1,0 +1,23 @@
+#ifndef AQP_SQL_REWRITE_SQL_H_
+#define AQP_SQL_REWRITE_SQL_H_
+
+#include <string>
+
+#include "exec/query_spec.h"
+
+namespace aqp {
+
+/// Emits the §5.2 naive SQL rewrite for bootstrap error estimation on
+/// `query`: K subqueries over `TABLESAMPLE POISSONIZED (100)` combined with
+/// UNION ALL under an outer error-aggregation query — the exact textual
+/// form the paper shows. Useful for demonstration and for driving external
+/// engines that support the TABLESAMPLE POISSONIZED clause.
+std::string EmitBaselineRewriteSql(const QuerySpec& query, int replicates);
+
+/// Emits the consolidated form as annotated pseudo-SQL: one scan with
+/// resampling weight columns and weighted aggregates (§5.3.1).
+std::string EmitConsolidatedSql(const QuerySpec& query, int replicates);
+
+}  // namespace aqp
+
+#endif  // AQP_SQL_REWRITE_SQL_H_

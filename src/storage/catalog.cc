@@ -1,0 +1,36 @@
+#include "storage/catalog.h"
+
+namespace aqp {
+
+Status Catalog::AddTable(std::shared_ptr<const Table> table) {
+  if (table == nullptr) return Status::InvalidArgument("null table");
+  const std::string& name = table->name();
+  if (HasTable(name)) {
+    return Status::AlreadyExists("table '" + name + "' already registered");
+  }
+  tables_.emplace(name, std::move(table));
+  return Status::OK();
+}
+
+void Catalog::PutTable(std::shared_ptr<const Table> table) {
+  if (table == nullptr) return;
+  tables_[table->name()] = std::move(table);
+}
+
+Result<std::shared_ptr<const Table>> Catalog::GetTable(
+    const std::string& name) const {
+  auto it = tables_.find(name);
+  if (it == tables_.end()) {
+    return Status::NotFound("table '" + name + "' not registered");
+  }
+  return it->second;
+}
+
+std::vector<std::string> Catalog::TableNames() const {
+  std::vector<std::string> names;
+  names.reserve(tables_.size());
+  for (const auto& [name, _] : tables_) names.push_back(name);
+  return names;
+}
+
+}  // namespace aqp

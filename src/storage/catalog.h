@@ -1,0 +1,42 @@
+#ifndef AQP_STORAGE_CATALOG_H_
+#define AQP_STORAGE_CATALOG_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "storage/table.h"
+#include "util/status.h"
+
+namespace aqp {
+
+/// Name -> table registry (the storage layer's metastore).
+class Catalog {
+ public:
+  /// Registers `table` under its own name. Fails on duplicates.
+  Status AddTable(std::shared_ptr<const Table> table);
+
+  /// Replaces or inserts `table` under its own name.
+  void PutTable(std::shared_ptr<const Table> table);
+
+  /// Looks up a table by name.
+  Result<std::shared_ptr<const Table>> GetTable(const std::string& name) const;
+
+  bool HasTable(const std::string& name) const {
+    return tables_.find(name) != tables_.end();
+  }
+
+  /// Removes the named table; no-op if absent.
+  void DropTable(const std::string& name) { tables_.erase(name); }
+
+  /// Names of all registered tables (unordered).
+  std::vector<std::string> TableNames() const;
+
+ private:
+  std::unordered_map<std::string, std::shared_ptr<const Table>> tables_;
+};
+
+}  // namespace aqp
+
+#endif  // AQP_STORAGE_CATALOG_H_

@@ -1,0 +1,87 @@
+#include "storage/column.h"
+
+#include "util/logging.h"
+
+namespace aqp {
+
+Column Column::MakeDouble(std::string name) {
+  return Column(std::move(name), ColumnType::kDouble);
+}
+
+Column Column::MakeString(std::string name) {
+  return Column(std::move(name), ColumnType::kString);
+}
+
+int64_t Column::size() const {
+  return type_ == ColumnType::kDouble ? static_cast<int64_t>(doubles_.size())
+                                      : static_cast<int64_t>(codes_.size());
+}
+
+void Column::AppendDouble(double value) {
+  AQP_DCHECK(type_ == ColumnType::kDouble);
+  doubles_.push_back(value);
+}
+
+void Column::AppendString(std::string_view value) {
+  AQP_DCHECK(type_ == ColumnType::kString);
+  auto it = dict_index_.find(std::string(value));
+  int32_t code;
+  if (it == dict_index_.end()) {
+    code = static_cast<int32_t>(dict_.size());
+    dict_.emplace_back(value);
+    dict_index_.emplace(dict_.back(), code);
+  } else {
+    code = it->second;
+  }
+  codes_.push_back(code);
+}
+
+void Column::AppendCode(int32_t code) {
+  AQP_DCHECK(type_ == ColumnType::kString);
+  AQP_DCHECK(code >= 0 && code < static_cast<int32_t>(dict_.size()));
+  codes_.push_back(code);
+}
+
+const std::string& Column::StringAt(int64_t row) const {
+  AQP_DCHECK(type_ == ColumnType::kString);
+  return dict_[static_cast<size_t>(codes_[static_cast<size_t>(row)])];
+}
+
+int32_t Column::FindCode(std::string_view value) const {
+  AQP_DCHECK(type_ == ColumnType::kString);
+  auto it = dict_index_.find(std::string(value));
+  return it == dict_index_.end() ? -1 : it->second;
+}
+
+Column Column::Gather(const std::vector<int64_t>& rows) const {
+  Column out(name_, type_);
+  if (type_ == ColumnType::kDouble) {
+    out.doubles_.reserve(rows.size());
+    for (int64_t r : rows) out.doubles_.push_back(doubles_[static_cast<size_t>(r)]);
+  } else {
+    out.dict_ = dict_;
+    out.dict_index_ = dict_index_;
+    out.codes_.reserve(rows.size());
+    for (int64_t r : rows) out.codes_.push_back(codes_[static_cast<size_t>(r)]);
+  }
+  return out;
+}
+
+void Column::AppendFrom(const Column& other, int64_t row) {
+  AQP_DCHECK(type_ == other.type_);
+  if (type_ == ColumnType::kDouble) {
+    AppendDouble(other.DoubleAt(row));
+  } else {
+    AppendString(other.StringAt(row));
+  }
+}
+
+void Column::Reserve(int64_t rows) {
+  if (type_ == ColumnType::kDouble) {
+    doubles_.reserve(doubles_.size() + static_cast<size_t>(rows));
+  } else {
+    codes_.reserve(codes_.size() + static_cast<size_t>(rows));
+  }
+}
+
+}  // namespace aqp

@@ -1,0 +1,105 @@
+#ifndef AQP_STORAGE_COLUMN_H_
+#define AQP_STORAGE_COLUMN_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "util/status.h"
+
+namespace aqp {
+
+/// Physical column types. Numeric values are stored as doubles (adequate for
+/// the analytic aggregates in this system); categorical values are
+/// dictionary-encoded.
+enum class ColumnType {
+  kDouble,
+  kString,
+};
+
+/// A single named, typed column of an in-memory table.
+///
+/// Numeric columns store a dense `std::vector<double>`. String columns store
+/// int32 dictionary codes plus a dictionary; equality predicates compare
+/// codes, so filtering never touches string data.
+class Column {
+ public:
+  /// Creates an empty numeric column.
+  static Column MakeDouble(std::string name);
+  /// Creates an empty dictionary-encoded string column.
+  static Column MakeString(std::string name);
+
+  const std::string& name() const { return name_; }
+  ColumnType type() const { return type_; }
+  int64_t size() const;
+
+  bool is_numeric() const { return type_ == ColumnType::kDouble; }
+
+  // -- Numeric access -------------------------------------------------------
+
+  /// Appends a numeric value. Requires a numeric column.
+  void AppendDouble(double value);
+
+  /// Numeric value at `row`. Requires a numeric column and a valid row.
+  double DoubleAt(int64_t row) const { return doubles_[static_cast<size_t>(row)]; }
+
+  /// Dense numeric storage (numeric columns only).
+  const std::vector<double>& doubles() const { return doubles_; }
+  std::vector<double>& mutable_doubles() { return doubles_; }
+
+  // -- Categorical access ---------------------------------------------------
+
+  /// Appends a string value, interning it in the dictionary.
+  void AppendString(std::string_view value);
+
+  /// Appends an existing dictionary code. Requires `code` to be valid for
+  /// this column's dictionary.
+  void AppendCode(int32_t code);
+
+  /// Dictionary code at `row` (string columns only).
+  int32_t CodeAt(int64_t row) const { return codes_[static_cast<size_t>(row)]; }
+
+  /// The string value at `row` (string columns only).
+  const std::string& StringAt(int64_t row) const;
+
+  /// Returns the dictionary code for `value`, or -1 if absent.
+  int32_t FindCode(std::string_view value) const;
+
+  /// Number of distinct dictionary entries.
+  int64_t dictionary_size() const { return static_cast<int64_t>(dict_.size()); }
+  const std::vector<std::string>& dictionary() const { return dict_; }
+  const std::vector<int32_t>& codes() const { return codes_; }
+
+  // -- Bulk operations ------------------------------------------------------
+
+  /// Returns a column containing rows of this column selected by `rows`
+  /// (indices into this column), preserving order. Shares dictionaries by
+  /// copy.
+  Column Gather(const std::vector<int64_t>& rows) const;
+
+  /// Appends row `row` of `other` to this column. Requires matching types;
+  /// string values are re-interned (dictionaries may differ).
+  void AppendFrom(const Column& other, int64_t row);
+
+  /// Preallocates storage for `rows` additional rows.
+  void Reserve(int64_t rows);
+
+ private:
+  Column(std::string name, ColumnType type)
+      : name_(std::move(name)), type_(type) {}
+
+  std::string name_;
+  ColumnType type_;
+
+  std::vector<double> doubles_;
+
+  std::vector<int32_t> codes_;
+  std::vector<std::string> dict_;
+  std::unordered_map<std::string, int32_t> dict_index_;
+};
+
+}  // namespace aqp
+
+#endif  // AQP_STORAGE_COLUMN_H_

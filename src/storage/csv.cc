@@ -1,0 +1,212 @@
+#include "storage/csv.h"
+
+#include <cstdlib>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <vector>
+
+namespace aqp {
+namespace {
+
+/// Splits one CSV record (already newline-free) into fields, honoring
+/// double-quoted fields with "" escapes.
+Result<std::vector<std::string>> SplitRecord(const std::string& line,
+                                             char delimiter, int64_t lineno) {
+  std::vector<std::string> fields;
+  std::string field;
+  bool quoted = false;
+  for (size_t i = 0; i < line.size(); ++i) {
+    char c = line[i];
+    if (quoted) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          field += '"';
+          ++i;
+        } else {
+          quoted = false;
+        }
+      } else {
+        field += c;
+      }
+    } else if (c == '"') {
+      if (!field.empty()) {
+        return Status::InvalidArgument(
+            "unexpected quote mid-field on line " + std::to_string(lineno));
+      }
+      quoted = true;
+    } else if (c == delimiter) {
+      fields.push_back(std::move(field));
+      field.clear();
+    } else {
+      field += c;
+    }
+  }
+  if (quoted) {
+    return Status::InvalidArgument("unterminated quote on line " +
+                                   std::to_string(lineno));
+  }
+  fields.push_back(std::move(field));
+  return fields;
+}
+
+bool ParsesAsNumber(const std::string& s, double* value) {
+  if (s.empty()) return false;
+  char* end = nullptr;
+  double v = std::strtod(s.c_str(), &end);
+  if (end != s.c_str() + s.size()) return false;
+  if (value != nullptr) *value = v;
+  return true;
+}
+
+std::string TrimCr(std::string line) {
+  if (!line.empty() && line.back() == '\r') line.pop_back();
+  return line;
+}
+
+}  // namespace
+
+Result<std::shared_ptr<const Table>> ReadCsv(std::istream& input,
+                                             std::string table_name,
+                                             const CsvOptions& options) {
+  // Buffer all records first (two passes: inference + ingest).
+  std::vector<std::vector<std::string>> records;
+  std::vector<std::string> names;
+  std::string line;
+  int64_t lineno = 0;
+  while (std::getline(input, line)) {
+    ++lineno;
+    line = TrimCr(std::move(line));
+    if (line.empty()) continue;
+    Result<std::vector<std::string>> fields =
+        SplitRecord(line, options.delimiter, lineno);
+    if (!fields.ok()) return fields.status();
+    if (names.empty() && options.header) {
+      names = std::move(fields).value();
+      continue;
+    }
+    records.push_back(std::move(fields).value());
+  }
+  if (names.empty()) {
+    size_t width = records.empty() ? 0 : records[0].size();
+    for (size_t i = 0; i < width; ++i) {
+      names.push_back("c" + std::to_string(i));
+    }
+  }
+  if (names.empty()) {
+    return Status::InvalidArgument("empty CSV input");
+  }
+  for (size_t r = 0; r < records.size(); ++r) {
+    if (records[r].size() != names.size()) {
+      return Status::InvalidArgument(
+          "row " + std::to_string(r + 1) + " has " +
+          std::to_string(records[r].size()) + " fields; expected " +
+          std::to_string(names.size()));
+    }
+  }
+
+  // Type inference: numeric iff every non-empty scanned cell parses.
+  std::vector<bool> numeric(names.size(), true);
+  int64_t scan = std::min<int64_t>(options.inference_rows,
+                                   static_cast<int64_t>(records.size()));
+  for (size_t c = 0; c < names.size(); ++c) {
+    bool saw_value = false;
+    for (int64_t r = 0; r < scan; ++r) {
+      const std::string& cell = records[static_cast<size_t>(r)][c];
+      if (cell.empty()) continue;
+      saw_value = true;
+      if (!ParsesAsNumber(cell, nullptr)) {
+        numeric[c] = false;
+        break;
+      }
+    }
+    if (!saw_value) numeric[c] = false;  // All-empty column: treat as string.
+  }
+
+  auto table = std::make_shared<Table>(std::move(table_name));
+  for (size_t c = 0; c < names.size(); ++c) {
+    Column column = numeric[c] ? Column::MakeDouble(names[c])
+                               : Column::MakeString(names[c]);
+    column.Reserve(static_cast<int64_t>(records.size()));
+    for (const std::vector<std::string>& record : records) {
+      if (numeric[c]) {
+        double value = options.null_numeric;
+        if (!record[c].empty() && !ParsesAsNumber(record[c], &value)) {
+          return Status::InvalidArgument("non-numeric value '" + record[c] +
+                                         "' in numeric column '" + names[c] +
+                                         "'");
+        }
+        column.AppendDouble(value);
+      } else {
+        column.AppendString(record[c]);
+      }
+    }
+    AQP_RETURN_IF_ERROR(table->AddColumn(std::move(column)));
+  }
+  return std::shared_ptr<const Table>(table);
+}
+
+Result<std::shared_ptr<const Table>> ReadCsvString(const std::string& text,
+                                                   std::string table_name,
+                                                   const CsvOptions& options) {
+  std::istringstream stream(text);
+  return ReadCsv(stream, std::move(table_name), options);
+}
+
+Result<std::shared_ptr<const Table>> ReadCsvFile(const std::string& path,
+                                                 std::string table_name,
+                                                 const CsvOptions& options) {
+  std::ifstream file(path);
+  if (!file.is_open()) {
+    return Status::NotFound("cannot open '" + path + "'");
+  }
+  return ReadCsv(file, std::move(table_name), options);
+}
+
+Status WriteCsv(const Table& table, std::ostream& output,
+                const CsvOptions& options) {
+  auto write_field = [&output, &options](const std::string& value) {
+    bool needs_quotes =
+        value.find(options.delimiter) != std::string::npos ||
+        value.find('"') != std::string::npos ||
+        value.find('\n') != std::string::npos;
+    if (!needs_quotes) {
+      output << value;
+      return;
+    }
+    output << '"';
+    for (char c : value) {
+      if (c == '"') output << '"';
+      output << c;
+    }
+    output << '"';
+  };
+
+  if (options.header) {
+    for (int64_t c = 0; c < table.num_columns(); ++c) {
+      if (c > 0) output << options.delimiter;
+      write_field(table.column(c).name());
+    }
+    output << '\n';
+  }
+  for (int64_t r = 0; r < table.num_rows(); ++r) {
+    for (int64_t c = 0; c < table.num_columns(); ++c) {
+      if (c > 0) output << options.delimiter;
+      const Column& column = table.column(c);
+      if (column.is_numeric()) {
+        // Shortest round-trippable representation.
+        char buffer[32];
+        std::snprintf(buffer, sizeof(buffer), "%.17g", column.DoubleAt(r));
+        output << buffer;
+      } else {
+        write_field(column.StringAt(r));
+      }
+    }
+    output << '\n';
+  }
+  if (!output.good()) return Status::Internal("CSV write failed");
+  return Status::OK();
+}
+
+}  // namespace aqp

@@ -1,0 +1,50 @@
+#ifndef AQP_STORAGE_CSV_H_
+#define AQP_STORAGE_CSV_H_
+
+#include <iosfwd>
+#include <memory>
+#include <string>
+
+#include "storage/table.h"
+#include "util/status.h"
+
+namespace aqp {
+
+/// CSV ingestion options.
+struct CsvOptions {
+  char delimiter = ',';
+  /// First line holds column names. When false, columns are named c0, c1...
+  bool header = true;
+  /// Rows to scan for type inference (numeric vs. string). A column is
+  /// numeric iff every non-empty scanned cell parses as a number.
+  int64_t inference_rows = 1000;
+  /// Value assigned to empty cells of numeric columns.
+  double null_numeric = 0.0;
+};
+
+/// Parses CSV text from `input` into a columnar table named `table_name`.
+/// Two-pass: type inference over the first `inference_rows`, then ingestion.
+/// Quoted fields ("..." with "" escapes) are supported; rows with the wrong
+/// column count fail with InvalidArgument naming the line.
+Result<std::shared_ptr<const Table>> ReadCsv(std::istream& input,
+                                             std::string table_name,
+                                             const CsvOptions& options = {});
+
+/// Convenience: parses a CSV string.
+Result<std::shared_ptr<const Table>> ReadCsvString(
+    const std::string& text, std::string table_name,
+    const CsvOptions& options = {});
+
+/// Loads a CSV file from disk.
+Result<std::shared_ptr<const Table>> ReadCsvFile(
+    const std::string& path, std::string table_name,
+    const CsvOptions& options = {});
+
+/// Writes `table` as CSV (header + rows) to `output`. String values are
+/// quoted when they contain the delimiter, quotes, or newlines.
+Status WriteCsv(const Table& table, std::ostream& output,
+                const CsvOptions& options = {});
+
+}  // namespace aqp
+
+#endif  // AQP_STORAGE_CSV_H_

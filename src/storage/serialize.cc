@@ -1,0 +1,158 @@
+#include "storage/serialize.h"
+
+#include <cstdint>
+#include <fstream>
+#include <istream>
+#include <ostream>
+
+namespace aqp {
+namespace {
+
+constexpr char kMagic[4] = {'A', 'Q', 'T', '1'};
+
+void WriteU8(std::ostream& out, uint8_t v) {
+  out.write(reinterpret_cast<const char*>(&v), 1);
+}
+
+void WriteU64(std::ostream& out, uint64_t v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+void WriteString(std::ostream& out, const std::string& s) {
+  WriteU64(out, s.size());
+  out.write(s.data(), static_cast<std::streamsize>(s.size()));
+}
+
+bool ReadU8(std::istream& in, uint8_t* v) {
+  return static_cast<bool>(in.read(reinterpret_cast<char*>(v), 1));
+}
+
+bool ReadU64(std::istream& in, uint64_t* v) {
+  return static_cast<bool>(in.read(reinterpret_cast<char*>(v), sizeof(*v)));
+}
+
+bool ReadString(std::istream& in, std::string* s, uint64_t max_len = 1u << 30) {
+  uint64_t len = 0;
+  if (!ReadU64(in, &len) || len > max_len) return false;
+  s->resize(len);
+  return static_cast<bool>(
+      in.read(s->data(), static_cast<std::streamsize>(len)));
+}
+
+}  // namespace
+
+Status WriteTable(const Table& table, std::ostream& output) {
+  output.write(kMagic, sizeof(kMagic));
+  WriteString(output, table.name());
+  WriteU64(output, static_cast<uint64_t>(table.num_columns()));
+  for (int64_t c = 0; c < table.num_columns(); ++c) {
+    const Column& column = table.column(c);
+    WriteU8(output, column.is_numeric() ? 0 : 1);
+    WriteString(output, column.name());
+    if (column.is_numeric()) {
+      const std::vector<double>& values = column.doubles();
+      WriteU64(output, values.size());
+      output.write(reinterpret_cast<const char*>(values.data()),
+                   static_cast<std::streamsize>(values.size() *
+                                                sizeof(double)));
+    } else {
+      const std::vector<std::string>& dict = column.dictionary();
+      WriteU64(output, dict.size());
+      for (const std::string& entry : dict) WriteString(output, entry);
+      const std::vector<int32_t>& codes = column.codes();
+      WriteU64(output, codes.size());
+      output.write(reinterpret_cast<const char*>(codes.data()),
+                   static_cast<std::streamsize>(codes.size() *
+                                                sizeof(int32_t)));
+    }
+  }
+  if (!output.good()) return Status::Internal("table write failed");
+  return Status::OK();
+}
+
+Result<std::shared_ptr<const Table>> ReadTable(std::istream& input) {
+  char magic[4];
+  if (!input.read(magic, sizeof(magic)) ||
+      std::string(magic, 4) != std::string(kMagic, 4)) {
+    return Status::InvalidArgument("not an AQT1 table stream");
+  }
+  std::string name;
+  if (!ReadString(input, &name)) {
+    return Status::InvalidArgument("truncated table name");
+  }
+  uint64_t num_columns = 0;
+  if (!ReadU64(input, &num_columns) || num_columns > (1u << 20)) {
+    return Status::InvalidArgument("bad column count");
+  }
+  auto table = std::make_shared<Table>(std::move(name));
+  for (uint64_t c = 0; c < num_columns; ++c) {
+    uint8_t type = 0;
+    std::string column_name;
+    if (!ReadU8(input, &type) || !ReadString(input, &column_name)) {
+      return Status::InvalidArgument("truncated column header");
+    }
+    if (type == 0) {
+      uint64_t count = 0;
+      if (!ReadU64(input, &count)) {
+        return Status::InvalidArgument("truncated numeric column");
+      }
+      Column column = Column::MakeDouble(std::move(column_name));
+      std::vector<double>& values = column.mutable_doubles();
+      values.resize(count);
+      if (!input.read(reinterpret_cast<char*>(values.data()),
+                      static_cast<std::streamsize>(count * sizeof(double)))) {
+        return Status::InvalidArgument("truncated numeric data");
+      }
+      AQP_RETURN_IF_ERROR(table->AddColumn(std::move(column)));
+    } else if (type == 1) {
+      uint64_t dict_size = 0;
+      if (!ReadU64(input, &dict_size) || dict_size > (1u << 28)) {
+        return Status::InvalidArgument("bad dictionary size");
+      }
+      Column column = Column::MakeString(std::move(column_name));
+      std::vector<std::string> dict(dict_size);
+      for (std::string& entry : dict) {
+        if (!ReadString(input, &entry)) {
+          return Status::InvalidArgument("truncated dictionary");
+        }
+      }
+      uint64_t count = 0;
+      if (!ReadU64(input, &count)) {
+        return Status::InvalidArgument("truncated code count");
+      }
+      std::vector<int32_t> codes(count);
+      if (!input.read(reinterpret_cast<char*>(codes.data()),
+                      static_cast<std::streamsize>(count * sizeof(int32_t)))) {
+        return Status::InvalidArgument("truncated codes");
+      }
+      // Rebuild via interning so the column's index stays consistent.
+      for (int32_t code : codes) {
+        if (code < 0 || static_cast<uint64_t>(code) >= dict_size) {
+          return Status::InvalidArgument("code out of dictionary range");
+        }
+        column.AppendString(dict[static_cast<size_t>(code)]);
+      }
+      AQP_RETURN_IF_ERROR(table->AddColumn(std::move(column)));
+    } else {
+      return Status::InvalidArgument("unknown column type tag");
+    }
+  }
+  AQP_RETURN_IF_ERROR(table->Validate());
+  return std::shared_ptr<const Table>(table);
+}
+
+Status WriteTableFile(const Table& table, const std::string& path) {
+  std::ofstream file(path, std::ios::binary);
+  if (!file.is_open()) {
+    return Status::NotFound("cannot open '" + path + "' for writing");
+  }
+  return WriteTable(table, file);
+}
+
+Result<std::shared_ptr<const Table>> ReadTableFile(const std::string& path) {
+  std::ifstream file(path, std::ios::binary);
+  if (!file.is_open()) return Status::NotFound("cannot open '" + path + "'");
+  return ReadTable(file);
+}
+
+}  // namespace aqp

@@ -1,0 +1,33 @@
+#ifndef AQP_STORAGE_SERIALIZE_H_
+#define AQP_STORAGE_SERIALIZE_H_
+
+#include <iosfwd>
+#include <memory>
+#include <string>
+
+#include "storage/table.h"
+#include "util/status.h"
+
+namespace aqp {
+
+/// Binary table persistence, used to store precomputed samples next to the
+/// data they were drawn from (sampling once and reusing samples across
+/// sessions is the BlinkDB operating model).
+///
+/// Format (little-endian): magic "AQT1", table name, column count, then per
+/// column a type tag, the name, and the payload (raw doubles for numeric
+/// columns; dictionary strings + int32 codes for categorical columns).
+
+/// Writes `table` to `output` in binary form.
+Status WriteTable(const Table& table, std::ostream& output);
+
+/// Reads a table written by WriteTable.
+Result<std::shared_ptr<const Table>> ReadTable(std::istream& input);
+
+/// File convenience wrappers.
+Status WriteTableFile(const Table& table, const std::string& path);
+Result<std::shared_ptr<const Table>> ReadTableFile(const std::string& path);
+
+}  // namespace aqp
+
+#endif  // AQP_STORAGE_SERIALIZE_H_

@@ -1,0 +1,87 @@
+#include "storage/table.h"
+
+namespace aqp {
+
+Status Table::AddColumn(Column column) {
+  if (HasColumn(column.name())) {
+    return Status::AlreadyExists("column '" + column.name() +
+                                 "' already exists in table '" + name_ + "'");
+  }
+  if (!columns_.empty() && column.size() != num_rows()) {
+    return Status::InvalidArgument(
+        "column '" + column.name() + "' has " +
+        std::to_string(column.size()) + " rows; table '" + name_ + "' has " +
+        std::to_string(num_rows()));
+  }
+  columns_.push_back(std::move(column));
+  return Status::OK();
+}
+
+int64_t Table::ColumnIndex(std::string_view name) const {
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (columns_[i].name() == name) return static_cast<int64_t>(i);
+  }
+  return -1;
+}
+
+Result<const Column*> Table::ColumnByName(std::string_view name) const {
+  int64_t idx = ColumnIndex(name);
+  if (idx < 0) {
+    return Status::NotFound("no column '" + std::string(name) +
+                            "' in table '" + name_ + "'");
+  }
+  return &columns_[static_cast<size_t>(idx)];
+}
+
+Result<Column*> Table::MutableColumnByName(std::string_view name) {
+  int64_t idx = ColumnIndex(name);
+  if (idx < 0) {
+    return Status::NotFound("no column '" + std::string(name) +
+                            "' in table '" + name_ + "'");
+  }
+  return &columns_[static_cast<size_t>(idx)];
+}
+
+Status Table::Validate() const {
+  for (const Column& c : columns_) {
+    if (c.size() != num_rows()) {
+      return Status::Internal("column '" + c.name() + "' length " +
+                              std::to_string(c.size()) +
+                              " != " + std::to_string(num_rows()));
+    }
+  }
+  return Status::OK();
+}
+
+Table Table::GatherRows(const std::vector<int64_t>& rows) const {
+  Table out(name_);
+  for (const Column& c : columns_) {
+    // AddColumn cannot fail here: names are unique and lengths equal.
+    out.columns_.push_back(c.Gather(rows));
+  }
+  return out;
+}
+
+Table Table::SliceRows(int64_t begin, int64_t end) const {
+  std::vector<int64_t> rows;
+  rows.reserve(static_cast<size_t>(end - begin));
+  for (int64_t r = begin; r < end; ++r) rows.push_back(r);
+  return GatherRows(rows);
+}
+
+int64_t Table::ApproxBytes() const {
+  int64_t bytes = 0;
+  for (const Column& c : columns_) {
+    if (c.is_numeric()) {
+      bytes += c.size() * static_cast<int64_t>(sizeof(double));
+    } else {
+      bytes += c.size() * static_cast<int64_t>(sizeof(int32_t));
+      for (const std::string& s : c.dictionary()) {
+        bytes += static_cast<int64_t>(s.size());
+      }
+    }
+  }
+  return bytes;
+}
+
+}  // namespace aqp

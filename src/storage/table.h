@@ -1,0 +1,77 @@
+#ifndef AQP_STORAGE_TABLE_H_
+#define AQP_STORAGE_TABLE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "storage/column.h"
+#include "util/status.h"
+
+namespace aqp {
+
+/// An in-memory columnar table: an ordered set of equal-length named columns.
+///
+/// Example:
+///   Table t("sessions");
+///   t.AddColumn(Column::MakeDouble("time"));
+///   t.AddColumn(Column::MakeString("city"));
+///   ...append values via the column accessors...
+class Table {
+ public:
+  explicit Table(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+
+  /// Number of rows; all columns must agree (checked by Validate()).
+  int64_t num_rows() const {
+    return columns_.empty() ? 0 : columns_.front().size();
+  }
+  int64_t num_columns() const { return static_cast<int64_t>(columns_.size()); }
+
+  /// Adds a column; fails if the name already exists or the length differs
+  /// from existing columns (unless the table is empty of rows).
+  Status AddColumn(Column column);
+
+  /// Index of the named column, or -1.
+  int64_t ColumnIndex(std::string_view name) const;
+
+  bool HasColumn(std::string_view name) const { return ColumnIndex(name) >= 0; }
+
+  /// Column accessors; require a valid index / existing name.
+  const Column& column(int64_t index) const {
+    return columns_[static_cast<size_t>(index)];
+  }
+  Column& mutable_column(int64_t index) {
+    return columns_[static_cast<size_t>(index)];
+  }
+  Result<const Column*> ColumnByName(std::string_view name) const;
+  Result<Column*> MutableColumnByName(std::string_view name);
+
+  const std::vector<Column>& columns() const { return columns_; }
+
+  /// Verifies that all columns have equal length.
+  Status Validate() const;
+
+  /// Returns a new table with rows selected by `rows` (indices), preserving
+  /// order; duplicate indices are allowed (used for with-replacement
+  /// sampling).
+  Table GatherRows(const std::vector<int64_t>& rows) const;
+
+  /// Returns a new table containing rows [begin, end).
+  Table SliceRows(int64_t begin, int64_t end) const;
+
+  /// Approximate in-memory size in bytes (for cache / cost models).
+  int64_t ApproxBytes() const;
+
+ private:
+  std::string name_;
+  std::vector<Column> columns_;
+};
+
+using TablePtr = std::shared_ptr<const Table>;
+
+}  // namespace aqp
+
+#endif  // AQP_STORAGE_TABLE_H_

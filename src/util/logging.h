@@ -1,0 +1,36 @@
+#ifndef AQP_UTIL_LOGGING_H_
+#define AQP_UTIL_LOGGING_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace aqp {
+namespace internal {
+
+[[noreturn]] inline void CheckFailed(const char* file, int line,
+                                     const char* expr) {
+  std::fprintf(stderr, "CHECK failed at %s:%d: %s\n", file, line, expr);
+  std::abort();
+}
+
+}  // namespace internal
+}  // namespace aqp
+
+/// Aborts the process when `cond` is false. Used for programmer errors
+/// (invariant violations), not for recoverable conditions — those return
+/// `aqp::Status`.
+#define AQP_CHECK(cond)                                         \
+  do {                                                          \
+    if (!(cond)) ::aqp::internal::CheckFailed(__FILE__, __LINE__, #cond); \
+  } while (false)
+
+/// Like AQP_CHECK but compiled out in NDEBUG builds.
+#ifdef NDEBUG
+#define AQP_DCHECK(cond) \
+  do {                   \
+  } while (false)
+#else
+#define AQP_DCHECK(cond) AQP_CHECK(cond)
+#endif
+
+#endif  // AQP_UTIL_LOGGING_H_

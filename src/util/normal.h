@@ -1,0 +1,23 @@
+#ifndef AQP_UTIL_NORMAL_H_
+#define AQP_UTIL_NORMAL_H_
+
+namespace aqp {
+
+/// Standard normal probability density at `x`.
+double NormalPdf(double x);
+
+/// Standard normal cumulative distribution function Phi(x).
+double NormalCdf(double x);
+
+/// Inverse of the standard normal CDF (quantile function). `p` must be in
+/// (0, 1). Accurate to ~1e-9 over the full range (Acklam's rational
+/// approximation refined with one Halley step).
+double NormalQuantile(double p);
+
+/// Two-sided z value: Phi(z) - Phi(-z) = coverage. E.g. coverage 0.95 ->
+/// 1.959964. `coverage` must be in (0, 1).
+double TwoSidedNormalCritical(double coverage);
+
+}  // namespace aqp
+
+#endif  // AQP_UTIL_NORMAL_H_

@@ -1,0 +1,117 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace aqp {
+
+double Mean(const std::vector<double>& values) {
+  if (values.empty()) return 0.0;
+  double sum = 0.0;
+  for (double v : values) sum += v;
+  return sum / static_cast<double>(values.size());
+}
+
+double PopulationVariance(const std::vector<double>& values) {
+  if (values.empty()) return 0.0;
+  double m = Mean(values);
+  double acc = 0.0;
+  for (double v : values) acc += (v - m) * (v - m);
+  return acc / static_cast<double>(values.size());
+}
+
+double SampleVariance(const std::vector<double>& values) {
+  if (values.size() < 2) return 0.0;
+  double m = Mean(values);
+  double acc = 0.0;
+  for (double v : values) acc += (v - m) * (v - m);
+  return acc / static_cast<double>(values.size() - 1);
+}
+
+double SampleStddev(const std::vector<double>& values) {
+  return std::sqrt(SampleVariance(values));
+}
+
+double QuantileSorted(const std::vector<double>& sorted, double q) {
+  AQP_CHECK(q >= 0.0 && q <= 1.0);
+  if (sorted.empty()) return 0.0;
+  if (sorted.size() == 1) return sorted[0];
+  double pos = q * static_cast<double>(sorted.size() - 1);
+  size_t lo = static_cast<size_t>(pos);
+  if (lo >= sorted.size() - 1) return sorted.back();
+  double frac = pos - static_cast<double>(lo);
+  return sorted[lo] + frac * (sorted[lo + 1] - sorted[lo]);
+}
+
+double Quantile(std::vector<double> values, double q) {
+  std::sort(values.begin(), values.end());
+  return QuantileSorted(values, q);
+}
+
+double SmallestSymmetricCoverRadius(const std::vector<double>& values,
+                                    double center, double coverage) {
+  AQP_CHECK(coverage >= 0.0 && coverage <= 1.0);
+  if (values.empty()) return 0.0;
+  std::vector<double> distances;
+  distances.reserve(values.size());
+  for (double v : values) distances.push_back(std::abs(v - center));
+  std::sort(distances.begin(), distances.end());
+  size_t need = static_cast<size_t>(
+      std::ceil(coverage * static_cast<double>(values.size())));
+  if (need == 0) return 0.0;
+  if (need > values.size()) need = values.size();
+  return distances[need - 1];
+}
+
+void RunningMoments::Add(double value, double weight) {
+  AQP_DCHECK(weight >= 0.0);
+  if (weight == 0.0) return;
+  weight_sum_ += weight;
+  double delta = value - mean_;
+  mean_ += (weight / weight_sum_) * delta;
+  m2_ += weight * delta * (value - mean_);
+}
+
+void RunningMoments::Merge(const RunningMoments& other) {
+  if (other.weight_sum_ == 0.0) return;
+  if (weight_sum_ == 0.0) {
+    *this = other;
+    return;
+  }
+  double total = weight_sum_ + other.weight_sum_;
+  double delta = other.mean_ - mean_;
+  m2_ += other.m2_ + delta * delta * weight_sum_ * other.weight_sum_ / total;
+  mean_ += delta * other.weight_sum_ / total;
+  weight_sum_ = total;
+}
+
+double RunningMoments::PopulationVariance() const {
+  if (weight_sum_ <= 0.0) return 0.0;
+  return m2_ / weight_sum_;
+}
+
+double RunningMoments::SampleVariance() const {
+  if (weight_sum_ <= 1.0) return 0.0;
+  return m2_ / (weight_sum_ - 1.0);
+}
+
+Summary Summarize(std::vector<double> values) {
+  Summary s;
+  if (values.empty()) return s;
+  s.count = static_cast<int64_t>(values.size());
+  s.mean = Mean(values);
+  s.stddev = SampleStddev(values);
+  std::sort(values.begin(), values.end());
+  s.min = values.front();
+  s.max = values.back();
+  s.p01 = QuantileSorted(values, 0.01);
+  s.p25 = QuantileSorted(values, 0.25);
+  s.median = QuantileSorted(values, 0.5);
+  s.p75 = QuantileSorted(values, 0.75);
+  s.p99 = QuantileSorted(values, 0.99);
+  return s;
+}
+
+}  // namespace aqp

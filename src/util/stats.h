@@ -1,0 +1,77 @@
+#ifndef AQP_UTIL_STATS_H_
+#define AQP_UTIL_STATS_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace aqp {
+
+/// Arithmetic mean. Returns 0 for an empty input.
+double Mean(const std::vector<double>& values);
+
+/// Population variance (divides by n). Returns 0 for n < 1.
+double PopulationVariance(const std::vector<double>& values);
+
+/// Sample variance (divides by n - 1). Returns 0 for n < 2.
+double SampleVariance(const std::vector<double>& values);
+
+/// Sample standard deviation.
+double SampleStddev(const std::vector<double>& values);
+
+/// Empirical quantile with linear interpolation between order statistics
+/// (type-7, the R/NumPy default). `q` in [0, 1]. Copies and sorts the input.
+double Quantile(std::vector<double> values, double q);
+
+/// Quantile assuming `sorted` is already ascending.
+double QuantileSorted(const std::vector<double>& sorted, double q);
+
+/// Smallest half-width `a` such that the symmetric interval
+/// [center - a, center + a] contains at least `ceil(coverage * n)` of the
+/// values (the paper's "smallest symmetric interval around theta(S) that
+/// covers alpha*p elements"). Returns 0 for an empty input.
+double SmallestSymmetricCoverRadius(const std::vector<double>& values,
+                                    double center, double coverage);
+
+/// Incremental mean/variance accumulator (Welford), usable with weights.
+class RunningMoments {
+ public:
+  /// Adds `value` with the given nonnegative `weight` (default 1).
+  void Add(double value, double weight = 1.0);
+
+  /// Merges another accumulator into this one.
+  void Merge(const RunningMoments& other);
+
+  double weight_sum() const { return weight_sum_; }
+  double mean() const { return mean_; }
+  /// Weighted population variance (frequency-weight semantics).
+  double PopulationVariance() const;
+  /// Weighted sample variance with frequency-weight correction
+  /// (divides by weight_sum - 1).
+  double SampleVariance() const;
+
+ private:
+  double weight_sum_ = 0.0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+};
+
+/// Summary of a batch of values, used by benchmark reporting.
+struct Summary {
+  int64_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double p01 = 0.0;
+  double p25 = 0.0;
+  double median = 0.0;
+  double p75 = 0.0;
+  double p99 = 0.0;
+  double max = 0.0;
+};
+
+/// Computes a `Summary` of `values` (empty input -> zero summary).
+Summary Summarize(std::vector<double> values);
+
+}  // namespace aqp
+
+#endif  // AQP_UTIL_STATS_H_

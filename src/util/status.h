@@ -1,0 +1,117 @@
+#ifndef AQP_UTIL_STATUS_H_
+#define AQP_UTIL_STATUS_H_
+
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace aqp {
+
+/// Error categories used across the library. The project does not use C++
+/// exceptions; fallible operations return `Status` or `Result<T>`.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kOutOfRange,
+  kUnimplemented,
+  kInternal,
+  kFailedPrecondition,
+};
+
+/// Lightweight success/error value. A default-constructed `Status` is OK.
+///
+/// Example:
+///   Status s = catalog.AddTable(std::move(t));
+///   if (!s.ok()) return s;
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Human-readable rendering, e.g. "InvalidArgument: bad column".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Holder of either a value of type `T` or an error `Status`.
+///
+/// Example:
+///   Result<double> r = estimator.HalfWidth(sample);
+///   if (!r.ok()) return r.status();
+///   Use(r.value());
+template <typename T>
+class Result {
+ public:
+  /// Constructs a Result holding a value. Intentionally implicit so that
+  /// functions can `return value;`.
+  Result(T value) : repr_(std::move(value)) {}
+  /// Constructs a Result holding an error. Intentionally implicit so that
+  /// functions can `return Status::InvalidArgument(...);`.
+  Result(Status status) : repr_(std::move(status)) {}
+
+  bool ok() const { return std::holds_alternative<T>(repr_); }
+
+  /// Returns the error. Requires `!ok()` is allowed but not required: an OK
+  /// status is synthesized when a value is held.
+  Status status() const {
+    if (ok()) return Status::OK();
+    return std::get<Status>(repr_);
+  }
+
+  /// Accessors require `ok()`.
+  const T& value() const& { return std::get<T>(repr_); }
+  T& value() & { return std::get<T>(repr_); }
+  T&& value() && { return std::get<T>(std::move(repr_)); }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::variant<T, Status> repr_;
+};
+
+/// Propagates an error status out of the current function.
+#define AQP_RETURN_IF_ERROR(expr)                 \
+  do {                                            \
+    ::aqp::Status aqp_status_tmp_ = (expr);       \
+    if (!aqp_status_tmp_.ok()) return aqp_status_tmp_; \
+  } while (false)
+
+}  // namespace aqp
+
+#endif  // AQP_UTIL_STATUS_H_

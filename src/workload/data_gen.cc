@@ -1,0 +1,151 @@
+#include "workload/data_gen.h"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "util/logging.h"
+#include "util/random.h"
+
+namespace aqp {
+namespace {
+
+std::vector<std::string> MakeNames(const char* prefix, int count) {
+  std::vector<std::string> names;
+  names.reserve(static_cast<size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    names.push_back(std::string(prefix) + std::to_string(i));
+  }
+  return names;
+}
+
+}  // namespace
+
+std::shared_ptr<const Table> GenerateSessionsTable(int64_t rows,
+                                                   uint64_t seed) {
+  AQP_CHECK(rows >= 0);
+  Rng rng(seed);
+  auto table = std::make_shared<Table>("sessions");
+
+  Column session_time = Column::MakeDouble("session_time");
+  Column join_time = Column::MakeDouble("join_time_ms");
+  Column buffering = Column::MakeDouble("buffering_ratio");
+  Column bitrate = Column::MakeDouble("bitrate_kbps");
+  Column bytes = Column::MakeDouble("bytes");
+  Column ads = Column::MakeDouble("ad_impressions");
+  Column city = Column::MakeString("city");
+  Column content_type = Column::MakeString("content_type");
+  Column cdn = Column::MakeString("cdn");
+
+  // Well-known city names first so examples can filter on "NYC" etc.
+  std::vector<std::string> cities = {"NYC", "SF",  "LA",    "CHI", "SEA",
+                                     "BOS", "ATL", "MIA",   "DEN", "AUS"};
+  for (const std::string& extra : MakeNames("city_", 90)) {
+    cities.push_back(extra);
+  }
+  const std::vector<std::string> content_types = {"live", "vod", "clip",
+                                                  "trailer"};
+  const std::vector<std::string> cdns = {"cdn_a", "cdn_b", "cdn_c", "cdn_d",
+                                         "cdn_e"};
+  // Bitrate ladder typical of adaptive streaming.
+  const double ladder[] = {235, 375, 560, 750, 1050, 1750, 2350, 3000, 4300,
+                           5800};
+
+  session_time.Reserve(rows);
+  join_time.Reserve(rows);
+  buffering.Reserve(rows);
+  bitrate.Reserve(rows);
+  bytes.Reserve(rows);
+  ads.Reserve(rows);
+  city.Reserve(rows);
+  content_type.Reserve(rows);
+  cdn.Reserve(rows);
+
+  for (int64_t i = 0; i < rows; ++i) {
+    session_time.AppendDouble(rng.NextLognormal(4.0, 1.2));
+    join_time.AppendDouble(rng.NextLognormal(5.5, 0.9));
+    buffering.AppendDouble(
+        std::min(1.0, rng.NextLognormal(-3.0, 1.2)));
+    int step = static_cast<int>(rng.NextZipf(10, 0.8)) - 1;
+    bitrate.AppendDouble(ladder[step] * rng.NextLognormal(0.0, 0.05));
+    bytes.AppendDouble(rng.NextPareto(1e5, 1.6));
+    ads.AppendDouble(static_cast<double>(rng.NextPoisson(2.0)));
+    city.AppendString(
+        cities[static_cast<size_t>(rng.NextZipf(
+                   static_cast<int64_t>(cities.size()), 1.1)) -
+               1]);
+    content_type.AppendString(
+        content_types[static_cast<size_t>(rng.NextZipf(4, 0.9)) - 1]);
+    cdn.AppendString(cdns[static_cast<size_t>(rng.NextZipf(5, 0.7)) - 1]);
+  }
+
+  AQP_CHECK(table->AddColumn(std::move(session_time)).ok());
+  AQP_CHECK(table->AddColumn(std::move(join_time)).ok());
+  AQP_CHECK(table->AddColumn(std::move(buffering)).ok());
+  AQP_CHECK(table->AddColumn(std::move(bitrate)).ok());
+  AQP_CHECK(table->AddColumn(std::move(bytes)).ok());
+  AQP_CHECK(table->AddColumn(std::move(ads)).ok());
+  AQP_CHECK(table->AddColumn(std::move(city)).ok());
+  AQP_CHECK(table->AddColumn(std::move(content_type)).ok());
+  AQP_CHECK(table->AddColumn(std::move(cdn)).ok());
+  return table;
+}
+
+std::shared_ptr<const Table> GenerateEventsTable(int64_t rows, uint64_t seed) {
+  AQP_CHECK(rows >= 0);
+  Rng rng(seed);
+  auto table = std::make_shared<Table>("events");
+
+  Column value_normal = Column::MakeDouble("value_normal");
+  Column value_uniform = Column::MakeDouble("value_uniform");
+  Column value_lognormal = Column::MakeDouble("value_lognormal");
+  Column value_pareto = Column::MakeDouble("value_pareto");
+  Column like_count = Column::MakeDouble("like_count");
+  Column age = Column::MakeDouble("age");
+  Column session_length = Column::MakeDouble("session_length");
+  Column region = Column::MakeString("region");
+  Column platform = Column::MakeString("platform");
+
+  std::vector<std::string> regions = MakeNames("region_", 50);
+  const std::vector<std::string> platforms = {"ios", "android", "web",
+                                              "mobile_web", "api"};
+
+  value_normal.Reserve(rows);
+  value_uniform.Reserve(rows);
+  value_lognormal.Reserve(rows);
+  value_pareto.Reserve(rows);
+  like_count.Reserve(rows);
+  age.Reserve(rows);
+  session_length.Reserve(rows);
+  region.Reserve(rows);
+  platform.Reserve(rows);
+
+  for (int64_t i = 0; i < rows; ++i) {
+    value_normal.AppendDouble(rng.NextGaussian(100.0, 15.0));
+    value_uniform.AppendDouble(rng.NextDoubleInRange(0.0, 1000.0));
+    value_lognormal.AppendDouble(rng.NextLognormal(3.0, 1.2));
+    value_pareto.AppendDouble(rng.NextPareto(1.0, 1.5));
+    like_count.AppendDouble(
+        static_cast<double>(rng.NextZipf(10000, 1.8) - 1));
+    age.AppendDouble(static_cast<double>(rng.NextIntInRange(13, 80)));
+    session_length.AppendDouble(rng.NextExponential(1.0 / 300.0));
+    region.AppendString(
+        regions[static_cast<size_t>(rng.NextZipf(50, 1.05)) - 1]);
+    platform.AppendString(
+        platforms[static_cast<size_t>(rng.NextZipf(5, 0.8)) - 1]);
+  }
+
+  AQP_CHECK(table->AddColumn(std::move(value_normal)).ok());
+  AQP_CHECK(table->AddColumn(std::move(value_uniform)).ok());
+  AQP_CHECK(table->AddColumn(std::move(value_lognormal)).ok());
+  AQP_CHECK(table->AddColumn(std::move(value_pareto)).ok());
+  AQP_CHECK(table->AddColumn(std::move(like_count)).ok());
+  AQP_CHECK(table->AddColumn(std::move(age)).ok());
+  AQP_CHECK(table->AddColumn(std::move(session_length)).ok());
+  AQP_CHECK(table->AddColumn(std::move(region)).ok());
+  AQP_CHECK(table->AddColumn(std::move(platform)).ok());
+  return table;
+}
+
+}  // namespace aqp

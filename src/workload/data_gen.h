@@ -1,0 +1,45 @@
+#ifndef AQP_WORKLOAD_DATA_GEN_H_
+#define AQP_WORKLOAD_DATA_GEN_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "storage/table.h"
+
+namespace aqp {
+
+/// Synthetic data generators standing in for the proprietary Conviva and
+/// Facebook datasets (see DESIGN.md §2). Column marginals follow what the
+/// paper discloses: heavy-tailed media-session metrics for Conviva,
+/// mixed-distribution event metrics for Facebook, Zipf-distributed
+/// categorical dimensions for both.
+
+/// Conviva-style media sessions table, named "sessions". Columns:
+///   session_time   double  lognormal(mu=4.0, sigma=1.2)  — seconds
+///   join_time_ms   double  lognormal(mu=5.5, sigma=0.9)
+///   buffering_ratio double clamped lognormal in [0, 1]
+///   bitrate_kbps   double  mixture of ladder steps with noise
+///   bytes          double  Pareto(scale=1e5, alpha=1.6)   — heavy tail
+///   ad_impressions double  Poisson(2)
+///   city           string  Zipf over 100 cities (incl. "NYC", "SF", ...)
+///   content_type   string  Zipf over {live, vod, clip, trailer}
+///   cdn            string  Zipf over 5 CDNs
+std::shared_ptr<const Table> GenerateSessionsTable(int64_t rows,
+                                                   uint64_t seed);
+
+/// Facebook-style events table, named "events". Columns:
+///   value_normal    double N(100, 15)         — CLT-friendly
+///   value_uniform   double U[0, 1000)
+///   value_lognormal double lognormal(3, 1.2)  — skewed
+///   value_pareto    double Pareto(1.0, 1.5)   — infinite variance; breaks
+///                                               bootstrap/CLT for MAX
+///   like_count      double Zipf(10000, 1.8) - 1
+///   age             double U{13..80}
+///   session_length  double exponential(1/300)
+///   region          string Zipf over 50 regions
+///   platform        string Zipf over {ios, android, web, mobile_web, api}
+std::shared_ptr<const Table> GenerateEventsTable(int64_t rows, uint64_t seed);
+
+}  // namespace aqp
+
+#endif  // AQP_WORKLOAD_DATA_GEN_H_

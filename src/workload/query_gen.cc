@@ -1,0 +1,195 @@
+#include "workload/query_gen.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+#include "util/stats.h"
+#include "workload/udfs.h"
+
+namespace aqp {
+
+MixSpec FacebookMix() {
+  MixSpec mix;
+  mix.aggregate_shares = {
+      {AggregateKind::kMin, 33.35},       {AggregateKind::kCount, 24.67},
+      {AggregateKind::kAvg, 12.20},       {AggregateKind::kSum, 10.11},
+      {AggregateKind::kMax, 2.87},        {AggregateKind::kVariance, 6.0},
+      {AggregateKind::kStddev, 4.0},      {AggregateKind::kPercentile, 6.8},
+  };
+  mix.udf_fraction = 0.1101;
+  mix.filter_fraction = 0.7;
+  return mix;
+}
+
+MixSpec ConvivaMix() {
+  MixSpec mix;
+  mix.aggregate_shares = {
+      {AggregateKind::kAvg, 12.0},        {AggregateKind::kCount, 9.0},
+      {AggregateKind::kPercentile, 7.0},  {AggregateKind::kMax, 4.3},
+      {AggregateKind::kSum, 8.0},         {AggregateKind::kMin, 5.0},
+      {AggregateKind::kVariance, 3.0},    {AggregateKind::kStddev, 2.0},
+  };
+  mix.udf_fraction = 0.4207;
+  mix.filter_fraction = 0.75;
+  return mix;
+}
+
+QueryGenerator::QueryGenerator(std::shared_ptr<const Table> population,
+                               uint64_t seed)
+    : population_(std::move(population)), rng_(seed) {
+  AQP_CHECK(population_ != nullptr);
+  for (const Column& c : population_->columns()) {
+    if (c.is_numeric()) {
+      numeric_columns_.push_back(c.name());
+    } else {
+      string_columns_.push_back(c.name());
+    }
+  }
+  AQP_CHECK(!numeric_columns_.empty());
+}
+
+ExprPtr QueryGenerator::MakeFilter() {
+  bool use_string = !string_columns_.empty() && rng_.NextBernoulli(0.55);
+  if (use_string) {
+    const std::string& col_name = string_columns_[static_cast<size_t>(
+        rng_.NextInt(static_cast<int64_t>(string_columns_.size())))];
+    // Pick the value of a random row so selectivity follows the data's own
+    // (Zipf-skewed) category frequencies, but floor the selectivity at ~4%
+    // by retrying rare categories: queries whose filters keep a handful of
+    // rows are not meaningfully approximable at any estimator's hands.
+    Result<const Column*> col = population_->ColumnByName(col_name);
+    AQP_CHECK(col.ok());
+    int64_t rows = population_->num_rows();
+    int64_t threshold = rows / 25;  // 4%
+    for (int attempt = 0; attempt < 8; ++attempt) {
+      int64_t row = rng_.NextInt(rows);
+      int32_t code = (*col)->CodeAt(row);
+      int64_t frequency = 0;
+      for (int32_t c : (*col)->codes()) frequency += c == code;
+      if (frequency >= threshold || attempt == 7) {
+        return StringEquals(ColumnRef(col_name), (*col)->StringAt(row));
+      }
+    }
+  }
+  const std::string& col_name = numeric_columns_[static_cast<size_t>(
+      rng_.NextInt(static_cast<int64_t>(numeric_columns_.size())))];
+  Result<const Column*> col = population_->ColumnByName(col_name);
+  AQP_CHECK(col.ok());
+  // Threshold at a random quantile of a value sample, so selectivities are
+  // spread over [0.15, 0.85].
+  const std::vector<double>& values = (*col)->doubles();
+  std::vector<double> sampled;
+  int64_t probe = std::min<int64_t>(4096, static_cast<int64_t>(values.size()));
+  sampled.reserve(static_cast<size_t>(probe));
+  for (int64_t i = 0; i < probe; ++i) {
+    sampled.push_back(
+        values[static_cast<size_t>(rng_.NextInt(
+            static_cast<int64_t>(values.size())))]);
+  }
+  double q = rng_.NextDoubleInRange(0.15, 0.85);
+  double threshold = Quantile(std::move(sampled), q);
+  bool greater = rng_.NextBernoulli(0.5);
+  return greater ? Gt(ColumnRef(col_name), Literal(threshold))
+                 : Le(ColumnRef(col_name), Literal(threshold));
+}
+
+ExprPtr QueryGenerator::MakeAggregateInput(bool with_udf) {
+  const std::string& col_name = numeric_columns_[static_cast<size_t>(
+      rng_.NextInt(static_cast<int64_t>(numeric_columns_.size())))];
+  ExprPtr input = ColumnRef(col_name);
+  double shape = rng_.NextDouble();
+  if (shape < 0.15 && numeric_columns_.size() > 1) {
+    const std::string& other = numeric_columns_[static_cast<size_t>(
+        rng_.NextInt(static_cast<int64_t>(numeric_columns_.size())))];
+    input = Add(input, ColumnRef(other));
+  } else if (shape < 0.25) {
+    input = Mul(input, Literal(rng_.NextDoubleInRange(0.5, 4.0)));
+  }
+  if (with_udf) {
+    const auto& library = UnaryUdfLibrary();
+    const UnaryUdfFactory& factory = library[static_cast<size_t>(
+        rng_.NextInt(static_cast<int64_t>(library.size())))];
+    input = factory.make(std::move(input));
+  }
+  return input;
+}
+
+std::vector<WorkloadQuery> QueryGenerator::Generate(
+    const MixSpec& mix, int count, const std::string& prefix) {
+  AQP_CHECK(!mix.aggregate_shares.empty());
+  double total_weight = 0.0;
+  for (const MixSpec::Share& s : mix.aggregate_shares) {
+    total_weight += s.weight;
+  }
+  std::vector<WorkloadQuery> out;
+  out.reserve(static_cast<size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    double pick = rng_.NextDouble() * total_weight;
+    AggregateKind kind = mix.aggregate_shares.back().kind;
+    for (const MixSpec::Share& s : mix.aggregate_shares) {
+      if (pick < s.weight) {
+        kind = s.kind;
+        break;
+      }
+      pick -= s.weight;
+    }
+    bool with_udf = rng_.NextBernoulli(mix.udf_fraction);
+
+    WorkloadQuery wq;
+    wq.uses_udf = with_udf;
+    wq.category = AggregateKindName(kind);
+    if (with_udf) wq.category += "+UDF";
+    wq.query.id = prefix + "_q" + std::to_string(i);
+    wq.query.table = population_->name();
+    if (rng_.NextBernoulli(mix.filter_fraction)) {
+      wq.query.filter = MakeFilter();
+    }
+    wq.query.aggregate.kind = kind;
+    // COUNT(*) keeps a null input; everything else aggregates a value.
+    if (kind != AggregateKind::kCount || with_udf) {
+      wq.query.aggregate.input = MakeAggregateInput(with_udf);
+    }
+    if (kind == AggregateKind::kPercentile) {
+      const double choices[] = {0.5, 0.9, 0.95, 0.99};
+      wq.query.aggregate.percentile =
+          choices[static_cast<size_t>(rng_.NextInt(4))];
+    }
+    out.push_back(std::move(wq));
+  }
+  return out;
+}
+
+std::vector<WorkloadQuery> QueryGenerator::GenerateQSet1(int count) {
+  MixSpec mix;
+  mix.aggregate_shares = {
+      {AggregateKind::kAvg, 30.0},      {AggregateKind::kCount, 25.0},
+      {AggregateKind::kSum, 25.0},      {AggregateKind::kVariance, 10.0},
+      {AggregateKind::kStddev, 10.0},
+  };
+  mix.udf_fraction = 0.0;
+  mix.filter_fraction = 0.7;
+  return Generate(mix, count, population_->name() + "_qset1");
+}
+
+std::vector<WorkloadQuery> QueryGenerator::GenerateQSet2(int count) {
+  // Bootstrap-only queries: order statistics, extremes, and UDF-wrapped
+  // aggregates (multiple aggregate operators / nested subqueries in the
+  // paper reduce to the same property — no known closed form).
+  MixSpec mix;
+  mix.aggregate_shares = {
+      {AggregateKind::kMin, 20.0},        {AggregateKind::kMax, 20.0},
+      {AggregateKind::kPercentile, 25.0}, {AggregateKind::kAvg, 20.0},
+      {AggregateKind::kSum, 15.0},
+  };
+  mix.udf_fraction = 1.0;  // Overridden below for MIN/MAX/PERCENTILE.
+  mix.filter_fraction = 0.7;
+  std::vector<WorkloadQuery> queries =
+      Generate(mix, count, population_->name() + "_qset2");
+  // MIN/MAX/PERCENTILE are bootstrap-only even without a UDF; keep a blend.
+  for (WorkloadQuery& wq : queries) {
+    AQP_DCHECK(!wq.query.ClosedFormApplicable());
+  }
+  return queries;
+}
+
+}  // namespace aqp

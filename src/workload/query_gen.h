@@ -1,0 +1,79 @@
+#ifndef AQP_WORKLOAD_QUERY_GEN_H_
+#define AQP_WORKLOAD_QUERY_GEN_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "exec/query_spec.h"
+#include "storage/table.h"
+#include "util/random.h"
+
+namespace aqp {
+
+/// One generated workload query plus its classification for reporting.
+struct WorkloadQuery {
+  QuerySpec query;
+  /// Aggregate-function class ("AVG", "MAX", ...), with "+UDF" appended
+  /// when the query wraps its input in a UDF.
+  std::string category;
+  bool uses_udf = false;
+};
+
+/// Aggregate-function mix of a production trace: relative shares per
+/// aggregate kind plus the fraction of queries with UDFs and with filters.
+struct MixSpec {
+  struct Share {
+    AggregateKind kind;
+    double weight;
+  };
+  std::vector<Share> aggregate_shares;
+  double udf_fraction = 0.0;
+  double filter_fraction = 0.7;
+};
+
+/// The Facebook trace mix of paper §3: MIN 33.35%, COUNT 24.67%,
+/// AVG 12.20%, SUM 10.11%, MAX 2.87% (remainder spread over
+/// VARIANCE/STDEV/PERCENTILE), UDFs on 11.01% of queries.
+MixSpec FacebookMix();
+
+/// The Conviva trace mix of §3: AVG/COUNT/PERCENTILE/MAX most popular
+/// (32.3% combined), 42.07% of queries with at least one UDF.
+MixSpec ConvivaMix();
+
+/// Generates random single-aggregate queries against a concrete table,
+/// choosing aggregate columns among its numeric columns, filters among its
+/// categorical and numeric columns (with quantile-calibrated thresholds so
+/// selectivities vary), and UDF wrappers from the workload UDF library.
+class QueryGenerator {
+ public:
+  /// `population` provides the schema and the value distributions used to
+  /// calibrate filter thresholds. Deterministic given `seed`.
+  QueryGenerator(std::shared_ptr<const Table> population, uint64_t seed);
+
+  /// Generates `count` queries following `mix`. Query ids are
+  /// "<prefix>_q<i>".
+  std::vector<WorkloadQuery> Generate(const MixSpec& mix, int count,
+                                      const std::string& prefix);
+
+  /// QSet-1 of §7: queries approximable with closed forms (COUNT, SUM, AVG,
+  /// VARIANCE, STDEV; no UDFs).
+  std::vector<WorkloadQuery> GenerateQSet1(int count);
+
+  /// QSet-2 of §7: queries needing the bootstrap (MIN/MAX/PERCENTILE, or
+  /// closed-form aggregates over UDF-transformed inputs).
+  std::vector<WorkloadQuery> GenerateQSet2(int count);
+
+ private:
+  ExprPtr MakeFilter();
+  ExprPtr MakeAggregateInput(bool with_udf);
+
+  std::shared_ptr<const Table> population_;
+  Rng rng_;
+  std::vector<std::string> numeric_columns_;
+  std::vector<std::string> string_columns_;
+};
+
+}  // namespace aqp
+
+#endif  // AQP_WORKLOAD_QUERY_GEN_H_

@@ -1,0 +1,91 @@
+#include "workload/udfs.h"
+
+#include <cmath>
+
+namespace aqp {
+
+ExprPtr UdfLog1p(ExprPtr x) {
+  return Udf(
+      "log1p",
+      [](const std::vector<double>& args) { return std::log1p(std::abs(args[0])); },
+      {std::move(x)});
+}
+
+ExprPtr UdfSqrtAbs(ExprPtr x) {
+  return Udf(
+      "sqrt_abs",
+      [](const std::vector<double>& args) { return std::sqrt(std::abs(args[0])); },
+      {std::move(x)});
+}
+
+ExprPtr UdfSquash(ExprPtr x) {
+  return Udf(
+      "squash",
+      [](const std::vector<double>& args) {
+        double v = std::abs(args[0]);
+        return v / (1.0 + v);
+      },
+      {std::move(x)});
+}
+
+ExprPtr UdfRatio(ExprPtr numerator, ExprPtr denominator) {
+  return Udf(
+      "ratio",
+      [](const std::vector<double>& args) {
+        return args[0] / (1.0 + std::abs(args[1]));
+      },
+      {std::move(numerator), std::move(denominator)});
+}
+
+ExprPtr UdfBucket(ExprPtr x, double width) {
+  return Udf(
+      "bucket",
+      [width](const std::vector<double>& args) {
+        return std::floor(args[0] / width) * width;
+      },
+      {std::move(x)});
+}
+
+ExprPtr UdfExpScale(ExprPtr x, double scale) {
+  return Udf(
+      "exp_scale",
+      [scale](const std::vector<double>& args) {
+        // Capped to keep values finite; still extremely heavy-tailed.
+        return std::exp(std::min(args[0] / scale, 60.0));
+      },
+      {std::move(x)});
+}
+
+ExprPtr UdfQoeScore(ExprPtr buffering_ratio, ExprPtr join_time_ms,
+                    ExprPtr bitrate_kbps) {
+  return Udf(
+      "qoe_score",
+      [](const std::vector<double>& args) {
+        double buffering = args[0];
+        double join_ms = args[1];
+        double bitrate = args[2];
+        double score = 100.0;
+        score -= 60.0 * std::min(1.0, buffering * 4.0);
+        score -= 20.0 * std::min(1.0, join_ms / 5000.0);
+        score += 10.0 * std::log1p(bitrate / 1000.0);
+        return score;
+      },
+      {std::move(buffering_ratio), std::move(join_time_ms),
+       std::move(bitrate_kbps)});
+}
+
+const std::vector<UnaryUdfFactory>& UnaryUdfLibrary() {
+  static const std::vector<UnaryUdfFactory>* kLibrary =
+      new std::vector<UnaryUdfFactory>{
+          {"log1p", [](ExprPtr x) { return UdfLog1p(std::move(x)); }},
+          {"sqrt_abs", [](ExprPtr x) { return UdfSqrtAbs(std::move(x)); }},
+          {"squash", [](ExprPtr x) { return UdfSquash(std::move(x)); }},
+          {"bucket100",
+           [](ExprPtr x) { return UdfBucket(std::move(x), 100.0); }},
+          {"exp_scale",
+           [](ExprPtr x) { return UdfExpScale(std::move(x), 50.0); }},
+      };
+  return *kLibrary;
+}
+
+}  // namespace aqp

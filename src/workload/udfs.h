@@ -1,0 +1,51 @@
+#ifndef AQP_WORKLOAD_UDFS_H_
+#define AQP_WORKLOAD_UDFS_H_
+
+#include <string>
+#include <vector>
+
+#include "expr/expr.h"
+
+namespace aqp {
+
+/// A library of scalar UDFs representative of the user-defined functions in
+/// the Conviva and Facebook traces (engagement scores, ratios, bucketing,
+/// nonlinear transforms). Queries containing these are bootstrap-only in
+/// the paper's taxonomy.
+
+/// log(1 + x): compresses heavy tails — usually bootstrap-friendly.
+ExprPtr UdfLog1p(ExprPtr x);
+
+/// sqrt(|x|).
+ExprPtr UdfSqrtAbs(ExprPtr x);
+
+/// x / (1 + x): bounded squashing.
+ExprPtr UdfSquash(ExprPtr x);
+
+/// a / (1 + b): ratio metric (e.g. bytes per second of session time).
+ExprPtr UdfRatio(ExprPtr numerator, ExprPtr denominator);
+
+/// floor(x / width) * width: bucketing.
+ExprPtr UdfBucket(ExprPtr x, double width);
+
+/// exp(x / scale): tail amplifier — a plausible "engagement boost" style
+/// UDF whose aggregate is dominated by rare rows; this is the kind of
+/// black-box function that silently breaks error estimation.
+ExprPtr UdfExpScale(ExprPtr x, double scale);
+
+/// Conviva-style quality-of-experience score: nonlinear combination of
+/// buffering ratio and join time with a bitrate bonus.
+ExprPtr UdfQoeScore(ExprPtr buffering_ratio, ExprPtr join_time_ms,
+                    ExprPtr bitrate_kbps);
+
+/// All unary UDF constructors (for workload generation), as (name, factory)
+/// pairs over a single input expression.
+struct UnaryUdfFactory {
+  std::string name;
+  ExprPtr (*make)(ExprPtr);
+};
+const std::vector<UnaryUdfFactory>& UnaryUdfLibrary();
+
+}  // namespace aqp
+
+#endif  // AQP_WORKLOAD_UDFS_H_

@@ -1,0 +1,297 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "cluster/simulator.h"
+#include "util/stats.h"
+
+namespace aqp {
+namespace {
+
+ClusterConfig DefaultConfig() { return ClusterConfig{}; }
+
+JobSpec PlainQueryJob(double mb = 20.0 * 1024) {
+  JobSpec job;
+  job.num_subqueries = 1;
+  job.bytes_per_subquery_mb = mb;
+  job.weight_columns = 0;
+  return job;
+}
+
+ExecutionTuning DefaultTuning() {
+  ExecutionTuning tuning;
+  tuning.max_machines = 100;
+  tuning.cached_fraction = 0.35;
+  tuning.straggler_mitigation = false;
+  return tuning;
+}
+
+TEST(ClusterSimTest, DeterministicForSeed) {
+  ClusterSimulator a(DefaultConfig(), 42);
+  ClusterSimulator b(DefaultConfig(), 42);
+  JobTiming ta = a.SimulateJob(PlainQueryJob(), DefaultTuning());
+  JobTiming tb = b.SimulateJob(PlainQueryJob(), DefaultTuning());
+  EXPECT_DOUBLE_EQ(ta.duration_s, tb.duration_s);
+  EXPECT_EQ(ta.tasks_launched, tb.tasks_launched);
+}
+
+TEST(ClusterSimTest, EmptyJobIsFree) {
+  ClusterSimulator sim(DefaultConfig(), 1);
+  JobSpec empty;
+  empty.num_subqueries = 0;
+  JobTiming t = sim.SimulateJob(empty, DefaultTuning());
+  EXPECT_DOUBLE_EQ(t.duration_s, 0.0);
+  EXPECT_EQ(t.tasks_launched, 0);
+}
+
+TEST(ClusterSimTest, MoreSubqueriesTakeLonger) {
+  // Straggler mitigation on: this compares scheduling/dispatch volume, not
+  // straggler luck.
+  ClusterSimulator sim(DefaultConfig(), 2);
+  JobSpec one = PlainQueryJob(1024.0);
+  JobSpec hundred = one;
+  hundred.num_subqueries = 100;
+  ExecutionTuning tuning = DefaultTuning();
+  tuning.straggler_mitigation = true;
+  double t1 = 0.0;
+  double t100 = 0.0;
+  for (int rep = 0; rep < 10; ++rep) {
+    t1 += sim.SimulateJob(one, tuning).duration_s;
+    t100 += sim.SimulateJob(hundred, tuning).duration_s;
+  }
+  EXPECT_GT(t100, 4.0 * t1);
+}
+
+TEST(ClusterSimTest, WeightColumnsCostCpu) {
+  ClusterSimulator sim(DefaultConfig(), 3);
+  JobSpec plain = PlainQueryJob();
+  JobSpec weighted = plain;
+  weighted.weight_columns = 400;
+  weighted.weight_volume_fraction = 1.0;
+  double tp = sim.SimulateJob(plain, DefaultTuning()).duration_s;
+  double tw = sim.SimulateJob(weighted, DefaultTuning()).duration_s;
+  EXPECT_GT(tw, 1.5 * tp);
+}
+
+TEST(ClusterSimTest, PushdownReducesWeightCost) {
+  // At bounded parallelism (larger tasks), carrying 400 weight columns on
+  // every row blows the working set and CPU budget; attaching them only to
+  // the 5% of rows that survive the filters avoids both.
+  ClusterSimulator sim(DefaultConfig(), 4);
+  JobSpec naive = PlainQueryJob();
+  naive.weight_columns = 400;
+  naive.weight_volume_fraction = 1.0;
+  JobSpec pushed = naive;
+  pushed.weight_volume_fraction = 0.05;  // 5% selectivity after filters.
+  ExecutionTuning tuning = DefaultTuning();
+  tuning.max_machines = 20;
+  double tn = sim.SimulateJob(naive, tuning).duration_s;
+  double tp = sim.SimulateJob(pushed, tuning).duration_s;
+  EXPECT_LT(tp, 0.6 * tn);
+}
+
+TEST(ClusterSimTest, BaselineSlowerThanConsolidated) {
+  // The Fig. 7 vs Fig. 9 gap: 30,101 subqueries vs one consolidated pass.
+  ClusterSimulator sim(DefaultConfig(), 5);
+  JobSpec baseline;
+  baseline.num_subqueries = 101;  // 1 + K bootstrap subqueries.
+  baseline.bytes_per_subquery_mb = 20.0 * 1024;
+  JobSpec consolidated = PlainQueryJob();
+  consolidated.weight_columns = 100;
+  consolidated.weight_volume_fraction = 0.1;
+  ExecutionTuning tuning = DefaultTuning();
+  tuning.straggler_mitigation = true;
+  double tb = 0.0;
+  double tc = 0.0;
+  for (int rep = 0; rep < 10; ++rep) {
+    tb += sim.SimulateJob(baseline, tuning).duration_s;
+    tc += sim.SimulateJob(consolidated, tuning).duration_s;
+  }
+  EXPECT_GT(tb / tc, 8.0);
+}
+
+TEST(ClusterSimTest, ParallelismSweetSpot) {
+  // Fig. 8(c): latency improves up to a point, then task overheads win.
+  ClusterConfig config = DefaultConfig();
+  JobSpec job;
+  job.num_subqueries = 1;
+  job.bytes_per_subquery_mb = 2048.0;
+  job.weight_columns = 400;
+  job.weight_volume_fraction = 0.05;
+  auto latency_at = [&](int machines) {
+    ClusterSimulator sim(config, 6);  // Fresh sim: same seed per setting.
+    ExecutionTuning tuning = DefaultTuning();
+    tuning.straggler_mitigation = true;
+    tuning.max_machines = machines;
+    double total = 0.0;
+    for (int rep = 0; rep < 10; ++rep) {
+      total += sim.SimulateJob(job, tuning).duration_s;
+    }
+    return total / 10.0;
+  };
+  double at1 = latency_at(1);
+  double at20 = latency_at(20);
+  EXPECT_LT(at20, at1);  // Parallelism helps vs. serial.
+}
+
+TEST(ClusterSimTest, CacheFractionTradeoff) {
+  // Fig. 8(d): zero caching (all disk) and full caching (no working
+  // memory) should both lose to a middle setting.
+  ClusterConfig config = DefaultConfig();
+  JobSpec job = PlainQueryJob(20.0 * 1024);
+  job.weight_columns = 400;
+  job.weight_volume_fraction = 0.25;
+  auto latency_at = [&](double fraction) {
+    ClusterSimulator sim(config, 7);
+    ExecutionTuning tuning = DefaultTuning();
+    tuning.cached_fraction = fraction;
+    double total = 0.0;
+    for (int rep = 0; rep < 10; ++rep) {
+      total += sim.SimulateJob(job, tuning).duration_s;
+    }
+    return total / 10.0;
+  };
+  double at_zero = latency_at(0.0);
+  double at_mid = latency_at(0.35);
+  double at_full = latency_at(1.0);
+  EXPECT_LT(at_mid, at_zero);
+  EXPECT_LT(at_mid, at_full);
+}
+
+TEST(ClusterSimTest, StragglerMitigationHelpsOnAverage) {
+  ClusterConfig config = DefaultConfig();
+  config.straggler_prob = 0.15;  // Make stragglers common for the test.
+  JobSpec job = PlainQueryJob(20.0 * 1024);
+  auto mean_latency = [&](bool mitigation) {
+    ClusterSimulator sim(config, 8);
+    ExecutionTuning tuning = DefaultTuning();
+    tuning.straggler_mitigation = mitigation;
+    std::vector<double> times;
+    for (int rep = 0; rep < 40; ++rep) {
+      times.push_back(sim.SimulateJob(job, tuning).duration_s);
+    }
+    return Mean(times);
+  };
+  double without = mean_latency(false);
+  double with = mean_latency(true);
+  EXPECT_LT(with, without);
+}
+
+TEST(ClusterSimTest, MitigationLaunchesExtraTasks) {
+  ClusterSimulator sim(DefaultConfig(), 9);
+  JobSpec job = PlainQueryJob(20.0 * 1024);
+  ExecutionTuning off = DefaultTuning();
+  ExecutionTuning on = DefaultTuning();
+  on.straggler_mitigation = true;
+  JobTiming t_off = sim.SimulateJob(job, off);
+  JobTiming t_on = sim.SimulateJob(job, on);
+  EXPECT_GT(t_on.tasks_launched, t_off.tasks_launched);
+  EXPECT_NEAR(static_cast<double>(t_on.tasks_launched),
+              1.1 * static_cast<double>(t_off.tasks_launched),
+              0.02 * static_cast<double>(t_off.tasks_launched) + 1.0);
+}
+
+TEST(ClusterSimTest, PipelineReportsComponents) {
+  ClusterSimulator sim(DefaultConfig(), 10);
+  JobSpec query = PlainQueryJob(20.0 * 1024);
+  JobSpec error_est;
+  error_est.num_subqueries = 100;
+  error_est.bytes_per_subquery_mb = 20.0 * 1024;
+  JobSpec diag;
+  diag.num_subqueries = 30000;
+  diag.bytes_per_subquery_mb = 100.0;
+  PipelineTiming t = sim.SimulatePipeline(query, error_est, diag,
+                                          DefaultTuning());
+  EXPECT_GT(t.query_s, 0.0);
+  EXPECT_GT(t.error_estimation_s, t.query_s);
+  EXPECT_GT(t.diagnostics_s, t.query_s);
+  EXPECT_DOUBLE_EQ(
+      t.total_s(),
+      std::max({t.query_s, t.error_estimation_s, t.diagnostics_s}));
+}
+
+TEST(ClusterSimTest, DispatchOverheadDominatesTinySubqueries) {
+  // 30,000 tiny diagnostic subqueries must be dominated by dispatch cost:
+  // >= num_subqueries * dispatch_overhead.
+  ClusterConfig config = DefaultConfig();
+  ClusterSimulator sim(config, 11);
+  JobSpec diag;
+  diag.num_subqueries = 30000;
+  diag.bytes_per_subquery_mb = 100.0;
+  double t = sim.SimulateJob(diag, DefaultTuning()).duration_s;
+  EXPECT_GT(t, 30000 * config.task_dispatch_overhead_s);
+}
+
+TEST(ClusterSimTest, FairSlotSplitting) {
+  // A lone 20 GB query at 100 machines splits across every slot (400 tasks
+  // of 51 MB); the same query sharing the cluster with 99 siblings splits
+  // by partition size only (80 tasks of 256 MB each).
+  ClusterSimulator sim(DefaultConfig(), 12);
+  ExecutionTuning tuning = DefaultTuning();
+  JobSpec lone = PlainQueryJob(20.0 * 1024);
+  JobTiming t_lone = sim.SimulateJob(lone, tuning);
+  EXPECT_EQ(t_lone.tasks_launched, 400);
+  JobSpec shared = lone;
+  shared.num_subqueries = 100;
+  JobTiming t_shared = sim.SimulateJob(shared, tuning);
+  EXPECT_EQ(t_shared.tasks_launched, 100 * 80);
+}
+
+TEST(ClusterSimTest, MinTaskSizeBoundsSplitting) {
+  // Tiny inputs never split below min_task_mb.
+  ClusterConfig config = DefaultConfig();
+  ClusterSimulator sim(config, 13);
+  JobSpec tiny = PlainQueryJob(2.0 * config.min_task_mb);
+  JobTiming t = sim.SimulateJob(tiny, DefaultTuning());
+  EXPECT_EQ(t.tasks_launched, 2);
+}
+
+TEST(ClusterSimTest, StragglerDelayIsCapped) {
+  // With every task a straggler, the job still finishes within the cap plus
+  // base work — the additive delay model cannot produce unbounded runs.
+  ClusterConfig config = DefaultConfig();
+  config.straggler_prob = 1.0;
+  ClusterSimulator sim(config, 14);
+  JobSpec job = PlainQueryJob(1024.0);
+  double t = sim.SimulateJob(job, DefaultTuning()).duration_s;
+  EXPECT_LT(t, config.straggler_max_delay_s + 30.0);
+  EXPECT_GT(t, config.straggler_min_delay_s);
+}
+
+TEST(ClusterSimTest, DriverSerializationScalesWithSubqueries) {
+  // With free task execution (infinite bandwidth-ish), latency approaches
+  // the serialized driver cost: subqueries * per_subquery_fixed +
+  // tasks * dispatch.
+  ClusterConfig config = DefaultConfig();
+  config.straggler_prob = 0.0;
+  config.jitter_sigma = 1e-6;
+  config.task_startup_overhead_s = 0.0;
+  config.disk_bandwidth_mbps = 1e9;
+  config.memory_bandwidth_mbps = 1e9;
+  config.cpu_process_mbps = 1e9;
+  ClusterSimulator sim(config, 15);
+  JobSpec diag;
+  diag.num_subqueries = 1000;
+  diag.bytes_per_subquery_mb = 10.0;
+  double t = sim.SimulateJob(diag, DefaultTuning()).duration_s;
+  double driver_floor = 1000 * (config.per_subquery_fixed_s +
+                                config.task_dispatch_overhead_s);
+  EXPECT_GE(t, driver_floor * 0.95);
+  EXPECT_LE(t, driver_floor * 1.5);
+}
+
+TEST(ClusterSimTest, CacheFractionClampedToValidRange) {
+  // Out-of-range cache fractions behave like their clamped values.
+  ClusterSimulator a(DefaultConfig(), 16);
+  ClusterSimulator b(DefaultConfig(), 16);
+  ExecutionTuning over = DefaultTuning();
+  over.cached_fraction = 2.5;
+  ExecutionTuning full = DefaultTuning();
+  full.cached_fraction = 1.0;
+  JobSpec job = PlainQueryJob(4096.0);
+  EXPECT_DOUBLE_EQ(a.SimulateJob(job, over).duration_s,
+                   b.SimulateJob(job, full).duration_s);
+}
+
+}  // namespace
+}  // namespace aqp

@@ -1,0 +1,511 @@
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <memory>
+
+#include "core/engine.h"
+#include "util/random.h"
+#include "workload/data_gen.h"
+
+namespace aqp {
+namespace {
+
+std::shared_ptr<const Table> MakeGaussianTable(int64_t rows, uint64_t seed) {
+  Rng rng(seed);
+  auto t = std::make_shared<Table>("g");
+  Column v = Column::MakeDouble("v");
+  for (int64_t i = 0; i < rows; ++i) {
+    v.AppendDouble(rng.NextGaussian(100.0, 15.0));
+  }
+  EXPECT_TRUE(t->AddColumn(std::move(v)).ok());
+  return t;
+}
+
+std::shared_ptr<const Table> MakeParetoTable(int64_t rows, uint64_t seed) {
+  Rng rng(seed);
+  auto t = std::make_shared<Table>("p");
+  Column v = Column::MakeDouble("v");
+  for (int64_t i = 0; i < rows; ++i) {
+    v.AppendDouble(rng.NextPareto(1.0, 1.05));
+  }
+  EXPECT_TRUE(t->AddColumn(std::move(v)).ok());
+  return t;
+}
+
+QuerySpec MakeQuery(const char* table, AggregateKind kind) {
+  QuerySpec q;
+  q.id = "engine_test";
+  q.table = table;
+  q.aggregate.kind = kind;
+  q.aggregate.input = ColumnRef("v");
+  return q;
+}
+
+EngineOptions FastOptions() {
+  EngineOptions options;
+  options.bootstrap_replicates = 50;
+  options.diagnostic.num_subsamples = 100;
+  options.default_sample_rows = 20000;
+  return options;
+}
+
+TEST(EngineTest, RegisterAndSample) {
+  AqpEngine engine(FastOptions());
+  auto table = MakeGaussianTable(100000, 1);
+  EXPECT_TRUE(engine.RegisterTable(table).ok());
+  EXPECT_EQ(engine.RegisterTable(table).code(), StatusCode::kAlreadyExists);
+  EXPECT_TRUE(engine.CreateSample("g", 20000).ok());
+  EXPECT_TRUE(engine.samples().HasSamples("g"));
+  EXPECT_FALSE(engine.CreateSample("missing", 100).ok());
+}
+
+TEST(EngineTest, ExactExecution) {
+  AqpEngine engine(FastOptions());
+  auto table = MakeGaussianTable(50000, 2);
+  ASSERT_TRUE(engine.RegisterTable(table).ok());
+  Result<double> exact = engine.ExecuteExact(MakeQuery("g", AggregateKind::kAvg));
+  ASSERT_TRUE(exact.ok());
+  EXPECT_NEAR(*exact, 100.0, 0.5);
+}
+
+TEST(EngineTest, ApproximateAvgUsesClosedFormAndPasses) {
+  AqpEngine engine(FastOptions());
+  auto table = MakeGaussianTable(200000, 4);
+  ASSERT_TRUE(engine.RegisterTable(table).ok());
+  ASSERT_TRUE(engine.CreateSample("g", 20000).ok());
+  QuerySpec q = MakeQuery("g", AggregateKind::kAvg);
+  Result<ApproxResult> r = engine.ExecuteApproximate(q);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->method, EstimationMethod::kClosedForm);
+  EXPECT_TRUE(r->diagnostic_ran);
+  EXPECT_TRUE(r->diagnostic_ok);
+  EXPECT_FALSE(r->fell_back);
+  EXPECT_NEAR(r->estimate, 100.0, 1.0);
+  Result<double> exact = engine.ExecuteExact(q);
+  ASSERT_TRUE(exact.ok());
+  EXPECT_TRUE(r->ci.Contains(*exact));
+  EXPECT_EQ(r->sample_rows, 20000);
+  EXPECT_EQ(r->population_rows, 200000);
+}
+
+TEST(EngineTest, ApproximateMedianUsesBootstrap) {
+  // Method selection only: the diagnostic is (correctly) conservative for
+  // quantiles at laptop-scale subsample sizes, where the bootstrap-median
+  // distribution is lumpy, so it is disabled here.
+  EngineOptions options = FastOptions();
+  options.run_diagnostic = false;
+  AqpEngine engine(options);
+  auto table = MakeGaussianTable(200000, 3);
+  ASSERT_TRUE(engine.RegisterTable(table).ok());
+  ASSERT_TRUE(engine.CreateSample("g", 20000).ok());
+  QuerySpec q = MakeQuery("g", AggregateKind::kPercentile);
+  q.aggregate.percentile = 0.5;
+  Result<ApproxResult> r = engine.ExecuteApproximate(q);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->method, EstimationMethod::kBootstrap);
+  EXPECT_NEAR(r->estimate, 100.0, 1.0);
+}
+
+TEST(EngineTest, MaxOnHeavyTailFallsBackToExact) {
+  AqpEngine engine(FastOptions());
+  auto table = MakeParetoTable(200000, 5);
+  ASSERT_TRUE(engine.RegisterTable(table).ok());
+  ASSERT_TRUE(engine.CreateSample("p", 20000).ok());
+  QuerySpec q = MakeQuery("p", AggregateKind::kMax);
+  Result<ApproxResult> r = engine.ExecuteApproximate(q);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->fell_back);
+  EXPECT_EQ(r->method, EstimationMethod::kExact);
+  EXPECT_DOUBLE_EQ(r->ci.half_width, 0.0);
+  Result<double> exact = engine.ExecuteExact(q);
+  ASSERT_TRUE(exact.ok());
+  EXPECT_DOUBLE_EQ(r->estimate, *exact);
+}
+
+TEST(EngineTest, FallbackPolicyNoneKeepsFlaggedEstimate) {
+  EngineOptions options = FastOptions();
+  options.fallback = FallbackPolicy::kNone;
+  AqpEngine engine(options);
+  auto table = MakeParetoTable(200000, 6);
+  ASSERT_TRUE(engine.RegisterTable(table).ok());
+  ASSERT_TRUE(engine.CreateSample("p", 20000).ok());
+  QuerySpec q = MakeQuery("p", AggregateKind::kMax);
+  Result<ApproxResult> r = engine.ExecuteApproximate(q);
+  ASSERT_TRUE(r.ok());
+  EXPECT_FALSE(r->fell_back);
+  EXPECT_FALSE(r->diagnostic_ok);
+  EXPECT_EQ(r->method, EstimationMethod::kBootstrap);
+}
+
+TEST(EngineTest, FallbackPolicyLargeDeviation) {
+  EngineOptions options = FastOptions();
+  options.fallback = FallbackPolicy::kLargeDeviation;
+  AqpEngine engine(options);
+  // Lognormal with huge sigma: heavy-tailed enough that closed-form SUM
+  // can be rejected, yet Hoeffding is applicable.
+  Rng rng(7);
+  auto t = std::make_shared<Table>("h");
+  Column v = Column::MakeDouble("v");
+  for (int i = 0; i < 200000; ++i) v.AppendDouble(rng.NextPareto(1.0, 1.05));
+  ASSERT_TRUE(t->AddColumn(std::move(v)).ok());
+  ASSERT_TRUE(engine.RegisterTable(t).ok());
+  ASSERT_TRUE(engine.CreateSample("h", 20000).ok());
+  QuerySpec q;
+  q.table = "h";
+  q.aggregate.kind = AggregateKind::kSum;
+  q.aggregate.input = ColumnRef("v");
+  Result<ApproxResult> r = engine.ExecuteApproximate(q);
+  ASSERT_TRUE(r.ok());
+  if (r->fell_back) {
+    // Large-deviation bounds are applicable to SUM, so fallback should not
+    // have degraded all the way to exact.
+    EXPECT_EQ(r->method, EstimationMethod::kLargeDeviation);
+    EXPECT_GT(r->ci.half_width, 0.0);
+  }
+}
+
+TEST(EngineTest, DiagnosticCanBeDisabled) {
+  EngineOptions options = FastOptions();
+  options.run_diagnostic = false;
+  AqpEngine engine(options);
+  auto table = MakeParetoTable(100000, 8);
+  ASSERT_TRUE(engine.RegisterTable(table).ok());
+  ASSERT_TRUE(engine.CreateSample("p", 10000).ok());
+  QuerySpec q = MakeQuery("p", AggregateKind::kMax);
+  Result<ApproxResult> r = engine.ExecuteApproximate(q);
+  ASSERT_TRUE(r.ok());
+  EXPECT_FALSE(r->diagnostic_ran);
+  EXPECT_FALSE(r->fell_back);
+}
+
+TEST(EngineTest, MissingSampleFails) {
+  AqpEngine engine(FastOptions());
+  auto table = MakeGaussianTable(1000, 9);
+  ASSERT_TRUE(engine.RegisterTable(table).ok());
+  QuerySpec q = MakeQuery("g", AggregateKind::kAvg);
+  EXPECT_FALSE(engine.ExecuteApproximate(q).ok());
+}
+
+TEST(EngineTest, RelativeErrorAccessor) {
+  ApproxResult r;
+  r.estimate = 200.0;
+  r.ci.half_width = 10.0;
+  EXPECT_DOUBLE_EQ(r.RelativeError(), 0.05);
+  r.estimate = 0.0;
+  EXPECT_DOUBLE_EQ(r.RelativeError(), 0.0);
+}
+
+TEST(EngineTest, WorksOnGeneratedWorkloadTables) {
+  AqpEngine engine(FastOptions());
+  auto sessions = GenerateSessionsTable(100000, 10);
+  ASSERT_TRUE(engine.RegisterTable(sessions).ok());
+  ASSERT_TRUE(engine.CreateSample("sessions", 20000).ok());
+  QuerySpec q;
+  q.table = "sessions";
+  q.filter = StringEquals(ColumnRef("city"), "NYC");
+  q.aggregate.kind = AggregateKind::kAvg;
+  q.aggregate.input = ColumnRef("session_time");
+  Result<ApproxResult> r = engine.ExecuteApproximate(q);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  Result<double> exact = engine.ExecuteExact(q);
+  ASSERT_TRUE(exact.ok());
+  // The approximate answer should be within a few half-widths of exact.
+  EXPECT_LT(std::abs(r->estimate - *exact), 5.0 * r->ci.half_width + 1e-9);
+}
+
+TEST(EngineTest, ExecuteApproximateSql) {
+  AqpEngine engine(FastOptions());
+  auto table = MakeGaussianTable(200000, 4);
+  ASSERT_TRUE(engine.RegisterTable(table).ok());
+  ASSERT_TRUE(engine.CreateSample("g", 20000).ok());
+  Result<ApproxResult> r =
+      engine.ExecuteApproximateSql("SELECT AVG(v) FROM g WHERE v > 80");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_GT(r->estimate, 80.0);
+  // Bad SQL surfaces parse errors.
+  EXPECT_FALSE(engine.ExecuteApproximateSql("SELECT banana FROM g").ok());
+  // GROUP BY rejected on the scalar entry point.
+  EXPECT_FALSE(
+      engine.ExecuteApproximateSql("SELECT AVG(v) FROM g GROUP BY v").ok());
+}
+
+TEST(EngineTest, ApproximateGroupBy) {
+  EngineOptions options = FastOptions();
+  options.run_diagnostic = false;  // Keep the test fast.
+  AqpEngine engine(options);
+  Rng rng(20);
+  auto t = std::make_shared<Table>("grp");
+  Column v = Column::MakeDouble("v");
+  Column g = Column::MakeString("g");
+  for (int i = 0; i < 100000; ++i) {
+    bool left = rng.NextBernoulli(0.5);
+    v.AppendDouble(rng.NextGaussian(left ? 10.0 : 50.0, 3.0));
+    g.AppendString(left ? "left" : "right");
+  }
+  ASSERT_TRUE(t->AddColumn(std::move(v)).ok());
+  ASSERT_TRUE(t->AddColumn(std::move(g)).ok());
+  ASSERT_TRUE(engine.RegisterTable(t).ok());
+  ASSERT_TRUE(engine.CreateSample("grp", 20000).ok());
+
+  Result<std::vector<AqpEngine::GroupApproxResult>> results =
+      engine.ExecuteApproximateGroupBySql("SELECT AVG(v) FROM grp GROUP BY g");
+  ASSERT_TRUE(results.ok()) << results.status().ToString();
+  ASSERT_EQ(results->size(), 2u);
+  for (const auto& group : *results) {
+    double expected = group.group == "left" ? 10.0 : 50.0;
+    EXPECT_NEAR(group.result.estimate, expected, 0.5) << group.group;
+    EXPECT_GT(group.result.ci.half_width, 0.0);
+  }
+  // Non-GROUP BY SQL rejected on the group entry point.
+  EXPECT_FALSE(
+      engine.ExecuteApproximateGroupBySql("SELECT AVG(v) FROM grp").ok());
+  // Numeric group column rejected.
+  QuerySpec q;
+  q.table = "grp";
+  q.aggregate.kind = AggregateKind::kAvg;
+  q.aggregate.input = ColumnRef("v");
+  EXPECT_FALSE(engine.ExecuteApproximateGroupBy(q, "v").ok());
+}
+
+TEST(EngineTest, GroupBySkipsTinyGroups) {
+  EngineOptions options = FastOptions();
+  options.run_diagnostic = false;
+  AqpEngine engine(options);
+  Rng rng(21);
+  auto t = std::make_shared<Table>("grp2");
+  Column v = Column::MakeDouble("v");
+  Column g = Column::MakeString("g");
+  for (int i = 0; i < 50000; ++i) {
+    v.AppendDouble(rng.NextGaussian(0.0, 1.0));
+    g.AppendString(i < 49990 ? "common" : "vanishing");  // 10 rows total.
+  }
+  ASSERT_TRUE(t->AddColumn(std::move(v)).ok());
+  ASSERT_TRUE(t->AddColumn(std::move(g)).ok());
+  ASSERT_TRUE(engine.RegisterTable(t).ok());
+  ASSERT_TRUE(engine.CreateSample("grp2", 20000).ok());
+  QuerySpec q;
+  q.table = "grp2";
+  q.aggregate.kind = AggregateKind::kAvg;
+  q.aggregate.input = ColumnRef("v");
+  Result<std::vector<AqpEngine::GroupApproxResult>> results =
+      engine.ExecuteApproximateGroupBy(q, "g", /*min_group_rows=*/100);
+  ASSERT_TRUE(results.ok());
+  ASSERT_EQ(results->size(), 1u);
+  EXPECT_EQ((*results)[0].group, "common");
+}
+
+TEST(EngineTest, ErrorBoundedExecutionPicksSmallestSufficientSample) {
+  EngineOptions options = FastOptions();
+  options.run_diagnostic = false;
+  AqpEngine engine(options);
+  auto table = MakeGaussianTable(500000, 22);
+  ASSERT_TRUE(engine.RegisterTable(table).ok());
+  for (int64_t n : {1000, 10000, 100000}) {
+    ASSERT_TRUE(engine.CreateSample("g", n).ok());
+  }
+  QuerySpec q = MakeQuery("g", AggregateKind::kAvg);
+  // Loose target: the smallest sample should do. CLT: rel err at n=1000 is
+  // ~1.96 * 0.15 / sqrt(1000) ~ 0.9%.
+  Result<ApproxResult> loose = engine.ExecuteWithErrorBound(q, 0.05);
+  ASSERT_TRUE(loose.ok());
+  EXPECT_EQ(loose->sample_rows, 1000);
+  // Tight target: needs a bigger sample.
+  Result<ApproxResult> tight = engine.ExecuteWithErrorBound(q, 0.002);
+  ASSERT_TRUE(tight.ok());
+  EXPECT_GT(tight->sample_rows, 1000);
+  EXPECT_LE(tight->RelativeError(), 0.002 * 1.5);
+  // Impossible target: exact fallback.
+  Result<ApproxResult> impossible = engine.ExecuteWithErrorBound(q, 1e-9);
+  ASSERT_TRUE(impossible.ok());
+  EXPECT_EQ(impossible->method, EstimationMethod::kExact);
+  EXPECT_TRUE(impossible->fell_back);
+  // Invalid target.
+  EXPECT_FALSE(engine.ExecuteWithErrorBound(q, 0.0).ok());
+}
+
+TEST(EngineTest, StratifiedSampleRoutesEqualityFilters) {
+  EngineOptions options = FastOptions();
+  options.run_diagnostic = false;
+  AqpEngine engine(options);
+  Rng rng(30);
+  auto t = std::make_shared<Table>("traffic");
+  Column v = Column::MakeDouble("v");
+  Column seg = Column::MakeString("seg");
+  for (int i = 0; i < 500000; ++i) {
+    bool rare = rng.NextBernoulli(0.002);  // ~1000 rows total.
+    v.AppendDouble(rng.NextGaussian(rare ? 500.0 : 10.0, 5.0));
+    seg.AppendString(rare ? "rare" : "common");
+  }
+  ASSERT_TRUE(t->AddColumn(std::move(v)).ok());
+  ASSERT_TRUE(t->AddColumn(std::move(seg)).ok());
+  ASSERT_TRUE(engine.RegisterTable(t).ok());
+  ASSERT_TRUE(engine.CreateSample("traffic", 20000).ok());
+  ASSERT_TRUE(engine.CreateStratifiedSample("traffic", "seg", 5000).ok());
+  // Duplicate stratification rejected.
+  EXPECT_EQ(engine.CreateStratifiedSample("traffic", "seg", 100).code(),
+            StatusCode::kAlreadyExists);
+
+  QuerySpec q;
+  q.table = "traffic";
+  q.filter = StringEquals(ColumnRef("seg"), "rare");
+  q.aggregate.kind = AggregateKind::kAvg;
+  q.aggregate.input = ColumnRef("v");
+  Result<ApproxResult> r = engine.ExecuteApproximate(q);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  // The whole rare stratum (~1000 rows) was used, not the ~40 rows a 20k
+  // uniform sample would hold: population == stratum size and the error
+  // bars are tight.
+  EXPECT_LT(r->population_rows, 2000);
+  EXPECT_EQ(r->sample_rows, r->population_rows);  // Stratum kept whole.
+  EXPECT_NEAR(r->estimate, 500.0, 2.0);
+  EXPECT_LT(r->ci.half_width, 1.0);
+
+  // A conjunctive filter keeps the residual conjunct.
+  QuerySpec conj = q;
+  conj.filter = And(StringEquals(ColumnRef("seg"), "rare"),
+                    Gt(ColumnRef("v"), Literal(500.0)));
+  Result<ApproxResult> half = engine.ExecuteApproximate(conj);
+  ASSERT_TRUE(half.ok());
+  EXPECT_GT(half->estimate, 500.0);
+
+  // Non-matching filters fall back to the uniform sample.
+  QuerySpec other = q;
+  other.filter = Gt(ColumnRef("v"), Literal(0.0));
+  Result<ApproxResult> uniform = engine.ExecuteApproximate(other);
+  ASSERT_TRUE(uniform.ok());
+  EXPECT_EQ(uniform->sample_rows, 20000);
+}
+
+TEST(EngineTest, TimeBoundedExecutionPicksLargestAffordableSample) {
+  EngineOptions options = FastOptions();
+  options.run_diagnostic = false;
+  options.rows_per_second = 10000.0;  // Deterministic toy throughput model.
+  AqpEngine engine(options);
+  auto table = MakeGaussianTable(500000, 40);
+  ASSERT_TRUE(engine.RegisterTable(table).ok());
+  for (int64_t n : {1000, 10000, 100000}) {
+    ASSERT_TRUE(engine.CreateSample("g", n).ok());
+  }
+  QuerySpec q = MakeQuery("g", AggregateKind::kAvg);
+  // 2 s * 10k rows/s affords 20k rows -> the 10k sample.
+  Result<ApproxResult> mid = engine.ExecuteWithTimeBound(q, 2.0);
+  ASSERT_TRUE(mid.ok());
+  EXPECT_EQ(mid->sample_rows, 10000);
+  // Generous budget -> largest sample.
+  Result<ApproxResult> big = engine.ExecuteWithTimeBound(q, 100.0);
+  ASSERT_TRUE(big.ok());
+  EXPECT_EQ(big->sample_rows, 100000);
+  // Tiny budget -> smallest sample still answers (best effort).
+  Result<ApproxResult> tiny = engine.ExecuteWithTimeBound(q, 1e-6);
+  ASSERT_TRUE(tiny.ok());
+  EXPECT_EQ(tiny->sample_rows, 1000);
+  EXPECT_FALSE(engine.ExecuteWithTimeBound(q, 0.0).ok());
+}
+
+TEST(EngineTest, SaveAndLoadSamples) {
+  EngineOptions options = FastOptions();
+  options.run_diagnostic = false;
+  auto table = MakeGaussianTable(100000, 41);
+  std::string dir = ::testing::TempDir() + "aqp_engine_samples";
+  std::filesystem::create_directories(dir);
+
+  double saved_estimate = 0.0;
+  {
+    AqpEngine engine(options);
+    ASSERT_TRUE(engine.RegisterTable(table).ok());
+    ASSERT_TRUE(engine.CreateSample("g", 5000).ok());
+    ASSERT_TRUE(engine.CreateSample("g", 20000).ok());
+    ASSERT_TRUE(engine.SaveSamples(dir).ok());
+    Result<ApproxResult> r =
+        engine.ExecuteApproximate(MakeQuery("g", AggregateKind::kAvg));
+    ASSERT_TRUE(r.ok());
+    saved_estimate = r->estimate;
+  }
+  {
+    AqpEngine engine(options);
+    ASSERT_TRUE(engine.RegisterTable(table).ok());
+    ASSERT_TRUE(engine.LoadSamples(dir).ok());
+    ASSERT_EQ(engine.samples().SamplesFor("g").size(), 2u);
+    Result<ApproxResult> r =
+        engine.ExecuteApproximate(MakeQuery("g", AggregateKind::kAvg));
+    ASSERT_TRUE(r.ok());
+    // Same sample data -> identical theta(S).
+    EXPECT_DOUBLE_EQ(r->estimate, saved_estimate);
+    EXPECT_EQ(r->population_rows, 100000);
+  }
+  std::filesystem::remove_all(dir);
+  AqpEngine fresh(options);
+  EXPECT_FALSE(fresh.LoadSamples("/nonexistent/dir").ok());
+  EXPECT_FALSE(fresh.SaveSamples("/nonexistent/dir").ok());
+}
+
+TEST(EngineTest, GroupByRoutesEachGroupToItsStratum) {
+  // Approximate GROUP BY builds a per-group equality filter, which the
+  // sample resolver matches against a stratified sample — so every group,
+  // however rare, is answered from its full-resolution stratum.
+  EngineOptions options = FastOptions();
+  options.run_diagnostic = false;
+  AqpEngine engine(options);
+  Rng rng(50);
+  auto t = std::make_shared<Table>("mix");
+  Column v = Column::MakeDouble("v");
+  Column g = Column::MakeString("g");
+  for (int i = 0; i < 400000; ++i) {
+    double pick = rng.NextDouble();
+    if (pick < 0.001) {  // ~400 rows.
+      v.AppendDouble(rng.NextGaussian(900.0, 5.0));
+      g.AppendString("tiny");
+    } else if (pick < 0.05) {
+      v.AppendDouble(rng.NextGaussian(90.0, 5.0));
+      g.AppendString("small");
+    } else {
+      v.AppendDouble(rng.NextGaussian(9.0, 5.0));
+      g.AppendString("huge");
+    }
+  }
+  ASSERT_TRUE(t->AddColumn(std::move(v)).ok());
+  ASSERT_TRUE(t->AddColumn(std::move(g)).ok());
+  ASSERT_TRUE(engine.RegisterTable(t).ok());
+  ASSERT_TRUE(engine.CreateSample("mix", 20000).ok());
+  ASSERT_TRUE(engine.CreateStratifiedSample("mix", "g", 8000).ok());
+
+  QuerySpec q;
+  q.table = "mix";
+  q.aggregate.kind = AggregateKind::kAvg;
+  q.aggregate.input = ColumnRef("v");
+  Result<std::vector<AqpEngine::GroupApproxResult>> results =
+      engine.ExecuteApproximateGroupBy(q, "g", /*min_group_rows=*/1);
+  ASSERT_TRUE(results.ok()) << results.status().ToString();
+  ASSERT_EQ(results->size(), 3u);
+  for (const auto& group : *results) {
+    double expected = group.group == "tiny"    ? 900.0
+                      : group.group == "small" ? 90.0
+                                               : 9.0;
+    EXPECT_NEAR(group.result.estimate, expected, 1.0) << group.group;
+    if (group.group == "tiny") {
+      // The whole ~400-row stratum answered this group: population equals
+      // sample rows and the error bars are sub-unit despite the group
+      // being 0.1% of the data.
+      EXPECT_EQ(group.result.sample_rows, group.result.population_rows);
+      EXPECT_LT(group.result.ci.half_width, 1.0);
+    }
+    if (group.group == "huge") {
+      // Capped stratum: sampled at the cap, scaled to the group size.
+      EXPECT_EQ(group.result.sample_rows, 8000);
+      EXPECT_GT(group.result.population_rows, 300000);
+    }
+  }
+}
+
+TEST(EstimationMethodTest, Names) {
+  EXPECT_STREQ(EstimationMethodName(EstimationMethod::kClosedForm),
+               "closed-form");
+  EXPECT_STREQ(EstimationMethodName(EstimationMethod::kBootstrap),
+               "bootstrap");
+  EXPECT_STREQ(EstimationMethodName(EstimationMethod::kLargeDeviation),
+               "large-deviation");
+  EXPECT_STREQ(EstimationMethodName(EstimationMethod::kExact), "exact");
+}
+
+}  // namespace
+}  // namespace aqp

@@ -1,0 +1,543 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "estimation/bootstrap.h"
+#include "estimation/closed_form.h"
+#include "estimation/confidence_interval.h"
+#include "estimation/ground_truth.h"
+#include "estimation/large_deviation.h"
+#include "exec/executor.h"
+#include "sampling/sampler.h"
+#include "storage/table.h"
+#include "util/random.h"
+#include "util/stats.h"
+
+namespace aqp {
+namespace {
+
+std::shared_ptr<const Table> MakeGaussianTable(int64_t rows, double mean,
+                                               double sd, uint64_t seed) {
+  Rng rng(seed);
+  auto t = std::make_shared<Table>("g");
+  Column v = Column::MakeDouble("v");
+  for (int64_t i = 0; i < rows; ++i) {
+    v.AppendDouble(rng.NextGaussian(mean, sd));
+  }
+  EXPECT_TRUE(t->AddColumn(std::move(v)).ok());
+  return t;
+}
+
+std::shared_ptr<const Table> MakeParetoTable(int64_t rows, double alpha,
+                                             uint64_t seed) {
+  Rng rng(seed);
+  auto t = std::make_shared<Table>("p");
+  Column v = Column::MakeDouble("v");
+  for (int64_t i = 0; i < rows; ++i) {
+    v.AppendDouble(rng.NextPareto(1.0, alpha));
+  }
+  EXPECT_TRUE(t->AddColumn(std::move(v)).ok());
+  return t;
+}
+
+QuerySpec AvgQuery() {
+  QuerySpec q;
+  q.id = "avg_v";
+  q.table = "g";
+  q.aggregate.kind = AggregateKind::kAvg;
+  q.aggregate.input = ColumnRef("v");
+  return q;
+}
+
+TEST(ConfidenceIntervalTest, Accessors) {
+  ConfidenceInterval ci{10.0, 2.0};
+  EXPECT_DOUBLE_EQ(ci.lo(), 8.0);
+  EXPECT_DOUBLE_EQ(ci.hi(), 12.0);
+  EXPECT_DOUBLE_EQ(ci.width(), 4.0);
+  EXPECT_TRUE(ci.Contains(9.0));
+  EXPECT_TRUE(ci.Contains(12.0));
+  EXPECT_FALSE(ci.Contains(12.01));
+}
+
+TEST(ConfidenceIntervalTest, DeltaSignConvention) {
+  // delta > 0: estimate wider than truth (pessimistic).
+  EXPECT_GT(IntervalDelta(3.0, 2.0), 0.0);
+  EXPECT_LT(IntervalDelta(1.0, 2.0), 0.0);
+  EXPECT_DOUBLE_EQ(IntervalDelta(2.0, 2.0), 0.0);
+  EXPECT_DOUBLE_EQ(IntervalDelta(0.0, 0.0), 0.0);
+  EXPECT_GT(IntervalDelta(1.0, 0.0), 100.0);  // Saturates, no inf.
+}
+
+// ---------------------------------------------------------------------------
+// Closed form
+// ---------------------------------------------------------------------------
+
+TEST(ClosedFormTest, AvgHalfWidthMatchesTheory) {
+  auto population = MakeGaussianTable(200000, 50.0, 10.0, 1);
+  Rng rng(2);
+  Result<Sample> s = CreateUniformSample(population, 10000, true, rng);
+  ASSERT_TRUE(s.ok());
+  ClosedFormEstimator estimator;
+  Result<ConfidenceInterval> ci =
+      estimator.Estimate(*s->data, AvgQuery(), s->scale_factor(), 0.95, rng);
+  ASSERT_TRUE(ci.ok());
+  // Theoretical: 1.96 * 10 / sqrt(10000) = 0.196.
+  EXPECT_NEAR(ci->half_width, 0.196, 0.02);
+  EXPECT_NEAR(ci->center, 50.0, 0.5);
+}
+
+TEST(ClosedFormTest, CountAndSumScale) {
+  auto population = MakeGaussianTable(100000, 50.0, 10.0, 3);
+  Rng rng(4);
+  Result<Sample> s = CreateUniformSample(population, 5000, true, rng);
+  ASSERT_TRUE(s.ok());
+  ClosedFormEstimator estimator;
+
+  QuerySpec count;
+  count.table = "g";
+  count.aggregate.kind = AggregateKind::kCount;
+  count.filter = Gt(ColumnRef("v"), Literal(50.0));
+  Result<ConfidenceInterval> count_ci =
+      estimator.Estimate(*s->data, count, s->scale_factor(), 0.95, rng);
+  ASSERT_TRUE(count_ci.ok());
+  // About half the rows pass; estimate should be near 50k with a few
+  // thousand of slack.
+  EXPECT_NEAR(count_ci->center, 50000.0, 3000.0);
+  EXPECT_GT(count_ci->half_width, 0.0);
+
+  QuerySpec sum;
+  sum.table = "g";
+  sum.aggregate.kind = AggregateKind::kSum;
+  sum.aggregate.input = ColumnRef("v");
+  Result<ConfidenceInterval> sum_ci =
+      estimator.Estimate(*s->data, sum, s->scale_factor(), 0.95, rng);
+  ASSERT_TRUE(sum_ci.ok());
+  EXPECT_NEAR(sum_ci->center, 5e6, 1e5);
+}
+
+TEST(ClosedFormTest, NotApplicableToMax) {
+  auto population = MakeGaussianTable(1000, 0.0, 1.0, 5);
+  Rng rng(6);
+  ClosedFormEstimator estimator;
+  QuerySpec q;
+  q.table = "g";
+  q.aggregate.kind = AggregateKind::kMax;
+  q.aggregate.input = ColumnRef("v");
+  EXPECT_FALSE(estimator.Applicable(q));
+  EXPECT_FALSE(estimator.Estimate(*population, q, 1.0, 0.95, rng).ok());
+}
+
+TEST(ClosedFormTest, CoverageNearNominal) {
+  // The defining property: ~95% of closed-form CIs contain theta(D) for a
+  // CLT-friendly aggregate.
+  auto population = MakeGaussianTable(100000, 100.0, 20.0, 7);
+  QuerySpec q = AvgQuery();
+  Result<double> theta_d = ExecutePlainAggregate(*population, q, 1.0);
+  ASSERT_TRUE(theta_d.ok());
+  ClosedFormEstimator estimator;
+  Rng rng(8);
+  int covered = 0;
+  constexpr int kTrials = 300;
+  for (int i = 0; i < kTrials; ++i) {
+    Result<Sample> s = CreateUniformSample(population, 2000, true, rng);
+    ASSERT_TRUE(s.ok());
+    Result<ConfidenceInterval> ci =
+        estimator.Estimate(*s->data, q, s->scale_factor(), 0.95, rng);
+    ASSERT_TRUE(ci.ok());
+    if (ci->Contains(*theta_d)) ++covered;
+  }
+  EXPECT_NEAR(covered / static_cast<double>(kTrials), 0.95, 0.04);
+}
+
+TEST(ClosedFormTest, VarianceAndStddev) {
+  auto population = MakeGaussianTable(50000, 0.0, 5.0, 9);
+  Rng rng(10);
+  Result<Sample> s = CreateUniformSample(population, 8000, true, rng);
+  ASSERT_TRUE(s.ok());
+  ClosedFormEstimator estimator;
+  QuerySpec var;
+  var.table = "g";
+  var.aggregate.kind = AggregateKind::kVariance;
+  var.aggregate.input = ColumnRef("v");
+  Result<ConfidenceInterval> var_ci =
+      estimator.Estimate(*s->data, var, s->scale_factor(), 0.95, rng);
+  ASSERT_TRUE(var_ci.ok());
+  EXPECT_NEAR(var_ci->center, 25.0, 2.0);
+
+  QuerySpec sd = var;
+  sd.aggregate.kind = AggregateKind::kStddev;
+  Result<ConfidenceInterval> sd_ci =
+      estimator.Estimate(*s->data, sd, s->scale_factor(), 0.95, rng);
+  ASSERT_TRUE(sd_ci.ok());
+  EXPECT_NEAR(sd_ci->center, 5.0, 0.2);
+  // Delta method: hw(sd) ~ hw(var) / (2 * sd).
+  EXPECT_NEAR(sd_ci->half_width, var_ci->half_width / 10.0, 0.02);
+}
+
+// ---------------------------------------------------------------------------
+// Bootstrap
+// ---------------------------------------------------------------------------
+
+TEST(BootstrapTest, AgreesWithClosedFormOnAvg) {
+  auto population = MakeGaussianTable(100000, 50.0, 10.0, 11);
+  Rng rng(12);
+  Result<Sample> s = CreateUniformSample(population, 5000, true, rng);
+  ASSERT_TRUE(s.ok());
+  ClosedFormEstimator closed;
+  BootstrapEstimator bootstrap(200);
+  QuerySpec q = AvgQuery();
+  Result<ConfidenceInterval> a =
+      closed.Estimate(*s->data, q, s->scale_factor(), 0.95, rng);
+  Result<ConfidenceInterval> b =
+      bootstrap.Estimate(*s->data, q, s->scale_factor(), 0.95, rng);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_NEAR(b->half_width / a->half_width, 1.0, 0.25);
+  EXPECT_DOUBLE_EQ(a->center, b->center);
+}
+
+TEST(BootstrapTest, ApplicableToEverything) {
+  BootstrapEstimator bootstrap;
+  QuerySpec q;
+  q.aggregate.kind = AggregateKind::kMax;
+  EXPECT_TRUE(bootstrap.Applicable(q));
+  q.aggregate.kind = AggregateKind::kPercentile;
+  EXPECT_TRUE(bootstrap.Applicable(q));
+}
+
+TEST(BootstrapTest, CoverageNearNominalForMedian) {
+  auto population = MakeGaussianTable(50000, 100.0, 20.0, 13);
+  QuerySpec q;
+  q.table = "g";
+  q.aggregate.kind = AggregateKind::kPercentile;
+  q.aggregate.percentile = 0.5;
+  q.aggregate.input = ColumnRef("v");
+  Result<double> theta_d = ExecutePlainAggregate(*population, q, 1.0);
+  ASSERT_TRUE(theta_d.ok());
+  BootstrapEstimator bootstrap(100);
+  Rng rng(14);
+  int covered = 0;
+  constexpr int kTrials = 120;
+  for (int i = 0; i < kTrials; ++i) {
+    Result<Sample> s = CreateUniformSample(population, 1000, true, rng);
+    ASSERT_TRUE(s.ok());
+    Result<ConfidenceInterval> ci =
+        bootstrap.Estimate(*s->data, q, s->scale_factor(), 0.95, rng);
+    ASSERT_TRUE(ci.ok());
+    if (ci->Contains(*theta_d)) ++covered;
+  }
+  EXPECT_GT(covered / static_cast<double>(kTrials), 0.85);
+}
+
+TEST(BootstrapTest, UnderestimatesForMaxOnHeavyTail) {
+  // The §2.3.1 failure mode: bootstrap CIs for MAX of a heavy-tailed
+  // distribution dramatically undercover.
+  auto population = MakeParetoTable(100000, 1.1, 15);
+  QuerySpec q;
+  q.table = "p";
+  q.aggregate.kind = AggregateKind::kMax;
+  q.aggregate.input = ColumnRef("v");
+  Result<double> theta_d = ExecutePlainAggregate(*population, q, 1.0);
+  ASSERT_TRUE(theta_d.ok());
+  BootstrapEstimator bootstrap(100);
+  Rng rng(16);
+  int covered = 0;
+  constexpr int kTrials = 60;
+  for (int i = 0; i < kTrials; ++i) {
+    Result<Sample> s = CreateUniformSample(population, 1000, true, rng);
+    ASSERT_TRUE(s.ok());
+    Result<ConfidenceInterval> ci =
+        bootstrap.Estimate(*s->data, q, s->scale_factor(), 0.95, rng);
+    ASSERT_TRUE(ci.ok());
+    if (ci->Contains(*theta_d)) ++covered;
+  }
+  EXPECT_LT(covered / static_cast<double>(kTrials), 0.5);
+}
+
+// ---------------------------------------------------------------------------
+// Large deviation bounds
+// ---------------------------------------------------------------------------
+
+TEST(LargeDeviationTest, WiderThanClosedForm) {
+  // Figure 1's phenomenon: Hoeffding intervals are far wider than CLT ones.
+  auto population = MakeGaussianTable(100000, 50.0, 10.0, 17);
+  QuerySpec q = AvgQuery();
+  Result<ValueRange> range = ComputeValueRange(*population, q);
+  ASSERT_TRUE(range.ok());
+  LargeDeviationEstimator hoeffding(*range);
+  ClosedFormEstimator closed;
+  Rng rng(18);
+  Result<Sample> s = CreateUniformSample(population, 5000, true, rng);
+  ASSERT_TRUE(s.ok());
+  Result<ConfidenceInterval> h =
+      hoeffding.Estimate(*s->data, q, s->scale_factor(), 0.95, rng);
+  Result<ConfidenceInterval> c =
+      closed.Estimate(*s->data, q, s->scale_factor(), 0.95, rng);
+  ASSERT_TRUE(h.ok() && c.ok());
+  EXPECT_GT(h->half_width, 3.0 * c->half_width);
+}
+
+TEST(LargeDeviationTest, NeverUndercovers) {
+  auto population = MakeGaussianTable(50000, 100.0, 20.0, 19);
+  QuerySpec q = AvgQuery();
+  Result<double> theta_d = ExecutePlainAggregate(*population, q, 1.0);
+  Result<ValueRange> range = ComputeValueRange(*population, q);
+  ASSERT_TRUE(theta_d.ok() && range.ok());
+  LargeDeviationEstimator hoeffding(*range);
+  Rng rng(20);
+  int covered = 0;
+  constexpr int kTrials = 100;
+  for (int i = 0; i < kTrials; ++i) {
+    Result<Sample> s = CreateUniformSample(population, 2000, true, rng);
+    ASSERT_TRUE(s.ok());
+    Result<ConfidenceInterval> ci =
+        hoeffding.Estimate(*s->data, q, s->scale_factor(), 0.95, rng);
+    ASSERT_TRUE(ci.ok());
+    if (ci->Contains(*theta_d)) ++covered;
+  }
+  EXPECT_EQ(covered, kTrials);
+}
+
+TEST(LargeDeviationTest, RejectsMinMaxAndUdf) {
+  LargeDeviationEstimator hoeffding(ValueRange{0.0, 1.0});
+  QuerySpec q;
+  q.aggregate.kind = AggregateKind::kMax;
+  EXPECT_FALSE(hoeffding.Applicable(q));
+  q.aggregate.kind = AggregateKind::kMin;
+  EXPECT_FALSE(hoeffding.Applicable(q));
+  q.aggregate.kind = AggregateKind::kAvg;
+  q.aggregate.input = Udf(
+      "id", [](const std::vector<double>& a) { return a[0]; },
+      {ColumnRef("v")});
+  EXPECT_FALSE(hoeffding.Applicable(q));
+}
+
+TEST(LargeDeviationTest, BernsteinBetweenCltAndHoeffding) {
+  // Empirical Bernstein uses the sample variance, so on low-variance /
+  // wide-range data it is far tighter than Hoeffding yet still wider than
+  // the CLT interval.
+  auto population = MakeGaussianTable(100000, 50.0, 2.0, 40);
+  QuerySpec q = AvgQuery();
+  Result<ValueRange> range = ComputeValueRange(*population, q);
+  ASSERT_TRUE(range.ok());
+  LargeDeviationEstimator hoeffding(*range, LargeDeviationKind::kHoeffding);
+  LargeDeviationEstimator bernstein(*range,
+                                    LargeDeviationKind::kEmpiricalBernstein);
+  ClosedFormEstimator closed;
+  Rng rng(41);
+  Result<Sample> s = CreateUniformSample(population, 8000, true, rng);
+  ASSERT_TRUE(s.ok());
+  Result<ConfidenceInterval> h =
+      hoeffding.Estimate(*s->data, q, s->scale_factor(), 0.95, rng);
+  Result<ConfidenceInterval> b =
+      bernstein.Estimate(*s->data, q, s->scale_factor(), 0.95, rng);
+  Result<ConfidenceInterval> c =
+      closed.Estimate(*s->data, q, s->scale_factor(), 0.95, rng);
+  ASSERT_TRUE(h.ok() && b.ok() && c.ok());
+  EXPECT_GT(b->half_width, c->half_width);
+  EXPECT_LT(b->half_width, 0.5 * h->half_width);
+}
+
+TEST(LargeDeviationTest, BernsteinNeverUndercovers) {
+  auto population = MakeGaussianTable(50000, 100.0, 20.0, 42);
+  QuerySpec q = AvgQuery();
+  Result<double> theta_d = ExecutePlainAggregate(*population, q, 1.0);
+  Result<ValueRange> range = ComputeValueRange(*population, q);
+  ASSERT_TRUE(theta_d.ok() && range.ok());
+  LargeDeviationEstimator bernstein(*range,
+                                    LargeDeviationKind::kEmpiricalBernstein);
+  Rng rng(43);
+  int covered = 0;
+  constexpr int kTrials = 100;
+  for (int i = 0; i < kTrials; ++i) {
+    Result<Sample> s = CreateUniformSample(population, 2000, true, rng);
+    ASSERT_TRUE(s.ok());
+    Result<ConfidenceInterval> ci =
+        bernstein.Estimate(*s->data, q, s->scale_factor(), 0.95, rng);
+    ASSERT_TRUE(ci.ok());
+    if (ci->Contains(*theta_d)) ++covered;
+  }
+  EXPECT_EQ(covered, kTrials);
+}
+
+TEST(LargeDeviationTest, BernsteinCountAndSum) {
+  auto population = MakeGaussianTable(100000, 50.0, 10.0, 44);
+  Rng rng(45);
+  Result<Sample> s = CreateUniformSample(population, 5000, true, rng);
+  ASSERT_TRUE(s.ok());
+  Result<double> exact_count = 0.0;
+  // A rare filter (selectivity ~2%): the indicator's stddev is ~0.15,
+  // far below its [0,1] range — the regime where the variance-adaptive
+  // Bernstein bound beats range-only Hoeffding. (At 50% selectivity the
+  // indicator stddev is already half its range and Hoeffding is near-
+  // optimal.)
+  QuerySpec count;
+  count.table = "g";
+  count.aggregate.kind = AggregateKind::kCount;
+  count.filter = Gt(ColumnRef("v"), Literal(70.0));
+  QuerySpec sum;
+  sum.table = "g";
+  sum.aggregate.kind = AggregateKind::kSum;
+  sum.aggregate.input = ColumnRef("v");
+  for (const QuerySpec* q : {&count, &sum}) {
+    Result<ValueRange> range = ComputeValueRange(*population, *q);
+    ASSERT_TRUE(range.ok());
+    LargeDeviationEstimator hoeffding(*range, LargeDeviationKind::kHoeffding);
+    LargeDeviationEstimator bernstein(
+        *range, LargeDeviationKind::kEmpiricalBernstein);
+    Result<ConfidenceInterval> h =
+        hoeffding.Estimate(*s->data, *q, s->scale_factor(), 0.95, rng);
+    Result<ConfidenceInterval> b =
+        bernstein.Estimate(*s->data, *q, s->scale_factor(), 0.95, rng);
+    ASSERT_TRUE(h.ok() && b.ok());
+    EXPECT_LT(b->half_width, h->half_width);
+    EXPECT_GT(b->half_width, 0.0);
+  }
+}
+
+TEST(LargeDeviationTest, DkwPercentileCovers) {
+  auto population = MakeGaussianTable(50000, 0.0, 1.0, 21);
+  QuerySpec q;
+  q.table = "g";
+  q.aggregate.kind = AggregateKind::kPercentile;
+  q.aggregate.percentile = 0.9;
+  q.aggregate.input = ColumnRef("v");
+  Result<double> theta_d = ExecutePlainAggregate(*population, q, 1.0);
+  Result<ValueRange> range = ComputeValueRange(*population, q);
+  ASSERT_TRUE(theta_d.ok() && range.ok());
+  LargeDeviationEstimator dkw(*range);
+  Rng rng(22);
+  int covered = 0;
+  constexpr int kTrials = 80;
+  for (int i = 0; i < kTrials; ++i) {
+    Result<Sample> s = CreateUniformSample(population, 2000, true, rng);
+    ASSERT_TRUE(s.ok());
+    Result<ConfidenceInterval> ci =
+        dkw.Estimate(*s->data, q, s->scale_factor(), 0.95, rng);
+    ASSERT_TRUE(ci.ok());
+    if (ci->Contains(*theta_d)) ++covered;
+  }
+  EXPECT_GE(covered, kTrials - 2);
+}
+
+TEST(LargeDeviationTest, ComputeValueRange) {
+  Table t("t");
+  Column v = Column::MakeDouble("v");
+  for (double x : {3.0, -1.0, 7.0, 2.0}) v.AppendDouble(x);
+  ASSERT_TRUE(t.AddColumn(std::move(v)).ok());
+  QuerySpec q;
+  q.table = "t";
+  q.aggregate.kind = AggregateKind::kAvg;
+  q.aggregate.input = ColumnRef("v");
+  Result<ValueRange> range = ComputeValueRange(t, q);
+  ASSERT_TRUE(range.ok());
+  EXPECT_DOUBLE_EQ(range->lo, -1.0);
+  EXPECT_DOUBLE_EQ(range->hi, 7.0);
+  EXPECT_DOUBLE_EQ(range->span(), 8.0);
+
+  // Range respects the filter.
+  q.filter = Gt(ColumnRef("v"), Literal(0.0));
+  range = ComputeValueRange(t, q);
+  ASSERT_TRUE(range.ok());
+  EXPECT_DOUBLE_EQ(range->lo, 2.0);
+}
+
+// ---------------------------------------------------------------------------
+// Ground truth + evaluation protocol
+// ---------------------------------------------------------------------------
+
+TEST(GroundTruthTest, TrueHalfWidthMatchesClt) {
+  auto population = MakeGaussianTable(200000, 50.0, 10.0, 23);
+  QuerySpec q = AvgQuery();
+  Rng rng(24);
+  Result<GroundTruth> truth =
+      ComputeGroundTruth(population, q, 0.95, 4000, 300, rng);
+  ASSERT_TRUE(truth.ok());
+  EXPECT_NEAR(truth->theta_d, 50.0, 0.1);
+  // True CI half width ~ 1.96 * 10/sqrt(4000) = 0.31.
+  EXPECT_NEAR(truth->true_half_width, 0.31, 0.06);
+  EXPECT_EQ(truth->sample_thetas.size(), 300u);
+}
+
+TEST(GroundTruthTest, RequiresMultipleSamples) {
+  auto population = MakeGaussianTable(100, 0.0, 1.0, 25);
+  Rng rng(26);
+  EXPECT_FALSE(
+      ComputeGroundTruth(population, AvgQuery(), 0.95, 10, 1, rng).ok());
+  EXPECT_FALSE(
+      ComputeGroundTruth(nullptr, AvgQuery(), 0.95, 10, 10, rng).ok());
+}
+
+TEST(EvaluateEstimatorTest, ClosedFormCorrectOnGaussianAvg) {
+  auto population = MakeGaussianTable(100000, 50.0, 10.0, 27);
+  QuerySpec q = AvgQuery();
+  Rng rng(28);
+  Result<GroundTruth> truth =
+      ComputeGroundTruth(population, q, 0.95, 2000, 200, rng);
+  ASSERT_TRUE(truth.ok());
+  ClosedFormEstimator estimator;
+  EvaluationProtocol protocol;
+  protocol.num_trials = 60;
+  Result<EstimatorEvaluation> eval = EvaluateEstimator(
+      population, q, estimator, *truth, 0.95, 2000, protocol, rng);
+  ASSERT_TRUE(eval.ok());
+  EXPECT_EQ(eval->outcome, EstimationOutcome::kCorrect)
+      << "opt=" << eval->frac_optimistic << " pess=" << eval->frac_pessimistic;
+}
+
+TEST(EvaluateEstimatorTest, BootstrapFailsOnParetoMax) {
+  auto population = MakeParetoTable(100000, 1.1, 29);
+  QuerySpec q;
+  q.table = "p";
+  q.aggregate.kind = AggregateKind::kMax;
+  q.aggregate.input = ColumnRef("v");
+  Rng rng(30);
+  Result<GroundTruth> truth =
+      ComputeGroundTruth(population, q, 0.95, 1000, 150, rng);
+  ASSERT_TRUE(truth.ok());
+  BootstrapEstimator bootstrap(100);
+  EvaluationProtocol protocol;
+  protocol.num_trials = 40;
+  Result<EstimatorEvaluation> eval = EvaluateEstimator(
+      population, q, bootstrap, *truth, 0.95, 1000, protocol, rng);
+  ASSERT_TRUE(eval.ok());
+  EXPECT_EQ(eval->outcome, EstimationOutcome::kOptimistic);
+}
+
+TEST(EvaluateEstimatorTest, NotApplicablePassthrough) {
+  auto population = MakeGaussianTable(1000, 0.0, 1.0, 31);
+  QuerySpec q;
+  q.table = "g";
+  q.aggregate.kind = AggregateKind::kMax;
+  q.aggregate.input = ColumnRef("v");
+  ClosedFormEstimator closed;
+  GroundTruth truth;
+  truth.true_half_width = 1.0;
+  EvaluationProtocol protocol;
+  Rng rng(32);
+  Result<EstimatorEvaluation> eval = EvaluateEstimator(
+      population, q, closed, truth, 0.95, 100, protocol, rng);
+  ASSERT_TRUE(eval.ok());
+  EXPECT_EQ(eval->outcome, EstimationOutcome::kNotApplicable);
+}
+
+TEST(EvaluateEstimatorTest, HoeffdingClassifiedPessimistic) {
+  auto population = MakeGaussianTable(100000, 50.0, 10.0, 33);
+  QuerySpec q = AvgQuery();
+  Rng rng(34);
+  Result<GroundTruth> truth =
+      ComputeGroundTruth(population, q, 0.95, 2000, 200, rng);
+  ASSERT_TRUE(truth.ok());
+  Result<ValueRange> range = ComputeValueRange(*population, q);
+  ASSERT_TRUE(range.ok());
+  LargeDeviationEstimator hoeffding(*range);
+  EvaluationProtocol protocol;
+  protocol.num_trials = 30;
+  Result<EstimatorEvaluation> eval = EvaluateEstimator(
+      population, q, hoeffding, *truth, 0.95, 2000, protocol, rng);
+  ASSERT_TRUE(eval.ok());
+  EXPECT_EQ(eval->outcome, EstimationOutcome::kPessimistic);
+}
+
+}  // namespace
+}  // namespace aqp

@@ -1,0 +1,459 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <numeric>
+
+#include "exec/aggregate.h"
+#include "exec/executor.h"
+#include "exec/query_spec.h"
+#include "storage/table.h"
+#include "util/random.h"
+#include "util/stats.h"
+
+namespace aqp {
+namespace {
+
+Table MakeValueTable(const std::vector<double>& values) {
+  Table t("t");
+  Column v = Column::MakeDouble("v");
+  for (double x : values) v.AppendDouble(x);
+  EXPECT_TRUE(t.AddColumn(std::move(v)).ok());
+  return t;
+}
+
+QuerySpec MakeAggQuery(AggregateKind kind, double percentile = 0.5) {
+  QuerySpec q;
+  q.id = "test";
+  q.table = "t";
+  q.aggregate.kind = kind;
+  q.aggregate.input = ColumnRef("v");
+  q.aggregate.percentile = percentile;
+  return q;
+}
+
+// ---------------------------------------------------------------------------
+// WeightedAccumulator
+// ---------------------------------------------------------------------------
+
+TEST(WeightedAccumulatorTest, PlainAggregatesMatchReference) {
+  std::vector<double> xs = {3.0, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0, 6.0};
+  struct Case {
+    AggregateKind kind;
+    double expected;
+  };
+  const Case cases[] = {
+      {AggregateKind::kCount, 8.0},
+      {AggregateKind::kSum, 31.0},
+      {AggregateKind::kAvg, 3.875},
+      {AggregateKind::kVariance, SampleVariance(xs)},
+      {AggregateKind::kStddev, SampleStddev(xs)},
+      {AggregateKind::kMin, 1.0},
+      {AggregateKind::kMax, 9.0},
+  };
+  for (const Case& c : cases) {
+    WeightedAccumulator acc(c.kind);
+    for (double x : xs) acc.Add(x, 1.0);
+    Result<double> r = acc.Finalize(1.0);
+    ASSERT_TRUE(r.ok()) << AggregateKindName(c.kind);
+    EXPECT_NEAR(*r, c.expected, 1e-9) << AggregateKindName(c.kind);
+  }
+}
+
+TEST(WeightedAccumulatorTest, WeightedEqualsDuplicated) {
+  // Integral weights must behave exactly like row duplication — the
+  // correctness requirement for the paper's weighted aggregates (§5.3.1).
+  Rng rng(1);
+  for (AggregateKind kind :
+       {AggregateKind::kCount, AggregateKind::kSum, AggregateKind::kAvg,
+        AggregateKind::kVariance, AggregateKind::kStddev, AggregateKind::kMin,
+        AggregateKind::kMax}) {
+    WeightedAccumulator weighted(kind);
+    WeightedAccumulator duplicated(kind);
+    for (int i = 0; i < 200; ++i) {
+      double value = rng.NextGaussian(5.0, 3.0);
+      double weight = static_cast<double>(rng.NextInt(4));  // 0..3
+      weighted.Add(value, weight);
+      for (int d = 0; d < static_cast<int>(weight); ++d) {
+        duplicated.Add(value, 1.0);
+      }
+    }
+    Result<double> a = weighted.Finalize(2.0);
+    Result<double> b = duplicated.Finalize(2.0);
+    ASSERT_EQ(a.ok(), b.ok());
+    if (a.ok()) {
+      EXPECT_NEAR(*a, *b, 1e-8) << AggregateKindName(kind);
+    }
+  }
+}
+
+TEST(WeightedAccumulatorTest, ZeroWeightIsNoOp) {
+  WeightedAccumulator acc(AggregateKind::kMin);
+  acc.Add(100.0, 0.0);  // Absent row must not become the minimum.
+  acc.Add(5.0, 1.0);
+  Result<double> r = acc.Finalize(1.0);
+  ASSERT_TRUE(r.ok());
+  EXPECT_DOUBLE_EQ(*r, 5.0);
+}
+
+TEST(WeightedAccumulatorTest, EmptyValueAggregatesFail) {
+  for (AggregateKind kind : {AggregateKind::kAvg, AggregateKind::kMin,
+                             AggregateKind::kMax, AggregateKind::kVariance}) {
+    WeightedAccumulator acc(kind);
+    EXPECT_FALSE(acc.Finalize(1.0).ok()) << AggregateKindName(kind);
+  }
+  WeightedAccumulator count(AggregateKind::kCount);
+  Result<double> r = count.Finalize(3.0);
+  ASSERT_TRUE(r.ok());
+  EXPECT_DOUBLE_EQ(*r, 0.0);
+}
+
+TEST(WeightedAccumulatorTest, MergeMatchesSinglePass) {
+  Rng rng(2);
+  for (AggregateKind kind :
+       {AggregateKind::kSum, AggregateKind::kAvg, AggregateKind::kVariance,
+        AggregateKind::kMin, AggregateKind::kMax}) {
+    WeightedAccumulator whole(kind);
+    WeightedAccumulator left(kind);
+    WeightedAccumulator right(kind);
+    for (int i = 0; i < 500; ++i) {
+      double v = rng.NextLognormal(0.0, 1.0);
+      whole.Add(v, 1.0);
+      (i % 3 == 0 ? left : right).Add(v, 1.0);
+    }
+    left.Merge(right);
+    Result<double> a = whole.Finalize(1.0);
+    Result<double> b = left.Finalize(1.0);
+    ASSERT_TRUE(a.ok() && b.ok());
+    EXPECT_NEAR(*a, *b, 1e-8) << AggregateKindName(kind);
+  }
+}
+
+TEST(WeightedQuantileTest, MatchesDuplicationSemantics) {
+  std::vector<double> values = {10.0, 20.0, 30.0, 40.0};
+  std::vector<int64_t> order = {0, 1, 2, 3};
+  const double weights[] = {1.0, 0.0, 2.0, 1.0};
+  // Expanded multiset: {10, 30, 30, 40}; median by cumulative-weight rule:
+  // target = 0.5 * 4 = 2 -> value where cumulative reaches 2 is 30.
+  Result<double> median =
+      WeightedQuantileSorted(values, order, weights, 0.5);
+  ASSERT_TRUE(median.ok());
+  EXPECT_DOUBLE_EQ(*median, 30.0);
+  Result<double> q0 = WeightedQuantileSorted(values, order, weights, 0.0);
+  ASSERT_TRUE(q0.ok());
+  EXPECT_DOUBLE_EQ(*q0, 10.0);
+  Result<double> q1 = WeightedQuantileSorted(values, order, weights, 1.0);
+  ASSERT_TRUE(q1.ok());
+  EXPECT_DOUBLE_EQ(*q1, 40.0);
+}
+
+TEST(WeightedQuantileTest, AllZeroWeightsFail) {
+  std::vector<double> values = {1.0, 2.0};
+  std::vector<int64_t> order = {0, 1};
+  const double weights[] = {0.0, 0.0};
+  EXPECT_FALSE(WeightedQuantileSorted(values, order, weights, 0.5).ok());
+}
+
+// ---------------------------------------------------------------------------
+// PrepareQuery / ComputeAggregate
+// ---------------------------------------------------------------------------
+
+TEST(ExecutorTest, PrepareWithoutFilterKeepsAllRows) {
+  Table t = MakeValueTable({1, 2, 3});
+  QuerySpec q = MakeAggQuery(AggregateKind::kSum);
+  Result<PreparedQuery> p = PrepareQuery(t, q);
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(p->rows.size(), 3u);
+  EXPECT_EQ(p->values, (std::vector<double>{1, 2, 3}));
+  EXPECT_EQ(p->table_rows, 3);
+}
+
+TEST(ExecutorTest, PrepareWithFilter) {
+  Table t = MakeValueTable({1, 2, 3, 4, 5});
+  QuerySpec q = MakeAggQuery(AggregateKind::kAvg);
+  q.filter = Gt(ColumnRef("v"), Literal(2.5));
+  Result<PreparedQuery> p = PrepareQuery(t, q);
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(p->rows, (std::vector<int64_t>{2, 3, 4}));
+  EXPECT_EQ(p->values, (std::vector<double>{3, 4, 5}));
+}
+
+TEST(ExecutorTest, CountStarNeedsNoInput) {
+  Table t = MakeValueTable({1, 2, 3, 4});
+  QuerySpec q;
+  q.table = "t";
+  q.aggregate.kind = AggregateKind::kCount;
+  q.filter = Ge(ColumnRef("v"), Literal(3.0));
+  Result<double> r = ExecutePlainAggregate(t, q, 10.0);
+  ASSERT_TRUE(r.ok());
+  EXPECT_DOUBLE_EQ(*r, 20.0);  // 2 passing rows * scale 10.
+}
+
+TEST(ExecutorTest, NonCountWithoutInputFails) {
+  Table t = MakeValueTable({1, 2});
+  QuerySpec q;
+  q.table = "t";
+  q.aggregate.kind = AggregateKind::kAvg;  // No input expression.
+  EXPECT_FALSE(ExecutePlainAggregate(t, q, 1.0).ok());
+}
+
+TEST(ExecutorTest, SumScalesByFactor) {
+  Table t = MakeValueTable({1, 2, 3});
+  QuerySpec q = MakeAggQuery(AggregateKind::kSum);
+  Result<double> r = ExecutePlainAggregate(t, q, 100.0);
+  ASSERT_TRUE(r.ok());
+  EXPECT_DOUBLE_EQ(*r, 600.0);
+}
+
+TEST(ExecutorTest, AvgIgnoresScaleFactor) {
+  Table t = MakeValueTable({2, 4, 6});
+  QuerySpec q = MakeAggQuery(AggregateKind::kAvg);
+  Result<double> r = ExecutePlainAggregate(t, q, 100.0);
+  ASSERT_TRUE(r.ok());
+  EXPECT_DOUBLE_EQ(*r, 4.0);
+}
+
+TEST(ExecutorTest, PercentileMatchesQuantile) {
+  std::vector<double> xs;
+  for (int i = 1; i <= 101; ++i) xs.push_back(static_cast<double>(i));
+  Table t = MakeValueTable(xs);
+  QuerySpec q = MakeAggQuery(AggregateKind::kPercentile, 0.9);
+  Result<double> r = ExecutePlainAggregate(t, q, 1.0);
+  ASSERT_TRUE(r.ok());
+  EXPECT_NEAR(*r, 91.0, 1e-9);
+}
+
+TEST(ExecutorTest, EmptyFilterValueAggregateFails) {
+  Table t = MakeValueTable({1, 2, 3});
+  QuerySpec q = MakeAggQuery(AggregateKind::kAvg);
+  q.filter = Gt(ColumnRef("v"), Literal(100.0));
+  EXPECT_FALSE(ExecutePlainAggregate(t, q, 1.0).ok());
+}
+
+TEST(ExecutorTest, EmptyFilterCountIsZero) {
+  Table t = MakeValueTable({1, 2, 3});
+  QuerySpec q;
+  q.table = "t";
+  q.aggregate.kind = AggregateKind::kCount;
+  q.filter = Gt(ColumnRef("v"), Literal(100.0));
+  Result<double> r = ExecutePlainAggregate(t, q, 5.0);
+  ASSERT_TRUE(r.ok());
+  EXPECT_DOUBLE_EQ(*r, 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// Weighted / multi-resample execution
+// ---------------------------------------------------------------------------
+
+TEST(ExecutorTest, WeightedAggregateMatchesGatherExpansion) {
+  // Weighted execution must equal physically materializing the resample.
+  Rng rng(3);
+  std::vector<double> xs;
+  for (int i = 0; i < 300; ++i) xs.push_back(rng.NextLognormal(1.0, 1.0));
+  Table t = MakeValueTable(xs);
+  for (AggregateKind kind :
+       {AggregateKind::kSum, AggregateKind::kAvg, AggregateKind::kMax,
+        AggregateKind::kPercentile}) {
+    QuerySpec q = MakeAggQuery(kind, 0.75);
+    Result<PreparedQuery> p = PrepareQuery(t, q);
+    ASSERT_TRUE(p.ok());
+    std::vector<double> weights(xs.size());
+    std::vector<int64_t> expanded_rows;
+    for (size_t i = 0; i < xs.size(); ++i) {
+      int w = static_cast<int>(rng.NextInt(3));
+      weights[i] = w;
+      for (int d = 0; d < w; ++d) {
+        expanded_rows.push_back(static_cast<int64_t>(i));
+      }
+    }
+    Result<double> weighted =
+        ComputeWeightedAggregate(*p, q.aggregate, 1.0, weights.data());
+    Table expanded = t.GatherRows(expanded_rows);
+    Result<double> materialized = ExecutePlainAggregate(expanded, q, 1.0);
+    ASSERT_TRUE(weighted.ok() && materialized.ok())
+        << AggregateKindName(kind);
+    EXPECT_NEAR(*weighted, *materialized, 1e-8) << AggregateKindName(kind);
+  }
+}
+
+TEST(ExecutorTest, MultiResampleProducesRequestedReplicates) {
+  Rng rng(4);
+  std::vector<double> xs;
+  for (int i = 0; i < 1000; ++i) xs.push_back(rng.NextGaussian(50.0, 10.0));
+  Table t = MakeValueTable(xs);
+  QuerySpec q = MakeAggQuery(AggregateKind::kAvg);
+  Result<std::vector<double>> thetas =
+      ExecuteMultiResample(t, q, 1.0, 100, rng);
+  ASSERT_TRUE(thetas.ok());
+  EXPECT_EQ(thetas->size(), 100u);
+}
+
+TEST(ExecutorTest, MultiResampleCentersOnSampleEstimate) {
+  Rng rng(5);
+  std::vector<double> xs;
+  for (int i = 0; i < 5000; ++i) xs.push_back(rng.NextGaussian(50.0, 10.0));
+  Table t = MakeValueTable(xs);
+  QuerySpec q = MakeAggQuery(AggregateKind::kAvg);
+  Result<double> theta = ExecutePlainAggregate(t, q, 1.0);
+  Result<std::vector<double>> thetas =
+      ExecuteMultiResample(t, q, 1.0, 200, rng);
+  ASSERT_TRUE(theta.ok() && thetas.ok());
+  // Bootstrap distribution centers near theta(S) with sd ~ s/sqrt(n).
+  EXPECT_NEAR(Mean(*thetas), *theta, 0.1);
+  EXPECT_NEAR(SampleStddev(*thetas), 10.0 / std::sqrt(5000.0), 0.04);
+}
+
+TEST(ExecutorTest, MultiResampleMatchesExactResamplingDistribution) {
+  // Poissonized and exact multinomial resampling must agree in the spread
+  // of the replicate distribution (that equivalence is the §5.1 claim).
+  Rng rng(6);
+  std::vector<double> xs;
+  for (int i = 0; i < 2000; ++i) xs.push_back(rng.NextLognormal(2.0, 1.0));
+  Table t = MakeValueTable(xs);
+  QuerySpec q = MakeAggQuery(AggregateKind::kAvg);
+  Result<std::vector<double>> poissonized =
+      ExecuteMultiResample(t, q, 1.0, 150, rng);
+  Result<std::vector<double>> exact =
+      ExecuteMultiResampleExact(t, q, 1.0, 150, rng);
+  ASSERT_TRUE(poissonized.ok() && exact.ok());
+  double sd_p = SampleStddev(*poissonized);
+  double sd_e = SampleStddev(*exact);
+  EXPECT_NEAR(sd_p / sd_e, 1.0, 0.35);
+  EXPECT_NEAR(Mean(*poissonized), Mean(*exact), 4.0 * sd_e);
+}
+
+TEST(ExecutorTest, MultiResamplePercentilePath) {
+  Rng rng(7);
+  std::vector<double> xs;
+  for (int i = 0; i < 2000; ++i) xs.push_back(rng.NextDouble() * 100.0);
+  Table t = MakeValueTable(xs);
+  QuerySpec q = MakeAggQuery(AggregateKind::kPercentile, 0.5);
+  Result<std::vector<double>> thetas =
+      ExecuteMultiResample(t, q, 1.0, 80, rng);
+  ASSERT_TRUE(thetas.ok());
+  EXPECT_EQ(thetas->size(), 80u);
+  // Median replicates concentrate near 50.
+  EXPECT_NEAR(Mean(*thetas), 50.0, 4.0);
+}
+
+TEST(ExecutorTest, MultiResampleInvalidCount) {
+  Table t = MakeValueTable({1, 2, 3});
+  QuerySpec q = MakeAggQuery(AggregateKind::kAvg);
+  Rng rng(8);
+  EXPECT_FALSE(ExecuteMultiResample(t, q, 1.0, 0, rng).ok());
+  EXPECT_FALSE(ExecuteMultiResampleExact(t, q, 1.0, -1, rng).ok());
+}
+
+// ---------------------------------------------------------------------------
+// Group by
+// ---------------------------------------------------------------------------
+
+Table MakeGroupedTable() {
+  Table t("g");
+  Column v = Column::MakeDouble("v");
+  Column g = Column::MakeString("grp");
+  const double vs[] = {1, 2, 3, 10, 20, 100};
+  const char* gs[] = {"a", "a", "a", "b", "b", "c"};
+  for (int i = 0; i < 6; ++i) {
+    v.AppendDouble(vs[i]);
+    g.AppendString(gs[i]);
+  }
+  EXPECT_TRUE(t.AddColumn(std::move(v)).ok());
+  EXPECT_TRUE(t.AddColumn(std::move(g)).ok());
+  return t;
+}
+
+TEST(GroupByTest, AvgPerGroup) {
+  Table t = MakeGroupedTable();
+  QuerySpec q = MakeAggQuery(AggregateKind::kAvg);
+  Result<std::vector<GroupResult>> r = ExecuteGroupBy(t, q, "grp", 1.0);
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->size(), 3u);
+  EXPECT_EQ((*r)[0].group, "a");
+  EXPECT_DOUBLE_EQ((*r)[0].value, 2.0);
+  EXPECT_EQ((*r)[1].group, "b");
+  EXPECT_DOUBLE_EQ((*r)[1].value, 15.0);
+  EXPECT_EQ((*r)[2].group, "c");
+  EXPECT_DOUBLE_EQ((*r)[2].value, 100.0);
+}
+
+TEST(GroupByTest, FilterAppliesBeforeGrouping) {
+  Table t = MakeGroupedTable();
+  QuerySpec q = MakeAggQuery(AggregateKind::kCount);
+  q.aggregate.input = nullptr;
+  q.filter = Ge(ColumnRef("v"), Literal(3.0));
+  Result<std::vector<GroupResult>> r = ExecuteGroupBy(t, q, "grp", 1.0);
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->size(), 3u);
+  EXPECT_DOUBLE_EQ((*r)[0].value, 1.0);  // a: only v=3.
+  EXPECT_DOUBLE_EQ((*r)[1].value, 2.0);  // b: 10, 20.
+  EXPECT_DOUBLE_EQ((*r)[2].value, 1.0);  // c: 100.
+}
+
+TEST(GroupByTest, PercentilePerGroup) {
+  Table t = MakeGroupedTable();
+  QuerySpec q = MakeAggQuery(AggregateKind::kPercentile, 0.5);
+  Result<std::vector<GroupResult>> r = ExecuteGroupBy(t, q, "grp", 1.0);
+  ASSERT_TRUE(r.ok());
+  EXPECT_DOUBLE_EQ((*r)[0].value, 2.0);
+  EXPECT_DOUBLE_EQ((*r)[1].value, 15.0);
+}
+
+TEST(GroupByTest, NumericGroupColumnRejected) {
+  Table t = MakeGroupedTable();
+  QuerySpec q = MakeAggQuery(AggregateKind::kAvg);
+  EXPECT_FALSE(ExecuteGroupBy(t, q, "v", 1.0).ok());
+}
+
+TEST(GroupByTest, MissingGroupColumnRejected) {
+  Table t = MakeGroupedTable();
+  QuerySpec q = MakeAggQuery(AggregateKind::kAvg);
+  EXPECT_FALSE(ExecuteGroupBy(t, q, "nope", 1.0).ok());
+}
+
+// ---------------------------------------------------------------------------
+// QuerySpec classification
+// ---------------------------------------------------------------------------
+
+TEST(QuerySpecTest, ClosedFormApplicability) {
+  for (AggregateKind kind :
+       {AggregateKind::kCount, AggregateKind::kSum, AggregateKind::kAvg,
+        AggregateKind::kVariance, AggregateKind::kStddev}) {
+    QuerySpec q = MakeAggQuery(kind);
+    EXPECT_TRUE(q.ClosedFormApplicable()) << AggregateKindName(kind);
+  }
+  for (AggregateKind kind : {AggregateKind::kMin, AggregateKind::kMax,
+                             AggregateKind::kPercentile}) {
+    QuerySpec q = MakeAggQuery(kind);
+    EXPECT_FALSE(q.ClosedFormApplicable()) << AggregateKindName(kind);
+  }
+}
+
+TEST(QuerySpecTest, UdfDisablesClosedForm) {
+  QuerySpec q = MakeAggQuery(AggregateKind::kAvg);
+  q.aggregate.input = Udf(
+      "id", [](const std::vector<double>& a) { return a[0]; },
+      {ColumnRef("v")});
+  EXPECT_TRUE(q.HasUdf());
+  EXPECT_FALSE(q.ClosedFormApplicable());
+
+  QuerySpec q2 = MakeAggQuery(AggregateKind::kSum);
+  q2.filter = Gt(Udf("id", [](const std::vector<double>& a) { return a[0]; },
+                     {ColumnRef("v")}),
+                 Literal(0.0));
+  EXPECT_TRUE(q2.HasUdf());
+  EXPECT_FALSE(q2.ClosedFormApplicable());
+}
+
+TEST(QuerySpecTest, ToStringContainsPieces) {
+  QuerySpec q = MakeAggQuery(AggregateKind::kAvg);
+  q.filter = Gt(ColumnRef("v"), Literal(1.0));
+  std::string s = q.ToString();
+  EXPECT_NE(s.find("AVG"), std::string::npos);
+  EXPECT_NE(s.find("FROM t"), std::string::npos);
+  EXPECT_NE(s.find("WHERE"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace aqp

@@ -1,0 +1,224 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "expr/expr.h"
+#include "storage/table.h"
+
+namespace aqp {
+namespace {
+
+Table MakeTable() {
+  Table t("t");
+  Column a = Column::MakeDouble("a");
+  Column b = Column::MakeDouble("b");
+  Column city = Column::MakeString("city");
+  const double as[] = {1.0, 2.0, 3.0, 4.0, 5.0};
+  const double bs[] = {10.0, 0.0, -10.0, 20.0, 5.0};
+  const char* cities[] = {"NYC", "SF", "NYC", "LA", "NYC"};
+  for (int i = 0; i < 5; ++i) {
+    a.AppendDouble(as[i]);
+    b.AppendDouble(bs[i]);
+    city.AppendString(cities[i]);
+  }
+  EXPECT_TRUE(t.AddColumn(std::move(a)).ok());
+  EXPECT_TRUE(t.AddColumn(std::move(b)).ok());
+  EXPECT_TRUE(t.AddColumn(std::move(city)).ok());
+  return t;
+}
+
+TEST(ExprTest, ColumnRefAllRows) {
+  Table t = MakeTable();
+  Result<std::vector<double>> v = ColumnRef("a")->EvalNumeric(t, nullptr);
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, (std::vector<double>{1, 2, 3, 4, 5}));
+}
+
+TEST(ExprTest, ColumnRefSelectedRows) {
+  Table t = MakeTable();
+  std::vector<int64_t> rows = {4, 0};
+  Result<std::vector<double>> v = ColumnRef("b")->EvalNumeric(t, &rows);
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, (std::vector<double>{5.0, 10.0}));
+}
+
+TEST(ExprTest, ColumnRefMissingColumn) {
+  Table t = MakeTable();
+  Result<std::vector<double>> v = ColumnRef("zzz")->EvalNumeric(t, nullptr);
+  EXPECT_FALSE(v.ok());
+  EXPECT_EQ(v.status().code(), StatusCode::kNotFound);
+}
+
+TEST(ExprTest, ColumnRefStringColumnAsNumericFails) {
+  Table t = MakeTable();
+  Result<std::vector<double>> v = ColumnRef("city")->EvalNumeric(t, nullptr);
+  EXPECT_FALSE(v.ok());
+  EXPECT_EQ(v.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ExprTest, LiteralBroadcasts) {
+  Table t = MakeTable();
+  Result<std::vector<double>> v = Literal(7.5)->EvalNumeric(t, nullptr);
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->size(), 5u);
+  for (double x : *v) EXPECT_DOUBLE_EQ(x, 7.5);
+}
+
+TEST(ExprTest, ArithmeticOps) {
+  Table t = MakeTable();
+  Result<std::vector<double>> sum =
+      Add(ColumnRef("a"), ColumnRef("b"))->EvalNumeric(t, nullptr);
+  ASSERT_TRUE(sum.ok());
+  EXPECT_EQ(*sum, (std::vector<double>{11, 2, -7, 24, 10}));
+
+  Result<std::vector<double>> prod =
+      Mul(ColumnRef("a"), Literal(2.0))->EvalNumeric(t, nullptr);
+  ASSERT_TRUE(prod.ok());
+  EXPECT_EQ(*prod, (std::vector<double>{2, 4, 6, 8, 10}));
+
+  Result<std::vector<double>> diff =
+      Sub(ColumnRef("b"), ColumnRef("a"))->EvalNumeric(t, nullptr);
+  ASSERT_TRUE(diff.ok());
+  EXPECT_EQ(*diff, (std::vector<double>{9, -2, -13, 16, 0}));
+}
+
+TEST(ExprTest, DivisionByZeroYieldsZero) {
+  Table t = MakeTable();
+  Result<std::vector<double>> q =
+      Div(ColumnRef("a"), ColumnRef("b"))->EvalNumeric(t, nullptr);
+  ASSERT_TRUE(q.ok());
+  EXPECT_DOUBLE_EQ((*q)[1], 0.0);  // 2 / 0 -> 0 by convention.
+  EXPECT_DOUBLE_EQ((*q)[0], 0.1);
+}
+
+TEST(ExprTest, ComparisonsAsPredicate) {
+  Table t = MakeTable();
+  Result<std::vector<char>> mask =
+      Gt(ColumnRef("a"), Literal(3.0))->EvalPredicate(t, nullptr);
+  ASSERT_TRUE(mask.ok());
+  EXPECT_EQ(*mask, (std::vector<char>{0, 0, 0, 1, 1}));
+
+  mask = Le(ColumnRef("b"), Literal(0.0))->EvalPredicate(t, nullptr);
+  ASSERT_TRUE(mask.ok());
+  EXPECT_EQ(*mask, (std::vector<char>{0, 1, 1, 0, 0}));
+
+  mask = Eq(ColumnRef("a"), Literal(2.0))->EvalPredicate(t, nullptr);
+  ASSERT_TRUE(mask.ok());
+  EXPECT_EQ(*mask, (std::vector<char>{0, 1, 0, 0, 0}));
+}
+
+TEST(ExprTest, ComparisonAsNumericIsZeroOne) {
+  Table t = MakeTable();
+  Result<std::vector<double>> v =
+      Ge(ColumnRef("a"), Literal(4.0))->EvalNumeric(t, nullptr);
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, (std::vector<double>{0, 0, 0, 1, 1}));
+}
+
+TEST(ExprTest, StringEquals) {
+  Table t = MakeTable();
+  Result<std::vector<char>> mask =
+      StringEquals(ColumnRef("city"), "NYC")->EvalPredicate(t, nullptr);
+  ASSERT_TRUE(mask.ok());
+  EXPECT_EQ(*mask, (std::vector<char>{1, 0, 1, 0, 1}));
+}
+
+TEST(ExprTest, StringEqualsAbsentValueAllFalse) {
+  Table t = MakeTable();
+  Result<std::vector<char>> mask =
+      StringEquals(ColumnRef("city"), "TOKYO")->EvalPredicate(t, nullptr);
+  ASSERT_TRUE(mask.ok());
+  for (char m : *mask) EXPECT_EQ(m, 0);
+}
+
+TEST(ExprTest, StringEqualsOnNumericColumnFails) {
+  Table t = MakeTable();
+  Result<std::vector<char>> mask =
+      StringEquals(ColumnRef("a"), "x")->EvalPredicate(t, nullptr);
+  EXPECT_FALSE(mask.ok());
+}
+
+TEST(ExprTest, StringEqualsWithRowSubset) {
+  Table t = MakeTable();
+  std::vector<int64_t> rows = {2, 3};
+  Result<std::vector<char>> mask =
+      StringEquals(ColumnRef("city"), "NYC")->EvalPredicate(t, &rows);
+  ASSERT_TRUE(mask.ok());
+  EXPECT_EQ(*mask, (std::vector<char>{1, 0}));
+}
+
+TEST(ExprTest, LogicalAndOrNot) {
+  Table t = MakeTable();
+  ExprPtr nyc = StringEquals(ColumnRef("city"), "NYC");
+  ExprPtr big = Gt(ColumnRef("a"), Literal(2.0));
+  Result<std::vector<char>> mask = And(nyc, big)->EvalPredicate(t, nullptr);
+  ASSERT_TRUE(mask.ok());
+  EXPECT_EQ(*mask, (std::vector<char>{0, 0, 1, 0, 1}));
+
+  mask = Or(nyc, big)->EvalPredicate(t, nullptr);
+  ASSERT_TRUE(mask.ok());
+  EXPECT_EQ(*mask, (std::vector<char>{1, 0, 1, 1, 1}));
+
+  mask = Not(nyc)->EvalPredicate(t, nullptr);
+  ASSERT_TRUE(mask.ok());
+  EXPECT_EQ(*mask, (std::vector<char>{0, 1, 0, 1, 0}));
+}
+
+TEST(ExprTest, UdfRowwise) {
+  Table t = MakeTable();
+  ExprPtr udf = Udf(
+      "hypot",
+      [](const std::vector<double>& args) {
+        return std::hypot(args[0], args[1]);
+      },
+      {ColumnRef("a"), ColumnRef("b")});
+  Result<std::vector<double>> v = udf->EvalNumeric(t, nullptr);
+  ASSERT_TRUE(v.ok());
+  EXPECT_NEAR((*v)[0], std::hypot(1.0, 10.0), 1e-12);
+  EXPECT_NEAR((*v)[3], std::hypot(4.0, 20.0), 1e-12);
+}
+
+TEST(ExprTest, HasUdfPropagation) {
+  ExprPtr udf = Udf(
+      "id", [](const std::vector<double>& args) { return args[0]; },
+      {ColumnRef("a")});
+  EXPECT_TRUE(udf->HasUdf());
+  EXPECT_FALSE(ColumnRef("a")->HasUdf());
+  EXPECT_FALSE(Add(ColumnRef("a"), Literal(1.0))->HasUdf());
+  EXPECT_TRUE(Add(udf, Literal(1.0))->HasUdf());
+  EXPECT_TRUE(Gt(udf, Literal(0.0))->HasUdf());
+  EXPECT_TRUE(Not(Gt(udf, Literal(0.0)))->HasUdf());
+  EXPECT_TRUE(
+      And(Gt(udf, Literal(0.0)), Gt(ColumnRef("a"), Literal(0.0)))->HasUdf());
+}
+
+TEST(ExprTest, CollectColumns) {
+  ExprPtr e = And(StringEquals(ColumnRef("city"), "NYC"),
+                  Gt(Add(ColumnRef("a"), ColumnRef("b")), Literal(0.0)));
+  std::vector<std::string> cols;
+  e->CollectColumns(cols);
+  ASSERT_EQ(cols.size(), 3u);
+  EXPECT_EQ(cols[0], "city");
+  EXPECT_EQ(cols[1], "a");
+  EXPECT_EQ(cols[2], "b");
+}
+
+TEST(ExprTest, ToStringRendering) {
+  ExprPtr e = Gt(Add(ColumnRef("a"), ColumnRef("b")), Literal(0.0));
+  std::string s = e->ToString();
+  EXPECT_NE(s.find("(a + b)"), std::string::npos);
+  EXPECT_NE(s.find(">"), std::string::npos);
+  EXPECT_EQ(StringEquals(ColumnRef("city"), "NYC")->ToString(),
+            "(city == 'NYC')");
+}
+
+TEST(ExprTest, NumericExprAsPredicateThresholdsNonzero) {
+  Table t = MakeTable();
+  // b values: 10, 0, -10, 20, 5 -> nonzero = true.
+  Result<std::vector<char>> mask = ColumnRef("b")->EvalPredicate(t, nullptr);
+  ASSERT_TRUE(mask.ok());
+  EXPECT_EQ(*mask, (std::vector<char>{1, 0, 1, 1, 1}));
+}
+
+}  // namespace
+}  // namespace aqp

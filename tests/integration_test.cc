@@ -1,0 +1,222 @@
+// Cross-module integration tests: small-scale versions of the paper's
+// experiments wired end-to-end — workload generation -> sampling ->
+// estimation -> diagnosis -> engine decisions -> cluster timing.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+
+#include "cluster/simulator.h"
+#include "core/engine.h"
+#include "diagnostics/diagnostic.h"
+#include "estimation/bootstrap.h"
+#include "estimation/closed_form.h"
+#include "estimation/ground_truth.h"
+#include "plan/rewriter.h"
+#include "sampling/sampler.h"
+#include "util/random.h"
+#include "workload/data_gen.h"
+#include "workload/query_gen.h"
+
+namespace aqp {
+namespace {
+
+TEST(IntegrationTest, MiniFig3EstimationAccuracyStudy) {
+  // A scaled-down §3 study: evaluate bootstrap CIs against ground truth on
+  // a small generated workload; benign aggregates should mostly pass and
+  // the failure buckets should be populated by MIN/MAX-style queries.
+  auto events = GenerateEventsTable(60000, 1);
+  QueryGenerator gen(events, 2);
+  MixSpec mix = FacebookMix();
+  mix.filter_fraction = 0.3;
+  std::vector<WorkloadQuery> queries = gen.Generate(mix, 12, "fb");
+  BootstrapEstimator bootstrap(60);
+  EvaluationProtocol protocol;
+  protocol.num_trials = 25;
+  Rng rng(3);
+  std::map<EstimationOutcome, int> outcomes;
+  for (const WorkloadQuery& wq : queries) {
+    Result<GroundTruth> truth =
+        ComputeGroundTruth(events, wq.query, 0.95, 2000, 60, rng);
+    if (!truth.ok()) continue;  // Degenerate (e.g. empty-filter) query.
+    Result<EstimatorEvaluation> eval = EvaluateEstimator(
+        events, wq.query, bootstrap, *truth, 0.95, 2000, protocol, rng);
+    ASSERT_TRUE(eval.ok());
+    ++outcomes[eval->outcome];
+  }
+  int total = 0;
+  for (const auto& [outcome, count] : outcomes) total += count;
+  EXPECT_GE(total, 8);
+  // Some queries must be evaluated as correct — bootstrap works "often
+  // enough that sampling is worthwhile" (paper conclusion).
+  EXPECT_GT(outcomes[EstimationOutcome::kCorrect], 0);
+}
+
+TEST(IntegrationTest, MiniFig4DiagnosticAgreesWithGroundTruth) {
+  // The diagnostic's decisions should track the ground-truth evaluation:
+  // accept a CLT-friendly query, reject a heavy-tail MAX.
+  Rng data_rng(4);
+  auto friendly = std::make_shared<Table>("friendly");
+  {
+    Column v = Column::MakeDouble("v");
+    for (int i = 0; i < 300000; ++i) {
+      v.AppendDouble(data_rng.NextGaussian(10.0, 2.0));
+    }
+    ASSERT_TRUE(friendly->AddColumn(std::move(v)).ok());
+  }
+  auto hostile = std::make_shared<Table>("hostile");
+  {
+    Column v = Column::MakeDouble("v");
+    for (int i = 0; i < 300000; ++i) {
+      v.AppendDouble(data_rng.NextPareto(1.0, 1.05));
+    }
+    ASSERT_TRUE(hostile->AddColumn(std::move(v)).ok());
+  }
+
+  BootstrapEstimator bootstrap(60);
+  DiagnosticConfig config;
+  config.num_subsamples = 100;
+  Rng rng(5);
+
+  QuerySpec avg;
+  avg.table = "friendly";
+  avg.aggregate.kind = AggregateKind::kAvg;
+  avg.aggregate.input = ColumnRef("v");
+  Result<Sample> friendly_sample =
+      CreateUniformSample(friendly, 30000, true, rng);
+  ASSERT_TRUE(friendly_sample.ok());
+  Result<DiagnosticReport> accept =
+      RunDiagnostic(*friendly_sample->data, avg, bootstrap,
+                    friendly_sample->population_rows, config, rng);
+  ASSERT_TRUE(accept.ok());
+  EXPECT_TRUE(accept->accepted);
+
+  QuerySpec max;
+  max.table = "hostile";
+  max.aggregate.kind = AggregateKind::kMax;
+  max.aggregate.input = ColumnRef("v");
+  Result<Sample> hostile_sample =
+      CreateUniformSample(hostile, 30000, true, rng);
+  ASSERT_TRUE(hostile_sample.ok());
+  Result<DiagnosticReport> reject =
+      RunDiagnostic(*hostile_sample->data, max, bootstrap,
+                    hostile_sample->population_rows, config, rng);
+  ASSERT_TRUE(reject.ok());
+  EXPECT_FALSE(reject->accepted);
+}
+
+TEST(IntegrationTest, EngineOverGeneratedWorkload) {
+  // Run a small QSet-1/QSet-2 mix through the full engine; every query must
+  // produce either a diagnosed estimate or a fallback answer.
+  auto sessions = GenerateSessionsTable(150000, 6);
+  EngineOptions options;
+  options.bootstrap_replicates = 40;
+  options.diagnostic.num_subsamples = 30;
+  options.default_sample_rows = 15000;
+  AqpEngine engine(options);
+  ASSERT_TRUE(engine.RegisterTable(sessions).ok());
+  ASSERT_TRUE(engine.CreateSample("sessions", 15000).ok());
+
+  QueryGenerator gen(sessions, 7);
+  std::vector<WorkloadQuery> qset1 = gen.GenerateQSet1(6);
+  std::vector<WorkloadQuery> qset2 = gen.GenerateQSet2(6);
+  std::vector<WorkloadQuery> all;
+  all.insert(all.end(), qset1.begin(), qset1.end());
+  all.insert(all.end(), qset2.begin(), qset2.end());
+
+  int answered = 0;
+  int fallbacks = 0;
+  for (const WorkloadQuery& wq : all) {
+    Result<ApproxResult> r = engine.ExecuteApproximate(wq.query);
+    if (!r.ok()) continue;  // Degenerate query (empty filter on sample).
+    ++answered;
+    if (r->fell_back) ++fallbacks;
+    if (!r->fell_back) {
+      EXPECT_GE(r->ci.half_width, 0.0);
+    }
+    // Closed-form method only for closed-form-applicable queries.
+    if (r->method == EstimationMethod::kClosedForm) {
+      EXPECT_TRUE(wq.query.ClosedFormApplicable());
+    }
+  }
+  EXPECT_GE(answered, 9);
+}
+
+TEST(IntegrationTest, PlanProfileDrivesClusterCostsInOrder) {
+  // Wiring plan profiles into the simulator must reproduce the paper's
+  // ordering: baseline >> consolidated-no-pushdown > consolidated+pushdown.
+  ResampleSpec spec;
+  spec.bootstrap_replicates = 100;
+  spec.diagnostic_sets = {{1000, 100, 100}, {2000, 100, 100},
+                          {4000, 100, 100}};
+  PlanProfile baseline = BaselineProfile(spec);
+
+  QuerySpec q;
+  q.table = "sessions";
+  q.filter = StringEquals(ColumnRef("city"), "NYC");
+  q.aggregate.kind = AggregateKind::kAvg;
+  q.aggregate.input = ColumnRef("session_time");
+  PlanNodePtr plan = BuildQueryPlan(q);
+  Result<PlanNodePtr> pushed =
+      RewriteForErrorEstimation(plan, spec, RewriteOptions{true, true});
+  Result<PlanNodePtr> unpushed =
+      RewriteForErrorEstimation(plan, spec, RewriteOptions{true, false});
+  ASSERT_TRUE(pushed.ok() && unpushed.ok());
+  PlanProfile pushed_profile = ProfilePlan(*pushed);
+  PlanProfile unpushed_profile = ProfilePlan(*unpushed);
+
+  ClusterSimulator sim(ClusterConfig{}, 8);
+  ExecutionTuning tuning;
+  tuning.max_machines = 100;
+  tuning.cached_fraction = 0.35;
+  tuning.straggler_mitigation = true;  // Isolate plan effects from stragglers.
+
+  double sample_mb = 20.0 * 1024;
+  double selectivity = 0.05;
+  auto job_for = [&](const PlanProfile& profile) {
+    JobSpec job;
+    job.num_subqueries = profile.num_subqueries;
+    job.bytes_per_subquery_mb = sample_mb;
+    job.weight_columns = profile.weight_columns;
+    job.weight_volume_fraction =
+        profile.weights_attached_after_passthrough ? selectivity : 1.0;
+    return job;
+  };
+  // Average several runs: single simulated runs carry straggler noise.
+  double t_baseline = 0.0;
+  double t_unpushed = 0.0;
+  double t_pushed = 0.0;
+  constexpr int kReps = 8;
+  for (int rep = 0; rep < kReps; ++rep) {
+    t_baseline += sim.SimulateJob(job_for(baseline), tuning).duration_s;
+    t_unpushed += sim.SimulateJob(job_for(unpushed_profile), tuning).duration_s;
+    t_pushed += sim.SimulateJob(job_for(pushed_profile), tuning).duration_s;
+  }
+  EXPECT_GT(t_baseline, 10.0 * t_unpushed);
+  EXPECT_GT(t_unpushed, t_pushed);
+}
+
+TEST(IntegrationTest, SumEstimateScalesToPopulation) {
+  // End-to-end scaling check: approximate SUM over a 10% sample lands near
+  // the exact population SUM.
+  auto events = GenerateEventsTable(100000, 9);
+  EngineOptions options;
+  options.bootstrap_replicates = 40;
+  options.diagnostic.num_subsamples = 30;
+  options.default_sample_rows = 10000;
+  AqpEngine engine(options);
+  ASSERT_TRUE(engine.RegisterTable(events).ok());
+  ASSERT_TRUE(engine.CreateSample("events", 10000).ok());
+  QuerySpec q;
+  q.table = "events";
+  q.aggregate.kind = AggregateKind::kSum;
+  q.aggregate.input = ColumnRef("value_normal");
+  Result<ApproxResult> r = engine.ExecuteApproximate(q);
+  ASSERT_TRUE(r.ok());
+  Result<double> exact = engine.ExecuteExact(q);
+  ASSERT_TRUE(exact.ok());
+  EXPECT_NEAR(r->estimate / *exact, 1.0, 0.05);
+}
+
+}  // namespace
+}  // namespace aqp

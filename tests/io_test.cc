@@ -1,0 +1,205 @@
+// Tests for the storage I/O layer: CSV ingestion/emission and binary table
+// persistence.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+
+#include "storage/csv.h"
+#include "storage/serialize.h"
+#include "workload/data_gen.h"
+
+namespace aqp {
+namespace {
+
+// ---------------------------------------------------------------------------
+// CSV reading
+// ---------------------------------------------------------------------------
+
+TEST(CsvTest, BasicWithHeaderAndTypeInference) {
+  const char* text =
+      "time,city,bytes\n"
+      "1.5,NYC,100\n"
+      "2.5,SF,200\n"
+      "3.5,NYC,300\n";
+  Result<std::shared_ptr<const Table>> t = ReadCsvString(text, "t");
+  ASSERT_TRUE(t.ok()) << t.status().ToString();
+  EXPECT_EQ((*t)->num_rows(), 3);
+  EXPECT_EQ((*t)->num_columns(), 3);
+  Result<const Column*> time = (*t)->ColumnByName("time");
+  ASSERT_TRUE(time.ok());
+  EXPECT_TRUE((*time)->is_numeric());
+  EXPECT_DOUBLE_EQ((*time)->DoubleAt(1), 2.5);
+  Result<const Column*> city = (*t)->ColumnByName("city");
+  ASSERT_TRUE(city.ok());
+  EXPECT_FALSE((*city)->is_numeric());
+  EXPECT_EQ((*city)->StringAt(2), "NYC");
+  EXPECT_EQ((*city)->dictionary_size(), 2);
+}
+
+TEST(CsvTest, HeaderlessNamesColumns) {
+  CsvOptions options;
+  options.header = false;
+  Result<std::shared_ptr<const Table>> t =
+      ReadCsvString("1,a\n2,b\n", "t", options);
+  ASSERT_TRUE(t.ok());
+  EXPECT_TRUE((*t)->HasColumn("c0"));
+  EXPECT_TRUE((*t)->HasColumn("c1"));
+  EXPECT_EQ((*t)->num_rows(), 2);
+}
+
+TEST(CsvTest, QuotedFieldsAndEscapes) {
+  const char* text =
+      "name,score\n"
+      "\"Doe, Jane\",1\n"
+      "\"say \"\"hi\"\"\",2\n";
+  Result<std::shared_ptr<const Table>> t = ReadCsvString(text, "t");
+  ASSERT_TRUE(t.ok()) << t.status().ToString();
+  Result<const Column*> name = (*t)->ColumnByName("name");
+  ASSERT_TRUE(name.ok());
+  EXPECT_EQ((*name)->StringAt(0), "Doe, Jane");
+  EXPECT_EQ((*name)->StringAt(1), "say \"hi\"");
+}
+
+TEST(CsvTest, EmptyNumericCellsUseNullValue) {
+  CsvOptions options;
+  options.null_numeric = -1.0;
+  Result<std::shared_ptr<const Table>> t =
+      ReadCsvString("v\n1\n\n2\n", "t", options);
+  ASSERT_TRUE(t.ok());
+  // Blank lines are skipped entirely; only 1 and 2 remain.
+  EXPECT_EQ((*t)->num_rows(), 2);
+}
+
+TEST(CsvTest, CrLfLineEndings) {
+  Result<std::shared_ptr<const Table>> t =
+      ReadCsvString("v,s\r\n1,x\r\n2,y\r\n", "t");
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ((*t)->num_rows(), 2);
+  Result<const Column*> s = (*t)->ColumnByName("s");
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ((*s)->StringAt(1), "y");
+}
+
+TEST(CsvTest, Errors) {
+  EXPECT_FALSE(ReadCsvString("", "t").ok());
+  // Ragged row.
+  EXPECT_FALSE(ReadCsvString("a,b\n1\n", "t").ok());
+  // Unterminated quote.
+  EXPECT_FALSE(ReadCsvString("a\n\"oops\n", "t").ok());
+  // Quote mid-field.
+  EXPECT_FALSE(ReadCsvString("a\nfo\"o\n", "t").ok());
+  // Missing file.
+  EXPECT_FALSE(ReadCsvFile("/nonexistent/file.csv", "t").ok());
+}
+
+TEST(CsvTest, MixedColumnBecomesStringIfSeenEarly) {
+  // "x" appears within the inference window, so the column is string-typed.
+  Result<std::shared_ptr<const Table>> t =
+      ReadCsvString("v\n1\nx\n2\n", "t");
+  ASSERT_TRUE(t.ok());
+  Result<const Column*> v = (*t)->ColumnByName("v");
+  ASSERT_TRUE(v.ok());
+  EXPECT_FALSE((*v)->is_numeric());
+}
+
+TEST(CsvTest, LateNonNumericCellFailsCleanly) {
+  // Inference window sees only numbers, a later row breaks the contract.
+  CsvOptions options;
+  options.inference_rows = 2;
+  Result<std::shared_ptr<const Table>> t =
+      ReadCsvString("v\n1\n2\n3\nboom\n", "t", options);
+  EXPECT_FALSE(t.ok());
+}
+
+// ---------------------------------------------------------------------------
+// CSV round trip
+// ---------------------------------------------------------------------------
+
+TEST(CsvTest, RoundTripPreservesData) {
+  auto sessions = GenerateSessionsTable(500, 1);
+  std::ostringstream out;
+  ASSERT_TRUE(WriteCsv(*sessions, out).ok());
+  Result<std::shared_ptr<const Table>> back =
+      ReadCsvString(out.str(), "sessions");
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  ASSERT_EQ((*back)->num_rows(), sessions->num_rows());
+  ASSERT_EQ((*back)->num_columns(), sessions->num_columns());
+  for (int64_t c = 0; c < sessions->num_columns(); ++c) {
+    const Column& original = sessions->column(c);
+    Result<const Column*> restored = (*back)->ColumnByName(original.name());
+    ASSERT_TRUE(restored.ok()) << original.name();
+    ASSERT_EQ((*restored)->is_numeric(), original.is_numeric());
+    for (int64_t r = 0; r < 50; ++r) {
+      if (original.is_numeric()) {
+        EXPECT_DOUBLE_EQ((*restored)->DoubleAt(r), original.DoubleAt(r));
+      } else {
+        EXPECT_EQ((*restored)->StringAt(r), original.StringAt(r));
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Binary serialization
+// ---------------------------------------------------------------------------
+
+TEST(SerializeTest, RoundTripExact) {
+  auto events = GenerateEventsTable(1000, 2);
+  std::stringstream buffer;
+  ASSERT_TRUE(WriteTable(*events, buffer).ok());
+  Result<std::shared_ptr<const Table>> back = ReadTable(buffer);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ((*back)->name(), "events");
+  ASSERT_EQ((*back)->num_rows(), events->num_rows());
+  ASSERT_EQ((*back)->num_columns(), events->num_columns());
+  for (int64_t c = 0; c < events->num_columns(); ++c) {
+    const Column& original = events->column(c);
+    const Column& restored = (*back)->column(c);
+    EXPECT_EQ(restored.name(), original.name());
+    ASSERT_EQ(restored.is_numeric(), original.is_numeric());
+    for (int64_t r = 0; r < events->num_rows(); ++r) {
+      if (original.is_numeric()) {
+        ASSERT_DOUBLE_EQ(restored.DoubleAt(r), original.DoubleAt(r));
+      } else {
+        ASSERT_EQ(restored.StringAt(r), original.StringAt(r));
+      }
+    }
+  }
+}
+
+TEST(SerializeTest, EmptyTableRoundTrips) {
+  Table empty("nothing");
+  std::stringstream buffer;
+  ASSERT_TRUE(WriteTable(empty, buffer).ok());
+  Result<std::shared_ptr<const Table>> back = ReadTable(buffer);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ((*back)->name(), "nothing");
+  EXPECT_EQ((*back)->num_columns(), 0);
+}
+
+TEST(SerializeTest, RejectsGarbage) {
+  std::stringstream garbage("not a table at all");
+  EXPECT_FALSE(ReadTable(garbage).ok());
+  std::stringstream truncated;
+  auto t = GenerateEventsTable(100, 3);
+  ASSERT_TRUE(WriteTable(*t, truncated).ok());
+  std::string bytes = truncated.str();
+  std::stringstream cut(bytes.substr(0, bytes.size() / 2));
+  EXPECT_FALSE(ReadTable(cut).ok());
+}
+
+TEST(SerializeTest, FileRoundTrip) {
+  auto sessions = GenerateSessionsTable(300, 4);
+  std::string path = "/tmp/aqp_serialize_test.aqt";
+  ASSERT_TRUE(WriteTableFile(*sessions, path).ok());
+  Result<std::shared_ptr<const Table>> back = ReadTableFile(path);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ((*back)->num_rows(), 300);
+  std::remove(path.c_str());
+  EXPECT_FALSE(ReadTableFile("/nonexistent/x.aqt").ok());
+  EXPECT_FALSE(WriteTableFile(*sessions, "/nonexistent/dir/x.aqt").ok());
+}
+
+}  // namespace
+}  // namespace aqp

@@ -1,0 +1,339 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "exec/executor.h"
+#include "plan/interpreter.h"
+#include "plan/plan.h"
+#include "plan/rewriter.h"
+#include "storage/table.h"
+#include "util/random.h"
+#include "util/stats.h"
+
+namespace aqp {
+namespace {
+
+Table MakeTable(int64_t rows, uint64_t seed) {
+  Rng rng(seed);
+  Table t("t");
+  Column v = Column::MakeDouble("v");
+  Column w = Column::MakeDouble("w");
+  Column tag = Column::MakeString("tag");
+  const char* tags[] = {"red", "green", "blue"};
+  for (int64_t i = 0; i < rows; ++i) {
+    v.AppendDouble(rng.NextLognormal(1.0, 1.0));
+    w.AppendDouble(rng.NextGaussian(5.0, 2.0));
+    tag.AppendString(tags[rng.NextInt(3)]);
+  }
+  EXPECT_TRUE(t.AddColumn(std::move(v)).ok());
+  EXPECT_TRUE(t.AddColumn(std::move(w)).ok());
+  EXPECT_TRUE(t.AddColumn(std::move(tag)).ok());
+  return t;
+}
+
+QuerySpec MakeQuery() {
+  QuerySpec q;
+  q.id = "plan_test";
+  q.table = "t";
+  q.filter = StringEquals(ColumnRef("tag"), "red");
+  q.aggregate.kind = AggregateKind::kAvg;
+  q.aggregate.input = ColumnRef("v");
+  return q;
+}
+
+ResampleSpec MakeResampleSpec(int k = 20) {
+  ResampleSpec spec;
+  spec.bootstrap_replicates = k;
+  return spec;
+}
+
+// ---------------------------------------------------------------------------
+// Plan construction + explain
+// ---------------------------------------------------------------------------
+
+TEST(PlanTest, BuildQueryPlanShape) {
+  PlanNodePtr plan = BuildQueryPlan(MakeQuery());
+  std::vector<const PlanNode*> chain = Linearize(plan);
+  ASSERT_EQ(chain.size(), 3u);
+  EXPECT_EQ(chain[0]->kind, PlanNodeKind::kAggregate);
+  EXPECT_EQ(chain[1]->kind, PlanNodeKind::kFilter);
+  EXPECT_EQ(chain[2]->kind, PlanNodeKind::kScan);
+  EXPECT_EQ(chain[2]->table, "t");
+}
+
+TEST(PlanTest, BuildQueryPlanWithoutFilter) {
+  QuerySpec q = MakeQuery();
+  q.filter = nullptr;
+  std::vector<const PlanNode*> chain = Linearize(BuildQueryPlan(q));
+  ASSERT_EQ(chain.size(), 2u);
+  EXPECT_EQ(chain[0]->kind, PlanNodeKind::kAggregate);
+  EXPECT_EQ(chain[1]->kind, PlanNodeKind::kScan);
+}
+
+TEST(PlanTest, ExplainMentionsOperators) {
+  PlanNodePtr plan = BuildQueryPlan(MakeQuery());
+  std::string s = ExplainPlan(plan);
+  EXPECT_NE(s.find("Aggregate(AVG(v))"), std::string::npos);
+  EXPECT_NE(s.find("Filter"), std::string::npos);
+  EXPECT_NE(s.find("Scan(t)"), std::string::npos);
+}
+
+TEST(PlanTest, ResampleSpecWeightColumns) {
+  ResampleSpec spec;
+  spec.bootstrap_replicates = 100;
+  spec.diagnostic_sets = {{1000, 100, 100}, {2000, 100, 100},
+                          {4000, 100, 100}};
+  // The paper's configuration: 100 bootstrap + 3 x 100 diagnostic weights.
+  EXPECT_EQ(spec.TotalWeightColumns(), 400);
+}
+
+TEST(PlanTest, PassThroughClassification) {
+  PlanNodePtr scan = ScanNode("t");
+  EXPECT_TRUE(scan->IsPassThrough());
+  PlanNodePtr filter = FilterNode(scan, Gt(ColumnRef("v"), Literal(0.0)));
+  EXPECT_TRUE(filter->IsPassThrough());
+  PlanNodePtr project = ProjectNode(filter, "x", Mul(ColumnRef("v"),
+                                                     Literal(2.0)));
+  EXPECT_TRUE(project->IsPassThrough());
+  PlanNodePtr agg = AggregateNode(project, AggregateSpec{
+                                               AggregateKind::kAvg,
+                                               ColumnRef("v"), 0.5});
+  EXPECT_FALSE(agg->IsPassThrough());
+  PlanNodePtr resample = ResampleNode(project, MakeResampleSpec());
+  EXPECT_FALSE(resample->IsPassThrough());
+}
+
+// ---------------------------------------------------------------------------
+// Rewriter
+// ---------------------------------------------------------------------------
+
+TEST(RewriterTest, PushdownPlacesResampleBelowAggregate) {
+  PlanNodePtr plan = BuildQueryPlan(MakeQuery());
+  Result<PlanNodePtr> rewritten = RewriteForErrorEstimation(
+      plan, MakeResampleSpec(), RewriteOptions{true, true});
+  ASSERT_TRUE(rewritten.ok());
+  std::vector<const PlanNode*> chain = Linearize(*rewritten);
+  // Bootstrap -> WeightedAggregate -> PoissonResample -> Filter -> Scan.
+  ASSERT_EQ(chain.size(), 5u);
+  EXPECT_EQ(chain[0]->kind, PlanNodeKind::kBootstrap);
+  EXPECT_EQ(chain[1]->kind, PlanNodeKind::kWeightedAggregate);
+  EXPECT_EQ(chain[2]->kind, PlanNodeKind::kPoissonResample);
+  EXPECT_EQ(chain[3]->kind, PlanNodeKind::kFilter);
+  EXPECT_EQ(chain[4]->kind, PlanNodeKind::kScan);
+}
+
+TEST(RewriterTest, NaivePlacesResampleAboveScan) {
+  PlanNodePtr plan = BuildQueryPlan(MakeQuery());
+  Result<PlanNodePtr> rewritten = RewriteForErrorEstimation(
+      plan, MakeResampleSpec(), RewriteOptions{true, false});
+  ASSERT_TRUE(rewritten.ok());
+  std::vector<const PlanNode*> chain = Linearize(*rewritten);
+  ASSERT_EQ(chain.size(), 5u);
+  EXPECT_EQ(chain[0]->kind, PlanNodeKind::kBootstrap);
+  EXPECT_EQ(chain[1]->kind, PlanNodeKind::kWeightedAggregate);
+  EXPECT_EQ(chain[2]->kind, PlanNodeKind::kFilter);
+  EXPECT_EQ(chain[3]->kind, PlanNodeKind::kPoissonResample);
+  EXPECT_EQ(chain[4]->kind, PlanNodeKind::kScan);
+}
+
+TEST(RewriterTest, DiagnosticSetsAddDiagnosticOperator) {
+  PlanNodePtr plan = BuildQueryPlan(MakeQuery());
+  ResampleSpec spec = MakeResampleSpec();
+  spec.diagnostic_sets = {{100, 50, 20}};
+  Result<PlanNodePtr> rewritten =
+      RewriteForErrorEstimation(plan, spec, RewriteOptions{true, true});
+  ASSERT_TRUE(rewritten.ok());
+  EXPECT_EQ((*rewritten)->kind, PlanNodeKind::kDiagnostic);
+}
+
+TEST(RewriterTest, RejectsNonAggregateTop) {
+  PlanNodePtr scan = ScanNode("t");
+  Result<PlanNodePtr> rewritten = RewriteForErrorEstimation(
+      scan, MakeResampleSpec(), RewriteOptions{true, true});
+  EXPECT_FALSE(rewritten.ok());
+  EXPECT_FALSE(
+      RewriteForErrorEstimation(nullptr, MakeResampleSpec(), {}).ok());
+}
+
+TEST(RewriterTest, ProfileConsolidatedVsBaseline) {
+  ResampleSpec spec;
+  spec.bootstrap_replicates = 100;
+  spec.diagnostic_sets = {{1000, 100, 100}, {2000, 100, 100},
+                          {4000, 100, 100}};
+  // Baseline (§5.2): 1 + 100 + 3 * 100 * 100 = 30,101 subqueries, exactly
+  // the paper's "hundreds of bootstrap queries and tens of thousands of
+  // small diagnostic queries".
+  PlanProfile baseline = BaselineProfile(spec);
+  EXPECT_EQ(baseline.num_subqueries, 1 + 100 + 30000);
+  EXPECT_EQ(baseline.base_scans, baseline.num_subqueries);
+  EXPECT_EQ(baseline.weight_columns, 0);
+
+  PlanNodePtr plan = BuildQueryPlan(MakeQuery());
+  Result<PlanNodePtr> rewritten =
+      RewriteForErrorEstimation(plan, spec, RewriteOptions{true, true});
+  ASSERT_TRUE(rewritten.ok());
+  PlanProfile consolidated = ProfilePlan(*rewritten);
+  EXPECT_EQ(consolidated.num_subqueries, 1);
+  EXPECT_EQ(consolidated.base_scans, 1);
+  EXPECT_EQ(consolidated.weight_columns, 400);
+  EXPECT_TRUE(consolidated.weights_attached_after_passthrough);
+  EXPECT_TRUE(consolidated.has_diagnostic);
+}
+
+TEST(RewriterTest, ProfileNaivePlacementAttachesWeightsEverywhere) {
+  PlanNodePtr plan = BuildQueryPlan(MakeQuery());
+  Result<PlanNodePtr> rewritten = RewriteForErrorEstimation(
+      plan, MakeResampleSpec(), RewriteOptions{true, false});
+  ASSERT_TRUE(rewritten.ok());
+  PlanProfile profile = ProfilePlan(*rewritten);
+  EXPECT_FALSE(profile.weights_attached_after_passthrough);
+}
+
+// ---------------------------------------------------------------------------
+// Interpreter
+// ---------------------------------------------------------------------------
+
+TEST(InterpreterTest, PlainPlanMatchesExecutor) {
+  Table data = MakeTable(2000, 1);
+  QuerySpec q = MakeQuery();
+  PlanNodePtr plan = BuildQueryPlan(q);
+  Result<PlanExecutionResult> via_plan = ExecutePlan(plan, data, 1.0, 7);
+  Result<double> via_exec = ExecutePlainAggregate(data, q, 1.0);
+  ASSERT_TRUE(via_plan.ok() && via_exec.ok());
+  EXPECT_DOUBLE_EQ(via_plan->estimate, *via_exec);
+  EXPECT_TRUE(via_plan->replicates.empty());
+  EXPECT_FALSE(via_plan->has_ci);
+}
+
+TEST(InterpreterTest, RewrittenPlanProducesReplicatesAndCi) {
+  Table data = MakeTable(2000, 2);
+  PlanNodePtr plan = BuildQueryPlan(MakeQuery());
+  Result<PlanNodePtr> rewritten = RewriteForErrorEstimation(
+      plan, MakeResampleSpec(30), RewriteOptions{true, true});
+  ASSERT_TRUE(rewritten.ok());
+  Result<PlanExecutionResult> result = ExecutePlan(*rewritten, data, 1.0, 8);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->replicates.size(), 30u);
+  EXPECT_TRUE(result->has_ci);
+  EXPECT_DOUBLE_EQ(result->ci.center, result->estimate);
+  EXPECT_GT(result->ci.half_width, 0.0);
+}
+
+TEST(InterpreterTest, PushdownEquivalence) {
+  // The core §5.3.2 correctness claim: moving the resampler across
+  // pass-through operators does not change results. With deterministic
+  // per-(row, replicate) weights the results are bit-identical.
+  Table data = MakeTable(3000, 3);
+  PlanNodePtr plan = BuildQueryPlan(MakeQuery());
+  Result<PlanNodePtr> pushed = RewriteForErrorEstimation(
+      plan, MakeResampleSpec(25), RewriteOptions{true, true});
+  Result<PlanNodePtr> naive = RewriteForErrorEstimation(
+      plan, MakeResampleSpec(25), RewriteOptions{true, false});
+  ASSERT_TRUE(pushed.ok() && naive.ok());
+  Result<PlanExecutionResult> a = ExecutePlan(*pushed, data, 1.0, 99);
+  Result<PlanExecutionResult> b = ExecutePlan(*naive, data, 1.0, 99);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_DOUBLE_EQ(a->estimate, b->estimate);
+  ASSERT_EQ(a->replicates.size(), b->replicates.size());
+  for (size_t i = 0; i < a->replicates.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a->replicates[i], b->replicates[i]) << "replicate " << i;
+  }
+  EXPECT_DOUBLE_EQ(a->ci.half_width, b->ci.half_width);
+}
+
+TEST(InterpreterTest, PushdownEquivalenceAcrossAggregates) {
+  Table data = MakeTable(1500, 4);
+  for (AggregateKind kind :
+       {AggregateKind::kSum, AggregateKind::kCount, AggregateKind::kMax,
+        AggregateKind::kPercentile}) {
+    QuerySpec q = MakeQuery();
+    q.aggregate.kind = kind;
+    if (kind == AggregateKind::kCount) q.aggregate.input = nullptr;
+    PlanNodePtr plan = BuildQueryPlan(q);
+    Result<PlanNodePtr> pushed = RewriteForErrorEstimation(
+        plan, MakeResampleSpec(15), RewriteOptions{true, true});
+    Result<PlanNodePtr> naive = RewriteForErrorEstimation(
+        plan, MakeResampleSpec(15), RewriteOptions{true, false});
+    ASSERT_TRUE(pushed.ok() && naive.ok());
+    Result<PlanExecutionResult> a = ExecutePlan(*pushed, data, 2.0, 31);
+    Result<PlanExecutionResult> b = ExecutePlan(*naive, data, 2.0, 31);
+    ASSERT_TRUE(a.ok() && b.ok()) << AggregateKindName(kind);
+    ASSERT_EQ(a->replicates.size(), b->replicates.size());
+    for (size_t i = 0; i < a->replicates.size(); ++i) {
+      EXPECT_DOUBLE_EQ(a->replicates[i], b->replicates[i])
+          << AggregateKindName(kind) << " replicate " << i;
+    }
+  }
+}
+
+TEST(InterpreterTest, ProjectAddsComputedColumn) {
+  Table data = MakeTable(500, 5);
+  PlanNodePtr plan = ScanNode("t");
+  plan = ProjectNode(plan, "v2", Mul(ColumnRef("v"), Literal(2.0)));
+  AggregateSpec agg;
+  agg.kind = AggregateKind::kAvg;
+  agg.input = ColumnRef("v2");
+  plan = AggregateNode(plan, agg);
+  Result<PlanExecutionResult> result = ExecutePlan(plan, data, 1.0, 6);
+  ASSERT_TRUE(result.ok());
+
+  QuerySpec q;
+  q.table = "t";
+  q.aggregate.kind = AggregateKind::kAvg;
+  q.aggregate.input = ColumnRef("v");
+  Result<double> base = ExecutePlainAggregate(data, q, 1.0);
+  ASSERT_TRUE(base.ok());
+  EXPECT_NEAR(result->estimate, 2.0 * *base, 1e-9);
+}
+
+TEST(InterpreterTest, ErrorPaths) {
+  Table data = MakeTable(100, 6);
+  // No aggregate.
+  EXPECT_FALSE(ExecutePlan(ScanNode("t"), data, 1.0, 1).ok());
+  // Weighted aggregate without resample.
+  AggregateSpec agg;
+  agg.kind = AggregateKind::kAvg;
+  agg.input = ColumnRef("v");
+  PlanNodePtr bad = WeightedAggregateNode(ScanNode("t"), agg);
+  EXPECT_FALSE(ExecutePlan(bad, data, 1.0, 1).ok());
+  // Bootstrap without replicates.
+  PlanNodePtr no_reps = BootstrapNode(AggregateNode(ScanNode("t"), agg), 0.95);
+  EXPECT_FALSE(ExecutePlan(no_reps, data, 1.0, 1).ok());
+  // Two resamplers.
+  PlanNodePtr twice = ResampleNode(
+      ResampleNode(ScanNode("t"), MakeResampleSpec(5)), MakeResampleSpec(5));
+  PlanNodePtr twice_agg = WeightedAggregateNode(twice, agg);
+  EXPECT_FALSE(ExecutePlan(twice_agg, data, 1.0, 1).ok());
+  // Null plan.
+  EXPECT_FALSE(ExecutePlan(nullptr, data, 1.0, 1).ok());
+}
+
+TEST(InterpreterTest, DiagnosticOperatorFlagsRequest) {
+  Table data = MakeTable(1000, 7);
+  PlanNodePtr plan = BuildQueryPlan(MakeQuery());
+  ResampleSpec spec = MakeResampleSpec(10);
+  spec.diagnostic_sets = {{50, 10, 10}};
+  Result<PlanNodePtr> rewritten =
+      RewriteForErrorEstimation(plan, spec, RewriteOptions{true, true});
+  ASSERT_TRUE(rewritten.ok());
+  Result<PlanExecutionResult> result = ExecutePlan(*rewritten, data, 1.0, 8);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->diagnostic_requested);
+}
+
+TEST(InterpreterTest, DeterministicAcrossRuns) {
+  Table data = MakeTable(800, 8);
+  PlanNodePtr plan = BuildQueryPlan(MakeQuery());
+  Result<PlanNodePtr> rewritten = RewriteForErrorEstimation(
+      plan, MakeResampleSpec(10), RewriteOptions{true, true});
+  ASSERT_TRUE(rewritten.ok());
+  Result<PlanExecutionResult> a = ExecutePlan(*rewritten, data, 1.0, 123);
+  Result<PlanExecutionResult> b = ExecutePlan(*rewritten, data, 1.0, 123);
+  Result<PlanExecutionResult> c = ExecutePlan(*rewritten, data, 1.0, 124);
+  ASSERT_TRUE(a.ok() && b.ok() && c.ok());
+  EXPECT_EQ(a->replicates, b->replicates);
+  EXPECT_NE(a->replicates, c->replicates);
+}
+
+}  // namespace
+}  // namespace aqp

@@ -1,0 +1,235 @@
+// Property-based parameterized sweeps over the estimation stack's core
+// invariants:
+//   1. weighted aggregation == physical row duplication, for every
+//      aggregate kind and data distribution;
+//   2. the Poissonized multi-resample replicate distribution matches exact
+//      multinomial resampling in location and spread;
+//   3. closed-form confidence intervals achieve ~nominal coverage for every
+//      CLT-amenable aggregate on light-tailed data;
+//   4. bootstrap and closed-form half-widths agree where both apply.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <string>
+#include <tuple>
+
+#include "estimation/bootstrap.h"
+#include "estimation/closed_form.h"
+#include "exec/executor.h"
+#include "sampling/sampler.h"
+#include "storage/table.h"
+#include "util/random.h"
+#include "util/stats.h"
+
+namespace aqp {
+namespace {
+
+enum class Distribution { kGaussian, kExponential, kUniform, kLognormal };
+
+const char* DistributionName(Distribution d) {
+  switch (d) {
+    case Distribution::kGaussian:
+      return "gaussian";
+    case Distribution::kExponential:
+      return "exponential";
+    case Distribution::kUniform:
+      return "uniform";
+    case Distribution::kLognormal:
+      return "lognormal";
+  }
+  return "?";
+}
+
+double Draw(Distribution d, Rng& rng) {
+  switch (d) {
+    case Distribution::kGaussian:
+      return rng.NextGaussian(100.0, 15.0);
+    case Distribution::kExponential:
+      return rng.NextExponential(0.01);
+    case Distribution::kUniform:
+      return rng.NextDoubleInRange(-50.0, 50.0);
+    case Distribution::kLognormal:
+      return rng.NextLognormal(2.0, 0.8);
+  }
+  return 0.0;
+}
+
+std::shared_ptr<const Table> MakeTable(Distribution d, int64_t rows,
+                                       uint64_t seed) {
+  Rng rng(seed);
+  auto t = std::make_shared<Table>("t");
+  Column v = Column::MakeDouble("v");
+  for (int64_t i = 0; i < rows; ++i) v.AppendDouble(Draw(d, rng));
+  (void)t->AddColumn(std::move(v));
+  return t;
+}
+
+QuerySpec MakeQuery(AggregateKind kind) {
+  QuerySpec q;
+  q.table = "t";
+  q.aggregate.kind = kind;
+  q.aggregate.input = ColumnRef("v");
+  q.aggregate.percentile = 0.75;
+  return q;
+}
+
+// ---------------------------------------------------------------------------
+// 1. Weighted aggregation == duplication, across kinds x distributions.
+// ---------------------------------------------------------------------------
+
+using KindDist = std::tuple<AggregateKind, Distribution>;
+
+class WeightedEqualsDuplicated : public ::testing::TestWithParam<KindDist> {};
+
+TEST_P(WeightedEqualsDuplicated, Holds) {
+  auto [kind, dist] = GetParam();
+  auto table = MakeTable(dist, 500, 1 + static_cast<uint64_t>(dist) * 7 +
+                                       static_cast<uint64_t>(kind));
+  QuerySpec q = MakeQuery(kind);
+  Result<PreparedQuery> prepared = PrepareQuery(*table, q);
+  ASSERT_TRUE(prepared.ok());
+  Rng rng(2);
+  std::vector<double> weights(500);
+  std::vector<int64_t> expanded;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    int w = static_cast<int>(rng.NextInt(4));
+    weights[i] = w;
+    for (int d = 0; d < w; ++d) expanded.push_back(static_cast<int64_t>(i));
+  }
+  Result<double> weighted =
+      ComputeWeightedAggregate(*prepared, q.aggregate, 3.0, weights.data());
+  Table materialized = table->GatherRows(expanded);
+  Result<double> duplicated = ExecutePlainAggregate(materialized, q, 3.0);
+  ASSERT_TRUE(weighted.ok());
+  ASSERT_TRUE(duplicated.ok());
+  EXPECT_NEAR(*weighted, *duplicated, 1e-8 * (1.0 + std::abs(*duplicated)));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllKindsAndDistributions, WeightedEqualsDuplicated,
+    ::testing::Combine(
+        ::testing::Values(AggregateKind::kCount, AggregateKind::kSum,
+                          AggregateKind::kAvg, AggregateKind::kVariance,
+                          AggregateKind::kStddev, AggregateKind::kMin,
+                          AggregateKind::kMax, AggregateKind::kPercentile),
+        ::testing::Values(Distribution::kGaussian, Distribution::kExponential,
+                          Distribution::kUniform, Distribution::kLognormal)),
+    [](const ::testing::TestParamInfo<KindDist>& info) {
+      return std::string(AggregateKindName(std::get<0>(info.param))) + "_" +
+             DistributionName(std::get<1>(info.param));
+    });
+
+// ---------------------------------------------------------------------------
+// 2. Poissonized replicate distribution == exact multinomial resampling.
+// ---------------------------------------------------------------------------
+
+class ResamplingEquivalence : public ::testing::TestWithParam<AggregateKind> {
+};
+
+TEST_P(ResamplingEquivalence, LocationAndSpreadAgree) {
+  AggregateKind kind = GetParam();
+  auto table = MakeTable(Distribution::kLognormal, 3000,
+                         10 + static_cast<uint64_t>(kind));
+  QuerySpec q = MakeQuery(kind);
+  Rng rng(11);
+  Result<std::vector<double>> poissonized =
+      ExecuteMultiResample(*table, q, 1.0, 200, rng);
+  Result<std::vector<double>> exact =
+      ExecuteMultiResampleExact(*table, q, 1.0, 200, rng);
+  ASSERT_TRUE(poissonized.ok() && exact.ok());
+  double sd_exact = SampleStddev(*exact);
+  ASSERT_GT(sd_exact, 0.0);
+  EXPECT_NEAR(Mean(*poissonized), Mean(*exact), 4.0 * sd_exact / 10.0)
+      << AggregateKindName(kind);
+  EXPECT_NEAR(SampleStddev(*poissonized) / sd_exact, 1.0, 0.4)
+      << AggregateKindName(kind);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SmoothAggregates, ResamplingEquivalence,
+    ::testing::Values(AggregateKind::kSum, AggregateKind::kAvg,
+                      AggregateKind::kVariance, AggregateKind::kStddev,
+                      AggregateKind::kPercentile),
+    [](const ::testing::TestParamInfo<AggregateKind>& info) {
+      return AggregateKindName(info.param);
+    });
+
+// ---------------------------------------------------------------------------
+// 3. Closed-form coverage across CLT-amenable aggregates.
+// ---------------------------------------------------------------------------
+
+class ClosedFormCoverage : public ::testing::TestWithParam<AggregateKind> {};
+
+TEST_P(ClosedFormCoverage, NearNominal) {
+  AggregateKind kind = GetParam();
+  auto population = MakeTable(Distribution::kGaussian, 100000,
+                              20 + static_cast<uint64_t>(kind));
+  QuerySpec q = MakeQuery(kind);
+  if (kind == AggregateKind::kCount) {
+    q.aggregate.input = nullptr;
+    q.filter = Gt(ColumnRef("v"), Literal(100.0));
+  }
+  Result<double> theta_d = ExecutePlainAggregate(*population, q, 1.0);
+  ASSERT_TRUE(theta_d.ok());
+  ClosedFormEstimator estimator;
+  Rng rng(21);
+  int covered = 0;
+  constexpr int kTrials = 200;
+  for (int i = 0; i < kTrials; ++i) {
+    Result<Sample> s = CreateUniformSample(population, 3000, true, rng);
+    ASSERT_TRUE(s.ok());
+    Result<ConfidenceInterval> ci =
+        estimator.Estimate(*s->data, q, s->scale_factor(), 0.95, rng);
+    ASSERT_TRUE(ci.ok());
+    if (ci->Contains(*theta_d)) ++covered;
+  }
+  double coverage = covered / static_cast<double>(kTrials);
+  EXPECT_GE(coverage, 0.88) << AggregateKindName(kind);
+  EXPECT_LE(coverage, 1.0) << AggregateKindName(kind);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    CltAmenable, ClosedFormCoverage,
+    ::testing::Values(AggregateKind::kAvg, AggregateKind::kSum,
+                      AggregateKind::kCount, AggregateKind::kVariance,
+                      AggregateKind::kStddev),
+    [](const ::testing::TestParamInfo<AggregateKind>& info) {
+      return AggregateKindName(info.param);
+    });
+
+// ---------------------------------------------------------------------------
+// 4. Bootstrap ~= closed form where both apply, across distributions.
+// ---------------------------------------------------------------------------
+
+class BootstrapMatchesClosedForm
+    : public ::testing::TestWithParam<Distribution> {};
+
+TEST_P(BootstrapMatchesClosedForm, HalfWidthsAgree) {
+  Distribution dist = GetParam();
+  auto population = MakeTable(dist, 100000, 30 + static_cast<uint64_t>(dist));
+  QuerySpec q = MakeQuery(AggregateKind::kAvg);
+  ClosedFormEstimator closed;
+  BootstrapEstimator bootstrap(150);
+  Rng rng(31);
+  Result<Sample> s = CreateUniformSample(population, 5000, true, rng);
+  ASSERT_TRUE(s.ok());
+  Result<ConfidenceInterval> a =
+      closed.Estimate(*s->data, q, s->scale_factor(), 0.95, rng);
+  Result<ConfidenceInterval> b =
+      bootstrap.Estimate(*s->data, q, s->scale_factor(), 0.95, rng);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_NEAR(b->half_width / a->half_width, 1.0, 0.3)
+      << DistributionName(dist);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Distributions, BootstrapMatchesClosedForm,
+    ::testing::Values(Distribution::kGaussian, Distribution::kExponential,
+                      Distribution::kUniform, Distribution::kLognormal),
+    [](const ::testing::TestParamInfo<Distribution>& info) {
+      return DistributionName(info.param);
+    });
+
+}  // namespace
+}  // namespace aqp

@@ -1,0 +1,242 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+
+#include "sampling/poisson_resample.h"
+#include "sampling/sampler.h"
+#include "storage/table.h"
+#include "util/random.h"
+#include "util/stats.h"
+
+namespace aqp {
+namespace {
+
+std::shared_ptr<const Table> MakeSequentialTable(int64_t rows) {
+  auto t = std::make_shared<Table>("seq");
+  Column v = Column::MakeDouble("v");
+  for (int64_t i = 0; i < rows; ++i) v.AppendDouble(static_cast<double>(i));
+  EXPECT_TRUE(t->AddColumn(std::move(v)).ok());
+  return t;
+}
+
+// ---------------------------------------------------------------------------
+// CreateUniformSample
+// ---------------------------------------------------------------------------
+
+TEST(SamplerTest, WithoutReplacementDistinctRows) {
+  auto t = MakeSequentialTable(1000);
+  Rng rng(1);
+  Result<Sample> s = CreateUniformSample(t, 100, false, rng);
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(s->num_rows(), 100);
+  EXPECT_EQ(s->population_rows, 1000);
+  EXPECT_DOUBLE_EQ(s->fraction(), 0.1);
+  EXPECT_DOUBLE_EQ(s->scale_factor(), 10.0);
+  Result<const Column*> v = s->data->ColumnByName("v");
+  ASSERT_TRUE(v.ok());
+  std::set<double> unique((*v)->doubles().begin(), (*v)->doubles().end());
+  EXPECT_EQ(unique.size(), 100u);
+}
+
+TEST(SamplerTest, WithReplacementAllowsOversampling) {
+  auto t = MakeSequentialTable(10);
+  Rng rng(2);
+  Result<Sample> s = CreateUniformSample(t, 50, true, rng);
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(s->num_rows(), 50);
+}
+
+TEST(SamplerTest, WithoutReplacementOversamplingFails) {
+  auto t = MakeSequentialTable(10);
+  Rng rng(3);
+  Result<Sample> s = CreateUniformSample(t, 50, false, rng);
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(SamplerTest, NullAndNegativeInputsRejected) {
+  Rng rng(4);
+  EXPECT_FALSE(CreateUniformSample(nullptr, 1, true, rng).ok());
+  auto t = MakeSequentialTable(10);
+  EXPECT_FALSE(CreateUniformSample(t, -1, true, rng).ok());
+}
+
+TEST(SamplerTest, SampleMeanApproximatesPopulationMean) {
+  auto t = MakeSequentialTable(100000);  // mean ~ 49999.5
+  Rng rng(5);
+  Result<Sample> s = CreateUniformSample(t, 20000, false, rng);
+  ASSERT_TRUE(s.ok());
+  Result<const Column*> v = s->data->ColumnByName("v");
+  ASSERT_TRUE(v.ok());
+  EXPECT_NEAR(Mean((*v)->doubles()), 49999.5, 600.0);
+}
+
+TEST(SamplerTest, SampleOrderIsShuffled) {
+  // Consecutive physical slices must be unbiased samples (paper §5.1): the
+  // first half's mean should match the second half's.
+  auto t = MakeSequentialTable(100000);
+  Rng rng(6);
+  Result<Sample> s = CreateUniformSample(t, 20000, false, rng);
+  ASSERT_TRUE(s.ok());
+  Result<const Column*> v = s->data->ColumnByName("v");
+  ASSERT_TRUE(v.ok());
+  const std::vector<double>& values = (*v)->doubles();
+  std::vector<double> first(values.begin(), values.begin() + 10000);
+  std::vector<double> second(values.begin() + 10000, values.end());
+  EXPECT_NEAR(Mean(first), Mean(second), 1500.0);
+}
+
+// ---------------------------------------------------------------------------
+// Poissonized resampling
+// ---------------------------------------------------------------------------
+
+TEST(PoissonResampleTest, WeightsHaveUnitMeanAndVariance) {
+  Rng rng(7);
+  std::vector<int32_t> w = GeneratePoissonWeights(200000, rng);
+  std::vector<double> wd(w.begin(), w.end());
+  EXPECT_NEAR(Mean(wd), 1.0, 0.01);
+  EXPECT_NEAR(SampleVariance(wd), 1.0, 0.02);
+}
+
+TEST(PoissonResampleTest, RateParameterScalesMean) {
+  Rng rng(8);
+  std::vector<int32_t> w = GeneratePoissonWeights(100000, rng, 2.5);
+  std::vector<double> wd(w.begin(), w.end());
+  EXPECT_NEAR(Mean(wd), 2.5, 0.05);
+}
+
+TEST(PoissonResampleTest, ResampleSizeConcentration) {
+  // Paper §5.1: for |S| = 10,000, P(size in [9500, 10500]) ~ 0.9999994.
+  // With 200 draws we should essentially never leave the band.
+  Rng rng(9);
+  int out_of_band = 0;
+  for (int trial = 0; trial < 200; ++trial) {
+    std::vector<int32_t> w = GeneratePoissonWeights(10000, rng);
+    int64_t total = 0;
+    for (int32_t x : w) total += x;
+    if (total < 9500 || total > 10500) ++out_of_band;
+  }
+  EXPECT_EQ(out_of_band, 0);
+}
+
+TEST(PoissonResampleTest, ResampleSizeSpreadMatchesSqrtN) {
+  Rng rng(10);
+  constexpr int64_t kN = 10000;
+  std::vector<double> sizes;
+  for (int trial = 0; trial < 300; ++trial) {
+    std::vector<int32_t> w = GeneratePoissonWeights(kN, rng);
+    int64_t total = 0;
+    for (int32_t x : w) total += x;
+    sizes.push_back(static_cast<double>(total));
+  }
+  EXPECT_NEAR(Mean(sizes), static_cast<double>(kN), 25.0);
+  EXPECT_NEAR(SampleStddev(sizes), 100.0, 20.0);  // sqrt(10000) = 100.
+}
+
+TEST(WeightMatrixTest, ShapeAndDeterminism) {
+  Rng a(11);
+  Rng b(11);
+  WeightMatrix wa(10, 500, a);
+  WeightMatrix wb(10, 500, b);
+  EXPECT_EQ(wa.num_resamples(), 10);
+  EXPECT_EQ(wa.num_rows(), 500);
+  for (int64_t r = 0; r < 10; ++r) {
+    for (int64_t i = 0; i < 500; ++i) {
+      EXPECT_EQ(wa.At(r, i), wb.At(r, i));
+    }
+  }
+}
+
+TEST(WeightMatrixTest, ResampleSizesNearN) {
+  Rng rng(12);
+  WeightMatrix w(20, 5000, rng);
+  for (int64_t r = 0; r < 20; ++r) {
+    EXPECT_NEAR(static_cast<double>(w.ResampleSize(r)), 5000.0, 400.0);
+  }
+}
+
+TEST(ExactResampleTest, IndicesInRangeAndExactCount) {
+  Rng rng(13);
+  std::vector<int64_t> idx = ExactResampleIndices(1000, rng);
+  EXPECT_EQ(idx.size(), 1000u);
+  for (int64_t i : idx) {
+    EXPECT_GE(i, 0);
+    EXPECT_LT(i, 1000);
+  }
+}
+
+TEST(PoissonOneWeightTest, MatchesPoissonOnePmf) {
+  Rng rng(14);
+  constexpr int kDraws = 300000;
+  std::vector<int> histogram(8, 0);
+  for (int i = 0; i < kDraws; ++i) {
+    int32_t w = PoissonOneWeight(rng);
+    if (w < 8) ++histogram[static_cast<size_t>(w)];
+  }
+  // P(k) = e^-1 / k!.
+  const double kExpected[] = {0.3679, 0.3679, 0.1839, 0.0613, 0.0153};
+  for (int k = 0; k < 5; ++k) {
+    EXPECT_NEAR(histogram[static_cast<size_t>(k)] /
+                    static_cast<double>(kDraws),
+                kExpected[k], 0.004)
+        << "k=" << k;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// SampleStore
+// ---------------------------------------------------------------------------
+
+TEST(SampleStoreTest, SelectsSmallestSufficientSample) {
+  auto t = MakeSequentialTable(10000);
+  Rng rng(15);
+  SampleStore store;
+  for (int64_t n : {100, 1000, 5000}) {
+    Result<Sample> s = CreateUniformSample(t, n, false, rng);
+    ASSERT_TRUE(s.ok());
+    store.Add("seq", std::move(s).value());
+  }
+  Result<const Sample*> pick = store.SelectAtLeast("seq", 500);
+  ASSERT_TRUE(pick.ok());
+  EXPECT_EQ((*pick)->num_rows(), 1000);
+}
+
+TEST(SampleStoreTest, FallsBackToLargest) {
+  auto t = MakeSequentialTable(10000);
+  Rng rng(16);
+  SampleStore store;
+  Result<Sample> s = CreateUniformSample(t, 100, false, rng);
+  ASSERT_TRUE(s.ok());
+  store.Add("seq", std::move(s).value());
+  Result<const Sample*> pick = store.SelectAtLeast("seq", 99999);
+  ASSERT_TRUE(pick.ok());
+  EXPECT_EQ((*pick)->num_rows(), 100);
+}
+
+TEST(SampleStoreTest, MissingTable) {
+  SampleStore store;
+  EXPECT_FALSE(store.HasSamples("nope"));
+  EXPECT_EQ(store.SelectAtLeast("nope", 1).status().code(),
+            StatusCode::kNotFound);
+  EXPECT_TRUE(store.SamplesFor("nope").empty());
+}
+
+TEST(SampleStoreTest, SamplesSortedAscending) {
+  auto t = MakeSequentialTable(10000);
+  Rng rng(17);
+  SampleStore store;
+  for (int64_t n : {5000, 100, 1000}) {  // Insert out of order.
+    Result<Sample> s = CreateUniformSample(t, n, false, rng);
+    ASSERT_TRUE(s.ok());
+    store.Add("seq", std::move(s).value());
+  }
+  std::vector<const Sample*> all = store.SamplesFor("seq");
+  ASSERT_EQ(all.size(), 3u);
+  EXPECT_EQ(all[0]->num_rows(), 100);
+  EXPECT_EQ(all[1]->num_rows(), 1000);
+  EXPECT_EQ(all[2]->num_rows(), 5000);
+}
+
+}  // namespace
+}  // namespace aqp

@@ -1,0 +1,167 @@
+// Tests for the single-scan §5.3.1 pipeline: one pass producing the answer,
+// the bootstrap CI, and the full diagnostic.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "diagnostics/single_scan.h"
+#include "estimation/bootstrap.h"
+#include "exec/executor.h"
+#include "sampling/sampler.h"
+#include "storage/table.h"
+#include "util/random.h"
+
+namespace aqp {
+namespace {
+
+std::shared_ptr<const Table> MakeColumnTable(const char* name, int64_t rows,
+                                             uint64_t seed,
+                                             double (*draw)(Rng&)) {
+  Rng rng(seed);
+  auto t = std::make_shared<Table>(name);
+  Column v = Column::MakeDouble("v");
+  for (int64_t i = 0; i < rows; ++i) v.AppendDouble(draw(rng));
+  EXPECT_TRUE(t->AddColumn(std::move(v)).ok());
+  return t;
+}
+
+double DrawGaussian(Rng& rng) { return rng.NextGaussian(100.0, 15.0); }
+double DrawPareto(Rng& rng) { return rng.NextPareto(1.0, 1.05); }
+
+QuerySpec MakeQuery(const char* table, AggregateKind kind) {
+  QuerySpec q;
+  q.table = table;
+  q.aggregate.kind = kind;
+  q.aggregate.input = ColumnRef("v");
+  return q;
+}
+
+Sample DrawSample(const std::shared_ptr<const Table>& population, int64_t n,
+                  uint64_t seed) {
+  Rng rng(seed);
+  return std::move(CreateUniformSample(population, n, false, rng)).value();
+}
+
+TEST(SingleScanTest, AnswerMatchesPlainExecution) {
+  auto population = MakeColumnTable("g", 200000, 1, DrawGaussian);
+  Sample sample = DrawSample(population, 20000, 2);
+  QuerySpec q = MakeQuery("g", AggregateKind::kAvg);
+  q.filter = Gt(ColumnRef("v"), Literal(90.0));
+  DiagnosticConfig config;
+  config.num_subsamples = 50;
+  Rng rng(3);
+  Result<SingleScanResult> r = RunSingleScanPipeline(
+      *sample.data, q, sample.population_rows, 100, 60, config,
+      BootstrapCiMode::kNormalApprox, rng);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  Result<double> plain = ExecutePlainAggregate(
+      *sample.data, q,
+      static_cast<double>(sample.population_rows) / sample.num_rows());
+  ASSERT_TRUE(plain.ok());
+  EXPECT_DOUBLE_EQ(r->theta, *plain);
+  EXPECT_DOUBLE_EQ(r->ci.center, *plain);
+}
+
+TEST(SingleScanTest, CiMatchesTwoPhaseBootstrapStatistically) {
+  auto population = MakeColumnTable("g", 200000, 4, DrawGaussian);
+  Sample sample = DrawSample(population, 20000, 5);
+  QuerySpec q = MakeQuery("g", AggregateKind::kAvg);
+  DiagnosticConfig config;
+  config.num_subsamples = 50;
+  Rng rng(6);
+  Result<SingleScanResult> single = RunSingleScanPipeline(
+      *sample.data, q, sample.population_rows, 200, 60, config,
+      BootstrapCiMode::kNormalApprox, rng);
+  ASSERT_TRUE(single.ok());
+  BootstrapEstimator bootstrap(200);
+  Result<ConfidenceInterval> two_phase = bootstrap.Estimate(
+      *sample.data, q,
+      static_cast<double>(sample.population_rows) / sample.num_rows(), 0.95,
+      rng);
+  ASSERT_TRUE(two_phase.ok());
+  EXPECT_NEAR(single->ci.half_width / two_phase->half_width, 1.0, 0.25);
+}
+
+TEST(SingleScanTest, DiagnosticDecisionsMatchTwoPhase) {
+  // Accepts a benign mean; rejects a heavy-tail MAX — same verdicts as the
+  // two-phase implementation on clear-cut cases.
+  auto friendly = MakeColumnTable("g", 400000, 7, DrawGaussian);
+  Sample friendly_sample = DrawSample(friendly, 40000, 8);
+  auto hostile = MakeColumnTable("p", 400000, 9, DrawPareto);
+  Sample hostile_sample = DrawSample(hostile, 40000, 10);
+  DiagnosticConfig config;
+  Rng rng(11);
+
+  Result<SingleScanResult> accept = RunSingleScanPipeline(
+      *friendly_sample.data, MakeQuery("g", AggregateKind::kAvg),
+      friendly_sample.population_rows, 100, 100, config,
+      BootstrapCiMode::kNormalApprox, rng);
+  ASSERT_TRUE(accept.ok()) << accept.status().ToString();
+  EXPECT_TRUE(accept->diagnostic.accepted);
+  EXPECT_EQ(accept->diagnostic.per_size.size(), 3u);
+
+  Result<SingleScanResult> reject = RunSingleScanPipeline(
+      *hostile_sample.data, MakeQuery("p", AggregateKind::kMax),
+      hostile_sample.population_rows, 100, 100, config,
+      BootstrapCiMode::kNormalApprox, rng);
+  ASSERT_TRUE(reject.ok());
+  EXPECT_FALSE(reject->diagnostic.accepted);
+}
+
+TEST(SingleScanTest, StreamingAggregatesOnly) {
+  auto population = MakeColumnTable("g", 50000, 12, DrawGaussian);
+  Sample sample = DrawSample(population, 10000, 13);
+  QuerySpec q = MakeQuery("g", AggregateKind::kPercentile);
+  DiagnosticConfig config;
+  Rng rng(14);
+  Result<SingleScanResult> r = RunSingleScanPipeline(
+      *sample.data, q, sample.population_rows, 100, 60, config,
+      BootstrapCiMode::kNormalApprox, rng);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(SingleScanTest, CountScalingAndConditioning) {
+  // Filtered COUNT: answer scales to the population and the replicate
+  // spread stays near the conditioned (multinomial) width, not the inflated
+  // raw-Poisson width.
+  auto population = MakeColumnTable("g", 400000, 15, DrawGaussian);
+  Sample sample = DrawSample(population, 40000, 16);
+  QuerySpec q;
+  q.table = "g";
+  q.aggregate.kind = AggregateKind::kCount;
+  q.filter = Gt(ColumnRef("v"), Literal(100.0));  // ~50% selectivity.
+  DiagnosticConfig config;
+  config.num_subsamples = 50;
+  Rng rng(17);
+  Result<SingleScanResult> r = RunSingleScanPipeline(
+      *sample.data, q, sample.population_rows, 200, 60, config,
+      BootstrapCiMode::kNormalApprox, rng);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_NEAR(r->theta, 200000.0, 5000.0);
+  // Conditioned CI: z * scale * sqrt(n p (1-p)) = 1.96 * 10 * 100 = 1960.
+  // The unconditioned (raw Poissonized) width would be ~1.41x wider (2772).
+  EXPECT_NEAR(r->ci.half_width, 1960.0, 350.0);
+}
+
+TEST(SingleScanTest, InvalidArguments) {
+  auto population = MakeColumnTable("g", 10000, 18, DrawGaussian);
+  Sample sample = DrawSample(population, 5000, 19);
+  QuerySpec q = MakeQuery("g", AggregateKind::kAvg);
+  DiagnosticConfig config;
+  Rng rng(20);
+  EXPECT_FALSE(RunSingleScanPipeline(*sample.data, q,
+                                     sample.population_rows, 1, 60, config,
+                                     BootstrapCiMode::kNormalApprox, rng)
+                   .ok());
+  DiagnosticConfig decreasing;
+  decreasing.subsample_sizes = {400, 200, 100};
+  EXPECT_FALSE(RunSingleScanPipeline(*sample.data, q,
+                                     sample.population_rows, 100, 60,
+                                     decreasing,
+                                     BootstrapCiMode::kNormalApprox, rng)
+                   .ok());
+}
+
+}  // namespace
+}  // namespace aqp

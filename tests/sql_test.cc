@@ -1,0 +1,286 @@
+#include <gtest/gtest.h>
+
+#include "exec/executor.h"
+#include "sql/lexer.h"
+#include "sql/parser.h"
+#include "sql/rewrite_sql.h"
+#include "workload/data_gen.h"
+
+namespace aqp {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Lexer
+// ---------------------------------------------------------------------------
+
+TEST(LexerTest, BasicTokens) {
+  Result<std::vector<Token>> tokens =
+      LexSql("SELECT AVG(x) FROM t WHERE y >= 3.5");
+  ASSERT_TRUE(tokens.ok());
+  ASSERT_EQ(tokens->size(), 12u);  // 11 tokens + end.
+  EXPECT_TRUE((*tokens)[0].IsKeyword("SELECT"));
+  EXPECT_TRUE((*tokens)[1].IsKeyword("AVG"));
+  EXPECT_TRUE((*tokens)[2].IsOperator("("));
+  EXPECT_EQ((*tokens)[3].kind, TokenKind::kIdentifier);
+  EXPECT_EQ((*tokens)[3].text, "x");
+  EXPECT_TRUE((*tokens)[9].IsOperator(">="));
+  EXPECT_EQ((*tokens)[10].kind, TokenKind::kNumber);
+  EXPECT_DOUBLE_EQ((*tokens)[10].number, 3.5);
+  EXPECT_EQ(tokens->back().kind, TokenKind::kEnd);
+}
+
+TEST(LexerTest, KeywordsCaseInsensitive) {
+  Result<std::vector<Token>> tokens = LexSql("select Avg(x) from t");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_TRUE((*tokens)[0].IsKeyword("SELECT"));
+  EXPECT_TRUE((*tokens)[1].IsKeyword("AVG"));
+}
+
+TEST(LexerTest, IdentifiersPreserveCase) {
+  Result<std::vector<Token>> tokens = LexSql("SELECT AVG(SessionTime) FROM t");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[3].text, "SessionTime");
+}
+
+TEST(LexerTest, StringLiteralsAndEscapes) {
+  Result<std::vector<Token>> tokens = LexSql("'NYC' 'it''s'");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].kind, TokenKind::kString);
+  EXPECT_EQ((*tokens)[0].text, "NYC");
+  EXPECT_EQ((*tokens)[1].text, "it's");
+}
+
+TEST(LexerTest, UnterminatedStringFails) {
+  EXPECT_FALSE(LexSql("WHERE city = 'NYC").ok());
+}
+
+TEST(LexerTest, UnexpectedCharacterFails) {
+  EXPECT_FALSE(LexSql("SELECT # FROM t").ok());
+}
+
+TEST(LexerTest, TwoCharOperators) {
+  Result<std::vector<Token>> tokens = LexSql("a <= b >= c != d <> e");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_TRUE((*tokens)[1].IsOperator("<="));
+  EXPECT_TRUE((*tokens)[3].IsOperator(">="));
+  EXPECT_TRUE((*tokens)[5].IsOperator("!="));
+  EXPECT_TRUE((*tokens)[7].IsOperator("!="));  // <> normalizes to !=.
+}
+
+// ---------------------------------------------------------------------------
+// Parser: structure
+// ---------------------------------------------------------------------------
+
+TEST(ParserTest, MinimalQuery) {
+  Result<ParsedQuery> parsed = ParseSql("SELECT COUNT(*) FROM events");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->query.table, "events");
+  EXPECT_EQ(parsed->query.aggregate.kind, AggregateKind::kCount);
+  EXPECT_EQ(parsed->query.aggregate.input, nullptr);
+  EXPECT_EQ(parsed->query.filter, nullptr);
+  EXPECT_TRUE(parsed->group_by.empty());
+}
+
+TEST(ParserTest, AllAggregates) {
+  const struct {
+    const char* sql;
+    AggregateKind kind;
+  } cases[] = {
+      {"SELECT COUNT(x) FROM t", AggregateKind::kCount},
+      {"SELECT SUM(x) FROM t", AggregateKind::kSum},
+      {"SELECT AVG(x) FROM t", AggregateKind::kAvg},
+      {"SELECT VARIANCE(x) FROM t", AggregateKind::kVariance},
+      {"SELECT STDEV(x) FROM t", AggregateKind::kStddev},
+      {"SELECT MIN(x) FROM t", AggregateKind::kMin},
+      {"SELECT MAX(x) FROM t", AggregateKind::kMax},
+  };
+  for (const auto& c : cases) {
+    Result<ParsedQuery> parsed = ParseSql(c.sql);
+    ASSERT_TRUE(parsed.ok()) << c.sql;
+    EXPECT_EQ(parsed->query.aggregate.kind, c.kind) << c.sql;
+    EXPECT_NE(parsed->query.aggregate.input, nullptr) << c.sql;
+  }
+}
+
+TEST(ParserTest, Percentile) {
+  Result<ParsedQuery> parsed =
+      ParseSql("SELECT PERCENTILE(latency, 0.99) FROM t");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->query.aggregate.kind, AggregateKind::kPercentile);
+  EXPECT_DOUBLE_EQ(parsed->query.aggregate.percentile, 0.99);
+  EXPECT_FALSE(ParseSql("SELECT PERCENTILE(latency, 1.5) FROM t").ok());
+  EXPECT_FALSE(ParseSql("SELECT PERCENTILE(latency) FROM t").ok());
+}
+
+TEST(ParserTest, WhereStringEquality) {
+  Result<ParsedQuery> parsed =
+      ParseSql("SELECT AVG(time) FROM sessions WHERE city = 'NYC'");
+  ASSERT_TRUE(parsed.ok());
+  ASSERT_NE(parsed->query.filter, nullptr);
+  EXPECT_EQ(parsed->query.filter->ToString(), "(city == 'NYC')");
+}
+
+TEST(ParserTest, WhereStringInequalityAndReversed) {
+  Result<ParsedQuery> parsed =
+      ParseSql("SELECT AVG(t) FROM s WHERE city != 'SF'");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->query.filter->ToString(), "NOT (city == 'SF')");
+  parsed = ParseSql("SELECT AVG(t) FROM s WHERE 'SF' = city");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->query.filter->ToString(), "(city == 'SF')");
+}
+
+TEST(ParserTest, BooleanPrecedence) {
+  // NOT binds tighter than AND, AND tighter than OR.
+  Result<ParsedQuery> parsed = ParseSql(
+      "SELECT COUNT(*) FROM t WHERE a > 1 OR b > 2 AND NOT c > 3");
+  ASSERT_TRUE(parsed.ok());
+  std::string s = parsed->query.filter->ToString();
+  EXPECT_EQ(s, "((a > 1.000000) OR ((b > 2.000000) AND NOT (c > 3.000000)))");
+}
+
+TEST(ParserTest, ArithmeticPrecedence) {
+  Result<ParsedQuery> parsed = ParseSql("SELECT AVG(a + b * c) FROM t");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->query.aggregate.input->ToString(), "(a + (b * c))");
+  parsed = ParseSql("SELECT AVG((a + b) * c) FROM t");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->query.aggregate.input->ToString(), "((a + b) * c)");
+}
+
+TEST(ParserTest, UnaryMinus) {
+  Result<ParsedQuery> parsed =
+      ParseSql("SELECT COUNT(*) FROM t WHERE a > -5");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_NE(parsed->query.filter->ToString().find("0.000000 - 5.000000"),
+            std::string::npos);
+}
+
+TEST(ParserTest, GroupBy) {
+  Result<ParsedQuery> parsed =
+      ParseSql("SELECT SUM(bytes) FROM sessions GROUP BY city");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->group_by, "city");
+}
+
+TEST(ParserTest, UdfCallsViaRegistry) {
+  UdfRegistry registry;
+  registry.RegisterBuiltins();
+  Result<ParsedQuery> parsed = ParseSql(
+      "SELECT AVG(log1p(bytes)) FROM sessions WHERE city = 'NYC'",
+      &registry);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_TRUE(parsed->query.HasUdf());
+  EXPECT_FALSE(parsed->query.ClosedFormApplicable());
+
+  parsed = ParseSql(
+      "SELECT AVG(qoe_score(buffering_ratio, join_time_ms, bitrate_kbps)) "
+      "FROM sessions",
+      &registry);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+}
+
+TEST(ParserTest, UdfErrors) {
+  UdfRegistry registry;
+  registry.RegisterBuiltins();
+  // Unknown UDF.
+  EXPECT_FALSE(ParseSql("SELECT AVG(mystery(x)) FROM t", &registry).ok());
+  // Wrong arity.
+  EXPECT_FALSE(ParseSql("SELECT AVG(log1p(x, y)) FROM t", &registry).ok());
+  // UDF without a registry.
+  EXPECT_FALSE(ParseSql("SELECT AVG(log1p(x)) FROM t").ok());
+}
+
+TEST(ParserTest, SyntaxErrors) {
+  EXPECT_FALSE(ParseSql("").ok());
+  EXPECT_FALSE(ParseSql("SELECT FROM t").ok());
+  EXPECT_FALSE(ParseSql("SELECT AVG(x) t").ok());
+  EXPECT_FALSE(ParseSql("SELECT AVG(x) FROM").ok());
+  EXPECT_FALSE(ParseSql("SELECT AVG(x) FROM t WHERE").ok());
+  EXPECT_FALSE(ParseSql("SELECT AVG(x) FROM t GROUP city").ok());
+  EXPECT_FALSE(ParseSql("SELECT AVG(x) FROM t extra stuff").ok());
+  EXPECT_FALSE(ParseSql("SELECT AVG(x FROM t").ok());
+  // String on both sides of a comparison needs a column.
+  EXPECT_FALSE(ParseSql("SELECT COUNT(*) FROM t WHERE 'a' = 'b'").ok());
+  // String with an ordering operator.
+  EXPECT_FALSE(ParseSql("SELECT COUNT(*) FROM t WHERE city < 'NYC'").ok());
+  // Dangling string literal.
+  EXPECT_FALSE(ParseSql("SELECT COUNT(*) FROM t WHERE 'NYC'").ok());
+}
+
+// ---------------------------------------------------------------------------
+// Parsed queries actually execute
+// ---------------------------------------------------------------------------
+
+TEST(ParserTest, ParsedQueryExecutesCorrectly) {
+  auto sessions = GenerateSessionsTable(20000, 1);
+  Result<ParsedQuery> parsed = ParseSql(
+      "SELECT AVG(session_time) FROM sessions WHERE city = 'NYC'");
+  ASSERT_TRUE(parsed.ok());
+  Result<double> via_sql = ExecutePlainAggregate(*sessions, parsed->query, 1.0);
+
+  QuerySpec manual;
+  manual.table = "sessions";
+  manual.filter = StringEquals(ColumnRef("city"), "NYC");
+  manual.aggregate.kind = AggregateKind::kAvg;
+  manual.aggregate.input = ColumnRef("session_time");
+  Result<double> via_api = ExecutePlainAggregate(*sessions, manual, 1.0);
+
+  ASSERT_TRUE(via_sql.ok() && via_api.ok());
+  EXPECT_DOUBLE_EQ(*via_sql, *via_api);
+}
+
+TEST(ParserTest, ComplexConditionExecutes) {
+  auto sessions = GenerateSessionsTable(20000, 2);
+  Result<ParsedQuery> parsed = ParseSql(
+      "SELECT COUNT(*) FROM sessions "
+      "WHERE (city = 'NYC' OR city = 'SF') AND bitrate_kbps > 1000 "
+      "AND NOT content_type = 'live'");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  Result<double> count = ExecutePlainAggregate(*sessions, parsed->query, 1.0);
+  ASSERT_TRUE(count.ok());
+  EXPECT_GT(*count, 0.0);
+  EXPECT_LT(*count, 20000.0);
+}
+
+// ---------------------------------------------------------------------------
+// SQL rewrite emission
+// ---------------------------------------------------------------------------
+
+TEST(RewriteSqlTest, BaselineRewriteShape) {
+  Result<ParsedQuery> parsed = ParseSql(
+      "SELECT AVG(session_time) FROM sessions WHERE city = 'NYC'");
+  ASSERT_TRUE(parsed.ok());
+  std::string sql = EmitBaselineRewriteSql(parsed->query, 100);
+  // One outer query, 100 subqueries, 99 UNION ALLs, each with the
+  // TABLESAMPLE POISSONIZED clause (paper §5.2).
+  size_t unions = 0;
+  size_t pos = 0;
+  while ((pos = sql.find("UNION ALL", pos)) != std::string::npos) {
+    ++unions;
+    pos += 9;
+  }
+  EXPECT_EQ(unions, 99u);
+  size_t tablesamples = 0;
+  pos = 0;
+  while ((pos = sql.find("TABLESAMPLE POISSONIZED (100)", pos)) !=
+         std::string::npos) {
+    ++tablesamples;
+    pos += 10;
+  }
+  EXPECT_EQ(tablesamples, 100u);
+  EXPECT_NE(sql.find("AS error"), std::string::npos);
+}
+
+TEST(RewriteSqlTest, ConsolidatedShape) {
+  Result<ParsedQuery> parsed =
+      ParseSql("SELECT SUM(bytes) FROM sessions WHERE city = 'NYC'");
+  ASSERT_TRUE(parsed.ok());
+  std::string sql = EmitConsolidatedSql(parsed->query, 100);
+  EXPECT_NE(sql.find("single scan"), std::string::npos);
+  EXPECT_NE(sql.find("WEIGHTED_SUM"), std::string::npos);
+  EXPECT_NE(sql.find("BOOTSTRAP("), std::string::npos);
+}
+
+}  // namespace
+}  // namespace aqp

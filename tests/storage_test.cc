@@ -1,0 +1,228 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "storage/catalog.h"
+#include "storage/column.h"
+#include "storage/table.h"
+
+namespace aqp {
+namespace {
+
+Table MakeSmallTable() {
+  Table t("t");
+  Column x = Column::MakeDouble("x");
+  Column name = Column::MakeString("name");
+  const double xs[] = {1.5, -2.0, 3.25, 0.0};
+  const char* names[] = {"a", "b", "a", "c"};
+  for (int i = 0; i < 4; ++i) {
+    x.AppendDouble(xs[i]);
+    name.AppendString(names[i]);
+  }
+  EXPECT_TRUE(t.AddColumn(std::move(x)).ok());
+  EXPECT_TRUE(t.AddColumn(std::move(name)).ok());
+  return t;
+}
+
+// ---------------------------------------------------------------------------
+// Column
+// ---------------------------------------------------------------------------
+
+TEST(ColumnTest, DoubleAppendAndRead) {
+  Column c = Column::MakeDouble("v");
+  c.AppendDouble(1.0);
+  c.AppendDouble(2.5);
+  EXPECT_EQ(c.size(), 2);
+  EXPECT_TRUE(c.is_numeric());
+  EXPECT_DOUBLE_EQ(c.DoubleAt(0), 1.0);
+  EXPECT_DOUBLE_EQ(c.DoubleAt(1), 2.5);
+}
+
+TEST(ColumnTest, StringDictionaryInterning) {
+  Column c = Column::MakeString("s");
+  c.AppendString("x");
+  c.AppendString("y");
+  c.AppendString("x");
+  EXPECT_EQ(c.size(), 3);
+  EXPECT_EQ(c.dictionary_size(), 2);
+  EXPECT_EQ(c.CodeAt(0), c.CodeAt(2));
+  EXPECT_NE(c.CodeAt(0), c.CodeAt(1));
+  EXPECT_EQ(c.StringAt(2), "x");
+  EXPECT_EQ(c.FindCode("y"), c.CodeAt(1));
+  EXPECT_EQ(c.FindCode("missing"), -1);
+}
+
+TEST(ColumnTest, AppendCodeReusesDictionary) {
+  Column c = Column::MakeString("s");
+  c.AppendString("only");
+  c.AppendCode(0);
+  EXPECT_EQ(c.size(), 2);
+  EXPECT_EQ(c.StringAt(1), "only");
+}
+
+TEST(ColumnTest, GatherNumericPreservesOrderAndDuplicates) {
+  Column c = Column::MakeDouble("v");
+  for (int i = 0; i < 5; ++i) c.AppendDouble(i * 10.0);
+  Column g = c.Gather({4, 0, 0, 2});
+  ASSERT_EQ(g.size(), 4);
+  EXPECT_DOUBLE_EQ(g.DoubleAt(0), 40.0);
+  EXPECT_DOUBLE_EQ(g.DoubleAt(1), 0.0);
+  EXPECT_DOUBLE_EQ(g.DoubleAt(2), 0.0);
+  EXPECT_DOUBLE_EQ(g.DoubleAt(3), 20.0);
+}
+
+TEST(ColumnTest, GatherStringSharesDictionary) {
+  Column c = Column::MakeString("s");
+  c.AppendString("p");
+  c.AppendString("q");
+  Column g = c.Gather({1, 1, 0});
+  ASSERT_EQ(g.size(), 3);
+  EXPECT_EQ(g.StringAt(0), "q");
+  EXPECT_EQ(g.StringAt(2), "p");
+  EXPECT_EQ(g.dictionary_size(), 2);
+}
+
+TEST(ColumnTest, AppendFromReinternsStrings) {
+  Column a = Column::MakeString("s");
+  a.AppendString("v1");
+  a.AppendString("v2");
+  Column b = Column::MakeString("s");
+  b.AppendString("other");
+  b.AppendFrom(a, 1);
+  EXPECT_EQ(b.StringAt(1), "v2");
+  EXPECT_EQ(b.dictionary_size(), 2);
+}
+
+// ---------------------------------------------------------------------------
+// Table
+// ---------------------------------------------------------------------------
+
+TEST(TableTest, BasicShape) {
+  Table t = MakeSmallTable();
+  EXPECT_EQ(t.num_rows(), 4);
+  EXPECT_EQ(t.num_columns(), 2);
+  EXPECT_TRUE(t.Validate().ok());
+  EXPECT_TRUE(t.HasColumn("x"));
+  EXPECT_FALSE(t.HasColumn("y"));
+  EXPECT_EQ(t.ColumnIndex("name"), 1);
+}
+
+TEST(TableTest, DuplicateColumnRejected) {
+  Table t = MakeSmallTable();
+  Column dup = Column::MakeDouble("x");
+  for (int i = 0; i < 4; ++i) dup.AppendDouble(0.0);
+  Status s = t.AddColumn(std::move(dup));
+  EXPECT_EQ(s.code(), StatusCode::kAlreadyExists);
+}
+
+TEST(TableTest, MismatchedLengthRejected) {
+  Table t = MakeSmallTable();
+  Column shorter = Column::MakeDouble("z");
+  shorter.AppendDouble(1.0);
+  Status s = t.AddColumn(std::move(shorter));
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(TableTest, ColumnByNameErrors) {
+  Table t = MakeSmallTable();
+  EXPECT_TRUE(t.ColumnByName("x").ok());
+  Result<const Column*> missing = t.ColumnByName("nope");
+  EXPECT_FALSE(missing.ok());
+  EXPECT_EQ(missing.status().code(), StatusCode::kNotFound);
+}
+
+TEST(TableTest, GatherRowsWithDuplicates) {
+  Table t = MakeSmallTable();
+  Table g = t.GatherRows({3, 1, 1});
+  EXPECT_EQ(g.num_rows(), 3);
+  Result<const Column*> x = g.ColumnByName("x");
+  ASSERT_TRUE(x.ok());
+  EXPECT_DOUBLE_EQ((*x)->DoubleAt(0), 0.0);
+  EXPECT_DOUBLE_EQ((*x)->DoubleAt(1), -2.0);
+  EXPECT_DOUBLE_EQ((*x)->DoubleAt(2), -2.0);
+  Result<const Column*> name = g.ColumnByName("name");
+  ASSERT_TRUE(name.ok());
+  EXPECT_EQ((*name)->StringAt(0), "c");
+  EXPECT_EQ((*name)->StringAt(2), "b");
+}
+
+TEST(TableTest, SliceRows) {
+  Table t = MakeSmallTable();
+  Table s = t.SliceRows(1, 3);
+  EXPECT_EQ(s.num_rows(), 2);
+  Result<const Column*> x = s.ColumnByName("x");
+  ASSERT_TRUE(x.ok());
+  EXPECT_DOUBLE_EQ((*x)->DoubleAt(0), -2.0);
+  EXPECT_DOUBLE_EQ((*x)->DoubleAt(1), 3.25);
+}
+
+TEST(TableTest, ApproxBytesGrowsWithRows) {
+  Table t = MakeSmallTable();
+  int64_t small = t.ApproxBytes();
+  Table big = t.GatherRows({0, 1, 2, 3, 0, 1, 2, 3});
+  EXPECT_GT(big.ApproxBytes(), small);
+}
+
+TEST(TableTest, EmptyTable) {
+  Table t("empty");
+  EXPECT_EQ(t.num_rows(), 0);
+  EXPECT_EQ(t.num_columns(), 0);
+  EXPECT_TRUE(t.Validate().ok());
+  EXPECT_EQ(t.ApproxBytes(), 0);
+}
+
+// ---------------------------------------------------------------------------
+// Catalog
+// ---------------------------------------------------------------------------
+
+TEST(CatalogTest, AddAndGet) {
+  Catalog catalog;
+  auto t = std::make_shared<Table>(MakeSmallTable());
+  EXPECT_TRUE(catalog.AddTable(t).ok());
+  EXPECT_TRUE(catalog.HasTable("t"));
+  Result<std::shared_ptr<const Table>> got = catalog.GetTable("t");
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ((*got)->num_rows(), 4);
+}
+
+TEST(CatalogTest, DuplicateRejected) {
+  Catalog catalog;
+  auto t = std::make_shared<Table>(MakeSmallTable());
+  EXPECT_TRUE(catalog.AddTable(t).ok());
+  EXPECT_EQ(catalog.AddTable(t).code(), StatusCode::kAlreadyExists);
+}
+
+TEST(CatalogTest, PutReplaces) {
+  Catalog catalog;
+  auto t1 = std::make_shared<Table>(MakeSmallTable());
+  catalog.PutTable(t1);
+  auto t2 = std::make_shared<Table>(MakeSmallTable().SliceRows(0, 2));
+  t2->set_name("t");
+  catalog.PutTable(t2);
+  Result<std::shared_ptr<const Table>> got = catalog.GetTable("t");
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ((*got)->num_rows(), 2);
+}
+
+TEST(CatalogTest, MissingTable) {
+  Catalog catalog;
+  EXPECT_EQ(catalog.GetTable("nope").status().code(), StatusCode::kNotFound);
+}
+
+TEST(CatalogTest, DropAndNames) {
+  Catalog catalog;
+  auto t = std::make_shared<Table>(MakeSmallTable());
+  catalog.PutTable(t);
+  EXPECT_EQ(catalog.TableNames().size(), 1u);
+  catalog.DropTable("t");
+  EXPECT_FALSE(catalog.HasTable("t"));
+  EXPECT_TRUE(catalog.TableNames().empty());
+}
+
+TEST(CatalogTest, NullTableRejected) {
+  Catalog catalog;
+  EXPECT_EQ(catalog.AddTable(nullptr).code(), StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace aqp

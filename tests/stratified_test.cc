@@ -1,0 +1,159 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "estimation/closed_form.h"
+#include "exec/executor.h"
+#include "sampling/stratified.h"
+#include "storage/table.h"
+#include "util/random.h"
+#include "workload/data_gen.h"
+
+namespace aqp {
+namespace {
+
+/// Table with one huge and two small categories, values depending on the
+/// category so per-group answers are distinguishable.
+std::shared_ptr<const Table> MakeSkewedTable(int64_t big_rows,
+                                             int64_t small_rows,
+                                             uint64_t seed) {
+  Rng rng(seed);
+  auto t = std::make_shared<Table>("skewed");
+  Column v = Column::MakeDouble("v");
+  Column g = Column::MakeString("g");
+  for (int64_t i = 0; i < big_rows; ++i) {
+    v.AppendDouble(rng.NextGaussian(10.0, 2.0));
+    g.AppendString("big");
+  }
+  for (int64_t i = 0; i < small_rows; ++i) {
+    v.AppendDouble(rng.NextGaussian(100.0, 5.0));
+    g.AppendString("rare_a");
+  }
+  for (int64_t i = 0; i < small_rows; ++i) {
+    v.AppendDouble(rng.NextGaussian(-50.0, 5.0));
+    g.AppendString("rare_b");
+  }
+  EXPECT_TRUE(t->AddColumn(std::move(v)).ok());
+  EXPECT_TRUE(t->AddColumn(std::move(g)).ok());
+  return t;
+}
+
+TEST(StratifiedTest, CapsLargeStrataKeepsSmallOnes) {
+  auto table = MakeSkewedTable(100000, 300, 1);
+  Rng rng(2);
+  Result<StratifiedSample> s =
+      CreateStratifiedSample(table, "g", 1000, rng);
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(s->num_rows(), 1000 + 300 + 300);
+  EXPECT_EQ(s->population_rows, 100600);
+  ASSERT_EQ(s->strata.size(), 3u);
+  Result<const Column*> col = s->data->ColumnByName("g");
+  ASSERT_TRUE(col.ok());
+  int32_t big = (*col)->FindCode("big");
+  int32_t rare = (*col)->FindCode("rare_a");
+  ASSERT_GE(big, 0);
+  ASSERT_GE(rare, 0);
+  EXPECT_EQ(s->strata.at(big).sample_rows, 1000);
+  EXPECT_EQ(s->strata.at(big).population_rows, 100000);
+  EXPECT_DOUBLE_EQ(s->strata.at(big).scale_factor(), 100.0);
+  EXPECT_EQ(s->strata.at(rare).sample_rows, 300);  // Kept entirely.
+  EXPECT_DOUBLE_EQ(s->strata.at(rare).scale_factor(), 1.0);
+}
+
+TEST(StratifiedTest, StrataAreContiguousAndPure) {
+  auto table = MakeSkewedTable(5000, 200, 3);
+  Rng rng(4);
+  Result<StratifiedSample> s = CreateStratifiedSample(table, "g", 500, rng);
+  ASSERT_TRUE(s.ok());
+  Result<const Column*> col = s->data->ColumnByName("g");
+  ASSERT_TRUE(col.ok());
+  for (const auto& [code, info] : s->strata) {
+    for (int64_t r = info.first_row; r < info.first_row + info.sample_rows;
+         ++r) {
+      EXPECT_EQ((*col)->CodeAt(r), code);
+    }
+  }
+}
+
+TEST(StratifiedTest, SampleForStratumIsUsableByEstimators) {
+  auto table = MakeSkewedTable(200000, 400, 5);
+  Rng rng(6);
+  Result<StratifiedSample> s = CreateStratifiedSample(table, "g", 2000, rng);
+  ASSERT_TRUE(s.ok());
+  Result<Sample> rare = SampleForStratum(*s, "rare_a");
+  ASSERT_TRUE(rare.ok());
+  EXPECT_EQ(rare->num_rows(), 400);
+  EXPECT_EQ(rare->population_rows, 400);
+  EXPECT_DOUBLE_EQ(rare->scale_factor(), 1.0);
+
+  // The rare group's mean is recoverable with tight error bars — the whole
+  // point of stratification: a 2600-row stratified sample captures what a
+  // uniform sample of the same size would likely miss.
+  QuerySpec q;
+  q.table = "skewed";
+  q.aggregate.kind = AggregateKind::kAvg;
+  q.aggregate.input = ColumnRef("v");
+  ClosedFormEstimator estimator;
+  Result<ConfidenceInterval> ci =
+      estimator.Estimate(*rare->data, q, rare->scale_factor(), 0.95, rng);
+  ASSERT_TRUE(ci.ok());
+  EXPECT_NEAR(ci->center, 100.0, 1.0);
+  EXPECT_LT(ci->half_width, 1.0);
+}
+
+TEST(StratifiedTest, RareGroupCoverageBeatsUniformSample) {
+  // A uniform sample of the stratified sample's size has only ~7 rows of a
+  // 0.3%-frequency group in expectation; the stratified sample holds all of
+  // them.
+  auto table = MakeSkewedTable(200000, 300, 7);
+  Rng rng(8);
+  Result<StratifiedSample> stratified =
+      CreateStratifiedSample(table, "g", 1000, rng);
+  ASSERT_TRUE(stratified.ok());
+  Result<Sample> uniform =
+      CreateUniformSample(table, stratified->num_rows(), false, rng);
+  ASSERT_TRUE(uniform.ok());
+  Result<const Column*> col = uniform->data->ColumnByName("g");
+  ASSERT_TRUE(col.ok());
+  int32_t code = (*col)->FindCode("rare_a");
+  int64_t uniform_rare = 0;
+  if (code >= 0) {
+    for (int32_t c : (*col)->codes()) uniform_rare += c == code;
+  }
+  Result<Sample> stratum = SampleForStratum(*stratified, "rare_a");
+  ASSERT_TRUE(stratum.ok());
+  EXPECT_EQ(stratum->num_rows(), 300);
+  EXPECT_LT(uniform_rare, 60);  // ~4 expected; 60 is a generous bound.
+}
+
+TEST(StratifiedTest, WorksOnGeneratedSessions) {
+  auto sessions = GenerateSessionsTable(50000, 9);
+  Rng rng(10);
+  Result<StratifiedSample> s =
+      CreateStratifiedSample(sessions, "city", 200, rng);
+  ASSERT_TRUE(s.ok());
+  // Every stratum within cap; total bounded by cap * #cities.
+  for (const auto& [code, info] : s->strata) {
+    EXPECT_LE(info.sample_rows, 200);
+    EXPECT_GE(info.sample_rows, 1);
+  }
+  Result<Sample> nyc = SampleForStratum(*s, "NYC");
+  ASSERT_TRUE(nyc.ok());
+  EXPECT_EQ(nyc->num_rows(), 200);  // NYC is common: capped.
+  EXPECT_GT(nyc->population_rows, 200);
+}
+
+TEST(StratifiedTest, ErrorPaths) {
+  auto table = MakeSkewedTable(1000, 10, 11);
+  Rng rng(12);
+  EXPECT_FALSE(CreateStratifiedSample(nullptr, "g", 10, rng).ok());
+  EXPECT_FALSE(CreateStratifiedSample(table, "g", 0, rng).ok());
+  EXPECT_FALSE(CreateStratifiedSample(table, "missing", 10, rng).ok());
+  EXPECT_FALSE(CreateStratifiedSample(table, "v", 10, rng).ok());  // Numeric.
+  Result<StratifiedSample> s = CreateStratifiedSample(table, "g", 10, rng);
+  ASSERT_TRUE(s.ok());
+  EXPECT_FALSE(SampleForStratum(*s, "no_such_group").ok());
+}
+
+}  // namespace
+}  // namespace aqp

@@ -1,0 +1,387 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include "util/normal.h"
+#include "util/random.h"
+#include "util/stats.h"
+#include "util/status.h"
+
+namespace aqp {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Status / Result
+// ---------------------------------------------------------------------------
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::InvalidArgument("bad column");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.message(), "bad column");
+  EXPECT_EQ(s.ToString(), "InvalidArgument: bad column");
+}
+
+TEST(StatusTest, AllFactoryCodes) {
+  EXPECT_EQ(Status::NotFound("x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(Status::AlreadyExists("x").code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(Status::OutOfRange("x").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(Status::Unimplemented("x").code(), StatusCode::kUnimplemented);
+  EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+  EXPECT_EQ(Status::FailedPrecondition("x").code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_EQ(*r, 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = Status::NotFound("missing");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::vector<int>> r = std::vector<int>{1, 2, 3};
+  std::vector<int> v = std::move(r).value();
+  EXPECT_EQ(v.size(), 3u);
+}
+
+// ---------------------------------------------------------------------------
+// Rng
+// ---------------------------------------------------------------------------
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextUint64(), b.NextUint64());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.NextUint64() == b.NextUint64()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    double x = rng.NextDouble();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(RngTest, NextIntRespectsBound) {
+  Rng rng(9);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 10000; ++i) {
+    int64_t x = rng.NextInt(7);
+    EXPECT_GE(x, 0);
+    EXPECT_LT(x, 7);
+    seen.insert(x);
+  }
+  EXPECT_EQ(seen.size(), 7u);  // All values hit.
+}
+
+TEST(RngTest, NextIntInRangeInclusive) {
+  Rng rng(11);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 10000; ++i) {
+    int64_t x = rng.NextIntInRange(-3, 3);
+    EXPECT_GE(x, -3);
+    EXPECT_LE(x, 3);
+    saw_lo = saw_lo || x == -3;
+    saw_hi = saw_hi || x == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, GaussianMomentsMatch) {
+  Rng rng(13);
+  std::vector<double> xs(100000);
+  for (double& x : xs) x = rng.NextGaussian(10.0, 2.0);
+  EXPECT_NEAR(Mean(xs), 10.0, 0.05);
+  EXPECT_NEAR(SampleStddev(xs), 2.0, 0.05);
+}
+
+TEST(RngTest, ExponentialMeanMatches) {
+  Rng rng(17);
+  std::vector<double> xs(100000);
+  for (double& x : xs) x = rng.NextExponential(0.5);
+  EXPECT_NEAR(Mean(xs), 2.0, 0.05);
+}
+
+TEST(RngTest, BernoulliFrequency) {
+  Rng rng(19);
+  int hits = 0;
+  for (int i = 0; i < 100000; ++i) hits += rng.NextBernoulli(0.3);
+  EXPECT_NEAR(hits / 100000.0, 0.3, 0.01);
+}
+
+TEST(RngTest, LognormalMedianMatches) {
+  Rng rng(23);
+  std::vector<double> xs(50000);
+  for (double& x : xs) x = rng.NextLognormal(1.0, 0.5);
+  EXPECT_NEAR(Quantile(xs, 0.5), std::exp(1.0), 0.05);
+}
+
+TEST(RngTest, ParetoRespectsScaleAndTail) {
+  Rng rng(29);
+  std::vector<double> xs(50000);
+  for (double& x : xs) x = rng.NextPareto(2.0, 3.0);
+  for (double x : xs) EXPECT_GE(x, 2.0);
+  // Mean of Pareto(scale=2, alpha=3) is alpha*scale/(alpha-1) = 3.
+  EXPECT_NEAR(Mean(xs), 3.0, 0.1);
+}
+
+// Poisson mean/variance sweep across lambda values, including the lambda
+// regimes handled by the two internal algorithms.
+class PoissonSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(PoissonSweep, MeanAndVarianceMatchLambda) {
+  double lambda = GetParam();
+  Rng rng(31);
+  std::vector<double> xs(60000);
+  for (double& x : xs) x = static_cast<double>(rng.NextPoisson(lambda));
+  EXPECT_NEAR(Mean(xs), lambda, 0.05 * lambda + 0.03);
+  EXPECT_NEAR(SampleVariance(xs), lambda, 0.08 * lambda + 0.05);
+}
+
+INSTANTIATE_TEST_SUITE_P(Lambdas, PoissonSweep,
+                         ::testing::Values(0.25, 1.0, 4.0, 12.0, 50.0, 200.0));
+
+// Zipf frequency ratios: P(rank 1) / P(rank 2) should be 2^s.
+class ZipfSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(ZipfSweep, RankFrequencyRatio) {
+  double s = GetParam();
+  Rng rng(37);
+  constexpr int kDraws = 200000;
+  int count1 = 0;
+  int count2 = 0;
+  for (int i = 0; i < kDraws; ++i) {
+    int64_t r = rng.NextZipf(1000, s);
+    ASSERT_GE(r, 1);
+    ASSERT_LE(r, 1000);
+    if (r == 1) ++count1;
+    if (r == 2) ++count2;
+  }
+  double expected_ratio = std::pow(2.0, s);
+  double actual_ratio =
+      static_cast<double>(count1) / std::max(1, count2);
+  EXPECT_NEAR(actual_ratio, expected_ratio, 0.25 * expected_ratio);
+}
+
+INSTANTIATE_TEST_SUITE_P(Exponents, ZipfSweep,
+                         ::testing::Values(0.5, 0.8, 1.0, 1.3, 2.0));
+
+TEST(RngTest, ZipfDegenerateCases) {
+  Rng rng(41);
+  EXPECT_EQ(rng.NextZipf(1, 1.5), 1);
+  // s = 0 is uniform.
+  std::vector<int> counts(5, 0);
+  for (int i = 0; i < 50000; ++i) {
+    ++counts[static_cast<size_t>(rng.NextZipf(5, 0.0) - 1)];
+  }
+  for (int c : counts) EXPECT_NEAR(c, 10000, 600);
+}
+
+TEST(RngTest, SampleWithoutReplacementProducesDistinct) {
+  Rng rng(43);
+  std::vector<int64_t> sample = rng.SampleWithoutReplacement(1000, 100);
+  std::set<int64_t> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 100u);
+  for (int64_t x : sample) {
+    EXPECT_GE(x, 0);
+    EXPECT_LT(x, 1000);
+  }
+}
+
+TEST(RngTest, SampleWithoutReplacementFullSet) {
+  Rng rng(47);
+  std::vector<int64_t> sample = rng.SampleWithoutReplacement(50, 50);
+  std::set<int64_t> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 50u);
+}
+
+TEST(RngTest, SampleWithoutReplacementUniformCoverage) {
+  // Each index should appear with probability k/n.
+  Rng rng(53);
+  std::vector<int> hits(20, 0);
+  for (int trial = 0; trial < 20000; ++trial) {
+    for (int64_t idx : rng.SampleWithoutReplacement(20, 5)) {
+      ++hits[static_cast<size_t>(idx)];
+    }
+  }
+  for (int h : hits) EXPECT_NEAR(h, 5000, 300);
+}
+
+TEST(RngTest, ShuffleIsPermutation) {
+  Rng rng(59);
+  std::vector<int> v = {1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<int> original = v;
+  rng.Shuffle(v);
+  std::multiset<int> a(v.begin(), v.end());
+  std::multiset<int> b(original.begin(), original.end());
+  EXPECT_EQ(a, b);
+}
+
+// ---------------------------------------------------------------------------
+// Normal distribution utilities
+// ---------------------------------------------------------------------------
+
+TEST(NormalTest, CdfKnownValues) {
+  EXPECT_NEAR(NormalCdf(0.0), 0.5, 1e-12);
+  EXPECT_NEAR(NormalCdf(1.959963985), 0.975, 1e-6);
+  EXPECT_NEAR(NormalCdf(-1.959963985), 0.025, 1e-6);
+  EXPECT_NEAR(NormalCdf(3.0), 0.998650101, 1e-6);
+}
+
+TEST(NormalTest, QuantileKnownValues) {
+  EXPECT_NEAR(NormalQuantile(0.5), 0.0, 1e-9);
+  EXPECT_NEAR(NormalQuantile(0.975), 1.959963985, 1e-6);
+  EXPECT_NEAR(NormalQuantile(0.025), -1.959963985, 1e-6);
+  EXPECT_NEAR(NormalQuantile(0.995), 2.575829304, 1e-6);
+}
+
+TEST(NormalTest, QuantileInvertsCdf) {
+  for (double p = 0.001; p < 0.9995; p += 0.0173) {
+    EXPECT_NEAR(NormalCdf(NormalQuantile(p)), p, 1e-9) << "p=" << p;
+  }
+}
+
+TEST(NormalTest, TwoSidedCritical) {
+  EXPECT_NEAR(TwoSidedNormalCritical(0.95), 1.959963985, 1e-6);
+  EXPECT_NEAR(TwoSidedNormalCritical(0.99), 2.575829304, 1e-6);
+  EXPECT_NEAR(TwoSidedNormalCritical(0.6827), 1.0, 1e-3);
+}
+
+TEST(NormalTest, PdfPeak) {
+  EXPECT_NEAR(NormalPdf(0.0), 0.3989422804, 1e-9);
+  EXPECT_GT(NormalPdf(0.0), NormalPdf(1.0));
+}
+
+// ---------------------------------------------------------------------------
+// Stats
+// ---------------------------------------------------------------------------
+
+TEST(StatsTest, MeanAndVariance) {
+  std::vector<double> xs = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  EXPECT_DOUBLE_EQ(Mean(xs), 5.0);
+  EXPECT_DOUBLE_EQ(PopulationVariance(xs), 4.0);
+  EXPECT_NEAR(SampleVariance(xs), 4.571428571, 1e-9);
+}
+
+TEST(StatsTest, EmptyInputs) {
+  std::vector<double> empty;
+  EXPECT_EQ(Mean(empty), 0.0);
+  EXPECT_EQ(PopulationVariance(empty), 0.0);
+  EXPECT_EQ(SampleVariance(empty), 0.0);
+  EXPECT_EQ(Quantile(empty, 0.5), 0.0);
+  EXPECT_EQ(SmallestSymmetricCoverRadius(empty, 0.0, 0.95), 0.0);
+}
+
+TEST(StatsTest, QuantileInterpolation) {
+  std::vector<double> xs = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(Quantile(xs, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(Quantile(xs, 1.0), 4.0);
+  EXPECT_DOUBLE_EQ(Quantile(xs, 0.5), 2.5);
+  EXPECT_DOUBLE_EQ(Quantile(xs, 1.0 / 3.0), 2.0);
+}
+
+TEST(StatsTest, QuantileSingleElement) {
+  std::vector<double> xs = {42.0};
+  EXPECT_DOUBLE_EQ(Quantile(xs, 0.0), 42.0);
+  EXPECT_DOUBLE_EQ(Quantile(xs, 0.73), 42.0);
+}
+
+TEST(StatsTest, SmallestSymmetricCoverRadiusExact) {
+  // Values at distances {1, 2, 3, 4, 5} from center 0.
+  std::vector<double> xs = {1.0, -2.0, 3.0, -4.0, 5.0};
+  EXPECT_DOUBLE_EQ(SmallestSymmetricCoverRadius(xs, 0.0, 1.0), 5.0);
+  EXPECT_DOUBLE_EQ(SmallestSymmetricCoverRadius(xs, 0.0, 0.6), 3.0);
+  EXPECT_DOUBLE_EQ(SmallestSymmetricCoverRadius(xs, 0.0, 0.2), 1.0);
+}
+
+TEST(StatsTest, SmallestSymmetricCoverRadiusOffCenter) {
+  std::vector<double> xs = {10.0, 11.0, 12.0};
+  EXPECT_DOUBLE_EQ(SmallestSymmetricCoverRadius(xs, 11.0, 1.0), 1.0);
+}
+
+TEST(StatsTest, RunningMomentsMatchesBatch) {
+  Rng rng(61);
+  std::vector<double> xs(5000);
+  for (double& x : xs) x = rng.NextGaussian(3.0, 7.0);
+  RunningMoments rm;
+  for (double x : xs) rm.Add(x);
+  EXPECT_NEAR(rm.mean(), Mean(xs), 1e-9);
+  EXPECT_NEAR(rm.SampleVariance(), SampleVariance(xs), 1e-6);
+}
+
+TEST(StatsTest, RunningMomentsWeightedEqualsDuplication) {
+  // Frequency weight w should equal adding the value w times.
+  RunningMoments weighted;
+  weighted.Add(2.0, 3.0);
+  weighted.Add(5.0, 1.0);
+  weighted.Add(-1.0, 2.0);
+  RunningMoments duplicated;
+  for (int i = 0; i < 3; ++i) duplicated.Add(2.0);
+  duplicated.Add(5.0);
+  for (int i = 0; i < 2; ++i) duplicated.Add(-1.0);
+  EXPECT_NEAR(weighted.mean(), duplicated.mean(), 1e-12);
+  EXPECT_NEAR(weighted.SampleVariance(), duplicated.SampleVariance(), 1e-12);
+}
+
+TEST(StatsTest, RunningMomentsMerge) {
+  Rng rng(67);
+  std::vector<double> xs(2000);
+  for (double& x : xs) x = rng.NextLognormal(0.0, 1.0);
+  RunningMoments all;
+  RunningMoments left;
+  RunningMoments right;
+  for (size_t i = 0; i < xs.size(); ++i) {
+    all.Add(xs[i]);
+    (i < xs.size() / 3 ? left : right).Add(xs[i]);
+  }
+  left.Merge(right);
+  EXPECT_NEAR(left.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(left.SampleVariance(), all.SampleVariance(), 1e-6);
+}
+
+TEST(StatsTest, SummarizeOrderStatistics) {
+  std::vector<double> xs;
+  for (int i = 1; i <= 100; ++i) xs.push_back(static_cast<double>(i));
+  Summary s = Summarize(xs);
+  EXPECT_EQ(s.count, 100);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 100.0);
+  EXPECT_DOUBLE_EQ(s.median, 50.5);
+  EXPECT_NEAR(s.mean, 50.5, 1e-12);
+  EXPECT_NEAR(s.p01, 1.99, 1e-9);
+  EXPECT_NEAR(s.p99, 99.01, 1e-9);
+}
+
+}  // namespace
+}  // namespace aqp

@@ -1,0 +1,202 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+#include <set>
+#include <memory>
+
+#include "exec/executor.h"
+#include "workload/data_gen.h"
+#include "workload/query_gen.h"
+#include "workload/udfs.h"
+
+namespace aqp {
+namespace {
+
+TEST(DataGenTest, SessionsSchemaAndShape) {
+  auto t = GenerateSessionsTable(5000, 1);
+  EXPECT_EQ(t->name(), "sessions");
+  EXPECT_EQ(t->num_rows(), 5000);
+  EXPECT_TRUE(t->Validate().ok());
+  for (const char* col : {"session_time", "join_time_ms", "buffering_ratio",
+                          "bitrate_kbps", "bytes", "ad_impressions"}) {
+    Result<const Column*> c = t->ColumnByName(col);
+    ASSERT_TRUE(c.ok()) << col;
+    EXPECT_TRUE((*c)->is_numeric()) << col;
+  }
+  for (const char* col : {"city", "content_type", "cdn"}) {
+    Result<const Column*> c = t->ColumnByName(col);
+    ASSERT_TRUE(c.ok()) << col;
+    EXPECT_FALSE((*c)->is_numeric()) << col;
+  }
+}
+
+TEST(DataGenTest, SessionsValuesPlausible) {
+  auto t = GenerateSessionsTable(20000, 2);
+  Result<const Column*> buffering = t->ColumnByName("buffering_ratio");
+  ASSERT_TRUE(buffering.ok());
+  for (double v : (*buffering)->doubles()) {
+    EXPECT_GE(v, 0.0);
+    EXPECT_LE(v, 1.0);
+  }
+  Result<const Column*> bytes = t->ColumnByName("bytes");
+  ASSERT_TRUE(bytes.ok());
+  for (double v : (*bytes)->doubles()) EXPECT_GE(v, 1e5);
+  Result<const Column*> city = t->ColumnByName("city");
+  ASSERT_TRUE(city.ok());
+  EXPECT_GT((*city)->dictionary_size(), 20);
+  // Zipf skew: "NYC" (rank 1) should be clearly the most common.
+  std::map<int32_t, int> counts;
+  for (int32_t code : (*city)->codes()) ++counts[code];
+  int32_t nyc = (*city)->FindCode("NYC");
+  ASSERT_GE(nyc, 0);
+  int max_count = 0;
+  for (const auto& [code, count] : counts) {
+    max_count = std::max(max_count, count);
+  }
+  EXPECT_EQ(counts[nyc], max_count);
+}
+
+TEST(DataGenTest, EventsSchemaAndDeterminism) {
+  auto a = GenerateEventsTable(3000, 7);
+  auto b = GenerateEventsTable(3000, 7);
+  auto c = GenerateEventsTable(3000, 8);
+  EXPECT_EQ(a->num_rows(), 3000);
+  Result<const Column*> va = a->ColumnByName("value_normal");
+  Result<const Column*> vb = b->ColumnByName("value_normal");
+  Result<const Column*> vc = c->ColumnByName("value_normal");
+  ASSERT_TRUE(va.ok() && vb.ok() && vc.ok());
+  EXPECT_EQ((*va)->doubles(), (*vb)->doubles());
+  EXPECT_NE((*va)->doubles(), (*vc)->doubles());
+}
+
+TEST(DataGenTest, EventsHeavyTailPresent) {
+  auto t = GenerateEventsTable(50000, 9);
+  Result<const Column*> pareto = t->ColumnByName("value_pareto");
+  ASSERT_TRUE(pareto.ok());
+  double max_v = 0.0;
+  double sum = 0.0;
+  for (double v : (*pareto)->doubles()) {
+    max_v = std::max(max_v, v);
+    sum += v;
+  }
+  // With alpha = 1.5 (infinite variance) the max is large relative to the
+  // bulk: a single row carries a visible share of the total.
+  EXPECT_GT(max_v / sum, 0.003);
+  EXPECT_GT(max_v, 300.0);
+}
+
+TEST(UdfTest, AllUdfsEvaluate) {
+  auto t = GenerateSessionsTable(200, 10);
+  for (const UnaryUdfFactory& factory : UnaryUdfLibrary()) {
+    ExprPtr e = factory.make(ColumnRef("session_time"));
+    Result<std::vector<double>> v = e->EvalNumeric(*t, nullptr);
+    ASSERT_TRUE(v.ok()) << factory.name;
+    EXPECT_EQ(v->size(), 200u);
+    EXPECT_TRUE(e->HasUdf());
+    for (double x : *v) EXPECT_TRUE(std::isfinite(x)) << factory.name;
+  }
+}
+
+TEST(UdfTest, QoeScoreBounded) {
+  auto t = GenerateSessionsTable(1000, 11);
+  ExprPtr qoe = UdfQoeScore(ColumnRef("buffering_ratio"),
+                            ColumnRef("join_time_ms"),
+                            ColumnRef("bitrate_kbps"));
+  Result<std::vector<double>> v = qoe->EvalNumeric(*t, nullptr);
+  ASSERT_TRUE(v.ok());
+  for (double x : *v) {
+    EXPECT_GT(x, -10.0);
+    EXPECT_LT(x, 150.0);
+  }
+}
+
+TEST(QueryGenTest, QSet1AllClosedForm) {
+  auto t = GenerateSessionsTable(20000, 12);
+  QueryGenerator gen(t, 13);
+  std::vector<WorkloadQuery> queries = gen.GenerateQSet1(100);
+  ASSERT_EQ(queries.size(), 100u);
+  for (const WorkloadQuery& wq : queries) {
+    EXPECT_TRUE(wq.query.ClosedFormApplicable()) << wq.query.ToString();
+    EXPECT_FALSE(wq.uses_udf);
+  }
+}
+
+TEST(QueryGenTest, QSet2NoneClosedForm) {
+  auto t = GenerateSessionsTable(20000, 14);
+  QueryGenerator gen(t, 15);
+  std::vector<WorkloadQuery> queries = gen.GenerateQSet2(100);
+  ASSERT_EQ(queries.size(), 100u);
+  for (const WorkloadQuery& wq : queries) {
+    EXPECT_FALSE(wq.query.ClosedFormApplicable()) << wq.query.ToString();
+  }
+}
+
+TEST(QueryGenTest, GeneratedQueriesExecute) {
+  auto t = GenerateEventsTable(20000, 16);
+  QueryGenerator gen(t, 17);
+  std::vector<WorkloadQuery> queries =
+      gen.Generate(FacebookMix(), 60, "fb");
+  int executed = 0;
+  for (const WorkloadQuery& wq : queries) {
+    Result<double> r = ExecutePlainAggregate(*t, wq.query, 1.0);
+    if (r.ok()) {
+      ++executed;
+      EXPECT_TRUE(std::isfinite(*r)) << wq.query.ToString();
+    }
+  }
+  // The vast majority of generated queries must be executable (a rare
+  // filter may select zero rows).
+  EXPECT_GE(executed, 55);
+}
+
+TEST(QueryGenTest, FacebookMixSharesApproximatelyRespected) {
+  auto t = GenerateEventsTable(20000, 18);
+  QueryGenerator gen(t, 19);
+  std::vector<WorkloadQuery> queries =
+      gen.Generate(FacebookMix(), 2000, "fb");
+  std::map<AggregateKind, int> counts;
+  int udf_count = 0;
+  for (const WorkloadQuery& wq : queries) {
+    ++counts[wq.query.aggregate.kind];
+    if (wq.uses_udf) ++udf_count;
+  }
+  // MIN should be the most popular aggregate (paper: 33.35%).
+  EXPECT_GT(counts[AggregateKind::kMin], counts[AggregateKind::kCount]);
+  EXPECT_NEAR(counts[AggregateKind::kMin] / 2000.0, 0.3335, 0.04);
+  EXPECT_NEAR(counts[AggregateKind::kCount] / 2000.0, 0.2467, 0.04);
+  EXPECT_NEAR(udf_count / 2000.0, 0.1101, 0.03);
+}
+
+TEST(QueryGenTest, ConvivaMixHasManyUdfs) {
+  auto t = GenerateSessionsTable(20000, 20);
+  QueryGenerator gen(t, 21);
+  std::vector<WorkloadQuery> queries =
+      gen.Generate(ConvivaMix(), 1000, "cv");
+  int udf_count = 0;
+  for (const WorkloadQuery& wq : queries) udf_count += wq.uses_udf;
+  EXPECT_NEAR(udf_count / 1000.0, 0.4207, 0.05);
+}
+
+TEST(QueryGenTest, DeterministicForSeed) {
+  auto t = GenerateSessionsTable(5000, 22);
+  QueryGenerator a(t, 23);
+  QueryGenerator b(t, 23);
+  std::vector<WorkloadQuery> qa = a.GenerateQSet1(20);
+  std::vector<WorkloadQuery> qb = b.GenerateQSet1(20);
+  for (size_t i = 0; i < qa.size(); ++i) {
+    EXPECT_EQ(qa[i].query.ToString(), qb[i].query.ToString());
+  }
+}
+
+TEST(QueryGenTest, QueryIdsAreUnique) {
+  auto t = GenerateSessionsTable(5000, 24);
+  QueryGenerator gen(t, 25);
+  std::vector<WorkloadQuery> queries = gen.GenerateQSet1(50);
+  std::set<std::string> ids;
+  for (const WorkloadQuery& wq : queries) ids.insert(wq.query.id);
+  EXPECT_EQ(ids.size(), queries.size());
+}
+
+}  // namespace
+}  // namespace aqp
