@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_diagnostic.dir/bench_ablation_diagnostic.cc.o"
+  "CMakeFiles/bench_ablation_diagnostic.dir/bench_ablation_diagnostic.cc.o.d"
+  "bench_ablation_diagnostic"
+  "bench_ablation_diagnostic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_diagnostic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_estimator_micro.dir/bench_estimator_micro.cc.o"
+  "CMakeFiles/bench_estimator_micro.dir/bench_estimator_micro.cc.o.d"
+  "bench_estimator_micro"
+  "bench_estimator_micro.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_estimator_micro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

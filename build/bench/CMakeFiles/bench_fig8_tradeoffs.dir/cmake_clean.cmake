@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_tradeoffs.dir/bench_fig8_tradeoffs.cc.o"
+  "CMakeFiles/bench_fig8_tradeoffs.dir/bench_fig8_tradeoffs.cc.o.d"
+  "bench_fig8_tradeoffs"
+  "bench_fig8_tradeoffs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_tradeoffs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_poissonized_resampling.dir/bench_poissonized_resampling.cc.o"
+  "CMakeFiles/bench_poissonized_resampling.dir/bench_poissonized_resampling.cc.o.d"
+  "bench_poissonized_resampling"
+  "bench_poissonized_resampling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_poissonized_resampling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

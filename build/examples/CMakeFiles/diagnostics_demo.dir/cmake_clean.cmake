@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/diagnostics_demo.dir/diagnostics_demo.cc.o"
+  "CMakeFiles/diagnostics_demo.dir/diagnostics_demo.cc.o.d"
+  "diagnostics_demo"
+  "diagnostics_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/diagnostics_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/media_dashboard.dir/media_dashboard.cc.o"
+  "CMakeFiles/media_dashboard.dir/media_dashboard.cc.o.d"
+  "media_dashboard"
+  "media_dashboard.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/media_dashboard.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

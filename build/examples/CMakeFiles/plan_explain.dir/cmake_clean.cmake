@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/plan_explain.dir/plan_explain.cc.o"
+  "CMakeFiles/plan_explain.dir/plan_explain.cc.o.d"
+  "plan_explain"
+  "plan_explain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/plan_explain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/quickstart.cc" "examples/CMakeFiles/quickstart.dir/quickstart.cc.o" "gcc" "examples/CMakeFiles/quickstart.dir/quickstart.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/aqp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/diagnostics/CMakeFiles/aqp_diagnostics.dir/DependInfo.cmake"
+  "/root/repo/build/src/estimation/CMakeFiles/aqp_estimation.dir/DependInfo.cmake"
+  "/root/repo/build/src/exec/CMakeFiles/aqp_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/expr/CMakeFiles/aqp_expr.dir/DependInfo.cmake"
+  "/root/repo/build/src/plan/CMakeFiles/aqp_plan.dir/DependInfo.cmake"
+  "/root/repo/build/src/sampling/CMakeFiles/aqp_sampling.dir/DependInfo.cmake"
+  "/root/repo/build/src/sql/CMakeFiles/aqp_sql.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/aqp_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/aqp_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/aqp_workload.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rare_segment.dir/rare_segment.cc.o"
+  "CMakeFiles/rare_segment.dir/rare_segment.cc.o.d"
+  "rare_segment"
+  "rare_segment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rare_segment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

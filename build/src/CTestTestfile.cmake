@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("storage")
+subdirs("expr")
+subdirs("sampling")
+subdirs("exec")
+subdirs("sql")
+subdirs("plan")
+subdirs("estimation")
+subdirs("diagnostics")
+subdirs("cluster")
+subdirs("workload")
+subdirs("core")

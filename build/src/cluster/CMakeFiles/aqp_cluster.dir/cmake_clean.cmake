@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aqp_cluster.dir/simulator.cc.o"
+  "CMakeFiles/aqp_cluster.dir/simulator.cc.o.d"
+  "libaqp_cluster.a"
+  "libaqp_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aqp_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

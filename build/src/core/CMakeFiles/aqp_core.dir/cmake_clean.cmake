@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aqp_core.dir/engine.cc.o"
+  "CMakeFiles/aqp_core.dir/engine.cc.o.d"
+  "libaqp_core.a"
+  "libaqp_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aqp_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aqp_diagnostics.dir/diagnostic.cc.o"
+  "CMakeFiles/aqp_diagnostics.dir/diagnostic.cc.o.d"
+  "CMakeFiles/aqp_diagnostics.dir/single_scan.cc.o"
+  "CMakeFiles/aqp_diagnostics.dir/single_scan.cc.o.d"
+  "libaqp_diagnostics.a"
+  "libaqp_diagnostics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aqp_diagnostics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

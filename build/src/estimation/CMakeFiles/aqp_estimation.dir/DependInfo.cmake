@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/estimation/bootstrap.cc" "src/estimation/CMakeFiles/aqp_estimation.dir/bootstrap.cc.o" "gcc" "src/estimation/CMakeFiles/aqp_estimation.dir/bootstrap.cc.o.d"
+  "/root/repo/src/estimation/closed_form.cc" "src/estimation/CMakeFiles/aqp_estimation.dir/closed_form.cc.o" "gcc" "src/estimation/CMakeFiles/aqp_estimation.dir/closed_form.cc.o.d"
+  "/root/repo/src/estimation/ground_truth.cc" "src/estimation/CMakeFiles/aqp_estimation.dir/ground_truth.cc.o" "gcc" "src/estimation/CMakeFiles/aqp_estimation.dir/ground_truth.cc.o.d"
+  "/root/repo/src/estimation/large_deviation.cc" "src/estimation/CMakeFiles/aqp_estimation.dir/large_deviation.cc.o" "gcc" "src/estimation/CMakeFiles/aqp_estimation.dir/large_deviation.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/exec/CMakeFiles/aqp_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/sampling/CMakeFiles/aqp_sampling.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/aqp_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/aqp_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/expr/CMakeFiles/aqp_expr.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aqp_estimation.dir/bootstrap.cc.o"
+  "CMakeFiles/aqp_estimation.dir/bootstrap.cc.o.d"
+  "CMakeFiles/aqp_estimation.dir/closed_form.cc.o"
+  "CMakeFiles/aqp_estimation.dir/closed_form.cc.o.d"
+  "CMakeFiles/aqp_estimation.dir/ground_truth.cc.o"
+  "CMakeFiles/aqp_estimation.dir/ground_truth.cc.o.d"
+  "CMakeFiles/aqp_estimation.dir/large_deviation.cc.o"
+  "CMakeFiles/aqp_estimation.dir/large_deviation.cc.o.d"
+  "libaqp_estimation.a"
+  "libaqp_estimation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aqp_estimation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

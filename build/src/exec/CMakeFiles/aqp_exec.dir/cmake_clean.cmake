@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aqp_exec.dir/aggregate.cc.o"
+  "CMakeFiles/aqp_exec.dir/aggregate.cc.o.d"
+  "CMakeFiles/aqp_exec.dir/executor.cc.o"
+  "CMakeFiles/aqp_exec.dir/executor.cc.o.d"
+  "CMakeFiles/aqp_exec.dir/query_spec.cc.o"
+  "CMakeFiles/aqp_exec.dir/query_spec.cc.o.d"
+  "libaqp_exec.a"
+  "libaqp_exec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aqp_exec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aqp_plan.dir/interpreter.cc.o"
+  "CMakeFiles/aqp_plan.dir/interpreter.cc.o.d"
+  "CMakeFiles/aqp_plan.dir/plan.cc.o"
+  "CMakeFiles/aqp_plan.dir/plan.cc.o.d"
+  "CMakeFiles/aqp_plan.dir/rewriter.cc.o"
+  "CMakeFiles/aqp_plan.dir/rewriter.cc.o.d"
+  "libaqp_plan.a"
+  "libaqp_plan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aqp_plan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sampling/poisson_resample.cc" "src/sampling/CMakeFiles/aqp_sampling.dir/poisson_resample.cc.o" "gcc" "src/sampling/CMakeFiles/aqp_sampling.dir/poisson_resample.cc.o.d"
+  "/root/repo/src/sampling/sampler.cc" "src/sampling/CMakeFiles/aqp_sampling.dir/sampler.cc.o" "gcc" "src/sampling/CMakeFiles/aqp_sampling.dir/sampler.cc.o.d"
+  "/root/repo/src/sampling/stratified.cc" "src/sampling/CMakeFiles/aqp_sampling.dir/stratified.cc.o" "gcc" "src/sampling/CMakeFiles/aqp_sampling.dir/stratified.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/storage/CMakeFiles/aqp_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/aqp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aqp_sampling.dir/poisson_resample.cc.o"
+  "CMakeFiles/aqp_sampling.dir/poisson_resample.cc.o.d"
+  "CMakeFiles/aqp_sampling.dir/sampler.cc.o"
+  "CMakeFiles/aqp_sampling.dir/sampler.cc.o.d"
+  "CMakeFiles/aqp_sampling.dir/stratified.cc.o"
+  "CMakeFiles/aqp_sampling.dir/stratified.cc.o.d"
+  "libaqp_sampling.a"
+  "libaqp_sampling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aqp_sampling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

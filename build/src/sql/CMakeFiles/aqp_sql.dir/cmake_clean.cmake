@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aqp_sql.dir/lexer.cc.o"
+  "CMakeFiles/aqp_sql.dir/lexer.cc.o.d"
+  "CMakeFiles/aqp_sql.dir/parser.cc.o"
+  "CMakeFiles/aqp_sql.dir/parser.cc.o.d"
+  "CMakeFiles/aqp_sql.dir/rewrite_sql.cc.o"
+  "CMakeFiles/aqp_sql.dir/rewrite_sql.cc.o.d"
+  "libaqp_sql.a"
+  "libaqp_sql.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aqp_sql.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

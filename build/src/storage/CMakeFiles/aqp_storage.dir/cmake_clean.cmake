@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aqp_storage.dir/catalog.cc.o"
+  "CMakeFiles/aqp_storage.dir/catalog.cc.o.d"
+  "CMakeFiles/aqp_storage.dir/column.cc.o"
+  "CMakeFiles/aqp_storage.dir/column.cc.o.d"
+  "CMakeFiles/aqp_storage.dir/csv.cc.o"
+  "CMakeFiles/aqp_storage.dir/csv.cc.o.d"
+  "CMakeFiles/aqp_storage.dir/serialize.cc.o"
+  "CMakeFiles/aqp_storage.dir/serialize.cc.o.d"
+  "CMakeFiles/aqp_storage.dir/table.cc.o"
+  "CMakeFiles/aqp_storage.dir/table.cc.o.d"
+  "libaqp_storage.a"
+  "libaqp_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aqp_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aqp_util.dir/normal.cc.o"
+  "CMakeFiles/aqp_util.dir/normal.cc.o.d"
+  "CMakeFiles/aqp_util.dir/random.cc.o"
+  "CMakeFiles/aqp_util.dir/random.cc.o.d"
+  "CMakeFiles/aqp_util.dir/stats.cc.o"
+  "CMakeFiles/aqp_util.dir/stats.cc.o.d"
+  "CMakeFiles/aqp_util.dir/status.cc.o"
+  "CMakeFiles/aqp_util.dir/status.cc.o.d"
+  "libaqp_util.a"
+  "libaqp_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aqp_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

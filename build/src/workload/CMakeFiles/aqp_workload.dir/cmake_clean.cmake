@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aqp_workload.dir/data_gen.cc.o"
+  "CMakeFiles/aqp_workload.dir/data_gen.cc.o.d"
+  "CMakeFiles/aqp_workload.dir/query_gen.cc.o"
+  "CMakeFiles/aqp_workload.dir/query_gen.cc.o.d"
+  "CMakeFiles/aqp_workload.dir/udfs.cc.o"
+  "CMakeFiles/aqp_workload.dir/udfs.cc.o.d"
+  "libaqp_workload.a"
+  "libaqp_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aqp_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/single_scan_test.dir/single_scan_test.cc.o"
+  "CMakeFiles/single_scan_test.dir/single_scan_test.cc.o.d"
+  "single_scan_test"
+  "single_scan_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/single_scan_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
