@@ -4,6 +4,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "runtime/rng_stream.h"
 #include "storage/serialize.h"
 
 namespace aqp {
@@ -25,7 +26,13 @@ const char* EstimationMethodName(EstimationMethod method) {
 AqpEngine::AqpEngine(EngineOptions options)
     : options_(options),
       bootstrap_(options.bootstrap_replicates),
-      rng_(options.seed) {}
+      rng_(options.seed) {
+  int threads = options_.num_threads > 0 ? options_.num_threads
+                                         : ThreadPool::HardwareConcurrency();
+  if (threads > 1) pool_ = std::make_unique<ThreadPool>(threads);
+  runtime_ = ExecRuntime(pool_.get(), options_.max_parallelism);
+  bootstrap_.set_runtime(runtime_);
+}
 
 Status AqpEngine::RegisterTable(std::shared_ptr<const Table> table) {
   return catalog_.AddTable(std::move(table));
@@ -134,7 +141,7 @@ Result<double> AqpEngine::ExecuteExact(const QuerySpec& query) {
 }
 
 Result<ApproxResult> AqpEngine::FallBack(const QuerySpec& query,
-                                         ApproxResult result) {
+                                         ApproxResult result, Rng& rng) {
   result.fell_back = true;
   switch (options_.fallback) {
     case FallbackPolicy::kNone:
@@ -154,7 +161,7 @@ Result<ApproxResult> AqpEngine::FallBack(const QuerySpec& query,
             if (sample.ok()) {
               Result<ConfidenceInterval> ci = ldb.Estimate(
                   *(*sample)->data, query, (*sample)->scale_factor(),
-                  options_.alpha, rng_);
+                  options_.alpha, rng);
               if (ci.ok()) {
                 result.estimate = ci->center;
                 result.ci = *ci;
@@ -224,7 +231,16 @@ AqpEngine::ExecuteApproximateGroupBy(const QuerySpec& query,
   for (int32_t code : (*group_col)->codes()) {
     ++group_rows[static_cast<size_t>(code)];
   }
-  std::vector<GroupApproxResult> results;
+  // Each group is an independent query θ_g: fan the groups out as tasks on
+  // the engine's bounded runtime (one stream per group keeps the output
+  // identical at every thread count), then keep results in dictionary
+  // order. Per-group pipelines run their replicate fan-out inline when on a
+  // pool worker, so total parallelism stays bounded by the one pool.
+  struct GroupCandidate {
+    std::string value;
+    QuerySpec query;
+  };
+  std::vector<GroupCandidate> candidates;
   for (size_t code = 0; code < group_rows.size(); ++code) {
     if (group_rows[code] < min_group_rows) continue;
     const std::string& value = (*group_col)->dictionary()[code];
@@ -234,9 +250,27 @@ AqpEngine::ExecuteApproximateGroupBy(const QuerySpec& query,
     per_group.filter = query.filter == nullptr
                            ? group_filter
                            : And(query.filter, group_filter);
-    Result<ApproxResult> result = ExecuteApproximate(per_group);
-    if (!result.ok()) continue;  // Degenerate group under this aggregate.
-    results.push_back(GroupApproxResult{value, std::move(result).value()});
+    candidates.push_back(GroupCandidate{value, std::move(per_group)});
+  }
+  RngStreamFactory streams(rng_);
+  std::vector<std::unique_ptr<GroupApproxResult>> slots(candidates.size());
+  ParallelFor(runtime_, 0, static_cast<int64_t>(candidates.size()), 1,
+              [&](int64_t gb, int64_t ge) {
+    for (int64_t g = gb; g < ge; ++g) {
+      Rng group_rng = streams.Stream(static_cast<uint64_t>(g));
+      Result<ApproxResult> result =
+          ExecuteApproximateImpl(candidates[static_cast<size_t>(g)].query,
+                                 group_rng);
+      if (!result.ok()) continue;  // Degenerate group under this aggregate.
+      slots[static_cast<size_t>(g)] = std::make_unique<GroupApproxResult>(
+          GroupApproxResult{candidates[static_cast<size_t>(g)].value,
+                            std::move(result).value()});
+    }
+  });
+  std::vector<GroupApproxResult> results;
+  results.reserve(candidates.size());
+  for (std::unique_ptr<GroupApproxResult>& slot : slots) {
+    if (slot != nullptr) results.push_back(std::move(*slot));
   }
   return results;
 }
@@ -357,6 +391,11 @@ Status AqpEngine::LoadSamples(const std::string& directory) {
 }
 
 Result<ApproxResult> AqpEngine::ExecuteApproximate(const QuerySpec& query) {
+  return ExecuteApproximateImpl(query, rng_);
+}
+
+Result<ApproxResult> AqpEngine::ExecuteApproximateImpl(const QuerySpec& query,
+                                                       Rng& rng) {
   Result<ResolvedSample> resolved = ResolveSample(query);
   if (!resolved.ok()) return resolved.status();
   const Table& data = *resolved->data;
@@ -390,21 +429,23 @@ Result<ApproxResult> AqpEngine::ExecuteApproximate(const QuerySpec& query) {
     Result<SingleScanResult> single = RunSingleScanPipeline(
         data, effective, resolved->population_rows,
         options_.bootstrap_replicates, options_.bootstrap_replicates, config,
-        bootstrap_.mode(), rng_);
+        bootstrap_.mode(), rng, runtime_);
     if (single.ok()) {
       result.estimate = single->theta;
       result.ci = single->ci;
       result.diagnostic_ran = true;
       result.diagnostic_ok = single->diagnostic.accepted;
       result.diagnostic = std::move(single->diagnostic);
-      if (!result.diagnostic_ok) return FallBack(query, std::move(result));
+      if (!result.diagnostic_ok) {
+        return FallBack(query, std::move(result), rng);
+      }
       return result;
     }
     // Degenerate for the single-scan path: fall through to two-phase.
   }
 
   Result<ConfidenceInterval> ci =
-      estimator->Estimate(data, effective, scale, options_.alpha, rng_);
+      estimator->Estimate(data, effective, scale, options_.alpha, rng);
   if (!ci.ok()) return ci.status();
   result.estimate = ci->center;
   result.ci = *ci;
@@ -415,18 +456,20 @@ Result<ApproxResult> AqpEngine::ExecuteApproximate(const QuerySpec& query) {
     // Scan-consolidated diagnosis (§5.3.1); falls back internally to the
     // reference implementation for estimators without a prepared path.
     Result<DiagnosticReport> report = RunDiagnosticConsolidated(
-        data, effective, *estimator, resolved->population_rows, config,
-        rng_);
+        data, effective, *estimator, resolved->population_rows, config, rng,
+        runtime_);
     if (report.ok()) {
       result.diagnostic_ran = true;
       result.diagnostic_ok = report->accepted;
       result.diagnostic = std::move(report).value();
-      if (!result.diagnostic_ok) return FallBack(query, std::move(result));
+      if (!result.diagnostic_ok) {
+        return FallBack(query, std::move(result), rng);
+      }
     } else {
       // Diagnosis itself failed (degenerate subsamples): treat as rejection.
       result.diagnostic_ran = false;
       result.diagnostic_ok = false;
-      return FallBack(query, std::move(result));
+      return FallBack(query, std::move(result), rng);
     }
   }
   return result;

@@ -12,6 +12,8 @@
 #include "estimation/large_deviation.h"
 #include "exec/executor.h"
 #include "exec/query_spec.h"
+#include "runtime/parallel_for.h"
+#include "runtime/thread_pool.h"
 #include "sampling/sampler.h"
 #include "sampling/stratified.h"
 #include "sql/parser.h"
@@ -59,6 +61,16 @@ struct EngineOptions {
   /// per deployment; the default is conservative for one core.
   double rows_per_second = 5e6;
   uint64_t seed = 42;
+  /// Workers in the engine-owned thread pool. 0 means hardware concurrency;
+  /// 1 runs everything on the calling thread (no pool). The pool is shared
+  /// by every query this engine executes, so concurrent callers stay inside
+  /// one bounded runtime.
+  int num_threads = 0;
+  /// Bound on the fan-out of any single parallel region (the §5.3.2 knob:
+  /// past the task-overhead sweet spot, more parallelism costs latency).
+  /// 0 means "as wide as the pool". Results are seed-deterministic at every
+  /// setting (per-task RNG streams).
+  int max_parallelism = 0;
 };
 
 /// An approximate answer with error bars and its provenance.
@@ -172,6 +184,8 @@ class AqpEngine {
   const Catalog& catalog() const { return catalog_; }
   const SampleStore& samples() const { return samples_; }
   const EngineOptions& options() const { return options_; }
+  /// The engine's bounded execution runtime (null pool when num_threads=1).
+  const ExecRuntime& runtime() const { return runtime_; }
 
  private:
   /// The sample a query runs on, after runtime sample selection.
@@ -191,7 +205,15 @@ class AqpEngine {
   /// sample.
   Result<ResolvedSample> ResolveSample(const QuerySpec& query);
 
-  Result<ApproxResult> FallBack(const QuerySpec& query, ApproxResult result);
+  /// The ExecuteApproximate pipeline against an explicit generator. All
+  /// engine state it touches is read-only, so independent queries (e.g. the
+  /// groups of a GROUP BY) can run it concurrently, each with its own RNG
+  /// stream.
+  Result<ApproxResult> ExecuteApproximateImpl(const QuerySpec& query,
+                                              Rng& rng);
+
+  Result<ApproxResult> FallBack(const QuerySpec& query, ApproxResult result,
+                                Rng& rng);
 
   EngineOptions options_;
   Catalog catalog_;
@@ -201,6 +223,10 @@ class AqpEngine {
   ClosedFormEstimator closed_form_;
   BootstrapEstimator bootstrap_;
   Rng rng_;
+  /// Engine-owned bounded-parallelism runtime (§5.3.2): one fixed pool
+  /// shared by every hot path this engine drives.
+  std::unique_ptr<ThreadPool> pool_;
+  ExecRuntime runtime_;
 };
 
 }  // namespace aqp

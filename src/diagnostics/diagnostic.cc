@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "exec/executor.h"
+#include "runtime/rng_stream.h"
 #include "util/logging.h"
 #include "util/stats.h"
 
@@ -32,6 +33,35 @@ double RelativeTo(double value, double reference) {
   if (reference == 0.0) return value == 0.0 ? 0.0 : 1e9;
   return value / reference;
 }
+
+/// Slot-indexed per-subsample results: the parallel loops write subsample
+/// j's θ and x̂ into slot j, and the stats see them compacted in j order —
+/// so the collected vectors are independent of chunking and thread count.
+struct SubsampleSlots {
+  std::vector<double> thetas;
+  std::vector<double> half_widths;
+  std::vector<char> valid;
+
+  explicit SubsampleSlots(int p)
+      : thetas(static_cast<size_t>(p), 0.0),
+        half_widths(static_cast<size_t>(p), 0.0),
+        valid(static_cast<size_t>(p), 0) {}
+
+  void Set(int64_t j, double theta, double half_width) {
+    thetas[static_cast<size_t>(j)] = theta;
+    half_widths[static_cast<size_t>(j)] = half_width;
+    valid[static_cast<size_t>(j)] = 1;
+  }
+
+  void Compact(std::vector<double>& out_thetas,
+               std::vector<double>& out_half_widths) const {
+    for (size_t j = 0; j < valid.size(); ++j) {
+      if (!valid[j]) continue;
+      out_thetas.push_back(thetas[j]);
+      out_half_widths.push_back(half_widths[j]);
+    }
+  }
+};
 
 }  // namespace
 
@@ -125,7 +155,7 @@ Result<DiagnosticReport> RunDiagnostic(const Table& sample,
                                        const ErrorEstimator& estimator,
                                        int64_t population_rows,
                                        const DiagnosticConfig& config,
-                                       Rng& rng) {
+                                       Rng& rng, const ExecRuntime& runtime) {
   if (!estimator.Applicable(query)) {
     return Status::InvalidArgument("estimator '" + estimator.name() +
                                    "' not applicable to " + query.ToString());
@@ -144,28 +174,38 @@ Result<DiagnosticReport> RunDiagnostic(const Table& sample,
   DiagnosticReport report;
   report.per_size.reserve(sizes->size());
 
-  for (int64_t b : *sizes) {
+  // One stream space per size, one stream per subsample: resampling
+  // estimators stay reproducible at any thread count.
+  RngStreamFactory streams(rng);
+  for (size_t size_index = 0; size_index < sizes->size(); ++size_index) {
+    int64_t b = (*sizes)[size_index];
     // Disjoint partitions of the (randomly ordered) sample are mutually
     // independent simple random samples of D — the paper's key observation.
     int p = static_cast<int>(std::min<int64_t>(config.num_subsamples, n / b));
     double subsample_scale = static_cast<double>(population_rows) /
                              static_cast<double>(b);
 
+    RngStreamFactory size_streams = streams.Substream(size_index);
+    SubsampleSlots slots(p);
+    ParallelFor(runtime, 0, p, 1, [&](int64_t jb, int64_t je) {
+      for (int64_t j = jb; j < je; ++j) {
+        Table subsample = sample.SliceRows(j * b, (j + 1) * b);
+        Result<double> theta =
+            ExecutePlainAggregate(subsample, query, subsample_scale);
+        Rng subsample_rng = size_streams.Stream(static_cast<uint64_t>(j));
+        Result<ConfidenceInterval> ci = estimator.Estimate(
+            subsample, query, subsample_scale, config.alpha, subsample_rng);
+        if (!theta.ok() || !ci.ok()) continue;  // Degenerate subsample.
+        slots.Set(j, *theta, ci->half_width);
+      }
+    });
+    report.total_subqueries += p;
+
     std::vector<double> thetas;       // t̂_ij
     std::vector<double> half_widths;  // x̂_ij
     thetas.reserve(static_cast<size_t>(p));
     half_widths.reserve(static_cast<size_t>(p));
-    for (int j = 0; j < p; ++j) {
-      Table subsample = sample.SliceRows(j * b, (j + 1) * b);
-      Result<double> theta =
-          ExecutePlainAggregate(subsample, query, subsample_scale);
-      Result<ConfidenceInterval> ci = estimator.Estimate(
-          subsample, query, subsample_scale, config.alpha, rng);
-      ++report.total_subqueries;
-      if (!theta.ok() || !ci.ok()) continue;  // Degenerate subsample.
-      thetas.push_back(*theta);
-      half_widths.push_back(ci->half_width);
-    }
+    slots.Compact(thetas, half_widths);
     if (thetas.size() < 10) {
       return Status::FailedPrecondition(
           "too few subsamples produced values at size " + std::to_string(b));
@@ -181,7 +221,7 @@ Result<DiagnosticReport> RunDiagnostic(const Table& sample,
 Result<DiagnosticReport> RunDiagnosticConsolidated(
     const Table& sample, const QuerySpec& query,
     const ErrorEstimator& estimator, int64_t population_rows,
-    const DiagnosticConfig& config, Rng& rng) {
+    const DiagnosticConfig& config, Rng& rng, const ExecRuntime& runtime) {
   if (!estimator.Applicable(query)) {
     return Status::InvalidArgument("estimator '" + estimator.name() +
                                    "' not applicable to " + query.ToString());
@@ -203,50 +243,92 @@ Result<DiagnosticReport> RunDiagnosticConsolidated(
       ComputeAggregate(*prepared, query.aggregate, sample_scale);
   if (!t.ok()) return t.status();
 
+  // Probe the estimator's prepared path once (on a tiny prefix slice)
+  // before fanning out: estimators without one divert to the reference
+  // implementation, and the probe keeps that check out of the parallel loop.
+  {
+    PreparedQuery probe;
+    probe.table_rows = (*sizes)[0];
+    size_t probe_len = 0;
+    while (probe_len < prepared->rows.size() &&
+           prepared->rows[probe_len] < (*sizes)[0]) {
+      ++probe_len;
+    }
+    probe.rows.assign(prepared->rows.begin(),
+                      prepared->rows.begin() + static_cast<int64_t>(probe_len));
+    if (!prepared->values.empty()) {
+      probe.values.assign(
+          prepared->values.begin(),
+          prepared->values.begin() + static_cast<int64_t>(probe_len));
+    }
+    Rng probe_rng(0);
+    Result<ConfidenceInterval> ci = estimator.EstimateFromPrepared(
+        probe, query.aggregate, 1.0, config.alpha, probe_rng);
+    if (ci.status().code() == StatusCode::kUnimplemented) {
+      // Estimator lacks a prepared-query path: use the reference
+      // implementation instead.
+      return RunDiagnostic(sample, query, estimator, population_rows, config,
+                           rng, runtime);
+    }
+  }
+
   DiagnosticReport report;
   report.per_size.reserve(sizes->size());
-  for (int64_t b : *sizes) {
+  RngStreamFactory streams(rng);
+  for (size_t size_index = 0; size_index < sizes->size(); ++size_index) {
+    int64_t b = (*sizes)[size_index];
     int p = static_cast<int>(std::min<int64_t>(config.num_subsamples, n / b));
     double subsample_scale = static_cast<double>(population_rows) /
                              static_cast<double>(b);
+
+    // prepared.rows is ascending, so each subsample's passing rows form a
+    // contiguous run; resolve all p run boundaries in one serial cursor
+    // sweep, then fan the independent per-subsample estimations out.
+    std::vector<size_t> bounds(static_cast<size_t>(p) + 1);
+    size_t cursor = 0;
+    for (int j = 0; j < p; ++j) {
+      bounds[static_cast<size_t>(j)] = cursor;
+      int64_t row_end = (static_cast<int64_t>(j) + 1) * b;
+      while (cursor < prepared->rows.size() &&
+             prepared->rows[cursor] < row_end) {
+        ++cursor;
+      }
+    }
+    bounds[static_cast<size_t>(p)] = cursor;
+
+    RngStreamFactory size_streams = streams.Substream(size_index);
+    SubsampleSlots slots(p);
+    ParallelFor(runtime, 0, p, 1, [&](int64_t jb, int64_t je) {
+      for (int64_t j = jb; j < je; ++j) {
+        size_t first = bounds[static_cast<size_t>(j)];
+        size_t last = bounds[static_cast<size_t>(j) + 1];
+        // Slice of the prepared data belonging to this subsample.
+        PreparedQuery sub;
+        sub.table_rows = b;
+        sub.rows.assign(prepared->rows.begin() + static_cast<int64_t>(first),
+                        prepared->rows.begin() + static_cast<int64_t>(last));
+        if (!prepared->values.empty()) {
+          sub.values.assign(
+              prepared->values.begin() + static_cast<int64_t>(first),
+              prepared->values.begin() + static_cast<int64_t>(last));
+        }
+        Result<double> theta =
+            ComputeAggregate(sub, query.aggregate, subsample_scale);
+        Rng subsample_rng = size_streams.Stream(static_cast<uint64_t>(j));
+        Result<ConfidenceInterval> ci = estimator.EstimateFromPrepared(
+            sub, query.aggregate, subsample_scale, config.alpha,
+            subsample_rng);
+        if (!theta.ok() || !ci.ok()) continue;
+        slots.Set(j, *theta, ci->half_width);
+      }
+    });
+    report.total_subqueries += p;
 
     std::vector<double> thetas;
     std::vector<double> half_widths;
     thetas.reserve(static_cast<size_t>(p));
     half_widths.reserve(static_cast<size_t>(p));
-    size_t cursor = 0;  // Index into prepared.rows, advanced monotonically.
-    for (int j = 0; j < p; ++j) {
-      int64_t row_end = (static_cast<int64_t>(j) + 1) * b;
-      size_t first = cursor;
-      while (cursor < prepared->rows.size() &&
-             prepared->rows[cursor] < row_end) {
-        ++cursor;
-      }
-      // Slice of the prepared data belonging to this subsample.
-      PreparedQuery sub;
-      sub.table_rows = b;
-      sub.rows.assign(prepared->rows.begin() + static_cast<int64_t>(first),
-                      prepared->rows.begin() + static_cast<int64_t>(cursor));
-      if (!prepared->values.empty()) {
-        sub.values.assign(
-            prepared->values.begin() + static_cast<int64_t>(first),
-            prepared->values.begin() + static_cast<int64_t>(cursor));
-      }
-      Result<double> theta =
-          ComputeAggregate(sub, query.aggregate, subsample_scale);
-      Result<ConfidenceInterval> ci = estimator.EstimateFromPrepared(
-          sub, query.aggregate, subsample_scale, config.alpha, rng);
-      if (ci.status().code() == StatusCode::kUnimplemented) {
-        // Estimator lacks a prepared-query path: use the reference
-        // implementation instead.
-        return RunDiagnostic(sample, query, estimator, population_rows,
-                             config, rng);
-      }
-      ++report.total_subqueries;
-      if (!theta.ok() || !ci.ok()) continue;
-      thetas.push_back(*theta);
-      half_widths.push_back(ci->half_width);
-    }
+    slots.Compact(thetas, half_widths);
     if (thetas.size() < 10) {
       return Status::FailedPrecondition(
           "too few subsamples produced values at size " + std::to_string(b));

@@ -6,6 +6,7 @@
 
 #include "estimation/error_estimator.h"
 #include "exec/query_spec.h"
+#include "runtime/parallel_for.h"
 #include "storage/table.h"
 #include "util/random.h"
 #include "util/status.h"
@@ -75,12 +76,17 @@ struct DiagnosticReport {
 /// subsample size. If a size ladder entry b_i satisfies b_i * p > n, p is
 /// reduced for that size; sizes with fewer than 10 usable subsamples fail
 /// with InvalidArgument.
+///
+/// The p independent subsample computations (θ plus ξ's estimate) fan out on
+/// `runtime` (§5.3.2); subsample j always uses the RNG stream keyed by j, so
+/// the report is identical at every thread count for a fixed `rng` state.
 Result<DiagnosticReport> RunDiagnostic(const Table& sample,
                                        const QuerySpec& query,
                                        const ErrorEstimator& estimator,
                                        int64_t population_rows,
                                        const DiagnosticConfig& config,
-                                       Rng& rng);
+                                       Rng& rng,
+                                       const ExecRuntime& runtime = ExecRuntime());
 
 /// Scan-consolidated Algorithm 1 (paper §5.3.1): evaluates the query's
 /// filter and aggregate input over the sample exactly once, then computes
@@ -92,7 +98,8 @@ Result<DiagnosticReport> RunDiagnostic(const Table& sample,
 Result<DiagnosticReport> RunDiagnosticConsolidated(
     const Table& sample, const QuerySpec& query,
     const ErrorEstimator& estimator, int64_t population_rows,
-    const DiagnosticConfig& config, Rng& rng);
+    const DiagnosticConfig& config, Rng& rng,
+    const ExecRuntime& runtime = ExecRuntime());
 
 namespace diag_internal {
 

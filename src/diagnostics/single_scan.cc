@@ -2,10 +2,12 @@
 
 #include <algorithm>
 #include <cmath>
+#include <functional>
 #include <vector>
 
 #include "exec/aggregate.h"
 #include "exec/executor.h"
+#include "runtime/rng_stream.h"
 #include "sampling/poisson_resample.h"
 #include "util/normal.h"
 #include "util/stats.h"
@@ -13,51 +15,83 @@
 namespace aqp {
 namespace {
 
-/// Replicate accumulators for one resampled estimate group (the bootstrap
-/// replicates of the full sample, or of one diagnostic subsample).
+/// Stream-id spaces under the pipeline's base seed: bootstrap replicates
+/// and diagnostic subsamples draw from disjoint substream hierarchies.
+constexpr uint64_t kBootstrapStreamSpace = 0;
+constexpr uint64_t kDiagnosticStreamSpace = 1;
+
+/// Bootstrap replicates per parallel task (see kReplicateGrain in
+/// exec/executor.cc for the trade-off).
+constexpr int kBootstrapChunk = 4;
+
+/// Replicate accumulators for one resampled estimate group (a chunk of the
+/// full-sample bootstrap replicates, or one diagnostic subsample's
+/// replicates). Each replicate owns the RNG stream keyed by its global
+/// index, so the group's results do not depend on which task ran it.
 struct ReplicateGroup {
   std::vector<WeightedAccumulator> accumulators;
+  std::vector<Rng> rngs;
   /// Rows of the underlying (sub)sample, for the COUNT/SUM size
   /// conditioning.
   int64_t base_rows = 0;
   /// Passing rows seen, to derive the non-passing count at finalize time.
   int64_t passing_rows = 0;
 
-  ReplicateGroup(int replicates, AggregateKind kind, int64_t rows)
+  ReplicateGroup(const RngStreamFactory& streams, uint64_t first_stream,
+                 int replicates, AggregateKind kind, int64_t rows)
       : accumulators(static_cast<size_t>(replicates),
                      WeightedAccumulator(kind)),
-        base_rows(rows) {}
-
-  void Add(double value, Rng& rng) {
-    ++passing_rows;
-    for (WeightedAccumulator& acc : accumulators) {
-      int32_t w = PoissonOneWeight(rng);
-      if (w > 0) acc.Add(value, static_cast<double>(w));
+        base_rows(rows) {
+    rngs.reserve(static_cast<size_t>(replicates));
+    for (int r = 0; r < replicates; ++r) {
+      rngs.push_back(streams.Stream(first_stream + static_cast<uint64_t>(r)));
     }
   }
 
-  /// Finalizes all replicates, applying the Hájek size conditioning for
-  /// COUNT/SUM (see MultiResampleStreaming in exec/executor.cc).
-  std::vector<double> Finalize(AggregateKind kind, double scale_factor,
-                               Rng& rng) const {
+  void Add(double value) {
+    ++passing_rows;
+    for (size_t r = 0; r < accumulators.size(); ++r) {
+      int32_t w = PoissonOneWeight(rngs[r]);
+      if (w > 0) accumulators[r].Add(value, static_cast<double>(w));
+    }
+  }
+
+  /// Finalizes replicate r into `slots[r]` / `valid[r]` (slot-aligned, so
+  /// callers can merge chunk results by global replicate index), applying
+  /// the Hájek size conditioning for COUNT/SUM (see MultiResampleStreaming
+  /// in exec/executor.cc). The conditioning draw comes from each replicate's
+  /// own stream, after its weight draws.
+  void FinalizeInto(AggregateKind kind, double scale_factor, double* slots,
+                    char* valid) {
     bool size_scaled =
         kind == AggregateKind::kCount || kind == AggregateKind::kSum;
     double non_passing = static_cast<double>(base_rows - passing_rows);
-    std::vector<double> thetas;
-    thetas.reserve(accumulators.size());
-    for (const WeightedAccumulator& acc : accumulators) {
-      Result<double> theta = acc.Finalize(scale_factor);
+    for (size_t r = 0; r < accumulators.size(); ++r) {
+      Result<double> theta = accumulators[r].Finalize(scale_factor);
       if (!theta.ok()) continue;
       double value = *theta;
       if (size_scaled && base_rows > 0) {
         double resample_size =
-            acc.weight_sum() +
-            static_cast<double>(rng.NextPoisson(non_passing));
+            accumulators[r].weight_sum() +
+            static_cast<double>(rngs[r].NextPoisson(non_passing));
         if (resample_size > 0.0) {
           value *= static_cast<double>(base_rows) / resample_size;
         }
       }
-      thetas.push_back(value);
+      slots[r] = value;
+      valid[r] = 1;
+    }
+  }
+
+  /// Compacted finalize (replicate order, failures dropped).
+  std::vector<double> Finalize(AggregateKind kind, double scale_factor) {
+    std::vector<double> slots(accumulators.size(), 0.0);
+    std::vector<char> valid(accumulators.size(), 0);
+    FinalizeInto(kind, scale_factor, slots.data(), valid.data());
+    std::vector<double> thetas;
+    thetas.reserve(accumulators.size());
+    for (size_t r = 0; r < accumulators.size(); ++r) {
+      if (valid[r]) thetas.push_back(slots[r]);
     }
     return thetas;
   }
@@ -87,7 +121,8 @@ Result<ConfidenceInterval> ReadCi(const std::vector<double>& replicates,
 Result<SingleScanResult> RunSingleScanPipeline(
     const Table& sample, const QuerySpec& query, int64_t population_rows,
     int bootstrap_replicates, int diag_replicates,
-    const DiagnosticConfig& config, BootstrapCiMode mode, Rng& rng) {
+    const DiagnosticConfig& config, BootstrapCiMode mode, Rng& rng,
+    const ExecRuntime& runtime) {
   if (bootstrap_replicates < 2 || diag_replicates < 2) {
     return Status::InvalidArgument("need >= 2 replicates");
   }
@@ -104,59 +139,128 @@ Result<SingleScanResult> RunSingleScanPipeline(
   // --- The single scan: filter + projection once. -------------------------
   Result<PreparedQuery> prepared = PrepareQuery(sample, query);
   if (!prepared.ok()) return prepared.status();
-
-  // Per-size partition geometry and subsample state.
-  size_t num_sizes = sizes->size();
-  std::vector<int> subsamples_per_size(num_sizes);
-  std::vector<std::vector<ReplicateGroup>> diag_groups(num_sizes);
-  std::vector<std::vector<WeightedAccumulator>> diag_plain(num_sizes);
-  std::vector<std::vector<int64_t>> diag_plain_rows(num_sizes);
-  for (size_t i = 0; i < num_sizes; ++i) {
-    int64_t b = (*sizes)[i];
-    int p = static_cast<int>(std::min<int64_t>(config.num_subsamples, n / b));
-    subsamples_per_size[i] = p;
-    diag_groups[i].reserve(static_cast<size_t>(p));
-    for (int j = 0; j < p; ++j) {
-      diag_groups[i].emplace_back(diag_replicates, query.aggregate.kind, b);
-    }
-    diag_plain[i].assign(static_cast<size_t>(p),
-                         WeightedAccumulator(query.aggregate.kind));
-    diag_plain_rows[i].assign(static_cast<size_t>(p), 0);
-  }
-  ReplicateGroup bootstrap_group(bootstrap_replicates, query.aggregate.kind,
-                                 n);
-  WeightedAccumulator plain(query.aggregate.kind);
-
+  size_t passing = prepared->rows.size();
   bool has_input = query.aggregate.input != nullptr;
-  for (size_t idx = 0; idx < prepared->rows.size(); ++idx) {
-    int64_t row = prepared->rows[idx];
-    double value = has_input ? prepared->values[idx] : 0.0;
-    // The plain answer and the K bootstrap replicates.
-    plain.Add(value, 1.0);
-    bootstrap_group.Add(value, rng);
-    // One diagnostic subsample per size class holds this row; that
-    // subsample's plain estimate and K' replicates all see it. This is the
-    // row's Da/Db/Dc weight set from Fig. 6(a).
-    for (size_t i = 0; i < num_sizes; ++i) {
-      int64_t j = row / (*sizes)[i];
-      if (j >= subsamples_per_size[i]) continue;
-      diag_plain[i][static_cast<size_t>(j)].Add(value, 1.0);
-      ++diag_plain_rows[i][static_cast<size_t>(j)];
-      diag_groups[i][static_cast<size_t>(j)].Add(value, rng);
-    }
-  }
+  AggregateKind kind = query.aggregate.kind;
 
-  // --- Finalize: answer + CI. ----------------------------------------------
+  // The plain answer needs no weights and no RNG: fold it serially.
+  WeightedAccumulator plain(kind);
+  for (size_t idx = 0; idx < passing; ++idx) {
+    plain.Add(has_input ? prepared->values[idx] : 0.0, 1.0);
+  }
   double sample_scale =
       static_cast<double>(population_rows) / static_cast<double>(n);
   Result<double> theta = plain.Finalize(sample_scale);
   if (!theta.ok()) return theta.status();
+
+  // Per-size partition geometry: prepared.rows is ascending, so subsample
+  // (i, j) owns the contiguous run of passing rows in [j*b_i, (j+1)*b_i).
+  size_t num_sizes = sizes->size();
+  std::vector<int> subsamples_per_size(num_sizes);
+  std::vector<std::vector<size_t>> bounds(num_sizes);
+  for (size_t i = 0; i < num_sizes; ++i) {
+    int64_t b = (*sizes)[i];
+    int p = static_cast<int>(std::min<int64_t>(config.num_subsamples, n / b));
+    subsamples_per_size[i] = p;
+    bounds[i].resize(static_cast<size_t>(p) + 1);
+    size_t cursor = 0;
+    for (int j = 0; j < p; ++j) {
+      bounds[i][static_cast<size_t>(j)] = cursor;
+      int64_t row_end = (static_cast<int64_t>(j) + 1) * b;
+      while (cursor < passing && prepared->rows[cursor] < row_end) ++cursor;
+    }
+    bounds[i][static_cast<size_t>(p)] = cursor;
+  }
+
+  // --- The weight-column fan-out, as parallel tasks (§5.3.2). -------------
+  // Every row feeds K bootstrap weights plus one diagnostic weight set per
+  // size class — the paper's 400 weight columns. Replicate chunks and
+  // subsamples are independent tasks; all randomness is keyed by replicate
+  // or (size, subsample) index, never by thread.
+  RngStreamFactory streams(rng);
+  RngStreamFactory bootstrap_streams = streams.Substream(kBootstrapStreamSpace);
+  RngStreamFactory diag_streams = streams.Substream(kDiagnosticStreamSpace);
+
+  std::vector<double> bootstrap_slots(
+      static_cast<size_t>(bootstrap_replicates), 0.0);
+  std::vector<char> bootstrap_valid(static_cast<size_t>(bootstrap_replicates),
+                                    0);
+  struct SubsampleOutcome {
+    double theta = 0.0;
+    double half_width = 0.0;
+    bool valid = false;
+  };
+  std::vector<std::vector<SubsampleOutcome>> outcomes(num_sizes);
+  for (size_t i = 0; i < num_sizes; ++i) {
+    outcomes[i].resize(static_cast<size_t>(subsamples_per_size[i]));
+  }
+
+  std::vector<std::function<void()>> units;
+  // Bootstrap replicate chunks over the full passing set (largest units
+  // first, so the dynamic scheduler balances them).
+  for (int kb = 0; kb < bootstrap_replicates; kb += kBootstrapChunk) {
+    int ke = std::min(kb + kBootstrapChunk, bootstrap_replicates);
+    units.push_back([&, kb, ke] {
+      ReplicateGroup group(bootstrap_streams, static_cast<uint64_t>(kb),
+                           ke - kb, kind, n);
+      for (size_t idx = 0; idx < passing; ++idx) {
+        group.Add(has_input ? prepared->values[idx] : 0.0);
+      }
+      group.FinalizeInto(kind, sample_scale,
+                         bootstrap_slots.data() + kb,
+                         bootstrap_valid.data() + kb);
+    });
+  }
+  // One unit per diagnostic subsample: its plain estimate plus its K'
+  // replicates, over its contiguous slice of the prepared data.
+  for (size_t i = 0; i < num_sizes; ++i) {
+    int64_t b = (*sizes)[i];
+    double subsample_scale =
+        static_cast<double>(population_rows) / static_cast<double>(b);
+    RngStreamFactory size_streams = diag_streams.Substream(i);
+    for (int j = 0; j < subsamples_per_size[i]; ++j) {
+      units.push_back([&, i, j, b, subsample_scale, size_streams] {
+        size_t first = bounds[i][static_cast<size_t>(j)];
+        size_t last = bounds[i][static_cast<size_t>(j) + 1];
+        WeightedAccumulator sub_plain(kind);
+        RngStreamFactory sub_streams =
+            size_streams.Substream(static_cast<uint64_t>(j));
+        ReplicateGroup group(sub_streams, 0, diag_replicates, kind, b);
+        for (size_t idx = first; idx < last; ++idx) {
+          double value = has_input ? prepared->values[idx] : 0.0;
+          sub_plain.Add(value, 1.0);
+          group.Add(value);
+        }
+        Result<double> sub_theta = sub_plain.Finalize(subsample_scale);
+        if (!sub_theta.ok()) return;  // Degenerate subsample.
+        std::vector<double> replicate_thetas =
+            group.Finalize(kind, subsample_scale);
+        Result<ConfidenceInterval> sub_ci =
+            ReadCi(replicate_thetas, *sub_theta, config.alpha, mode);
+        if (!sub_ci.ok()) return;
+        SubsampleOutcome& out = outcomes[i][static_cast<size_t>(j)];
+        out.theta = *sub_theta;
+        out.half_width = sub_ci->half_width;
+        out.valid = true;
+      });
+    }
+  }
+
+  ParallelFor(runtime, 0, static_cast<int64_t>(units.size()), 1,
+              [&](int64_t ub, int64_t ue) {
+                for (int64_t u = ub; u < ue; ++u) {
+                  units[static_cast<size_t>(u)]();
+                }
+              });
+
+  // --- Finalize: answer + CI. ----------------------------------------------
   SingleScanResult result;
   result.theta = *theta;
-  // The plain COUNT/SUM estimate needs no conditioning, but the replicates
-  // do; reuse the group's finalize for them.
-  std::vector<double> bootstrap_thetas =
-      bootstrap_group.Finalize(query.aggregate.kind, sample_scale, rng);
+  std::vector<double> bootstrap_thetas;
+  bootstrap_thetas.reserve(bootstrap_slots.size());
+  for (size_t k = 0; k < bootstrap_slots.size(); ++k) {
+    if (bootstrap_valid[k]) bootstrap_thetas.push_back(bootstrap_slots[k]);
+  }
   Result<ConfidenceInterval> ci =
       ReadCi(bootstrap_thetas, *theta, config.alpha, mode);
   if (!ci.ok()) return ci.status();
@@ -166,26 +270,14 @@ Result<SingleScanResult> RunSingleScanPipeline(
   result.diagnostic.per_size.reserve(num_sizes);
   for (size_t i = 0; i < num_sizes; ++i) {
     int64_t b = (*sizes)[i];
-    double subsample_scale =
-        static_cast<double>(population_rows) / static_cast<double>(b);
     std::vector<double> thetas;
     std::vector<double> half_widths;
     for (int j = 0; j < subsamples_per_size[i]; ++j) {
       result.diagnostic.total_subqueries += 1;
-      Result<double> sub_theta =
-          diag_plain[i][static_cast<size_t>(j)].Finalize(subsample_scale);
-      if (!sub_theta.ok()) continue;
-      double sub_value = *sub_theta;
-      // Plain COUNT/SUM over a subsample scale by b / passing-rows already
-      // handled by Finalize(scale); nothing extra needed (weights are 1).
-      std::vector<double> replicate_thetas =
-          diag_groups[i][static_cast<size_t>(j)].Finalize(
-              query.aggregate.kind, subsample_scale, rng);
-      Result<ConfidenceInterval> sub_ci =
-          ReadCi(replicate_thetas, sub_value, config.alpha, mode);
-      if (!sub_ci.ok()) continue;
-      thetas.push_back(sub_value);
-      half_widths.push_back(sub_ci->half_width);
+      const SubsampleOutcome& out = outcomes[i][static_cast<size_t>(j)];
+      if (!out.valid) continue;
+      thetas.push_back(out.theta);
+      half_widths.push_back(out.half_width);
     }
     if (thetas.size() < 10) {
       return Status::FailedPrecondition(

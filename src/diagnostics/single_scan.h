@@ -39,10 +39,18 @@ struct SingleScanResult {
 /// RunDiagnosticConsolidated with a bootstrap ξ of `diag_replicates`;
 /// exists because it does the whole job in one pass and because it is the
 /// faithful implementation of the paper's weight-column fan-out.
+///
+/// The weight-column fan-out is the paper's embarrassingly parallel
+/// dimension (§5.3.2): the K bootstrap replicates split into chunks and
+/// every diagnostic subsample is its own task, all scheduled on `runtime`.
+/// Each replicate draws from the RNG stream keyed by its index (and each
+/// subsample from its (size, j) substream), so a fixed incoming `rng` state
+/// yields a bit-identical result at every thread count.
 Result<SingleScanResult> RunSingleScanPipeline(
     const Table& sample, const QuerySpec& query, int64_t population_rows,
     int bootstrap_replicates, int diag_replicates,
-    const DiagnosticConfig& config, BootstrapCiMode mode, Rng& rng);
+    const DiagnosticConfig& config, BootstrapCiMode mode, Rng& rng,
+    const ExecRuntime& runtime = ExecRuntime());
 
 }  // namespace aqp
 

@@ -23,7 +23,7 @@ Result<ConfidenceInterval> BootstrapEstimator::EstimateFromPrepared(
   Result<double> theta = ComputeAggregate(prepared, aggregate, scale_factor);
   if (!theta.ok()) return theta.status();
   Result<std::vector<double>> replicates = MultiResampleFromPrepared(
-      prepared, aggregate, scale_factor, num_resamples_, rng);
+      prepared, aggregate, scale_factor, num_resamples_, rng, runtime_);
   if (!replicates.ok()) return replicates.status();
   if (replicates->size() < 2) {
     return Status::FailedPrecondition(

@@ -2,6 +2,7 @@
 #define AQP_ESTIMATION_BOOTSTRAP_H_
 
 #include "estimation/error_estimator.h"
+#include "runtime/parallel_for.h"
 
 namespace aqp {
 
@@ -47,12 +48,20 @@ class BootstrapEstimator final : public ErrorEstimator {
       const PreparedQuery& prepared, const AggregateSpec& aggregate,
       double scale_factor, double alpha, Rng& rng) const override;
 
+  /// Runtime the K replicate computations fan out on (§5.3.2). Default is
+  /// serial; the engine points every estimator it owns at its shared pool.
+  /// Estimation stays deterministic for a fixed `rng` state at any thread
+  /// count (per-replicate RNG streams).
+  void set_runtime(const ExecRuntime& runtime) { runtime_ = runtime; }
+  const ExecRuntime& runtime() const { return runtime_; }
+
   int num_resamples() const { return num_resamples_; }
   BootstrapCiMode mode() const { return mode_; }
 
  private:
   int num_resamples_;
   BootstrapCiMode mode_;
+  ExecRuntime runtime_;
 };
 
 }  // namespace aqp

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <numeric>
 
+#include "runtime/rng_stream.h"
 #include "sampling/poisson_resample.h"
 #include "util/logging.h"
 #include "util/stats.h"
@@ -112,68 +113,113 @@ namespace {
 /// weight of the rows *not* passing the filter is itself Poisson(n - m), so
 /// the correction costs O(1) per replicate and preserves the streaming,
 /// pushdown-compatible execution of §5.3.
+/// Replicates per ParallelFor chunk: enough that each chunk's pass over the
+/// prepared values amortizes across several replicates' weight draws, small
+/// enough that K = 100 still splits across a pool.
+constexpr int64_t kReplicateGrain = 4;
+
+/// Compacts slot-indexed replicate results, dropping invalid entries while
+/// preserving replicate order (so output is independent of chunking).
+std::vector<double> CompactReplicates(const std::vector<double>& slots,
+                                      const std::vector<char>& valid) {
+  std::vector<double> thetas;
+  thetas.reserve(slots.size());
+  for (size_t k = 0; k < slots.size(); ++k) {
+    if (valid[k]) thetas.push_back(slots[k]);
+  }
+  return thetas;
+}
+
 std::vector<double> MultiResampleStreaming(const PreparedQuery& prepared,
                                            const AggregateSpec& aggregate,
                                            double scale_factor,
-                                           int num_resamples, Rng& rng) {
-  std::vector<WeightedAccumulator> accumulators(
-      static_cast<size_t>(num_resamples), WeightedAccumulator(aggregate.kind));
+                                           int num_resamples, Rng& rng,
+                                           const ExecRuntime& runtime) {
   size_t n = prepared.rows.size();
   bool has_input = aggregate.input != nullptr;
-  for (size_t i = 0; i < n; ++i) {
-    double value = has_input ? prepared.values[i] : 0.0;
-    for (auto& acc : accumulators) {
-      int32_t w = PoissonOneWeight(rng);
-      if (w > 0) acc.Add(value, static_cast<double>(w));
-    }
-  }
   bool size_scaled = aggregate.kind == AggregateKind::kCount ||
                      aggregate.kind == AggregateKind::kSum;
   double non_passing =
       static_cast<double>(prepared.table_rows) - static_cast<double>(n);
   double total_rows = static_cast<double>(prepared.table_rows);
-  std::vector<double> thetas;
-  thetas.reserve(accumulators.size());
-  for (const auto& acc : accumulators) {
-    Result<double> theta = acc.Finalize(scale_factor);
-    if (!theta.ok()) continue;
-    double value = *theta;
-    if (size_scaled && total_rows > 0.0) {
-      double resample_size =
-          acc.weight_sum() +
-          static_cast<double>(rng.NextPoisson(non_passing));
-      if (resample_size > 0.0) {
-        value *= total_rows / resample_size;
+  // One RNG stream per replicate, keyed by replicate index: the weight
+  // sequence replicate k draws is the same whichever worker runs it.
+  RngStreamFactory streams(rng);
+  std::vector<double> slots(static_cast<size_t>(num_resamples), 0.0);
+  std::vector<char> valid(static_cast<size_t>(num_resamples), 0);
+  ParallelFor(runtime, 0, num_resamples, kReplicateGrain,
+              [&](int64_t kb, int64_t ke) {
+    // This worker owns replicates [kb, ke): one pass over the shared
+    // prepared data feeds its slice of the accumulators (scan consolidation
+    // preserved — the filter/projection ran once, upstream).
+    size_t width = static_cast<size_t>(ke - kb);
+    std::vector<WeightedAccumulator> accumulators(
+        width, WeightedAccumulator(aggregate.kind));
+    std::vector<Rng> rngs;
+    rngs.reserve(width);
+    for (int64_t k = kb; k < ke; ++k) {
+      rngs.push_back(streams.Stream(static_cast<uint64_t>(k)));
+    }
+    for (size_t i = 0; i < n; ++i) {
+      double value = has_input ? prepared.values[i] : 0.0;
+      for (size_t s = 0; s < width; ++s) {
+        int32_t w = PoissonOneWeight(rngs[s]);
+        if (w > 0) accumulators[s].Add(value, static_cast<double>(w));
       }
     }
-    thetas.push_back(value);
-  }
-  return thetas;
+    for (size_t s = 0; s < width; ++s) {
+      Result<double> theta = accumulators[s].Finalize(scale_factor);
+      if (!theta.ok()) continue;
+      double value = *theta;
+      if (size_scaled && total_rows > 0.0) {
+        // The size-conditioning draw comes from the replicate's own stream,
+        // after its weight draws — position in the stream is deterministic.
+        double resample_size =
+            accumulators[s].weight_sum() +
+            static_cast<double>(rngs[s].NextPoisson(non_passing));
+        if (resample_size > 0.0) {
+          value *= total_rows / resample_size;
+        }
+      }
+      slots[static_cast<size_t>(kb) + s] = value;
+      valid[static_cast<size_t>(kb) + s] = 1;
+    }
+  });
+  return CompactReplicates(slots, valid);
 }
 
 /// Sort-once path for PERCENTILE: values are sorted a single time, then each
-/// resample re-weights the sorted order.
+/// resample re-weights the sorted order (replicates parallelized like the
+/// streaming path; the sort itself is shared).
 Result<std::vector<double>> MultiResamplePercentile(
     const PreparedQuery& prepared, const AggregateSpec& aggregate,
-    int num_resamples, Rng& rng) {
+    int num_resamples, Rng& rng, const ExecRuntime& runtime) {
   if (prepared.values.empty()) {
     return Status::FailedPrecondition("PERCENTILE over empty input");
   }
   std::vector<int64_t> order = SortOrder(prepared.values);
   size_t n = prepared.values.size();
-  std::vector<double> weights(n);
-  std::vector<double> thetas;
-  thetas.reserve(static_cast<size_t>(num_resamples));
-  for (int k = 0; k < num_resamples; ++k) {
-    for (double& w : weights) {
-      w = static_cast<double>(PoissonOneWeight(rng));
+  RngStreamFactory streams(rng);
+  std::vector<double> slots(static_cast<size_t>(num_resamples), 0.0);
+  std::vector<char> valid(static_cast<size_t>(num_resamples), 0);
+  ParallelFor(runtime, 0, num_resamples, kReplicateGrain,
+              [&](int64_t kb, int64_t ke) {
+    std::vector<double> weights(n);
+    for (int64_t k = kb; k < ke; ++k) {
+      Rng replicate_rng = streams.Stream(static_cast<uint64_t>(k));
+      for (double& w : weights) {
+        w = static_cast<double>(PoissonOneWeight(replicate_rng));
+      }
+      Result<double> theta = WeightedQuantileSorted(prepared.values, order,
+                                                    weights.data(),
+                                                    aggregate.percentile);
+      if (theta.ok()) {
+        slots[static_cast<size_t>(k)] = *theta;
+        valid[static_cast<size_t>(k)] = 1;
+      }
     }
-    Result<double> theta = WeightedQuantileSorted(prepared.values, order,
-                                                  weights.data(),
-                                                  aggregate.percentile);
-    if (theta.ok()) thetas.push_back(*theta);
-  }
-  return thetas;
+  });
+  return CompactReplicates(slots, valid);
 }
 
 }  // namespace
@@ -181,27 +227,30 @@ Result<std::vector<double>> MultiResamplePercentile(
 Result<std::vector<double>> ExecuteMultiResample(const Table& table,
                                                  const QuerySpec& query,
                                                  double scale_factor,
-                                                 int num_resamples, Rng& rng) {
+                                                 int num_resamples, Rng& rng,
+                                                 const ExecRuntime& runtime) {
   if (num_resamples <= 0) {
     return Status::InvalidArgument("num_resamples must be positive");
   }
   Result<PreparedQuery> prepared = PrepareQuery(table, query);
   if (!prepared.ok()) return prepared.status();
   return MultiResampleFromPrepared(*prepared, query.aggregate, scale_factor,
-                                   num_resamples, rng);
+                                   num_resamples, rng, runtime);
 }
 
 Result<std::vector<double>> MultiResampleFromPrepared(
     const PreparedQuery& prepared, const AggregateSpec& aggregate,
-    double scale_factor, int num_resamples, Rng& rng) {
+    double scale_factor, int num_resamples, Rng& rng,
+    const ExecRuntime& runtime) {
   if (num_resamples <= 0) {
     return Status::InvalidArgument("num_resamples must be positive");
   }
   if (aggregate.kind == AggregateKind::kPercentile) {
-    return MultiResamplePercentile(prepared, aggregate, num_resamples, rng);
+    return MultiResamplePercentile(prepared, aggregate, num_resamples, rng,
+                                   runtime);
   }
   return MultiResampleStreaming(prepared, aggregate, scale_factor,
-                                num_resamples, rng);
+                                num_resamples, rng, runtime);
 }
 
 Result<std::vector<double>> ExecuteMultiResampleExact(const Table& table,

@@ -7,6 +7,7 @@
 
 #include "exec/aggregate.h"
 #include "exec/query_spec.h"
+#include "runtime/parallel_for.h"
 #include "storage/table.h"
 #include "util/random.h"
 #include "util/status.h"
@@ -57,17 +58,24 @@ Result<double> ComputeWeightedAggregate(const PreparedQuery& prepared,
 /// accumulators. Resamples that fail to produce a value (e.g. an all-zero
 /// weight vector on a tiny input) are skipped, so the result may have fewer
 /// than `num_resamples` entries.
-Result<std::vector<double>> ExecuteMultiResample(const Table& table,
-                                                 const QuerySpec& query,
-                                                 double scale_factor,
-                                                 int num_resamples, Rng& rng);
+///
+/// The replicate dimension parallelizes on `runtime` (§5.3.2): workers own
+/// disjoint slices of the K accumulators over the shared prepared data, so
+/// scan consolidation is preserved. Replicate k always draws from the RNG
+/// stream keyed by (one draw from `rng`, k), so for a fixed incoming `rng`
+/// state the replicate set is bit-identical at every thread count — the
+/// default serial runtime included.
+Result<std::vector<double>> ExecuteMultiResample(
+    const Table& table, const QuerySpec& query, double scale_factor,
+    int num_resamples, Rng& rng, const ExecRuntime& runtime = ExecRuntime());
 
 /// Same replicate computation, but over an already-prepared query — the
 /// entry point the consolidated diagnostic uses to resample subsample
 /// slices without re-running the filter or projection.
 Result<std::vector<double>> MultiResampleFromPrepared(
     const PreparedQuery& prepared, const AggregateSpec& aggregate,
-    double scale_factor, int num_resamples, Rng& rng);
+    double scale_factor, int num_resamples, Rng& rng,
+    const ExecRuntime& runtime = ExecRuntime());
 
 /// Same replicate computation via exact with-replacement resampling
 /// (the Tuple-Augmentation-style baseline of §5.1): each replicate draws

@@ -1,0 +1,66 @@
+#include "runtime/parallel_for.h"
+
+#include <algorithm>
+#include <atomic>
+
+namespace aqp {
+
+bool ExecRuntime::Serial() const {
+  return pool_ == nullptr || max_parallelism_ == 1 || pool_->OnWorkerThread();
+}
+
+int ExecRuntime::WorkersFor(int64_t items, int64_t grain) const {
+  if (Serial() || items <= 0) return 1;
+  int64_t chunks = (items + std::max<int64_t>(grain, 1) - 1) /
+                   std::max<int64_t>(grain, 1);
+  // The calling thread participates alongside the pool workers.
+  int64_t width = pool_->num_threads() + 1;
+  if (max_parallelism_ > 0) width = std::min<int64_t>(width, max_parallelism_);
+  return static_cast<int>(std::min(width, chunks));
+}
+
+void ParallelFor(const ExecRuntime& runtime, int64_t begin, int64_t end,
+                 int64_t grain,
+                 const std::function<void(int64_t, int64_t)>& body) {
+  if (begin >= end) return;
+  grain = std::max<int64_t>(grain, 1);
+  int workers = runtime.WorkersFor(end - begin, grain);
+  if (workers <= 1) {
+    body(begin, end);
+    return;
+  }
+
+  int64_t num_chunks = (end - begin + grain - 1) / grain;
+  std::atomic<int64_t> next_chunk{0};
+  std::atomic<bool> cancelled{false};
+  auto drain = [&] {
+    for (;;) {
+      if (cancelled.load(std::memory_order_relaxed)) return;
+      int64_t c = next_chunk.fetch_add(1, std::memory_order_relaxed);
+      if (c >= num_chunks) return;
+      int64_t b = begin + c * grain;
+      int64_t e = std::min(end, b + grain);
+      try {
+        body(b, e);
+      } catch (...) {
+        cancelled.store(true, std::memory_order_relaxed);
+        throw;
+      }
+    }
+  };
+
+  // workers - 1 helpers on the pool; the caller drains chunks itself, so
+  // progress never depends on the pool having a free slot.
+  TaskGroup group(runtime.pool());
+  for (int i = 0; i < workers - 1; ++i) group.Run(drain);
+  std::exception_ptr caller_error;
+  try {
+    drain();
+  } catch (...) {
+    caller_error = std::current_exception();
+  }
+  group.Wait();  // Rethrows the first helper exception, if any.
+  if (caller_error != nullptr) std::rethrow_exception(caller_error);
+}
+
+}  // namespace aqp

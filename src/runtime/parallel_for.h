@@ -1,0 +1,62 @@
+#ifndef AQP_RUNTIME_PARALLEL_FOR_H_
+#define AQP_RUNTIME_PARALLEL_FOR_H_
+
+#include <cstdint>
+#include <functional>
+
+#include "runtime/thread_pool.h"
+
+namespace aqp {
+
+/// Execution-runtime handle threaded through the hot paths: which pool to
+/// fan out on and how wide any single parallel region may go (the §5.3.2
+/// `max_parallelism` knob — past the task-overhead sweet spot, more tasks
+/// cost more than they buy). Cheap to copy; a default-constructed runtime
+/// means "serial".
+class ExecRuntime {
+ public:
+  ExecRuntime() = default;
+
+  /// `pool` may be null (serial). `max_parallelism` caps the workers of one
+  /// parallel region, calling thread included; 0 means "as wide as the
+  /// pool".
+  explicit ExecRuntime(ThreadPool* pool, int max_parallelism = 0)
+      : pool_(pool), max_parallelism_(max_parallelism) {}
+
+  ThreadPool* pool() const { return pool_; }
+  int max_parallelism() const { return max_parallelism_; }
+
+  /// True when parallel regions on this runtime run inline on the calling
+  /// thread (no pool, a one-wide bound, or the caller already being a pool
+  /// worker inside an enclosing region).
+  bool Serial() const;
+
+  /// Workers a region over `items` items of at least `grain` each may use,
+  /// calling thread included; always >= 1.
+  int WorkersFor(int64_t items, int64_t grain) const;
+
+ private:
+  ThreadPool* pool_ = nullptr;
+  int max_parallelism_ = 0;
+};
+
+/// Runs `body(chunk_begin, chunk_end)` over contiguous chunks of
+/// [begin, end), each of `grain` items (the final chunk may be short), on
+/// the runtime's pool with the calling thread participating. Blocks until
+/// the whole range is done and rethrows the first exception a chunk raised.
+///
+/// Chunks are claimed dynamically (load balancing across uneven chunks), so
+/// the thread executing a given chunk is scheduling-dependent — bodies must
+/// derive any randomness from the chunk index (see RngStreamFactory), never
+/// from thread identity, to keep results reproducible across thread counts.
+///
+/// Serial runtimes (and nested calls from inside a pool worker) execute
+/// `body(begin, end)` in one inline call; bodies must therefore accept
+/// arbitrary chunk boundaries.
+void ParallelFor(const ExecRuntime& runtime, int64_t begin, int64_t end,
+                 int64_t grain,
+                 const std::function<void(int64_t, int64_t)>& body);
+
+}  // namespace aqp
+
+#endif  // AQP_RUNTIME_PARALLEL_FOR_H_

@@ -1,0 +1,53 @@
+#ifndef AQP_RUNTIME_RNG_STREAM_H_
+#define AQP_RUNTIME_RNG_STREAM_H_
+
+#include <cstdint>
+
+#include "util/random.h"
+
+namespace aqp {
+
+/// Derives a child seed from (seed, stream_id) with a SplitMix64-style
+/// finalizer: a bijective avalanche over the combined bits, so consecutive
+/// stream ids yield statistically unrelated seeds. The derivation is pure —
+/// it is what makes parallel resampling reproducible: every replicate /
+/// subsample owns the stream keyed by its *index*, so the weight sequence it
+/// draws is independent of which thread runs it, how the range was chunked,
+/// or how many workers the pool has.
+inline uint64_t DeriveStreamSeed(uint64_t seed, uint64_t stream_id) {
+  uint64_t z = seed + 0x9e3779b97f4a7c15ULL * (stream_id + 1);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// Factory for per-task deterministic RNG streams. A parallel region draws
+/// one base seed from its caller's Rng (advancing that Rng exactly once,
+/// regardless of parallelism), then hands each task the stream keyed by the
+/// task's index.
+class RngStreamFactory {
+ public:
+  explicit RngStreamFactory(uint64_t base_seed) : base_seed_(base_seed) {}
+
+  /// Convenience: draws the base seed from `rng` (one NextUint64 call).
+  explicit RngStreamFactory(Rng& rng) : base_seed_(rng.NextUint64()) {}
+
+  /// The independent generator for stream `id`. Deterministic in
+  /// (base seed, id) alone.
+  Rng Stream(uint64_t id) const { return Rng(DeriveStreamSeed(base_seed_, id)); }
+
+  /// A child factory for hierarchical stream spaces (e.g. one substream
+  /// space per diagnostic subsample, with one stream per replicate inside).
+  RngStreamFactory Substream(uint64_t id) const {
+    return RngStreamFactory(DeriveStreamSeed(base_seed_, id));
+  }
+
+  uint64_t base_seed() const { return base_seed_; }
+
+ private:
+  uint64_t base_seed_;
+};
+
+}  // namespace aqp
+
+#endif  // AQP_RUNTIME_RNG_STREAM_H_

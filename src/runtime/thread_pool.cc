@@ -1,0 +1,112 @@
+#include "runtime/thread_pool.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace aqp {
+namespace {
+
+/// The pool (if any) whose WorkerLoop owns the current thread.
+thread_local const ThreadPool* current_pool = nullptr;
+
+}  // namespace
+
+ThreadPool::ThreadPool(int num_threads) {
+  int n = std::max(num_threads, 1);
+  workers_.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutting_down_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(std::move(task));
+  }
+  work_cv_.notify_one();
+}
+
+bool ThreadPool::OnWorkerThread() const { return current_pool == this; }
+
+int ThreadPool::HardwareConcurrency() {
+  unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : static_cast<int>(n);
+}
+
+void ThreadPool::WorkerLoop() {
+  current_pool = this;
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [this] { return shutting_down_ || !queue_.empty(); });
+      // Shutdown drains the queue: run remaining tasks before exiting.
+      if (queue_.empty()) return;
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+TaskGroup::TaskGroup(ThreadPool* pool) : pool_(pool) {}
+
+TaskGroup::~TaskGroup() {
+  try {
+    Wait();
+  } catch (...) {
+    // Unobserved task failure; Wait() is the path that reports it.
+  }
+}
+
+void TaskGroup::RunTask(const std::function<void()>& task) {
+  try {
+    task();
+  } catch (...) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (first_error_ == nullptr) first_error_ = std::current_exception();
+  }
+}
+
+void TaskGroup::Run(std::function<void()> task) {
+  // Inline when there is no pool, or when the caller is itself a worker of
+  // the pool: a worker enqueueing work it then waits for can deadlock once
+  // every worker is doing the same.
+  if (pool_ == nullptr || pool_->OnWorkerThread()) {
+    RunTask(task);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++pending_;
+  }
+  auto shared = std::make_shared<std::function<void()>>(std::move(task));
+  pool_->Submit([this, shared] {
+    RunTask(*shared);
+    std::lock_guard<std::mutex> lock(mu_);
+    if (--pending_ == 0) done_cv_.notify_all();
+  });
+}
+
+void TaskGroup::Wait() {
+  std::unique_lock<std::mutex> lock(mu_);
+  done_cv_.wait(lock, [this] { return pending_ == 0; });
+  if (first_error_ != nullptr) {
+    std::exception_ptr error = first_error_;
+    first_error_ = nullptr;
+    lock.unlock();
+    std::rethrow_exception(error);
+  }
+}
+
+}  // namespace aqp

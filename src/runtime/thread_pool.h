@@ -1,0 +1,99 @@
+#ifndef AQP_RUNTIME_THREAD_POOL_H_
+#define AQP_RUNTIME_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace aqp {
+
+/// Fixed-size worker pool with a FIFO work queue — the bounded-parallelism
+/// execution runtime of paper §5.3.2. Bootstrap replicates and diagnostic
+/// subsamples are embarrassingly parallel, but only up to the point where
+/// per-task overhead dominates (Fig. 8); a fixed pool shared by every query
+/// keeps total parallelism at the configured sweet spot no matter how many
+/// concurrent callers fan work out.
+///
+/// Tasks must not block on other tasks of the same pool (parallel regions
+/// built on top of the pool run nested regions inline instead — see
+/// ParallelFor), so the pool cannot deadlock on its own queue.
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (clamped to >= 1).
+  explicit ThreadPool(int num_threads);
+
+  /// Drains every queued task, then joins the workers. Tasks submitted
+  /// before destruction are guaranteed to run.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues `task` for execution on some worker. Tasks must not throw out
+  /// of their body unless the caller arranges to observe the exception (as
+  /// TaskGroup does); a throw out of a bare Submit task terminates.
+  void Submit(std::function<void()> task);
+
+  int num_threads() const { return static_cast<int>(workers_.size()); }
+
+  /// True when the calling thread is one of this pool's workers. Parallel
+  /// regions use this to run nested fan-out inline: a worker that blocked
+  /// waiting for queue slots it itself occupies would deadlock, and nested
+  /// fan-out would exceed the parallelism bound anyway.
+  bool OnWorkerThread() const;
+
+  /// std::thread::hardware_concurrency with a floor of 1 (the standard
+  /// permits 0 for "unknown").
+  static int HardwareConcurrency();
+
+ private:
+  void WorkerLoop();
+
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::deque<std::function<void()>> queue_;
+  bool shutting_down_ = false;
+  std::vector<std::thread> workers_;
+};
+
+/// A batch of tasks submitted together and awaited together. The calling
+/// thread runs tasks inline when there is no pool (or when it is itself a
+/// pool worker); otherwise tasks go to the pool and Wait() blocks until all
+/// of them have finished.
+class TaskGroup {
+ public:
+  /// `pool` may be null: every task then runs inline in Run().
+  explicit TaskGroup(ThreadPool* pool);
+
+  /// Waits for outstanding tasks; any pending exception is swallowed here
+  /// (call Wait() to observe it).
+  ~TaskGroup();
+
+  TaskGroup(const TaskGroup&) = delete;
+  TaskGroup& operator=(const TaskGroup&) = delete;
+
+  /// Schedules `task`. Safe to call concurrently with other Run() calls.
+  void Run(std::function<void()> task);
+
+  /// Blocks until every scheduled task has finished, then rethrows the
+  /// first exception any task raised (first in completion order).
+  void Wait();
+
+ private:
+  void RunTask(const std::function<void()>& task);
+
+  ThreadPool* pool_;
+  std::mutex mu_;
+  std::condition_variable done_cv_;
+  int64_t pending_ = 0;
+  std::exception_ptr first_error_;
+};
+
+}  // namespace aqp
+
+#endif  // AQP_RUNTIME_THREAD_POOL_H_

@@ -1,0 +1,324 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "exec/executor.h"
+#include "exec/query_spec.h"
+#include "expr/expr.h"
+#include "runtime/parallel_for.h"
+#include "runtime/rng_stream.h"
+#include "runtime/thread_pool.h"
+#include "storage/table.h"
+#include "util/random.h"
+
+namespace aqp {
+namespace {
+
+// ---------------------------------------------------------------------------
+// ThreadPool
+// ---------------------------------------------------------------------------
+
+TEST(ThreadPoolTest, ClampsToAtLeastOneWorker) {
+  ThreadPool zero(0);
+  EXPECT_EQ(zero.num_threads(), 1);
+  ThreadPool negative(-3);
+  EXPECT_EQ(negative.num_threads(), 1);
+  ThreadPool four(4);
+  EXPECT_EQ(four.num_threads(), 4);
+}
+
+TEST(ThreadPoolTest, RunsEverySubmittedTaskRegardlessOfOrder) {
+  ThreadPool pool(4);
+  constexpr int kTasks = 500;
+  std::vector<std::atomic<int>> ran(kTasks);
+  for (auto& r : ran) r.store(0);
+  TaskGroup group(&pool);
+  for (int i = 0; i < kTasks; ++i) {
+    group.Run([&ran, i] { ran[i].fetch_add(1); });
+  }
+  group.Wait();
+  for (int i = 0; i < kTasks; ++i) {
+    EXPECT_EQ(ran[i].load(), 1) << "task " << i;
+  }
+}
+
+TEST(ThreadPoolTest, OnWorkerThreadDistinguishesWorkersFromCaller) {
+  ThreadPool pool(2);
+  EXPECT_FALSE(pool.OnWorkerThread());
+  std::atomic<bool> saw_worker{false};
+  TaskGroup group(&pool);
+  group.Run([&] { saw_worker.store(pool.OnWorkerThread()); });
+  group.Wait();
+  EXPECT_TRUE(saw_worker.load());
+}
+
+TEST(ThreadPoolTest, DestructorDrainsQueuedTasksUnderLoad) {
+  constexpr int kTasks = 2000;
+  std::atomic<int> ran{0};
+  {
+    ThreadPool pool(3);
+    for (int i = 0; i < kTasks; ++i) {
+      pool.Submit([&ran] { ran.fetch_add(1); });
+    }
+    // Destruction races a mostly-full queue: every task must still run.
+  }
+  EXPECT_EQ(ran.load(), kTasks);
+}
+
+TEST(ThreadPoolTest, HardwareConcurrencyIsPositive) {
+  EXPECT_GE(ThreadPool::HardwareConcurrency(), 1);
+}
+
+// ---------------------------------------------------------------------------
+// TaskGroup
+// ---------------------------------------------------------------------------
+
+TEST(TaskGroupTest, RunsInlineWithoutPool) {
+  TaskGroup group(nullptr);
+  int ran = 0;
+  group.Run([&] { ++ran; });
+  EXPECT_EQ(ran, 1);  // Inline: done before Wait().
+  group.Wait();
+}
+
+TEST(TaskGroupTest, WaitRethrowsTaskException) {
+  ThreadPool pool(2);
+  TaskGroup group(&pool);
+  for (int i = 0; i < 8; ++i) {
+    group.Run([i] {
+      if (i == 5) throw std::runtime_error("task 5 failed");
+    });
+  }
+  EXPECT_THROW(group.Wait(), std::runtime_error);
+}
+
+TEST(TaskGroupTest, InlineExceptionAlsoSurfacesInWait) {
+  TaskGroup group(nullptr);
+  group.Run([] { throw std::runtime_error("inline failure"); });
+  EXPECT_THROW(group.Wait(), std::runtime_error);
+}
+
+// ---------------------------------------------------------------------------
+// ExecRuntime / ParallelFor
+// ---------------------------------------------------------------------------
+
+TEST(ExecRuntimeTest, DefaultIsSerial) {
+  ExecRuntime runtime;
+  EXPECT_TRUE(runtime.Serial());
+  EXPECT_EQ(runtime.WorkersFor(1000, 1), 1);
+}
+
+TEST(ExecRuntimeTest, WorkersRespectBoundsAndChunkCount) {
+  ThreadPool pool(4);
+  ExecRuntime unbounded(&pool);
+  EXPECT_FALSE(unbounded.Serial());
+  // Pool workers + the calling thread, but never more than the chunks.
+  EXPECT_EQ(unbounded.WorkersFor(1000, 1), 5);
+  EXPECT_EQ(unbounded.WorkersFor(3, 1), 3);
+  EXPECT_EQ(unbounded.WorkersFor(100, 50), 2);
+
+  ExecRuntime bounded(&pool, 2);
+  EXPECT_EQ(bounded.WorkersFor(1000, 1), 2);
+
+  ExecRuntime one_wide(&pool, 1);
+  EXPECT_TRUE(one_wide.Serial());
+}
+
+TEST(ParallelForTest, CoversRangeExactlyOnce) {
+  ThreadPool pool(4);
+  ExecRuntime runtime(&pool);
+  constexpr int64_t kN = 10007;  // Prime: uneven final chunk.
+  std::vector<std::atomic<int>> hits(kN);
+  for (auto& h : hits) h.store(0);
+  ParallelFor(runtime, 0, kN, 64, [&](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) hits[i].fetch_add(1);
+  });
+  for (int64_t i = 0; i < kN; ++i) {
+    ASSERT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ParallelForTest, SerialRuntimeRunsInlineAsOneChunk) {
+  ExecRuntime runtime;
+  std::vector<std::pair<int64_t, int64_t>> chunks;
+  ParallelFor(runtime, 5, 42, 4, [&](int64_t lo, int64_t hi) {
+    chunks.emplace_back(lo, hi);
+  });
+  ASSERT_EQ(chunks.size(), 1u);
+  EXPECT_EQ(chunks[0].first, 5);
+  EXPECT_EQ(chunks[0].second, 42);
+}
+
+TEST(ParallelForTest, EmptyRangeNeverInvokesBody) {
+  ThreadPool pool(2);
+  ExecRuntime runtime(&pool);
+  std::atomic<int> calls{0};
+  ParallelFor(runtime, 7, 7, 1, [&](int64_t, int64_t) { calls.fetch_add(1); });
+  EXPECT_EQ(calls.load(), 0);
+}
+
+TEST(ParallelForTest, RethrowsFirstChunkException) {
+  ThreadPool pool(4);
+  ExecRuntime runtime(&pool);
+  EXPECT_THROW(
+      ParallelFor(runtime, 0, 100, 1,
+                  [&](int64_t lo, int64_t) {
+                    if (lo == 37) throw std::runtime_error("chunk failed");
+                  }),
+      std::runtime_error);
+}
+
+TEST(ParallelForTest, NestedCallFromWorkerRunsInlineWithoutDeadlock) {
+  ThreadPool pool(2);
+  ExecRuntime runtime(&pool);
+  std::atomic<int64_t> inner_items{0};
+  // Outer region saturates the pool; each chunk opens an inner region. If
+  // the inner region queued pool tasks and blocked on them, the workers
+  // would deadlock on their own queue.
+  ParallelFor(runtime, 0, 8, 1, [&](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) {
+      ParallelFor(runtime, 0, 16, 1, [&](int64_t ilo, int64_t ihi) {
+        inner_items.fetch_add(ihi - ilo);
+      });
+    }
+  });
+  EXPECT_EQ(inner_items.load(), 8 * 16);
+}
+
+// ---------------------------------------------------------------------------
+// RNG streams
+// ---------------------------------------------------------------------------
+
+TEST(RngStreamTest, StreamsAreDeterministicInSeedAndId) {
+  RngStreamFactory a(12345u);
+  RngStreamFactory b(12345u);
+  for (uint64_t id = 0; id < 16; ++id) {
+    Rng ra = a.Stream(id);
+    Rng rb = b.Stream(id);
+    for (int i = 0; i < 32; ++i) {
+      ASSERT_EQ(ra.NextUint64(), rb.NextUint64()) << "stream " << id;
+    }
+  }
+}
+
+TEST(RngStreamTest, DistinctIdsYieldDistinctStreams) {
+  RngStreamFactory factory(42u);
+  Rng r0 = factory.Stream(0);
+  Rng r1 = factory.Stream(1);
+  int differing = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (r0.NextUint64() != r1.NextUint64()) ++differing;
+  }
+  EXPECT_GT(differing, 60);
+}
+
+TEST(RngStreamTest, FactoryFromRngAdvancesCallerExactlyOnce) {
+  Rng a(7u);
+  Rng b(7u);
+  RngStreamFactory factory(a);
+  (void)b.NextUint64();  // Mirror the single draw.
+  EXPECT_EQ(a.NextUint64(), b.NextUint64());
+  EXPECT_EQ(factory.base_seed(), RngStreamFactory(Rng(7u).NextUint64()).base_seed());
+}
+
+TEST(RngStreamTest, SubstreamsSeparateHierarchicalSpaces) {
+  RngStreamFactory root(99u);
+  RngStreamFactory child0 = root.Substream(0);
+  RngStreamFactory child1 = root.Substream(1);
+  EXPECT_NE(child0.base_seed(), child1.base_seed());
+  // Child streams must not collide with the parent's own stream space.
+  EXPECT_NE(child0.Stream(0).NextUint64(), root.Stream(0).NextUint64());
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end determinism: resampling is bit-identical across thread counts
+// ---------------------------------------------------------------------------
+
+Table MakeWideTable(int64_t rows) {
+  Table t("t");
+  Column v = Column::MakeDouble("v");
+  Rng rng(2024);
+  for (int64_t i = 0; i < rows; ++i) v.AppendDouble(rng.NextDouble() * 100.0);
+  EXPECT_TRUE(t.AddColumn(std::move(v)).ok());
+  return t;
+}
+
+QuerySpec MakeQuery(AggregateKind kind, bool with_filter) {
+  QuerySpec q;
+  q.id = "determinism";
+  q.table = "t";
+  if (with_filter) q.filter = Lt(ColumnRef("v"), Literal(60.0));
+  q.aggregate.kind = kind;
+  q.aggregate.input = ColumnRef("v");
+  q.aggregate.percentile = 0.9;
+  return q;
+}
+
+std::vector<double> ResampleAt(const Table& table, const QuerySpec& query,
+                               int num_threads, uint64_t seed) {
+  std::unique_ptr<ThreadPool> pool;
+  if (num_threads > 1) pool = std::make_unique<ThreadPool>(num_threads);
+  ExecRuntime runtime(pool.get());
+  Rng rng(seed);
+  Result<std::vector<double>> r =
+      ExecuteMultiResample(table, query, 2.0, 64, rng, runtime);
+  EXPECT_TRUE(r.ok()) << r.status().message();
+  return r.ok() ? *r : std::vector<double>{};
+}
+
+TEST(ResampleDeterminismTest, BitIdenticalAcrossThreadCounts) {
+  Table table = MakeWideTable(5000);
+  // SUM with a filter exercises the Hájek size-conditioning draw; AVG the
+  // plain streaming path; PERCENTILE the sort-based path.
+  const struct {
+    AggregateKind kind;
+    bool filter;
+  } cases[] = {
+      {AggregateKind::kSum, true},
+      {AggregateKind::kCount, true},
+      {AggregateKind::kAvg, false},
+      {AggregateKind::kPercentile, false},
+  };
+  for (const auto& c : cases) {
+    QuerySpec q = MakeQuery(c.kind, c.filter);
+    std::vector<double> serial = ResampleAt(table, q, 1, 7);
+    ASSERT_FALSE(serial.empty()) << AggregateKindName(c.kind);
+    for (int threads : {2, 8}) {
+      std::vector<double> parallel = ResampleAt(table, q, threads, 7);
+      ASSERT_EQ(serial.size(), parallel.size())
+          << AggregateKindName(c.kind) << " @ " << threads;
+      for (size_t i = 0; i < serial.size(); ++i) {
+        // Bit-identical, not approximately equal.
+        ASSERT_EQ(serial[i], parallel[i])
+            << AggregateKindName(c.kind) << " replicate " << i << " @ "
+            << threads << " threads";
+      }
+    }
+  }
+}
+
+TEST(ResampleDeterminismTest, MaxParallelismBoundPreservesResults) {
+  Table table = MakeWideTable(2000);
+  QuerySpec q = MakeQuery(AggregateKind::kAvg, true);
+  ThreadPool pool(4);
+  std::vector<std::vector<double>> results;
+  for (int bound : {0, 1, 2, 3}) {
+    ExecRuntime runtime(&pool, bound);
+    Rng rng(11);
+    Result<std::vector<double>> r =
+        ExecuteMultiResample(table, q, 1.0, 40, rng, runtime);
+    ASSERT_TRUE(r.ok());
+    results.push_back(*r);
+  }
+  for (size_t i = 1; i < results.size(); ++i) {
+    ASSERT_EQ(results[0], results[i]) << "max_parallelism case " << i;
+  }
+}
+
+}  // namespace
+}  // namespace aqp
