@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <queue>
 
 #include "util/logging.h"
@@ -105,25 +106,92 @@ JobTiming ClusterSimulator::SimulateJob(const JobSpec& job,
   double per_task_dispatch =
       c.task_dispatch_overhead_s +
       driver_serial_s / static_cast<double>(launched);
+  // One machine may die during the job (drawn once). Attempts in flight at
+  // the death time were on the dead machine with probability equal to its
+  // share of the active slots. The death time is uniform over a rough
+  // makespan estimate so long jobs see mid-flight deaths, not only early
+  // ones.
+  double machine_failure_prob =
+      std::clamp(c.machine_failure_prob, 0.0, 1.0);
+  double machine_death_time = std::numeric_limits<double>::infinity();
+  if (machine_failure_prob > 0.0 && rng_.NextBernoulli(machine_failure_prob)) {
+    double nominal_task_s = c.task_startup_overhead_s +
+                            task_mb / c.disk_bandwidth_mbps +
+                            task_mb / c.cpu_process_mbps;
+    double waves = std::ceil(static_cast<double>(launched) /
+                             static_cast<double>(slots));
+    double est_makespan =
+        per_task_dispatch * static_cast<double>(launched) +
+        nominal_task_s * std::max(1.0, waves);
+    machine_death_time = rng_.NextDouble() * est_makespan;
+  }
+  double on_dead_machine_prob =
+      static_cast<double>(c.slots_per_machine) / static_cast<double>(slots);
+
+  double task_failure_prob = std::clamp(c.task_failure_prob, 0.0, 1.0);
+  const double inf = std::numeric_limits<double>::infinity();
   std::vector<double> finish_times;
   finish_times.reserve(static_cast<size_t>(launched));
+  double last_activity = 0.0;
   double dispatch_clock = 0.0;
   for (int64_t t = 0; t < launched; ++t) {
     dispatch_clock += per_task_dispatch;
-    double slot_ready = slot_free.top();
-    slot_free.pop();
-    double start = std::max(dispatch_clock, slot_ready);
-    double finish = start + TaskDuration(task_mb, job.weight_columns,
-                                         job.weight_volume_fraction, tuning);
-    finish_times.push_back(finish);
-    slot_free.push(finish);
+    // Attempt loop: a failed attempt loses the work it had done, frees its
+    // slot at the failure point, and is re-dispatched after exponential
+    // backoff until the retry budget runs out.
+    double ready = dispatch_clock;
+    double finish = inf;
+    for (int attempt = 0; attempt <= std::max(0, c.max_task_retries);
+         ++attempt) {
+      double slot_ready = slot_free.top();
+      slot_free.pop();
+      double start = std::max(ready, slot_ready);
+      double duration = TaskDuration(task_mb, job.weight_columns,
+                                     job.weight_volume_fraction, tuning);
+      double end = start + duration;
+      bool failed = task_failure_prob > 0.0 &&
+                    rng_.NextBernoulli(task_failure_prob);
+      if (!failed && start <= machine_death_time && machine_death_time < end) {
+        failed = rng_.NextBernoulli(on_dead_machine_prob);
+      }
+      if (!failed) {
+        finish = end;
+        slot_free.push(end);
+        break;
+      }
+      ++timing.task_failures;
+      // The attempt died a uniformly random fraction of the way through.
+      double fail_time = start + duration * rng_.NextDouble();
+      slot_free.push(fail_time);
+      last_activity = std::max(last_activity, fail_time);
+      if (attempt == std::max(0, c.max_task_retries)) break;
+      ++timing.task_retries;
+      double backoff = std::min(
+          c.retry_backoff_base_s * std::pow(2.0, static_cast<double>(attempt)),
+          c.retry_backoff_max_s);
+      ready = fail_time + backoff;
+    }
+    if (std::isinf(finish)) {
+      ++timing.tasks_lost;
+    } else {
+      finish_times.push_back(finish);
+      last_activity = std::max(last_activity, finish);
+    }
   }
   std::sort(finish_times.begin(), finish_times.end());
   // With straggler mitigation the clones make task results interchangeable
   // (identical random samples of the same data), so the job completes once
   // `required` of the `launched` attempts finish — the slowest ~10% are
-  // abandoned (§6.3).
-  double tasks_done = finish_times[static_cast<size_t>(required - 1)];
+  // abandoned (§6.3). The same interchangeability lets clones cover tasks
+  // lost to failures: the job only fails when fewer than `required`
+  // attempts finished at all.
+  double tasks_done;
+  if (static_cast<int64_t>(finish_times.size()) >= required) {
+    tasks_done = finish_times[static_cast<size_t>(required - 1)];
+  } else {
+    timing.completed = false;
+    tasks_done = last_activity;
+  }
   // Many-to-one aggregation per subquery: combine cost grows with the
   // number of task outputs feeding one aggregate; subquery aggregations
   // overlap with each other, so the tail cost is one subquery's combine.
@@ -146,6 +214,10 @@ PipelineTiming ClusterSimulator::SimulatePipeline(
   timing.error_estimation_s = e.duration_s;
   timing.diagnostics_s = d.duration_s;
   timing.tasks_launched = q.tasks_launched + e.tasks_launched + d.tasks_launched;
+  timing.task_failures = q.task_failures + e.task_failures + d.task_failures;
+  timing.task_retries = q.task_retries + e.task_retries + d.task_retries;
+  timing.tasks_lost = q.tasks_lost + e.tasks_lost + d.tasks_lost;
+  timing.completed = q.completed && e.completed && d.completed;
   return timing;
 }
 

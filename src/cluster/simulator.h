@@ -56,6 +56,27 @@ struct ClusterConfig {
   /// Lognormal sigma of benign task-duration jitter.
   double jitter_sigma = 0.12;
 
+  /// Fault injection and recovery. Failures generalize the §6.3 observation
+  /// that task results are interchangeable (each task processes a random
+  /// sample of the same data): a failed attempt can be retried or covered by
+  /// a speculative clone without changing the answer.
+  ///
+  /// Probability any single task *attempt* fails partway through (executor
+  /// crash, fetch failure, preemption). The work done before the failure is
+  /// lost and the slot is freed at the failure point.
+  double task_failure_prob = 0.0;
+  /// Probability one machine dies during the job. Attempts in flight at the
+  /// death time fail with probability slots_per_machine / active slots
+  /// (i.e. if they were scheduled on the dead machine).
+  double machine_failure_prob = 0.0;
+  /// Retries per task after its first failed attempt; a task whose attempts
+  /// are exhausted is lost (covered only by speculative clones, if any).
+  int max_task_retries = 3;
+  /// Exponential backoff before re-dispatching a failed attempt:
+  /// min(base * 2^attempt, max) seconds.
+  double retry_backoff_base_s = 0.5;
+  double retry_backoff_max_s = 8.0;
+
   /// Total size of the sample store that could be cached (all samples of
   /// all tables), and the penalty model for spilling intermediate state.
   double total_sample_store_mb = 1000.0 * 1024;
@@ -115,6 +136,16 @@ struct ExecutionTuning {
 struct JobTiming {
   double duration_s = 0.0;
   int64_t tasks_launched = 0;
+  /// Failed task attempts (includes attempts that were later retried).
+  int64_t task_failures = 0;
+  /// Re-dispatches after a failed attempt.
+  int64_t task_retries = 0;
+  /// Tasks whose retry budget was exhausted (never produced a result).
+  int64_t tasks_lost = 0;
+  /// False when fewer than the required number of task results finished
+  /// (lost tasks exceeded the speculative-clone cover): `duration_s` then
+  /// reports the time spent before the job was abandoned.
+  bool completed = true;
 };
 
 /// Simulated end-to-end response for the three-part pipeline of Fig. 5/7:
@@ -125,6 +156,11 @@ struct PipelineTiming {
   double error_estimation_s = 0.0;
   double diagnostics_s = 0.0;
   int64_t tasks_launched = 0;
+  int64_t task_failures = 0;
+  int64_t task_retries = 0;
+  int64_t tasks_lost = 0;
+  /// False when any of the three jobs failed to complete.
+  bool completed = true;
 
   double total_s() const {
     double t = query_s;

@@ -1,13 +1,26 @@
 #include "core/engine.h"
 
+#include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <fstream>
 #include <sstream>
 
+#include "runtime/cancellation.h"
 #include "runtime/rng_stream.h"
 #include "storage/serialize.h"
 
 namespace aqp {
+namespace {
+
+/// True once `runtime`'s wall-clock deadline has expired (polling also
+/// latches the expiry, so the subsequent cause check is exact).
+bool DeadlineHit(const ExecRuntime& runtime) {
+  return runtime.token().CancelRequested() &&
+         runtime.token().DeadlineExpired();
+}
+
+}  // namespace
 
 const char* EstimationMethodName(EstimationMethod method) {
   switch (method) {
@@ -32,6 +45,7 @@ AqpEngine::AqpEngine(EngineOptions options)
   if (threads > 1) pool_ = std::make_unique<ThreadPool>(threads);
   runtime_ = ExecRuntime(pool_.get(), options_.max_parallelism);
   bootstrap_.set_runtime(runtime_);
+  observed_rows_per_second_ = options_.rows_per_second;
 }
 
 Status AqpEngine::RegisterTable(std::shared_ptr<const Table> table) {
@@ -260,7 +274,7 @@ AqpEngine::ExecuteApproximateGroupBy(const QuerySpec& query,
       Rng group_rng = streams.Stream(static_cast<uint64_t>(g));
       Result<ApproxResult> result =
           ExecuteApproximateImpl(candidates[static_cast<size_t>(g)].query,
-                                 group_rng);
+                                 group_rng, runtime_);
       if (!result.ok()) continue;  // Degenerate group under this aggregate.
       slots[static_cast<size_t>(g)] = std::make_unique<GroupApproxResult>(
           GroupApproxResult{candidates[static_cast<size_t>(g)].value,
@@ -325,18 +339,51 @@ Result<ApproxResult> AqpEngine::ExecuteWithTimeBound(const QuerySpec& query,
     return Status::NotFound("no samples for table '" + query.table + "'");
   }
   // Rows affordable within the budget; the pipeline overhead (bootstrap +
-  // diagnostic) is folded into rows_per_second.
-  double affordable = budget_seconds * options_.rows_per_second;
+  // diagnostic) is folded into the throughput estimate, which tracks the
+  // observed wall-clock rate of past queries rather than trusting the
+  // static calibration forever.
+  double affordable = budget_seconds * observed_rows_per_second_;
   const Sample* chosen = candidates.front();
   for (const Sample* sample : candidates) {
     if (static_cast<double>(sample->num_rows()) <= affordable) {
       chosen = sample;  // Candidates ascend by size: keep the largest fit.
     }
   }
+  // The model only *sizes* the work; the deadline token *enforces* the
+  // budget. Every parallel region under this query polls the token, so a
+  // mispredicted model degrades the result instead of blowing the bound.
+  auto start = std::chrono::steady_clock::now();
+  CancellationToken token =
+      CancellationToken::WithDeadline(Deadline::After(budget_seconds));
+  ExecRuntime bounded = runtime_.WithToken(token);
   int64_t saved = options_.default_sample_rows;
   options_.default_sample_rows = chosen->num_rows();
-  Result<ApproxResult> result = ExecuteApproximate(query);
+  Result<ApproxResult> result = ExecuteApproximateImpl(query, rng_, bounded);
   options_.default_sample_rows = saved;
+  double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  if (!result.ok()) return result;
+  result->deadline_hit = DeadlineHit(bounded);
+  result->elapsed_seconds = elapsed;
+  // EWMA throughput feedback. A deadline-hit run completed only a fraction
+  // of its pipeline (approximated by the replicate fraction), so its
+  // observation is scaled down accordingly — a 10x-optimistic model learns
+  // it was 10x off from the very first overrun.
+  double fraction = 1.0;
+  if (result->method == EstimationMethod::kBootstrap &&
+      options_.bootstrap_replicates > 0 && result->replicates_used > 0) {
+    fraction = std::min(
+        1.0, static_cast<double>(result->replicates_used) /
+                 static_cast<double>(options_.bootstrap_replicates));
+  }
+  double work_rows = static_cast<double>(result->sample_rows) * fraction;
+  double alpha = std::clamp(options_.throughput_ewma_alpha, 0.0, 1.0);
+  if (elapsed > 1e-9 && work_rows > 0.0 && alpha > 0.0) {
+    double observed = work_rows / elapsed;
+    observed_rows_per_second_ =
+        (1.0 - alpha) * observed_rows_per_second_ + alpha * observed;
+  }
   return result;
 }
 
@@ -391,11 +438,11 @@ Status AqpEngine::LoadSamples(const std::string& directory) {
 }
 
 Result<ApproxResult> AqpEngine::ExecuteApproximate(const QuerySpec& query) {
-  return ExecuteApproximateImpl(query, rng_);
+  return ExecuteApproximateImpl(query, rng_, runtime_);
 }
 
-Result<ApproxResult> AqpEngine::ExecuteApproximateImpl(const QuerySpec& query,
-                                                       Rng& rng) {
+Result<ApproxResult> AqpEngine::ExecuteApproximateImpl(
+    const QuerySpec& query, Rng& rng, const ExecRuntime& runtime) {
   Result<ResolvedSample> resolved = ResolveSample(query);
   if (!resolved.ok()) return resolved.status();
   const Table& data = *resolved->data;
@@ -411,60 +458,99 @@ Result<ApproxResult> AqpEngine::ExecuteApproximateImpl(const QuerySpec& query,
 
   // Pick the cheapest applicable error-estimation procedure: closed forms
   // when the aggregate admits one, otherwise the bootstrap.
-  const ErrorEstimator* estimator;
-  if (closed_form_.Applicable(effective)) {
-    estimator = &closed_form_;
-    result.method = EstimationMethod::kClosedForm;
-  } else {
-    estimator = &bootstrap_;
-    result.method = EstimationMethod::kBootstrap;
-  }
+  bool use_bootstrap = !closed_form_.Applicable(effective);
+  result.method = use_bootstrap ? EstimationMethod::kBootstrap
+                                : EstimationMethod::kClosedForm;
 
   // Bootstrap path on streaming aggregates: the full §5.3.1 single scan
   // computes the answer, the CI, and the diagnostic in one pass.
-  if (estimator == &bootstrap_ && options_.run_diagnostic &&
+  if (use_bootstrap && options_.run_diagnostic &&
       WeightedAccumulator::SupportsKind(effective.aggregate.kind)) {
     DiagnosticConfig config = options_.diagnostic;
     config.alpha = options_.alpha;
     Result<SingleScanResult> single = RunSingleScanPipeline(
         data, effective, resolved->population_rows,
         options_.bootstrap_replicates, options_.bootstrap_replicates, config,
-        bootstrap_.mode(), rng, runtime_);
+        bootstrap_.mode(), rng, runtime);
     if (single.ok()) {
       result.estimate = single->theta;
       result.ci = single->ci;
+      result.replicates_used = single->replicates_used;
+      result.deadline_hit = DeadlineHit(runtime);
+      if (!single->diagnostic_complete) {
+        // Degraded run: the deadline (or lost tasks) starved the diagnostic
+        // subsamples. The verdict is unavailable — that is "not diagnosed",
+        // not "rejected", so no fallback is triggered.
+        result.diagnostic_ran = false;
+        result.diagnostic_ok = false;
+        result.diagnostic = std::move(single->diagnostic);
+        return result;
+      }
       result.diagnostic_ran = true;
       result.diagnostic_ok = single->diagnostic.accepted;
       result.diagnostic = std::move(single->diagnostic);
       if (!result.diagnostic_ok) {
+        if (runtime.token().CancelRequested()) {
+          // No budget left to re-execute: return the flagged estimate (the
+          // degradation contract caps the overrun at the current result).
+          result.deadline_hit = DeadlineHit(runtime);
+          return result;
+        }
         return FallBack(query, std::move(result), rng);
       }
       return result;
     }
+    // The pipeline was cancelled before it produced even a minimal answer:
+    // retrying on the two-phase path would only overrun further.
+    if (single.status().code() == StatusCode::kDeadlineExceeded ||
+        single.status().code() == StatusCode::kCancelled) {
+      return single.status();
+    }
     // Degenerate for the single-scan path: fall through to two-phase.
   }
 
+  int replicates_used = 0;
   Result<ConfidenceInterval> ci =
-      estimator->Estimate(data, effective, scale, options_.alpha, rng);
+      use_bootstrap
+          ? bootstrap_.EstimateWithUsage(data, effective, scale,
+                                         options_.alpha, rng, runtime,
+                                         &replicates_used)
+          : closed_form_.Estimate(data, effective, scale, options_.alpha, rng);
+  result.replicates_used = replicates_used;
   if (!ci.ok()) return ci.status();
   result.estimate = ci->center;
   result.ci = *ci;
+  result.deadline_hit = DeadlineHit(runtime);
 
-  if (options_.run_diagnostic) {
+  if (options_.run_diagnostic && !runtime.token().CancelRequested()) {
     DiagnosticConfig config = options_.diagnostic;
     config.alpha = options_.alpha;
     // Scan-consolidated diagnosis (§5.3.1); falls back internally to the
     // reference implementation for estimators without a prepared path.
+    const ErrorEstimator& estimator =
+        use_bootstrap ? static_cast<const ErrorEstimator&>(bootstrap_)
+                      : static_cast<const ErrorEstimator&>(closed_form_);
     Result<DiagnosticReport> report = RunDiagnosticConsolidated(
-        data, effective, *estimator, resolved->population_rows, config, rng,
-        runtime_);
+        data, effective, estimator, resolved->population_rows, config, rng,
+        runtime);
     if (report.ok()) {
       result.diagnostic_ran = true;
       result.diagnostic_ok = report->accepted;
       result.diagnostic = std::move(report).value();
       if (!result.diagnostic_ok) {
+        if (runtime.token().CancelRequested()) {
+          result.deadline_hit = DeadlineHit(runtime);
+          return result;  // Flagged estimate; no budget to re-execute.
+        }
         return FallBack(query, std::move(result), rng);
       }
+    } else if (runtime.token().CancelRequested()) {
+      // The deadline interrupted diagnosis: verdict unavailable, answer and
+      // CI stand (degradation, not rejection).
+      result.diagnostic_ran = false;
+      result.diagnostic_ok = false;
+      result.deadline_hit = DeadlineHit(runtime);
+      return result;
     } else {
       // Diagnosis itself failed (degenerate subsamples): treat as rejection.
       result.diagnostic_ran = false;

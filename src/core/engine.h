@@ -58,8 +58,14 @@ struct EngineOptions {
   int64_t default_sample_rows = 100000;
   /// Throughput model for time-bounded execution: rows the engine can
   /// process per second for a typical query (pipeline included). Calibrate
-  /// per deployment; the default is conservative for one core.
+  /// per deployment; the default is conservative for one core. This is only
+  /// the *initial* estimate — every completed time-bounded query feeds its
+  /// observed wall-clock throughput back into an EWMA (see
+  /// `throughput_ewma_alpha`), so a miscalibrated model self-corrects.
   double rows_per_second = 5e6;
+  /// Weight of the newest observation in the throughput EWMA (0 disables
+  /// feedback and trusts the static calibration forever).
+  double throughput_ewma_alpha = 0.3;
   uint64_t seed = 42;
   /// Workers in the engine-owned thread pool. 0 means hardware concurrency;
   /// 1 runs everything on the calling thread (no pool). The pool is shared
@@ -88,6 +94,17 @@ struct ApproxResult {
   int64_t sample_rows = 0;
   int64_t population_rows = 0;
   DiagnosticReport diagnostic;
+  /// True when the query's wall-clock deadline expired during execution and
+  /// the engine degraded gracefully instead of overrunning: the CI (if any)
+  /// was read from the replicates completed by then, and no post-deadline
+  /// work (diagnosis, exact fallback) was started.
+  bool deadline_hit = false;
+  /// Bootstrap replicates the CI was read from (0 for closed-form/exact
+  /// results; K' < K after a deadline hit mid-bootstrap).
+  int replicates_used = 0;
+  /// Wall-clock seconds the query took (set by ExecuteWithTimeBound; 0
+  /// elsewhere). Compare against the budget to audit enforcement.
+  double elapsed_seconds = 0.0;
 
   /// Relative half-width of the error bars (half_width / |estimate|).
   double RelativeError() const {
@@ -165,12 +182,23 @@ class AqpEngine {
 
   /// Time-bounded execution (BlinkDB's other constraint type: "queries with
   /// response time ... constraints"): picks the largest stored sample whose
-  /// predicted scan cost fits `budget_seconds` under the engine's
-  /// throughput model (`EngineOptions::rows_per_second`), then runs the
-  /// diagnosed pipeline on it. Falls back to the smallest sample when none
-  /// fits.
+  /// predicted scan cost fits `budget_seconds` under the engine's current
+  /// throughput estimate (EWMA-corrected `rows_per_second`), then runs the
+  /// diagnosed pipeline on it *under wall-clock enforcement*: a
+  /// deadline-carrying CancellationToken is threaded through every parallel
+  /// region, and when the deadline fires mid-bootstrap the engine returns a
+  /// degraded result (CI from the K' < K completed replicates,
+  /// `deadline_hit = true`, diagnosis skipped) instead of overrunning.
+  /// Returns kDeadlineExceeded only when not even a minimal answer (theta +
+  /// 2 replicates) finished in time. Falls back to the smallest sample when
+  /// none fits the budget.
   Result<ApproxResult> ExecuteWithTimeBound(const QuerySpec& query,
                                             double budget_seconds);
+
+  /// The engine's current throughput estimate (rows/second): starts at
+  /// `EngineOptions::rows_per_second` and tracks observed wall-clock
+  /// throughput of completed time-bounded queries via EWMA.
+  double observed_rows_per_second() const { return observed_rows_per_second_; }
 
   /// Persists every uniform sample of every table to `directory` (one
   /// binary table file per sample plus a manifest), so samples survive
@@ -205,12 +233,15 @@ class AqpEngine {
   /// sample.
   Result<ResolvedSample> ResolveSample(const QuerySpec& query);
 
-  /// The ExecuteApproximate pipeline against an explicit generator. All
-  /// engine state it touches is read-only, so independent queries (e.g. the
-  /// groups of a GROUP BY) can run it concurrently, each with its own RNG
-  /// stream.
+  /// The ExecuteApproximate pipeline against an explicit generator and
+  /// runtime. All engine state it touches is read-only, so independent
+  /// queries (e.g. the groups of a GROUP BY) can run it concurrently, each
+  /// with its own RNG stream. The runtime carries the query's cancellation
+  /// token: once it trips, the pipeline degrades (partial-replicate CI, no
+  /// diagnosis, no exact fallback) rather than starting new work.
   Result<ApproxResult> ExecuteApproximateImpl(const QuerySpec& query,
-                                              Rng& rng);
+                                              Rng& rng,
+                                              const ExecRuntime& runtime);
 
   Result<ApproxResult> FallBack(const QuerySpec& query, ApproxResult result,
                                 Rng& rng);
@@ -227,6 +258,8 @@ class AqpEngine {
   /// shared by every hot path this engine drives.
   std::unique_ptr<ThreadPool> pool_;
   ExecRuntime runtime_;
+  /// EWMA throughput estimate feeding time-bounded sample selection.
+  double observed_rows_per_second_ = 0.0;
 };
 
 }  // namespace aqp

@@ -246,24 +246,40 @@ Result<SingleScanResult> RunSingleScanPipeline(
     }
   }
 
-  ParallelFor(runtime, 0, static_cast<int64_t>(units.size()), 1,
-              [&](int64_t ub, int64_t ue) {
-                for (int64_t u = ub; u < ue; ++u) {
-                  units[static_cast<size_t>(u)]();
-                }
-              });
+  // The bootstrap chunks occupy the low unit indices and ParallelFor claims
+  // chunks in ascending order, so when a deadline trips mid-run the
+  // replicates (which the degraded CI needs) complete preferentially over
+  // the diagnostic subsamples.
+  ParallelForStats run = ParallelFor(
+      runtime, 0, static_cast<int64_t>(units.size()), 1,
+      [&](int64_t ub, int64_t ue) {
+        for (int64_t u = ub; u < ue; ++u) {
+          units[static_cast<size_t>(u)]();
+        }
+      });
+  // Degraded when cancelled mid-fan-out or when fault-injected tasks were
+  // lost past their retries: finalize from whatever completed.
+  bool degraded = run.cancelled || run.chunks_lost > 0;
 
   // --- Finalize: answer + CI. ----------------------------------------------
   SingleScanResult result;
   result.theta = *theta;
+  result.cancelled = run.cancelled;
   std::vector<double> bootstrap_thetas;
   bootstrap_thetas.reserve(bootstrap_slots.size());
   for (size_t k = 0; k < bootstrap_slots.size(); ++k) {
     if (bootstrap_valid[k]) bootstrap_thetas.push_back(bootstrap_slots[k]);
   }
+  result.replicates_used = static_cast<int>(bootstrap_thetas.size());
   Result<ConfidenceInterval> ci =
       ReadCi(bootstrap_thetas, *theta, config.alpha, mode);
-  if (!ci.ok()) return ci.status();
+  if (!ci.ok()) {
+    // Not even 2 replicates finished: no error bars are possible. Surface
+    // the cancellation cause when that is what emptied the run.
+    Status cancelled = runtime.token().CheckCancelled("single-scan pipeline");
+    if (!cancelled.ok()) return cancelled;
+    return ci.status();
+  }
   result.ci = *ci;
 
   // --- Finalize: diagnostic stats per size. --------------------------------
@@ -280,6 +296,13 @@ Result<SingleScanResult> RunSingleScanPipeline(
       half_widths.push_back(out.half_width);
     }
     if (thetas.size() < 10) {
+      if (degraded) {
+        // Deadline/lost work starved this size: the diagnostic verdict is
+        // unavailable, but the answer + CI above still stand.
+        result.diagnostic_complete = false;
+        result.diagnostic.accepted = false;
+        return result;
+      }
       return Status::FailedPrecondition(
           "too few subsamples produced values at size " + std::to_string(b));
     }

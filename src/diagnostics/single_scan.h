@@ -20,6 +20,17 @@ struct SingleScanResult {
   ConfidenceInterval ci;
   /// Algorithm 1's verdict and evidence.
   DiagnosticReport diagnostic;
+  /// Bootstrap replicates the CI was actually read from (K' <= K; K' < K
+  /// when the run was cut short by a deadline/cancellation or lost tasks).
+  int replicates_used = 0;
+  /// True when a cancellation checkpoint stopped the fan-out early; the
+  /// result is the graceful-degradation output (CI from the completed
+  /// replicates).
+  bool cancelled = false;
+  /// False when too few diagnostic subsamples completed for Algorithm 1's
+  /// verdict to be meaningful; `diagnostic.accepted` stays false and the
+  /// caller should treat the diagnostic as not run (not as a rejection).
+  bool diagnostic_complete = true;
 };
 
 /// The full §5.3.1 execution: ONE pass over the sample computes the

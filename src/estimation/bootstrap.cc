@@ -7,14 +7,59 @@
 #include "util/stats.h"
 
 namespace aqp {
+namespace {
+
+/// CI readout from theta and a replicate distribution (>= 2 replicates).
+ConfidenceInterval ReadCiFromReplicates(const std::vector<double>& replicates,
+                                        double theta, double alpha,
+                                        BootstrapCiMode mode) {
+  ConfidenceInterval ci;
+  ci.center = theta;
+  if (mode == BootstrapCiMode::kNormalApprox) {
+    ci.half_width = TwoSidedNormalCritical(alpha) * SampleStddev(replicates);
+  } else {
+    ci.half_width = SmallestSymmetricCoverRadius(replicates, theta, alpha);
+  }
+  // Snap floating-point residue to an exact zero: deterministic aggregates
+  // (e.g. unfiltered COUNT under size-conditioned resampling) produce
+  // replicates equal to theta up to rounding.
+  if (ci.half_width < 1e-9 * std::abs(ci.center)) ci.half_width = 0.0;
+  return ci;
+}
+
+}  // namespace
 
 Result<ConfidenceInterval> BootstrapEstimator::Estimate(
     const Table& sample, const QuerySpec& query, double scale_factor,
     double alpha, Rng& rng) const {
+  return EstimateWithUsage(sample, query, scale_factor, alpha, rng, runtime_,
+                           nullptr);
+}
+
+Result<ConfidenceInterval> BootstrapEstimator::EstimateWithUsage(
+    const Table& sample, const QuerySpec& query, double scale_factor,
+    double alpha, Rng& rng, const ExecRuntime& runtime,
+    int* replicates_used) const {
   Result<PreparedQuery> prepared = PrepareQuery(sample, query);
   if (!prepared.ok()) return prepared.status();
-  return EstimateFromPrepared(*prepared, query.aggregate, scale_factor,
-                              alpha, rng);
+  Result<double> theta =
+      ComputeAggregate(*prepared, query.aggregate, scale_factor);
+  if (!theta.ok()) return theta.status();
+  Result<std::vector<double>> replicates = MultiResampleFromPrepared(
+      *prepared, query.aggregate, scale_factor, num_resamples_, rng, runtime);
+  if (!replicates.ok()) return replicates.status();
+  if (replicates_used != nullptr) {
+    *replicates_used = static_cast<int>(replicates->size());
+  }
+  if (replicates->size() < 2) {
+    // Too little evidence for any error bars. A tripped token explains why
+    // (the fan-out was cut short); report that cause over the generic one.
+    Status cancelled = runtime.token().CheckCancelled("bootstrap");
+    if (!cancelled.ok()) return cancelled;
+    return Status::FailedPrecondition(
+        "bootstrap produced fewer than 2 valid replicates");
+  }
+  return ReadCiFromReplicates(*replicates, *theta, alpha, mode_);
 }
 
 Result<ConfidenceInterval> BootstrapEstimator::EstimateFromPrepared(
@@ -29,19 +74,7 @@ Result<ConfidenceInterval> BootstrapEstimator::EstimateFromPrepared(
     return Status::FailedPrecondition(
         "bootstrap produced fewer than 2 valid replicates");
   }
-  ConfidenceInterval ci;
-  ci.center = *theta;
-  if (mode_ == BootstrapCiMode::kNormalApprox) {
-    ci.half_width = TwoSidedNormalCritical(alpha) * SampleStddev(*replicates);
-  } else {
-    ci.half_width =
-        SmallestSymmetricCoverRadius(*replicates, *theta, alpha);
-  }
-  // Snap floating-point residue to an exact zero: deterministic aggregates
-  // (e.g. unfiltered COUNT under size-conditioned resampling) produce
-  // replicates equal to theta up to rounding.
-  if (ci.half_width < 1e-9 * std::abs(ci.center)) ci.half_width = 0.0;
-  return ci;
+  return ReadCiFromReplicates(*replicates, *theta, alpha, mode_);
 }
 
 }  // namespace aqp

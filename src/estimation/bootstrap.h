@@ -48,6 +48,17 @@ class BootstrapEstimator final : public ErrorEstimator {
       const PreparedQuery& prepared, const AggregateSpec& aggregate,
       double scale_factor, double alpha, Rng& rng) const override;
 
+  /// Deadline-aware estimation on an explicit runtime (the engine derives
+  /// one per time-bounded query, carrying its CancellationToken). When the
+  /// token trips mid-fan-out the estimator degrades gracefully: the CI is
+  /// read from the K' < K replicates completed so far (at least 2, else the
+  /// token's kDeadlineExceeded / kCancelled status is returned).
+  /// `replicates_used` (may be null) receives K'.
+  Result<ConfidenceInterval> EstimateWithUsage(
+      const Table& sample, const QuerySpec& query, double scale_factor,
+      double alpha, Rng& rng, const ExecRuntime& runtime,
+      int* replicates_used) const;
+
   /// Runtime the K replicate computations fan out on (§5.3.2). Default is
   /// serial; the engine points every estimator it owns at its shared pool.
   /// Estimation stays deterministic for a fixed `rng` state at any thread

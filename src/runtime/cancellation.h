@@ -1,0 +1,136 @@
+#ifndef AQP_RUNTIME_CANCELLATION_H_
+#define AQP_RUNTIME_CANCELLATION_H_
+
+#include <atomic>
+#include <chrono>
+#include <limits>
+#include <memory>
+#include <string>
+
+#include "util/status.h"
+
+namespace aqp {
+
+/// A wall-clock budget expressed as a steady-clock expiry point. The paper's
+/// contract is *bounded* response time (BlinkDB-style "WITHIN n SECONDS"
+/// queries); a Deadline is what makes that bound enforceable at runtime
+/// rather than merely predicted by the throughput model.
+class Deadline {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  /// Default deadline never expires.
+  Deadline() : expires_(Clock::time_point::max()) {}
+
+  static Deadline Infinite() { return Deadline(); }
+
+  /// Expires `seconds` from now (non-positive budgets are already expired).
+  static Deadline After(double seconds) {
+    Deadline d;
+    d.expires_ = Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                                    std::chrono::duration<double>(seconds));
+    return d;
+  }
+
+  bool infinite() const { return expires_ == Clock::time_point::max(); }
+
+  bool Expired() const { return !infinite() && Clock::now() >= expires_; }
+
+  /// Seconds until expiry; +infinity when infinite, <= 0 once expired.
+  double RemainingSeconds() const {
+    if (infinite()) return std::numeric_limits<double>::infinity();
+    return std::chrono::duration<double>(expires_ - Clock::now()).count();
+  }
+
+ private:
+  Clock::time_point expires_;
+};
+
+/// Shared cancellation state threaded through parallel regions. Cheap to
+/// copy (one shared_ptr); a default-constructed token has no state and every
+/// check on it is a null test, so the non-cancellable hot paths pay nothing.
+///
+/// Cancellation is *cooperative*: Cancel() (or deadline expiry) never
+/// interrupts running work — checkpoints such as ParallelFor's chunk-claim
+/// loop poll CancelRequested() and stop claiming new work. Work already
+/// completed stays completed, which is exactly what graceful degradation
+/// needs: a bootstrap cancelled at K' < K replicates still has K' valid
+/// replicate estimates to read error bars from.
+class CancellationToken {
+ public:
+  /// No state: CancelRequested() is always false, Cancel() a no-op.
+  CancellationToken() = default;
+
+  /// A token that only Cancel() trips.
+  static CancellationToken Cancellable() {
+    CancellationToken token;
+    token.state_ = std::make_shared<State>();
+    return token;
+  }
+
+  /// A token that trips itself once `deadline` expires (and can still be
+  /// cancelled manually before that).
+  static CancellationToken WithDeadline(Deadline deadline) {
+    CancellationToken token = Cancellable();
+    token.state_->deadline = deadline;
+    return token;
+  }
+
+  /// True when this token can ever report cancellation (checkpoints may use
+  /// it to skip per-iteration polling entirely).
+  bool can_cancel() const { return state_ != nullptr; }
+
+  /// Requests cancellation. Idempotent; safe from any thread.
+  void Cancel() const {
+    if (state_ != nullptr) {
+      state_->cancel_requested.store(true, std::memory_order_release);
+    }
+  }
+
+  /// True once Cancel() was called or the deadline expired. Deadline expiry
+  /// latches into the cancel flag, so after the first positive poll the
+  /// check is a single atomic load.
+  bool CancelRequested() const {
+    if (state_ == nullptr) return false;
+    if (state_->cancel_requested.load(std::memory_order_acquire)) return true;
+    if (state_->deadline.Expired()) {
+      state_->deadline_expired.store(true, std::memory_order_release);
+      state_->cancel_requested.store(true, std::memory_order_release);
+      return true;
+    }
+    return false;
+  }
+
+  /// OK while running; kDeadlineExceeded / kCancelled once tripped, with
+  /// `what` naming the operation that observed the stop.
+  Status CheckCancelled(const std::string& what) const {
+    if (!CancelRequested()) return Status::OK();
+    if (state_->deadline_expired.load(std::memory_order_acquire)) {
+      return Status::DeadlineExceeded(what + ": wall-clock deadline expired");
+    }
+    return Status::Cancelled(what + ": cancelled");
+  }
+
+  /// True when the trip cause was deadline expiry (vs. a manual Cancel()).
+  bool DeadlineExpired() const {
+    return state_ != nullptr &&
+           state_->deadline_expired.load(std::memory_order_acquire);
+  }
+
+  Deadline deadline() const {
+    return state_ == nullptr ? Deadline::Infinite() : state_->deadline;
+  }
+
+ private:
+  struct State {
+    std::atomic<bool> cancel_requested{false};
+    std::atomic<bool> deadline_expired{false};
+    Deadline deadline;  // Immutable after construction.
+  };
+
+  std::shared_ptr<State> state_;
+};
+
+}  // namespace aqp
+
+#endif  // AQP_RUNTIME_CANCELLATION_H_

@@ -1,0 +1,48 @@
+#include "runtime/failpoint.h"
+
+#include <algorithm>
+
+#include "runtime/rng_stream.h"
+
+namespace aqp {
+namespace {
+
+/// FNV-1a over the site name: stable across runs and platforms, so armed
+/// sites hash identically everywhere the same test executes.
+uint64_t HashSite(std::string_view site) {
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (char c : site) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+}  // namespace
+
+void FailpointRegistry::Arm(const std::string& site, double probability) {
+  sites_[HashSite(site)] = std::clamp(probability, 0.0, 1.0);
+}
+
+void FailpointRegistry::Disarm(const std::string& site) {
+  sites_.erase(HashSite(site));
+}
+
+bool FailpointRegistry::ShouldFail(std::string_view site, uint64_t unit,
+                                   uint64_t attempt) const {
+  auto it = sites_.find(HashSite(site));
+  if (it == sites_.end() || it->second <= 0.0) return false;
+  // One pure uniform draw keyed by (seed, site, unit, attempt): the failure
+  // pattern is fixed by the keys alone, independent of call order.
+  uint64_t draw_seed = DeriveStreamSeed(
+      DeriveStreamSeed(DeriveStreamSeed(seed_, HashSite(site)), unit),
+      attempt);
+  // Map the top 53 bits to [0, 1) without constructing a full Rng (the
+  // derivation already avalanched the bits).
+  double u = static_cast<double>(draw_seed >> 11) * 0x1.0p-53;
+  if (u >= it->second) return false;
+  injected_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+}  // namespace aqp

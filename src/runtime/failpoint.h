@@ -1,0 +1,62 @@
+#ifndef AQP_RUNTIME_FAILPOINT_H_
+#define AQP_RUNTIME_FAILPOINT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+namespace aqp {
+
+/// Deterministic fault injection for the execution runtime. Tests arm named
+/// sites with a failure probability; instrumented code asks ShouldFail()
+/// before running a unit of work and simulates a lost task when it returns
+/// true.
+///
+/// Whether a given (site, unit, attempt) fails is a pure function of the
+/// registry seed and those three keys — never of a shared counter, thread
+/// identity, or scheduling order. That is what makes fault-injected runs
+/// reproducible: the same seed injects the same failures at 1, 4, or 8
+/// threads, and a retried unit re-executes the same deterministic work, so
+/// a run whose injected failures all recover through retries is
+/// bit-identical to an uninjected run.
+///
+/// Arm/Disarm are not synchronized against ShouldFail: configure the
+/// registry before handing it to a parallel region (the registry is read-only
+/// while work is in flight).
+class FailpointRegistry {
+ public:
+  explicit FailpointRegistry(uint64_t seed) : seed_(seed) {}
+
+  /// Arms `site` to fail with probability `probability` per (unit, attempt).
+  /// Probabilities are clamped to [0, 1]; re-arming overwrites.
+  void Arm(const std::string& site, double probability);
+
+  /// Removes `site`; subsequent checks on it never fail.
+  void Disarm(const std::string& site);
+
+  /// True when the registry injects a failure at `site` for work unit
+  /// `unit` on retry `attempt` (0 = first try). Unarmed sites never fail.
+  /// Thread-safe against concurrent ShouldFail calls.
+  bool ShouldFail(std::string_view site, uint64_t unit,
+                  uint64_t attempt = 0) const;
+
+  /// Total failures injected so far (test observability; atomic).
+  int64_t injected_failures() const {
+    return injected_.load(std::memory_order_relaxed);
+  }
+
+  uint64_t seed() const { return seed_; }
+
+ private:
+  uint64_t seed_;
+  /// Site name -> failure probability. Keyed by the site's FNV-1a hash so
+  /// ShouldFail never allocates a temporary string.
+  std::unordered_map<uint64_t, double> sites_;
+  mutable std::atomic<int64_t> injected_{0};
+};
+
+}  // namespace aqp
+
+#endif  // AQP_RUNTIME_FAILPOINT_H_

@@ -19,48 +19,112 @@ int ExecRuntime::WorkersFor(int64_t items, int64_t grain) const {
   return static_cast<int>(std::min(width, chunks));
 }
 
-void ParallelFor(const ExecRuntime& runtime, int64_t begin, int64_t end,
-                 int64_t grain,
-                 const std::function<void(int64_t, int64_t)>& body) {
-  if (begin >= end) return;
+ParallelForStats ParallelFor(
+    const ExecRuntime& runtime, int64_t begin, int64_t end, int64_t grain,
+    const std::function<void(int64_t, int64_t)>& body) {
+  ParallelForStats stats;
+  if (begin >= end) return stats;
   grain = std::max<int64_t>(grain, 1);
-  int workers = runtime.WorkersFor(end - begin, grain);
-  if (workers <= 1) {
-    body(begin, end);
-    return;
-  }
-
   int64_t num_chunks = (end - begin + grain - 1) / grain;
-  std::atomic<int64_t> next_chunk{0};
-  std::atomic<bool> cancelled{false};
-  auto drain = [&] {
-    for (;;) {
-      if (cancelled.load(std::memory_order_relaxed)) return;
-      int64_t c = next_chunk.fetch_add(1, std::memory_order_relaxed);
-      if (c >= num_chunks) return;
-      int64_t b = begin + c * grain;
-      int64_t e = std::min(end, b + grain);
-      try {
-        body(b, e);
-      } catch (...) {
-        cancelled.store(true, std::memory_order_relaxed);
-        throw;
+  stats.chunks_total = num_chunks;
+
+  const CancellationToken& token = runtime.token();
+  const FailpointRegistry* failpoints = runtime.failpoints();
+  bool plain = !token.can_cancel() && failpoints == nullptr;
+
+  std::atomic<int64_t> done{0};
+  std::atomic<int64_t> lost{0};
+  std::atomic<int64_t> injected{0};
+  std::atomic<bool> cancel_observed{false};
+
+  // Runs one chunk, honoring the chunk failpoint's bounded retries. The
+  // body re-executes identical work on retry (randomness is keyed by item
+  // indices), so a recovered failure leaves no trace in the results.
+  auto run_chunk = [&](int64_t c) {
+    int64_t b = begin + c * grain;
+    int64_t e = std::min(end, b + grain);
+    for (int attempt = 0; attempt < kParallelForChunkAttempts; ++attempt) {
+      if (failpoints != nullptr &&
+          failpoints->ShouldFail(kParallelForChunkSite,
+                                 static_cast<uint64_t>(c),
+                                 static_cast<uint64_t>(attempt))) {
+        injected.fetch_add(1, std::memory_order_relaxed);
+        continue;  // This attempt is a lost task; retry.
       }
+      body(b, e);
+      done.fetch_add(1, std::memory_order_relaxed);
+      return;
     }
+    lost.fetch_add(1, std::memory_order_relaxed);
   };
 
-  // workers - 1 helpers on the pool; the caller drains chunks itself, so
-  // progress never depends on the pool having a free slot.
-  TaskGroup group(runtime.pool());
-  for (int i = 0; i < workers - 1; ++i) group.Run(drain);
-  std::exception_ptr caller_error;
-  try {
-    drain();
-  } catch (...) {
-    caller_error = std::current_exception();
+  int workers = runtime.WorkersFor(end - begin, grain);
+  if (workers <= 1) {
+    if (plain) {
+      // Fast path, and the documented contract: serial regions see the
+      // whole range as one chunk.
+      body(begin, end);
+      stats.chunks_done = stats.chunks_total = 1;
+      return stats;
+    }
+    // Serial but cancellable / fault-injected: iterate the same chunk
+    // geometry the parallel path uses, checking the token between chunks,
+    // so enforcement and injection behave identically at one thread.
+    for (int64_t c = 0; c < num_chunks; ++c) {
+      if (token.CancelRequested()) {
+        cancel_observed.store(true, std::memory_order_relaxed);
+        break;
+      }
+      run_chunk(c);
+    }
+  } else {
+    std::atomic<int64_t> next_chunk{0};
+    std::atomic<bool> error_cancelled{false};
+    auto drain = [&] {
+      for (;;) {
+        if (error_cancelled.load(std::memory_order_relaxed)) return;
+        if (token.CancelRequested()) {
+          // Only counts as a cancellation if work was actually left behind;
+          // claimed chunks always run to completion.
+          if (next_chunk.load(std::memory_order_relaxed) < num_chunks) {
+            cancel_observed.store(true, std::memory_order_relaxed);
+          }
+          return;
+        }
+        int64_t c = next_chunk.fetch_add(1, std::memory_order_relaxed);
+        if (c >= num_chunks) return;
+        try {
+          run_chunk(c);
+        } catch (...) {
+          error_cancelled.store(true, std::memory_order_relaxed);
+          throw;
+        }
+      }
+    };
+
+    // workers - 1 helpers on the pool; the caller drains chunks itself, so
+    // progress never depends on the pool having a free slot. Helpers that
+    // are still queued when the token trips exit at their first checkpoint.
+    TaskGroup group(runtime.pool(), token);
+    for (int i = 0; i < workers - 1; ++i) group.Run(drain);
+    std::exception_ptr caller_error;
+    try {
+      drain();
+    } catch (...) {
+      caller_error = std::current_exception();
+    }
+    group.Wait();  // Rethrows the first helper exception, if any.
+    if (caller_error != nullptr) std::rethrow_exception(caller_error);
   }
-  group.Wait();  // Rethrows the first helper exception, if any.
-  if (caller_error != nullptr) std::rethrow_exception(caller_error);
+
+  stats.chunks_done = done.load(std::memory_order_relaxed);
+  stats.chunks_lost = lost.load(std::memory_order_relaxed);
+  stats.injected_failures = injected.load(std::memory_order_relaxed);
+  // "Cancelled" means a checkpoint actually stopped the region short; a
+  // token that trips only after every chunk was claimed leaves the region
+  // complete.
+  stats.cancelled = cancel_observed.load(std::memory_order_relaxed);
+  return stats;
 }
 
 }  // namespace aqp

@@ -4,15 +4,26 @@
 #include <cstdint>
 #include <functional>
 
+#include "runtime/cancellation.h"
+#include "runtime/failpoint.h"
 #include "runtime/thread_pool.h"
 
 namespace aqp {
 
+/// Failpoint site at which ParallelFor injects chunk failures (unit = chunk
+/// index, attempt = retry number).
+inline constexpr const char* kParallelForChunkSite = "runtime.parallel_for.chunk";
+
+/// Attempts (first try + retries) ParallelFor gives a chunk whose execution
+/// a failpoint keeps killing before declaring it lost.
+inline constexpr int kParallelForChunkAttempts = 3;
+
 /// Execution-runtime handle threaded through the hot paths: which pool to
-/// fan out on and how wide any single parallel region may go (the §5.3.2
+/// fan out on, how wide any single parallel region may go (the §5.3.2
 /// `max_parallelism` knob — past the task-overhead sweet spot, more tasks
-/// cost more than they buy). Cheap to copy; a default-constructed runtime
-/// means "serial".
+/// cost more than they buy), the cancellation token parallel regions poll,
+/// and an optional fault-injection registry. Cheap to copy; a
+/// default-constructed runtime means "serial, never cancelled, no faults".
 class ExecRuntime {
  public:
   ExecRuntime() = default;
@@ -26,6 +37,26 @@ class ExecRuntime {
   ThreadPool* pool() const { return pool_; }
   int max_parallelism() const { return max_parallelism_; }
 
+  /// A copy of this runtime whose parallel regions poll `token` — the
+  /// engine derives one per deadline-bounded query from its shared runtime.
+  ExecRuntime WithToken(CancellationToken token) const {
+    ExecRuntime derived = *this;
+    derived.token_ = std::move(token);
+    return derived;
+  }
+
+  /// A copy of this runtime with fault injection. `failpoints` must outlive
+  /// every region run on the returned runtime and stay unmodified while work
+  /// is in flight.
+  ExecRuntime WithFailpoints(const FailpointRegistry* failpoints) const {
+    ExecRuntime derived = *this;
+    derived.failpoints_ = failpoints;
+    return derived;
+  }
+
+  const CancellationToken& token() const { return token_; }
+  const FailpointRegistry* failpoints() const { return failpoints_; }
+
   /// True when parallel regions on this runtime run inline on the calling
   /// thread (no pool, a one-wide bound, or the caller already being a pool
   /// worker inside an enclosing region).
@@ -38,24 +69,60 @@ class ExecRuntime {
  private:
   ThreadPool* pool_ = nullptr;
   int max_parallelism_ = 0;
+  CancellationToken token_;
+  const FailpointRegistry* failpoints_ = nullptr;
+};
+
+/// What a ParallelFor region actually executed — the robustness layer's
+/// accounting. Ignorable by callers that neither cancel nor inject faults
+/// (for them every chunk always runs exactly once and complete() is true).
+struct ParallelForStats {
+  int64_t chunks_total = 0;   ///< Chunks the range splits into.
+  int64_t chunks_done = 0;    ///< Chunks whose body ran to completion.
+  int64_t chunks_lost = 0;    ///< Chunks abandoned after exhausting retries.
+  int64_t injected_failures = 0;  ///< Failpoint hits observed (incl. retried).
+  bool cancelled = false;     ///< Region stopped at a cancellation checkpoint.
+
+  /// Every chunk ran (no cancellation, no lost chunks).
+  bool complete() const {
+    return !cancelled && chunks_lost == 0 && chunks_done == chunks_total;
+  }
 };
 
 /// Runs `body(chunk_begin, chunk_end)` over contiguous chunks of
 /// [begin, end), each of `grain` items (the final chunk may be short), on
 /// the runtime's pool with the calling thread participating. Blocks until
-/// the whole range is done and rethrows the first exception a chunk raised.
+/// the region is finished and rethrows the first exception a chunk raised.
 ///
 /// Chunks are claimed dynamically (load balancing across uneven chunks), so
 /// the thread executing a given chunk is scheduling-dependent — bodies must
 /// derive any randomness from the chunk index (see RngStreamFactory), never
 /// from thread identity, to keep results reproducible across thread counts.
 ///
+/// Robustness semantics:
+///  - Cancellation is observed cooperatively at chunk boundaries: once the
+///    runtime's token trips, no new chunk is claimed. Chunks already
+///    finished stay finished (their side effects are the degraded result);
+///    the returned stats report `cancelled` and how many chunks ran.
+///    Chunks are claimed in ascending index order, so under cancellation
+///    the low-indexed chunks complete preferentially.
+///  - When the runtime carries a FailpointRegistry, each chunk consults the
+///    kParallelForChunkSite failpoint (unit = chunk index) before each
+///    attempt; an injected failure skips the attempt (a lost task) and the
+///    chunk retries up to kParallelForChunkAttempts times before being
+///    counted lost. Because injection is keyed by (chunk, attempt) and a
+///    chunk's work is keyed by item indices, fault-injected runs are
+///    deterministic at any thread count, and runs whose failures all
+///    recover are bit-identical to uninjected runs.
+///
 /// Serial runtimes (and nested calls from inside a pool worker) execute
 /// `body(begin, end)` in one inline call; bodies must therefore accept
-/// arbitrary chunk boundaries.
-void ParallelFor(const ExecRuntime& runtime, int64_t begin, int64_t end,
-                 int64_t grain,
-                 const std::function<void(int64_t, int64_t)>& body);
+/// arbitrary chunk boundaries. A serial runtime that can cancel or inject
+/// faults instead iterates chunk-by-chunk inline, so enforcement holds at
+/// one thread too.
+ParallelForStats ParallelFor(const ExecRuntime& runtime, int64_t begin,
+                             int64_t end, int64_t grain,
+                             const std::function<void(int64_t, int64_t)>& body);
 
 }  // namespace aqp
 

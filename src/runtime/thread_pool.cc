@@ -61,6 +61,9 @@ void ThreadPool::WorkerLoop() {
 
 TaskGroup::TaskGroup(ThreadPool* pool) : pool_(pool) {}
 
+TaskGroup::TaskGroup(ThreadPool* pool, CancellationToken token)
+    : pool_(pool), token_(std::move(token)) {}
+
 TaskGroup::~TaskGroup() {
   try {
     Wait();
@@ -83,7 +86,7 @@ void TaskGroup::Run(std::function<void()> task) {
   // the pool: a worker enqueueing work it then waits for can deadlock once
   // every worker is doing the same.
   if (pool_ == nullptr || pool_->OnWorkerThread()) {
-    RunTask(task);
+    if (!token_.CancelRequested()) RunTask(task);
     return;
   }
   {
@@ -92,7 +95,9 @@ void TaskGroup::Run(std::function<void()> task) {
   }
   auto shared = std::make_shared<std::function<void()>>(std::move(task));
   pool_->Submit([this, shared] {
-    RunTask(*shared);
+    // Cooperative cancellation of queued work: a task the token caught
+    // before it started is dropped (it still completes for Wait()).
+    if (!token_.CancelRequested()) RunTask(*shared);
     std::lock_guard<std::mutex> lock(mu_);
     if (--pending_ == 0) done_cv_.notify_all();
   });

@@ -10,6 +10,8 @@
 #include <thread>
 #include <vector>
 
+#include "runtime/cancellation.h"
+
 namespace aqp {
 
 /// Fixed-size worker pool with a FIFO work queue — the bounded-parallelism
@@ -65,10 +67,18 @@ class ThreadPool {
 /// thread runs tasks inline when there is no pool (or when it is itself a
 /// pool worker); otherwise tasks go to the pool and Wait() blocks until all
 /// of them have finished.
+///
+/// A group constructed with a CancellationToken observes it cooperatively:
+/// a task that is still queued when the token trips is skipped instead of
+/// run (it still counts as finished for Wait()). Tasks already executing
+/// are never interrupted — they stop themselves at their own checkpoints.
 class TaskGroup {
  public:
   /// `pool` may be null: every task then runs inline in Run().
   explicit TaskGroup(ThreadPool* pool);
+
+  /// As above, with queued tasks skipped once `token` trips.
+  TaskGroup(ThreadPool* pool, CancellationToken token);
 
   /// Waits for outstanding tasks; any pending exception is swallowed here
   /// (call Wait() to observe it).
@@ -88,6 +98,7 @@ class TaskGroup {
   void RunTask(const std::function<void()>& task);
 
   ThreadPool* pool_;
+  CancellationToken token_;
   std::mutex mu_;
   std::condition_variable done_cv_;
   int64_t pending_ = 0;

@@ -21,6 +21,10 @@ const char* CodeName(StatusCode code) {
       return "Internal";
     case StatusCode::kFailedPrecondition:
       return "FailedPrecondition";
+    case StatusCode::kDeadlineExceeded:
+      return "DeadlineExceeded";
+    case StatusCode::kCancelled:
+      return "Cancelled";
   }
   return "Unknown";
 }

@@ -18,6 +18,8 @@ enum class StatusCode {
   kUnimplemented,
   kInternal,
   kFailedPrecondition,
+  kDeadlineExceeded,
+  kCancelled,
 };
 
 /// Lightweight success/error value. A default-constructed `Status` is OK.
@@ -52,6 +54,12 @@ class Status {
   }
   static Status FailedPrecondition(std::string msg) {
     return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -280,6 +280,155 @@ TEST(ClusterSimTest, DriverSerializationScalesWithSubqueries) {
   EXPECT_LE(t, driver_floor * 1.5);
 }
 
+// ---------------------------------------------------------------------------
+// Fault injection: task failures, retries, machine loss, speculation
+// ---------------------------------------------------------------------------
+
+TEST(ClusterSimFaultTest, NoInjectionMeansNoFailureCounters) {
+  ClusterSimulator sim(DefaultConfig(), 20);
+  JobTiming t = sim.SimulateJob(PlainQueryJob(), DefaultTuning());
+  EXPECT_EQ(t.task_failures, 0);
+  EXPECT_EQ(t.task_retries, 0);
+  EXPECT_EQ(t.tasks_lost, 0);
+  EXPECT_TRUE(t.completed);
+}
+
+TEST(ClusterSimFaultTest, DeterministicForSeedUnderFailures) {
+  ClusterConfig config = DefaultConfig();
+  config.task_failure_prob = 0.2;
+  config.machine_failure_prob = 0.5;
+  ClusterSimulator a(config, 21);
+  ClusterSimulator b(config, 21);
+  JobTiming ta = a.SimulateJob(PlainQueryJob(), DefaultTuning());
+  JobTiming tb = b.SimulateJob(PlainQueryJob(), DefaultTuning());
+  EXPECT_DOUBLE_EQ(ta.duration_s, tb.duration_s);
+  EXPECT_EQ(ta.task_failures, tb.task_failures);
+  EXPECT_EQ(ta.task_retries, tb.task_retries);
+  EXPECT_EQ(ta.tasks_lost, tb.tasks_lost);
+  EXPECT_EQ(ta.completed, tb.completed);
+}
+
+TEST(ClusterSimFaultTest, FailuresCostLatencyAndAreCounted) {
+  ClusterConfig healthy = DefaultConfig();
+  ClusterConfig flaky = DefaultConfig();
+  flaky.task_failure_prob = 0.25;
+  JobSpec job = PlainQueryJob(20.0 * 1024);
+  auto mean_latency = [&](const ClusterConfig& config, int64_t* failures,
+                          int64_t* retries) {
+    ClusterSimulator sim(config, 22);
+    double total = 0.0;
+    for (int rep = 0; rep < 10; ++rep) {
+      JobTiming t = sim.SimulateJob(job, DefaultTuning());
+      total += t.duration_s;
+      *failures += t.task_failures;
+      *retries += t.task_retries;
+    }
+    return total / 10.0;
+  };
+  int64_t hf = 0, hr = 0, ff = 0, fr = 0;
+  double t_healthy = mean_latency(healthy, &hf, &hr);
+  double t_flaky = mean_latency(flaky, &ff, &fr);
+  EXPECT_EQ(hf, 0);
+  EXPECT_GT(ff, 0);
+  EXPECT_GT(fr, 0);
+  // Retried work plus backoff must cost real wall-clock time.
+  EXPECT_GT(t_flaky, t_healthy);
+}
+
+TEST(ClusterSimFaultTest, CertainFailureAbandonsTheJob) {
+  ClusterConfig config = DefaultConfig();
+  config.task_failure_prob = 1.0;
+  ClusterSimulator sim(config, 23);
+  JobTiming t = sim.SimulateJob(PlainQueryJob(), DefaultTuning());
+  EXPECT_FALSE(t.completed);
+  EXPECT_EQ(t.tasks_lost, t.tasks_launched);
+  // Every attempt of every task failed.
+  EXPECT_EQ(t.task_failures,
+            t.tasks_launched * (1 + config.max_task_retries));
+  EXPECT_GT(t.duration_s, 0.0);
+}
+
+TEST(ClusterSimFaultTest, SpeculativeClonesCoverLostTasks) {
+  // With retries disabled, any failed task is lost outright; the §6.3
+  // speculation clones are then the only cover. Over many runs the cloned
+  // configuration must complete strictly more often.
+  ClusterConfig config = DefaultConfig();
+  config.task_failure_prob = 0.02;
+  config.max_task_retries = 0;
+  auto completion_rate = [&](bool mitigation) {
+    ClusterSimulator sim(config, 24);
+    ExecutionTuning tuning = DefaultTuning();
+    tuning.straggler_mitigation = mitigation;
+    int completed = 0;
+    for (int rep = 0; rep < 40; ++rep) {
+      if (sim.SimulateJob(PlainQueryJob(4096.0), tuning).completed) {
+        ++completed;
+      }
+    }
+    return completed;
+  };
+  int without = completion_rate(false);
+  int with = completion_rate(true);
+  EXPECT_GT(with, without);
+}
+
+TEST(ClusterSimFaultTest, MitigationImprovesLatencyUnderFailures) {
+  // The §6.3 result generalized to failures: under injected task failures,
+  // launching 10% speculative clones and taking the first `required`
+  // finishes beats waiting for every retry chain.
+  ClusterConfig config = DefaultConfig();
+  config.task_failure_prob = 0.15;
+  config.straggler_prob = 0.10;
+  JobSpec job = PlainQueryJob(20.0 * 1024);
+  auto mean_latency = [&](bool mitigation) {
+    ClusterSimulator sim(config, 25);
+    ExecutionTuning tuning = DefaultTuning();
+    tuning.straggler_mitigation = mitigation;
+    std::vector<double> times;
+    for (int rep = 0; rep < 40; ++rep) {
+      times.push_back(sim.SimulateJob(job, tuning).duration_s);
+    }
+    return Mean(times);
+  };
+  double without = mean_latency(false);
+  double with = mean_latency(true);
+  EXPECT_LT(with, without);
+}
+
+TEST(ClusterSimFaultTest, MachineFailureCanLoseInFlightTasks) {
+  // With a guaranteed machine death, few machines (so the dead machine's
+  // slot share is large) and no retries, losses must show up over repeats.
+  ClusterConfig config = DefaultConfig();
+  config.machine_failure_prob = 1.0;
+  config.max_task_retries = 0;
+  config.num_machines = 2;
+  ClusterSimulator sim(config, 26);
+  ExecutionTuning tuning = DefaultTuning();
+  tuning.max_machines = 2;
+  int64_t failures = 0;
+  for (int rep = 0; rep < 20; ++rep) {
+    failures += sim.SimulateJob(PlainQueryJob(4096.0), tuning).task_failures;
+  }
+  EXPECT_GT(failures, 0);
+}
+
+TEST(ClusterSimFaultTest, PipelineAggregatesFaultCounters) {
+  ClusterConfig config = DefaultConfig();
+  config.task_failure_prob = 0.3;
+  ClusterSimulator sim(config, 27);
+  JobSpec query = PlainQueryJob(20.0 * 1024);
+  JobSpec error_est;
+  error_est.num_subqueries = 100;
+  error_est.bytes_per_subquery_mb = 20.0 * 1024;
+  JobSpec diag;
+  diag.num_subqueries = 1000;
+  diag.bytes_per_subquery_mb = 100.0;
+  PipelineTiming t =
+      sim.SimulatePipeline(query, error_est, diag, DefaultTuning());
+  EXPECT_GT(t.task_failures, 0);
+  EXPECT_GT(t.task_retries, 0);
+}
+
 TEST(ClusterSimTest, CacheFractionClampedToValidRange) {
   // Out-of-range cache fractions behave like their clamped values.
   ClusterSimulator a(DefaultConfig(), 16);
