@@ -3,6 +3,8 @@
 // cheaper than the bootstrap when applicable) and of the diagnostic.
 #include <benchmark/benchmark.h>
 
+#include "kernel_json_reporter.h"
+
 #include <memory>
 
 #include "diagnostics/diagnostic.h"
@@ -145,4 +147,6 @@ BENCHMARK(BM_PipelineSingleScan)->Unit(benchmark::kMillisecond);
 }  // namespace
 }  // namespace aqp
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return aqp::bench::RunKernelBenchmarks(argc, argv);
+}

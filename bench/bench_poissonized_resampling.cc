@@ -7,6 +7,8 @@
 // Normal(|S|, sqrt(|S|)).
 #include <benchmark/benchmark.h>
 
+#include "kernel_json_reporter.h"
+
 #include <memory>
 
 #include "exec/executor.h"
@@ -89,7 +91,10 @@ void BM_Bootstrap100Poissonized(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations() * state.range(0) * 100);
 }
-BENCHMARK(BM_Bootstrap100Poissonized)->Arg(100000)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Bootstrap100Poissonized)
+    ->Arg(10000)
+    ->Arg(100000)
+    ->Unit(benchmark::kMillisecond);
 
 // K=100 bootstrap replicates via exact with-replacement resampling (the
 // TA-style baseline the paper reports as 8-9x slower per resample).
@@ -104,7 +109,10 @@ void BM_Bootstrap100Exact(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations() * state.range(0) * 100);
 }
-BENCHMARK(BM_Bootstrap100Exact)->Arg(100000)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Bootstrap100Exact)
+    ->Arg(10000)
+    ->Arg(100000)
+    ->Unit(benchmark::kMillisecond);
 
 // K=100 bootstrap replicates via Tuple-Augmentation-style *materialized*
 // resampling: each replicate physically gathers |S| rows into a new table,
@@ -128,6 +136,7 @@ void BM_Bootstrap100ExactMaterialized(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * n * 100);
 }
 BENCHMARK(BM_Bootstrap100ExactMaterialized)
+    ->Arg(10000)
     ->Arg(100000)
     ->Unit(benchmark::kMillisecond);
 
@@ -154,4 +163,6 @@ BENCHMARK(BM_ResampleSizeConcentration);
 }  // namespace
 }  // namespace aqp
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return aqp::bench::RunKernelBenchmarks(argc, argv);
+}

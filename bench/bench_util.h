@@ -1,10 +1,15 @@
-// Shared helpers for the figure-reproduction benches: table printing and
-// simple CDF extraction. Header-only; benches are small single-file mains.
+// Shared helpers for the figure-reproduction benches: table printing,
+// simple CDF extraction, and the kernel-throughput JSON emitter used by the
+// micro benches. Header-only; benches are small single-file mains.
 #ifndef AQP_BENCH_BENCH_UTIL_H_
 #define AQP_BENCH_BENCH_UTIL_H_
 
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -35,6 +40,64 @@ inline void PrintCdf(const char* label, std::vector<double> values) {
     std::printf("  p%02.0f=%8.2f", p * 100, values[idx]);
   }
   std::printf("\n");
+}
+
+/// One benchmark measurement destined for BENCH_kernels.json.
+struct KernelBenchRecord {
+  std::string name;
+  double real_time_ns = 0.0;      // Wall time per iteration.
+  double items_per_second = 0.0;  // Rows/sec or row-replicates/sec; 0 if the
+                                  // bench did not call SetItemsProcessed.
+  double ns_per_item = 0.0;       // 1e9 / items_per_second (0 when unknown).
+};
+
+/// Output path for the kernel-throughput JSON. Overridable so CI can point
+/// different bench binaries at one shared file in the workspace root.
+inline std::string KernelJsonPath() {
+  const char* env = std::getenv("AQP_BENCH_JSON");
+  return env != nullptr ? env : "BENCH_kernels.json";
+}
+
+/// Merges `records` into the JSON file at `path`. The file is a JSON array
+/// with exactly one object per line, so the merge is line-oriented: existing
+/// entries are kept, entries whose "name" matches a new record are replaced
+/// in place, and unseen records append. Two bench binaries can therefore
+/// share one file without either clobbering the other's numbers.
+inline void MergeKernelJson(const std::string& path,
+                            const std::vector<KernelBenchRecord>& records) {
+  // Load existing one-object-per-line entries, keyed by name, in file order.
+  std::vector<std::string> order;
+  std::map<std::string, std::string> lines;
+  std::ifstream in(path);
+  std::string line;
+  while (std::getline(in, line)) {
+    size_t open = line.find('{');
+    if (open == std::string::npos) continue;  // '[' / ']' framing lines.
+    size_t key = line.find("\"name\": \"");
+    if (key == std::string::npos) continue;
+    size_t begin = key + 9;
+    size_t end = line.find('"', begin);
+    if (end == std::string::npos) continue;
+    std::string name = line.substr(begin, end - begin);
+    std::string body = line.substr(open);
+    if (!body.empty() && body.back() == ',') body.pop_back();
+    if (lines.emplace(name, body).second) order.push_back(name);
+  }
+  in.close();
+  for (const KernelBenchRecord& r : records) {
+    std::ostringstream obj;
+    obj << "{\"name\": \"" << r.name << "\", \"real_time_ns\": "
+        << r.real_time_ns << ", \"items_per_second\": " << r.items_per_second
+        << ", \"ns_per_item\": " << r.ns_per_item << "}";
+    if (lines.emplace(r.name, obj.str()).second) order.push_back(r.name);
+    lines[r.name] = obj.str();
+  }
+  std::ofstream out(path, std::ios::trunc);
+  out << "[\n";
+  for (size_t i = 0; i < order.size(); ++i) {
+    out << lines[order[i]] << (i + 1 < order.size() ? ",\n" : "\n");
+  }
+  out << "]\n";
 }
 
 }  // namespace bench

@@ -1,0 +1,66 @@
+// google-benchmark reporter that mirrors console output while collecting
+// per-benchmark throughput records, merged into BENCH_kernels.json on exit.
+// Split from bench_util.h so the plain figure benches (which do not link
+// google-benchmark) can keep including bench_util.h alone.
+#ifndef AQP_BENCH_KERNEL_JSON_REPORTER_H_
+#define AQP_BENCH_KERNEL_JSON_REPORTER_H_
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+
+namespace aqp {
+namespace bench {
+
+class KernelJsonReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& reports) override {
+    benchmark::ConsoleReporter::ReportRuns(reports);
+    for (const Run& run : reports) {
+      if (run.error_occurred) continue;
+      if (run.run_type != Run::RT_Iteration) continue;  // Skip aggregates.
+      KernelBenchRecord rec;
+      rec.name = run.benchmark_name();
+      // real_accumulated_time is always in seconds, independent of the
+      // benchmark's display unit.
+      double seconds =
+          run.iterations > 0
+              ? run.real_accumulated_time / static_cast<double>(run.iterations)
+              : 0.0;
+      rec.real_time_ns = seconds * 1e9;
+      auto it = run.counters.find("items_per_second");
+      rec.items_per_second =
+          it != run.counters.end() ? static_cast<double>(it->second) : 0.0;
+      rec.ns_per_item =
+          rec.items_per_second > 0.0 ? 1e9 / rec.items_per_second : 0.0;
+      records_.push_back(std::move(rec));
+    }
+  }
+
+  /// Merges everything collected so far into BENCH_kernels.json (or
+  /// $AQP_BENCH_JSON when set).
+  void WriteMergedJson() const { MergeKernelJson(KernelJsonPath(), records_); }
+
+ private:
+  std::vector<KernelBenchRecord> records_;
+};
+
+/// Shared main body for the micro benches: run with the JSON reporter, then
+/// merge the results. Returns the process exit code.
+inline int RunKernelBenchmarks(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  KernelJsonReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  reporter.WriteMergedJson();
+  std::printf("wrote %s\n", KernelJsonPath().c_str());
+  return 0;
+}
+
+}  // namespace bench
+}  // namespace aqp
+
+#endif  // AQP_BENCH_KERNEL_JSON_REPORTER_H_

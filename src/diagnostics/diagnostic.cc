@@ -249,13 +249,21 @@ Result<DiagnosticReport> RunDiagnosticConsolidated(
   {
     PreparedQuery probe;
     probe.table_rows = (*sizes)[0];
-    size_t probe_len = 0;
-    while (probe_len < prepared->rows.size() &&
-           prepared->rows[probe_len] < (*sizes)[0]) {
-      ++probe_len;
+    size_t probe_len;
+    if (prepared->all_rows) {
+      // Dense prepared query: the prefix's passing set is the prefix itself.
+      probe.all_rows = true;
+      probe_len = static_cast<size_t>((*sizes)[0]);
+    } else {
+      probe_len = 0;
+      while (probe_len < prepared->rows.size() &&
+             prepared->rows[probe_len] < (*sizes)[0]) {
+        ++probe_len;
+      }
+      probe.rows.assign(
+          prepared->rows.begin(),
+          prepared->rows.begin() + static_cast<int64_t>(probe_len));
     }
-    probe.rows.assign(prepared->rows.begin(),
-                      prepared->rows.begin() + static_cast<int64_t>(probe_len));
     if (!prepared->values.empty()) {
       probe.values.assign(
           prepared->values.begin(),
@@ -283,18 +291,27 @@ Result<DiagnosticReport> RunDiagnosticConsolidated(
 
     // prepared.rows is ascending, so each subsample's passing rows form a
     // contiguous run; resolve all p run boundaries in one serial cursor
-    // sweep, then fan the independent per-subsample estimations out.
+    // sweep, then fan the independent per-subsample estimations out. A
+    // dense (unfiltered) prepared query needs no sweep: subsample j's run
+    // is exactly [j*b, (j+1)*b).
     std::vector<size_t> bounds(static_cast<size_t>(p) + 1);
-    size_t cursor = 0;
-    for (int j = 0; j < p; ++j) {
-      bounds[static_cast<size_t>(j)] = cursor;
-      int64_t row_end = (static_cast<int64_t>(j) + 1) * b;
-      while (cursor < prepared->rows.size() &&
-             prepared->rows[cursor] < row_end) {
-        ++cursor;
+    if (prepared->all_rows) {
+      for (int j = 0; j <= p; ++j) {
+        bounds[static_cast<size_t>(j)] =
+            static_cast<size_t>(static_cast<int64_t>(j) * b);
       }
+    } else {
+      size_t cursor = 0;
+      for (int j = 0; j < p; ++j) {
+        bounds[static_cast<size_t>(j)] = cursor;
+        int64_t row_end = (static_cast<int64_t>(j) + 1) * b;
+        while (cursor < prepared->rows.size() &&
+               prepared->rows[cursor] < row_end) {
+          ++cursor;
+        }
+      }
+      bounds[static_cast<size_t>(p)] = cursor;
     }
-    bounds[static_cast<size_t>(p)] = cursor;
 
     RngStreamFactory size_streams = streams.Substream(size_index);
     SubsampleSlots slots(p);
@@ -302,11 +319,18 @@ Result<DiagnosticReport> RunDiagnosticConsolidated(
       for (int64_t j = jb; j < je; ++j) {
         size_t first = bounds[static_cast<size_t>(j)];
         size_t last = bounds[static_cast<size_t>(j) + 1];
-        // Slice of the prepared data belonging to this subsample.
+        // Slice of the prepared data belonging to this subsample. Dense
+        // prepared queries slice to dense sub-queries (every row of the
+        // subsample passes); the row ids themselves are never consumed by
+        // the estimators, only the passing count and values.
         PreparedQuery sub;
         sub.table_rows = b;
-        sub.rows.assign(prepared->rows.begin() + static_cast<int64_t>(first),
-                        prepared->rows.begin() + static_cast<int64_t>(last));
+        if (prepared->all_rows) {
+          sub.all_rows = true;
+        } else {
+          sub.rows.assign(prepared->rows.begin() + static_cast<int64_t>(first),
+                          prepared->rows.begin() + static_cast<int64_t>(last));
+        }
         if (!prepared->values.empty()) {
           sub.values.assign(
               prepared->values.begin() + static_cast<int64_t>(first),

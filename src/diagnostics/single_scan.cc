@@ -7,6 +7,7 @@
 
 #include "exec/aggregate.h"
 #include "exec/executor.h"
+#include "exec/resample_kernel.h"
 #include "runtime/rng_stream.h"
 #include "sampling/poisson_resample.h"
 #include "util/normal.h"
@@ -48,12 +49,13 @@ struct ReplicateGroup {
     }
   }
 
-  void Add(double value) {
-    ++passing_rows;
-    for (size_t r = 0; r < accumulators.size(); ++r) {
-      int32_t w = PoissonOneWeight(rngs[r]);
-      if (w > 0) accumulators[r].Add(value, static_cast<double>(w));
-    }
+  /// Folds `count` passing rows (values may be nullptr for COUNT) into every
+  /// replicate via the fused block kernel. Each replicate stream draws its
+  /// weights in row order, exactly as a row-at-a-time loop would.
+  void AddBlock(const double* values, int64_t count) {
+    passing_rows += count;
+    FusedPoissonAccumulate(values, count, rngs.data(), accumulators.data(),
+                           static_cast<int64_t>(accumulators.size()));
   }
 
   /// Finalizes replicate r into `slots[r]` / `valid[r]` (slot-aligned, so
@@ -139,15 +141,14 @@ Result<SingleScanResult> RunSingleScanPipeline(
   // --- The single scan: filter + projection once. -------------------------
   Result<PreparedQuery> prepared = PrepareQuery(sample, query);
   if (!prepared.ok()) return prepared.status();
-  size_t passing = prepared->rows.size();
+  int64_t passing = prepared->num_passing();
   bool has_input = query.aggregate.input != nullptr;
+  const double* values = has_input ? prepared->values.data() : nullptr;
   AggregateKind kind = query.aggregate.kind;
 
   // The plain answer needs no weights and no RNG: fold it serially.
   WeightedAccumulator plain(kind);
-  for (size_t idx = 0; idx < passing; ++idx) {
-    plain.Add(has_input ? prepared->values[idx] : 0.0, 1.0);
-  }
+  plain.AddBlock(values, nullptr, passing);
   double sample_scale =
       static_cast<double>(population_rows) / static_cast<double>(n);
   Result<double> theta = plain.Finalize(sample_scale);
@@ -163,13 +164,24 @@ Result<SingleScanResult> RunSingleScanPipeline(
     int p = static_cast<int>(std::min<int64_t>(config.num_subsamples, n / b));
     subsamples_per_size[i] = p;
     bounds[i].resize(static_cast<size_t>(p) + 1);
-    size_t cursor = 0;
-    for (int j = 0; j < p; ++j) {
-      bounds[i][static_cast<size_t>(j)] = cursor;
-      int64_t row_end = (static_cast<int64_t>(j) + 1) * b;
-      while (cursor < passing && prepared->rows[cursor] < row_end) ++cursor;
+    if (prepared->all_rows) {
+      // Dense (unfiltered): subsample j's passing run is [j*b, (j+1)*b).
+      for (int j = 0; j <= p; ++j) {
+        bounds[i][static_cast<size_t>(j)] =
+            static_cast<size_t>(static_cast<int64_t>(j) * b);
+      }
+    } else {
+      size_t cursor = 0;
+      for (int j = 0; j < p; ++j) {
+        bounds[i][static_cast<size_t>(j)] = cursor;
+        int64_t row_end = (static_cast<int64_t>(j) + 1) * b;
+        while (cursor < static_cast<size_t>(passing) &&
+               prepared->rows[cursor] < row_end) {
+          ++cursor;
+        }
+      }
+      bounds[i][static_cast<size_t>(p)] = cursor;
     }
-    bounds[i][static_cast<size_t>(p)] = cursor;
   }
 
   // --- The weight-column fan-out, as parallel tasks (§5.3.2). -------------
@@ -203,9 +215,7 @@ Result<SingleScanResult> RunSingleScanPipeline(
     units.push_back([&, kb, ke] {
       ReplicateGroup group(bootstrap_streams, static_cast<uint64_t>(kb),
                            ke - kb, kind, n);
-      for (size_t idx = 0; idx < passing; ++idx) {
-        group.Add(has_input ? prepared->values[idx] : 0.0);
-      }
+      group.AddBlock(values, passing);
       group.FinalizeInto(kind, sample_scale,
                          bootstrap_slots.data() + kb,
                          bootstrap_valid.data() + kb);
@@ -226,11 +236,10 @@ Result<SingleScanResult> RunSingleScanPipeline(
         RngStreamFactory sub_streams =
             size_streams.Substream(static_cast<uint64_t>(j));
         ReplicateGroup group(sub_streams, 0, diag_replicates, kind, b);
-        for (size_t idx = first; idx < last; ++idx) {
-          double value = has_input ? prepared->values[idx] : 0.0;
-          sub_plain.Add(value, 1.0);
-          group.Add(value);
-        }
+        const double* slice = values == nullptr ? nullptr : values + first;
+        int64_t slice_len = static_cast<int64_t>(last - first);
+        sub_plain.AddBlock(slice, nullptr, slice_len);
+        group.AddBlock(slice, slice_len);
         Result<double> sub_theta = sub_plain.Finalize(subsample_scale);
         if (!sub_theta.ok()) return;  // Degenerate subsample.
         std::vector<double> replicate_thetas =

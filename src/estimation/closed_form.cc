@@ -54,7 +54,7 @@ Result<ConfidenceInterval> ClosedFormEstimator::EstimateFromPrepared(
   if (!theta.ok()) return theta.status();
 
   double n = static_cast<double>(prepared->table_rows);
-  double m = static_cast<double>(prepared->rows.size());
+  double m = static_cast<double>(prepared->num_passing());
   double z = TwoSidedNormalCritical(alpha);
 
   double se = 0.0;

@@ -68,7 +68,7 @@ Result<ConfidenceInterval> LargeDeviationEstimator::Estimate(
   if (!theta.ok()) return theta.status();
 
   double n = static_cast<double>(prepared->table_rows);
-  double m = static_cast<double>(prepared->rows.size());
+  double m = static_cast<double>(prepared->num_passing());
   // Hoeffding: P(|mean - mu| > t) <= 2 exp(-2 m t^2 / (b-a)^2); inverting at
   // failure probability (1 - alpha) gives t = (b-a) sqrt(ln(2/(1-a)) / (2m)).
   double delta = 1.0 - alpha;

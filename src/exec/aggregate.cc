@@ -24,10 +24,12 @@ void WeightedAccumulator::Add(double value, double weight) {
       weight_sum_ += weight;
       break;
     case AggregateKind::kSum:
+    case AggregateKind::kAvg:
+      // AVG keeps linear sums (one add + one FMA per row, no division);
+      // Welford is reserved for the second-moment kinds that need it.
       weight_sum_ += weight;
       sum_ += weight * value;
       break;
-    case AggregateKind::kAvg:
     case AggregateKind::kVariance:
     case AggregateKind::kStddev: {
       weight_sum_ += weight;
@@ -49,6 +51,71 @@ void WeightedAccumulator::Add(double value, double weight) {
   }
 }
 
+void WeightedAccumulator::AddBlock(const double* values, const double* weights,
+                                   int64_t count) {
+  if (count <= 0) return;
+  switch (kind_) {
+    case AggregateKind::kCount: {
+      if (weights == nullptr) {
+        // count unit-weight increments of an integral running sum collapse
+        // to one add (both forms are exact below 2^53).
+        weight_sum_ += static_cast<double>(count);
+        any_ = true;
+        return;
+      }
+      // Integral weight sums are exact in any association, so a four-lane
+      // reduction (which the compiler widens to SIMD) equals the scalar
+      // serial chain.
+      double s0 = 0.0, s1 = 0.0, s2 = 0.0, s3 = 0.0;
+      int64_t i = 0;
+      for (; i + 4 <= count; i += 4) {
+        s0 += weights[i];
+        s1 += weights[i + 1];
+        s2 += weights[i + 2];
+        s3 += weights[i + 3];
+      }
+      for (; i < count; ++i) s0 += weights[i];
+      double block_total = (s0 + s1) + (s2 + s3);
+      weight_sum_ += block_total;
+      any_ |= block_total > 0.0;
+      return;
+    }
+    case AggregateKind::kSum:
+    case AggregateKind::kAvg: {
+      // Serial value-sum chain (FP order must match the scalar path);
+      // zero-weight rows contribute exactly 0.0, so no branch.
+      double ws = weight_sum_;
+      double s = sum_;
+      if (weights == nullptr) {
+        for (int64_t i = 0; i < count; ++i) s += values[i];
+        ws += static_cast<double>(count);
+        any_ = true;
+      } else {
+        double before = ws;
+        for (int64_t i = 0; i < count; ++i) {
+          ws += weights[i];
+          s += weights[i] * values[i];
+        }
+        any_ |= ws != before;
+      }
+      weight_sum_ = ws;
+      sum_ = s;
+      return;
+    }
+    case AggregateKind::kVariance:
+    case AggregateKind::kStddev:
+    case AggregateKind::kMin:
+    case AggregateKind::kMax:
+    case AggregateKind::kPercentile:
+      // Welford and extrema are inherently per-row (and must skip zero
+      // weights); delegate to the scalar fold.
+      for (int64_t i = 0; i < count; ++i) {
+        Add(values[i], weights == nullptr ? 1.0 : weights[i]);
+      }
+      return;
+  }
+}
+
 void WeightedAccumulator::Merge(const WeightedAccumulator& other) {
   AQP_CHECK(kind_ == other.kind_);
   if (!other.any_) return;
@@ -61,10 +128,10 @@ void WeightedAccumulator::Merge(const WeightedAccumulator& other) {
       weight_sum_ += other.weight_sum_;
       break;
     case AggregateKind::kSum:
+    case AggregateKind::kAvg:
       weight_sum_ += other.weight_sum_;
       sum_ += other.sum_;
       break;
-    case AggregateKind::kAvg:
     case AggregateKind::kVariance:
     case AggregateKind::kStddev: {
       double total = weight_sum_ + other.weight_sum_;
@@ -96,7 +163,7 @@ Result<double> WeightedAccumulator::Finalize(double scale_factor) const {
       return sum_ * scale_factor;
     case AggregateKind::kAvg:
       if (!any_) return Status::FailedPrecondition("AVG over empty input");
-      return mean_;
+      return sum_ / weight_sum_;
     case AggregateKind::kVariance:
       if (weight_sum_ <= 1.0) {
         return Status::FailedPrecondition("VARIANCE needs weight > 1");

@@ -27,6 +27,18 @@ class WeightedAccumulator {
   /// is a no-op (the row is absent from the resample).
   void Add(double value, double weight);
 
+  /// Folds in a block: equivalent to `Add(values[i], weights[i])` for i in
+  /// [0, count), and produces results that compare equal to that scalar loop
+  /// for finite inputs. `weights == nullptr` means unit weights (the plain
+  /// aggregate). `values == nullptr` is allowed for COUNT only.
+  ///
+  /// The hot kinds (COUNT/SUM/AVG) accumulate unconditionally — no per-row
+  /// zero-weight branch — which is valid because `w == 0` contributes
+  /// exactly 0.0 to both running sums, and integral weight sums below 2^53
+  /// are exact in any association. The value-sum chain stays serial so the
+  /// FP accumulation order matches the scalar path.
+  void AddBlock(const double* values, const double* weights, int64_t count);
+
   /// Merges another accumulator of the same kind (partial aggregation
   /// across tasks).
   void Merge(const WeightedAccumulator& other);
@@ -43,9 +55,9 @@ class WeightedAccumulator {
  private:
   AggregateKind kind_;
   double weight_sum_ = 0.0;
-  double sum_ = 0.0;
-  double mean_ = 0.0;
-  double m2_ = 0.0;
+  double sum_ = 0.0;   ///< SUM and AVG: running weighted value sum.
+  double mean_ = 0.0;  ///< VARIANCE/STDEV only (Welford).
+  double m2_ = 0.0;    ///< VARIANCE/STDEV only (Welford).
   double min_ = 0.0;
   double max_ = 0.0;
   bool any_ = false;

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <numeric>
 
+#include "exec/resample_kernel.h"
+#include "exec/vector_block.h"
 #include "runtime/rng_stream.h"
 #include "sampling/poisson_resample.h"
 #include "util/logging.h"
@@ -12,6 +14,56 @@ namespace aqp {
 
 Result<PreparedQuery> PrepareQuery(const Table& table,
                                    const QuerySpec& query) {
+  PreparedQuery prepared;
+  prepared.table_rows = table.num_rows();
+  if (query.aggregate.input == nullptr &&
+      query.aggregate.kind != AggregateKind::kCount) {
+    return Status::InvalidArgument(
+        std::string(AggregateKindName(query.aggregate.kind)) +
+        " requires an input expression");
+  }
+  int64_t n = table.num_rows();
+  EvalScratch scratch;
+  if (query.filter != nullptr) {
+    // Filter pass: dense blocks through the predicate, packing passing row
+    // ids straight off the block mask.
+    ScopedMask mask(scratch);
+    prepared.rows.reserve(static_cast<size_t>(n) / 4);
+    for (int64_t base = 0; base < n; base += kVectorBlockSize) {
+      int64_t len = std::min(kVectorBlockSize, n - base);
+      RowBlock block = RowBlock::Dense(base, len);
+      Status s =
+          query.filter->EvalPredicateBlock(table, block, scratch, mask.data());
+      if (!s.ok()) return s;
+      for (int64_t i = 0; i < len; ++i) {
+        if (mask.data()[i]) prepared.rows.push_back(base + i);
+      }
+    }
+  } else {
+    prepared.all_rows = true;  // Dense: no index vector, no iota, no gather.
+  }
+  if (query.aggregate.input != nullptr) {
+    // Projection pass: dense blocks when unfiltered, selection-vector blocks
+    // over the passing rows otherwise, writing directly into the flat
+    // values array.
+    int64_t m = prepared.num_passing();
+    prepared.values.resize(static_cast<size_t>(m));
+    for (int64_t base = 0; base < m; base += kVectorBlockSize) {
+      int64_t len = std::min(kVectorBlockSize, m - base);
+      RowBlock block =
+          prepared.all_rows
+              ? RowBlock::Dense(base, len)
+              : RowBlock::Selection(prepared.rows.data() + base, len);
+      Status s = query.aggregate.input->EvalNumericBlock(
+          table, block, scratch, prepared.values.data() + base);
+      if (!s.ok()) return s;
+    }
+  }
+  return prepared;
+}
+
+Result<PreparedQuery> PrepareQueryScalar(const Table& table,
+                                         const QuerySpec& query) {
   PreparedQuery prepared;
   prepared.table_rows = table.num_rows();
   if (query.filter != nullptr) {
@@ -64,9 +116,10 @@ Result<double> ComputeAggregate(const PreparedQuery& prepared,
   WeightedAccumulator acc(aggregate.kind);
   if (aggregate.input == nullptr) {
     // COUNT(*): every passing row contributes weight 1 and no value.
-    for (size_t i = 0; i < prepared.rows.size(); ++i) acc.Add(0.0, 1.0);
+    acc.AddBlock(nullptr, nullptr, prepared.num_passing());
   } else {
-    for (double v : prepared.values) acc.Add(v, 1.0);
+    acc.AddBlock(prepared.values.data(), nullptr,
+                 static_cast<int64_t>(prepared.values.size()));
   }
   return acc.Finalize(scale_factor);
 }
@@ -83,18 +136,15 @@ Result<double> ComputeWeightedAggregate(const PreparedQuery& prepared,
                                         const AggregateSpec& aggregate,
                                         double scale_factor,
                                         const double* weights) {
-  size_t n = prepared.rows.size();
+  int64_t n = prepared.num_passing();
   if (aggregate.kind == AggregateKind::kPercentile) {
     std::vector<int64_t> order = SortOrder(prepared.values);
     return WeightedQuantileSorted(prepared.values, order, weights,
                                   aggregate.percentile);
   }
   WeightedAccumulator acc(aggregate.kind);
-  if (aggregate.input == nullptr) {
-    for (size_t i = 0; i < n; ++i) acc.Add(0.0, weights[i]);
-  } else {
-    for (size_t i = 0; i < n; ++i) acc.Add(prepared.values[i], weights[i]);
-  }
+  acc.AddBlock(aggregate.input == nullptr ? nullptr : prepared.values.data(),
+               weights, n);
   return acc.Finalize(scale_factor);
 }
 
@@ -130,15 +180,39 @@ std::vector<double> CompactReplicates(const std::vector<double>& slots,
   return thetas;
 }
 
+/// Finalizes one replicate's accumulator: Hájek size-conditioning for the
+/// size-scaled kinds (the conditioning draw comes from the replicate's own
+/// stream, after its weight draws, so its stream position is deterministic),
+/// then slot assignment. Shared by the fused and reference paths so their
+/// post-scan arithmetic is literally the same code.
+void FinalizeReplicate(const WeightedAccumulator& accumulator, Rng& rng,
+                       const AggregateSpec& aggregate, double scale_factor,
+                       double total_rows, double non_passing, double* slot,
+                       char* valid) {
+  Result<double> theta = accumulator.Finalize(scale_factor);
+  if (!theta.ok()) return;
+  double value = *theta;
+  bool size_scaled = aggregate.kind == AggregateKind::kCount ||
+                     aggregate.kind == AggregateKind::kSum;
+  if (size_scaled && total_rows > 0.0) {
+    double resample_size =
+        accumulator.weight_sum() +
+        static_cast<double>(rng.NextPoisson(non_passing));
+    if (resample_size > 0.0) {
+      value *= total_rows / resample_size;
+    }
+  }
+  *slot = value;
+  *valid = 1;
+}
+
 std::vector<double> MultiResampleStreaming(const PreparedQuery& prepared,
                                            const AggregateSpec& aggregate,
                                            double scale_factor,
                                            int num_resamples, Rng& rng,
                                            const ExecRuntime& runtime) {
-  size_t n = prepared.rows.size();
+  int64_t n = prepared.num_passing();
   bool has_input = aggregate.input != nullptr;
-  bool size_scaled = aggregate.kind == AggregateKind::kCount ||
-                     aggregate.kind == AggregateKind::kSum;
   double non_passing =
       static_cast<double>(prepared.table_rows) - static_cast<double>(n);
   double total_rows = static_cast<double>(prepared.table_rows);
@@ -151,7 +225,10 @@ std::vector<double> MultiResampleStreaming(const PreparedQuery& prepared,
               [&](int64_t kb, int64_t ke) {
     // This worker owns replicates [kb, ke): one pass over the shared
     // prepared data feeds its slice of the accumulators (scan consolidation
-    // preserved — the filter/projection ran once, upstream).
+    // preserved — the filter/projection ran once, upstream). The pass itself
+    // is the fused block kernel: value blocks stay L1-resident across the
+    // slice's replicates, and each replicate's weights come from batched
+    // uniform fills at the same stream positions the scalar loop would use.
     size_t width = static_cast<size_t>(ke - kb);
     std::vector<WeightedAccumulator> accumulators(
         width, WeightedAccumulator(aggregate.kind));
@@ -160,29 +237,14 @@ std::vector<double> MultiResampleStreaming(const PreparedQuery& prepared,
     for (int64_t k = kb; k < ke; ++k) {
       rngs.push_back(streams.Stream(static_cast<uint64_t>(k)));
     }
-    for (size_t i = 0; i < n; ++i) {
-      double value = has_input ? prepared.values[i] : 0.0;
-      for (size_t s = 0; s < width; ++s) {
-        int32_t w = PoissonOneWeight(rngs[s]);
-        if (w > 0) accumulators[s].Add(value, static_cast<double>(w));
-      }
-    }
+    FusedPoissonAccumulate(has_input ? prepared.values.data() : nullptr, n,
+                           rngs.data(), accumulators.data(),
+                           static_cast<int64_t>(width));
     for (size_t s = 0; s < width; ++s) {
-      Result<double> theta = accumulators[s].Finalize(scale_factor);
-      if (!theta.ok()) continue;
-      double value = *theta;
-      if (size_scaled && total_rows > 0.0) {
-        // The size-conditioning draw comes from the replicate's own stream,
-        // after its weight draws — position in the stream is deterministic.
-        double resample_size =
-            accumulators[s].weight_sum() +
-            static_cast<double>(rngs[s].NextPoisson(non_passing));
-        if (resample_size > 0.0) {
-          value *= total_rows / resample_size;
-        }
-      }
-      slots[static_cast<size_t>(kb) + s] = value;
-      valid[static_cast<size_t>(kb) + s] = 1;
+      FinalizeReplicate(accumulators[s], rngs[s], aggregate, scale_factor,
+                        total_rows, non_passing,
+                        &slots[static_cast<size_t>(kb) + s],
+                        &valid[static_cast<size_t>(kb) + s]);
     }
   });
   return CompactReplicates(slots, valid);
@@ -207,9 +269,10 @@ Result<std::vector<double>> MultiResamplePercentile(
     std::vector<double> weights(n);
     for (int64_t k = kb; k < ke; ++k) {
       Rng replicate_rng = streams.Stream(static_cast<uint64_t>(k));
-      for (double& w : weights) {
-        w = static_cast<double>(PoissonOneWeight(replicate_rng));
-      }
+      // Batched uniform fill + in-place inverse-CDF transform: same draws
+      // as a scalar PoissonOneWeight loop over the replicate's stream.
+      replicate_rng.FillUniform(weights.data(), static_cast<int64_t>(n));
+      PoissonOneWeightsFromUniforms(weights.data(), static_cast<int64_t>(n));
       Result<double> theta = WeightedQuantileSorted(prepared.values, order,
                                                     weights.data(),
                                                     aggregate.percentile);
@@ -253,6 +316,46 @@ Result<std::vector<double>> MultiResampleFromPrepared(
                                 num_resamples, rng, runtime);
 }
 
+Result<std::vector<double>> MultiResampleReference(
+    const PreparedQuery& prepared, const AggregateSpec& aggregate,
+    double scale_factor, int num_resamples, Rng& rng) {
+  if (num_resamples <= 0) {
+    return Status::InvalidArgument("num_resamples must be positive");
+  }
+  if (aggregate.kind == AggregateKind::kPercentile) {
+    // Percentile has no scalar-vs-fused split (weights are materialized
+    // either way); reuse the production path on the serial runtime.
+    return MultiResamplePercentile(prepared, aggregate, num_resamples, rng,
+                                   ExecRuntime());
+  }
+  int64_t n = prepared.num_passing();
+  bool has_input = aggregate.input != nullptr;
+  double non_passing =
+      static_cast<double>(prepared.table_rows) - static_cast<double>(n);
+  double total_rows = static_cast<double>(prepared.table_rows);
+  RngStreamFactory streams(rng);
+  std::vector<double> slots(static_cast<size_t>(num_resamples), 0.0);
+  std::vector<char> valid(static_cast<size_t>(num_resamples), 0);
+  for (int k = 0; k < num_resamples; ++k) {
+    WeightedAccumulator accumulator(aggregate.kind);
+    Rng replicate_rng = streams.Stream(static_cast<uint64_t>(k));
+    // Row-at-a-time: one uniform -> one weight -> one Add, per row. The
+    // fused kernel must reproduce this exactly.
+    for (int64_t i = 0; i < n; ++i) {
+      int32_t w = PoissonOneWeight(replicate_rng);
+      if (w > 0) {
+        accumulator.Add(has_input ? prepared.values[static_cast<size_t>(i)]
+                                  : 0.0,
+                        static_cast<double>(w));
+      }
+    }
+    FinalizeReplicate(accumulator, replicate_rng, aggregate, scale_factor,
+                      total_rows, non_passing, &slots[static_cast<size_t>(k)],
+                      &valid[static_cast<size_t>(k)]);
+  }
+  return CompactReplicates(slots, valid);
+}
+
 Result<std::vector<double>> ExecuteMultiResampleExact(const Table& table,
                                                       const QuerySpec& query,
                                                       double scale_factor,
@@ -264,21 +367,27 @@ Result<std::vector<double>> ExecuteMultiResampleExact(const Table& table,
   Result<PreparedQuery> prepared = PrepareQuery(table, query);
   if (!prepared.ok()) return prepared.status();
   int64_t n = table.num_rows();
-  // Row -> position within the passing set, or -1.
-  std::vector<int64_t> passing_position(static_cast<size_t>(n), -1);
-  for (size_t i = 0; i < prepared->rows.size(); ++i) {
-    passing_position[static_cast<size_t>(prepared->rows[i])] =
-        static_cast<int64_t>(i);
+  // Row -> position within the passing set, or -1. A dense prepared query
+  // needs no table: position is the row itself.
+  std::vector<int64_t> passing_position;
+  if (!prepared->all_rows) {
+    passing_position.assign(static_cast<size_t>(n), -1);
+    for (size_t i = 0; i < prepared->rows.size(); ++i) {
+      passing_position[static_cast<size_t>(prepared->rows[i])] =
+          static_cast<int64_t>(i);
+    }
   }
   std::vector<double> thetas;
   thetas.reserve(static_cast<size_t>(num_resamples));
-  std::vector<double> weights(prepared->rows.size());
+  std::vector<double> weights(static_cast<size_t>(prepared->num_passing()));
   for (int k = 0; k < num_resamples; ++k) {
     std::fill(weights.begin(), weights.end(), 0.0);
     // Draw exactly n rows of S with replacement; count hits on passing rows.
     for (int64_t draw = 0; draw < n; ++draw) {
       int64_t row = rng.NextInt(n);
-      int64_t pos = passing_position[static_cast<size_t>(row)];
+      int64_t pos = prepared->all_rows
+                        ? row
+                        : passing_position[static_cast<size_t>(row)];
       if (pos >= 0) weights[static_cast<size_t>(pos)] += 1.0;
     }
     Result<double> theta = ComputeWeightedAggregate(*prepared, query.aggregate,
@@ -314,9 +423,10 @@ Result<std::vector<GroupResult>> ExecuteGroupBy(const Table& table,
                         WeightedAccumulator(query.aggregate.kind));
   }
   bool has_input = query.aggregate.input != nullptr;
-  for (size_t i = 0; i < prepared->rows.size(); ++i) {
-    int32_t code = gc.CodeAt(prepared->rows[i]);
-    double value = has_input ? prepared->values[i] : 0.0;
+  int64_t passing = prepared->num_passing();
+  for (int64_t i = 0; i < passing; ++i) {
+    int32_t code = gc.CodeAt(prepared->RowAt(i));
+    double value = has_input ? prepared->values[static_cast<size_t>(i)] : 0.0;
     if (percentile) {
       group_values[static_cast<size_t>(code)].push_back(value);
     } else {

@@ -20,19 +20,45 @@ namespace aqp {
 /// (single-scan) bootstrap/diagnostic execution of §5.3.1 cheap: the filter
 /// and projection run exactly once regardless of the number of resamples.
 struct PreparedQuery {
-  /// Indices (into the source table) of rows passing the filter.
+  /// True when every table row passes (no filter): the passing set is the
+  /// dense range [0, table_rows) and `rows` stays empty — no materialized
+  /// index vector at all for the unfiltered fast path.
+  bool all_rows = false;
+  /// Indices (into the source table) of rows passing the filter, ascending.
+  /// Empty when `all_rows` is set.
   std::vector<int64_t> rows;
-  /// Aggregate-input values, aligned with `rows`. Empty iff the query is
-  /// COUNT(*) (no input expression).
+  /// Aggregate-input values, aligned with the passing set. Empty iff the
+  /// query is COUNT(*) (no input expression).
   std::vector<double> values;
   /// Total rows in the source table (before filtering).
   int64_t table_rows = 0;
 
-  bool has_values() const { return !values.empty() || rows.empty(); }
+  /// Number of rows passing the filter.
+  int64_t num_passing() const {
+    return all_rows ? table_rows : static_cast<int64_t>(rows.size());
+  }
+
+  /// Table row index of the i-th passing row.
+  int64_t RowAt(int64_t i) const {
+    return all_rows ? i : rows[static_cast<size_t>(i)];
+  }
+
+  bool has_values() const { return !values.empty() || num_passing() == 0; }
 };
 
-/// Evaluates filter + aggregate input of `query` over `table`.
+/// Evaluates filter + aggregate input of `query` over `table`, block-wise:
+/// the filter and projection run through the vectorized expression path in
+/// kVectorBlockSize-row blocks (dense blocks; passing rows become a
+/// selection vector for the projection). An unfiltered query produces a
+/// dense PreparedQuery (`all_rows`) with no row-index vector.
 Result<PreparedQuery> PrepareQuery(const Table& table, const QuerySpec& query);
+
+/// Whole-vector reference implementation of PrepareQuery (the pre-vectorized
+/// tree-walking path, which materializes the row-index vector even when
+/// unfiltered). Retained as the comparison oracle for the vectorized path;
+/// produces value-identical results.
+Result<PreparedQuery> PrepareQueryScalar(const Table& table,
+                                         const QuerySpec& query);
 
 /// Computes the plain (unweighted) aggregate from a prepared query.
 /// `scale_factor` = |D|/|S| (1.0 when running directly on the full data).
@@ -76,6 +102,16 @@ Result<std::vector<double>> MultiResampleFromPrepared(
     const PreparedQuery& prepared, const AggregateSpec& aggregate,
     double scale_factor, int num_resamples, Rng& rng,
     const ExecRuntime& runtime = ExecRuntime());
+
+/// Scalar (row-at-a-time) reference implementation of
+/// MultiResampleFromPrepared: per row, per replicate, one PoissonOneWeight
+/// draw and one WeightedAccumulator::Add. Serial; draws the same RNG stream
+/// positions as the fused block kernel, so for a fixed `rng` state its
+/// output compares equal to the vectorized path. Exists for property tests
+/// and as executable documentation of the kernel's contract.
+Result<std::vector<double>> MultiResampleReference(
+    const PreparedQuery& prepared, const AggregateSpec& aggregate,
+    double scale_factor, int num_resamples, Rng& rng);
 
 /// Same replicate computation via exact with-replacement resampling
 /// (the Tuple-Augmentation-style baseline of §5.1): each replicate draws

@@ -1,0 +1,126 @@
+#ifndef AQP_EXEC_VECTOR_BLOCK_H_
+#define AQP_EXEC_VECTOR_BLOCK_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace aqp {
+
+/// Rows per execution block. 2048 doubles = 16 KiB: a value block, a weight
+/// block, and an expression temporary all fit in a 48 KiB L1 at once, while
+/// the per-block loop overhead (virtual dispatch, buffer handoff) amortizes
+/// to well under a cycle per row.
+inline constexpr int64_t kVectorBlockSize = 2048;
+
+/// A view of up to kVectorBlockSize rows of a table: either a dense range
+/// [base, base + count) or `count` explicit row indices in `sel` (a
+/// selection vector, ascending but not necessarily contiguous). Dense blocks
+/// are what lets an unfiltered scan run with no index vector at all — no
+/// iota, no gather, just offset column reads.
+struct RowBlock {
+  const int64_t* sel = nullptr;  ///< Null for dense blocks.
+  int64_t base = 0;              ///< First table row (dense blocks only).
+  int64_t count = 0;
+
+  static RowBlock Dense(int64_t base, int64_t count) {
+    RowBlock b;
+    b.base = base;
+    b.count = count;
+    return b;
+  }
+
+  static RowBlock Selection(const int64_t* sel, int64_t count) {
+    RowBlock b;
+    b.sel = sel;
+    b.count = count;
+    return b;
+  }
+
+  bool dense() const { return sel == nullptr; }
+
+  int64_t RowAt(int64_t i) const { return sel == nullptr ? base + i : sel[i]; }
+};
+
+/// Reusable flat buffers for block-wise expression evaluation. Expression
+/// trees evaluate with stack discipline, so a simple LIFO free list is
+/// enough: each node acquires at most a couple of temporaries, uses them,
+/// and releases them before its parent resumes — no buffer is ever allocated
+/// more than once per (depth, kind) over an entire scan, eliminating the
+/// per-node full-table std::vector materialization of the tree-walking path.
+///
+/// Not thread-safe; use one instance per evaluating thread.
+class EvalScratch {
+ public:
+  /// A kVectorBlockSize-double temporary. Release in LIFO order.
+  double* AcquireNumeric() {
+    if (numeric_free_.empty()) {
+      numeric_pool_.push_back(
+          std::make_unique<double[]>(static_cast<size_t>(kVectorBlockSize)));
+      numeric_free_.push_back(numeric_pool_.back().get());
+    }
+    double* buf = numeric_free_.back();
+    numeric_free_.pop_back();
+    return buf;
+  }
+
+  void ReleaseNumeric(double* buf) { numeric_free_.push_back(buf); }
+
+  /// A kVectorBlockSize-byte 0/1 mask temporary. Release in LIFO order.
+  uint8_t* AcquireMask() {
+    if (mask_free_.empty()) {
+      mask_pool_.push_back(
+          std::make_unique<uint8_t[]>(static_cast<size_t>(kVectorBlockSize)));
+      mask_free_.push_back(mask_pool_.back().get());
+    }
+    uint8_t* buf = mask_free_.back();
+    mask_free_.pop_back();
+    return buf;
+  }
+
+  void ReleaseMask(uint8_t* buf) { mask_free_.push_back(buf); }
+
+ private:
+  std::vector<std::unique_ptr<double[]>> numeric_pool_;
+  std::vector<std::unique_ptr<uint8_t[]>> mask_pool_;
+  std::vector<double*> numeric_free_;
+  std::vector<uint8_t*> mask_free_;
+};
+
+/// RAII acquire/release of one numeric scratch buffer.
+class ScopedNumeric {
+ public:
+  explicit ScopedNumeric(EvalScratch& scratch)
+      : scratch_(scratch), data_(scratch.AcquireNumeric()) {}
+  ~ScopedNumeric() { scratch_.ReleaseNumeric(data_); }
+  ScopedNumeric(const ScopedNumeric&) = delete;
+  ScopedNumeric& operator=(const ScopedNumeric&) = delete;
+
+  double* data() const { return data_; }
+
+ private:
+  EvalScratch& scratch_;
+  double* data_;
+};
+
+/// RAII acquire/release of one mask scratch buffer.
+class ScopedMask {
+ public:
+  explicit ScopedMask(EvalScratch& scratch)
+      : scratch_(scratch), data_(scratch.AcquireMask()) {}
+  ~ScopedMask() { scratch_.ReleaseMask(data_); }
+  ScopedMask(const ScopedMask&) = delete;
+  ScopedMask& operator=(const ScopedMask&) = delete;
+
+  uint8_t* data() const { return data_; }
+
+ private:
+  EvalScratch& scratch_;
+  uint8_t* data_;
+};
+
+}  // namespace aqp
+
+#endif  // AQP_EXEC_VECTOR_BLOCK_H_

@@ -1,6 +1,7 @@
 #include "expr/expr.h"
 
 #include <cmath>
+#include <cstring>
 
 #include "util/logging.h"
 
@@ -15,6 +16,17 @@ Result<std::vector<char>> Expr::EvalPredicate(
     mask[i] = (*values)[i] != 0.0 ? 1 : 0;
   }
   return mask;
+}
+
+Status Expr::EvalPredicateBlock(const Table& table, const RowBlock& block,
+                                EvalScratch& scratch, uint8_t* out) const {
+  ScopedNumeric values(scratch);
+  Status s = EvalNumericBlock(table, block, scratch, values.data());
+  if (!s.ok()) return s;
+  for (int64_t i = 0; i < block.count; ++i) {
+    out[i] = values.data()[i] != 0.0 ? 1 : 0;
+  }
+  return Status::OK();
 }
 
 namespace {
@@ -45,6 +57,23 @@ class ColumnRefExpr final : public Expr {
     return out;
   }
 
+  Status EvalNumericBlock(const Table& table, const RowBlock& block,
+                          EvalScratch&, double* out) const override {
+    Result<const Column*> col = table.ColumnByName(name_);
+    if (!col.ok()) return col.status();
+    const Column& c = **col;
+    if (!c.is_numeric()) {
+      return Status::InvalidArgument("column '" + name_ + "' is not numeric");
+    }
+    if (block.dense()) {
+      std::memcpy(out, c.doubles().data() + block.base,
+                  static_cast<size_t>(block.count) * sizeof(double));
+    } else {
+      c.GatherDoubles(block.sel, block.count, out);
+    }
+    return Status::OK();
+  }
+
   void CollectColumns(std::vector<std::string>& out) const override {
     out.push_back(name_);
   }
@@ -64,6 +93,12 @@ class LiteralExpr final : public Expr {
       const Table& table, const std::vector<int64_t>* rows) const override {
     return std::vector<double>(
         static_cast<size_t>(SelectedCount(table, rows)), value_);
+  }
+
+  Status EvalNumericBlock(const Table&, const RowBlock& block, EvalScratch&,
+                          double* out) const override {
+    for (int64_t i = 0; i < block.count; ++i) out[i] = value_;
+    return Status::OK();
   }
 
   void CollectColumns(std::vector<std::string>&) const override {}
@@ -107,6 +142,32 @@ class ArithmeticExpr final : public Expr {
         break;
     }
     return out;
+  }
+
+  Status EvalNumericBlock(const Table& table, const RowBlock& block,
+                          EvalScratch& scratch, double* out) const override {
+    AQP_RETURN_IF_ERROR(lhs_->EvalNumericBlock(table, block, scratch, out));
+    ScopedNumeric rhs(scratch);
+    AQP_RETURN_IF_ERROR(
+        rhs_->EvalNumericBlock(table, block, scratch, rhs.data()));
+    const double* r = rhs.data();
+    switch (op_) {
+      case ArithOp::kAdd:
+        for (int64_t i = 0; i < block.count; ++i) out[i] += r[i];
+        break;
+      case ArithOp::kSub:
+        for (int64_t i = 0; i < block.count; ++i) out[i] -= r[i];
+        break;
+      case ArithOp::kMul:
+        for (int64_t i = 0; i < block.count; ++i) out[i] *= r[i];
+        break;
+      case ArithOp::kDiv:
+        for (int64_t i = 0; i < block.count; ++i) {
+          out[i] = r[i] == 0.0 ? 0.0 : out[i] / r[i];
+        }
+        break;
+    }
+    return Status::OK();
   }
 
   void CollectColumns(std::vector<std::string>& out) const override {
@@ -191,6 +252,49 @@ class ComparisonExpr final : public Expr {
     return out;
   }
 
+  Status EvalNumericBlock(const Table& table, const RowBlock& block,
+                          EvalScratch& scratch, double* out) const override {
+    ScopedMask mask(scratch);
+    AQP_RETURN_IF_ERROR(EvalPredicateBlock(table, block, scratch, mask.data()));
+    for (int64_t i = 0; i < block.count; ++i) {
+      out[i] = mask.data()[i] ? 1.0 : 0.0;
+    }
+    return Status::OK();
+  }
+
+  Status EvalPredicateBlock(const Table& table, const RowBlock& block,
+                            EvalScratch& scratch, uint8_t* out) const override {
+    ScopedNumeric lhs(scratch);
+    AQP_RETURN_IF_ERROR(
+        lhs_->EvalNumericBlock(table, block, scratch, lhs.data()));
+    ScopedNumeric rhs(scratch);
+    AQP_RETURN_IF_ERROR(
+        rhs_->EvalNumericBlock(table, block, scratch, rhs.data()));
+    const double* l = lhs.data();
+    const double* r = rhs.data();
+    switch (op_) {
+      case CompareOp::kEq:
+        for (int64_t i = 0; i < block.count; ++i) out[i] = l[i] == r[i];
+        break;
+      case CompareOp::kNe:
+        for (int64_t i = 0; i < block.count; ++i) out[i] = l[i] != r[i];
+        break;
+      case CompareOp::kLt:
+        for (int64_t i = 0; i < block.count; ++i) out[i] = l[i] < r[i];
+        break;
+      case CompareOp::kLe:
+        for (int64_t i = 0; i < block.count; ++i) out[i] = l[i] <= r[i];
+        break;
+      case CompareOp::kGt:
+        for (int64_t i = 0; i < block.count; ++i) out[i] = l[i] > r[i];
+        break;
+      case CompareOp::kGe:
+        for (int64_t i = 0; i < block.count; ++i) out[i] = l[i] >= r[i];
+        break;
+    }
+    return Status::OK();
+  }
+
   void CollectColumns(std::vector<std::string>& out) const override {
     lhs_->CollectColumns(out);
     rhs_->CollectColumns(out);
@@ -270,6 +374,41 @@ class StringEqualsExpr final : public Expr {
     return out;
   }
 
+  Status EvalNumericBlock(const Table& table, const RowBlock& block,
+                          EvalScratch& scratch, double* out) const override {
+    ScopedMask mask(scratch);
+    AQP_RETURN_IF_ERROR(EvalPredicateBlock(table, block, scratch, mask.data()));
+    for (int64_t i = 0; i < block.count; ++i) {
+      out[i] = mask.data()[i] ? 1.0 : 0.0;
+    }
+    return Status::OK();
+  }
+
+  Status EvalPredicateBlock(const Table& table, const RowBlock& block,
+                            EvalScratch&, uint8_t* out) const override {
+    Result<const Column*> col = table.ColumnByName(column_);
+    if (!col.ok()) return col.status();
+    const Column& c = **col;
+    if (c.is_numeric()) {
+      return Status::InvalidArgument("column '" + column_ +
+                                     "' is not a string column");
+    }
+    int32_t code = c.FindCode(value_);
+    if (code < 0) {  // Value absent from dictionary: all false.
+      std::memset(out, 0, static_cast<size_t>(block.count));
+      return Status::OK();
+    }
+    if (block.dense()) {
+      const int32_t* codes = c.codes().data() + block.base;
+      for (int64_t i = 0; i < block.count; ++i) out[i] = codes[i] == code;
+    } else {
+      for (int64_t i = 0; i < block.count; ++i) {
+        out[i] = c.CodeAt(block.sel[i]) == code;
+      }
+    }
+    return Status::OK();
+  }
+
   void CollectColumns(std::vector<std::string>& out) const override {
     out.push_back(column_);
   }
@@ -323,6 +462,33 @@ class LogicalExpr final : public Expr {
     return out;
   }
 
+  Status EvalNumericBlock(const Table& table, const RowBlock& block,
+                          EvalScratch& scratch, double* out) const override {
+    ScopedMask mask(scratch);
+    AQP_RETURN_IF_ERROR(EvalPredicateBlock(table, block, scratch, mask.data()));
+    for (int64_t i = 0; i < block.count; ++i) {
+      out[i] = mask.data()[i] ? 1.0 : 0.0;
+    }
+    return Status::OK();
+  }
+
+  Status EvalPredicateBlock(const Table& table, const RowBlock& block,
+                            EvalScratch& scratch, uint8_t* out) const override {
+    // Both sides evaluate over the full block (no short-circuit), matching
+    // the whole-vector path's semantics.
+    AQP_RETURN_IF_ERROR(lhs_->EvalPredicateBlock(table, block, scratch, out));
+    ScopedMask rhs(scratch);
+    AQP_RETURN_IF_ERROR(
+        rhs_->EvalPredicateBlock(table, block, scratch, rhs.data()));
+    const uint8_t* r = rhs.data();
+    if (op_ == LogicalOp::kAnd) {
+      for (int64_t i = 0; i < block.count; ++i) out[i] = out[i] & r[i];
+    } else {
+      for (int64_t i = 0; i < block.count; ++i) out[i] = out[i] | r[i];
+    }
+    return Status::OK();
+  }
+
   void CollectColumns(std::vector<std::string>& out) const override {
     lhs_->CollectColumns(out);
     rhs_->CollectColumns(out);
@@ -372,6 +538,24 @@ class NotExpr final : public Expr {
     return out;
   }
 
+  Status EvalNumericBlock(const Table& table, const RowBlock& block,
+                          EvalScratch& scratch, double* out) const override {
+    ScopedMask mask(scratch);
+    AQP_RETURN_IF_ERROR(EvalPredicateBlock(table, block, scratch, mask.data()));
+    for (int64_t i = 0; i < block.count; ++i) {
+      out[i] = mask.data()[i] ? 1.0 : 0.0;
+    }
+    return Status::OK();
+  }
+
+  Status EvalPredicateBlock(const Table& table, const RowBlock& block,
+                            EvalScratch& scratch, uint8_t* out) const override {
+    AQP_RETURN_IF_ERROR(
+        operand_->EvalPredicateBlock(table, block, scratch, out));
+    for (int64_t i = 0; i < block.count; ++i) out[i] = out[i] == 0;
+    return Status::OK();
+  }
+
   void CollectColumns(std::vector<std::string>& out) const override {
     operand_->CollectColumns(out);
   }
@@ -411,6 +595,32 @@ class UdfExpr final : public Expr {
       out[i] = fn_(row_args);
     }
     return out;
+  }
+
+  Status EvalNumericBlock(const Table& table, const RowBlock& block,
+                          EvalScratch& scratch, double* out) const override {
+    // One scratch buffer per argument, alive simultaneously; released in
+    // reverse acquisition order (LIFO) on every exit path.
+    std::vector<double*> arg_bufs;
+    arg_bufs.reserve(args_.size());
+    Status status;
+    for (const ExprPtr& arg : args_) {
+      double* buf = scratch.AcquireNumeric();
+      arg_bufs.push_back(buf);
+      status = arg->EvalNumericBlock(table, block, scratch, buf);
+      if (!status.ok()) break;
+    }
+    if (status.ok()) {
+      std::vector<double> row_args(args_.size());
+      for (int64_t i = 0; i < block.count; ++i) {
+        for (size_t a = 0; a < args_.size(); ++a) row_args[a] = arg_bufs[a][i];
+        out[i] = fn_(row_args);
+      }
+    }
+    for (size_t a = arg_bufs.size(); a-- > 0;) {
+      scratch.ReleaseNumeric(arg_bufs[a]);
+    }
+    return status;
   }
 
   void CollectColumns(std::vector<std::string>& out) const override {

@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "exec/vector_block.h"  // Header-only block/scratch types.
 #include "storage/table.h"
 #include "util/status.h"
 
@@ -35,9 +36,19 @@ using ScalarUdf = std::function<double(const std::vector<double>& args)>;
 
 /// Immutable expression tree evaluated column-at-a-time against a `Table`.
 ///
-/// Two evaluation entry points exist: `EvalNumeric` produces one double per
-/// selected row; `EvalPredicate` produces a 0/1 mask per selected row. A
-/// numeric expression used as a predicate is truthy when nonzero.
+/// Two evaluation disciplines exist:
+///
+///  - Whole-vector (`EvalNumeric` / `EvalPredicate`): each node materializes
+///    one std::vector covering every selected row. Simple, and retained as
+///    the scalar reference path the vectorized kernels are property-tested
+///    against.
+///  - Block-wise (`EvalNumericBlock` / `EvalPredicateBlock`): the caller
+///    drives kVectorBlockSize-row blocks (dense ranges or selection
+///    vectors) through the tree into reusable flat buffers from an
+///    `EvalScratch`. No per-node full-table temporaries; this is what the
+///    hot scan paths use.
+///
+/// A numeric expression used as a predicate is truthy when nonzero.
 ///
 /// Example (AVG(time) WHERE city = 'NYC' is expressed by the caller as an
 /// aggregate over this filter):
@@ -58,6 +69,18 @@ class Expr {
   /// Defaults to EvalNumeric-and-threshold; boolean nodes override.
   virtual Result<std::vector<char>> EvalPredicate(
       const Table& table, const std::vector<int64_t>* rows) const;
+
+  /// Block-wise numeric evaluation: writes one double per block row into
+  /// `out` (caller-provided, at least block.count entries; block.count <=
+  /// kVectorBlockSize). Boolean expressions produce 0.0 / 1.0. Value-for-
+  /// value identical to EvalNumeric over the same rows.
+  virtual Status EvalNumericBlock(const Table& table, const RowBlock& block,
+                                  EvalScratch& scratch, double* out) const = 0;
+
+  /// Block-wise predicate evaluation into a 0/1 byte mask. Defaults to
+  /// EvalNumericBlock-and-threshold; boolean nodes override.
+  virtual Status EvalPredicateBlock(const Table& table, const RowBlock& block,
+                                    EvalScratch& scratch, uint8_t* out) const;
 
   /// Collects the column names referenced by this expression into `out`.
   virtual void CollectColumns(std::vector<std::string>& out) const = 0;

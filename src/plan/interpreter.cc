@@ -100,8 +100,7 @@ Result<double> AggregateCurrent(const PlanNode& node, const Dataflow& flow,
   const AggregateSpec& agg = node.aggregate;
   PreparedQuery prepared;
   prepared.table_rows = flow.table.num_rows();
-  prepared.rows.resize(static_cast<size_t>(flow.table.num_rows()));
-  std::iota(prepared.rows.begin(), prepared.rows.end(), 0);
+  prepared.all_rows = true;  // Upstream filters already materialized.
   if (agg.input != nullptr) {
     Result<std::vector<double>> values =
         agg.input->EvalNumeric(flow.table, nullptr);

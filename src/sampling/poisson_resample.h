@@ -18,19 +18,59 @@ namespace aqp {
 /// the bootstrap is unaffected — and weight generation becomes a streaming,
 /// embarrassingly parallel operation with O(1) state.
 
-/// Draws one Poisson(1) count. Exposed for the tight inner loops in the
-/// consolidated executor; equivalent to rng.NextPoisson(1.0) but avoids the
-/// general-lambda dispatch.
-inline int32_t PoissonOneWeight(Rng& rng) {
-  // Knuth's method specialized to lambda = 1: limit = e^{-1}.
-  constexpr double kExpNegOne = 0.36787944117144233;
-  double product = rng.NextDouble();
-  int32_t count = 0;
-  while (product > kExpNegOne) {
-    ++count;
-    product *= rng.NextDouble();
+namespace poisson_internal {
+
+/// Pr[X <= k] for X ~ Poisson(1), k = 0..18, rounded to double. The final
+/// entry rounds to exactly 1.0, which is strictly above every uniform a
+/// 53-bit generator can produce, so the tail walk always terminates.
+inline constexpr double kPoissonOneCdf[19] = {
+    0.36787944117144233, 0.73575888234288464, 0.91969860292860580,
+    0.98101184312384619, 0.99634015317265629, 0.99940581518241831,
+    0.99991675885071198, 0.99998975080332536, 0.99999887479740203,
+    0.99999988857452166, 0.99999998995223362, 0.99999999916838926,
+    0.99999999993640223, 0.99999999999548017, 0.99999999999969980,
+    0.99999999999998112, 0.99999999999999870, 0.99999999999999989,
+    1.0};
+
+}  // namespace poisson_internal
+
+/// Maps one uniform u in [0, 1) to a Poisson(1) count by inverting the CDF:
+/// the count is the smallest k with u < Pr[X <= k]. The first five bins
+/// (99.96% of the mass) are handled branchlessly; the tail falls into a
+/// rarely-taken, trivially-predicted table walk. Exact to double precision.
+///
+/// Consuming exactly ONE uniform per weight (unlike Knuth's multiplicative
+/// method, whose draw count is itself random) is what lets block-filled
+/// uniforms reproduce the scalar draw sequence bit-for-bit: a replicate
+/// stream's i-th weight is always derived from its i-th uniform, regardless
+/// of batching.
+inline int32_t PoissonOneFromUniform(double u) {
+  using poisson_internal::kPoissonOneCdf;
+  int32_t w = static_cast<int32_t>(u >= kPoissonOneCdf[0]) +
+              static_cast<int32_t>(u >= kPoissonOneCdf[1]) +
+              static_cast<int32_t>(u >= kPoissonOneCdf[2]) +
+              static_cast<int32_t>(u >= kPoissonOneCdf[3]);
+  if (u >= kPoissonOneCdf[4]) [[unlikely]] {
+    w = 5;
+    while (u >= kPoissonOneCdf[w]) ++w;
   }
-  return count;
+  return w;
+}
+
+/// Draws one Poisson(1) count. Exposed for the inner loops in the
+/// consolidated executor; consumes exactly one uniform from `rng` (see
+/// PoissonOneFromUniform for why that matters to the vectorized kernels).
+inline int32_t PoissonOneWeight(Rng& rng) {
+  return PoissonOneFromUniform(rng.NextDouble());
+}
+
+/// In-place block transform: maps `buf[0..n)` holding uniforms (as filled by
+/// Rng::FillUniform) to Poisson(1) weights stored as doubles. Equivalent to
+/// n scalar PoissonOneFromUniform calls.
+inline void PoissonOneWeightsFromUniforms(double* buf, int64_t n) {
+  for (int64_t i = 0; i < n; ++i) {
+    buf[i] = static_cast<double>(PoissonOneFromUniform(buf[i]));
+  }
 }
 
 /// Generates one resample's weights: `n` independent Poisson(rate) counts.
@@ -40,9 +80,10 @@ std::vector<int32_t> GeneratePoissonWeights(int64_t n, Rng& rng,
                                             double rate = 1.0);
 
 /// Dense row-major weight matrix: `num_resamples` x `num_rows` Poisson(1)
-/// counts, stored as uint8 (P[count > 255] is astronomically small). Used by
-/// tests and the materializing execution path; the consolidated executor
-/// streams weights instead.
+/// counts, stored as uint8. Used by tests and the materializing execution
+/// path; the consolidated executor streams weights instead. Generation is
+/// block-batched (uniform fill + inverse-CDF transform) and draws the same
+/// sequence a scalar PoissonOneWeight loop over the flat matrix would.
 class WeightMatrix {
  public:
   WeightMatrix(int64_t num_resamples, int64_t num_rows, Rng& rng);
@@ -62,9 +103,16 @@ class WeightMatrix {
   /// Total weight (resample size) of one resample.
   int64_t ResampleSize(int64_t resample) const;
 
+  /// Cells whose count exceeded the uint8 range and was clamped to 255.
+  /// Unreachable for Poisson(1) (counts cap at 18), but the clamp is no
+  /// longer silent: clamped cells are counted and logged so a future
+  /// higher-rate matrix cannot quietly bias resample sizes.
+  int64_t clamped_cells() const { return clamped_cells_; }
+
  private:
   int64_t num_resamples_;
   int64_t num_rows_;
+  int64_t clamped_cells_ = 0;
   std::vector<uint8_t> data_;
 };
 

@@ -79,6 +79,15 @@ class Column {
   /// copy.
   Column Gather(const std::vector<int64_t>& rows) const;
 
+  /// Block gather into a caller buffer: `out[i] = DoubleAt(rows[i])` for
+  /// i in [0, count). Numeric columns only. The vectorized executor uses
+  /// this for selection-vector blocks, avoiding any temporary allocation.
+  void GatherDoubles(const int64_t* rows, int64_t count, double* out) const {
+    for (int64_t i = 0; i < count; ++i) {
+      out[i] = doubles_[static_cast<size_t>(rows[i])];
+    }
+  }
+
   /// Appends row `row` of `other` to this column. Requires matching types;
   /// string values are re-interned (dictionaries may differ).
   void AppendFrom(const Column& other, int64_t row);

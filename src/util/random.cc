@@ -43,6 +43,30 @@ double Rng::NextDouble() {
   return static_cast<double>(NextUint64() >> 11) * 0x1.0p-53;
 }
 
+void Rng::FillUniform(double* out, int64_t n) {
+  // Keep the whole xoshiro state in locals for the duration of the block;
+  // the per-draw arithmetic is identical to NextUint64()/NextDouble().
+  uint64_t s0 = state_[0];
+  uint64_t s1 = state_[1];
+  uint64_t s2 = state_[2];
+  uint64_t s3 = state_[3];
+  for (int64_t i = 0; i < n; ++i) {
+    uint64_t result = Rotl(s0 + s3, 23) + s0;
+    uint64_t t = s1 << 17;
+    s2 ^= s0;
+    s3 ^= s1;
+    s1 ^= s2;
+    s0 ^= s3;
+    s2 ^= t;
+    s3 = Rotl(s3, 45);
+    out[i] = static_cast<double>(result >> 11) * 0x1.0p-53;
+  }
+  state_[0] = s0;
+  state_[1] = s1;
+  state_[2] = s2;
+  state_[3] = s3;
+}
+
 int64_t Rng::NextInt(int64_t bound) {
   AQP_DCHECK(bound > 0);
   // Rejection sampling to avoid modulo bias.

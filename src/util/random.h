@@ -23,6 +23,13 @@ class Rng {
   /// Uniform in [0, 1).
   double NextDouble();
 
+  /// Fills `out[0..n)` with uniforms in [0, 1), identically to calling
+  /// NextDouble() n times (same stream positions, same values). This is the
+  /// block RNG fill feeding the vectorized resampling kernels: batching the
+  /// draws keeps the generator state in registers across a whole block
+  /// instead of round-tripping it through memory per draw.
+  void FillUniform(double* out, int64_t n);
+
   /// Uniform integer in [0, bound). `bound` must be positive.
   int64_t NextInt(int64_t bound);
 

@@ -159,12 +159,17 @@ TEST(WeightedQuantileTest, AllZeroWeightsFail) {
 // PrepareQuery / ComputeAggregate
 // ---------------------------------------------------------------------------
 
-TEST(ExecutorTest, PrepareWithoutFilterKeepsAllRows) {
+TEST(ExecutorTest, PrepareWithoutFilterIsDense) {
   Table t = MakeValueTable({1, 2, 3});
   QuerySpec q = MakeAggQuery(AggregateKind::kSum);
   Result<PreparedQuery> p = PrepareQuery(t, q);
   ASSERT_TRUE(p.ok());
-  EXPECT_EQ(p->rows.size(), 3u);
+  // Unfiltered queries take the dense fast path: no materialized row-index
+  // vector, just the [0, table_rows) range.
+  EXPECT_TRUE(p->all_rows);
+  EXPECT_TRUE(p->rows.empty());
+  EXPECT_EQ(p->num_passing(), 3);
+  EXPECT_EQ(p->RowAt(1), 1);
   EXPECT_EQ(p->values, (std::vector<double>{1, 2, 3}));
   EXPECT_EQ(p->table_rows, 3);
 }
