@@ -63,6 +63,10 @@ JobTiming ClusterSimulator::SimulateJob(const JobSpec& job,
                                         const ExecutionTuning& tuning) {
   JobTiming timing;
   if (job.empty()) return timing;
+  // One job is one critical section over the scheduler RNG: concurrent
+  // SimulateJob callers serialize per job rather than interleaving draws
+  // mid-job.
+  MutexLock lock(mu_);
   const ClusterConfig& c = config_;
   int machines = std::clamp(tuning.max_machines, 1, c.num_machines);
   int64_t slots = static_cast<int64_t>(machines) * c.slots_per_machine;

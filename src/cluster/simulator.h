@@ -4,8 +4,10 @@
 #include <cstdint>
 #include <vector>
 
+#include "util/mutex.h"
 #include "util/random.h"
 #include "util/status.h"
+#include "util/thread_annotations.h"
 
 namespace aqp {
 
@@ -171,19 +173,24 @@ struct PipelineTiming {
 };
 
 /// Simulates query execution on the configured cluster. Deterministic given
-/// the seed.
+/// the seed and the sequence of Simulate* calls: each call advances the
+/// shared scheduler RNG under `mu_`, so concurrent callers are memory-safe
+/// but interleave their draws — single-threaded driving is what reproduces
+/// a trace exactly.
 class ClusterSimulator {
  public:
   ClusterSimulator(ClusterConfig config, uint64_t seed);
 
   /// Simulates one job (a set of subqueries) under `tuning`.
-  JobTiming SimulateJob(const JobSpec& job, const ExecutionTuning& tuning);
+  JobTiming SimulateJob(const JobSpec& job, const ExecutionTuning& tuning)
+      AQP_EXCLUDES(mu_);
 
   /// Simulates the full pipeline: query + error estimation + diagnostics.
   PipelineTiming SimulatePipeline(const JobSpec& query,
                                   const JobSpec& error_estimation,
                                   const JobSpec& diagnostics,
-                                  const ExecutionTuning& tuning);
+                                  const ExecutionTuning& tuning)
+      AQP_EXCLUDES(mu_);
 
   const ClusterConfig& config() const { return config_; }
 
@@ -191,10 +198,13 @@ class ClusterSimulator {
   /// Duration of one task scanning `task_mb` with the given weight payload.
   double TaskDuration(double task_mb, int weight_columns,
                       double weight_volume_fraction,
-                      const ExecutionTuning& tuning);
+                      const ExecutionTuning& tuning) AQP_REQUIRES(mu_);
 
   ClusterConfig config_;
-  Rng rng_;
+  /// Guards the shared scheduler state below (one simulated job is one
+  /// critical section).
+  Mutex mu_;
+  Rng rng_ AQP_GUARDED_BY(mu_);
 };
 
 }  // namespace aqp

@@ -268,6 +268,12 @@ AqpEngine::ExecuteApproximateGroupBy(const QuerySpec& query,
   }
   RngStreamFactory streams(rng_);
   std::vector<std::unique_ptr<GroupApproxResult>> slots(candidates.size());
+  // Per-group failure statuses (each slot written by exactly one task). A
+  // degenerate group is legitimately skipped, but a kDeadlineExceeded /
+  // kCancelled group must not be: silently returning fewer groups would be
+  // indistinguishable from "group too small" — the caller would never know
+  // the answer is incomplete.
+  std::vector<Status> group_status(candidates.size());
   ParallelFor(runtime_, 0, static_cast<int64_t>(candidates.size()), 1,
               [&](int64_t gb, int64_t ge) {
     for (int64_t g = gb; g < ge; ++g) {
@@ -275,12 +281,22 @@ AqpEngine::ExecuteApproximateGroupBy(const QuerySpec& query,
       Result<ApproxResult> result =
           ExecuteApproximateImpl(candidates[static_cast<size_t>(g)].query,
                                  group_rng, runtime_);
-      if (!result.ok()) continue;  // Degenerate group under this aggregate.
+      if (!result.ok()) {
+        // Degenerate group under this aggregate; recorded, not dropped.
+        group_status[static_cast<size_t>(g)] = result.status();
+        continue;
+      }
       slots[static_cast<size_t>(g)] = std::make_unique<GroupApproxResult>(
           GroupApproxResult{candidates[static_cast<size_t>(g)].value,
                             std::move(result).value()});
     }
   });
+  for (const Status& status : group_status) {
+    if (status.code() == StatusCode::kDeadlineExceeded ||
+        status.code() == StatusCode::kCancelled) {
+      return status;  // Starved groups: propagate instead of under-reporting.
+    }
+  }
   std::vector<GroupApproxResult> results;
   results.reserve(candidates.size());
   for (std::unique_ptr<GroupApproxResult>& slot : slots) {
@@ -490,9 +506,12 @@ Result<ApproxResult> AqpEngine::ExecuteApproximateImpl(
       result.diagnostic_ok = single->diagnostic.accepted;
       result.diagnostic = std::move(single->diagnostic);
       if (!result.diagnostic_ok) {
-        if (runtime.token().CancelRequested()) {
-          // No budget left to re-execute: return the flagged estimate (the
-          // degradation contract caps the overrun at the current result).
+        if (runtime.token().can_cancel()) {
+          // Bounded execution: the exact fallback scans the full table and
+          // polls no token, so starting it could overrun the wall-clock
+          // budget by orders of magnitude — even when the deadline has not
+          // tripped yet. The time-bound contract wins: return the flagged
+          // estimate.
           result.deadline_hit = DeadlineHit(runtime);
           return result;
         }
@@ -538,9 +557,11 @@ Result<ApproxResult> AqpEngine::ExecuteApproximateImpl(
       result.diagnostic_ok = report->accepted;
       result.diagnostic = std::move(report).value();
       if (!result.diagnostic_ok) {
-        if (runtime.token().CancelRequested()) {
+        if (runtime.token().can_cancel()) {
+          // Unenforceable exact fallback under a time bound (see the
+          // single-scan rejection path above): return the flagged estimate.
           result.deadline_hit = DeadlineHit(runtime);
-          return result;  // Flagged estimate; no budget to re-execute.
+          return result;
         }
         return FallBack(query, std::move(result), rng);
       }
@@ -555,6 +576,10 @@ Result<ApproxResult> AqpEngine::ExecuteApproximateImpl(
       // Diagnosis itself failed (degenerate subsamples): treat as rejection.
       result.diagnostic_ran = false;
       result.diagnostic_ok = false;
+      if (runtime.token().can_cancel()) {
+        result.deadline_hit = DeadlineHit(runtime);
+        return result;  // Flagged, not re-executed: the budget still binds.
+      }
       return FallBack(query, std::move(result), rng);
     }
   }

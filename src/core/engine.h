@@ -127,30 +127,30 @@ class AqpEngine {
 
   /// Registers the full table D (used for exact fallback and as sampling
   /// source).
-  Status RegisterTable(std::shared_ptr<const Table> table);
+  [[nodiscard]] Status RegisterTable(std::shared_ptr<const Table> table);
 
   /// Draws and stores a uniform sample of `rows` rows of `table`.
-  Status CreateSample(const std::string& table, int64_t rows);
+  [[nodiscard]] Status CreateSample(const std::string& table, int64_t rows);
 
   /// Builds and stores a stratified sample of `table` on string column
   /// `column` with at most `cap` rows per distinct value. At query time,
   /// equality filters on `column` are answered from the matching stratum
   /// (BlinkDB's "select the best sample at runtime", paper §6) — rare
   /// segments keep full-resolution error bars.
-  Status CreateStratifiedSample(const std::string& table,
+  [[nodiscard]] Status CreateStratifiedSample(const std::string& table,
                                 const std::string& column, int64_t cap);
 
   /// Runs `query` approximately: executes on the best sample, estimates
   /// error (closed form when applicable, else bootstrap), diagnoses the
   /// estimate, and applies the fallback policy on rejection.
-  Result<ApproxResult> ExecuteApproximate(const QuerySpec& query);
+  [[nodiscard]] Result<ApproxResult> ExecuteApproximate(const QuerySpec& query);
 
   /// Runs `query` exactly on the registered full table.
-  Result<double> ExecuteExact(const QuerySpec& query);
+  [[nodiscard]] Result<double> ExecuteExact(const QuerySpec& query);
 
   /// Parses and runs a SQL statement approximately. GROUP BY statements are
   /// rejected here — use ExecuteApproximateGroupBySql. `udfs` may be null.
-  Result<ApproxResult> ExecuteApproximateSql(const std::string& sql,
+  [[nodiscard]] Result<ApproxResult> ExecuteApproximateSql(const std::string& sql,
                                              const UdfRegistry* udfs = nullptr);
 
   /// One group's approximate answer in a GROUP BY execution.
@@ -164,12 +164,12 @@ class AqpEngine {
   /// produces multiple results, we treat each result as a separate query").
   /// Groups whose filter keeps fewer than `min_group_rows` sample rows are
   /// skipped (their estimates would be meaningless).
-  Result<std::vector<GroupApproxResult>> ExecuteApproximateGroupBy(
+  [[nodiscard]] Result<std::vector<GroupApproxResult>> ExecuteApproximateGroupBy(
       const QuerySpec& query, const std::string& group_column,
       int64_t min_group_rows = 100);
 
   /// Parses and runs a GROUP BY SQL statement approximately.
-  Result<std::vector<GroupApproxResult>> ExecuteApproximateGroupBySql(
+  [[nodiscard]] Result<std::vector<GroupApproxResult>> ExecuteApproximateGroupBySql(
       const std::string& sql, const UdfRegistry* udfs = nullptr);
 
   /// Error-bounded execution (the BlinkDB-style contract the paper builds
@@ -177,7 +177,7 @@ class AqpEngine {
   /// `target_relative_error`, then runs the full diagnosed pipeline on it.
   /// Falls back per FallbackPolicy when no sample is accurate enough or the
   /// diagnostic rejects.
-  Result<ApproxResult> ExecuteWithErrorBound(const QuerySpec& query,
+  [[nodiscard]] Result<ApproxResult> ExecuteWithErrorBound(const QuerySpec& query,
                                              double target_relative_error);
 
   /// Time-bounded execution (BlinkDB's other constraint type: "queries with
@@ -192,7 +192,13 @@ class AqpEngine {
   /// Returns kDeadlineExceeded only when not even a minimal answer (theta +
   /// 2 replicates) finished in time. Falls back to the smallest sample when
   /// none fits the budget.
-  Result<ApproxResult> ExecuteWithTimeBound(const QuerySpec& query,
+  ///
+  /// Time-bounded queries never trigger exact re-execution: ExecuteExact
+  /// scans the full table without polling the token, so it cannot honor the
+  /// budget. When the diagnostic rejects under a time bound the engine
+  /// returns the flagged estimate (`diagnostic_ok = false`,
+  /// `fell_back = false`) regardless of FallbackPolicy.
+  [[nodiscard]] Result<ApproxResult> ExecuteWithTimeBound(const QuerySpec& query,
                                             double budget_seconds);
 
   /// The engine's current throughput estimate (rows/second): starts at
@@ -203,11 +209,11 @@ class AqpEngine {
   /// Persists every uniform sample of every table to `directory` (one
   /// binary table file per sample plus a manifest), so samples survive
   /// restarts — sampling terabytes is the expensive step in production.
-  Status SaveSamples(const std::string& directory) const;
+  [[nodiscard]] Status SaveSamples(const std::string& directory) const;
 
   /// Loads samples previously written by SaveSamples. Tables referenced by
   /// the manifest must already be registered (for population row counts).
-  Status LoadSamples(const std::string& directory);
+  [[nodiscard]] Status LoadSamples(const std::string& directory);
 
   const Catalog& catalog() const { return catalog_; }
   const SampleStore& samples() const { return samples_; }
@@ -231,7 +237,7 @@ class AqpEngine {
   /// Picks the best stored sample for `query`: a stratified stratum when an
   /// equality filter matches a stratified column, else the default uniform
   /// sample.
-  Result<ResolvedSample> ResolveSample(const QuerySpec& query);
+  [[nodiscard]] Result<ResolvedSample> ResolveSample(const QuerySpec& query);
 
   /// The ExecuteApproximate pipeline against an explicit generator and
   /// runtime. All engine state it touches is read-only, so independent
@@ -239,11 +245,11 @@ class AqpEngine {
   /// with its own RNG stream. The runtime carries the query's cancellation
   /// token: once it trips, the pipeline degrades (partial-replicate CI, no
   /// diagnosis, no exact fallback) rather than starting new work.
-  Result<ApproxResult> ExecuteApproximateImpl(const QuerySpec& query,
+  [[nodiscard]] Result<ApproxResult> ExecuteApproximateImpl(const QuerySpec& query,
                                               Rng& rng,
                                               const ExecRuntime& runtime);
 
-  Result<ApproxResult> FallBack(const QuerySpec& query, ApproxResult result,
+  [[nodiscard]] Result<ApproxResult> FallBack(const QuerySpec& query, ApproxResult result,
                                 Rng& rng);
 
   EngineOptions options_;

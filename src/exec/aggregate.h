@@ -47,7 +47,7 @@ class WeightedAccumulator {
   /// COUNT up to population scale and is ignored by the others. Fails with
   /// FailedPrecondition for value-aggregates (AVG/VAR/STDEV/MIN/MAX) over an
   /// empty input.
-  Result<double> Finalize(double scale_factor) const;
+  [[nodiscard]] Result<double> Finalize(double scale_factor) const;
 
   AggregateKind kind() const { return kind_; }
   double weight_sum() const { return weight_sum_; }
@@ -67,7 +67,7 @@ class WeightedAccumulator {
 /// positive weight) whose cumulative weight reaches q * total_weight.
 /// `order` must be a permutation sorting `values` ascending. Fails if total
 /// weight is zero.
-Result<double> WeightedQuantileSorted(const std::vector<double>& values,
+[[nodiscard]] Result<double> WeightedQuantileSorted(const std::vector<double>& values,
                                       const std::vector<int64_t>& order,
                                       const double* weights, double q);
 

@@ -51,29 +51,29 @@ struct PreparedQuery {
 /// kVectorBlockSize-row blocks (dense blocks; passing rows become a
 /// selection vector for the projection). An unfiltered query produces a
 /// dense PreparedQuery (`all_rows`) with no row-index vector.
-Result<PreparedQuery> PrepareQuery(const Table& table, const QuerySpec& query);
+[[nodiscard]] Result<PreparedQuery> PrepareQuery(const Table& table, const QuerySpec& query);
 
 /// Whole-vector reference implementation of PrepareQuery (the pre-vectorized
 /// tree-walking path, which materializes the row-index vector even when
 /// unfiltered). Retained as the comparison oracle for the vectorized path;
 /// produces value-identical results.
-Result<PreparedQuery> PrepareQueryScalar(const Table& table,
+[[nodiscard]] Result<PreparedQuery> PrepareQueryScalar(const Table& table,
                                          const QuerySpec& query);
 
 /// Computes the plain (unweighted) aggregate from a prepared query.
 /// `scale_factor` = |D|/|S| (1.0 when running directly on the full data).
-Result<double> ComputeAggregate(const PreparedQuery& prepared,
+[[nodiscard]] Result<double> ComputeAggregate(const PreparedQuery& prepared,
                                 const AggregateSpec& aggregate,
                                 double scale_factor);
 
 /// Convenience: PrepareQuery + ComputeAggregate.
-Result<double> ExecutePlainAggregate(const Table& table,
+[[nodiscard]] Result<double> ExecutePlainAggregate(const Table& table,
                                      const QuerySpec& query,
                                      double scale_factor);
 
 /// Computes the aggregate under per-row frequency weights (one weight per
 /// entry of `prepared.rows`). This is θ on one Poissonized resample.
-Result<double> ComputeWeightedAggregate(const PreparedQuery& prepared,
+[[nodiscard]] Result<double> ComputeWeightedAggregate(const PreparedQuery& prepared,
                                         const AggregateSpec& aggregate,
                                         double scale_factor,
                                         const double* weights);
@@ -91,14 +91,14 @@ Result<double> ComputeWeightedAggregate(const PreparedQuery& prepared,
 /// stream keyed by (one draw from `rng`, k), so for a fixed incoming `rng`
 /// state the replicate set is bit-identical at every thread count — the
 /// default serial runtime included.
-Result<std::vector<double>> ExecuteMultiResample(
+[[nodiscard]] Result<std::vector<double>> ExecuteMultiResample(
     const Table& table, const QuerySpec& query, double scale_factor,
     int num_resamples, Rng& rng, const ExecRuntime& runtime = ExecRuntime());
 
 /// Same replicate computation, but over an already-prepared query — the
 /// entry point the consolidated diagnostic uses to resample subsample
 /// slices without re-running the filter or projection.
-Result<std::vector<double>> MultiResampleFromPrepared(
+[[nodiscard]] Result<std::vector<double>> MultiResampleFromPrepared(
     const PreparedQuery& prepared, const AggregateSpec& aggregate,
     double scale_factor, int num_resamples, Rng& rng,
     const ExecRuntime& runtime = ExecRuntime());
@@ -109,7 +109,7 @@ Result<std::vector<double>> MultiResampleFromPrepared(
 /// positions as the fused block kernel, so for a fixed `rng` state its
 /// output compares equal to the vectorized path. Exists for property tests
 /// and as executable documentation of the kernel's contract.
-Result<std::vector<double>> MultiResampleReference(
+[[nodiscard]] Result<std::vector<double>> MultiResampleReference(
     const PreparedQuery& prepared, const AggregateSpec& aggregate,
     double scale_factor, int num_resamples, Rng& rng);
 
@@ -117,7 +117,7 @@ Result<std::vector<double>> MultiResampleReference(
 /// (the Tuple-Augmentation-style baseline of §5.1): each replicate draws
 /// |S| row indices, materializes per-row counts, then aggregates. Slower and
 /// O(|S|) extra memory per resample; exists to quantify the §5.1 claim.
-Result<std::vector<double>> ExecuteMultiResampleExact(const Table& table,
+[[nodiscard]] Result<std::vector<double>> ExecuteMultiResampleExact(const Table& table,
                                                       const QuerySpec& query,
                                                       double scale_factor,
                                                       int num_resamples,
@@ -133,7 +133,7 @@ struct GroupResult {
 /// one aggregate per group (groups ordered by dictionary code). Per the
 /// paper each group is treated as an independent θ for estimation purposes;
 /// this entry point exists for end-user queries.
-Result<std::vector<GroupResult>> ExecuteGroupBy(const Table& table,
+[[nodiscard]] Result<std::vector<GroupResult>> ExecuteGroupBy(const Table& table,
                                                 const QuerySpec& query,
                                                 const std::string& group_column,
                                                 double scale_factor);

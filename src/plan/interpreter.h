@@ -39,7 +39,7 @@ struct PlanExecutionResult {
 /// just distributional similarity.
 ///
 /// `scale_factor` = |D| / |S| for SUM/COUNT scaling.
-Result<PlanExecutionResult> ExecutePlan(const PlanNodePtr& plan,
+[[nodiscard]] Result<PlanExecutionResult> ExecutePlan(const PlanNodePtr& plan,
                                         const Table& input,
                                         double scale_factor, uint64_t seed);
 

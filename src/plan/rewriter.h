@@ -28,7 +28,7 @@ struct RewriteOptions {
 ///
 /// Fails if the plan is not a linear pass-through chain topped by a single
 /// Aggregate (the shape produced by BuildQueryPlan).
-Result<PlanNodePtr> RewriteForErrorEstimation(const PlanNodePtr& plan,
+[[nodiscard]] Result<PlanNodePtr> RewriteForErrorEstimation(const PlanNodePtr& plan,
                                               const ResampleSpec& spec,
                                               const RewriteOptions& options);
 

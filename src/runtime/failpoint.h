@@ -7,6 +7,9 @@
 #include <string_view>
 #include <unordered_map>
 
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+
 namespace aqp {
 
 /// Deterministic fault injection for the execution runtime. Tests arm named
@@ -22,19 +25,21 @@ namespace aqp {
 /// a run whose injected failures all recover through retries is
 /// bit-identical to an uninjected run.
 ///
-/// Arm/Disarm are not synchronized against ShouldFail: configure the
-/// registry before handing it to a parallel region (the registry is read-only
-/// while work is in flight).
+/// Arm/Disarm are serialized against each other but not against ShouldFail:
+/// configure the registry before handing it to a parallel region (the
+/// registry is read-only while work is in flight — ParallelFor's contract).
 class FailpointRegistry {
  public:
   explicit FailpointRegistry(uint64_t seed) : seed_(seed) {}
 
   /// Arms `site` to fail with probability `probability` per (unit, attempt).
-  /// Probabilities are clamped to [0, 1]; re-arming overwrites.
-  void Arm(const std::string& site, double probability);
+  /// Probabilities are clamped to [0, 1]; re-arming overwrites. Must not be
+  /// called while a region using this registry is in flight.
+  void Arm(const std::string& site, double probability) AQP_EXCLUDES(mu_);
 
-  /// Removes `site`; subsequent checks on it never fail.
-  void Disarm(const std::string& site);
+  /// Removes `site`; subsequent checks on it never fail. Same in-flight
+  /// restriction as Arm.
+  void Disarm(const std::string& site) AQP_EXCLUDES(mu_);
 
   /// True when the registry injects a failure at `site` for work unit
   /// `unit` on retry `attempt` (0 = first try). Unarmed sites never fail.
@@ -51,9 +56,14 @@ class FailpointRegistry {
 
  private:
   uint64_t seed_;
+  /// Serializes configuration (Arm/Disarm). The hot ShouldFail path reads
+  /// `sites_` without this lock under the read-only-while-in-flight
+  /// contract above; it is annotated AQP_NO_THREAD_SAFETY_ANALYSIS at the
+  /// definition rather than silently exempted.
+  mutable Mutex mu_;
   /// Site name -> failure probability. Keyed by the site's FNV-1a hash so
   /// ShouldFail never allocates a temporary string.
-  std::unordered_map<uint64_t, double> sites_;
+  std::unordered_map<uint64_t, double> sites_ AQP_GUARDED_BY(mu_);
   mutable std::atomic<int64_t> injected_{0};
 };
 

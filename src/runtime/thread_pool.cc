@@ -21,19 +21,19 @@ ThreadPool::ThreadPool(int num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     shutting_down_ = true;
   }
-  work_cv_.notify_all();
+  work_cv_.NotifyAll();
   for (std::thread& worker : workers_) worker.join();
 }
 
 void ThreadPool::Submit(std::function<void()> task) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     queue_.push_back(std::move(task));
   }
-  work_cv_.notify_one();
+  work_cv_.NotifyOne();
 }
 
 bool ThreadPool::OnWorkerThread() const { return current_pool == this; }
@@ -48,8 +48,8 @@ void ThreadPool::WorkerLoop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      work_cv_.wait(lock, [this] { return shutting_down_ || !queue_.empty(); });
+      MutexLock lock(mu_);
+      while (!shutting_down_ && queue_.empty()) work_cv_.Wait(mu_);
       // Shutdown drains the queue: run remaining tasks before exiting.
       if (queue_.empty()) return;
       task = std::move(queue_.front());
@@ -76,7 +76,7 @@ void TaskGroup::RunTask(const std::function<void()>& task) {
   try {
     task();
   } catch (...) {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (first_error_ == nullptr) first_error_ = std::current_exception();
   }
 }
@@ -90,7 +90,7 @@ void TaskGroup::Run(std::function<void()> task) {
     return;
   }
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     ++pending_;
   }
   auto shared = std::make_shared<std::function<void()>>(std::move(task));
@@ -98,20 +98,20 @@ void TaskGroup::Run(std::function<void()> task) {
     // Cooperative cancellation of queued work: a task the token caught
     // before it started is dropped (it still completes for Wait()).
     if (!token_.CancelRequested()) RunTask(*shared);
-    std::lock_guard<std::mutex> lock(mu_);
-    if (--pending_ == 0) done_cv_.notify_all();
+    MutexLock lock(mu_);
+    if (--pending_ == 0) done_cv_.NotifyAll();
   });
 }
 
 void TaskGroup::Wait() {
-  std::unique_lock<std::mutex> lock(mu_);
-  done_cv_.wait(lock, [this] { return pending_ == 0; });
-  if (first_error_ != nullptr) {
-    std::exception_ptr error = first_error_;
+  std::exception_ptr error;
+  {
+    MutexLock lock(mu_);
+    while (pending_ != 0) done_cv_.Wait(mu_);
+    error = first_error_;
     first_error_ = nullptr;
-    lock.unlock();
-    std::rethrow_exception(error);
   }
+  if (error != nullptr) std::rethrow_exception(error);
 }
 
 }  // namespace aqp

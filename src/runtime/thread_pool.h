@@ -1,16 +1,16 @@
 #ifndef AQP_RUNTIME_THREAD_POOL_H_
 #define AQP_RUNTIME_THREAD_POOL_H_
 
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <exception>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
 
 #include "runtime/cancellation.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace aqp {
 
@@ -39,7 +39,7 @@ class ThreadPool {
   /// Enqueues `task` for execution on some worker. Tasks must not throw out
   /// of their body unless the caller arranges to observe the exception (as
   /// TaskGroup does); a throw out of a bare Submit task terminates.
-  void Submit(std::function<void()> task);
+  void Submit(std::function<void()> task) AQP_EXCLUDES(mu_);
 
   int num_threads() const { return static_cast<int>(workers_.size()); }
 
@@ -54,12 +54,14 @@ class ThreadPool {
   static int HardwareConcurrency();
 
  private:
-  void WorkerLoop();
+  void WorkerLoop() AQP_EXCLUDES(mu_);
 
-  mutable std::mutex mu_;
-  std::condition_variable work_cv_;
-  std::deque<std::function<void()>> queue_;
-  bool shutting_down_ = false;
+  mutable Mutex mu_;
+  CondVar work_cv_;
+  std::deque<std::function<void()>> queue_ AQP_GUARDED_BY(mu_);
+  bool shutting_down_ AQP_GUARDED_BY(mu_) = false;
+  /// Written only by the constructor, joined only by the destructor; both
+  /// run with no concurrent access to the pool, so no guard is needed.
   std::vector<std::thread> workers_;
 };
 
@@ -88,21 +90,21 @@ class TaskGroup {
   TaskGroup& operator=(const TaskGroup&) = delete;
 
   /// Schedules `task`. Safe to call concurrently with other Run() calls.
-  void Run(std::function<void()> task);
+  void Run(std::function<void()> task) AQP_EXCLUDES(mu_);
 
   /// Blocks until every scheduled task has finished, then rethrows the
   /// first exception any task raised (first in completion order).
-  void Wait();
+  void Wait() AQP_EXCLUDES(mu_);
 
  private:
-  void RunTask(const std::function<void()>& task);
+  void RunTask(const std::function<void()>& task) AQP_EXCLUDES(mu_);
 
   ThreadPool* pool_;
   CancellationToken token_;
-  std::mutex mu_;
-  std::condition_variable done_cv_;
-  int64_t pending_ = 0;
-  std::exception_ptr first_error_;
+  Mutex mu_;
+  CondVar done_cv_;
+  int64_t pending_ AQP_GUARDED_BY(mu_) = 0;
+  std::exception_ptr first_error_ AQP_GUARDED_BY(mu_);
 };
 
 }  // namespace aqp

@@ -52,10 +52,10 @@ WeightMatrix::WeightMatrix(int64_t num_resamples, int64_t num_rows, Rng& rng)
     }
   }
   if (clamped_cells_ > 0) {
-    std::fprintf(stderr,
-                 "WARNING: WeightMatrix clamped %lld cell(s) at 255; "
-                 "resample sizes are biased low\n",
-                 static_cast<long long>(clamped_cells_));
+    AQP_LOG(WARNING,
+            "WeightMatrix clamped %lld cell(s) at 255; resample sizes are "
+            "biased low",
+            static_cast<long long>(clamped_cells_));
   }
 }
 

@@ -42,7 +42,7 @@ struct Token {
 /// Lexes `sql` into a token stream terminated by a kEnd token. Fails with
 /// InvalidArgument on unterminated strings or unexpected characters,
 /// pointing at the offending offset.
-Result<std::vector<Token>> LexSql(const std::string& sql);
+[[nodiscard]] Result<std::vector<Token>> LexSql(const std::string& sql);
 
 }  // namespace aqp
 

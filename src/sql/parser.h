@@ -29,7 +29,7 @@ class UdfRegistry {
   void RegisterBuiltins();
 
   /// Looks up a factory; NotFound if absent.
-  Result<const Factory*> Find(const std::string& name) const;
+  [[nodiscard]] Result<const Factory*> Find(const std::string& name) const;
 
   bool Contains(const std::string& name) const {
     return factories_.find(name) != factories_.end();
@@ -67,10 +67,10 @@ struct ParsedQuery {
 ///
 /// `udfs` may be null (no UDFs callable). The returned QuerySpec's id is
 /// left empty for the caller to fill.
-Result<ParsedQuery> ParseSql(const std::string& sql, const UdfRegistry* udfs);
+[[nodiscard]] Result<ParsedQuery> ParseSql(const std::string& sql, const UdfRegistry* udfs);
 
 /// Convenience overload with no UDF registry.
-Result<ParsedQuery> ParseSql(const std::string& sql);
+[[nodiscard]] Result<ParsedQuery> ParseSql(const std::string& sql);
 
 }  // namespace aqp
 

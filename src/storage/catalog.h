@@ -15,13 +15,13 @@ namespace aqp {
 class Catalog {
  public:
   /// Registers `table` under its own name. Fails on duplicates.
-  Status AddTable(std::shared_ptr<const Table> table);
+  [[nodiscard]] Status AddTable(std::shared_ptr<const Table> table);
 
   /// Replaces or inserts `table` under its own name.
   void PutTable(std::shared_ptr<const Table> table);
 
   /// Looks up a table by name.
-  Result<std::shared_ptr<const Table>> GetTable(const std::string& name) const;
+  [[nodiscard]] Result<std::shared_ptr<const Table>> GetTable(const std::string& name) const;
 
   bool HasTable(const std::string& name) const {
     return tables_.find(name) != tables_.end();

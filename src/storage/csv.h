@@ -26,23 +26,23 @@ struct CsvOptions {
 /// Two-pass: type inference over the first `inference_rows`, then ingestion.
 /// Quoted fields ("..." with "" escapes) are supported; rows with the wrong
 /// column count fail with InvalidArgument naming the line.
-Result<std::shared_ptr<const Table>> ReadCsv(std::istream& input,
+[[nodiscard]] Result<std::shared_ptr<const Table>> ReadCsv(std::istream& input,
                                              std::string table_name,
                                              const CsvOptions& options = {});
 
 /// Convenience: parses a CSV string.
-Result<std::shared_ptr<const Table>> ReadCsvString(
+[[nodiscard]] Result<std::shared_ptr<const Table>> ReadCsvString(
     const std::string& text, std::string table_name,
     const CsvOptions& options = {});
 
 /// Loads a CSV file from disk.
-Result<std::shared_ptr<const Table>> ReadCsvFile(
+[[nodiscard]] Result<std::shared_ptr<const Table>> ReadCsvFile(
     const std::string& path, std::string table_name,
     const CsvOptions& options = {});
 
 /// Writes `table` as CSV (header + rows) to `output`. String values are
 /// quoted when they contain the delimiter, quotes, or newlines.
-Status WriteCsv(const Table& table, std::ostream& output,
+[[nodiscard]] Status WriteCsv(const Table& table, std::ostream& output,
                 const CsvOptions& options = {});
 
 }  // namespace aqp

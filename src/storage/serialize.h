@@ -19,14 +19,14 @@ namespace aqp {
 /// columns; dictionary strings + int32 codes for categorical columns).
 
 /// Writes `table` to `output` in binary form.
-Status WriteTable(const Table& table, std::ostream& output);
+[[nodiscard]] Status WriteTable(const Table& table, std::ostream& output);
 
 /// Reads a table written by WriteTable.
-Result<std::shared_ptr<const Table>> ReadTable(std::istream& input);
+[[nodiscard]] Result<std::shared_ptr<const Table>> ReadTable(std::istream& input);
 
 /// File convenience wrappers.
-Status WriteTableFile(const Table& table, const std::string& path);
-Result<std::shared_ptr<const Table>> ReadTableFile(const std::string& path);
+[[nodiscard]] Status WriteTableFile(const Table& table, const std::string& path);
+[[nodiscard]] Result<std::shared_ptr<const Table>> ReadTableFile(const std::string& path);
 
 }  // namespace aqp
 

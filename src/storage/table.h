@@ -32,7 +32,7 @@ class Table {
 
   /// Adds a column; fails if the name already exists or the length differs
   /// from existing columns (unless the table is empty of rows).
-  Status AddColumn(Column column);
+  [[nodiscard]] Status AddColumn(Column column);
 
   /// Index of the named column, or -1.
   int64_t ColumnIndex(std::string_view name) const;
@@ -46,13 +46,13 @@ class Table {
   Column& mutable_column(int64_t index) {
     return columns_[static_cast<size_t>(index)];
   }
-  Result<const Column*> ColumnByName(std::string_view name) const;
-  Result<Column*> MutableColumnByName(std::string_view name);
+  [[nodiscard]] Result<const Column*> ColumnByName(std::string_view name) const;
+  [[nodiscard]] Result<Column*> MutableColumnByName(std::string_view name);
 
   const std::vector<Column>& columns() const { return columns_; }
 
   /// Verifies that all columns have equal length.
-  Status Validate() const;
+  [[nodiscard]] Status Validate() const;
 
   /// Returns a new table with rows selected by `rows` (indices), preserving
   /// order; duplicate indices are allowed (used for with-replacement

@@ -16,6 +16,21 @@ namespace internal {
 }  // namespace internal
 }  // namespace aqp
 
+/// Structured diagnostic output to stderr, prefixed with severity and
+/// source location. The library's only sanctioned console output: stdout
+/// stays clean for tool/bench results, and `tools/aqp_lint.py` rejects raw
+/// std::cout / printf in src/ so ad-hoc prints cannot creep back in.
+///
+/// Example:
+///   AQP_LOG(WARNING, "WeightMatrix clamped %lld cell(s) at 255",
+///           static_cast<long long>(clamped));
+#define AQP_LOG(severity, ...)                                        \
+  do {                                                                \
+    std::fprintf(stderr, "[%s %s:%d] ", #severity, __FILE__, __LINE__); \
+    std::fprintf(stderr, __VA_ARGS__);                                \
+    std::fputc('\n', stderr);                                         \
+  } while (false)
+
 /// Aborts the process when `cond` is false. Used for programmer errors
 /// (invariant violations), not for recoverable conditions — those return
 /// `aqp::Status`.
@@ -24,10 +39,14 @@ namespace internal {
     if (!(cond)) ::aqp::internal::CheckFailed(__FILE__, __LINE__, #cond); \
   } while (false)
 
-/// Like AQP_CHECK but compiled out in NDEBUG builds.
+/// Like AQP_CHECK but compiled out in NDEBUG builds. The condition stays in
+/// an unevaluated operand so variables it references still count as used —
+/// a DCHECK-only variable must not become a -Wunused-variable error in
+/// release builds.
 #ifdef NDEBUG
-#define AQP_DCHECK(cond) \
-  do {                   \
+#define AQP_DCHECK(cond)            \
+  do {                              \
+    (void)sizeof((cond) ? 1 : 0);   \
   } while (false)
 #else
 #define AQP_DCHECK(cond) AQP_CHECK(cond)

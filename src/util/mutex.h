@@ -1,0 +1,79 @@
+#ifndef AQP_UTIL_MUTEX_H_
+#define AQP_UTIL_MUTEX_H_
+
+#include <condition_variable>
+#include <mutex>
+
+#include "util/thread_annotations.h"
+
+namespace aqp {
+
+/// Annotated wrapper over std::mutex. The only reason this exists is Clang
+/// Thread Safety Analysis: `AQP_GUARDED_BY(mu_)` only fires when `mu_` is a
+/// capability type, which std::mutex is not (libstdc++ ships it without the
+/// attributes). Zero overhead — every method inlines to the std call.
+///
+/// This wrapper (plus src/runtime, which owns the worker threads) is the
+/// only place raw std::mutex may appear; `tools/aqp_lint.py` enforces that.
+class AQP_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() AQP_ACQUIRE() { mu_.lock(); }
+  void Unlock() AQP_RELEASE() { mu_.unlock(); }
+  bool TryLock() AQP_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  friend class CondVar;
+  std::mutex mu_;
+};
+
+/// RAII lock for aqp::Mutex (the std::lock_guard analogue the analysis
+/// understands).
+///
+/// Example:
+///   MutexLock lock(mu_);
+///   queue_.push_back(...);  // queue_ is AQP_GUARDED_BY(mu_)
+class AQP_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) AQP_ACQUIRE(mu) : mu_(mu) { mu_.Lock(); }
+  ~MutexLock() AQP_RELEASE() { mu_.Unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+/// Condition variable paired with aqp::Mutex. There is deliberately no
+/// predicate overload: the analysis cannot see into a lambda, so waits are
+/// written as explicit loops in the function that holds the capability —
+///   while (!ready_) cv_.Wait(mu_);   // ready_ is AQP_GUARDED_BY(mu_)
+/// which keeps every guarded read inside an analyzed scope.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Atomically releases `mu` and blocks; `mu` is re-held on return. May
+  /// wake spuriously — always call in a condition loop.
+  void Wait(Mutex& mu) AQP_REQUIRES(mu) {
+    std::unique_lock<std::mutex> lock(mu.mu_, std::adopt_lock);
+    cv_.wait(lock);
+    lock.release();  // The caller's scope still owns the re-acquired lock.
+  }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace aqp
+
+#endif  // AQP_UTIL_MUTEX_H_

@@ -22,12 +22,23 @@ enum class StatusCode {
   kCancelled,
 };
 
+/// Name of `code`, e.g. "InvalidArgument"; every code round-trips through
+/// Status::ToString under this name.
+const char* StatusCodeName(StatusCode code);
+
 /// Lightweight success/error value. A default-constructed `Status` is OK.
+///
+/// The class itself is [[nodiscard]]: any call that returns a Status and
+/// ignores it is a compile warning (an error in CI, where AQP_WERROR is on).
+/// A silently dropped error is how a kDeadlineExceeded becomes a wrong
+/// answer with healthy-looking error bars — exactly the failure the paper's
+/// diagnostics exist to prevent. Deliberate discards must say so by name:
+/// `status.IgnoreError()` with a comment, never a cast to void.
 ///
 /// Example:
 ///   Status s = catalog.AddTable(std::move(t));
 ///   if (!s.ok()) return s;
-class Status {
+class [[nodiscard]] Status {
  public:
   Status() : code_(StatusCode::kOk) {}
   Status(StatusCode code, std::string message)
@@ -62,12 +73,17 @@ class Status {
     return Status(StatusCode::kCancelled, std::move(msg));
   }
 
-  bool ok() const { return code_ == StatusCode::kOk; }
-  StatusCode code() const { return code_; }
-  const std::string& message() const { return message_; }
+  [[nodiscard]] bool ok() const { return code_ == StatusCode::kOk; }
+  [[nodiscard]] StatusCode code() const { return code_; }
+  [[nodiscard]] const std::string& message() const { return message_; }
 
   /// Human-readable rendering, e.g. "InvalidArgument: bad column".
-  std::string ToString() const;
+  [[nodiscard]] std::string ToString() const;
+
+  /// Explicitly discards this status. The only sanctioned way to ignore a
+  /// fallible call's result; each use carries a comment justifying why the
+  /// error cannot matter at that site.
+  void IgnoreError() const {}
 
  private:
   StatusCode code_;
@@ -81,7 +97,7 @@ class Status {
 ///   if (!r.ok()) return r.status();
 ///   Use(r.value());
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /// Constructs a Result holding a value. Intentionally implicit so that
   /// functions can `return value;`.
@@ -90,11 +106,11 @@ class Result {
   /// functions can `return Status::InvalidArgument(...);`.
   Result(Status status) : repr_(std::move(status)) {}
 
-  bool ok() const { return std::holds_alternative<T>(repr_); }
+  [[nodiscard]] bool ok() const { return std::holds_alternative<T>(repr_); }
 
   /// Returns the error. Requires `!ok()` is allowed but not required: an OK
   /// status is synthesized when a value is held.
-  Status status() const {
+  [[nodiscard]] Status status() const {
     if (ok()) return Status::OK();
     return std::get<Status>(repr_);
   }

@@ -1,0 +1,79 @@
+#ifndef AQP_UTIL_THREAD_ANNOTATIONS_H_
+#define AQP_UTIL_THREAD_ANNOTATIONS_H_
+
+/// Clang Thread Safety Analysis attributes (no-op on other compilers).
+///
+/// The runtime's concurrency invariants — which lock protects which queue,
+/// which methods must (or must not) be called with a lock held — are part of
+/// the paper's reproducibility contract: a mis-threaded mutex breaks the
+/// bit-identical-replicates guarantee in ways no fixed-seed test is
+/// guaranteed to catch. Annotating the lock discipline makes those
+/// invariants compile-time checkable: CI builds with
+/// `-Wthread-safety -Werror=thread-safety` under Clang, so a guarded member
+/// touched without its mutex is a build failure, not a latent race.
+///
+/// Use `aqp::Mutex` / `aqp::MutexLock` (util/mutex.h) rather than raw
+/// `std::mutex` so the analysis actually fires; `tools/aqp_lint.py` rejects
+/// raw std::mutex outside src/runtime and the wrapper.
+
+#if defined(__clang__)
+#define AQP_THREAD_ANNOTATION_ATTRIBUTE(x) __attribute__((x))
+#else
+#define AQP_THREAD_ANNOTATION_ATTRIBUTE(x)  // no-op
+#endif
+
+/// Declares a class to be a capability (lockable) type.
+#define AQP_CAPABILITY(x) AQP_THREAD_ANNOTATION_ATTRIBUTE(capability(x))
+
+/// Declares an RAII class that acquires a capability in its constructor and
+/// releases it in its destructor.
+#define AQP_SCOPED_CAPABILITY AQP_THREAD_ANNOTATION_ATTRIBUTE(scoped_lockable)
+
+/// Declares that a data member is protected by the given capability: reads
+/// require the capability held shared or exclusive, writes exclusive.
+#define AQP_GUARDED_BY(x) AQP_THREAD_ANNOTATION_ATTRIBUTE(guarded_by(x))
+
+/// As AQP_GUARDED_BY, for the data pointed to by a pointer member.
+#define AQP_PT_GUARDED_BY(x) AQP_THREAD_ANNOTATION_ATTRIBUTE(pt_guarded_by(x))
+
+/// Declares that a function requires the given capabilities to be held by
+/// the caller (and does not release them).
+#define AQP_REQUIRES(...) \
+  AQP_THREAD_ANNOTATION_ATTRIBUTE(requires_capability(__VA_ARGS__))
+
+/// Declares that the caller must NOT hold the given capabilities (the
+/// function acquires them itself; calling with them held would deadlock).
+#define AQP_EXCLUDES(...) \
+  AQP_THREAD_ANNOTATION_ATTRIBUTE(locks_excluded(__VA_ARGS__))
+
+/// Declares that a function acquires the given capabilities and holds them
+/// on return.
+#define AQP_ACQUIRE(...) \
+  AQP_THREAD_ANNOTATION_ATTRIBUTE(acquire_capability(__VA_ARGS__))
+
+/// Declares that a function releases the given capabilities (held on entry).
+#define AQP_RELEASE(...) \
+  AQP_THREAD_ANNOTATION_ATTRIBUTE(release_capability(__VA_ARGS__))
+
+/// Declares that a function attempts to acquire the capability, returning
+/// `ret` on success.
+#define AQP_TRY_ACQUIRE(...) \
+  AQP_THREAD_ANNOTATION_ATTRIBUTE(try_acquire_capability(__VA_ARGS__))
+
+/// Declares that a function returns a reference to the given capability.
+#define AQP_RETURN_CAPABILITY(x) \
+  AQP_THREAD_ANNOTATION_ATTRIBUTE(lock_returned(x))
+
+/// Lock-ordering declarations (deadlock prevention).
+#define AQP_ACQUIRED_AFTER(...) \
+  AQP_THREAD_ANNOTATION_ATTRIBUTE(acquired_after(__VA_ARGS__))
+#define AQP_ACQUIRED_BEFORE(...) \
+  AQP_THREAD_ANNOTATION_ATTRIBUTE(acquired_before(__VA_ARGS__))
+
+/// Opts a function out of the analysis. Every use must carry a comment
+/// naming the external synchronization contract that makes it sound (e.g.
+/// FailpointRegistry::ShouldFail's read-only-while-in-flight rule).
+#define AQP_NO_THREAD_SAFETY_ANALYSIS \
+  AQP_THREAD_ANNOTATION_ATTRIBUTE(no_thread_safety_analysis)
+
+#endif  // AQP_UTIL_THREAD_ANNOTATIONS_H_

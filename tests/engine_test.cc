@@ -122,6 +122,30 @@ TEST(EngineTest, MaxOnHeavyTailFallsBackToExact) {
   EXPECT_DOUBLE_EQ(r->estimate, *exact);
 }
 
+TEST(EngineTest, TimeBoundRejectionNeverStartsExactFallback) {
+  // Regression: a time-bounded query whose diagnostic rejects must return
+  // the flagged estimate, never re-execute exactly. ExecuteExact scans the
+  // full table without polling the cancellation token, so entering the
+  // fallback path under a deadline could overrun the wall-clock budget
+  // arbitrarily — even a generous budget that has not tripped yet does not
+  // make the (unboundable) exact scan admissible.
+  AqpEngine engine(FastOptions());
+  auto table = MakeParetoTable(200000, 5);
+  ASSERT_TRUE(engine.RegisterTable(table).ok());
+  ASSERT_TRUE(engine.CreateSample("p", 20000).ok());
+  QuerySpec q = MakeQuery("p", AggregateKind::kMax);
+  // Same engine/table/seed as MaxOnHeavyTailFallsBackToExact, so the
+  // diagnostic verdict (rejection) is identical; only the time bound
+  // differs — and it must flip the outcome from exact to flagged.
+  Result<ApproxResult> r = engine.ExecuteWithTimeBound(q, 30.0);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_FALSE(r->fell_back);
+  EXPECT_NE(r->method, EstimationMethod::kExact);
+  EXPECT_TRUE(r->diagnostic_ran);
+  EXPECT_FALSE(r->diagnostic_ok);
+  EXPECT_GT(r->ci.half_width, 0.0);
+}
+
 TEST(EngineTest, FallbackPolicyNoneKeepsFlaggedEstimate) {
   EngineOptions options = FastOptions();
   options.fallback = FallbackPolicy::kNone;

@@ -2,6 +2,8 @@
 
 #include <cmath>
 #include <set>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "util/normal.h"
@@ -58,6 +60,91 @@ TEST(ResultTest, MoveOutValue) {
   Result<std::vector<int>> r = std::vector<int>{1, 2, 3};
   std::vector<int> v = std::move(r).value();
   EXPECT_EQ(v.size(), 3u);
+}
+
+TEST(StatusTest, CodeNameRoundTripsThroughToString) {
+  // Every code's name must match what ToString renders, so log-scraping
+  // tools and tests can key on StatusCodeName without a second table.
+  const StatusCode codes[] = {
+      StatusCode::kOk,           StatusCode::kInvalidArgument,
+      StatusCode::kNotFound,     StatusCode::kAlreadyExists,
+      StatusCode::kOutOfRange,   StatusCode::kUnimplemented,
+      StatusCode::kInternal,     StatusCode::kFailedPrecondition,
+      StatusCode::kDeadlineExceeded, StatusCode::kCancelled,
+  };
+  for (StatusCode code : codes) {
+    Status s(code, "m");
+    const std::string name = StatusCodeName(code);
+    EXPECT_FALSE(name.empty());
+    if (code == StatusCode::kOk) {
+      EXPECT_EQ(s.ToString(), "OK");
+    } else {
+      EXPECT_EQ(s.ToString(), name + ": m");
+    }
+  }
+  EXPECT_STREQ(StatusCodeName(StatusCode::kDeadlineExceeded),
+               "DeadlineExceeded");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kCancelled), "Cancelled");
+}
+
+TEST(StatusTest, CopyAndMoveSemantics) {
+  Status original = Status::Internal("boom");
+  Status copy = original;  // Copy: both usable, identical content.
+  EXPECT_EQ(copy.code(), StatusCode::kInternal);
+  EXPECT_EQ(copy.message(), "boom");
+  EXPECT_EQ(original.message(), "boom");
+
+  Status moved = std::move(original);  // Move: content transfers.
+  EXPECT_EQ(moved.code(), StatusCode::kInternal);
+  EXPECT_EQ(moved.message(), "boom");
+
+  Status assigned;
+  assigned = moved;  // Copy assignment over an OK status.
+  EXPECT_FALSE(assigned.ok());
+  EXPECT_EQ(assigned.ToString(), "Internal: boom");
+}
+
+TEST(StatusTest, IgnoreErrorIsTheNamedDiscard) {
+  // [[nodiscard]] Status makes a bare `ErroringCall();` a warning (an error
+  // under AQP_WERROR); IgnoreError() is the sanctioned escape hatch and
+  // must compile without tripping the attribute.
+  Status::Internal("deliberately dropped").IgnoreError();
+}
+
+TEST(ResultTest, CopyAndMoveSemantics) {
+  Result<std::string> original = std::string("payload");
+  Result<std::string> copy = original;  // Copy keeps the source intact.
+  ASSERT_TRUE(copy.ok());
+  EXPECT_EQ(*copy, "payload");
+  ASSERT_TRUE(original.ok());
+  EXPECT_EQ(*original, "payload");
+
+  Result<std::string> moved = std::move(original);  // Move transfers.
+  ASSERT_TRUE(moved.ok());
+  EXPECT_EQ(*moved, "payload");
+
+  Result<std::string> err = Status::OutOfRange("idx");
+  Result<std::string> err_copy = err;  // Error alternative copies too.
+  ASSERT_FALSE(err_copy.ok());
+  EXPECT_EQ(err_copy.status().code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(err.status().message(), "idx");
+}
+
+TEST(ResultTest, MutableAccessAndArrow) {
+  Result<std::vector<int>> r = std::vector<int>{1, 2, 3};
+  r->push_back(4);  // operator-> on the lvalue overload.
+  (*r)[0] = 10;     // operator* likewise.
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->size(), 4u);
+  EXPECT_EQ(r.value()[0], 10);
+}
+
+TEST(ResultTest, StatusOfOkResultIsSynthesizedOk) {
+  Result<int> r = 7;
+  Status s = r.status();
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_TRUE(s.message().empty());
 }
 
 // ---------------------------------------------------------------------------

@@ -1,0 +1,313 @@
+#!/usr/bin/env python3
+"""aqp-lint: static checker for project invariants the compiler cannot see.
+
+The paper's guarantees lean on repo-wide conventions, not just local code:
+
+  determinism   All randomness flows through aqp::Rng / RngStreamFactory
+                (seed-derived streams). A raw std::mt19937 or rand() call
+                anywhere in src/ silently breaks the bit-identical
+                fixed-seed-replicates guarantee at a different thread count.
+  parallelism   All threads live in the src/runtime pool (bounded
+                parallelism, §5.3.2) and all locks are the annotated
+                aqp::Mutex so Clang Thread Safety Analysis fires. A raw
+                std::thread or std::mutex elsewhere escapes both.
+  console       stdout/stderr writes go through util/logging.h; stdout
+                stays clean for tool and benchmark output.
+  include-guard Headers carry the canonical AQP_<PATH>_H_ guard.
+
+Usage:
+  tools/aqp_lint.py [--root REPO] [--report out.json] [PATH...]
+
+PATHs (files or directories, default: src) are linted; findings print as
+`path:line: [rule] message` and the exit status is the number of findings
+(capped at 125). Rule allowlists are path-based and documented next to each
+rule below.
+"""
+
+import argparse
+import json
+import os
+import re
+import sys
+
+# ---------------------------------------------------------------------------
+# Source preprocessing: matching happens on code only, with comments and
+# string/char literals blanked (a comment *mentioning* std::mutex is fine).
+# Line structure is preserved so finding line numbers stay exact.
+# ---------------------------------------------------------------------------
+
+
+def strip_comments_and_strings(text):
+    out = []
+    i = 0
+    n = len(text)
+    state = "code"  # code | line_comment | block_comment | string | char
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if state == "code":
+            if c == "/" and nxt == "/":
+                state = "line_comment"
+                out.append("  ")
+                i += 2
+                continue
+            if c == "/" and nxt == "*":
+                state = "block_comment"
+                out.append("  ")
+                i += 2
+                continue
+            if c == '"':
+                state = "string"
+                out.append(" ")
+                i += 1
+                continue
+            if c == "'":
+                state = "char"
+                out.append(" ")
+                i += 1
+                continue
+            out.append(c)
+        elif state == "line_comment":
+            if c == "\n":
+                state = "code"
+                out.append("\n")
+            else:
+                out.append(" ")
+        elif state == "block_comment":
+            if c == "*" and nxt == "/":
+                state = "code"
+                out.append("  ")
+                i += 2
+                continue
+            out.append("\n" if c == "\n" else " ")
+        elif state in ("string", "char"):
+            quote = '"' if state == "string" else "'"
+            if c == "\\":
+                out.append("  ")
+                i += 2
+                continue
+            if c == quote:
+                state = "code"
+            out.append("\n" if c == "\n" else " ")
+        i += 1
+    return "".join(out)
+
+
+# ---------------------------------------------------------------------------
+# Rules. Each rule: (id, [compiled patterns], allowlist predicate, message).
+# Allowlists take the repo-relative POSIX path.
+# ---------------------------------------------------------------------------
+
+
+def _in(path, prefix):
+    return path == prefix or path.startswith(prefix.rstrip("/") + "/")
+
+
+RAW_RANDOM = [
+    re.compile(p)
+    for p in (
+        r"std::mt19937",
+        r"std::minstd_rand",
+        r"std::default_random_engine",
+        r"std::random_device",
+        r"std::uniform_(int|real)_distribution",
+        r"(?<![:\w])s?rand\s*\(",
+        r"#\s*include\s*<random>",
+    )
+]
+
+RAW_THREADING = [
+    re.compile(p)
+    for p in (
+        r"std::thread\b",
+        r"std::jthread\b",
+        r"std::mutex\b",
+        r"std::timed_mutex\b",
+        r"std::recursive_mutex\b",
+        r"std::shared_mutex\b",
+        r"std::condition_variable\b",
+        r"std::async\b",
+        r"#\s*include\s*<(thread|mutex|shared_mutex|condition_variable|future)>",
+    )
+]
+
+CONSOLE_OUTPUT = [
+    re.compile(p)
+    for p in (
+        r"std::cout\b",
+        r"std::cerr\b",
+        r"std::clog\b",
+        r"(?<![:\w])printf\s*\(",      # not snprintf/fprintf (word boundary)
+        r"(?<![:\w])fprintf\s*\(",
+        r"std::printf\s*\(",
+        r"std::fprintf\s*\(",
+        r"(?<![:\w])puts\s*\(",
+        r"#\s*include\s*<iostream>",
+    )
+]
+
+
+def allow_random(path):
+    # The seeded generator itself, and the stream-derivation helpers.
+    return _in(path, "src/util/random.h") or _in(path, "src/util/random.cc")
+
+
+def allow_threading(path):
+    # The bounded-parallelism runtime owns every thread; the annotated
+    # wrapper owns the only raw std::mutex/condition_variable.
+    return _in(path, "src/runtime") or _in(path, "src/util/mutex.h")
+
+
+def allow_console(path):
+    # The logging facility is the sanctioned stderr writer.
+    return _in(path, "src/util/logging.h")
+
+
+RULES = [
+    (
+        "determinism",
+        RAW_RANDOM,
+        allow_random,
+        "raw RNG outside src/util/random.*; derive randomness from aqp::Rng /"
+        " RngStreamFactory so fixed-seed runs stay reproducible",
+    ),
+    (
+        "parallelism",
+        RAW_THREADING,
+        allow_threading,
+        "raw threading primitive outside src/runtime (+ the annotated"
+        " aqp::Mutex wrapper); use the ThreadPool/ParallelFor runtime and"
+        " util/mutex.h so parallelism stays bounded and lock discipline stays"
+        " analyzable",
+    ),
+    (
+        "console",
+        CONSOLE_OUTPUT,
+        allow_console,
+        "direct console output in src/; use AQP_LOG (util/logging.h) so"
+        " stdout stays clean and diagnostics carry source locations",
+    ),
+]
+
+GUARD_RE = re.compile(r"^[A-Z][A-Z0-9_]*_H_$")
+
+
+def expected_guard(relpath):
+    """Canonical guard for headers under src/: AQP_<DIRS>_<NAME>_H_."""
+    parts = relpath.split("/")
+    if parts[0] != "src":
+        return None  # Outside src/: any well-formed guard is accepted.
+    stem = [re.sub(r"[^A-Za-z0-9]", "_", p) for p in parts[1:]]
+    stem[-1] = re.sub(r"_h$", "", stem[-1], flags=re.IGNORECASE)
+    return ("AQP_" + "_".join(stem) + "_H_").upper()
+
+
+def check_include_guard(relpath, text, findings):
+    ifndef = re.search(r"^\s*#\s*ifndef\s+(\S+)", text, re.MULTILINE)
+    define = re.search(r"^\s*#\s*define\s+(\S+)", text, re.MULTILINE)
+    if not ifndef or not define or ifndef.group(1) != define.group(1):
+        findings.append(
+            (relpath, 1, "include-guard",
+             "header lacks a matching #ifndef/#define include guard")
+        )
+        return
+    guard = ifndef.group(1)
+    want = expected_guard(relpath)
+    if want is not None and guard != want:
+        findings.append(
+            (relpath, text[: ifndef.start()].count("\n") + 1, "include-guard",
+             f"guard '{guard}' should be '{want}'")
+        )
+    elif want is None and not GUARD_RE.match(guard):
+        findings.append(
+            (relpath, text[: ifndef.start()].count("\n") + 1, "include-guard",
+             f"guard '{guard}' is not of the form AQP_..._H_")
+        )
+
+
+def lint_file(root, relpath):
+    findings = []
+    abspath = os.path.join(root, relpath)
+    try:
+        with open(abspath, "r", encoding="utf-8", errors="replace") as f:
+            text = f.read()
+    except OSError as e:
+        return [(relpath, 0, "io", f"unreadable: {e}")]
+    code = strip_comments_and_strings(text)
+    lines = code.split("\n")
+    for rule_id, patterns, allowed, message in RULES:
+        if allowed(relpath):
+            continue
+        for lineno, line in enumerate(lines, start=1):
+            for pattern in patterns:
+                m = pattern.search(line)
+                if m:
+                    findings.append(
+                        (relpath, lineno, rule_id,
+                         f"'{m.group(0).strip()}': {message}")
+                    )
+                    break  # One finding per line per rule.
+    if relpath.endswith(".h"):
+        check_include_guard(relpath, text, findings)
+    return findings
+
+
+def collect_files(root, paths):
+    exts = (".h", ".cc", ".cpp", ".hpp")
+    files = []
+    for p in paths:
+        ap = p if os.path.isabs(p) else os.path.join(root, p)
+        if os.path.isfile(ap):
+            files.append(os.path.relpath(ap, root).replace(os.sep, "/"))
+        else:
+            for dirpath, _, names in os.walk(ap):
+                for name in sorted(names):
+                    if name.endswith(exts):
+                        full = os.path.join(dirpath, name)
+                        files.append(
+                            os.path.relpath(full, root).replace(os.sep, "/")
+                        )
+    return sorted(set(files))
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("paths", nargs="*", default=["src"],
+                        help="files or directories to lint (default: src)")
+    parser.add_argument("--root", default=None,
+                        help="repository root (default: the checkout"
+                             " containing this script)")
+    parser.add_argument("--report", default=None,
+                        help="also write findings as JSON to this path")
+    args = parser.parse_args(argv)
+
+    root = os.path.abspath(
+        args.root
+        if args.root
+        else os.path.join(os.path.dirname(os.path.abspath(__file__)), os.pardir)
+    )
+    paths = args.paths if args.paths else ["src"]
+
+    findings = []
+    for relpath in collect_files(root, paths):
+        findings.extend(lint_file(root, relpath))
+
+    for path, line, rule, message in findings:
+        print(f"{path}:{line}: [{rule}] {message}")
+    if args.report:
+        with open(args.report, "w", encoding="utf-8") as f:
+            json.dump(
+                [
+                    {"path": p, "line": l, "rule": r, "message": m}
+                    for p, l, r, m in findings
+                ],
+                f,
+                indent=2,
+            )
+    if not findings:
+        print(f"aqp-lint: OK ({len(collect_files(root, paths))} files clean)")
+    return min(len(findings), 125)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

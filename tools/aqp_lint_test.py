@@ -1,0 +1,111 @@
+#!/usr/bin/env python3
+"""Self-test for aqp_lint.py: clean fixtures stay clean, violating fixtures
+trip exactly the rule they exist to exercise, and the preprocessing layer
+does not flag mentions inside comments or string literals."""
+
+import os
+import sys
+import unittest
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+import aqp_lint  # noqa: E402
+
+ROOT = os.path.abspath(
+    os.path.join(os.path.dirname(os.path.abspath(__file__)), os.pardir)
+)
+FIXTURES = "tools/lint_fixtures"
+
+
+def lint(relpath):
+    return aqp_lint.lint_file(ROOT, relpath)
+
+
+def rules_of(findings):
+    return {rule for _, _, rule, _ in findings}
+
+
+class FixtureTest(unittest.TestCase):
+    def test_good_file_is_clean(self):
+        self.assertEqual(lint(f"{FIXTURES}/good_file.h"), [])
+
+    def test_bad_random_trips_determinism_only(self):
+        findings = lint(f"{FIXTURES}/bad_random.cc")
+        self.assertEqual(rules_of(findings), {"determinism"})
+        # <random> include, engine ctor line, distribution decl, rand() call.
+        self.assertGreaterEqual(len(findings), 4)
+
+    def test_bad_thread_trips_parallelism_only(self):
+        findings = lint(f"{FIXTURES}/bad_thread.cc")
+        self.assertEqual(rules_of(findings), {"parallelism"})
+        self.assertGreaterEqual(len(findings), 4)
+
+    def test_bad_console_trips_console_only(self):
+        findings = lint(f"{FIXTURES}/bad_console.cc")
+        self.assertEqual(rules_of(findings), {"console"})
+        self.assertGreaterEqual(len(findings), 4)
+
+    def test_bad_guard_trips_include_guard(self):
+        findings = lint(f"{FIXTURES}/bad_guard.h")
+        self.assertEqual(rules_of(findings), {"include-guard"})
+
+
+class PreprocessingTest(unittest.TestCase):
+    def test_comments_and_strings_are_blanked(self):
+        code = aqp_lint.strip_comments_and_strings(
+            'int x; // std::mutex\n'
+            '/* std::cout */ int y;\n'
+            'const char* s = "printf(";\n'
+        )
+        self.assertNotIn("std::mutex", code)
+        self.assertNotIn("std::cout", code)
+        self.assertNotIn("printf", code)
+        self.assertIn("int x;", code)
+        self.assertIn("int y;", code)
+        # Line structure preserved for exact finding line numbers.
+        self.assertEqual(code.count("\n"), 3)
+
+    def test_snprintf_is_not_printf(self):
+        findings = [
+            f
+            for f in aqp_lint.RULES
+            if f[0] == "console"
+        ]
+        patterns = findings[0][1]
+        line = 'std::snprintf(buffer, sizeof(buffer), "%.17g", v);'
+        self.assertFalse(any(p.search(line) for p in patterns))
+
+
+class AllowlistTest(unittest.TestCase):
+    def test_runtime_and_wrapper_may_use_raw_primitives(self):
+        self.assertTrue(aqp_lint.allow_threading("src/runtime/thread_pool.h"))
+        self.assertTrue(aqp_lint.allow_threading("src/util/mutex.h"))
+        self.assertFalse(aqp_lint.allow_threading("src/core/engine.cc"))
+        # Prefix matching is per path component: src/runtime_extras is not
+        # src/runtime.
+        self.assertFalse(aqp_lint.allow_threading("src/runtime_extras/x.cc"))
+
+    def test_only_the_rng_owns_raw_randomness(self):
+        self.assertTrue(aqp_lint.allow_random("src/util/random.cc"))
+        self.assertFalse(aqp_lint.allow_random("src/cluster/simulator.cc"))
+
+    def test_expected_guard_derivation(self):
+        self.assertEqual(
+            aqp_lint.expected_guard("src/util/status.h"), "AQP_UTIL_STATUS_H_"
+        )
+        self.assertEqual(
+            aqp_lint.expected_guard("src/exec/vector_block.h"),
+            "AQP_EXEC_VECTOR_BLOCK_H_",
+        )
+        self.assertIsNone(aqp_lint.expected_guard("tools/lint_fixtures/a.h"))
+
+
+class RepoIsCleanTest(unittest.TestCase):
+    def test_src_has_zero_findings(self):
+        findings = []
+        for relpath in aqp_lint.collect_files(ROOT, ["src"]):
+            findings.extend(aqp_lint.lint_file(ROOT, relpath))
+        self.assertEqual(findings, [], "src/ must lint clean")
+
+
+if __name__ == "__main__":
+    unittest.main()

@@ -1,0 +1,9 @@
+// Fixture: every line below must trip the `console` rule.
+#include <cstdio>
+#include <iostream>
+
+void ChattyFunction() {
+  std::cout << "progress\n";
+  printf("done\n");
+  fprintf(stderr, "warning\n");
+}

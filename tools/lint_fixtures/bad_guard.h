@@ -1,0 +1,5 @@
+// Fixture: header without an include guard -> `include-guard` finding.
+
+namespace aqp_lint_fixture {
+struct Unguarded {};
+}  // namespace aqp_lint_fixture

@@ -1,0 +1,9 @@
+// Fixture: every line below must trip the `determinism` rule.
+#include <random>
+
+void UnkeyedRandomness() {
+  std::mt19937 gen(std::random_device{}());
+  std::uniform_int_distribution<int> dist(0, 9);
+  (void)dist(gen);
+  (void)rand();
+}

@@ -1,0 +1,10 @@
+// Fixture: every line below must trip the `parallelism` rule.
+#include <mutex>
+#include <thread>
+
+std::mutex unguarded_mu;
+
+void UnboundedThread() {
+  std::thread t([] {});
+  t.join();
+}

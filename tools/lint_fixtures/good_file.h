@@ -1,0 +1,20 @@
+#ifndef AQP_TOOLS_LINT_FIXTURES_GOOD_FILE_H_
+#define AQP_TOOLS_LINT_FIXTURES_GOOD_FILE_H_
+
+// Clean fixture: mentions of std::mt19937, std::mutex, std::cout and
+// printf( in comments (or in string literals) must NOT trip the linter —
+// it matches code, not prose.
+
+#include <cstdint>
+
+namespace aqp_lint_fixture {
+
+inline const char* Banner() {
+  return "not actual console output: std::cout << printf(";
+}
+
+int64_t NextFromSeed(uint64_t seed);
+
+}  // namespace aqp_lint_fixture
+
+#endif  // AQP_TOOLS_LINT_FIXTURES_GOOD_FILE_H_
