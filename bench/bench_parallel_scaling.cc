@@ -11,10 +11,12 @@
 #include <chrono>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "bench_util.h"
 #include "exec/executor.h"
 #include "exec/query_spec.h"
 #include "expr/expr.h"
@@ -26,16 +28,26 @@
 namespace aqp {
 namespace {
 
-constexpr int64_t kRows = 1 << 20;  // 1,048,576 rows.
+constexpr int64_t kDefaultRows = 1 << 20;  // 1,048,576 rows.
 constexpr int kReplicates = 100;
 constexpr uint64_t kSeed = 42;
 constexpr int kRepetitions = 3;  // Keep the best (least-noisy) time.
 
-Table MakeTable() {
+/// Row count, overridable via AQP_BENCH_ROWS so CI smoke runs stay fast.
+int64_t BenchRows() {
+  const char* env = std::getenv("AQP_BENCH_ROWS");
+  if (env != nullptr) {
+    long long rows = std::atoll(env);
+    if (rows > 0) return static_cast<int64_t>(rows);
+  }
+  return kDefaultRows;
+}
+
+Table MakeTable(int64_t rows) {
   Table t("events");
   Column v = Column::MakeDouble("v");
   Rng rng(7);
-  for (int64_t i = 0; i < kRows; ++i) {
+  for (int64_t i = 0; i < rows; ++i) {
     v.AppendDouble(rng.NextDouble() * 1000.0);
   }
   if (!t.AddColumn(std::move(v)).ok()) std::abort();
@@ -88,7 +100,8 @@ RunResult RunAt(const PreparedQuery& prepared, const AggregateSpec& agg,
 
 int main() {
   using namespace aqp;
-  Table table = MakeTable();
+  const int64_t rows = BenchRows();
+  Table table = MakeTable(rows);
   QuerySpec query = MakeQuery();
   Result<PreparedQuery> prepared = PrepareQuery(table, query);
   if (!prepared.ok()) {
@@ -107,10 +120,28 @@ int main() {
     if (runs[i].replicates != runs[0].replicates) deterministic = false;
   }
 
+  // One unified-schema record per thread count: replicate throughput is
+  // rows * replicates / wall, the figure the sweep exists to track.
+  std::vector<bench::E2eBenchRecord> e2e;
+  for (size_t i = 0; i < runs.size(); ++i) {
+    bench::E2eBenchRecord rec;
+    rec.name =
+        "parallel_scaling/t" + std::to_string(thread_counts[i]);
+    rec.rows_per_second = runs[i].seconds > 0.0
+                              ? static_cast<double>(rows) * kReplicates /
+                                    runs[i].seconds
+                              : 0.0;
+    rec.wall_ms = runs[i].seconds * 1e3;
+    rec.threads = thread_counts[i];
+    rec.git_sha = bench::BenchGitSha();
+    e2e.push_back(std::move(rec));
+  }
+  bench::MergeE2eJson(bench::E2eJsonPath(), e2e);
+
   double base = runs[0].seconds;
   std::printf("{\n");
   std::printf("  \"bench\": \"parallel_scaling\",\n");
-  std::printf("  \"rows\": %lld,\n", static_cast<long long>(kRows));
+  std::printf("  \"rows\": %lld,\n", static_cast<long long>(rows));
   std::printf("  \"replicates\": %d,\n", kReplicates);
   std::printf("  \"hardware_concurrency\": %d,\n",
               ThreadPool::HardwareConcurrency());

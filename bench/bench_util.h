@@ -58,13 +58,14 @@ inline std::string KernelJsonPath() {
   return env != nullptr ? env : "BENCH_kernels.json";
 }
 
-/// Merges `records` into the JSON file at `path`. The file is a JSON array
-/// with exactly one object per line, so the merge is line-oriented: existing
-/// entries are kept, entries whose "name" matches a new record are replaced
-/// in place, and unseen records append. Two bench binaries can therefore
-/// share one file without either clobbering the other's numbers.
-inline void MergeKernelJson(const std::string& path,
-                            const std::vector<KernelBenchRecord>& records) {
+/// Merges named one-line JSON objects into the array file at `path`. The
+/// file keeps exactly one object per line, so the merge is line-oriented:
+/// existing entries are kept, entries whose "name" matches a new record are
+/// replaced in place, and unseen records append. Multiple bench binaries can
+/// therefore share one file without clobbering each other's numbers.
+inline void MergeNamedJsonObjects(
+    const std::string& path,
+    const std::vector<std::pair<std::string, std::string>>& named_objects) {
   // Load existing one-object-per-line entries, keyed by name, in file order.
   std::vector<std::string> order;
   std::map<std::string, std::string> lines;
@@ -84,13 +85,9 @@ inline void MergeKernelJson(const std::string& path,
     if (lines.emplace(name, body).second) order.push_back(name);
   }
   in.close();
-  for (const KernelBenchRecord& r : records) {
-    std::ostringstream obj;
-    obj << "{\"name\": \"" << r.name << "\", \"real_time_ns\": "
-        << r.real_time_ns << ", \"items_per_second\": " << r.items_per_second
-        << ", \"ns_per_item\": " << r.ns_per_item << "}";
-    if (lines.emplace(r.name, obj.str()).second) order.push_back(r.name);
-    lines[r.name] = obj.str();
+  for (const auto& [name, body] : named_objects) {
+    if (lines.emplace(name, body).second) order.push_back(name);
+    lines[name] = body;
   }
   std::ofstream out(path, std::ios::trunc);
   out << "[\n";
@@ -98,6 +95,63 @@ inline void MergeKernelJson(const std::string& path,
     out << lines[order[i]] << (i + 1 < order.size() ? ",\n" : "\n");
   }
   out << "]\n";
+}
+
+/// Merges `records` into the kernel-throughput JSON at `path` (see
+/// MergeNamedJsonObjects for the merge semantics).
+inline void MergeKernelJson(const std::string& path,
+                            const std::vector<KernelBenchRecord>& records) {
+  std::vector<std::pair<std::string, std::string>> objects;
+  objects.reserve(records.size());
+  for (const KernelBenchRecord& r : records) {
+    std::ostringstream obj;
+    obj << "{\"name\": \"" << r.name << "\", \"real_time_ns\": "
+        << r.real_time_ns << ", \"items_per_second\": " << r.items_per_second
+        << ", \"ns_per_item\": " << r.ns_per_item << "}";
+    objects.emplace_back(r.name, obj.str());
+  }
+  MergeNamedJsonObjects(path, objects);
+}
+
+/// One end-to-end benchmark measurement destined for BENCH_e2e.json — the
+/// unified cross-bench schema: every bench binary (the scaling sweep and the
+/// kernel micro-benches alike) reports the same five fields so CI can diff
+/// one artifact across commits.
+struct E2eBenchRecord {
+  std::string name;             // Unique across all bench binaries.
+  double rows_per_second = 0.0;  // Primary throughput (0 when not measured).
+  double wall_ms = 0.0;          // Wall time of one run / iteration.
+  int threads = 1;               // Worker threads the measurement used.
+  std::string git_sha;           // From $AQP_GIT_SHA; "unknown" outside CI.
+};
+
+/// Output path for the unified end-to-end JSON (override: $AQP_E2E_JSON).
+inline std::string E2eJsonPath() {
+  const char* env = std::getenv("AQP_E2E_JSON");
+  return env != nullptr ? env : "BENCH_e2e.json";
+}
+
+/// Commit identity stamped into e2e records; CI exports AQP_GIT_SHA.
+inline std::string BenchGitSha() {
+  const char* env = std::getenv("AQP_GIT_SHA");
+  return env != nullptr ? env : "unknown";
+}
+
+/// Merges `records` into BENCH_e2e.json-format `path` (one object per line,
+/// replace-by-name — see MergeNamedJsonObjects).
+inline void MergeE2eJson(const std::string& path,
+                         const std::vector<E2eBenchRecord>& records) {
+  std::vector<std::pair<std::string, std::string>> objects;
+  objects.reserve(records.size());
+  for (const E2eBenchRecord& r : records) {
+    std::ostringstream obj;
+    obj << "{\"name\": \"" << r.name << "\", \"rows_per_second\": "
+        << r.rows_per_second << ", \"wall_ms\": " << r.wall_ms
+        << ", \"threads\": " << r.threads << ", \"git_sha\": \"" << r.git_sha
+        << "\"}";
+    objects.emplace_back(r.name, obj.str());
+  }
+  MergeNamedJsonObjects(path, objects);
 }
 
 }  // namespace bench

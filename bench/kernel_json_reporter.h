@@ -41,8 +41,24 @@ class KernelJsonReporter : public benchmark::ConsoleReporter {
   }
 
   /// Merges everything collected so far into BENCH_kernels.json (or
-  /// $AQP_BENCH_JSON when set).
-  void WriteMergedJson() const { MergeKernelJson(KernelJsonPath(), records_); }
+  /// $AQP_BENCH_JSON when set), and mirrors it into the unified
+  /// BENCH_e2e.json schema so kernel micro-benches and the end-to-end
+  /// benches land in one artifact.
+  void WriteMergedJson() const {
+    MergeKernelJson(KernelJsonPath(), records_);
+    std::vector<E2eBenchRecord> e2e;
+    e2e.reserve(records_.size());
+    for (const KernelBenchRecord& r : records_) {
+      E2eBenchRecord rec;
+      rec.name = r.name;
+      rec.rows_per_second = r.items_per_second;
+      rec.wall_ms = r.real_time_ns * 1e-6;
+      rec.threads = 1;  // Micro-benches measure single-thread kernels.
+      rec.git_sha = BenchGitSha();
+      e2e.push_back(std::move(rec));
+    }
+    MergeE2eJson(E2eJsonPath(), e2e);
+  }
 
  private:
   std::vector<KernelBenchRecord> records_;
@@ -56,7 +72,8 @@ inline int RunKernelBenchmarks(int argc, char** argv) {
   KernelJsonReporter reporter;
   benchmark::RunSpecifiedBenchmarks(&reporter);
   reporter.WriteMergedJson();
-  std::printf("wrote %s\n", KernelJsonPath().c_str());
+  std::printf("wrote %s and %s\n", KernelJsonPath().c_str(),
+              E2eJsonPath().c_str());
   return 0;
 }
 

@@ -5,9 +5,43 @@
 #include <limits>
 #include <queue>
 
+#include "obs/metrics.h"
 #include "util/logging.h"
 
 namespace aqp {
+namespace {
+
+/// Process-wide simulator accounting on the default registry (resolved once;
+/// entries are stable). Purely observational — the simulated schedule and
+/// its RNG draws are identical with or without anyone reading these.
+struct SimMetrics {
+  Counter* jobs;
+  Counter* jobs_incomplete;
+  Counter* tasks_launched;
+  Counter* speculative_clones;
+  Counter* task_failures;
+  Counter* task_retries;
+  Counter* tasks_lost;
+  Counter* straggler_delays;
+
+  static const SimMetrics& Get() {
+    static const SimMetrics metrics = [] {
+      MetricsRegistry& registry = MetricsRegistry::Default();
+      return SimMetrics{
+          registry.GetCounter("cluster.sim.jobs"),
+          registry.GetCounter("cluster.sim.jobs_incomplete"),
+          registry.GetCounter("cluster.sim.tasks_launched"),
+          registry.GetCounter("cluster.sim.speculative_clones"),
+          registry.GetCounter("cluster.sim.task_failures"),
+          registry.GetCounter("cluster.sim.task_retries"),
+          registry.GetCounter("cluster.sim.tasks_lost"),
+          registry.GetCounter("cluster.sim.straggler_delays")};
+    }();
+    return metrics;
+  }
+};
+
+}  // namespace
 
 ClusterSimulator::ClusterSimulator(ClusterConfig config, uint64_t seed)
     : config_(config), rng_(seed) {}
@@ -55,6 +89,7 @@ double ClusterSimulator::TaskDuration(double task_mb, int weight_columns,
     straggle_s = std::min(
         rng_.NextPareto(c.straggler_min_delay_s, c.straggler_pareto_shape),
         c.straggler_max_delay_s);
+    SimMetrics::Get().straggler_delays->Increment();
   }
   return base * mult + straggle_s;
 }
@@ -204,6 +239,19 @@ JobTiming ClusterSimulator::SimulateJob(const JobSpec& job,
                      static_cast<double>(tasks_per_subquery) +
                  c.per_subquery_fixed_s;
   timing.duration_s = tasks_done + agg_s;
+
+  const SimMetrics& metrics = SimMetrics::Get();
+  metrics.jobs->Increment();
+  if (!timing.completed) metrics.jobs_incomplete->Increment();
+  metrics.tasks_launched->Increment(timing.tasks_launched);
+  metrics.speculative_clones->Increment(launched - required);
+  if (timing.task_failures > 0) {
+    metrics.task_failures->Increment(timing.task_failures);
+  }
+  if (timing.task_retries > 0) {
+    metrics.task_retries->Increment(timing.task_retries);
+  }
+  if (timing.tasks_lost > 0) metrics.tasks_lost->Increment(timing.tasks_lost);
   return timing;
 }
 

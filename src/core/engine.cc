@@ -1,11 +1,12 @@
 #include "core/engine.h"
 
 #include <algorithm>
-#include <chrono>
 #include <cmath>
 #include <fstream>
 #include <sstream>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "runtime/cancellation.h"
 #include "runtime/rng_stream.h"
 #include "storage/serialize.h"
@@ -44,6 +45,9 @@ AqpEngine::AqpEngine(EngineOptions options)
                                          : ThreadPool::HardwareConcurrency();
   if (threads > 1) pool_ = std::make_unique<ThreadPool>(threads);
   runtime_ = ExecRuntime(pool_.get(), options_.max_parallelism);
+  if (options_.failpoints != nullptr) {
+    runtime_ = runtime_.WithFailpoints(options_.failpoints);
+  }
   bootstrap_.set_runtime(runtime_);
   observed_rows_per_second_ = options_.rows_per_second;
 }
@@ -294,6 +298,11 @@ AqpEngine::ExecuteApproximateGroupBy(const QuerySpec& query,
   for (const Status& status : group_status) {
     if (status.code() == StatusCode::kDeadlineExceeded ||
         status.code() == StatusCode::kCancelled) {
+      // A fully-starved group has no ApproxResult to carry a profile, so the
+      // starvation is recorded on the process-wide registry instead.
+      MetricsRegistry::Default()
+          .GetCounter("engine.group_by.starved_groups")
+          ->Increment();
       return status;  // Starved groups: propagate instead of under-reporting.
     }
   }
@@ -368,7 +377,7 @@ Result<ApproxResult> AqpEngine::ExecuteWithTimeBound(const QuerySpec& query,
   // The model only *sizes* the work; the deadline token *enforces* the
   // budget. Every parallel region under this query polls the token, so a
   // mispredicted model degrades the result instead of blowing the bound.
-  auto start = std::chrono::steady_clock::now();
+  double start = MonotonicSeconds();
   CancellationToken token =
       CancellationToken::WithDeadline(Deadline::After(budget_seconds));
   ExecRuntime bounded = runtime_.WithToken(token);
@@ -376,12 +385,14 @@ Result<ApproxResult> AqpEngine::ExecuteWithTimeBound(const QuerySpec& query,
   options_.default_sample_rows = chosen->num_rows();
   Result<ApproxResult> result = ExecuteApproximateImpl(query, rng_, bounded);
   options_.default_sample_rows = saved;
-  double elapsed =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
-          .count();
+  double elapsed = MonotonicSeconds() - start;
   if (!result.ok()) return result;
   result->deadline_hit = DeadlineHit(bounded);
   result->elapsed_seconds = elapsed;
+  result->profile.had_deadline = true;
+  result->profile.deadline_hit = result->deadline_hit;
+  result->profile.deadline_slack_seconds =
+      std::max(0.0, token.deadline().RemainingSeconds());
   // EWMA throughput feedback. A deadline-hit run completed only a fraction
   // of its pipeline (approximated by the replicate fraction), so its
   // observation is scaled down accordingly — a 10x-optimistic model learns
@@ -399,7 +410,9 @@ Result<ApproxResult> AqpEngine::ExecuteWithTimeBound(const QuerySpec& query,
     double observed = work_rows / elapsed;
     observed_rows_per_second_ =
         (1.0 - alpha) * observed_rows_per_second_ + alpha * observed;
+    result->profile.throughput_observed_rows_per_second = observed;
   }
+  result->profile.throughput_ewma_rows_per_second = observed_rows_per_second_;
   return result;
 }
 
@@ -459,6 +472,35 @@ Result<ApproxResult> AqpEngine::ExecuteApproximate(const QuerySpec& query) {
 
 Result<ApproxResult> AqpEngine::ExecuteApproximateImpl(
     const QuerySpec& query, Rng& rng, const ExecRuntime& runtime) {
+  if (!options_.enable_tracing || runtime.tracer() != nullptr) {
+    // Tracing off (the zero-cost path — no tracer, no clock reads), or a
+    // tracer is already attached upstream (don't re-root).
+    return ExecuteApproximatePipeline(query, rng, runtime);
+  }
+  // One tracer per query: group-by groups each come through here with their
+  // own Impl call, so each group's profile gets its own trace.
+  Tracer tracer;
+  ExecRuntime traced = runtime.WithTracer(&tracer);
+  Result<ApproxResult> result = [&] {
+    ScopedSpan root(&tracer, "query");
+    return ExecuteApproximatePipeline(query, rng, traced);
+  }();
+  if (result.ok()) {
+    QueryProfile& profile = result->profile;
+    profile.timings_valid = true;
+    profile.total_seconds = tracer.PhaseSeconds("query");
+    profile.scan_seconds = tracer.PhaseSeconds("scan");
+    profile.aggregate_seconds = tracer.PhaseSeconds("aggregate");
+    profile.resample_seconds = tracer.PhaseSeconds("resample");
+    profile.diagnostic_seconds = tracer.PhaseSeconds("diagnostic");
+    profile.ci_seconds = tracer.PhaseSeconds("ci");
+    profile.chrome_trace_json = tracer.ExportChromeTrace();
+  }
+  return result;
+}
+
+Result<ApproxResult> AqpEngine::ExecuteApproximatePipeline(
+    const QuerySpec& query, Rng& rng, const ExecRuntime& runtime) {
   Result<ResolvedSample> resolved = ResolveSample(query);
   if (!resolved.ok()) return resolved.status();
   const Table& data = *resolved->data;
@@ -477,6 +519,8 @@ Result<ApproxResult> AqpEngine::ExecuteApproximateImpl(
   bool use_bootstrap = !closed_form_.Applicable(effective);
   result.method = use_bootstrap ? EstimationMethod::kBootstrap
                                 : EstimationMethod::kClosedForm;
+  result.profile.replicates_requested =
+      use_bootstrap ? options_.bootstrap_replicates : 0;
 
   // Bootstrap path on streaming aggregates: the full §5.3.1 single scan
   // computes the answer, the CI, and the diagnostic in one pass.
@@ -493,6 +537,12 @@ Result<ApproxResult> AqpEngine::ExecuteApproximateImpl(
       result.ci = single->ci;
       result.replicates_used = single->replicates_used;
       result.deadline_hit = DeadlineHit(runtime);
+      result.profile.replicates_completed = single->replicates_used;
+      result.profile.chunks_total = single->run_stats.chunks_total;
+      result.profile.chunks_done = single->run_stats.chunks_done;
+      result.profile.chunks_lost = single->run_stats.chunks_lost;
+      result.profile.failpoint_retries = single->run_stats.injected_failures;
+      result.profile.starved = single->run_stats.cancelled;
       if (!single->diagnostic_complete) {
         // Degraded run: the deadline (or lost tasks) starved the diagnostic
         // subsamples. The verdict is unavailable — that is "not diagnosed",
@@ -504,6 +554,8 @@ Result<ApproxResult> AqpEngine::ExecuteApproximateImpl(
       }
       result.diagnostic_ran = true;
       result.diagnostic_ok = single->diagnostic.accepted;
+      result.profile.diagnostic_verdict =
+          result.diagnostic_ok ? "accepted" : "rejected";
       result.diagnostic = std::move(single->diagnostic);
       if (!result.diagnostic_ok) {
         if (runtime.token().can_cancel()) {
@@ -536,10 +588,12 @@ Result<ApproxResult> AqpEngine::ExecuteApproximateImpl(
                                          &replicates_used)
           : closed_form_.Estimate(data, effective, scale, options_.alpha, rng);
   result.replicates_used = replicates_used;
+  result.profile.replicates_completed = replicates_used;
   if (!ci.ok()) return ci.status();
   result.estimate = ci->center;
   result.ci = *ci;
   result.deadline_hit = DeadlineHit(runtime);
+  result.profile.starved = runtime.token().CancelRequested();
 
   if (options_.run_diagnostic && !runtime.token().CancelRequested()) {
     DiagnosticConfig config = options_.diagnostic;
@@ -555,6 +609,8 @@ Result<ApproxResult> AqpEngine::ExecuteApproximateImpl(
     if (report.ok()) {
       result.diagnostic_ran = true;
       result.diagnostic_ok = report->accepted;
+      result.profile.diagnostic_verdict =
+          result.diagnostic_ok ? "accepted" : "rejected";
       result.diagnostic = std::move(report).value();
       if (!result.diagnostic_ok) {
         if (runtime.token().can_cancel()) {

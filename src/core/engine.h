@@ -12,6 +12,8 @@
 #include "estimation/large_deviation.h"
 #include "exec/executor.h"
 #include "exec/query_spec.h"
+#include "obs/query_profile.h"
+#include "runtime/failpoint.h"
 #include "runtime/parallel_for.h"
 #include "runtime/thread_pool.h"
 #include "sampling/sampler.h"
@@ -77,6 +79,17 @@ struct EngineOptions {
   /// 0 means "as wide as the pool". Results are seed-deterministic at every
   /// setting (per-task RNG streams).
   int max_parallelism = 0;
+  /// Per-query span tracing: each query gets a Tracer, its ApproxResult's
+  /// profile carries phase timings and a Chrome trace. Off by default — the
+  /// disabled path costs one branch per instrumentation point and reads no
+  /// clocks, and tracing never touches the RNG, so results are bit-identical
+  /// either way.
+  bool enable_tracing = false;
+  /// Optional fault injection threaded into every parallel region the engine
+  /// drives (testing/chaos only). Must outlive the engine. Injected chunk
+  /// failures retry deterministically; `QueryProfile::failpoint_retries`
+  /// reports how many fired.
+  const FailpointRegistry* failpoints = nullptr;
 };
 
 /// An approximate answer with error bars and its provenance.
@@ -105,6 +118,9 @@ struct ApproxResult {
   /// Wall-clock seconds the query took (set by ExecuteWithTimeBound; 0
   /// elsewhere). Compare against the budget to audit enforcement.
   double elapsed_seconds = 0.0;
+  /// Execution report: phase timings + Chrome trace when tracing is on,
+  /// replicate/chunk/retry accounting and the diagnostic verdict always.
+  QueryProfile profile;
 
   /// Relative half-width of the error bars (half_width / |estimate|).
   double RelativeError() const {
@@ -248,6 +264,14 @@ class AqpEngine {
   [[nodiscard]] Result<ApproxResult> ExecuteApproximateImpl(const QuerySpec& query,
                                               Rng& rng,
                                               const ExecRuntime& runtime);
+
+  /// The pipeline body behind ExecuteApproximateImpl. Impl is the tracing
+  /// wrapper: when `EngineOptions::enable_tracing` is set it owns a
+  /// per-query Tracer, roots a "query" span around this body, and fills the
+  /// result's profile timings; the body itself populates the profile's
+  /// always-on counters.
+  [[nodiscard]] Result<ApproxResult> ExecuteApproximatePipeline(
+      const QuerySpec& query, Rng& rng, const ExecRuntime& runtime);
 
   [[nodiscard]] Result<ApproxResult> FallBack(const QuerySpec& query, ApproxResult result,
                                 Rng& rng);

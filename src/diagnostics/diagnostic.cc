@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "exec/executor.h"
+#include "obs/trace.h"
 #include "runtime/rng_stream.h"
 #include "util/logging.h"
 #include "util/stats.h"
@@ -188,6 +189,7 @@ Result<DiagnosticReport> RunDiagnostic(const Table& sample,
     RngStreamFactory size_streams = streams.Substream(size_index);
     SubsampleSlots slots(p);
     ParallelFor(runtime, 0, p, 1, [&](int64_t jb, int64_t je) {
+      ScopedSpan span(runtime.tracer(), "diagnostic");
       for (int64_t j = jb; j < je; ++j) {
         Table subsample = sample.SliceRows(j * b, (j + 1) * b);
         Result<double> theta =
@@ -316,6 +318,7 @@ Result<DiagnosticReport> RunDiagnosticConsolidated(
     RngStreamFactory size_streams = streams.Substream(size_index);
     SubsampleSlots slots(p);
     ParallelFor(runtime, 0, p, 1, [&](int64_t jb, int64_t je) {
+      ScopedSpan span(runtime.tracer(), "diagnostic");
       for (int64_t j = jb; j < je; ++j) {
         size_t first = bounds[static_cast<size_t>(j)];
         size_t last = bounds[static_cast<size_t>(j) + 1];

@@ -8,6 +8,7 @@
 #include "exec/aggregate.h"
 #include "exec/executor.h"
 #include "exec/resample_kernel.h"
+#include "obs/trace.h"
 #include "runtime/rng_stream.h"
 #include "sampling/poisson_resample.h"
 #include "util/normal.h"
@@ -138,8 +139,13 @@ Result<SingleScanResult> RunSingleScanPipeline(
       diag_internal::ResolveSubsampleSizes(config, n);
   if (!sizes.ok()) return sizes.status();
 
+  Tracer* tracer = runtime.tracer();
+
   // --- The single scan: filter + projection once. -------------------------
-  Result<PreparedQuery> prepared = PrepareQuery(sample, query);
+  Result<PreparedQuery> prepared = [&] {
+    ScopedSpan span(tracer, "scan");
+    return PrepareQuery(sample, query);
+  }();
   if (!prepared.ok()) return prepared.status();
   int64_t passing = prepared->num_passing();
   bool has_input = query.aggregate.input != nullptr;
@@ -147,11 +153,14 @@ Result<SingleScanResult> RunSingleScanPipeline(
   AggregateKind kind = query.aggregate.kind;
 
   // The plain answer needs no weights and no RNG: fold it serially.
-  WeightedAccumulator plain(kind);
-  plain.AddBlock(values, nullptr, passing);
   double sample_scale =
       static_cast<double>(population_rows) / static_cast<double>(n);
-  Result<double> theta = plain.Finalize(sample_scale);
+  Result<double> theta = [&] {
+    ScopedSpan span(tracer, "aggregate");
+    WeightedAccumulator plain(kind);
+    plain.AddBlock(values, nullptr, passing);
+    return plain.Finalize(sample_scale);
+  }();
   if (!theta.ok()) return theta.status();
 
   // Per-size partition geometry: prepared.rows is ascending, so subsample
@@ -213,6 +222,7 @@ Result<SingleScanResult> RunSingleScanPipeline(
   for (int kb = 0; kb < bootstrap_replicates; kb += kBootstrapChunk) {
     int ke = std::min(kb + kBootstrapChunk, bootstrap_replicates);
     units.push_back([&, kb, ke] {
+      ScopedSpan span(tracer, "resample");
       ReplicateGroup group(bootstrap_streams, static_cast<uint64_t>(kb),
                            ke - kb, kind, n);
       group.AddBlock(values, passing);
@@ -230,6 +240,7 @@ Result<SingleScanResult> RunSingleScanPipeline(
     RngStreamFactory size_streams = diag_streams.Substream(i);
     for (int j = 0; j < subsamples_per_size[i]; ++j) {
       units.push_back([&, i, j, b, subsample_scale, size_streams] {
+        ScopedSpan span(tracer, "diagnostic");
         size_t first = bounds[i][static_cast<size_t>(j)];
         size_t last = bounds[i][static_cast<size_t>(j) + 1];
         WeightedAccumulator sub_plain(kind);
@@ -274,14 +285,17 @@ Result<SingleScanResult> RunSingleScanPipeline(
   SingleScanResult result;
   result.theta = *theta;
   result.cancelled = run.cancelled;
+  result.run_stats = run;
   std::vector<double> bootstrap_thetas;
   bootstrap_thetas.reserve(bootstrap_slots.size());
   for (size_t k = 0; k < bootstrap_slots.size(); ++k) {
     if (bootstrap_valid[k]) bootstrap_thetas.push_back(bootstrap_slots[k]);
   }
   result.replicates_used = static_cast<int>(bootstrap_thetas.size());
-  Result<ConfidenceInterval> ci =
-      ReadCi(bootstrap_thetas, *theta, config.alpha, mode);
+  Result<ConfidenceInterval> ci = [&] {
+    ScopedSpan span(tracer, "ci");
+    return ReadCi(bootstrap_thetas, *theta, config.alpha, mode);
+  }();
   if (!ci.ok()) {
     // Not even 2 replicates finished: no error bars are possible. Surface
     // the cancellation cause when that is what emptied the run.
@@ -292,6 +306,9 @@ Result<SingleScanResult> RunSingleScanPipeline(
   result.ci = *ci;
 
   // --- Finalize: diagnostic stats per size. --------------------------------
+  // Covers the remainder of the pipeline (per-size stats + Algorithm 1's
+  // acceptance criteria), which is all diagnostic work.
+  ScopedSpan diag_span(tracer, "diagnostic");
   result.diagnostic.per_size.reserve(num_sizes);
   for (size_t i = 0; i < num_sizes; ++i) {
     int64_t b = (*sizes)[i];

@@ -5,6 +5,7 @@
 #include "estimation/bootstrap.h"
 #include "estimation/confidence_interval.h"
 #include "exec/query_spec.h"
+#include "runtime/parallel_for.h"
 #include "storage/table.h"
 #include "util/random.h"
 #include "util/status.h"
@@ -31,6 +32,9 @@ struct SingleScanResult {
   /// verdict to be meaningful; `diagnostic.accepted` stays false and the
   /// caller should treat the diagnostic as not run (not as a rejection).
   bool diagnostic_complete = true;
+  /// What the fan-out region actually executed (chunk/retry/loss
+  /// accounting); the engine surfaces this in QueryProfile.
+  ParallelForStats run_stats;
 };
 
 /// The full §5.3.1 execution: ONE pass over the sample computes the

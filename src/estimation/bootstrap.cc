@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "exec/executor.h"
+#include "obs/trace.h"
 #include "util/normal.h"
 #include "util/stats.h"
 
@@ -40,10 +41,16 @@ Result<ConfidenceInterval> BootstrapEstimator::EstimateWithUsage(
     const Table& sample, const QuerySpec& query, double scale_factor,
     double alpha, Rng& rng, const ExecRuntime& runtime,
     int* replicates_used) const {
-  Result<PreparedQuery> prepared = PrepareQuery(sample, query);
+  Tracer* tracer = runtime.tracer();
+  Result<PreparedQuery> prepared = [&] {
+    ScopedSpan span(tracer, "scan");
+    return PrepareQuery(sample, query);
+  }();
   if (!prepared.ok()) return prepared.status();
-  Result<double> theta =
-      ComputeAggregate(*prepared, query.aggregate, scale_factor);
+  Result<double> theta = [&] {
+    ScopedSpan span(tracer, "aggregate");
+    return ComputeAggregate(*prepared, query.aggregate, scale_factor);
+  }();
   if (!theta.ok()) return theta.status();
   Result<std::vector<double>> replicates = MultiResampleFromPrepared(
       *prepared, query.aggregate, scale_factor, num_resamples_, rng, runtime);
@@ -59,6 +66,7 @@ Result<ConfidenceInterval> BootstrapEstimator::EstimateWithUsage(
     return Status::FailedPrecondition(
         "bootstrap produced fewer than 2 valid replicates");
   }
+  ScopedSpan ci_span(tracer, "ci");
   return ReadCiFromReplicates(*replicates, *theta, alpha, mode_);
 }
 

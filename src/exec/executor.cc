@@ -5,6 +5,7 @@
 
 #include "exec/resample_kernel.h"
 #include "exec/vector_block.h"
+#include "obs/trace.h"
 #include "runtime/rng_stream.h"
 #include "sampling/poisson_resample.h"
 #include "util/logging.h"
@@ -223,6 +224,7 @@ std::vector<double> MultiResampleStreaming(const PreparedQuery& prepared,
   std::vector<char> valid(static_cast<size_t>(num_resamples), 0);
   ParallelFor(runtime, 0, num_resamples, kReplicateGrain,
               [&](int64_t kb, int64_t ke) {
+    ScopedSpan span(runtime.tracer(), "resample");
     // This worker owns replicates [kb, ke): one pass over the shared
     // prepared data feeds its slice of the accumulators (scan consolidation
     // preserved — the filter/projection ran once, upstream). The pass itself
@@ -266,6 +268,7 @@ Result<std::vector<double>> MultiResamplePercentile(
   std::vector<char> valid(static_cast<size_t>(num_resamples), 0);
   ParallelFor(runtime, 0, num_resamples, kReplicateGrain,
               [&](int64_t kb, int64_t ke) {
+    ScopedSpan span(runtime.tracer(), "resample");
     std::vector<double> weights(n);
     for (int64_t k = kb; k < ke; ++k) {
       Rng replicate_rng = streams.Stream(static_cast<uint64_t>(k));
@@ -295,7 +298,10 @@ Result<std::vector<double>> ExecuteMultiResample(const Table& table,
   if (num_resamples <= 0) {
     return Status::InvalidArgument("num_resamples must be positive");
   }
-  Result<PreparedQuery> prepared = PrepareQuery(table, query);
+  Result<PreparedQuery> prepared = [&] {
+    ScopedSpan span(runtime.tracer(), "scan");
+    return PrepareQuery(table, query);
+  }();
   if (!prepared.ok()) return prepared.status();
   return MultiResampleFromPrepared(*prepared, query.aggregate, scale_factor,
                                    num_resamples, rng, runtime);

@@ -1,0 +1,117 @@
+#include "obs/metrics.h"
+
+#include <sstream>
+
+namespace aqp {
+namespace {
+
+template <typename Map, typename Metric>
+Metric* GetOrCreate(Map& map, const std::string& name) {
+  auto it = map.find(name);
+  if (it == map.end()) {
+    it = map.emplace(name, std::make_unique<Metric>()).first;
+  }
+  return it->second.get();
+}
+
+}  // namespace
+
+Counter* MetricsRegistry::GetCounter(const std::string& name) {
+  MutexLock lock(mu_);
+  return GetOrCreate<decltype(counters_), Counter>(counters_, name);
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name) {
+  MutexLock lock(mu_);
+  return GetOrCreate<decltype(gauges_), Gauge>(gauges_, name);
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name) {
+  MutexLock lock(mu_);
+  return GetOrCreate<decltype(histograms_), Histogram>(histograms_, name);
+}
+
+std::string MetricsRegistry::TextSnapshot() const {
+  std::ostringstream out;
+  MutexLock lock(mu_);
+  for (const auto& [name, counter] : counters_) {
+    out << name << " " << counter->value() << "\n";
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    out << name << " " << gauge->value() << "\n";
+  }
+  for (const auto& [name, histogram] : histograms_) {
+    out << name << ".count " << histogram->count() << "\n";
+    out << name << ".sum " << histogram->sum() << "\n";
+    for (int i = 0; i <= Histogram::kNumBuckets; ++i) {
+      int64_t bucket = histogram->bucket_count(i);
+      if (bucket == 0) continue;
+      out << name << ".le_";
+      if (i >= Histogram::kNumBuckets) {
+        out << "inf";
+      } else {
+        out << Histogram::BucketUpperBound(i);
+      }
+      out << " " << bucket << "\n";
+    }
+  }
+  return out.str();
+}
+
+std::string MetricsRegistry::JsonSnapshot() const {
+  std::ostringstream out;
+  MutexLock lock(mu_);
+  out << "{\"counters\": {";
+  bool first = true;
+  for (const auto& [name, counter] : counters_) {
+    if (!first) out << ", ";
+    first = false;
+    out << "\"" << name << "\": " << counter->value();
+  }
+  out << "}, \"gauges\": {";
+  first = true;
+  for (const auto& [name, gauge] : gauges_) {
+    if (!first) out << ", ";
+    first = false;
+    out << "\"" << name << "\": " << gauge->value();
+  }
+  out << "}, \"histograms\": {";
+  first = true;
+  for (const auto& [name, histogram] : histograms_) {
+    if (!first) out << ", ";
+    first = false;
+    out << "\"" << name << "\": {\"count\": " << histogram->count()
+        << ", \"sum\": " << histogram->sum() << ", \"buckets\": [";
+    bool first_bucket = true;
+    for (int i = 0; i <= Histogram::kNumBuckets; ++i) {
+      int64_t bucket = histogram->bucket_count(i);
+      if (bucket == 0) continue;
+      if (!first_bucket) out << ", ";
+      first_bucket = false;
+      out << "{\"le\": ";
+      if (i >= Histogram::kNumBuckets) {
+        out << "\"inf\"";
+      } else {
+        out << Histogram::BucketUpperBound(i);
+      }
+      out << ", \"count\": " << bucket << "}";
+    }
+    out << "]}";
+  }
+  out << "}}\n";
+  return out.str();
+}
+
+void MetricsRegistry::ResetForTest() {
+  MutexLock lock(mu_);
+  for (const auto& [name, counter] : counters_) counter->Reset();
+  for (const auto& [name, gauge] : gauges_) gauge->Reset();
+  for (const auto& [name, histogram] : histograms_) histogram->Reset();
+}
+
+MetricsRegistry& MetricsRegistry::Default() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+}  // namespace aqp

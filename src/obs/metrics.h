@@ -1,0 +1,142 @@
+#ifndef AQP_OBS_METRICS_H_
+#define AQP_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+
+namespace aqp {
+
+/// Monotonically increasing event count. Lock-free; relaxed ordering is
+/// enough because counters are statistics, not synchronization.
+class Counter {
+ public:
+  void Increment(int64_t n = 1) { v_.fetch_add(n, std::memory_order_relaxed); }
+  int64_t value() const { return v_.load(std::memory_order_relaxed); }
+  void Reset() { v_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> v_{0};
+};
+
+/// Last-written instantaneous value (queue depths, pool sizes).
+class Gauge {
+ public:
+  void Set(int64_t v) { v_.store(v, std::memory_order_relaxed); }
+  void Increment(int64_t n = 1) { v_.fetch_add(n, std::memory_order_relaxed); }
+  void Decrement(int64_t n = 1) { v_.fetch_sub(n, std::memory_order_relaxed); }
+  int64_t value() const { return v_.load(std::memory_order_relaxed); }
+  void Reset() { v_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> v_{0};
+};
+
+/// Histogram over non-negative integer observations with fixed log-scaled
+/// (power-of-two) buckets: bucket i counts observations in
+/// (UpperBound(i-1), UpperBound(i)] where UpperBound(i) = 2^i, with bucket 0
+/// covering [0, 1] and a final overflow bucket for everything above
+/// 2^(kNumBuckets-1). Fixed boundaries mean zero allocation, zero locking,
+/// and snapshots that are directly comparable across processes and runs.
+class Histogram {
+ public:
+  /// 0..2^30 in power-of-two steps, plus overflow: plenty for chunk counts,
+  /// queue depths, row counts, and millisecond durations alike.
+  static constexpr int kNumBuckets = 31;
+
+  void Observe(int64_t value) {
+    buckets_[BucketIndex(value)].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(value < 0 ? 0 : value, std::memory_order_relaxed);
+  }
+
+  /// Bucket index for `value` (negatives clamp to bucket 0).
+  static int BucketIndex(int64_t value) {
+    if (value <= 1) return 0;
+    int index = 0;
+    uint64_t v = static_cast<uint64_t>(value - 1);
+    while (v != 0) {
+      v >>= 1;
+      ++index;
+    }
+    return index < kNumBuckets ? index : kNumBuckets;
+  }
+
+  /// Inclusive upper bound of bucket `i`; the overflow bucket reports
+  /// INT64_MAX.
+  static int64_t BucketUpperBound(int i) {
+    if (i >= kNumBuckets) return INT64_MAX;
+    return int64_t{1} << i;
+  }
+
+  int64_t bucket_count(int i) const {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+  int64_t count() const { return count_.load(std::memory_order_relaxed); }
+  int64_t sum() const { return sum_.load(std::memory_order_relaxed); }
+
+  void Reset() {
+    for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+    count_.store(0, std::memory_order_relaxed);
+    sum_.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<int64_t> buckets_[kNumBuckets + 1] = {};
+  std::atomic<int64_t> count_{0};
+  std::atomic<int64_t> sum_{0};
+};
+
+/// Named metric registry. Registration (Get*) takes a lock and allocates on
+/// first use; the returned pointer is stable for the registry's lifetime, so
+/// hot paths register once (constructor / function-local static) and then
+/// touch only the lock-free metric. ResetForTest zeroes values but never
+/// removes metrics — cached pointers stay valid across test cases.
+///
+/// Names are dot-separated, lowest-level subsystem first
+/// ("runtime.parallel_for.chunks_lost"); the snapshot formats sort by name.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  Counter* GetCounter(const std::string& name) AQP_EXCLUDES(mu_);
+  Gauge* GetGauge(const std::string& name) AQP_EXCLUDES(mu_);
+  Histogram* GetHistogram(const std::string& name) AQP_EXCLUDES(mu_);
+
+  /// One `name value` line per counter/gauge; histograms expand to
+  /// `name.count`, `name.sum`, and one `name.le_<bound>` line per non-empty
+  /// bucket. Safe to call while metrics are being updated (values are
+  /// per-metric atomic reads, so the snapshot is per-line consistent).
+  std::string TextSnapshot() const AQP_EXCLUDES(mu_);
+
+  /// Same data as one JSON object:
+  /// {"counters": {...}, "gauges": {...}, "histograms": {name: {count, sum,
+  /// buckets: [{le, count}, ...]}}}.
+  std::string JsonSnapshot() const AQP_EXCLUDES(mu_);
+
+  /// Zeroes every registered metric (see class comment on pointer
+  /// stability).
+  void ResetForTest() AQP_EXCLUDES(mu_);
+
+  /// The process-wide registry the runtime/cluster instrumentation feeds.
+  static MetricsRegistry& Default();
+
+ private:
+  mutable Mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_
+      AQP_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_ AQP_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_
+      AQP_GUARDED_BY(mu_);
+};
+
+}  // namespace aqp
+
+#endif  // AQP_OBS_METRICS_H_

@@ -1,0 +1,54 @@
+#include "obs/query_profile.h"
+
+#include <cstdio>
+#include <sstream>
+
+namespace aqp {
+namespace {
+
+void AppendMs(std::ostringstream& out, const char* key, double seconds) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.3f", seconds * 1e3);
+  out << "\"" << key << "\": " << buffer;
+}
+
+}  // namespace
+
+std::string QueryProfile::ToJson() const {
+  std::ostringstream out;
+  out << "{";
+  out << "\"timings_valid\": " << (timings_valid ? "true" : "false") << ", ";
+  AppendMs(out, "total_ms", total_seconds);
+  out << ", ";
+  AppendMs(out, "scan_ms", scan_seconds);
+  out << ", ";
+  AppendMs(out, "aggregate_ms", aggregate_seconds);
+  out << ", ";
+  AppendMs(out, "resample_ms", resample_seconds);
+  out << ", ";
+  AppendMs(out, "diagnostic_ms", diagnostic_seconds);
+  out << ", ";
+  AppendMs(out, "ci_ms", ci_seconds);
+  out << ", \"replicates_requested\": " << replicates_requested
+      << ", \"replicates_completed\": " << replicates_completed
+      << ", \"had_deadline\": " << (had_deadline ? "true" : "false")
+      << ", \"deadline_hit\": " << (deadline_hit ? "true" : "false") << ", ";
+  AppendMs(out, "deadline_slack_ms", deadline_slack_seconds);
+  out << ", \"diagnostic_verdict\": \"" << diagnostic_verdict << "\""
+      << ", \"chunks_total\": " << chunks_total
+      << ", \"chunks_done\": " << chunks_done
+      << ", \"chunks_lost\": " << chunks_lost
+      << ", \"failpoint_retries\": " << failpoint_retries
+      << ", \"starved\": " << (starved ? "true" : "false");
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.1f",
+                throughput_observed_rows_per_second);
+  out << ", \"throughput_observed_rows_per_second\": " << buffer;
+  std::snprintf(buffer, sizeof(buffer), "%.1f",
+                throughput_ewma_rows_per_second);
+  out << ", \"throughput_ewma_rows_per_second\": " << buffer;
+  out << "}";
+  return out.str();
+}
+
+}  // namespace aqp

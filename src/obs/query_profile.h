@@ -1,0 +1,90 @@
+#ifndef AQP_OBS_QUERY_PROFILE_H_
+#define AQP_OBS_QUERY_PROFILE_H_
+
+#include <cstdint>
+#include <string>
+
+namespace aqp {
+
+/// Per-query execution report attached to every ApproxResult: where the time
+/// went, what completed versus what was requested, and why the run degraded
+/// if it did. The paper's thesis is *knowing when you're wrong* — this is
+/// the operational half of that: knowing where a time bound was spent (scan
+/// vs. resampling vs. diagnostic vs. CI readout), how close to the deadline
+/// the query came, and how often retries and rejections fire.
+///
+/// The counter-like fields (replicates, chunks, verdict, starvation) are
+/// always populated — they come from data the pipeline computes anyway. The
+/// phase timings and the Chrome trace are populated only when
+/// `EngineOptions::enable_tracing` is set (`timings_valid` = true): with
+/// tracing off the engine reads no clocks on the query path, so the
+/// disabled-path overhead is one branch per instrumentation point.
+struct QueryProfile {
+  /// True when tracing was enabled: phase timings and `chrome_trace_json`
+  /// are meaningful.
+  bool timings_valid = false;
+
+  /// Wall-clock decomposition (seconds). With a serial runtime the five
+  /// phases sum to the total up to instrumentation gaps (obs_test asserts
+  /// within 5%); with parallel workers the resample/diagnostic phases are
+  /// aggregate per-worker time and may exceed wall clock.
+  double total_seconds = 0.0;       ///< Root query span.
+  double scan_seconds = 0.0;        ///< Filter + projection (PrepareQuery).
+  double aggregate_seconds = 0.0;   ///< Plain θ accumulation + finalize.
+  double resample_seconds = 0.0;    ///< Bootstrap replicate fan-out.
+  double diagnostic_seconds = 0.0;  ///< Diagnostic subsamples + verdict.
+  double ci_seconds = 0.0;          ///< CI readout from the replicates.
+
+  /// Sum of the five phase timings (convenience for overhead accounting).
+  double PhaseSum() const {
+    return scan_seconds + aggregate_seconds + resample_seconds +
+           diagnostic_seconds + ci_seconds;
+  }
+
+  /// Replicates: K requested vs. K' the CI was actually read from (K' < K
+  /// after a deadline hit or lost chunks). 0 requested for closed-form /
+  /// exact results.
+  int replicates_requested = 0;
+  int replicates_completed = 0;
+
+  /// Deadline accounting (time-bounded queries only). Slack is the budget
+  /// remaining when the query finished: positive = finished early, negative
+  /// values never appear (the token stops work at expiry; `deadline_hit`
+  /// reports that instead).
+  bool had_deadline = false;
+  bool deadline_hit = false;
+  double deadline_slack_seconds = 0.0;
+
+  /// Diagnostic verdict: "accepted", "rejected", or "not-diagnosed" (the
+  /// diagnostic was disabled, starved by the deadline, or degenerate).
+  const char* diagnostic_verdict = "not-diagnosed";
+
+  /// ParallelFor accounting aggregated over the query's parallel regions
+  /// (surfaced from the runtime's ParallelForStats). `failpoint_retries`
+  /// counts injected-failure attempts that forced a chunk retry; a healthy
+  /// production run reports 0.
+  int64_t chunks_total = 0;
+  int64_t chunks_done = 0;
+  int64_t chunks_lost = 0;
+  int64_t failpoint_retries = 0;
+  /// True when a cancellation checkpoint stopped a region early (this query
+  /// was starved; for GROUP BY each group reports its own starvation).
+  bool starved = false;
+
+  /// Throughput feedback (time-bounded queries): the observed rows/second
+  /// sample this query contributed and the engine's EWMA after folding it
+  /// in.
+  double throughput_observed_rows_per_second = 0.0;
+  double throughput_ewma_rows_per_second = 0.0;
+
+  /// Chrome trace-event JSON for this query (loadable in Perfetto /
+  /// chrome://tracing); empty when tracing is off.
+  std::string chrome_trace_json;
+
+  /// The profile as one JSON object (phase timings in milliseconds).
+  std::string ToJson() const;
+};
+
+}  // namespace aqp
+
+#endif  // AQP_OBS_QUERY_PROFILE_H_

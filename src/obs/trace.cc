@@ -1,0 +1,165 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <sstream>
+
+namespace aqp {
+namespace {
+
+/// Tracer id allocator. Ids are never reused, which is what makes the
+/// thread-local buffer cache safe: a cache entry holding a pointer into a
+/// destroyed tracer can never match a live tracer's id, so the stale pointer
+/// is never dereferenced.
+std::atomic<uint64_t> next_tracer_id{1};
+
+/// Per-thread cache of the last (tracer, buffer) resolution. One slot
+/// suffices: a thread works for one query's tracer at a time, and a miss
+/// only costs the registry lock once.
+struct TlsBufferCache {
+  uint64_t tracer_id = 0;
+  void* buffer = nullptr;
+};
+thread_local TlsBufferCache tls_buffer_cache;
+
+/// Per-thread span nesting depth. Global across tracers (a thread nests its
+/// spans in one stack regardless of which tracer records them), which keeps
+/// the RAII bookkeeping a plain increment/decrement.
+thread_local int tls_span_depth = 0;
+
+void AppendCompactDouble(std::ostringstream& out, double v) {
+  // Microsecond timings with 3 decimals (nanosecond resolution) — compact
+  // and precise enough for any trace viewer.
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.3f", v);
+  out << buffer;
+}
+
+}  // namespace
+
+int64_t MonotonicNanos() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+double MonotonicSeconds() {
+  return static_cast<double>(MonotonicNanos()) * 1e-9;
+}
+
+Tracer::Tracer()
+    : id_(next_tracer_id.fetch_add(1, std::memory_order_relaxed)),
+      epoch_ns_(MonotonicNanos()) {}
+
+Tracer::~Tracer() = default;
+
+Tracer::ThreadBuffer* Tracer::AcquireBuffer() {
+  MutexLock lock(mu_);
+  auto buffer = std::make_unique<ThreadBuffer>();
+  buffer->tid = static_cast<int>(buffers_.size());
+  ThreadBuffer* raw = buffer.get();
+  buffers_.push_back(std::move(buffer));
+  return raw;
+}
+
+void Tracer::Record(const char* name, int64_t start_ns, int64_t end_ns,
+                    int depth) {
+  ThreadBuffer* buffer;
+  if (tls_buffer_cache.tracer_id == id_) {
+    buffer = static_cast<ThreadBuffer*>(tls_buffer_cache.buffer);
+  } else {
+    buffer = AcquireBuffer();
+    tls_buffer_cache.tracer_id = id_;
+    tls_buffer_cache.buffer = buffer;
+  }
+  Span span;
+  span.name = name;
+  span.tid = buffer->tid;
+  span.start_ns = start_ns;
+  span.end_ns = end_ns;
+  span.depth = depth;
+  MutexLock lock(buffer->mu);
+  buffer->spans.push_back(span);
+}
+
+std::vector<Span> Tracer::Snapshot() const {
+  std::vector<Span> all;
+  MutexLock lock(mu_);
+  for (const std::unique_ptr<ThreadBuffer>& buffer : buffers_) {
+    MutexLock buffer_lock(buffer->mu);
+    all.insert(all.end(), buffer->spans.begin(), buffer->spans.end());
+  }
+  std::sort(all.begin(), all.end(), [](const Span& a, const Span& b) {
+    if (a.tid != b.tid) return a.tid < b.tid;
+    if (a.start_ns != b.start_ns) return a.start_ns < b.start_ns;
+    return a.end_ns > b.end_ns;  // Enclosing span first at equal starts.
+  });
+  return all;
+}
+
+double Tracer::PhaseSeconds(const char* name) const {
+  double total = 0.0;
+  for (const Span& span : Snapshot()) {
+    if (std::strcmp(span.name, name) == 0) total += span.duration_seconds();
+  }
+  return total;
+}
+
+std::string Tracer::ExportChromeTrace() const {
+  std::ostringstream out;
+  out << "{\"traceEvents\": [";
+  bool first = true;
+  for (const Span& span : Snapshot()) {
+    if (!first) out << ",";
+    first = false;
+    out << "\n  {\"name\": \"" << span.name
+        << "\", \"cat\": \"aqp\", \"ph\": \"X\", \"pid\": 1, \"tid\": "
+        << span.tid << ", \"ts\": ";
+    AppendCompactDouble(out,
+                        static_cast<double>(span.start_ns - epoch_ns_) * 1e-3);
+    out << ", \"dur\": ";
+    AppendCompactDouble(out,
+                        static_cast<double>(span.end_ns - span.start_ns) * 1e-3);
+    out << "}";
+  }
+  out << "\n], \"displayTimeUnit\": \"ms\"}\n";
+  return out.str();
+}
+
+std::string Tracer::ExportJson() const {
+  std::ostringstream out;
+  out << "{\"spans\": [";
+  bool first = true;
+  for (const Span& span : Snapshot()) {
+    if (!first) out << ",";
+    first = false;
+    out << "\n  {\"name\": \"" << span.name << "\", \"tid\": " << span.tid
+        << ", \"depth\": " << span.depth << ", \"start_us\": ";
+    AppendCompactDouble(out,
+                        static_cast<double>(span.start_ns - epoch_ns_) * 1e-3);
+    out << ", \"dur_us\": ";
+    AppendCompactDouble(out,
+                        static_cast<double>(span.end_ns - span.start_ns) * 1e-3);
+    out << "}";
+  }
+  out << "\n]}\n";
+  return out.str();
+}
+
+ScopedSpan::ScopedSpan(Tracer* tracer, const char* name)
+    : tracer_(tracer), name_(name) {
+  if (tracer_ == nullptr) return;  // The tracing-disabled fast path.
+  start_ns_ = MonotonicNanos();
+  depth_ = tls_span_depth++;
+}
+
+ScopedSpan::~ScopedSpan() {
+  if (tracer_ == nullptr) return;
+  --tls_span_depth;
+  tracer_->Record(name_, start_ns_, MonotonicNanos(), depth_);
+}
+
+}  // namespace aqp

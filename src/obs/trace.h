@@ -1,0 +1,140 @@
+#ifndef AQP_OBS_TRACE_H_
+#define AQP_OBS_TRACE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+
+namespace aqp {
+
+/// Monotonic (steady-clock) time readings. These two functions are the
+/// project's sanctioned wall-clock source for *measurement*: raw std::chrono
+/// calls outside src/obs/ are rejected by `tools/aqp_lint.py` (rule
+/// `timing`), so every duration the system reports flows through one place.
+/// (Deadline *enforcement* in src/runtime/cancellation.h keeps its own clock
+/// — timing-as-semantics, not timing-as-telemetry.)
+int64_t MonotonicNanos();
+double MonotonicSeconds();
+
+/// One completed span: a named, timed interval on one thread. Spans carry no
+/// parent pointers — nesting is implied by containment of [start_ns, end_ns]
+/// within one tid, exactly the model the Chrome trace-event format (and
+/// Perfetto's rendering) uses for "X" complete events.
+struct Span {
+  /// Span name. Must be a string literal (or otherwise outlive the tracer);
+  /// spans are recorded on hot paths and must not allocate.
+  const char* name = "";
+  /// Tracer-assigned dense thread index (0 = first thread that recorded).
+  int tid = 0;
+  /// Steady-clock nanoseconds (absolute; exporters rebase to the tracer's
+  /// construction time).
+  int64_t start_ns = 0;
+  int64_t end_ns = 0;
+  /// Nesting depth at the time the span opened (0 = top level on its
+  /// thread). Redundant with timestamp containment; kept for cheap
+  /// assertions and readable JSON.
+  int depth = 0;
+
+  double duration_seconds() const {
+    return static_cast<double>(end_ns - start_ns) * 1e-9;
+  }
+};
+
+/// Span collector for one query (or one test): thread-safe, with per-thread
+/// buffers so concurrent workers never contend on a shared vector. A thread
+/// resolves its buffer once through a thread-local cache keyed by the
+/// tracer's unique id (ids are never reused, so a stale cache entry for a
+/// destroyed tracer can never false-hit); each record then takes only that
+/// buffer's (uncontended) lock. Export locks buffers one at a time, so it is
+/// safe to snapshot while spans are still being recorded, though the usual
+/// pattern is export-after-join.
+///
+/// The tracer reads clocks and nothing else — never the RNG — so tracing a
+/// query cannot perturb its fixed-seed results (obs_test proves bit-identical
+/// output with tracing on and off).
+class Tracer {
+ public:
+  Tracer();
+  ~Tracer();
+
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  /// Records a completed span on the calling thread's buffer.
+  /// `name` must outlive the tracer (use string literals).
+  void Record(const char* name, int64_t start_ns, int64_t end_ns, int depth);
+
+  /// All spans recorded so far, ordered by (tid, start_ns).
+  std::vector<Span> Snapshot() const;
+
+  /// Sum of the durations (seconds) of every span named `name`. With serial
+  /// execution this is the wall time spent in that phase; with parallel
+  /// workers it is aggregate per-thread time (CPU-ish, > wall).
+  double PhaseSeconds(const char* name) const;
+
+  /// Chrome trace-event JSON ("X" complete events, ts/dur in microseconds
+  /// relative to tracer construction) — loads directly in Perfetto /
+  /// chrome://tracing.
+  std::string ExportChromeTrace() const;
+
+  /// Structured JSON profile: a flat span array with name/tid/depth and
+  /// microsecond timings, for tooling that wants numbers, not rendering.
+  std::string ExportJson() const;
+
+  /// Unique, never-reused tracer id (thread-local cache key).
+  uint64_t id() const { return id_; }
+
+  /// Steady-clock origin that exporters rebase timestamps against.
+  int64_t epoch_ns() const { return epoch_ns_; }
+
+ private:
+  struct ThreadBuffer {
+    mutable Mutex mu;
+    std::vector<Span> spans AQP_GUARDED_BY(mu);
+    int tid = 0;
+  };
+
+  /// Finds or creates the calling thread's buffer (slow path behind the
+  /// thread-local cache).
+  ThreadBuffer* AcquireBuffer() AQP_EXCLUDES(mu_);
+
+  const uint64_t id_;
+  const int64_t epoch_ns_;
+  mutable Mutex mu_;
+  /// Owned per-thread buffers; stable addresses (unique_ptr) so cached
+  /// pointers survive vector growth.
+  std::vector<std::unique_ptr<ThreadBuffer>> buffers_ AQP_GUARDED_BY(mu_);
+};
+
+/// RAII span: opens at construction, records at destruction. The null-tracer
+/// path is the instrumentation fast path — one predictable branch in the
+/// constructor and one in the destructor, no clock read, no allocation — so
+/// instrumented code costs near-nothing when tracing is off.
+///
+/// Example:
+///   void Scan(const ExecRuntime& runtime) {
+///     ScopedSpan span(runtime.tracer(), "scan");
+///     ...
+///   }
+class ScopedSpan {
+ public:
+  ScopedSpan(Tracer* tracer, const char* name);
+  ~ScopedSpan();
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  Tracer* tracer_;
+  const char* name_;
+  int64_t start_ns_ = 0;
+  int depth_ = 0;
+};
+
+}  // namespace aqp
+
+#endif  // AQP_OBS_TRACE_H_

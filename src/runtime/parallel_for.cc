@@ -3,7 +3,47 @@
 #include <algorithm>
 #include <atomic>
 
+#include "obs/metrics.h"
+
 namespace aqp {
+namespace {
+
+/// Process-wide ParallelFor accounting on the default registry. Pointers are
+/// resolved once (registry entries are never removed) so the per-region cost
+/// is a handful of relaxed atomic adds.
+struct RegionMetrics {
+  Counter* regions;
+  Counter* chunks_lost;
+  Counter* injected_failures;
+  Counter* cancelled_regions;
+  Histogram* chunks_per_region;
+
+  static const RegionMetrics& Get() {
+    static const RegionMetrics metrics = [] {
+      MetricsRegistry& registry = MetricsRegistry::Default();
+      return RegionMetrics{
+          registry.GetCounter("runtime.parallel_for.regions"),
+          registry.GetCounter("runtime.parallel_for.chunks_lost"),
+          registry.GetCounter("runtime.parallel_for.injected_failures"),
+          registry.GetCounter("runtime.parallel_for.cancelled_regions"),
+          registry.GetHistogram("runtime.parallel_for.chunks_per_region")};
+    }();
+    return metrics;
+  }
+};
+
+void RecordRegion(const ParallelForStats& stats) {
+  const RegionMetrics& metrics = RegionMetrics::Get();
+  metrics.regions->Increment();
+  metrics.chunks_per_region->Observe(stats.chunks_total);
+  if (stats.chunks_lost > 0) metrics.chunks_lost->Increment(stats.chunks_lost);
+  if (stats.injected_failures > 0) {
+    metrics.injected_failures->Increment(stats.injected_failures);
+  }
+  if (stats.cancelled) metrics.cancelled_regions->Increment();
+}
+
+}  // namespace
 
 bool ExecRuntime::Serial() const {
   return pool_ == nullptr || max_parallelism_ == 1 || pool_->OnWorkerThread();
@@ -65,6 +105,7 @@ ParallelForStats ParallelFor(
       // whole range as one chunk.
       body(begin, end);
       stats.chunks_done = stats.chunks_total = 1;
+      RecordRegion(stats);
       return stats;
     }
     // Serial but cancellable / fault-injected: iterate the same chunk
@@ -124,6 +165,7 @@ ParallelForStats ParallelFor(
   // token that trips only after every chunk was claimed leaves the region
   // complete.
   stats.cancelled = cancel_observed.load(std::memory_order_relaxed);
+  RecordRegion(stats);
   return stats;
 }
 

@@ -10,6 +10,8 @@
 
 namespace aqp {
 
+class Tracer;  // obs/trace.h; carried as an opaque pointer here.
+
 /// Failpoint site at which ParallelFor injects chunk failures (unit = chunk
 /// index, attempt = retry number).
 inline constexpr const char* kParallelForChunkSite = "runtime.parallel_for.chunk";
@@ -54,8 +56,22 @@ class ExecRuntime {
     return derived;
   }
 
+  /// A copy of this runtime whose instrumented regions record spans on
+  /// `tracer` (null disables tracing — the default). The engine derives one
+  /// per traced query. `tracer` must outlive every region run on the
+  /// returned runtime.
+  ExecRuntime WithTracer(Tracer* tracer) const {
+    ExecRuntime derived = *this;
+    derived.tracer_ = tracer;
+    return derived;
+  }
+
   const CancellationToken& token() const { return token_; }
   const FailpointRegistry* failpoints() const { return failpoints_; }
+  /// Span sink for instrumented code on this runtime's paths (null = tracing
+  /// off; ScopedSpan treats null as a no-op, so callers pass this through
+  /// unconditionally).
+  Tracer* tracer() const { return tracer_; }
 
   /// True when parallel regions on this runtime run inline on the calling
   /// thread (no pool, a one-wide bound, or the caller already being a pool
@@ -71,6 +87,7 @@ class ExecRuntime {
   int max_parallelism_ = 0;
   CancellationToken token_;
   const FailpointRegistry* failpoints_ = nullptr;
+  Tracer* tracer_ = nullptr;
 };
 
 /// What a ParallelFor region actually executed — the robustness layer's

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <utility>
 
+#include "obs/metrics.h"
+
 namespace aqp {
 namespace {
 
@@ -12,6 +14,10 @@ thread_local const ThreadPool* current_pool = nullptr;
 }  // namespace
 
 ThreadPool::ThreadPool(int num_threads) {
+  MetricsRegistry& registry = MetricsRegistry::Default();
+  tasks_submitted_ = registry.GetCounter("runtime.thread_pool.tasks_submitted");
+  tasks_executed_ = registry.GetCounter("runtime.thread_pool.tasks_executed");
+  queue_depth_ = registry.GetGauge("runtime.thread_pool.queue_depth");
   int n = std::max(num_threads, 1);
   workers_.reserve(static_cast<size_t>(n));
   for (int i = 0; i < n; ++i) {
@@ -33,6 +39,8 @@ void ThreadPool::Submit(std::function<void()> task) {
     MutexLock lock(mu_);
     queue_.push_back(std::move(task));
   }
+  tasks_submitted_->Increment();
+  queue_depth_->Increment();
   work_cv_.NotifyOne();
 }
 
@@ -55,7 +63,9 @@ void ThreadPool::WorkerLoop() {
       task = std::move(queue_.front());
       queue_.pop_front();
     }
+    queue_depth_->Decrement();
     task();
+    tasks_executed_->Increment();
   }
 }
 

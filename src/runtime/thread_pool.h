@@ -14,6 +14,9 @@
 
 namespace aqp {
 
+class Counter;  // obs/metrics.h
+class Gauge;    // obs/metrics.h
+
 /// Fixed-size worker pool with a FIFO work queue — the bounded-parallelism
 /// execution runtime of paper §5.3.2. Bootstrap replicates and diagnostic
 /// subsamples are embarrassingly parallel, but only up to the point where
@@ -60,6 +63,13 @@ class ThreadPool {
   CondVar work_cv_;
   std::deque<std::function<void()>> queue_ AQP_GUARDED_BY(mu_);
   bool shutting_down_ AQP_GUARDED_BY(mu_) = false;
+  /// Default-registry instrumentation, resolved once in the constructor
+  /// (registry entries are stable): tasks submitted/executed and the live
+  /// queue depth. Shared across pools by name — the gauge tracks the sum of
+  /// all pools' queues, which is what "is the runtime backed up?" asks.
+  Counter* tasks_submitted_;
+  Counter* tasks_executed_;
+  Gauge* queue_depth_;
   /// Written only by the constructor, joined only by the destructor; both
   /// run with no concurrent access to the pool, so no guard is needed.
   std::vector<std::thread> workers_;

@@ -1,0 +1,386 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/engine.h"
+#include "expr/expr.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "runtime/failpoint.h"
+#include "runtime/parallel_for.h"
+#include "runtime/thread_pool.h"
+#include "util/random.h"
+
+namespace aqp {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Tracer
+// ---------------------------------------------------------------------------
+
+TEST(TracerTest, RecordsAndSumsPhases) {
+  Tracer tracer;
+  tracer.Record("scan", 1000, 3000, 0);
+  tracer.Record("scan", 5000, 6000, 0);
+  tracer.Record("resample", 6000, 16000, 0);
+  EXPECT_DOUBLE_EQ(tracer.PhaseSeconds("scan"), 3e-6);
+  EXPECT_DOUBLE_EQ(tracer.PhaseSeconds("resample"), 10e-6);
+  EXPECT_DOUBLE_EQ(tracer.PhaseSeconds("absent"), 0.0);
+  EXPECT_EQ(tracer.Snapshot().size(), 3u);
+}
+
+TEST(TracerTest, NullTracerScopedSpanIsANoOp) {
+  // Must not crash, allocate a tracer, or record anywhere.
+  ScopedSpan outer(nullptr, "outer");
+  ScopedSpan inner(nullptr, "inner");
+}
+
+TEST(TracerTest, SpanNestingAcrossThreadPoolWorkers) {
+  Tracer tracer;
+  ThreadPool pool(4);
+  ExecRuntime runtime = ExecRuntime(&pool).WithTracer(&tracer);
+  constexpr int64_t kItems = 64;
+  ParallelForStats stats =
+      ParallelFor(runtime, 0, kItems, /*grain=*/1, [&](int64_t b, int64_t e) {
+        ScopedSpan outer(runtime.tracer(), "outer");
+        for (int64_t i = b; i < e; ++i) {
+          ScopedSpan inner(runtime.tracer(), "inner");
+        }
+      });
+  ASSERT_TRUE(stats.complete());
+
+  std::vector<Span> spans = tracer.Snapshot();
+  int outer_count = 0;
+  int inner_count = 0;
+  for (const Span& s : spans) {
+    EXPECT_LE(s.start_ns, s.end_ns);
+    if (std::string(s.name) == "outer") {
+      EXPECT_EQ(s.depth, 0);
+      ++outer_count;
+    } else {
+      ASSERT_STREQ(s.name, "inner");
+      EXPECT_EQ(s.depth, 1);
+      ++inner_count;
+    }
+  }
+  EXPECT_GT(outer_count, 0);
+  EXPECT_EQ(inner_count, kItems);
+
+  // Snapshot is ordered by (tid, start_ns), and every inner span is
+  // contained in an outer span on the same tid — the containment relation
+  // Chrome-trace rendering relies on.
+  for (size_t i = 1; i < spans.size(); ++i) {
+    EXPECT_TRUE(spans[i - 1].tid < spans[i].tid ||
+                (spans[i - 1].tid == spans[i].tid &&
+                 spans[i - 1].start_ns <= spans[i].start_ns));
+  }
+  for (const Span& inner : spans) {
+    if (std::string(inner.name) != "inner") continue;
+    bool contained = false;
+    for (const Span& outer : spans) {
+      if (std::string(outer.name) == "outer" && outer.tid == inner.tid &&
+          outer.start_ns <= inner.start_ns && inner.end_ns <= outer.end_ns) {
+        contained = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(contained) << "inner span not nested in any outer span";
+  }
+}
+
+TEST(TracerTest, ChromeTraceExportMatchesSchema) {
+  Tracer tracer;
+  {
+    ScopedSpan query(&tracer, "query");
+    ScopedSpan scan(&tracer, "scan");
+  }
+  std::string json = tracer.ExportChromeTrace();
+  // Chrome trace-event format: a top-level traceEvents array of "X"
+  // complete events with microsecond ts/dur. Perfetto rejects anything
+  // else, so the schema is the contract.
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\": \"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"ts\":"), std::string::npos);
+  EXPECT_NE(json.find("\"dur\":"), std::string::npos);
+  EXPECT_NE(json.find("\"name\": \"query\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\": \"scan\""), std::string::npos);
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back() == '}' || json[json.size() - 2] == '}', true);
+
+  std::string flat = tracer.ExportJson();
+  EXPECT_NE(flat.find("\"spans\""), std::string::npos);
+  EXPECT_NE(flat.find("\"depth\""), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Metrics
+// ---------------------------------------------------------------------------
+
+TEST(MetricsTest, HistogramBucketBoundaries) {
+  // Bucket 0 is [0, 1]; bucket i>0 is (2^(i-1), 2^i]; the final bucket
+  // catches everything above 2^(kNumBuckets-1). Negatives clamp to 0.
+  EXPECT_EQ(Histogram::BucketIndex(-5), 0);
+  EXPECT_EQ(Histogram::BucketIndex(0), 0);
+  EXPECT_EQ(Histogram::BucketIndex(1), 0);
+  EXPECT_EQ(Histogram::BucketIndex(2), 1);
+  EXPECT_EQ(Histogram::BucketIndex(3), 2);
+  EXPECT_EQ(Histogram::BucketIndex(4), 2);
+  EXPECT_EQ(Histogram::BucketIndex(5), 3);
+  EXPECT_EQ(Histogram::BucketIndex(1024), 10);
+  EXPECT_EQ(Histogram::BucketIndex(1025), 11);
+  EXPECT_EQ(Histogram::BucketIndex(int64_t{1} << 30), 30);
+  EXPECT_EQ(Histogram::BucketIndex((int64_t{1} << 30) + 1),
+            Histogram::kNumBuckets);
+  EXPECT_EQ(Histogram::BucketIndex(INT64_MAX), Histogram::kNumBuckets);
+
+  EXPECT_EQ(Histogram::BucketUpperBound(0), 1);
+  EXPECT_EQ(Histogram::BucketUpperBound(1), 2);
+  EXPECT_EQ(Histogram::BucketUpperBound(10), 1024);
+  EXPECT_EQ(Histogram::BucketUpperBound(Histogram::kNumBuckets), INT64_MAX);
+
+  Histogram h;
+  h.Observe(0);
+  h.Observe(1);
+  h.Observe(2);
+  h.Observe(3);
+  h.Observe(4);
+  h.Observe(-7);
+  EXPECT_EQ(h.bucket_count(0), 3);  // 0, 1, and the clamped -7.
+  EXPECT_EQ(h.bucket_count(1), 1);
+  EXPECT_EQ(h.bucket_count(2), 2);
+  EXPECT_EQ(h.count(), 6);
+  EXPECT_EQ(h.sum(), 10);  // Negatives contribute 0 to the sum.
+}
+
+TEST(MetricsTest, RegistryPointersAreStableAndResettable) {
+  MetricsRegistry registry;
+  Counter* c = registry.GetCounter("test.counter");
+  EXPECT_EQ(registry.GetCounter("test.counter"), c);
+  c->Increment(5);
+  EXPECT_EQ(c->value(), 5);
+  registry.ResetForTest();
+  EXPECT_EQ(c->value(), 0);
+  EXPECT_EQ(registry.GetCounter("test.counter"), c);
+}
+
+TEST(MetricsTest, SnapshotsAreConsistentUnderConcurrentUpdates) {
+  MetricsRegistry registry;
+  Counter* counter = registry.GetCounter("stress.counter");
+  Gauge* gauge = registry.GetGauge("stress.gauge");
+  Histogram* histogram = registry.GetHistogram("stress.histogram");
+
+  constexpr int kThreads = 8;
+  constexpr int kIncrementsPerThread = 10000;
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> writers;
+  writers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    writers.emplace_back([&, t] {
+      for (int i = 0; i < kIncrementsPerThread; ++i) {
+        counter->Increment();
+        gauge->Set(t);
+        histogram->Observe(i % 100);
+      }
+    });
+  }
+  // Snapshot concurrently with the writers: must not crash, tear, or block
+  // the lock-free update path (TSan build of this test is the real check).
+  while (!stop.load(std::memory_order_relaxed)) {
+    std::string text = registry.TextSnapshot();
+    std::string json = registry.JsonSnapshot();
+    EXPECT_NE(text.find("stress.counter"), std::string::npos);
+    EXPECT_NE(json.find("stress.histogram"), std::string::npos);
+    bool done = counter->value() >= kThreads * kIncrementsPerThread;
+    if (done) stop.store(true, std::memory_order_relaxed);
+  }
+  for (auto& w : writers) w.join();
+
+  EXPECT_EQ(counter->value(), kThreads * kIncrementsPerThread);
+  EXPECT_EQ(histogram->count(), kThreads * kIncrementsPerThread);
+  int64_t bucket_total = 0;
+  for (int i = 0; i <= Histogram::kNumBuckets; ++i) {
+    bucket_total += histogram->bucket_count(i);
+  }
+  EXPECT_EQ(bucket_total, histogram->count());
+}
+
+TEST(MetricsTest, ParallelForFeedsDefaultRegistry) {
+  Counter* regions =
+      MetricsRegistry::Default().GetCounter("runtime.parallel_for.regions");
+  Histogram* chunks = MetricsRegistry::Default().GetHistogram(
+      "runtime.parallel_for.chunks_per_region");
+  int64_t regions_before = regions->value();
+  int64_t chunks_before = chunks->count();
+
+  ThreadPool pool(2);
+  ExecRuntime runtime(&pool);
+  std::atomic<int64_t> sum{0};
+  ParallelFor(runtime, 0, 100, /*grain=*/10, [&](int64_t b, int64_t e) {
+    sum.fetch_add(e - b, std::memory_order_relaxed);
+  });
+  EXPECT_EQ(sum.load(), 100);
+  EXPECT_GT(regions->value(), regions_before);
+  EXPECT_GT(chunks->count(), chunks_before);
+}
+
+// ---------------------------------------------------------------------------
+// Engine-level profiles: determinism, phase decomposition, fault accounting
+// ---------------------------------------------------------------------------
+
+std::shared_ptr<const Table> MakeGaussianTable(int64_t rows, uint64_t seed) {
+  Rng rng(seed);
+  auto t = std::make_shared<Table>("g");
+  Column v = Column::MakeDouble("v");
+  for (int64_t i = 0; i < rows; ++i) {
+    v.AppendDouble(rng.NextGaussian(100.0, 15.0));
+  }
+  EXPECT_TRUE(t->AddColumn(std::move(v)).ok());
+  return t;
+}
+
+// AVG over a UDF input has no closed form, so the engine takes the
+// bootstrap single-scan path — the one with the full phase decomposition
+// (scan/aggregate/resample/diagnostic/ci) and ParallelFor accounting.
+QuerySpec MakeBootstrapQuery() {
+  QuerySpec q;
+  q.id = "obs_test";
+  q.table = "g";
+  q.aggregate.kind = AggregateKind::kAvg;
+  q.aggregate.input = Udf(
+      "id", [](const std::vector<double>& a) { return a[0]; },
+      {ColumnRef("v")});
+  return q;
+}
+
+EngineOptions FastOptions() {
+  EngineOptions options;
+  options.bootstrap_replicates = 50;
+  options.diagnostic.num_subsamples = 100;
+  options.default_sample_rows = 20000;
+  return options;
+}
+
+Result<ApproxResult> RunOnce(const std::shared_ptr<const Table>& table,
+                             EngineOptions options) {
+  AqpEngine engine(options);
+  EXPECT_TRUE(engine.RegisterTable(table).ok());
+  EXPECT_TRUE(engine.CreateSample("g", 20000).ok());
+  return engine.ExecuteApproximate(MakeBootstrapQuery());
+}
+
+TEST(EngineObsTest, TracingOnOffIsBitIdenticalAcrossThreadCounts) {
+  auto table = MakeGaussianTable(100000, 11);
+  for (int threads : {1, 4, 8}) {
+    EngineOptions off = FastOptions();
+    off.num_threads = threads;
+    off.enable_tracing = false;
+    EngineOptions on = off;
+    on.enable_tracing = true;
+
+    Result<ApproxResult> r_off = RunOnce(table, off);
+    Result<ApproxResult> r_on = RunOnce(table, on);
+    ASSERT_TRUE(r_off.ok()) << r_off.status().ToString();
+    ASSERT_TRUE(r_on.ok()) << r_on.status().ToString();
+
+    // The tracer reads clocks, never the RNG: results must be bit-identical
+    // with tracing on and off, at every thread count.
+    EXPECT_EQ(r_off->estimate, r_on->estimate) << "threads=" << threads;
+    EXPECT_EQ(r_off->ci.center, r_on->ci.center) << "threads=" << threads;
+    EXPECT_EQ(r_off->ci.half_width, r_on->ci.half_width)
+        << "threads=" << threads;
+    EXPECT_EQ(r_off->diagnostic_ok, r_on->diagnostic_ok);
+
+    // Tracing off: no timings, no trace. Tracing on: both present.
+    EXPECT_FALSE(r_off->profile.timings_valid);
+    EXPECT_TRUE(r_off->profile.chrome_trace_json.empty());
+    EXPECT_TRUE(r_on->profile.timings_valid);
+    EXPECT_FALSE(r_on->profile.chrome_trace_json.empty());
+  }
+}
+
+TEST(EngineObsTest, ProfileCountersAlwaysPopulated) {
+  auto table = MakeGaussianTable(100000, 12);
+  EngineOptions options = FastOptions();
+  options.num_threads = 2;
+  Result<ApproxResult> r = RunOnce(table, options);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->profile.replicates_requested, 50);
+  EXPECT_EQ(r->profile.replicates_completed, 50);
+  EXPECT_GT(r->profile.chunks_total, 0);
+  EXPECT_EQ(r->profile.chunks_done, r->profile.chunks_total);
+  EXPECT_EQ(r->profile.chunks_lost, 0);
+  EXPECT_EQ(r->profile.failpoint_retries, 0);
+  EXPECT_FALSE(r->profile.starved);
+  EXPECT_STREQ(r->profile.diagnostic_verdict,
+               r->diagnostic_ok ? "accepted" : "rejected");
+}
+
+TEST(EngineObsTest, SerialPhaseTimingsSumToTotal) {
+  auto table = MakeGaussianTable(100000, 13);
+  EngineOptions options = FastOptions();
+  options.num_threads = 1;
+  options.enable_tracing = true;
+  Result<ApproxResult> r = RunOnce(table, options);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  const QueryProfile& p = r->profile;
+  ASSERT_TRUE(p.timings_valid);
+  EXPECT_GT(p.total_seconds, 0.0);
+  EXPECT_GT(p.resample_seconds, 0.0);
+  EXPECT_GT(p.diagnostic_seconds, 0.0);
+  // With a serial runtime the phases partition the root span up to the
+  // (tiny) instrumentation gaps between them: the sum must land within 5%
+  // of the total and never exceed it (spans cannot overlap at one thread).
+  EXPECT_LE(p.PhaseSum(), p.total_seconds * 1.0001);
+  EXPECT_GE(p.PhaseSum(), p.total_seconds * 0.95)
+      << "scan=" << p.scan_seconds << " agg=" << p.aggregate_seconds
+      << " resample=" << p.resample_seconds
+      << " diag=" << p.diagnostic_seconds << " ci=" << p.ci_seconds
+      << " total=" << p.total_seconds;
+  // The trace itself carries the root query span.
+  EXPECT_NE(p.chrome_trace_json.find("\"name\": \"query\""),
+            std::string::npos);
+  EXPECT_NE(p.chrome_trace_json.find("\"name\": \"resample\""),
+            std::string::npos);
+}
+
+TEST(EngineObsTest, InjectedChunkFailuresAreReportedAndRecovered) {
+  auto table = MakeGaussianTable(100000, 14);
+
+  EngineOptions clean = FastOptions();
+  clean.num_threads = 4;
+  Result<ApproxResult> baseline = RunOnce(table, clean);
+  ASSERT_TRUE(baseline.ok()) << baseline.status().ToString();
+
+  // Arm the ParallelFor chunk site at 30%: with 3 attempts per chunk the
+  // per-chunk loss probability is ~2.7%, and injection is deterministic in
+  // (seed, chunk, attempt), so this configuration reproducibly retries
+  // several chunks while recovering all of them.
+  FailpointRegistry failpoints(/*seed=*/99);
+  failpoints.Arm(kParallelForChunkSite, 0.3);
+  EngineOptions injected = clean;
+  injected.failpoints = &failpoints;
+  Result<ApproxResult> r = RunOnce(table, injected);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+
+  EXPECT_GT(r->profile.failpoint_retries, 0);
+  EXPECT_GT(failpoints.injected_failures(), 0);
+  // Every injected failure was absorbed by a retry: the degraded-run
+  // accounting shows no lost chunks, and the result is bit-identical to
+  // the uninjected baseline (retries replay the same chunk indices, and
+  // replicate RNG streams are keyed by replicate, not thread or attempt).
+  if (r->profile.chunks_lost == 0) {
+    EXPECT_EQ(r->estimate, baseline->estimate);
+    EXPECT_EQ(r->ci.half_width, baseline->ci.half_width);
+  } else {
+    // Deterministically lost chunks still leave a valid, flagged result.
+    EXPECT_GT(r->profile.chunks_done, 0);
+  }
+}
+
+}  // namespace
+}  // namespace aqp

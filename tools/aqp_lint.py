@@ -13,6 +13,13 @@ The paper's guarantees lean on repo-wide conventions, not just local code:
                 std::thread or std::mutex elsewhere escapes both.
   console       stdout/stderr writes go through util/logging.h; stdout
                 stays clean for tool and benchmark output.
+  timing        Every duration the system *measures* flows through
+                obs/trace.h (MonotonicNanos/MonotonicSeconds, Tracer spans),
+                so profiles stay comparable and the tracing-off path provably
+                reads no clocks. Raw std::chrono / clock_gettime in src/ is
+                allowed only in src/obs/ itself and in
+                src/runtime/cancellation.h (deadline *enforcement* is
+                timing-as-semantics, not telemetry).
   include-guard Headers carry the canonical AQP_<PATH>_H_ guard.
 
 Usage:
@@ -163,6 +170,27 @@ def allow_console(path):
     return _in(path, "src/util/logging.h")
 
 
+RAW_TIMING = [
+    re.compile(p)
+    for p in (
+        r"std::chrono\b",
+        r"(?<![:\w])clock_gettime\s*\(",
+        r"(?<![:\w])gettimeofday\s*\(",
+        r"(?<![:\w])clock\s*\(",
+        r"steady_clock\b",
+        r"system_clock\b",
+        r"high_resolution_clock\b",
+        r"#\s*include\s*<chrono>",
+    )
+]
+
+
+def allow_timing(path):
+    # src/obs owns measurement (MonotonicNanos/Seconds, Tracer);
+    # cancellation.h owns deadline *enforcement* (timing-as-semantics).
+    return _in(path, "src/obs") or _in(path, "src/runtime/cancellation.h")
+
+
 RULES = [
     (
         "determinism",
@@ -186,6 +214,16 @@ RULES = [
         allow_console,
         "direct console output in src/; use AQP_LOG (util/logging.h) so"
         " stdout stays clean and diagnostics carry source locations",
+    ),
+    (
+        "timing",
+        RAW_TIMING,
+        allow_timing,
+        "raw clock use outside src/obs (+ the deadline machinery in"
+        " src/runtime/cancellation.h); measure time via"
+        " MonotonicNanos/MonotonicSeconds or Tracer spans (obs/trace.h) so"
+        " every reported duration has one source and tracing-off paths read"
+        " no clocks",
     ),
 ]
 

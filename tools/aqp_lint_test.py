@@ -48,6 +48,13 @@ class FixtureTest(unittest.TestCase):
         findings = lint(f"{FIXTURES}/bad_guard.h")
         self.assertEqual(rules_of(findings), {"include-guard"})
 
+    def test_bad_timing_trips_timing_only(self):
+        findings = lint(f"{FIXTURES}/bad_timing.cc")
+        self.assertEqual(rules_of(findings), {"timing"})
+        # <chrono> include, three clock_now lines, clock_gettime,
+        # gettimeofday.
+        self.assertGreaterEqual(len(findings), 6)
+
 
 class PreprocessingTest(unittest.TestCase):
     def test_comments_and_strings_are_blanked(self):
@@ -87,6 +94,17 @@ class AllowlistTest(unittest.TestCase):
     def test_only_the_rng_owns_raw_randomness(self):
         self.assertTrue(aqp_lint.allow_random("src/util/random.cc"))
         self.assertFalse(aqp_lint.allow_random("src/cluster/simulator.cc"))
+
+    def test_obs_and_deadlines_may_read_clocks(self):
+        self.assertTrue(aqp_lint.allow_timing("src/obs/trace.cc"))
+        self.assertTrue(aqp_lint.allow_timing("src/runtime/cancellation.h"))
+        self.assertFalse(aqp_lint.allow_timing("src/core/engine.cc"))
+        self.assertFalse(aqp_lint.allow_timing("src/runtime/thread_pool.cc"))
+
+    def test_monotonic_wrappers_are_not_raw_clocks(self):
+        patterns = [r for r in aqp_lint.RULES if r[0] == "timing"][0][1]
+        line = "double t0 = MonotonicSeconds(); int64_t n = MonotonicNanos();"
+        self.assertFalse(any(p.search(line) for p in patterns))
 
     def test_expected_guard_derivation(self):
         self.assertEqual(

@@ -1,0 +1,18 @@
+// Fixture: every line here should trip the `timing` rule (raw clock use
+// belongs in src/obs, or src/runtime/cancellation.h for deadlines).
+#include <chrono>
+
+#include <ctime>
+
+void BadTiming() {
+  auto t0 = std::chrono::steady_clock::now();
+  auto wall = std::chrono::system_clock::now();
+  auto hi = std::chrono::high_resolution_clock::now();
+  struct timespec ts;
+  clock_gettime(0, &ts);
+  struct timeval tv;
+  gettimeofday(&tv, nullptr);
+  (void)t0;
+  (void)wall;
+  (void)hi;
+}
