@@ -1,0 +1,182 @@
+// Serving-layer load sweep: drives AqpServer with an open-loop Poisson
+// workload at 0.5x / 1x / 2x of the calibrated single-node capacity and
+// reports sustained QPS plus p50/p95/p99 latency of admitted queries — with
+// confidence intervals on the percentiles themselves (Poissonized bootstrap
+// over the latency sample, the paper's resampling scheme turned on the
+// benchmark). The 2x point is the graceful-degradation gate: under ~2x
+// overload the admission controller must shed (degrade / defer / reject)
+// aggressively enough that the p99 of *admitted* queries stays inside the
+// deadline SLO. Exit status reports the gate so CI can enforce it.
+//
+// Emits one BENCH_e2e.json row per load point: rows_per_second carries the
+// sustained QPS (queries, not rows), wall_ms the admitted p99.
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "core/engine.h"
+#include "exec/query_spec.h"
+#include "expr/expr.h"
+#include "server/load_gen.h"
+#include "server/server.h"
+#include "server/session.h"
+#include "storage/table.h"
+#include "util/random.h"
+
+namespace aqp {
+namespace {
+
+constexpr int64_t kDefaultRows = 1 << 19;  // 524,288 rows.
+constexpr uint64_t kSeed = 42;
+constexpr int kCalibrationQueries = 32;
+
+int64_t BenchRows() {
+  const char* env = std::getenv("AQP_BENCH_ROWS");
+  if (env != nullptr) {
+    long long rows = std::atoll(env);
+    if (rows > 0) return static_cast<int64_t>(rows);
+  }
+  return kDefaultRows;
+}
+
+/// Seconds per load point (override: AQP_BENCH_SECONDS).
+double BenchSeconds() {
+  const char* env = std::getenv("AQP_BENCH_SECONDS");
+  if (env != nullptr) {
+    double seconds = std::atof(env);
+    if (seconds > 0.0) return seconds;
+  }
+  return 3.0;
+}
+
+Table MakeTable(int64_t rows) {
+  Table t("events");
+  Column v = Column::MakeDouble("v");
+  Rng rng(7);
+  for (int64_t i = 0; i < rows; ++i) {
+    v.AppendDouble(rng.NextDouble() * 1000.0);
+  }
+  if (!t.AddColumn(std::move(v)).ok()) std::abort();
+  return t;
+}
+
+QuerySpec MakeQuery() {
+  QuerySpec q;
+  q.id = "server_load";
+  q.table = "events";
+  q.filter = Lt(ColumnRef("v"), Literal(800.0));
+  q.aggregate.kind = AggregateKind::kAvg;
+  q.aggregate.input = ColumnRef("v");
+  return q;
+}
+
+}  // namespace
+}  // namespace aqp
+
+int main() {
+  using namespace aqp;
+  using aqp::bench::E2eBenchRecord;
+
+  const int64_t rows = BenchRows();
+  ServerOptions options;
+  options.engine.seed = kSeed;
+  options.engine.default_sample_rows = std::max<int64_t>(rows / 8, 1024);
+  AqpServer server(options);
+  {
+    auto table = std::make_shared<Table>(MakeTable(rows));
+    if (!server.engine().RegisterTable(table).ok()) return 2;
+    if (!server.engine()
+             .CreateSample("events", options.engine.default_sample_rows)
+             .ok()) {
+      return 2;
+    }
+  }
+  const QuerySpec query = MakeQuery();
+  const int slots = server.admission().slots();
+
+  // Capacity calibration: sequential deadline-free requests on the idle
+  // server give the per-slot service time; capacity ~= slots / service.
+  std::vector<double> service_ms;
+  {
+    SessionId session = server.OpenSession();
+    for (int i = 0; i < kCalibrationQueries; ++i) {
+      QueryRequest request;
+      request.query = query;
+      QueryResponse response = server.Execute(session, request);
+      if (!response.status.ok()) {
+        std::fprintf(stderr, "calibration query failed: %s\n",
+                     response.status.ToString().c_str());
+        return 2;
+      }
+      service_ms.push_back(response.service_ms);
+    }
+    (void)server.CloseSession(session);
+  }
+  std::sort(service_ms.begin(), service_ms.end());
+  const double median_service_ms = service_ms[service_ms.size() / 2];
+  const double capacity_qps =
+      static_cast<double>(slots) / (median_service_ms / 1e3);
+  // Deadline SLO: generous against one query, binding under overload. The
+  // floor is a realistic interactive SLO, and large against the admission
+  // controller's ~10 ms scheduling-stall headroom.
+  const double deadline_ms = std::max(4.0 * median_service_ms, 100.0);
+
+  bench::PrintHeader("AqpServer open-loop load sweep");
+  std::printf("rows=%lld sample_rows=%lld slots=%d\n",
+              static_cast<long long>(rows),
+              static_cast<long long>(options.engine.default_sample_rows),
+              slots);
+  std::printf("calibrated: median_service=%.2f ms capacity=%.1f qps "
+              "deadline_slo=%.1f ms\n",
+              median_service_ms, capacity_qps, deadline_ms);
+  bench::PrintRule();
+
+  const double multipliers[] = {0.5, 1.0, 2.0};
+  std::vector<E2eBenchRecord> records;
+  bool gate_ok = true;
+  for (size_t i = 0; i < 3; ++i) {
+    const double mult = multipliers[i];
+    LoadGenOptions load;
+    // Enough clients to keep every slot contended, few enough that client
+    // threads do not themselves oversubscribe the cores and turn the
+    // latency tail into a measurement of OS timeslicing.
+    load.clients = std::max(2, 2 * slots);
+    load.offered_qps = mult * capacity_qps;
+    load.duration_seconds = BenchSeconds();
+    load.deadline_ms = deadline_ms;
+    load.seed = 1000 + static_cast<uint64_t>(i);
+    LoadReport report = RunOpenLoopLoad(server, query, load);
+    std::printf("x%.1f: %s\n", mult, report.ToJson().c_str());
+
+    E2eBenchRecord record;
+    char name[64];
+    std::snprintf(name, sizeof(name), "server_load/x%.1f", mult);
+    record.name = name;
+    record.rows_per_second = report.sustained_qps;
+    record.wall_ms = report.p99.value;
+    record.threads = slots;
+    record.git_sha = bench::BenchGitSha();
+    records.push_back(record);
+
+    // Graceful-degradation gate at 2x capacity: admitted queries still
+    // answer inside the SLO (shedding absorbed the overload), and the
+    // shedding machinery actually engaged.
+    if (mult >= 2.0) {
+      const int64_t shed = report.degraded + report.deferred +
+                           report.rejected + report.expired;
+      if (report.p99.value > deadline_ms || shed == 0 ||
+          report.completed_ok == 0) {
+        gate_ok = false;
+      }
+      std::printf("gate@x2: p99=%.1f ms (slo %.1f ms), shed=%lld -> %s\n",
+                  report.p99.value, deadline_ms,
+                  static_cast<long long>(shed), gate_ok ? "OK" : "VIOLATED");
+    }
+  }
+  bench::MergeE2eJson(bench::E2eJsonPath(), records);
+  return gate_ok ? 0 : 1;
+}

@@ -58,15 +58,34 @@ inline std::string KernelJsonPath() {
   return env != nullptr ? env : "BENCH_kernels.json";
 }
 
+/// Extracts the value of a top-level `"field": "value"` string field from a
+/// one-line JSON object, or "" when absent.
+inline std::string ExtractJsonStringField(const std::string& line,
+                                          const std::string& field) {
+  std::string needle = "\"" + field + "\": \"";
+  size_t key = line.find(needle);
+  if (key == std::string::npos) return "";
+  size_t begin = key + needle.size();
+  size_t end = line.find('"', begin);
+  if (end == std::string::npos) return "";
+  return line.substr(begin, end - begin);
+}
+
 /// Merges named one-line JSON objects into the array file at `path`. The
 /// file keeps exactly one object per line, so the merge is line-oriented:
-/// existing entries are kept, entries whose "name" matches a new record are
+/// existing entries are kept, entries whose key matches a new record are
 /// replaced in place, and unseen records append. Multiple bench binaries can
 /// therefore share one file without clobbering each other's numbers.
+///
+/// The key is "name", or (name, git_sha) when `dedup_by_git_sha` is set: a
+/// re-run at the same commit replaces its own row, while rows from other
+/// commits survive — so one artifact can accumulate cross-commit history
+/// without re-runs appending duplicates.
 inline void MergeNamedJsonObjects(
     const std::string& path,
-    const std::vector<std::pair<std::string, std::string>>& named_objects) {
-  // Load existing one-object-per-line entries, keyed by name, in file order.
+    const std::vector<std::pair<std::string, std::string>>& named_objects,
+    bool dedup_by_git_sha = false) {
+  // Load existing one-object-per-line entries, keyed, in file order.
   std::vector<std::string> order;
   std::map<std::string, std::string> lines;
   std::ifstream in(path);
@@ -74,12 +93,11 @@ inline void MergeNamedJsonObjects(
   while (std::getline(in, line)) {
     size_t open = line.find('{');
     if (open == std::string::npos) continue;  // '[' / ']' framing lines.
-    size_t key = line.find("\"name\": \"");
-    if (key == std::string::npos) continue;
-    size_t begin = key + 9;
-    size_t end = line.find('"', begin);
-    if (end == std::string::npos) continue;
-    std::string name = line.substr(begin, end - begin);
+    std::string name = ExtractJsonStringField(line, "name");
+    if (name.empty()) continue;
+    if (dedup_by_git_sha) {
+      name += "@" + ExtractJsonStringField(line, "git_sha");
+    }
     std::string body = line.substr(open);
     if (!body.empty() && body.back() == ',') body.pop_back();
     if (lines.emplace(name, body).second) order.push_back(name);
@@ -131,14 +149,25 @@ inline std::string E2eJsonPath() {
   return env != nullptr ? env : "BENCH_e2e.json";
 }
 
-/// Commit identity stamped into e2e records; CI exports AQP_GIT_SHA.
+/// Commit identity stamped into e2e records. $AQP_GIT_SHA (CI) wins; local
+/// builds fall back to the commit CMake saw at configure time
+/// (AQP_BUILD_GIT_SHA, from `git rev-parse --short HEAD` — see
+/// bench/CMakeLists.txt), so locally produced artifacts carry real
+/// provenance instead of "unknown". Stale only if you rebuild without
+/// reconfiguring across a commit; CI always reconfigures.
 inline std::string BenchGitSha() {
   const char* env = std::getenv("AQP_GIT_SHA");
-  return env != nullptr ? env : "unknown";
+  if (env != nullptr && env[0] != '\0') return env;
+#ifdef AQP_BUILD_GIT_SHA
+  return AQP_BUILD_GIT_SHA;
+#else
+  return "unknown";
+#endif
 }
 
 /// Merges `records` into BENCH_e2e.json-format `path` (one object per line,
-/// replace-by-name — see MergeNamedJsonObjects).
+/// replace-by-(name, git_sha) — see MergeNamedJsonObjects: re-runs at one
+/// commit update in place, runs at a new commit append history).
 inline void MergeE2eJson(const std::string& path,
                          const std::vector<E2eBenchRecord>& records) {
   std::vector<std::pair<std::string, std::string>> objects;
@@ -149,9 +178,9 @@ inline void MergeE2eJson(const std::string& path,
         << r.rows_per_second << ", \"wall_ms\": " << r.wall_ms
         << ", \"threads\": " << r.threads << ", \"git_sha\": \"" << r.git_sha
         << "\"}";
-    objects.emplace_back(r.name, obj.str());
+    objects.emplace_back(r.name + "@" + r.git_sha, obj.str());
   }
-  MergeNamedJsonObjects(path, objects);
+  MergeNamedJsonObjects(path, objects, /*dedup_by_git_sha=*/true);
 }
 
 }  // namespace bench

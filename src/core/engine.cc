@@ -50,6 +50,9 @@ AqpEngine::AqpEngine(EngineOptions options)
   }
   bootstrap_.set_runtime(runtime_);
   observed_rows_per_second_ = options_.rows_per_second;
+  ewma_throughput_gauge_ = MetricsRegistry::Default().GetGauge(
+      "engine.throughput.ewma_rows_per_second");
+  ewma_throughput_gauge_->Set(static_cast<int64_t>(observed_rows_per_second_));
 }
 
 Status AqpEngine::RegisterTable(std::shared_ptr<const Table> table) {
@@ -112,7 +115,7 @@ ExprPtr RebuildConjunction(const std::vector<ExprPtr>& conjuncts) {
 }  // namespace
 
 Result<AqpEngine::ResolvedSample> AqpEngine::ResolveSample(
-    const QuerySpec& query) {
+    const QuerySpec& query) const {
   // Runtime sample selection: when a filter conjunct is `column = 'value'`
   // and a stratified sample on that column exists, the matching stratum is
   // a uniform sample of exactly the filtered subpopulation — usually far
@@ -152,14 +155,15 @@ Result<AqpEngine::ResolvedSample> AqpEngine::ResolveSample(
   return resolved;
 }
 
-Result<double> AqpEngine::ExecuteExact(const QuerySpec& query) {
+Result<double> AqpEngine::ExecuteExact(const QuerySpec& query) const {
   Result<std::shared_ptr<const Table>> table = catalog_.GetTable(query.table);
   if (!table.ok()) return table.status();
   return ExecutePlainAggregate(**table, query, /*scale_factor=*/1.0);
 }
 
 Result<ApproxResult> AqpEngine::FallBack(const QuerySpec& query,
-                                         ApproxResult result, Rng& rng) {
+                                         ApproxResult result,
+                                         Rng& rng) const {
   result.fell_back = true;
   switch (options_.fallback) {
     case FallbackPolicy::kNone:
@@ -284,7 +288,8 @@ AqpEngine::ExecuteApproximateGroupBy(const QuerySpec& query,
       Rng group_rng = streams.Stream(static_cast<uint64_t>(g));
       Result<ApproxResult> result =
           ExecuteApproximateImpl(candidates[static_cast<size_t>(g)].query,
-                                 group_rng, runtime_);
+                                 group_rng, runtime_,
+                                 options_.bootstrap_replicates);
       if (!result.ok()) {
         // Degenerate group under this aggregate; recorded, not dropped.
         group_status[static_cast<size_t>(g)] = result.status();
@@ -383,7 +388,8 @@ Result<ApproxResult> AqpEngine::ExecuteWithTimeBound(const QuerySpec& query,
   ExecRuntime bounded = runtime_.WithToken(token);
   int64_t saved = options_.default_sample_rows;
   options_.default_sample_rows = chosen->num_rows();
-  Result<ApproxResult> result = ExecuteApproximateImpl(query, rng_, bounded);
+  Result<ApproxResult> result = ExecuteApproximateImpl(
+      query, rng_, bounded, options_.bootstrap_replicates);
   options_.default_sample_rows = saved;
   double elapsed = MonotonicSeconds() - start;
   if (!result.ok()) return result;
@@ -413,6 +419,7 @@ Result<ApproxResult> AqpEngine::ExecuteWithTimeBound(const QuerySpec& query,
     result->profile.throughput_observed_rows_per_second = observed;
   }
   result->profile.throughput_ewma_rows_per_second = observed_rows_per_second_;
+  ewma_throughput_gauge_->Set(static_cast<int64_t>(observed_rows_per_second_));
   return result;
 }
 
@@ -467,15 +474,36 @@ Status AqpEngine::LoadSamples(const std::string& directory) {
 }
 
 Result<ApproxResult> AqpEngine::ExecuteApproximate(const QuerySpec& query) {
-  return ExecuteApproximateImpl(query, rng_, runtime_);
+  return ExecuteApproximateImpl(query, rng_, runtime_,
+                                options_.bootstrap_replicates);
+}
+
+Result<ApproxResult> AqpEngine::ExecuteServed(
+    const QuerySpec& query, const ServeOptions& serve) const {
+  // Per-request RNG stream: independent of every other request and of the
+  // engine's own rng_, so concurrent served queries touch no shared mutable
+  // state and a request's result is reproducible from its rng_seed alone.
+  Rng rng(DeriveStreamSeed(options_.seed, serve.rng_seed));
+  ExecRuntime runtime =
+      serve.token.can_cancel() ? runtime_.WithToken(serve.token) : runtime_;
+  int replicates =
+      serve.replicates > 0 ? serve.replicates : options_.bootstrap_replicates;
+  return ExecuteApproximateImpl(query, rng, runtime, replicates);
+}
+
+int64_t AqpEngine::PredictedWorkRows(const QuerySpec& query) const {
+  Result<ResolvedSample> resolved = ResolveSample(query);
+  if (!resolved.ok()) return options_.default_sample_rows;
+  return resolved->data->num_rows();
 }
 
 Result<ApproxResult> AqpEngine::ExecuteApproximateImpl(
-    const QuerySpec& query, Rng& rng, const ExecRuntime& runtime) {
+    const QuerySpec& query, Rng& rng, const ExecRuntime& runtime,
+    int replicates) const {
   if (!options_.enable_tracing || runtime.tracer() != nullptr) {
     // Tracing off (the zero-cost path — no tracer, no clock reads), or a
     // tracer is already attached upstream (don't re-root).
-    return ExecuteApproximatePipeline(query, rng, runtime);
+    return ExecuteApproximatePipeline(query, rng, runtime, replicates);
   }
   // One tracer per query: group-by groups each come through here with their
   // own Impl call, so each group's profile gets its own trace.
@@ -483,7 +511,7 @@ Result<ApproxResult> AqpEngine::ExecuteApproximateImpl(
   ExecRuntime traced = runtime.WithTracer(&tracer);
   Result<ApproxResult> result = [&] {
     ScopedSpan root(&tracer, "query");
-    return ExecuteApproximatePipeline(query, rng, traced);
+    return ExecuteApproximatePipeline(query, rng, traced, replicates);
   }();
   if (result.ok()) {
     QueryProfile& profile = result->profile;
@@ -500,7 +528,8 @@ Result<ApproxResult> AqpEngine::ExecuteApproximateImpl(
 }
 
 Result<ApproxResult> AqpEngine::ExecuteApproximatePipeline(
-    const QuerySpec& query, Rng& rng, const ExecRuntime& runtime) {
+    const QuerySpec& query, Rng& rng, const ExecRuntime& runtime,
+    int replicates) const {
   Result<ResolvedSample> resolved = ResolveSample(query);
   if (!resolved.ok()) return resolved.status();
   const Table& data = *resolved->data;
@@ -519,8 +548,14 @@ Result<ApproxResult> AqpEngine::ExecuteApproximatePipeline(
   bool use_bootstrap = !closed_form_.Applicable(effective);
   result.method = use_bootstrap ? EstimationMethod::kBootstrap
                                 : EstimationMethod::kClosedForm;
-  result.profile.replicates_requested =
-      use_bootstrap ? options_.bootstrap_replicates : 0;
+  result.profile.replicates_requested = use_bootstrap ? replicates : 0;
+  // Per-query bootstrap estimator: carries this query's replicate count
+  // (which the serving layer's degrade stage may have shrunk) and the
+  // query's runtime (token included), so a deadline can interrupt the
+  // diagnostic's internal estimation too. Cheap to build — two ints and a
+  // runtime handle.
+  BootstrapEstimator bootstrap(replicates, bootstrap_.mode());
+  bootstrap.set_runtime(runtime);
 
   // Bootstrap path on streaming aggregates: the full §5.3.1 single scan
   // computes the answer, the CI, and the diagnostic in one pass.
@@ -529,9 +564,8 @@ Result<ApproxResult> AqpEngine::ExecuteApproximatePipeline(
     DiagnosticConfig config = options_.diagnostic;
     config.alpha = options_.alpha;
     Result<SingleScanResult> single = RunSingleScanPipeline(
-        data, effective, resolved->population_rows,
-        options_.bootstrap_replicates, options_.bootstrap_replicates, config,
-        bootstrap_.mode(), rng, runtime);
+        data, effective, resolved->population_rows, replicates, replicates,
+        config, bootstrap_.mode(), rng, runtime);
     if (single.ok()) {
       result.estimate = single->theta;
       result.ci = single->ci;
@@ -583,9 +617,9 @@ Result<ApproxResult> AqpEngine::ExecuteApproximatePipeline(
   int replicates_used = 0;
   Result<ConfidenceInterval> ci =
       use_bootstrap
-          ? bootstrap_.EstimateWithUsage(data, effective, scale,
-                                         options_.alpha, rng, runtime,
-                                         &replicates_used)
+          ? bootstrap.EstimateWithUsage(data, effective, scale,
+                                        options_.alpha, rng, runtime,
+                                        &replicates_used)
           : closed_form_.Estimate(data, effective, scale, options_.alpha, rng);
   result.replicates_used = replicates_used;
   result.profile.replicates_completed = replicates_used;
@@ -601,7 +635,7 @@ Result<ApproxResult> AqpEngine::ExecuteApproximatePipeline(
     // Scan-consolidated diagnosis (§5.3.1); falls back internally to the
     // reference implementation for estimators without a prepared path.
     const ErrorEstimator& estimator =
-        use_bootstrap ? static_cast<const ErrorEstimator&>(bootstrap_)
+        use_bootstrap ? static_cast<const ErrorEstimator&>(bootstrap)
                       : static_cast<const ErrorEstimator&>(closed_form_);
     Result<DiagnosticReport> report = RunDiagnosticConsolidated(
         data, effective, estimator, resolved->population_rows, config, rng,

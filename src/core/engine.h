@@ -25,6 +25,8 @@
 
 namespace aqp {
 
+class Gauge;  // obs/metrics.h
+
 /// How the engine reacts when the diagnostic rejects error estimation for a
 /// query (the "fall back to slower, more accurate solutions" spectrum of
 /// paper §1).
@@ -118,6 +120,9 @@ struct ApproxResult {
   /// Wall-clock seconds the query took (set by ExecuteWithTimeBound; 0
   /// elsewhere). Compare against the budget to audit enforcement.
   double elapsed_seconds = 0.0;
+  /// How the serving layer's overload policy treated this query (kNone for
+  /// direct engine calls; set by AqpServer, mirrored in `profile`).
+  ShedStage shed_stage = ShedStage::kNone;
   /// Execution report: phase timings + Chrome trace when tracing is on,
   /// replicate/chunk/retry accounting and the diagnostic verdict always.
   QueryProfile profile;
@@ -161,8 +166,41 @@ class AqpEngine {
   /// estimate, and applies the fallback policy on rejection.
   [[nodiscard]] Result<ApproxResult> ExecuteApproximate(const QuerySpec& query);
 
+  /// Per-request execution knobs negotiated by a serving layer (src/server):
+  /// everything one served request may override without touching shared
+  /// engine state.
+  struct ServeOptions {
+    /// Identifies the request's private RNG stream: the effective generator
+    /// is the stream keyed by (EngineOptions::seed, rng_seed), so a served
+    /// result is a pure function of (engine config, data, query, rng_seed) —
+    /// bit-identical to a direct ExecuteServed call with the same id, at any
+    /// thread count, regardless of what other requests run concurrently.
+    uint64_t rng_seed = 0;
+    /// Cancellation/deadline token for this request (session disconnect and
+    /// SLO deadline). When it can cancel, the pipeline degrades instead of
+    /// overrunning and never starts the unboundable exact fallback.
+    CancellationToken token;
+    /// Bootstrap replicate override (the admission controller's degrade
+    /// stage); 0 keeps EngineOptions::bootstrap_replicates.
+    int replicates = 0;
+  };
+
+  /// Thread-safe served entry point: runs the ExecuteApproximate pipeline
+  /// with a per-request RNG stream and an explicit token, touching no
+  /// mutable engine state — safe for any number of concurrent callers
+  /// (which all share the engine's one bounded pool). Register tables and
+  /// samples before serving; catalog mutation during serving is not
+  /// supported.
+  [[nodiscard]] Result<ApproxResult> ExecuteServed(const QuerySpec& query,
+                                                   const ServeOptions& serve) const;
+
+  /// Sample rows `query` would execute over after runtime sample selection —
+  /// the admission controller's per-request work estimate. Falls back to
+  /// `EngineOptions::default_sample_rows` when no sample matches.
+  [[nodiscard]] int64_t PredictedWorkRows(const QuerySpec& query) const;
+
   /// Runs `query` exactly on the registered full table.
-  [[nodiscard]] Result<double> ExecuteExact(const QuerySpec& query);
+  [[nodiscard]] Result<double> ExecuteExact(const QuerySpec& query) const;
 
   /// Parses and runs a SQL statement approximately. GROUP BY statements are
   /// rejected here — use ExecuteApproximateGroupBySql. `udfs` may be null.
@@ -253,17 +291,20 @@ class AqpEngine {
   /// Picks the best stored sample for `query`: a stratified stratum when an
   /// equality filter matches a stratified column, else the default uniform
   /// sample.
-  [[nodiscard]] Result<ResolvedSample> ResolveSample(const QuerySpec& query);
+  [[nodiscard]] Result<ResolvedSample> ResolveSample(const QuerySpec& query) const;
 
   /// The ExecuteApproximate pipeline against an explicit generator and
   /// runtime. All engine state it touches is read-only, so independent
-  /// queries (e.g. the groups of a GROUP BY) can run it concurrently, each
-  /// with its own RNG stream. The runtime carries the query's cancellation
-  /// token: once it trips, the pipeline degrades (partial-replicate CI, no
-  /// diagnosis, no exact fallback) rather than starting new work.
+  /// queries (e.g. the groups of a GROUP BY, or concurrent served requests)
+  /// can run it concurrently, each with its own RNG stream. The runtime
+  /// carries the query's cancellation token: once it trips, the pipeline
+  /// degrades (partial-replicate CI, no diagnosis, no exact fallback)
+  /// rather than starting new work. `replicates` is the bootstrap K for
+  /// this query (the serving layer's degrade stage passes a shrunk count).
   [[nodiscard]] Result<ApproxResult> ExecuteApproximateImpl(const QuerySpec& query,
                                               Rng& rng,
-                                              const ExecRuntime& runtime);
+                                              const ExecRuntime& runtime,
+                                              int replicates) const;
 
   /// The pipeline body behind ExecuteApproximateImpl. Impl is the tracing
   /// wrapper: when `EngineOptions::enable_tracing` is set it owns a
@@ -271,10 +312,11 @@ class AqpEngine {
   /// result's profile timings; the body itself populates the profile's
   /// always-on counters.
   [[nodiscard]] Result<ApproxResult> ExecuteApproximatePipeline(
-      const QuerySpec& query, Rng& rng, const ExecRuntime& runtime);
+      const QuerySpec& query, Rng& rng, const ExecRuntime& runtime,
+      int replicates) const;
 
   [[nodiscard]] Result<ApproxResult> FallBack(const QuerySpec& query, ApproxResult result,
-                                Rng& rng);
+                                Rng& rng) const;
 
   EngineOptions options_;
   Catalog catalog_;
@@ -290,6 +332,11 @@ class AqpEngine {
   ExecRuntime runtime_;
   /// EWMA throughput estimate feeding time-bounded sample selection.
   double observed_rows_per_second_ = 0.0;
+  /// Default-registry mirror of the EWMA ("engine.throughput.
+  /// ewma_rows_per_second"), the load signal the serving layer's admission
+  /// control reads through LoadSnapshot. Shared across engines by name, like
+  /// the pool's queue-depth gauge.
+  Gauge* ewma_throughput_gauge_ = nullptr;
 };
 
 }  // namespace aqp

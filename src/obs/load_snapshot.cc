@@ -1,0 +1,36 @@
+#include "obs/load_snapshot.h"
+
+#include <sstream>
+
+#include "obs/metrics.h"
+
+namespace aqp {
+
+std::string LoadSnapshot::ToJson() const {
+  std::ostringstream out;
+  out << "{\"pool_queue_depth\": " << pool_queue_depth
+      << ", \"running\": " << running
+      << ", \"admission_queued\": " << admission_queued
+      << ", \"ewma_rows_per_second\": " << ewma_rows_per_second << "}";
+  return out.str();
+}
+
+LoadSampler::LoadSampler(MetricsRegistry& registry)
+    : pool_queue_depth_(registry.GetGauge("runtime.thread_pool.queue_depth")),
+      running_(registry.GetGauge("server.queries.running")),
+      admission_queued_(registry.GetGauge("server.admission.queued")),
+      ewma_rows_per_second_(
+          registry.GetGauge("engine.throughput.ewma_rows_per_second")) {}
+
+LoadSampler::LoadSampler() : LoadSampler(MetricsRegistry::Default()) {}
+
+LoadSnapshot LoadSampler::Sample() const {
+  LoadSnapshot snapshot;
+  snapshot.pool_queue_depth = pool_queue_depth_->value();
+  snapshot.running = running_->value();
+  snapshot.admission_queued = admission_queued_->value();
+  snapshot.ewma_rows_per_second = ewma_rows_per_second_->value();
+  return snapshot;
+}
+
+}  // namespace aqp

@@ -1,0 +1,70 @@
+#ifndef AQP_OBS_LOAD_SNAPSHOT_H_
+#define AQP_OBS_LOAD_SNAPSHOT_H_
+
+#include <cstdint>
+#include <string>
+
+namespace aqp {
+
+class MetricsRegistry;
+class Gauge;
+
+/// One consistent view of system load, read from the metrics registry in a
+/// single pass: the runtime's queue-depth gauge, the engine's EWMA rows/sec
+/// throughput (both fed by PR-5 instrumentation), and the serving layer's
+/// own running/queued gauges. Admission control and the metrics endpoint
+/// both read *this* instead of sampling gauges independently, so a decision
+/// and the number an operator sees for it never disagree about which sample
+/// of the world they describe.
+///
+/// Each field is one relaxed atomic load — the snapshot is per-field
+/// consistent (the same guarantee MetricsRegistry snapshots give), taken at
+/// one call site rather than scattered across the policy code.
+struct LoadSnapshot {
+  /// Tasks queued on the execution runtime's pools
+  /// ("runtime.thread_pool.queue_depth", summed across pools).
+  int64_t pool_queue_depth = 0;
+  /// Served queries currently executing ("server.queries.running").
+  int64_t running = 0;
+  /// Requests waiting in the admission queue ("server.admission.queued").
+  int64_t admission_queued = 0;
+  /// The engine's EWMA throughput estimate
+  /// ("engine.throughput.ewma_rows_per_second"), the same feedback signal
+  /// time-bounded sample selection uses.
+  int64_t ewma_rows_per_second = 0;
+
+  /// Demand per serving slot: (running + queued) / slots. 1.0 means every
+  /// slot busy with an empty queue; the admission policy's degrade threshold
+  /// is expressed in these units.
+  double PressurePerSlot(int slots) const {
+    if (slots <= 0) return 0.0;
+    return static_cast<double>(running + admission_queued) /
+           static_cast<double>(slots);
+  }
+
+  /// One-line JSON rendering for logs and bench reports.
+  std::string ToJson() const;
+};
+
+/// Resolves the four load gauges once (registry pointers are stable) and
+/// then samples them lock-free. One sampler per consumer; `Sample()` is safe
+/// from any thread.
+class LoadSampler {
+ public:
+  /// `registry` defaults to MetricsRegistry::Default(), where the pool,
+  /// engine, and server instrumentation publish.
+  explicit LoadSampler(MetricsRegistry& registry);
+  LoadSampler();
+
+  LoadSnapshot Sample() const;
+
+ private:
+  Gauge* pool_queue_depth_;
+  Gauge* running_;
+  Gauge* admission_queued_;
+  Gauge* ewma_rows_per_second_;
+};
+
+}  // namespace aqp
+
+#endif  // AQP_OBS_LOAD_SNAPSHOT_H_

@@ -4,6 +4,21 @@
 #include <sstream>
 
 namespace aqp {
+
+const char* ShedStageName(ShedStage stage) {
+  switch (stage) {
+    case ShedStage::kNone:
+      return "none";
+    case ShedStage::kDegraded:
+      return "degraded";
+    case ShedStage::kDeferred:
+      return "deferred";
+    case ShedStage::kRejected:
+      return "rejected";
+  }
+  return "unknown";
+}
+
 namespace {
 
 void AppendMs(std::ostringstream& out, const char* key, double seconds) {
@@ -47,6 +62,8 @@ std::string QueryProfile::ToJson() const {
   std::snprintf(buffer, sizeof(buffer), "%.1f",
                 throughput_ewma_rows_per_second);
   out << ", \"throughput_ewma_rows_per_second\": " << buffer;
+  out << ", \"shed_stage\": \"" << ShedStageName(shed_stage) << "\", ";
+  AppendMs(out, "admission_wait_ms", admission_wait_ms / 1e3);
   out << "}";
   return out.str();
 }

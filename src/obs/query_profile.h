@@ -6,6 +6,20 @@
 
 namespace aqp {
 
+/// How the serving layer's overload policy treated a query before it ran.
+/// Stages are ordered by severity; the recorded stage is the strongest one
+/// applied (a request that queued *and* lost replicates reports kDeferred,
+/// with the shrink visible in `replicates_requested`).
+enum class ShedStage {
+  kNone,      ///< Admitted at full fidelity, no queueing.
+  kDegraded,  ///< Admitted with a shrunk replicate count (coarser CI).
+  kDeferred,  ///< Held in the admission queue until a slot freed.
+  kRejected,  ///< Shed with kResourceExhausted and a retry_after_ms hint.
+};
+
+/// Name of `stage`, e.g. "degraded"; stable for log scraping.
+const char* ShedStageName(ShedStage stage);
+
 /// Per-query execution report attached to every ApproxResult: where the time
 /// went, what completed versus what was requested, and why the run degraded
 /// if it did. The paper's thesis is *knowing when you're wrong* — this is
@@ -76,6 +90,14 @@ struct QueryProfile {
   /// in.
   double throughput_observed_rows_per_second = 0.0;
   double throughput_ewma_rows_per_second = 0.0;
+
+  /// Serving-layer accounting (queries submitted through AqpServer only;
+  /// direct engine calls report kNone / 0). The stage is also mirrored on
+  /// ApproxResult::shed_stage so callers need not dig into the profile.
+  ShedStage shed_stage = ShedStage::kNone;
+  /// Wall-clock milliseconds the request spent in the admission queue before
+  /// execution started (0 unless the request was deferred).
+  double admission_wait_ms = 0.0;
 
   /// Chrome trace-event JSON for this query (loadable in Perfetto /
   /// chrome://tracing); empty when tracing is off.

@@ -46,6 +46,11 @@ void ThreadPool::Submit(std::function<void()> task) {
 
 bool ThreadPool::OnWorkerThread() const { return current_pool == this; }
 
+int64_t ThreadPool::QueueDepth() const {
+  MutexLock lock(mu_);
+  return static_cast<int64_t>(queue_.size());
+}
+
 int ThreadPool::HardwareConcurrency() {
   unsigned n = std::thread::hardware_concurrency();
   return n == 0 ? 1 : static_cast<int>(n);

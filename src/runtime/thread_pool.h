@@ -46,6 +46,12 @@ class ThreadPool {
 
   int num_threads() const { return static_cast<int>(workers_.size()); }
 
+  /// Tasks currently queued (not yet claimed by a worker) on *this* pool —
+  /// the serving layer's backpressure signal. Point-in-time under the queue
+  /// lock; the process-wide gauge ("runtime.thread_pool.queue_depth") sums
+  /// all pools instead.
+  int64_t QueueDepth() const AQP_EXCLUDES(mu_);
+
   /// True when the calling thread is one of this pool's workers. Parallel
   /// regions use this to run nested fan-out inline: a worker that blocked
   /// waiting for queue slots it itself occupies would deadlock, and nested

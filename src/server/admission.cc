@@ -1,0 +1,202 @@
+#include "server/admission.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "obs/metrics.h"
+
+namespace aqp {
+namespace {
+
+constexpr double kMsPerSecond = 1e3;
+constexpr double kNanosPerSecond = 1e9;
+
+}  // namespace
+
+AdmissionController::AdmissionController(const AdmissionOptions& options,
+                                         int default_replicates)
+    : options_(options),
+      slots_(std::max(options.slots, 1)),
+      default_replicates_(std::max(default_replicates, 1)),
+      ewma_service_seconds_(std::max(options.initial_service_seconds, 1e-6)) {
+  MetricsRegistry& registry = MetricsRegistry::Default();
+  admitted_ = registry.GetCounter("server.admission.admitted");
+  degraded_ = registry.GetCounter("server.admission.degraded");
+  deferred_ = registry.GetCounter("server.admission.deferred");
+  rejected_ = registry.GetCounter("server.admission.rejected");
+  queued_gauge_ = registry.GetGauge("server.admission.queued");
+  running_gauge_ = registry.GetGauge("server.queries.running");
+}
+
+AdmissionDecision AdmissionController::Decide(
+    const LoadSnapshot& load, double predicted_service_seconds,
+    double deadline_remaining_seconds, int priority) const {
+  AdmissionDecision decision;
+  decision.replicates = default_replicates_;
+
+  const double ewma = ewma_service_seconds();
+  const bool slot_free = load.running < slots_;
+  // Wait prediction for a new arrival: everyone already queued drains ahead
+  // of it, slots_ wide, at one EWMA service time each.
+  const double predicted_wait_seconds =
+      slot_free ? 0.0
+                : (static_cast<double>(load.admission_queued) + 1.0) * ewma /
+                      static_cast<double>(slots_);
+  decision.predicted_wait_ms = predicted_wait_seconds * kMsPerSecond;
+  // Service prediction for feasibility: the work model (rows over
+  // throughput), floored by the measured EWMA — under contention the EWMA
+  // observes the real wall cost (preemption included) that the static model
+  // cannot see, so the feasibility bar rises with load instead of admitting
+  // edge requests into budgets they will overrun.
+  const double effective_service_seconds =
+      std::max(predicted_service_seconds, ewma);
+
+  // Stage 3a (fail fast): an expired or infeasible deadline. Running a
+  // query that cannot answer inside its SLO burns a slot for nothing —
+  // reject now and tell the client when load should allow a retry.
+  if (deadline_remaining_seconds <= 0.0) {
+    decision.stage = ShedStage::kRejected;
+    decision.deadline_expired = true;
+    return decision;
+  }
+  const double predicted_total_seconds =
+      predicted_wait_seconds + effective_service_seconds;
+  if (predicted_total_seconds >
+          options_.feasibility_margin * deadline_remaining_seconds ||
+      predicted_total_seconds + options_.min_headroom_seconds >
+          deadline_remaining_seconds) {
+    decision.stage = ShedStage::kRejected;
+    decision.retry_after_ms = decision.predicted_wait_ms;
+    return decision;
+  }
+
+  // Stage 1 (degrade): above the priority-adjusted pressure threshold the
+  // replicate count shrinks in proportion to the overload, floored at
+  // min_replicates — latency holds, the CI honestly widens.
+  const double threshold =
+      options_.degrade_pressure +
+      static_cast<double>(std::max(priority, 0)) * options_.priority_headroom;
+  const double pressure = load.PressurePerSlot(slots_);
+  if (pressure > threshold && threshold > 0.0) {
+    const double scale = threshold / pressure;
+    decision.replicates = std::clamp(
+        static_cast<int>(std::lround(default_replicates_ * scale)),
+        std::min(options_.min_replicates, default_replicates_),
+        default_replicates_);
+  }
+  const bool degraded = decision.replicates < default_replicates_;
+
+  if (slot_free) {
+    decision.stage = degraded ? ShedStage::kDegraded : ShedStage::kNone;
+    return decision;
+  }
+
+  // Stage 3b (reject): the wait queue itself is saturated.
+  if (load.admission_queued >= options_.max_queue) {
+    decision.stage = ShedStage::kRejected;
+    decision.retry_after_ms = decision.predicted_wait_ms;
+    return decision;
+  }
+
+  // Stage 2 (defer): feasible, but must wait for a slot.
+  decision.stage = ShedStage::kDeferred;
+  return decision;
+}
+
+AdmissionDecision AdmissionController::Admit(
+    const LoadSampler& sampler, double predicted_service_seconds,
+    const CancellationToken& token, int priority) {
+  MutexLock lock(mu_);
+  bool in_queue = false;
+  bool ever_deferred = false;
+  for (;;) {
+    if (token.CancelRequested()) {
+      if (in_queue) {
+        --queued_;
+        queued_gauge_->Decrement();
+      }
+      AdmissionDecision decision;
+      decision.stage = ShedStage::kRejected;
+      decision.deadline_expired = token.DeadlineExpired();
+      rejected_->Increment();
+      return decision;
+    }
+
+    // The sampler's view of the gauges may lag a concurrent admit/release;
+    // this controller's own counts are authoritative, so overlay them. A
+    // request that is itself queued is excluded — the policy reasons about
+    // the queue *ahead of* the request being decided.
+    LoadSnapshot load = sampler.Sample();
+    load.running = running_;
+    load.admission_queued = queued_ - (in_queue ? 1 : 0);
+
+    AdmissionDecision decision =
+        Decide(load, predicted_service_seconds,
+               token.deadline().RemainingSeconds(), priority);
+
+    if (decision.stage == ShedStage::kRejected) {
+      if (in_queue) {
+        --queued_;
+        queued_gauge_->Decrement();
+      }
+      rejected_->Increment();
+      return decision;
+    }
+
+    if (running_ < slots_) {
+      if (in_queue) {
+        --queued_;
+        queued_gauge_->Decrement();
+      }
+      ++running_;
+      running_gauge_->Increment();
+      // A request that ever waited reports the more severe deferred stage,
+      // even if by the time a slot freed the pressure had also dropped; its
+      // replicate count is still whatever the final evaluation chose.
+      if (ever_deferred) {
+        decision.stage = ShedStage::kDeferred;
+        deferred_->Increment();
+      }
+      if (decision.replicates < default_replicates_) {
+        degraded_->Increment();
+        if (decision.stage != ShedStage::kDeferred) {
+          decision.stage = ShedStage::kDegraded;
+        }
+      }
+      admitted_->Increment();
+      return decision;
+    }
+
+    // Defer: join the bounded queue (Decide() just verified there is room
+    // and the wait is feasible) and sleep until a slot frees or the next
+    // re-evaluation slice, whichever comes first. The slice also bounds how
+    // stale a feasibility verdict can get.
+    if (!in_queue) {
+      in_queue = true;
+      ever_deferred = true;
+      ++queued_;
+      queued_gauge_->Increment();
+    }
+    double wait_seconds = options_.max_wait_slice_seconds;
+    const double remaining = token.deadline().RemainingSeconds();
+    if (remaining < wait_seconds) wait_seconds = std::max(remaining, 0.0);
+    slot_freed_.WaitForNanos(
+        mu_, static_cast<int64_t>(wait_seconds * kNanosPerSecond) + 1);
+  }
+}
+
+void AdmissionController::Release(double observed_service_seconds) {
+  MutexLock lock(mu_);
+  --running_;
+  running_gauge_->Decrement();
+  if (observed_service_seconds > 0.0) {
+    const double alpha = options_.service_ewma_alpha;
+    const double old = ewma_service_seconds_.load(std::memory_order_relaxed);
+    ewma_service_seconds_.store(
+        alpha * observed_service_seconds + (1.0 - alpha) * old,
+        std::memory_order_relaxed);
+  }
+  slot_freed_.NotifyOne();
+}
+
+}  // namespace aqp

@@ -1,0 +1,182 @@
+#ifndef AQP_SERVER_ADMISSION_H_
+#define AQP_SERVER_ADMISSION_H_
+
+#include <atomic>
+#include <cstdint>
+
+#include "obs/load_snapshot.h"
+#include "obs/query_profile.h"
+#include "runtime/cancellation.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+
+namespace aqp {
+
+class Counter;  // obs/metrics.h
+class Gauge;    // obs/metrics.h
+
+/// Admission-control policy knobs. The defaults target an interactive AQP
+/// deployment: shed accuracy before latency (the paper's premise is that a
+/// wider-but-honest error bar beats a missed deadline), defer briefly when
+/// slots are busy, reject only when the queue itself is saturated.
+struct AdmissionOptions {
+  /// Concurrent queries allowed in service. 0 lets the server derive it
+  /// from the engine pool (one slot per worker thread).
+  int slots = 0;
+
+  /// Deferred requests allowed to wait for a slot before new arrivals are
+  /// rejected outright.
+  int max_queue = 16;
+
+  /// Demand per slot — (running + queued) / slots, see
+  /// LoadSnapshot::PressurePerSlot — above which admitted queries start
+  /// degrading (fewer bootstrap replicates, coarser CI). 1.0 would degrade
+  /// only once every slot is busy; the default degrades a little earlier so
+  /// the CI coarsens smoothly instead of falling off a cliff.
+  double degrade_pressure = 0.75;
+
+  /// Extra pressure headroom granted per priority level: a request with
+  /// priority p degrades only above `degrade_pressure + p * priority_headroom`.
+  double priority_headroom = 0.25;
+
+  /// Floor on the degraded bootstrap replicate count. Below ~20 replicates
+  /// the CI on the CI is too wide to honor "knowing when you're wrong".
+  int min_replicates = 20;
+
+  /// Fraction of a request's remaining deadline budget that the predicted
+  /// wait + service time must fit inside for admission. Below 1.0 this is a
+  /// safety margin for what the prediction cannot see — scheduler noise,
+  /// and the one-chunk overshoot cooperative deadline enforcement allows —
+  /// so requests admitted at the edge of their budget still land inside it.
+  double feasibility_margin = 0.7;
+
+  /// Absolute floor on the headroom: a request is admitted only when its
+  /// remaining budget exceeds the prediction by at least this much. The
+  /// multiplicative margin vanishes as budgets shrink; this floor keeps a
+  /// fixed cushion against scheduler stalls, which are additive, not
+  /// proportional to the budget.
+  double min_headroom_seconds = 0.01;
+
+  /// Prior for the per-query service-time EWMA before any query completes.
+  double initial_service_seconds = 0.02;
+
+  /// Weight of the newest observation in the service-time EWMA.
+  double service_ewma_alpha = 0.3;
+
+  /// Re-evaluation cadence while a deferred request waits for a slot.
+  double max_wait_slice_seconds = 0.05;
+};
+
+/// Outcome of one admission evaluation.
+struct AdmissionDecision {
+  /// kNone / kDegraded: run now. kDeferred: wait for a slot (Admit() turns
+  /// this into blocking; Decide() just reports it). kRejected: do not run.
+  ShedStage stage = ShedStage::kNone;
+
+  /// Bootstrap replicates the query should run with (the degrade stage's
+  /// output); equal to the configured default when not degraded.
+  int replicates = 0;
+
+  /// Predicted queue wait for a deferred request, from the service-time
+  /// EWMA and the queue ahead of it.
+  double predicted_wait_ms = 0.0;
+
+  /// For rejections: load-derived hint for when to retry. 0 otherwise.
+  double retry_after_ms = 0.0;
+
+  /// True when a rejection was caused by the request's own deadline having
+  /// expired (maps to kDeadlineExceeded at the protocol layer); false for
+  /// load rejections (kResourceExhausted).
+  bool deadline_expired = false;
+};
+
+/// SLO-aware admission control for the serving layer: bounded concurrency,
+/// a bounded wait queue, and the three-stage overload-shedding policy of
+/// the serving design (DESIGN.md §12):
+///
+///   1. degrade — pressure above the (priority-adjusted) threshold shrinks
+///      the bootstrap replicate count toward `min_replicates`: the query
+///      still answers on time, with honestly wider error bars.
+///   2. defer  — no free slot: wait for one, but only while the wait is
+///      predicted to leave enough deadline budget for service.
+///   3. reject — queue full, or the deadline is infeasible under current
+///      load: fail fast with kResourceExhausted and a retry_after_ms hint
+///      instead of burning capacity on a doomed query.
+///
+/// `Decide()` is the pure policy function — no clocks, no locks beyond an
+/// atomic read of the service-time EWMA — so tests can script load states
+/// and assert the stage ordering deterministically. `Admit()`/`Release()`
+/// wrap it with the blocking slot/queue state machine the server uses.
+class AdmissionController {
+ public:
+  /// `default_replicates` is the engine's configured bootstrap K (what an
+  /// undegraded query runs with).
+  AdmissionController(const AdmissionOptions& options, int default_replicates);
+
+  AdmissionController(const AdmissionController&) = delete;
+  AdmissionController& operator=(const AdmissionController&) = delete;
+
+  /// Evaluates the shedding policy against one load snapshot. Pure:
+  /// identical arguments (and EWMA state) give identical decisions.
+  /// `deadline_remaining_seconds` is +infinity for deadline-free requests;
+  /// non-positive values report an already-expired deadline.
+  AdmissionDecision Decide(const LoadSnapshot& load,
+                           double predicted_service_seconds,
+                           double deadline_remaining_seconds,
+                           int priority) const;
+
+  /// Blocking admission: samples load (overriding the sampler's view of
+  /// running/queued with this controller's authoritative counts), applies
+  /// Decide(), and waits in the bounded queue when deferred — re-evaluating
+  /// every `max_wait_slice_seconds` and whenever a slot frees — until the
+  /// request is admitted, rejected, or its `token` trips. On any stage
+  /// other than kRejected the caller holds a slot and MUST call Release()
+  /// after service. Safe from any number of client threads.
+  AdmissionDecision Admit(const LoadSampler& sampler,
+                          double predicted_service_seconds,
+                          const CancellationToken& token, int priority)
+      AQP_EXCLUDES(mu_);
+
+  /// Returns the slot taken by an admitted request and folds its observed
+  /// service time into the EWMA (pass 0 to skip the fold, e.g. for errors).
+  void Release(double observed_service_seconds) AQP_EXCLUDES(mu_);
+
+  /// Current service-time estimate (seconds per query in a slot).
+  double ewma_service_seconds() const {
+    return ewma_service_seconds_.load(std::memory_order_relaxed);
+  }
+
+  int slots() const { return slots_; }
+  int default_replicates() const { return default_replicates_; }
+
+ private:
+  const AdmissionOptions options_;
+  const int slots_;
+  const int default_replicates_;
+
+  mutable Mutex mu_;
+  CondVar slot_freed_;
+  /// Requests currently holding a service slot / waiting for one. These are
+  /// the authoritative values behind the "server.queries.running" and
+  /// "server.admission.queued" gauges LoadSampler reads.
+  int running_ AQP_GUARDED_BY(mu_) = 0;
+  int queued_ AQP_GUARDED_BY(mu_) = 0;
+
+  /// EWMA of observed service seconds. Written under mu_ (Release is the
+  /// only writer); read lock-free by Decide().
+  std::atomic<double> ewma_service_seconds_;
+
+  /// Default-registry instrumentation: terminal admission outcomes (each
+  /// request increments `admitted` xor `rejected`, plus `degraded` and/or
+  /// `deferred` when those stages applied) and the live queue/slot gauges.
+  Counter* admitted_;
+  Counter* degraded_;
+  Counter* deferred_;
+  Counter* rejected_;
+  Gauge* queued_gauge_;
+  Gauge* running_gauge_;
+};
+
+}  // namespace aqp
+
+#endif  // AQP_SERVER_ADMISSION_H_

@@ -1,0 +1,120 @@
+#ifndef AQP_SERVER_LOAD_GEN_H_
+#define AQP_SERVER_LOAD_GEN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "exec/query_spec.h"
+#include "server/server.h"
+
+namespace aqp {
+
+/// Multi-threaded open-loop load harness for AqpServer, plus the percentile
+/// machinery its reports use. This file (and load_gen.cc) is the one
+/// sanctioned raw-clock user in src/server: an open-loop generator *is* a
+/// clock — Poisson arrival pacing and client-observed latency are the
+/// workload definition, not telemetry (see tools/aqp_lint.py).
+
+/// Harness configuration.
+struct LoadGenOptions {
+  /// Concurrent client tasks, each with its own session and RNG stream.
+  /// Arrivals are open-loop per client: each client draws its Poisson
+  /// arrival schedule up front and never reschedules — when the server is
+  /// slow the client falls behind and the lateness is *kept* in the latency
+  /// it reports (coordinated-omission correction), not absorbed.
+  int clients = 8;
+  /// Total offered arrival rate (Poisson, split evenly across clients).
+  double offered_qps = 100.0;
+  double duration_seconds = 5.0;
+
+  /// Per-request SLOs forwarded to the server (see QueryRequest). The
+  /// deadline clock starts at the request's *scheduled* arrival: a client
+  /// running behind schedule submits with the already-elapsed lateness
+  /// deducted from the budget, so backlog burns the SLO the same way server
+  /// queueing does, and requests whose budget is spent before submission
+  /// reach the server as expired and fast-reject. 0 disables deadlines.
+  double deadline_ms = 0.0;
+  double target_ci_width = 0.0;
+  int priority = 0;
+
+  /// Seed for the harness's own randomness (arrival gaps, percentile
+  /// bootstrap). Fixed seed => identical arrival schedules.
+  uint64_t seed = 1;
+
+  /// Poissonized-bootstrap replicates behind the percentile CIs.
+  int percentile_replicates = 200;
+  /// Confidence level of those CIs.
+  double alpha = 0.95;
+};
+
+/// A latency percentile with error bars on the percentile itself. The same
+/// "knowing when you're wrong" discipline the engine applies to query
+/// answers, applied to the benchmark: a p99 from a few thousand samples is
+/// itself an estimate, and reporting it bare invites overfitting to noise.
+struct PercentileEstimate {
+  double value = 0.0;  ///< Point estimate (empirical quantile).
+  double lo = 0.0;     ///< CI lower bound.
+  double hi = 0.0;     ///< CI upper bound.
+};
+
+/// Percentile CI via Poissonized bootstrap over the latency sample: each
+/// replicate reweights every observation with an independent Poisson(1)
+/// count (the paper's §5.1 resampling scheme — one pass, no index
+/// materialization) and reads the weighted quantile; the CI is the
+/// percentile interval of the replicate quantiles at level `alpha`.
+/// `sorted_samples` must be ascending. Deterministic in (samples, quantile,
+/// replicates, alpha, seed). Returns zeros for empty input.
+PercentileEstimate PoissonizedPercentile(
+    const std::vector<double>& sorted_samples, double quantile,
+    int replicates, double alpha, uint64_t seed);
+
+/// Aggregate harness outcome.
+struct LoadReport {
+  /// Requests issued (arrival schedule points that fired within duration).
+  int64_t offered = 0;
+  /// Admitted requests that returned ok() — the sustained-QPS numerator.
+  int64_t completed_ok = 0;
+  /// Terminal shedding stages of ok() completions.
+  int64_t undegraded = 0;
+  int64_t degraded = 0;
+  int64_t deferred = 0;
+  /// Load-shed rejections (kResourceExhausted: queue full or infeasible).
+  int64_t rejected = 0;
+  /// Fast-rejected because the SLO was already spent (or expired while
+  /// queued) before a slot was granted — mostly client backlog under
+  /// overload, since the deadline clock starts at scheduled arrival.
+  int64_t expired = 0;
+  /// Admitted but the SLO expired with not even a minimal answer done.
+  int64_t deadline_exceeded = 0;
+  int64_t cancelled = 0;
+  int64_t errors = 0;
+
+  double offered_qps = 0.0;
+  double duration_seconds = 0.0;
+  /// ok() completions per second of actual harness wall time.
+  double sustained_qps = 0.0;
+
+  /// Latency of *admitted* requests (ran in a slot; ok or
+  /// deadline-exceeded), measured from scheduled arrival to response, in
+  /// milliseconds. Rejected/expired requests never held a slot and are
+  /// counted above instead of polluting the service percentiles.
+  double mean_latency_ms = 0.0;
+  PercentileEstimate p50;
+  PercentileEstimate p95;
+  PercentileEstimate p99;
+
+  /// One JSON object (no trailing newline) with every field above.
+  std::string ToJson() const;
+};
+
+/// Drives `server` with `query` at the configured offered load and reports
+/// sustained throughput, shedding counts, and latency percentiles with CIs.
+/// Clients run on a dedicated bounded pool (one worker per client), separate
+/// from the engine's execution pool.
+LoadReport RunOpenLoopLoad(AqpServer& server, const QuerySpec& query,
+                           const LoadGenOptions& options);
+
+}  // namespace aqp
+
+#endif  // AQP_SERVER_LOAD_GEN_H_

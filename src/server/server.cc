@@ -1,0 +1,163 @@
+#include "server/server.h"
+
+#include <sstream>
+#include <utility>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace aqp {
+namespace {
+
+AdmissionOptions DeriveAdmission(const AdmissionOptions& options,
+                                 const AqpEngine& engine) {
+  AdmissionOptions derived = options;
+  if (derived.slots == 0) {
+    // One service slot per pool worker: each in-service query fans its
+    // replicates out on the shared pool, so admitting more than the pool
+    // can run concurrently only builds invisible queueing inside the
+    // runtime instead of visible queueing in admission control.
+    ThreadPool* pool = engine.runtime().pool();
+    derived.slots = pool != nullptr ? pool->num_threads() : 1;
+  }
+  return derived;
+}
+
+}  // namespace
+
+AqpServer::AqpServer(ServerOptions options)
+    : engine_(options.engine),
+      admission_(DeriveAdmission(options.admission, engine_),
+                 options.engine.bootstrap_replicates) {
+  MetricsRegistry& registry = MetricsRegistry::Default();
+  sessions_opened_ = registry.GetCounter("server.sessions.opened");
+  sessions_closed_ = registry.GetCounter("server.sessions.closed");
+}
+
+SessionId AqpServer::OpenSession() {
+  MutexLock lock(sessions_mu_);
+  SessionId id = next_session_id_++;
+  sessions_.emplace(id, SessionState{});
+  sessions_opened_->Increment();
+  return id;
+}
+
+Status AqpServer::CloseSession(SessionId id) {
+  MutexLock lock(sessions_mu_);
+  auto it = sessions_.find(id);
+  if (it == sessions_.end()) {
+    return Status::NotFound("no open session with this id");
+  }
+  // Disconnect semantics: every in-flight query of the session stops at its
+  // next cooperative checkpoint. The tokens are shared state, so cancelling
+  // here reaches executions already running inside Execute() calls.
+  for (auto& [query_id, token] : it->second.active) token.Cancel();
+  sessions_.erase(it);
+  sessions_closed_->Increment();
+  return Status::OK();
+}
+
+void AqpServer::UnregisterQuery(SessionId session_id, uint64_t query_id) {
+  MutexLock lock(sessions_mu_);
+  auto it = sessions_.find(session_id);
+  if (it != sessions_.end()) it->second.active.erase(query_id);
+}
+
+QueryResponse AqpServer::Execute(SessionId session_id,
+                                 const QueryRequest& request) {
+  const int64_t submit_ns = MonotonicNanos();
+  QueryResponse response;
+
+  // SLO translation: the deadline clock starts *now*, so time spent in the
+  // admission queue spends the same budget execution does.
+  Deadline deadline = request.deadline_ms > 0.0
+                          ? Deadline::After(request.deadline_ms / 1e3)
+                          : Deadline::Infinite();
+  // Always cancellable, even without a deadline: session close must be able
+  // to stop the query, and a cancellable token also keeps the pipeline off
+  // the unboundable exact-fallback path.
+  CancellationToken token = CancellationToken::WithDeadline(deadline);
+
+  uint64_t query_id = 0;
+  {
+    MutexLock lock(sessions_mu_);
+    auto it = sessions_.find(session_id);
+    if (it == sessions_.end()) {
+      response.status =
+          Status::FailedPrecondition("session is not open; call OpenSession()");
+      return response;
+    }
+    SessionState& session = it->second;
+    response.rng_seed = request.rng_seed >= 0 ? request.rng_seed
+                                              : session.next_rng_seed++;
+    query_id = session.next_query_id++;
+    session.active.emplace(query_id, token);
+  }
+
+  // Per-request work estimate for the admission policy: rows the query will
+  // scan over the engine's current observed throughput.
+  const double predicted_rows =
+      static_cast<double>(engine_.PredictedWorkRows(request.query));
+  const int64_t ewma_rows = sampler_.Sample().ewma_rows_per_second;
+  const double rows_per_second =
+      ewma_rows > 0 ? static_cast<double>(ewma_rows)
+                    : engine_.options().rows_per_second;
+  const double predicted_service_seconds = predicted_rows / rows_per_second;
+
+  AdmissionDecision decision = admission_.Admit(
+      sampler_, predicted_service_seconds, token, request.priority);
+  const int64_t admitted_ns = MonotonicNanos();
+  response.queue_wait_ms = static_cast<double>(admitted_ns - submit_ns) / 1e6;
+  response.shed_stage = decision.stage;
+  response.retry_after_ms = decision.retry_after_ms;
+
+  if (decision.stage == ShedStage::kRejected) {
+    UnregisterQuery(session_id, query_id);
+    response.total_ms = response.queue_wait_ms;
+    if (decision.deadline_expired) {
+      response.status = Status::DeadlineExceeded(
+          "deadline expired before the query could be admitted");
+    } else if (token.CancelRequested()) {
+      response.status = Status::Cancelled("session closed while queued");
+    } else {
+      std::ostringstream msg;
+      msg << "server overloaded (queue full or deadline infeasible); retry in "
+          << decision.retry_after_ms << " ms";
+      response.status = Status::ResourceExhausted(msg.str());
+    }
+    return response;
+  }
+
+  AqpEngine::ServeOptions serve;
+  serve.rng_seed = static_cast<uint64_t>(response.rng_seed);
+  serve.token = token;
+  serve.replicates = decision.replicates;
+  Result<ApproxResult> result = engine_.ExecuteServed(request.query, serve);
+
+  const int64_t done_ns = MonotonicNanos();
+  const double service_seconds =
+      static_cast<double>(done_ns - admitted_ns) / 1e9;
+  // Errors skip the EWMA fold: a fast failure is not evidence queries got
+  // cheaper.
+  admission_.Release(result.ok() ? service_seconds : 0.0);
+  UnregisterQuery(session_id, query_id);
+
+  response.service_ms = service_seconds * 1e3;
+  response.total_ms = static_cast<double>(done_ns - submit_ns) / 1e6;
+  if (!result.ok()) {
+    response.status = result.status();
+    return response;
+  }
+  response.result = std::move(*result);
+  response.result.shed_stage = decision.stage;
+  response.result.profile.shed_stage = decision.stage;
+  response.result.profile.admission_wait_ms = response.queue_wait_ms;
+  if (request.target_ci_width > 0.0) {
+    response.ci_target_met =
+        2.0 * response.result.ci.half_width <= request.target_ci_width;
+  }
+  response.status = Status::OK();
+  return response;
+}
+
+}  // namespace aqp

@@ -1,0 +1,105 @@
+#ifndef AQP_SERVER_SERVER_H_
+#define AQP_SERVER_SERVER_H_
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "core/engine.h"
+#include "obs/load_snapshot.h"
+#include "server/admission.h"
+#include "server/session.h"
+#include "util/mutex.h"
+#include "util/status.h"
+#include "util/thread_annotations.h"
+
+namespace aqp {
+
+/// Serving-layer configuration: the engine it wraps plus admission control.
+struct ServerOptions {
+  EngineOptions engine;
+  AdmissionOptions admission;
+};
+
+/// The long-lived AQP service: owns one AqpEngine (and with it the bounded
+/// thread pool and the default MetricsRegistry instrumentation) and serves
+/// concurrent sessions through SLO-aware admission control.
+///
+/// Lifecycle: construct, register tables/samples through `engine()`, then
+/// serve. `Execute()` is synchronous and thread-safe — each client thread
+/// calls it directly; the admission controller bounds how many requests are
+/// in service at once, and every request's SLO rides the engine's existing
+/// Deadline/CancellationToken machinery (the deadline clock starts at
+/// submission, so admission-queue wait counts against it). Catalog mutation
+/// while serving is not supported.
+///
+/// Reproducibility contract: a served result is a pure function of (engine
+/// options, registered data, query, rng_seed). Replaying a request with the
+/// same explicit `rng_seed` returns bit-identical estimates and error bars
+/// at any thread count and under any concurrent load — except the replicate
+/// count, which the degrade stage may shrink under overload; pin it via a
+/// deadline-free request on an idle server when exact replay matters.
+class AqpServer {
+ public:
+  explicit AqpServer(ServerOptions options = {});
+
+  AqpServer(const AqpServer&) = delete;
+  AqpServer& operator=(const AqpServer&) = delete;
+
+  /// The wrapped engine, for table/sample registration before serving.
+  AqpEngine& engine() { return engine_; }
+  const AqpEngine& engine() const { return engine_; }
+
+  /// Opens a client session and returns its id (never 0).
+  SessionId OpenSession() AQP_EXCLUDES(sessions_mu_);
+
+  /// Closes a session: new Execute() calls on it fail, and every query the
+  /// session still has in flight is cancelled (disconnect semantics — the
+  /// engine's cooperative checkpoints stop it at the next chunk boundary).
+  /// kNotFound for ids never opened or already closed.
+  [[nodiscard]] Status CloseSession(SessionId id) AQP_EXCLUDES(sessions_mu_);
+
+  /// Serves one request synchronously: admission control (degrade / defer /
+  /// reject under load), then the engine's served pipeline under the
+  /// request's deadline token. Never blocks past the request's deadline.
+  /// The response's `status` carries protocol-level failures (see
+  /// QueryResponse); this method itself does not fail.
+  QueryResponse Execute(SessionId session_id, const QueryRequest& request)
+      AQP_EXCLUDES(sessions_mu_);
+
+  /// One consistent sample of the server's load gauges (what admission
+  /// control itself reads).
+  LoadSnapshot Load() const { return sampler_.Sample(); }
+
+  const AdmissionController& admission() const { return admission_; }
+
+ private:
+  struct SessionState {
+    /// Next auto-assigned RNG stream id (requests with rng_seed < 0).
+    /// Session-local assignment keeps replay simple: a session's n-th
+    /// auto-seeded request always uses stream n-1.
+    int64_t next_rng_seed = 0;
+    uint64_t next_query_id = 0;
+    /// Tokens of this session's in-flight queries, cancelled on close.
+    std::unordered_map<uint64_t, CancellationToken> active;
+  };
+
+  /// Removes a finished query's token; no-op if the session is gone.
+  void UnregisterQuery(SessionId session_id, uint64_t query_id)
+      AQP_EXCLUDES(sessions_mu_);
+
+  AqpEngine engine_;
+  AdmissionController admission_;
+  LoadSampler sampler_;
+
+  mutable Mutex sessions_mu_;
+  std::unordered_map<SessionId, SessionState> sessions_
+      AQP_GUARDED_BY(sessions_mu_);
+  SessionId next_session_id_ AQP_GUARDED_BY(sessions_mu_) = 1;
+
+  Counter* sessions_opened_;
+  Counter* sessions_closed_;
+};
+
+}  // namespace aqp
+
+#endif  // AQP_SERVER_SERVER_H_

@@ -1,0 +1,92 @@
+#ifndef AQP_SERVER_SESSION_H_
+#define AQP_SERVER_SESSION_H_
+
+#include <cstdint>
+
+#include "core/engine.h"
+#include "exec/query_spec.h"
+#include "obs/query_profile.h"
+#include "util/status.h"
+
+namespace aqp {
+
+/// Protocol types for the serving layer: what a connected client sends and
+/// what it gets back. Kept transport-free — an RPC layer would marshal these
+/// structs; in-process clients (tests, the load harness) pass them directly.
+
+/// Identifies one client connection. 0 is never a valid session.
+using SessionId = uint64_t;
+
+/// One query submission, carrying the client's service-level objectives.
+/// The server translates the SLOs into the engine's existing enforcement
+/// machinery on submission: `deadline_ms` becomes a steady-clock Deadline
+/// inside a CancellationToken (so queue wait counts against the budget —
+/// the clock starts at arrival, not at admission), and the admission
+/// controller may shrink the bootstrap replicate count before execution
+/// (the degrade shedding stage).
+struct QueryRequest {
+  QuerySpec query;
+
+  /// Wall-clock response-time SLO in milliseconds, measured from submission
+  /// (admission wait included). 0 means no deadline: the request can still
+  /// be deferred or load-shed, but never expires.
+  double deadline_ms = 0.0;
+
+  /// Target total CI width (2 * half-width) the client considers useful.
+  /// 0 means "whatever the sample supports". The server does not iterate to
+  /// hit the target — it reports honestly: `QueryResponse::ci_target_met`
+  /// says whether the returned error bars are inside it, so a client knows
+  /// *when the answer is too wrong to use* without inspecting the interval.
+  double target_ci_width = 0.0;
+
+  /// Relative importance under overload. Higher priorities survive longer
+  /// before degrading: the admission controller scales its degrade
+  /// threshold by priority (see AdmissionOptions::priority_headroom).
+  int priority = 0;
+
+  /// Explicit RNG stream id for this request, or negative to let the
+  /// session assign the next one. Two submissions with the same non-negative
+  /// id (same engine seed, same data) return bit-identical results at any
+  /// thread count and under any concurrent load — the reproducibility hook
+  /// the serving tests pin.
+  int64_t rng_seed = -1;
+};
+
+/// The server's reply envelope. `status` is the protocol-level verdict:
+/// ok(), kResourceExhausted (load-shed reject; `retry_after_ms` says when to
+/// come back), kDeadlineExceeded (SLO expired before or during execution),
+/// kCancelled (session closed mid-flight), or an engine error. `result` is
+/// meaningful only when `status.ok()`.
+struct QueryResponse {
+  Status status;
+  ApproxResult result;
+
+  /// Which overload-shedding stage the request went through (also mirrored
+  /// into result.shed_stage / result.profile.shed_stage for admitted
+  /// queries). kDeferred means the request waited in the admission queue;
+  /// kDegraded means it ran with fewer bootstrap replicates; kRejected
+  /// means it never ran.
+  ShedStage shed_stage = ShedStage::kNone;
+
+  /// True when no `target_ci_width` was set, or the returned CI fits it.
+  bool ci_target_met = true;
+
+  /// Time the request spent queued in admission control (part of total).
+  double queue_wait_ms = 0.0;
+  /// Time the engine spent executing (0 for rejected requests).
+  double service_ms = 0.0;
+  /// Submission-to-response wall time as the client experienced it.
+  double total_ms = 0.0;
+
+  /// For kResourceExhausted rejections: the server's load-derived hint for
+  /// when capacity should free up. 0 otherwise.
+  double retry_after_ms = 0.0;
+
+  /// RNG stream id the request actually used (the explicit one, or the
+  /// session-assigned one) — replaying it reproduces `result` bit-for-bit.
+  int64_t rng_seed = -1;
+};
+
+}  // namespace aqp
+
+#endif  // AQP_SERVER_SESSION_H_

@@ -1,7 +1,9 @@
 #ifndef AQP_UTIL_MUTEX_H_
 #define AQP_UTIL_MUTEX_H_
 
+#include <chrono>
 #include <condition_variable>
+#include <cstdint>
 #include <mutex>
 
 #include "util/thread_annotations.h"
@@ -65,6 +67,22 @@ class CondVar {
     std::unique_lock<std::mutex> lock(mu.mu_, std::adopt_lock);
     cv_.wait(lock);
     lock.release();  // The caller's scope still owns the re-acquired lock.
+  }
+
+  /// As Wait, but returns (false) once `nanos` have elapsed without a
+  /// notification; still subject to spurious wakeups (true), so call in a
+  /// condition loop that rechecks both the predicate and its own clock.
+  /// Timed blocking is timing-as-semantics (like the Deadline machinery in
+  /// runtime/cancellation.h), which is why this wrapper — not callers — owns
+  /// the raw std::chrono use; the serving layer's bounded admission queue
+  /// and the load generator's arrival pacing are built on it.
+  bool WaitForNanos(Mutex& mu, int64_t nanos) AQP_REQUIRES(mu) {
+    std::unique_lock<std::mutex> lock(mu.mu_, std::adopt_lock);
+    bool notified =
+        cv_.wait_for(lock, std::chrono::nanoseconds(nanos < 0 ? 0 : nanos)) ==
+        std::cv_status::no_timeout;
+    lock.release();  // The caller's scope still owns the re-acquired lock.
+    return notified;
   }
 
   void NotifyOne() { cv_.notify_one(); }

@@ -20,6 +20,11 @@ enum class StatusCode {
   kFailedPrecondition,
   kDeadlineExceeded,
   kCancelled,
+  /// The system is shedding load: a serving-layer admission queue was full
+  /// or the request was infeasible under current load. Distinct from
+  /// kCancelled/kDeadlineExceeded — the query never started, and the caller
+  /// should retry later (responses carry a retry_after_ms hint).
+  kResourceExhausted,
 };
 
 /// Name of `code`, e.g. "InvalidArgument"; every code round-trips through
@@ -71,6 +76,9 @@ class [[nodiscard]] Status {
   }
   static Status Cancelled(std::string msg) {
     return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
   }
 
   [[nodiscard]] bool ok() const { return code_ == StatusCode::kOk; }

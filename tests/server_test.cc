@@ -1,0 +1,569 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <limits>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "../bench/bench_util.h"
+#include "core/engine.h"
+#include "obs/load_snapshot.h"
+#include "obs/metrics.h"
+#include "runtime/thread_pool.h"
+#include "server/admission.h"
+#include "server/load_gen.h"
+#include "server/server.h"
+#include "server/session.h"
+#include "util/random.h"
+
+namespace aqp {
+namespace {
+
+std::shared_ptr<const Table> MakeGaussianTable(int64_t rows, uint64_t seed) {
+  Rng rng(seed);
+  auto t = std::make_shared<Table>("g");
+  Column v = Column::MakeDouble("v");
+  for (int64_t i = 0; i < rows; ++i) {
+    v.AppendDouble(rng.NextGaussian(100.0, 15.0));
+  }
+  EXPECT_TRUE(t->AddColumn(std::move(v)).ok());
+  return t;
+}
+
+QuerySpec MakeQuery(AggregateKind kind) {
+  QuerySpec q;
+  q.id = "server_test";
+  q.table = "g";
+  q.aggregate.kind = kind;
+  q.aggregate.input = ColumnRef("v");
+  return q;
+}
+
+EngineOptions FastEngineOptions(int num_threads) {
+  EngineOptions options;
+  options.bootstrap_replicates = 40;
+  options.diagnostic.num_subsamples = 50;
+  options.default_sample_rows = 5000;
+  options.num_threads = num_threads;
+  options.seed = 42;
+  return options;
+}
+
+// ---------------------------------------------------------------------------
+// Admission policy (pure Decide(), scripted load snapshots).
+// ---------------------------------------------------------------------------
+
+AdmissionOptions PolicyOptions() {
+  AdmissionOptions options;
+  options.slots = 4;
+  options.max_queue = 8;
+  options.degrade_pressure = 0.75;
+  options.min_replicates = 20;
+  options.initial_service_seconds = 0.01;
+  return options;
+}
+
+constexpr double kNoDeadline = std::numeric_limits<double>::infinity();
+constexpr int kDefaultReplicates = 100;
+
+TEST(AdmissionPolicyTest, IdleLoadAdmitsUndegraded) {
+  AdmissionController controller(PolicyOptions(), kDefaultReplicates);
+  LoadSnapshot idle;
+  AdmissionDecision d = controller.Decide(idle, 0.01, kNoDeadline, 0);
+  EXPECT_EQ(d.stage, ShedStage::kNone);
+  EXPECT_EQ(d.replicates, kDefaultReplicates);
+  EXPECT_EQ(d.predicted_wait_ms, 0.0);
+}
+
+TEST(AdmissionPolicyTest, PressureAboveThresholdDegrades) {
+  AdmissionController controller(PolicyOptions(), kDefaultReplicates);
+  LoadSnapshot load;
+  load.running = 3;           // slot still free (slots = 4)
+  load.admission_queued = 3;  // pressure = 6/4 = 1.5 > 0.75
+  AdmissionDecision d = controller.Decide(load, 0.01, kNoDeadline, 0);
+  EXPECT_EQ(d.stage, ShedStage::kDegraded);
+  EXPECT_LT(d.replicates, kDefaultReplicates);
+  EXPECT_GE(d.replicates, PolicyOptions().min_replicates);
+  // replicates = default * threshold / pressure = 100 * 0.75 / 1.5 = 50.
+  EXPECT_EQ(d.replicates, 50);
+}
+
+TEST(AdmissionPolicyTest, DegradationFloorsAtMinReplicates) {
+  AdmissionController controller(PolicyOptions(), kDefaultReplicates);
+  LoadSnapshot load;
+  load.running = 3;
+  load.admission_queued = 400;  // extreme pressure
+  AdmissionDecision d = controller.Decide(load, 0.001, kNoDeadline, 0);
+  EXPECT_EQ(d.stage, ShedStage::kDegraded);
+  EXPECT_EQ(d.replicates, PolicyOptions().min_replicates);
+}
+
+TEST(AdmissionPolicyTest, PriorityRaisesDegradeThreshold) {
+  AdmissionController controller(PolicyOptions(), kDefaultReplicates);
+  LoadSnapshot load;
+  load.running = 3;
+  load.admission_queued = 1;  // pressure = 1.0
+  // priority 0: pressure 1.0 > threshold 0.75 -> degraded.
+  EXPECT_EQ(controller.Decide(load, 0.01, kNoDeadline, 0).stage,
+            ShedStage::kDegraded);
+  // priority 2: threshold 0.75 + 2 * 0.25 = 1.25 > 1.0 -> untouched.
+  EXPECT_EQ(controller.Decide(load, 0.01, kNoDeadline, 2).stage,
+            ShedStage::kNone);
+}
+
+TEST(AdmissionPolicyTest, BusySlotsDefer) {
+  AdmissionController controller(PolicyOptions(), kDefaultReplicates);
+  LoadSnapshot load;
+  load.running = 4;  // every slot busy
+  AdmissionDecision d = controller.Decide(load, 0.01, kNoDeadline, 0);
+  EXPECT_EQ(d.stage, ShedStage::kDeferred);
+  EXPECT_GT(d.predicted_wait_ms, 0.0);
+}
+
+TEST(AdmissionPolicyTest, FullQueueRejectsWithRetryHint) {
+  AdmissionController controller(PolicyOptions(), kDefaultReplicates);
+  LoadSnapshot load;
+  load.running = 4;
+  load.admission_queued = 8;  // == max_queue
+  AdmissionDecision d = controller.Decide(load, 0.01, kNoDeadline, 0);
+  EXPECT_EQ(d.stage, ShedStage::kRejected);
+  EXPECT_FALSE(d.deadline_expired);
+  EXPECT_GT(d.retry_after_ms, 0.0);
+}
+
+TEST(AdmissionPolicyTest, InfeasibleDeadlineFastRejects) {
+  AdmissionController controller(PolicyOptions(), kDefaultReplicates);
+  LoadSnapshot load;
+  load.running = 4;
+  load.admission_queued = 4;
+  // Predicted wait = 5 * 0.01 / 4 = 12.5 ms; a 10 ms budget cannot fit
+  // wait + service, so the request must reject instead of queueing.
+  AdmissionDecision d = controller.Decide(load, 0.01, 0.010, 0);
+  EXPECT_EQ(d.stage, ShedStage::kRejected);
+  EXPECT_FALSE(d.deadline_expired);
+}
+
+TEST(AdmissionPolicyTest, ExpiredDeadlineRejectsAsExpired) {
+  AdmissionController controller(PolicyOptions(), kDefaultReplicates);
+  LoadSnapshot idle;
+  AdmissionDecision d = controller.Decide(idle, 0.01, -1.0, 0);
+  EXPECT_EQ(d.stage, ShedStage::kRejected);
+  EXPECT_TRUE(d.deadline_expired);
+}
+
+TEST(AdmissionPolicyTest, StageOrderingUnderRisingLoad) {
+  // The shedding stages engage in order as load rises: none -> degraded
+  // (free slot, high pressure) -> deferred (no slot, queue room) ->
+  // rejected (queue full).
+  AdmissionController controller(PolicyOptions(), kDefaultReplicates);
+  LoadSnapshot none;
+  none.running = 1;
+  LoadSnapshot degraded;
+  degraded.running = 3;
+  degraded.admission_queued = 2;
+  LoadSnapshot deferred;
+  deferred.running = 4;
+  deferred.admission_queued = 2;
+  LoadSnapshot rejected;
+  rejected.running = 4;
+  rejected.admission_queued = 8;
+  EXPECT_EQ(controller.Decide(none, 0.01, kNoDeadline, 0).stage,
+            ShedStage::kNone);
+  EXPECT_EQ(controller.Decide(degraded, 0.01, kNoDeadline, 0).stage,
+            ShedStage::kDegraded);
+  EXPECT_EQ(controller.Decide(deferred, 0.01, kNoDeadline, 0).stage,
+            ShedStage::kDeferred);
+  EXPECT_EQ(controller.Decide(rejected, 0.01, kNoDeadline, 0).stage,
+            ShedStage::kRejected);
+}
+
+// ---------------------------------------------------------------------------
+// Admit/Release slot state machine (single-threaded, no blocking paths).
+// ---------------------------------------------------------------------------
+
+TEST(AdmissionControllerTest, AdmitTakesSlotAndReleaseReturnsIt) {
+  AdmissionOptions options = PolicyOptions();
+  options.slots = 1;
+  AdmissionController controller(options, kDefaultReplicates);
+  LoadSampler sampler;
+  CancellationToken token = CancellationToken::Cancellable();
+
+  AdmissionDecision first = controller.Admit(sampler, 0.001, token, 0);
+  EXPECT_EQ(first.stage, ShedStage::kNone);
+  // Slot held: a second request with a tight deadline is infeasible (it
+  // would have to outwait the EWMA service time) and must reject instead
+  // of blocking this thread.
+  CancellationToken tight =
+      CancellationToken::WithDeadline(Deadline::After(0.001));
+  AdmissionDecision second = controller.Admit(sampler, 0.001, tight, 0);
+  EXPECT_EQ(second.stage, ShedStage::kRejected);
+
+  controller.Release(0.005);
+  AdmissionDecision third = controller.Admit(sampler, 0.001, token, 0);
+  EXPECT_NE(third.stage, ShedStage::kRejected);
+  controller.Release(0.005);
+}
+
+TEST(AdmissionControllerTest, CancelledTokenRejectsImmediately) {
+  AdmissionController controller(PolicyOptions(), kDefaultReplicates);
+  LoadSampler sampler;
+  CancellationToken token = CancellationToken::Cancellable();
+  token.Cancel();
+  AdmissionDecision d = controller.Admit(sampler, 0.001, token, 0);
+  EXPECT_EQ(d.stage, ShedStage::kRejected);
+  EXPECT_FALSE(d.deadline_expired);
+}
+
+TEST(AdmissionControllerTest, ReleaseFoldsServiceEwma) {
+  AdmissionOptions options = PolicyOptions();
+  options.initial_service_seconds = 0.01;
+  options.service_ewma_alpha = 0.5;
+  AdmissionController controller(options, kDefaultReplicates);
+  LoadSampler sampler;
+  CancellationToken token = CancellationToken::Cancellable();
+  (void)controller.Admit(sampler, 0.001, token, 0);
+  controller.Release(0.03);
+  EXPECT_DOUBLE_EQ(controller.ewma_service_seconds(), 0.5 * 0.03 + 0.5 * 0.01);
+  // Error completions (0) must not drag the estimate toward zero.
+  (void)controller.Admit(sampler, 0.001, token, 0);
+  controller.Release(0.0);
+  EXPECT_DOUBLE_EQ(controller.ewma_service_seconds(), 0.02);
+}
+
+// ---------------------------------------------------------------------------
+// LoadSnapshot / LoadSampler.
+// ---------------------------------------------------------------------------
+
+TEST(LoadSnapshotTest, SamplerReadsAllFourGauges) {
+  MetricsRegistry& registry = MetricsRegistry::Default();
+  registry.GetGauge("runtime.thread_pool.queue_depth")->Set(3);
+  registry.GetGauge("server.queries.running")->Set(2);
+  registry.GetGauge("server.admission.queued")->Set(5);
+  registry.GetGauge("engine.throughput.ewma_rows_per_second")->Set(1000000);
+  LoadSampler sampler;
+  LoadSnapshot snapshot = sampler.Sample();
+  EXPECT_EQ(snapshot.pool_queue_depth, 3);
+  EXPECT_EQ(snapshot.running, 2);
+  EXPECT_EQ(snapshot.admission_queued, 5);
+  EXPECT_EQ(snapshot.ewma_rows_per_second, 1000000);
+  EXPECT_DOUBLE_EQ(snapshot.PressurePerSlot(4), 7.0 / 4.0);
+  EXPECT_NE(snapshot.ToJson().find("\"admission_queued\": 5"),
+            std::string::npos);
+  // Leave the serving gauges clean for the server tests below.
+  registry.GetGauge("runtime.thread_pool.queue_depth")->Set(0);
+  registry.GetGauge("server.queries.running")->Set(0);
+  registry.GetGauge("server.admission.queued")->Set(0);
+}
+
+// ---------------------------------------------------------------------------
+// Server: sessions, SLOs, disconnect cancellation.
+// ---------------------------------------------------------------------------
+
+ServerOptions FastServerOptions(int num_threads) {
+  ServerOptions options;
+  options.engine = FastEngineOptions(num_threads);
+  return options;
+}
+
+void RegisterData(AqpServer& server, int64_t rows = 50000) {
+  ASSERT_TRUE(server.engine().RegisterTable(MakeGaussianTable(rows, 1)).ok());
+  ASSERT_TRUE(
+      server.engine()
+          .CreateSample("g", server.engine().options().default_sample_rows)
+          .ok());
+}
+
+TEST(ServerTest, ServesOnOpenSessionsOnly) {
+  AqpServer server(FastServerOptions(1));
+  RegisterData(server);
+  QueryRequest request;
+  request.query = MakeQuery(AggregateKind::kAvg);
+
+  QueryResponse unopened = server.Execute(12345, request);
+  EXPECT_EQ(unopened.status.code(), StatusCode::kFailedPrecondition);
+
+  SessionId session = server.OpenSession();
+  QueryResponse served = server.Execute(session, request);
+  ASSERT_TRUE(served.status.ok()) << served.status.ToString();
+  EXPECT_EQ(served.shed_stage, ShedStage::kNone);
+  EXPECT_NEAR(served.result.estimate, 100.0, 2.0);
+  EXPECT_GE(served.total_ms, served.service_ms);
+
+  EXPECT_TRUE(server.CloseSession(session).ok());
+  EXPECT_EQ(server.CloseSession(session).code(), StatusCode::kNotFound);
+  QueryResponse closed = server.Execute(session, request);
+  EXPECT_EQ(closed.status.code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(ServerTest, AutoAssignedRngSeedsAdvancePerSession) {
+  AqpServer server(FastServerOptions(1));
+  RegisterData(server);
+  SessionId session = server.OpenSession();
+  QueryRequest request;
+  request.query = MakeQuery(AggregateKind::kAvg);
+  QueryResponse first = server.Execute(session, request);
+  QueryResponse second = server.Execute(session, request);
+  EXPECT_EQ(first.rng_seed, 0);
+  EXPECT_EQ(second.rng_seed, 1);
+  request.rng_seed = 7;
+  EXPECT_EQ(server.Execute(session, request).rng_seed, 7);
+}
+
+TEST(ServerTest, ExpiredDeadlineIsRejectedBeforeExecution) {
+  AqpServer server(FastServerOptions(1));
+  RegisterData(server);
+  SessionId session = server.OpenSession();
+  QueryRequest request;
+  request.query = MakeQuery(AggregateKind::kAvg);
+  request.deadline_ms = 1e-6;  // far below the admission headroom floor
+  QueryResponse response = server.Execute(session, request);
+  EXPECT_EQ(response.shed_stage, ShedStage::kRejected);
+  EXPECT_FALSE(response.status.ok());
+  EXPECT_EQ(response.service_ms, 0.0);
+}
+
+TEST(ServerTest, CiTargetReportedHonestly) {
+  AqpServer server(FastServerOptions(1));
+  RegisterData(server);
+  SessionId session = server.OpenSession();
+  QueryRequest request;
+  request.query = MakeQuery(AggregateKind::kAvg);
+  request.target_ci_width = 1e9;  // trivially met
+  QueryResponse wide = server.Execute(session, request);
+  ASSERT_TRUE(wide.status.ok());
+  EXPECT_TRUE(wide.ci_target_met);
+  request.target_ci_width = 1e-12;  // unmeetable at this sample size
+  QueryResponse narrow = server.Execute(session, request);
+  ASSERT_TRUE(narrow.status.ok());
+  EXPECT_FALSE(narrow.ci_target_met);
+  EXPECT_GT(narrow.result.ci.half_width, 0.0);
+}
+
+TEST(ServerTest, CloseSessionCancelsInFlightQueries) {
+  // A session disconnect must stop its running queries at the next
+  // cooperative checkpoint instead of letting them run to completion.
+  ServerOptions options;
+  options.engine.seed = 42;
+  options.engine.num_threads = 1;
+  options.engine.bootstrap_replicates = 5000;  // ~seconds if uncancelled
+  options.engine.run_diagnostic = false;
+  options.engine.default_sample_rows = 50000;
+  AqpServer server(options);
+  ASSERT_TRUE(server.engine().RegisterTable(MakeGaussianTable(100000, 1)).ok());
+  ASSERT_TRUE(server.engine().CreateSample("g", 50000).ok());
+
+  SessionId session = server.OpenSession();
+  QueryRequest request;
+  request.query = MakeQuery(AggregateKind::kPercentile);
+  request.query.aggregate.percentile = 0.5;
+
+  QueryResponse response;
+  ThreadPool client(1);
+  {
+    TaskGroup group(&client);
+    group.Run([&server, session, &request, &response] {
+      response = server.Execute(session, request);
+    });
+    // Wait (bounded) until the query holds its slot, then disconnect.
+    Mutex mu;
+    CondVar cv;
+    for (int i = 0; i < 10000 && server.Load().running == 0; ++i) {
+      MutexLock lock(mu);
+      cv.WaitForNanos(mu, 1000000);  // 1 ms poll
+    }
+    (void)server.CloseSession(session);
+    group.Wait();
+  }
+  // The query either observed the cancel as an error or returned the
+  // partial work done by then; both are valid cooperative outcomes. What is
+  // never valid is leaking admission state.
+  LoadSnapshot after = server.Load();
+  EXPECT_EQ(after.running, 0);
+  EXPECT_EQ(after.admission_queued, 0);
+  if (!response.status.ok()) {
+    EXPECT_EQ(response.status.code(), StatusCode::kCancelled);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Served-vs-direct bit identity at 1/4/8 worker threads.
+// ---------------------------------------------------------------------------
+
+TEST(ServerTest, ServedResultsBitIdenticalToDirectAtAnyThreadCount) {
+  constexpr int kRequests = 6;
+  QuerySpec query = MakeQuery(AggregateKind::kPercentile);
+  query.aggregate.percentile = 0.5;  // bootstrap path: RNG-dependent CI
+
+  // Direct reference from a single-threaded engine: a served result is a
+  // pure function of (options, data, query, rng_seed), so this one engine
+  // is the reference for every serving configuration below.
+  std::vector<ApproxResult> reference;
+  {
+    AqpEngine engine(FastEngineOptions(1));
+    ASSERT_TRUE(engine.RegisterTable(MakeGaussianTable(50000, 1)).ok());
+    ASSERT_TRUE(engine.CreateSample("g", 5000).ok());
+    for (int i = 0; i < kRequests; ++i) {
+      AqpEngine::ServeOptions serve;
+      serve.rng_seed = static_cast<uint64_t>(i);
+      // Same conditions as the server, which always passes a cancellable
+      // token (and thereby keeps the pipeline off the exact-fallback path).
+      serve.token = CancellationToken::Cancellable();
+      Result<ApproxResult> r = engine.ExecuteServed(query, serve);
+      ASSERT_TRUE(r.ok()) << r.status().ToString();
+      reference.push_back(*r);
+    }
+  }
+
+  for (int threads : {1, 4, 8}) {
+    ServerOptions options = FastServerOptions(threads);
+    // Pin the reproducibility knobs: no degradation under the concurrent
+    // submission burst below, and no deadlines.
+    options.admission.degrade_pressure = 1e9;
+    options.admission.max_queue = 64;
+    AqpServer server(options);
+    RegisterData(server);
+
+    std::vector<QueryResponse> responses(kRequests);
+    {
+      ThreadPool clients(kRequests);
+      TaskGroup group(&clients);
+      for (int i = 0; i < kRequests; ++i) {
+        QueryResponse* slot = &responses[static_cast<size_t>(i)];
+        SessionId session = server.OpenSession();
+        group.Run([&server, session, &query, i, slot] {
+          QueryRequest request;
+          request.query = query;
+          request.rng_seed = i;
+          *slot = server.Execute(session, request);
+        });
+      }
+      group.Wait();
+    }
+
+    for (int i = 0; i < kRequests; ++i) {
+      const QueryResponse& response = responses[static_cast<size_t>(i)];
+      ASSERT_TRUE(response.status.ok())
+          << "threads=" << threads << " i=" << i << ": "
+          << response.status.ToString();
+      const ApproxResult& served = response.result;
+      const ApproxResult& direct = reference[static_cast<size_t>(i)];
+      // Bit identity, not tolerance: same stream, same replicates, same
+      // reduction order regardless of pool width or concurrent load.
+      EXPECT_EQ(served.estimate, direct.estimate)
+          << "threads=" << threads << " i=" << i;
+      EXPECT_EQ(served.ci.center, direct.ci.center)
+          << "threads=" << threads << " i=" << i;
+      EXPECT_EQ(served.ci.half_width, direct.ci.half_width)
+          << "threads=" << threads << " i=" << i;
+      EXPECT_EQ(served.replicates_used, direct.replicates_used)
+          << "threads=" << threads << " i=" << i;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Load-harness percentile machinery.
+// ---------------------------------------------------------------------------
+
+TEST(LoadGenTest, PoissonizedPercentileIsDeterministicAndOrdered) {
+  std::vector<double> sorted;
+  Rng rng(3);
+  for (int i = 0; i < 500; ++i) sorted.push_back(rng.NextDouble() * 100.0);
+  std::sort(sorted.begin(), sorted.end());
+
+  PercentileEstimate a = PoissonizedPercentile(sorted, 0.99, 200, 0.95, 7);
+  PercentileEstimate b = PoissonizedPercentile(sorted, 0.99, 200, 0.95, 7);
+  EXPECT_EQ(a.value, b.value);
+  EXPECT_EQ(a.lo, b.lo);
+  EXPECT_EQ(a.hi, b.hi);
+  EXPECT_LE(a.lo, a.value);
+  EXPECT_LE(a.value, a.hi);
+  EXPECT_LT(a.lo, a.hi);  // a p99 from 500 samples has real uncertainty
+
+  PercentileEstimate p50 = PoissonizedPercentile(sorted, 0.5, 200, 0.95, 7);
+  EXPECT_LT(p50.value, a.value);
+  EXPECT_EQ(PoissonizedPercentile({}, 0.5, 200, 0.95, 7).value, 0.0);
+}
+
+TEST(LoadGenTest, SmallOpenLoopRunCompletes) {
+  AqpServer server(FastServerOptions(1));
+  RegisterData(server);
+  LoadGenOptions load;
+  load.clients = 2;
+  load.offered_qps = 50.0;
+  load.duration_seconds = 0.3;
+  load.deadline_ms = 250.0;
+  load.seed = 5;
+  load.percentile_replicates = 50;
+  LoadReport report =
+      RunOpenLoopLoad(server, MakeQuery(AggregateKind::kAvg), load);
+  EXPECT_GT(report.offered, 0);
+  EXPECT_GT(report.completed_ok, 0);
+  EXPECT_EQ(report.errors, 0);
+  EXPECT_GT(report.sustained_qps, 0.0);
+  EXPECT_NE(report.ToJson().find("\"p99_ms\""), std::string::npos);
+  // All admission state returned.
+  LoadSnapshot after = server.Load();
+  EXPECT_EQ(after.running, 0);
+  EXPECT_EQ(after.admission_queued, 0);
+}
+
+// ---------------------------------------------------------------------------
+// Bench provenance: (name, git_sha) dedup in the e2e merge.
+// ---------------------------------------------------------------------------
+
+TEST(BenchUtilTest, E2eMergeDedupsByNameAndSha) {
+  namespace fs = std::filesystem;
+  const std::string path =
+      (fs::temp_directory_path() / "aqp_server_test_e2e.json").string();
+  std::remove(path.c_str());
+
+  bench::E2eBenchRecord record;
+  record.name = "server_load/x2.0";
+  record.rows_per_second = 111.5;
+  record.wall_ms = 5.0;
+  record.threads = 1;
+  record.git_sha = "aaaa111";
+  bench::MergeE2eJson(path, {record});
+  // Re-run at the same commit: replaces in place.
+  record.rows_per_second = 222.5;
+  bench::MergeE2eJson(path, {record});
+  // Same bench at a new commit: appends history.
+  record.git_sha = "bbbb222";
+  record.rows_per_second = 333.5;
+  bench::MergeE2eJson(path, {record});
+
+  std::ifstream in(path);
+  std::string text((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  EXPECT_EQ(text.find("111.5"), std::string::npos);  // replaced in place
+  EXPECT_NE(text.find("222.5"), std::string::npos);
+  EXPECT_NE(text.find("333.5"), std::string::npos);
+  int entries = 0;
+  for (size_t pos = 0;
+       (pos = text.find("server_load/x2.0", pos)) != std::string::npos;
+       ++entries) {
+    pos += 1;
+  }
+  EXPECT_EQ(entries, 2);  // one row per (name, sha)
+  std::remove(path.c_str());
+}
+
+TEST(BenchUtilTest, GitShaPrefersEnvironment) {
+  const char* saved = std::getenv("AQP_GIT_SHA");
+  const std::string restore = saved != nullptr ? saved : "";
+  ::setenv("AQP_GIT_SHA", "cafe123", 1);
+  EXPECT_EQ(bench::BenchGitSha(), "cafe123");
+  ::unsetenv("AQP_GIT_SHA");
+  // Without the env var (and without the bench-only AQP_BUILD_GIT_SHA
+  // compile definition — see bench/CMakeLists.txt) the sha is "unknown".
+  EXPECT_EQ(bench::BenchGitSha(), "unknown");
+  if (saved != nullptr) ::setenv("AQP_GIT_SHA", restore.c_str(), 1);
+}
+
+}  // namespace
+}  // namespace aqp

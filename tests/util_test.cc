@@ -71,6 +71,7 @@ TEST(StatusTest, CodeNameRoundTripsThroughToString) {
       StatusCode::kOutOfRange,   StatusCode::kUnimplemented,
       StatusCode::kInternal,     StatusCode::kFailedPrecondition,
       StatusCode::kDeadlineExceeded, StatusCode::kCancelled,
+      StatusCode::kResourceExhausted,
   };
   for (StatusCode code : codes) {
     Status s(code, "m");
@@ -85,6 +86,11 @@ TEST(StatusTest, CodeNameRoundTripsThroughToString) {
   EXPECT_STREQ(StatusCodeName(StatusCode::kDeadlineExceeded),
                "DeadlineExceeded");
   EXPECT_STREQ(StatusCodeName(StatusCode::kCancelled), "Cancelled");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kResourceExhausted),
+               "ResourceExhausted");
+  // The shedding code has a first-class factory like every other code.
+  EXPECT_EQ(Status::ResourceExhausted("busy").ToString(),
+            "ResourceExhausted: busy");
 }
 
 TEST(StatusTest, CopyAndMoveSemantics) {

@@ -17,9 +17,12 @@ The paper's guarantees lean on repo-wide conventions, not just local code:
                 obs/trace.h (MonotonicNanos/MonotonicSeconds, Tracer spans),
                 so profiles stay comparable and the tracing-off path provably
                 reads no clocks. Raw std::chrono / clock_gettime in src/ is
-                allowed only in src/obs/ itself and in
-                src/runtime/cancellation.h (deadline *enforcement* is
-                timing-as-semantics, not telemetry).
+                allowed only in src/obs/ itself, in
+                src/runtime/cancellation.h and src/util/mutex.h (deadline
+                enforcement and timed condvar waits are timing-as-semantics,
+                not telemetry), and in src/server/load_gen.* (an open-loop
+                load generator *is* a clock: Poisson arrival pacing and
+                client-observed latency are its workload definition).
   include-guard Headers carry the canonical AQP_<PATH>_H_ guard.
 
 Usage:
@@ -187,8 +190,16 @@ RAW_TIMING = [
 
 def allow_timing(path):
     # src/obs owns measurement (MonotonicNanos/Seconds, Tracer);
-    # cancellation.h owns deadline *enforcement* (timing-as-semantics).
-    return _in(path, "src/obs") or _in(path, "src/runtime/cancellation.h")
+    # cancellation.h owns deadline *enforcement* and mutex.h the timed
+    # condvar wait (timing-as-semantics); the open-loop load generator is
+    # itself a clock (Poisson arrival pacing + client-observed latency).
+    return (
+        _in(path, "src/obs")
+        or _in(path, "src/runtime/cancellation.h")
+        or _in(path, "src/util/mutex.h")
+        or _in(path, "src/server/load_gen.h")
+        or _in(path, "src/server/load_gen.cc")
+    )
 
 
 RULES = [
@@ -219,8 +230,9 @@ RULES = [
         "timing",
         RAW_TIMING,
         allow_timing,
-        "raw clock use outside src/obs (+ the deadline machinery in"
-        " src/runtime/cancellation.h); measure time via"
+        "raw clock use outside src/obs (+ the timing-as-semantics machinery"
+        " in src/runtime/cancellation.h and src/util/mutex.h, and the"
+        " open-loop load generator src/server/load_gen.*); measure time via"
         " MonotonicNanos/MonotonicSeconds or Tracer spans (obs/trace.h) so"
         " every reported duration has one source and tracing-off paths read"
         " no clocks",

@@ -98,8 +98,23 @@ class AllowlistTest(unittest.TestCase):
     def test_obs_and_deadlines_may_read_clocks(self):
         self.assertTrue(aqp_lint.allow_timing("src/obs/trace.cc"))
         self.assertTrue(aqp_lint.allow_timing("src/runtime/cancellation.h"))
+        self.assertTrue(aqp_lint.allow_timing("src/util/mutex.h"))
         self.assertFalse(aqp_lint.allow_timing("src/core/engine.cc"))
         self.assertFalse(aqp_lint.allow_timing("src/runtime/thread_pool.cc"))
+
+    def test_load_generator_is_a_clock_but_the_server_is_not(self):
+        # The open-loop load generator's Poisson pacing and client-observed
+        # latency are timing-as-semantics; the serving layer proper must
+        # still measure through obs/trace.h.
+        self.assertTrue(aqp_lint.allow_timing("src/server/load_gen.cc"))
+        self.assertTrue(aqp_lint.allow_timing("src/server/load_gen.h"))
+        self.assertFalse(aqp_lint.allow_timing("src/server/server.cc"))
+        self.assertFalse(aqp_lint.allow_timing("src/server/admission.cc"))
+
+    def test_server_fixture_trips_timing_outside_load_gen(self):
+        findings = lint(f"{FIXTURES}/bad_server_timing.cc")
+        self.assertEqual(rules_of(findings), {"timing"})
+        self.assertGreaterEqual(len(findings), 2)
 
     def test_monotonic_wrappers_are_not_raw_clocks(self):
         patterns = [r for r in aqp_lint.RULES if r[0] == "timing"][0][1]

@@ -1,0 +1,12 @@
+// Fixture: serving-layer code (anything under src/server other than the
+// open-loop load generator load_gen.*) reading a raw clock must trip the
+// `timing` rule — queue-wait and service durations go through obs/trace.h
+// (MonotonicNanos) so QueryProfile timings share one source. This file
+// mimics a server.cc that timestamps admissions by hand.
+#include <chrono>
+
+double AdmissionWaitSeconds() {
+  auto enqueued = std::chrono::steady_clock::now();
+  auto admitted = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(admitted - enqueued).count();
+}
