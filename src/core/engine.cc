@@ -576,6 +576,13 @@ Result<ApproxResult> AqpEngine::ExecuteApproximatePipeline(
       result.profile.chunks_done = single->run_stats.chunks_done;
       result.profile.chunks_lost = single->run_stats.chunks_lost;
       result.profile.failpoint_retries = single->run_stats.injected_failures;
+      result.profile.replicates_lost = single->replicates_lost;
+      // Recovered = faults were injected and none cost a chunk (bootstrap
+      // or diagnostic): the whole result is bit-identical to a fault-free
+      // run's.
+      result.profile.fault_recovered =
+          single->run_stats.injected_failures > 0 &&
+          single->run_stats.chunks_lost == 0;
       result.profile.starved = single->run_stats.cancelled;
       if (!single->diagnostic_complete) {
         // Degraded run: the deadline (or lost tasks) starved the diagnostic
@@ -615,14 +622,25 @@ Result<ApproxResult> AqpEngine::ExecuteApproximatePipeline(
   }
 
   int replicates_used = 0;
+  ResampleRunStats resample_stats;
   Result<ConfidenceInterval> ci =
       use_bootstrap
           ? bootstrap.EstimateWithUsage(data, effective, scale,
                                         options_.alpha, rng, runtime,
-                                        &replicates_used)
+                                        &replicates_used, &resample_stats)
           : closed_form_.Estimate(data, effective, scale, options_.alpha, rng);
   result.replicates_used = replicates_used;
   result.profile.replicates_completed = replicates_used;
+  // Fault accounting for the two-phase bootstrap fan-out (all-zero for the
+  // closed form, which runs no parallel region).
+  result.profile.chunks_total = resample_stats.run.chunks_total;
+  result.profile.chunks_done = resample_stats.run.chunks_done;
+  result.profile.chunks_lost = resample_stats.run.chunks_lost;
+  result.profile.failpoint_retries = resample_stats.run.injected_failures;
+  result.profile.replicates_lost = resample_stats.replicates_lost;
+  result.profile.fault_recovered =
+      resample_stats.run.injected_failures > 0 &&
+      resample_stats.run.chunks_lost == 0;
   if (!ci.ok()) return ci.status();
   result.estimate = ci->center;
   result.ci = *ci;

@@ -286,6 +286,17 @@ Result<SingleScanResult> RunSingleScanPipeline(
   result.theta = *theta;
   result.cancelled = run.cancelled;
   result.run_stats = run;
+  // Bootstrap replicate chunks sit at the low unit indices; a lost unit in
+  // that range maps back to exactly which replicates died. Lost diagnostic
+  // units surface through diagnostic_complete instead.
+  int num_bootstrap_units =
+      (bootstrap_replicates + kBootstrapChunk - 1) / kBootstrapChunk;
+  for (int64_t u : run.lost_units) {
+    if (u >= num_bootstrap_units) continue;
+    int kb = static_cast<int>(u) * kBootstrapChunk;
+    int ke = std::min(kb + kBootstrapChunk, bootstrap_replicates);
+    result.replicates_lost += ke - kb;
+  }
   std::vector<double> bootstrap_thetas;
   bootstrap_thetas.reserve(bootstrap_slots.size());
   for (size_t k = 0; k < bootstrap_slots.size(); ++k) {

@@ -24,6 +24,11 @@ struct SingleScanResult {
   /// Bootstrap replicates the CI was actually read from (K' <= K; K' < K
   /// when the run was cut short by a deadline/cancellation or lost tasks).
   int replicates_used = 0;
+  /// Bootstrap replicates abandoned to exhausted failpoint retries (exact:
+  /// derived from the identities of the lost fan-out units, not inferred
+  /// from K - K'). 0 on fault-free runs; a deadline that stops the fan-out
+  /// early does not count here.
+  int replicates_lost = 0;
   /// True when a cancellation checkpoint stopped the fan-out early; the
   /// result is the graceful-degradation output (CI from the completed
   /// replicates).

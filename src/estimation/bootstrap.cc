@@ -40,7 +40,7 @@ Result<ConfidenceInterval> BootstrapEstimator::Estimate(
 Result<ConfidenceInterval> BootstrapEstimator::EstimateWithUsage(
     const Table& sample, const QuerySpec& query, double scale_factor,
     double alpha, Rng& rng, const ExecRuntime& runtime,
-    int* replicates_used) const {
+    int* replicates_used, ResampleRunStats* stats) const {
   Tracer* tracer = runtime.tracer();
   Result<PreparedQuery> prepared = [&] {
     ScopedSpan span(tracer, "scan");
@@ -53,7 +53,8 @@ Result<ConfidenceInterval> BootstrapEstimator::EstimateWithUsage(
   }();
   if (!theta.ok()) return theta.status();
   Result<std::vector<double>> replicates = MultiResampleFromPrepared(
-      *prepared, query.aggregate, scale_factor, num_resamples_, rng, runtime);
+      *prepared, query.aggregate, scale_factor, num_resamples_, rng, runtime,
+      stats);
   if (!replicates.ok()) return replicates.status();
   if (replicates_used != nullptr) {
     *replicates_used = static_cast<int>(replicates->size());

@@ -54,10 +54,17 @@ class BootstrapEstimator final : public ErrorEstimator {
   /// read from the K' < K replicates completed so far (at least 2, else the
   /// token's kDeadlineExceeded / kCancelled status is returned).
   /// `replicates_used` (may be null) receives K'.
+  ///
+  /// Replicate salvage extends the same contract to injected faults: when
+  /// the runtime carries a FailpointRegistry and chunk-level retries are
+  /// exhausted, the CI is likewise read from the surviving K' replicates.
+  /// `stats` (may be null) receives the run's fault accounting
+  /// (replicates_lost, injected retries, chunk counts) so callers can tell
+  /// a salvage from a clean run.
   Result<ConfidenceInterval> EstimateWithUsage(
       const Table& sample, const QuerySpec& query, double scale_factor,
       double alpha, Rng& rng, const ExecRuntime& runtime,
-      int* replicates_used) const;
+      int* replicates_used, ResampleRunStats* stats = nullptr) const;
 
   /// Runtime the K replicate computations fan out on (§5.3.2). Default is
   /// serial; the engine points every estimator it owns at its shared pool.

@@ -164,10 +164,18 @@ namespace {
 /// weight of the rows *not* passing the filter is itself Poisson(n - m), so
 /// the correction costs O(1) per replicate and preserves the streaming,
 /// pushdown-compatible execution of §5.3.
-/// Replicates per ParallelFor chunk: enough that each chunk's pass over the
-/// prepared values amortizes across several replicates' weight draws, small
-/// enough that K = 100 still splits across a pool.
-constexpr int64_t kReplicateGrain = 4;
+/// Translates a region's lost chunk indices into the exact replicate count
+/// they covered: chunk c owned replicates [c*grain, min(K, (c+1)*grain)).
+/// Exact because ParallelFor reports chunk identities, not just a tally.
+int ReplicatesLostIn(const ParallelForStats& run, int num_resamples) {
+  int lost = 0;
+  for (int64_t c : run.lost_units) {
+    int64_t b = c * kReplicateGrain;
+    int64_t e = std::min<int64_t>(num_resamples, b + kReplicateGrain);
+    if (e > b) lost += static_cast<int>(e - b);
+  }
+  return lost;
+}
 
 /// Compacts slot-indexed replicate results, dropping invalid entries while
 /// preserving replicate order (so output is independent of chunking).
@@ -211,7 +219,8 @@ std::vector<double> MultiResampleStreaming(const PreparedQuery& prepared,
                                            const AggregateSpec& aggregate,
                                            double scale_factor,
                                            int num_resamples, Rng& rng,
-                                           const ExecRuntime& runtime) {
+                                           const ExecRuntime& runtime,
+                                           ResampleRunStats* stats) {
   int64_t n = prepared.num_passing();
   bool has_input = aggregate.input != nullptr;
   double non_passing =
@@ -222,8 +231,9 @@ std::vector<double> MultiResampleStreaming(const PreparedQuery& prepared,
   RngStreamFactory streams(rng);
   std::vector<double> slots(static_cast<size_t>(num_resamples), 0.0);
   std::vector<char> valid(static_cast<size_t>(num_resamples), 0);
-  ParallelFor(runtime, 0, num_resamples, kReplicateGrain,
-              [&](int64_t kb, int64_t ke) {
+  ParallelForStats run = ParallelFor(
+      runtime, 0, num_resamples, kReplicateGrain,
+      [&](int64_t kb, int64_t ke) {
     ScopedSpan span(runtime.tracer(), "resample");
     // This worker owns replicates [kb, ke): one pass over the shared
     // prepared data feeds its slice of the accumulators (scan consolidation
@@ -249,6 +259,10 @@ std::vector<double> MultiResampleStreaming(const PreparedQuery& prepared,
                         &valid[static_cast<size_t>(kb) + s]);
     }
   });
+  if (stats != nullptr) {
+    stats->run = run;
+    stats->replicates_lost = ReplicatesLostIn(run, num_resamples);
+  }
   return CompactReplicates(slots, valid);
 }
 
@@ -257,7 +271,8 @@ std::vector<double> MultiResampleStreaming(const PreparedQuery& prepared,
 /// streaming path; the sort itself is shared).
 Result<std::vector<double>> MultiResamplePercentile(
     const PreparedQuery& prepared, const AggregateSpec& aggregate,
-    int num_resamples, Rng& rng, const ExecRuntime& runtime) {
+    int num_resamples, Rng& rng, const ExecRuntime& runtime,
+    ResampleRunStats* stats) {
   if (prepared.values.empty()) {
     return Status::FailedPrecondition("PERCENTILE over empty input");
   }
@@ -266,8 +281,9 @@ Result<std::vector<double>> MultiResamplePercentile(
   RngStreamFactory streams(rng);
   std::vector<double> slots(static_cast<size_t>(num_resamples), 0.0);
   std::vector<char> valid(static_cast<size_t>(num_resamples), 0);
-  ParallelFor(runtime, 0, num_resamples, kReplicateGrain,
-              [&](int64_t kb, int64_t ke) {
+  ParallelForStats run = ParallelFor(
+      runtime, 0, num_resamples, kReplicateGrain,
+      [&](int64_t kb, int64_t ke) {
     ScopedSpan span(runtime.tracer(), "resample");
     std::vector<double> weights(n);
     for (int64_t k = kb; k < ke; ++k) {
@@ -285,6 +301,10 @@ Result<std::vector<double>> MultiResamplePercentile(
       }
     }
   });
+  if (stats != nullptr) {
+    stats->run = run;
+    stats->replicates_lost = ReplicatesLostIn(run, num_resamples);
+  }
   return CompactReplicates(slots, valid);
 }
 
@@ -310,16 +330,16 @@ Result<std::vector<double>> ExecuteMultiResample(const Table& table,
 Result<std::vector<double>> MultiResampleFromPrepared(
     const PreparedQuery& prepared, const AggregateSpec& aggregate,
     double scale_factor, int num_resamples, Rng& rng,
-    const ExecRuntime& runtime) {
+    const ExecRuntime& runtime, ResampleRunStats* stats) {
   if (num_resamples <= 0) {
     return Status::InvalidArgument("num_resamples must be positive");
   }
   if (aggregate.kind == AggregateKind::kPercentile) {
     return MultiResamplePercentile(prepared, aggregate, num_resamples, rng,
-                                   runtime);
+                                   runtime, stats);
   }
   return MultiResampleStreaming(prepared, aggregate, scale_factor,
-                                num_resamples, rng, runtime);
+                                num_resamples, rng, runtime, stats);
 }
 
 Result<std::vector<double>> MultiResampleReference(
@@ -332,7 +352,7 @@ Result<std::vector<double>> MultiResampleReference(
     // Percentile has no scalar-vs-fused split (weights are materialized
     // either way); reuse the production path on the serial runtime.
     return MultiResamplePercentile(prepared, aggregate, num_resamples, rng,
-                                   ExecRuntime());
+                                   ExecRuntime(), nullptr);
   }
   int64_t n = prepared.num_passing();
   bool has_input = aggregate.input != nullptr;

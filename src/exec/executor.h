@@ -95,13 +95,44 @@ struct PreparedQuery {
     const Table& table, const QuerySpec& query, double scale_factor,
     int num_resamples, Rng& rng, const ExecRuntime& runtime = ExecRuntime());
 
+/// Replicates per multi-resample ParallelFor chunk: enough that each
+/// chunk's pass over the prepared values amortizes across several
+/// replicates' weight draws, small enough that K = 100 still splits across
+/// a pool. Public because it defines the fault-injection unit geometry of
+/// the bootstrap fan-out: chunk (unit) c owns replicates
+/// [c*grain, min(K, (c+1)*grain)) — what tests and the chaos gate arm
+/// against.
+inline constexpr int64_t kReplicateGrain = 4;
+
+/// Fault accounting for one multi-resample execution. The replicate loop
+/// owns the chunk geometry (replicates per ParallelFor chunk), so it — and
+/// only it — can translate the region's lost chunk indices back into an
+/// exact count of replicates that died to exhausted failpoint retries.
+/// Callers surface `replicates_lost` beside `replicates_used` so a salvaged
+/// CI (K' < K surviving replicates) is visibly a salvage, not a silently
+/// narrower request.
+struct ResampleRunStats {
+  /// Raw region accounting (chunks, injected failures, cancellation).
+  ParallelForStats run;
+  /// Replicates abandoned after exhausting chunk retries. Always 0 on
+  /// fault-free runs; cancellation does not count here (a cancelled region
+  /// simply never claimed the work — see ParallelForStats::cancelled).
+  int replicates_lost = 0;
+};
+
 /// Same replicate computation, but over an already-prepared query — the
 /// entry point the consolidated diagnostic uses to resample subsample
 /// slices without re-running the filter or projection.
+///
+/// When `stats` is non-null it receives the run's fault accounting; lost
+/// replicates have already been dropped from the returned vector (the
+/// salvage contract: the surviving K' replicates are bit-identical to the
+/// same replicates of a fault-free run).
 [[nodiscard]] Result<std::vector<double>> MultiResampleFromPrepared(
     const PreparedQuery& prepared, const AggregateSpec& aggregate,
     double scale_factor, int num_resamples, Rng& rng,
-    const ExecRuntime& runtime = ExecRuntime());
+    const ExecRuntime& runtime = ExecRuntime(),
+    ResampleRunStats* stats = nullptr);
 
 /// Scalar (row-at-a-time) reference implementation of
 /// MultiResampleFromPrepared: per row, per replicate, one PoissonOneWeight

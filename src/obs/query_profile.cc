@@ -46,6 +46,8 @@ std::string QueryProfile::ToJson() const {
   AppendMs(out, "ci_ms", ci_seconds);
   out << ", \"replicates_requested\": " << replicates_requested
       << ", \"replicates_completed\": " << replicates_completed
+      << ", \"replicates_lost\": " << replicates_lost
+      << ", \"fault_recovered\": " << (fault_recovered ? "true" : "false")
       << ", \"had_deadline\": " << (had_deadline ? "true" : "false")
       << ", \"deadline_hit\": " << (deadline_hit ? "true" : "false") << ", ";
   AppendMs(out, "deadline_slack_ms", deadline_slack_seconds);

@@ -60,6 +60,16 @@ struct QueryProfile {
   /// exact results.
   int replicates_requested = 0;
   int replicates_completed = 0;
+  /// Replicates abandoned to exhausted failpoint retries — the replicate
+  /// salvage path: the CI above was read from the survivors. Exact (derived
+  /// from the lost fan-out units' identities); 0 on fault-free runs, and a
+  /// deadline cutting the fan-out short does not count here.
+  int replicates_lost = 0;
+  /// True when faults were injected on this query's path and every one of
+  /// them recovered through retries: the answer is bit-identical to a
+  /// fault-free run's. (Faults that cost replicates report through
+  /// `replicates_lost` instead.)
+  bool fault_recovered = false;
 
   /// Deadline accounting (time-bounded queries only). Slack is the budget
   /// remaining when the query finished: positive = finished early, negative

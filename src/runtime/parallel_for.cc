@@ -76,6 +76,11 @@ ParallelForStats ParallelFor(
   std::atomic<int64_t> lost{0};
   std::atomic<int64_t> injected{0};
   std::atomic<bool> cancel_observed{false};
+  // Lost-chunk identities, recorded under a local mutex: losing a chunk is
+  // the rare path (it already burned kParallelForChunkAttempts failpoint
+  // draws), so a lock there costs nothing on healthy runs.
+  Mutex lost_mu;
+  std::vector<int64_t> lost_units;
 
   // Runs one chunk, honoring the chunk failpoint's bounded retries. The
   // body re-executes identical work on retry (randomness is keyed by item
@@ -96,6 +101,8 @@ ParallelForStats ParallelFor(
       return;
     }
     lost.fetch_add(1, std::memory_order_relaxed);
+    MutexLock lock(lost_mu);
+    lost_units.push_back(c);
   };
 
   int workers = runtime.WorkersFor(end - begin, grain);
@@ -161,6 +168,10 @@ ParallelForStats ParallelFor(
   stats.chunks_done = done.load(std::memory_order_relaxed);
   stats.chunks_lost = lost.load(std::memory_order_relaxed);
   stats.injected_failures = injected.load(std::memory_order_relaxed);
+  // Sorted readout: which worker recorded a loss is scheduling-dependent,
+  // the set of lost chunks is not.
+  std::sort(lost_units.begin(), lost_units.end());
+  stats.lost_units = std::move(lost_units);
   // "Cancelled" means a checkpoint actually stopped the region short; a
   // token that trips only after every chunk was claimed leaves the region
   // complete.

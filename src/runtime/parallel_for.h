@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <vector>
 
 #include "runtime/cancellation.h"
 #include "runtime/failpoint.h"
@@ -99,6 +100,13 @@ struct ParallelForStats {
   int64_t chunks_lost = 0;    ///< Chunks abandoned after exhausting retries.
   int64_t injected_failures = 0;  ///< Failpoint hits observed (incl. retried).
   bool cancelled = false;     ///< Region stopped at a cancellation checkpoint.
+  /// Chunk indices abandoned after exhausting retries, ascending (so the
+  /// readout is independent of which worker observed the loss). Callers that
+  /// know the chunk geometry translate these into lost work items — e.g. the
+  /// bootstrap maps a lost chunk back to exactly which replicates died, which
+  /// is what makes `replicates_lost` exact rather than inferred. Empty on
+  /// healthy runs; population is the rare path, so it costs nothing there.
+  std::vector<int64_t> lost_units;
 
   /// Every chunk ran (no cancellation, no lost chunks).
   bool complete() const {

@@ -28,6 +28,16 @@ AdmissionController::AdmissionController(const AdmissionOptions& options,
   running_gauge_ = registry.GetGauge("server.queries.running");
 }
 
+double AdmissionController::RetryAfterMs(const LoadSnapshot& load) const {
+  const double ewma = ewma_service_seconds();
+  const double per_slot = ewma / static_cast<double>(slots_);
+  const double drain_seconds =
+      (static_cast<double>(std::max<int64_t>(load.running, 0)) +
+       static_cast<double>(std::max<int64_t>(load.admission_queued, 0))) *
+      per_slot;
+  return std::max(drain_seconds, per_slot) * kMsPerSecond;
+}
+
 AdmissionDecision AdmissionController::Decide(
     const LoadSnapshot& load, double predicted_service_seconds,
     double deadline_remaining_seconds, int priority) const {
@@ -66,7 +76,7 @@ AdmissionDecision AdmissionController::Decide(
       predicted_total_seconds + options_.min_headroom_seconds >
           deadline_remaining_seconds) {
     decision.stage = ShedStage::kRejected;
-    decision.retry_after_ms = decision.predicted_wait_ms;
+    decision.retry_after_ms = RetryAfterMs(load);
     return decision;
   }
 
@@ -94,7 +104,7 @@ AdmissionDecision AdmissionController::Decide(
   // Stage 3b (reject): the wait queue itself is saturated.
   if (load.admission_queued >= options_.max_queue) {
     decision.stage = ShedStage::kRejected;
-    decision.retry_after_ms = decision.predicted_wait_ms;
+    decision.retry_after_ms = RetryAfterMs(load);
     return decision;
   }
 
@@ -105,7 +115,23 @@ AdmissionDecision AdmissionController::Decide(
 
 AdmissionDecision AdmissionController::Admit(
     const LoadSampler& sampler, double predicted_service_seconds,
-    const CancellationToken& token, int priority) {
+    const CancellationToken& token, int priority, uint64_t fault_unit,
+    uint64_t fault_attempt) {
+  // Injected spurious rejection, decided once per (request, attempt) before
+  // any state is touched: no slot taken, nothing to release, and the
+  // load-derived retry hint matches what a genuine overload would say.
+  if (failpoints_ != nullptr &&
+      failpoints_->ShouldFail(kAdmissionRejectSite, fault_unit,
+                              fault_attempt)) {
+    AdmissionDecision decision;
+    decision.replicates = default_replicates_;
+    decision.stage = ShedStage::kRejected;
+    decision.fault_injected = true;
+    LoadSnapshot load = sampler.Sample();
+    decision.retry_after_ms = RetryAfterMs(load);
+    rejected_->Increment();
+    return decision;
+  }
   MutexLock lock(mu_);
   bool in_queue = false;
   bool ever_deferred = false;
@@ -183,6 +209,11 @@ AdmissionDecision AdmissionController::Admit(
     slot_freed_.WaitForNanos(
         mu_, static_cast<int64_t>(wait_seconds * kNanosPerSecond) + 1);
   }
+}
+
+void AdmissionController::WakeWaiters() {
+  MutexLock lock(mu_);
+  slot_freed_.NotifyAll();
 }
 
 void AdmissionController::Release(double observed_service_seconds) {

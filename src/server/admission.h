@@ -7,6 +7,7 @@
 #include "obs/load_snapshot.h"
 #include "obs/query_profile.h"
 #include "runtime/cancellation.h"
+#include "runtime/failpoint.h"
 #include "util/mutex.h"
 #include "util/thread_annotations.h"
 
@@ -14,6 +15,12 @@ namespace aqp {
 
 class Counter;  // obs/metrics.h
 class Gauge;    // obs/metrics.h
+
+/// Failpoint site at which Admit() injects a spurious load rejection (unit =
+/// the request's rng_seed, attempt = the client's retry attempt). The
+/// decision carries a load-derived retry_after_ms like a real rejection, so
+/// retry/backoff clients exercise the same path either way.
+inline constexpr const char* kAdmissionRejectSite = "server.admission.reject";
 
 /// Admission-control policy knobs. The defaults target an interactive AQP
 /// deployment: shed accuracy before latency (the paper's premise is that a
@@ -81,13 +88,19 @@ struct AdmissionDecision {
   /// EWMA and the queue ahead of it.
   double predicted_wait_ms = 0.0;
 
-  /// For rejections: load-derived hint for when to retry. 0 otherwise.
+  /// For rejections: load-derived hint for when to retry (see
+  /// AdmissionController::RetryAfterMs). 0 otherwise.
   double retry_after_ms = 0.0;
 
   /// True when a rejection was caused by the request's own deadline having
   /// expired (maps to kDeadlineExceeded at the protocol layer); false for
   /// load rejections (kResourceExhausted).
   bool deadline_expired = false;
+
+  /// True when this rejection came from the kAdmissionRejectSite failpoint
+  /// rather than the policy: the server is not actually overloaded and the
+  /// request never held a slot.
+  bool fault_injected = false;
 };
 
 /// SLO-aware admission control for the serving layer: bounded concurrency,
@@ -132,14 +145,38 @@ class AdmissionController {
   /// request is admitted, rejected, or its `token` trips. On any stage
   /// other than kRejected the caller holds a slot and MUST call Release()
   /// after service. Safe from any number of client threads.
+  /// `fault_unit`/`fault_attempt` key the kAdmissionRejectSite failpoint
+  /// draw (pass the request's rng_seed and retry attempt) so an injected
+  /// rejection is deterministic per request and clears on retry.
   AdmissionDecision Admit(const LoadSampler& sampler,
                           double predicted_service_seconds,
-                          const CancellationToken& token, int priority)
+                          const CancellationToken& token, int priority,
+                          uint64_t fault_unit = 0, uint64_t fault_attempt = 0)
       AQP_EXCLUDES(mu_);
 
   /// Returns the slot taken by an admitted request and folds its observed
   /// service time into the EWMA (pass 0 to skip the fold, e.g. for errors).
   void Release(double observed_service_seconds) AQP_EXCLUDES(mu_);
+
+  /// Wakes every deferred request blocked in Admit() so it re-evaluates its
+  /// token immediately. CloseSession calls this after cancelling a session's
+  /// tokens: without the wake, a request cancelled while queued would only
+  /// notice at its next re-evaluation slice (up to max_wait_slice_seconds
+  /// later).
+  void WakeWaiters() AQP_EXCLUDES(mu_);
+
+  /// Load-derived retry hint for rejections: the time for `slots` servers to
+  /// drain everything currently running or queued at one EWMA service time
+  /// each — queue depth × EWMA service time, per slot — floored at a single
+  /// service time per slot so an unloaded rejection still hints a non-zero
+  /// backoff. Pure given the snapshot and the EWMA state.
+  double RetryAfterMs(const LoadSnapshot& load) const;
+
+  /// Fault-injection registry consulted by Admit() (null = no injection).
+  /// Same configure-before-flight contract as the registry itself.
+  void set_failpoints(const FailpointRegistry* failpoints) {
+    failpoints_ = failpoints;
+  }
 
   /// Current service-time estimate (seconds per query in a slot).
   double ewma_service_seconds() const {
@@ -153,6 +190,7 @@ class AdmissionController {
   const AdmissionOptions options_;
   const int slots_;
   const int default_replicates_;
+  const FailpointRegistry* failpoints_ = nullptr;
 
   mutable Mutex mu_;
   CondVar slot_freed_;

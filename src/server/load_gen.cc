@@ -44,6 +44,7 @@ double WeightedQuantile(const std::vector<double>& sorted,
 /// Per-client slice of the harness outcome, merged after the run.
 struct ClientResult {
   std::vector<double> latencies_ms;
+  std::vector<RecordedSample> samples;
   int64_t offered = 0;
   int64_t completed_ok = 0;
   int64_t undegraded = 0;
@@ -54,6 +55,11 @@ struct ClientResult {
   int64_t deadline_exceeded = 0;
   int64_t cancelled = 0;
   int64_t errors = 0;
+  int64_t retries = 0;
+  int64_t unavailable = 0;
+  int64_t salvaged = 0;
+  int64_t fault_recovered = 0;
+  int64_t replicates_lost = 0;
 };
 
 /// One client: own session, own RNG stream, own precomputable Poisson
@@ -65,7 +71,13 @@ void RunClient(AqpServer& server, const QuerySpec& query,
                const LoadGenOptions& options, int client_id,
                Clock::time_point start, ClientResult* out) {
   Rng rng(DeriveStreamSeed(options.seed, static_cast<uint64_t>(client_id)));
-  const SessionId session = server.OpenSession();
+  // Each client is a retrying session with its own jitter stream: fixed
+  // (policy seed, harness seed, client id) fix every backoff schedule.
+  RetryPolicy policy = options.retry;
+  policy.seed = DeriveStreamSeed(
+      DeriveStreamSeed(policy.seed ^ options.seed, 0xba0cULL),
+      static_cast<uint64_t>(client_id));
+  RetryingSession session(server, policy);
   const double per_client_qps =
       options.offered_qps / static_cast<double>(std::max(options.clients, 1));
   const Clock::time_point end =
@@ -108,10 +120,12 @@ void RunClient(AqpServer& server, const QuerySpec& query,
               .count();
       request.deadline_ms = std::max(options.deadline_ms - lateness_ms, 1e-3);
     }
-    QueryResponse response = server.Execute(session, request);
+    RetryStats retry_stats;
+    QueryResponse response = session.Execute(request, &retry_stats);
     const double latency_ms =
         std::chrono::duration<double, std::milli>(Clock::now() - scheduled)
             .count();
+    out->retries += retry_stats.retries;
 
     if (response.shed_stage == ShedStage::kRejected) {
       // Never admitted: no slot held, no latency sample.
@@ -129,6 +143,22 @@ void RunClient(AqpServer& server, const QuerySpec& query,
     } else if (response.status.ok()) {
       ++out->completed_ok;
       out->latencies_ms.push_back(latency_ms);
+      const QueryProfile& profile = response.result.profile;
+      if (profile.replicates_lost > 0) ++out->salvaged;
+      out->replicates_lost += profile.replicates_lost;
+      if (profile.fault_recovered) ++out->fault_recovered;
+      if (static_cast<int>(out->samples.size()) < options.record_samples) {
+        RecordedSample sample;
+        sample.rng_seed = response.rng_seed;
+        sample.replicates_requested = profile.replicates_requested;
+        sample.replicates_used = response.result.replicates_used;
+        sample.estimate = response.result.estimate;
+        sample.ci_half_width = response.result.ci.half_width;
+        sample.fault_recovered = profile.fault_recovered;
+        sample.deadline_hit = response.result.deadline_hit;
+        sample.attempts = retry_stats.attempts;
+        out->samples.push_back(sample);
+      }
       switch (response.shed_stage) {
         case ShedStage::kDegraded:
           ++out->degraded;
@@ -144,12 +174,17 @@ void RunClient(AqpServer& server, const QuerySpec& query,
       switch (response.status.code()) {
         case StatusCode::kDeadlineExceeded:
           // Admitted but too slow: this latency belongs in the admitted
-          // pool — dropping it would flatter the percentiles.
+          // pool — dropping it would flatter the percentiles. (This bucket
+          // also covers requests whose retry budget the SLO ended.)
           ++out->deadline_exceeded;
           out->latencies_ms.push_back(latency_ms);
           break;
         case StatusCode::kCancelled:
           ++out->cancelled;
+          break;
+        case StatusCode::kUnavailable:
+          // A transient fault survived every retry the policy allowed.
+          ++out->unavailable;
           break;
         default:
           ++out->errors;
@@ -157,7 +192,7 @@ void RunClient(AqpServer& server, const QuerySpec& query,
       }
     }
   }
-  (void)server.CloseSession(session);
+  // RetryingSession's destructor closes the session.
 }
 
 void AppendPercentile(std::ostringstream& out, const char* name,
@@ -207,6 +242,10 @@ std::string LoadReport::ToJson() const {
       << ", \"expired\": " << expired
       << ", \"deadline_exceeded\": " << deadline_exceeded
       << ", \"cancelled\": " << cancelled << ", \"errors\": " << errors
+      << ", \"retries\": " << retries << ", \"unavailable\": " << unavailable
+      << ", \"salvaged\": " << salvaged
+      << ", \"fault_recovered\": " << fault_recovered
+      << ", \"replicates_lost\": " << replicates_lost
       << ", \"offered_qps\": " << offered_qps
       << ", \"duration_seconds\": " << duration_seconds
       << ", \"sustained_qps\": " << sustained_qps
@@ -257,6 +296,13 @@ LoadReport RunOpenLoopLoad(AqpServer& server, const QuerySpec& query,
     report.deadline_exceeded += r.deadline_exceeded;
     report.cancelled += r.cancelled;
     report.errors += r.errors;
+    report.retries += r.retries;
+    report.unavailable += r.unavailable;
+    report.salvaged += r.salvaged;
+    report.fault_recovered += r.fault_recovered;
+    report.replicates_lost += r.replicates_lost;
+    report.samples.insert(report.samples.end(), r.samples.begin(),
+                          r.samples.end());
     latencies.insert(latencies.end(), r.latencies_ms.begin(),
                      r.latencies_ms.end());
   }

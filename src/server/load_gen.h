@@ -6,9 +6,18 @@
 #include <vector>
 
 #include "exec/query_spec.h"
+#include "server/retry.h"
 #include "server/server.h"
 
 namespace aqp {
+
+/// A RetryPolicy with retries disabled (one delivery per request) — the
+/// harness default, preserving pure open-loop behavior.
+inline RetryPolicy SingleAttemptPolicy() {
+  RetryPolicy policy;
+  policy.max_attempts = 1;
+  return policy;
+}
 
 /// Multi-threaded open-loop load harness for AqpServer, plus the percentile
 /// machinery its reports use. This file (and load_gen.cc) is the one
@@ -46,6 +55,33 @@ struct LoadGenOptions {
   int percentile_replicates = 200;
   /// Confidence level of those CIs.
   double alpha = 0.95;
+
+  /// Client-side retry/backoff policy (see RetryingSession). The default
+  /// disables retries; the chaos harness enables them so injected transient
+  /// faults are survived, not just counted. Each client derives its own
+  /// jitter seed from (this seed, harness seed, client id). Backoff waits
+  /// happen between a request and its retries, *after* the open-loop
+  /// arrival schedule fired — lateness they cause stays in the measured
+  /// latency like any other stall.
+  RetryPolicy retry = SingleAttemptPolicy();
+
+  /// Up to this many ok() responses recorded per client (see
+  /// LoadReport::samples); 0 disables recording. The chaos gate replays
+  /// recorded fault-recovered samples against a fault-free engine to verify
+  /// bit-identity.
+  int record_samples = 0;
+};
+
+/// One completed request, captured for offline replay/verification.
+struct RecordedSample {
+  int64_t rng_seed = -1;       ///< Stream id that reproduces the result.
+  int replicates_requested = 0;  ///< K after any admission degrade.
+  int replicates_used = 0;       ///< K' the CI was read from.
+  double estimate = 0.0;
+  double ci_half_width = 0.0;
+  bool fault_recovered = false;  ///< Faults injected, all recovered.
+  bool deadline_hit = false;
+  int attempts = 1;              ///< Deliveries the client made.
 };
 
 /// A latency percentile with error bars on the percentile itself. The same
@@ -90,6 +126,21 @@ struct LoadReport {
   int64_t cancelled = 0;
   int64_t errors = 0;
 
+  /// Fault-tolerance accounting (all zero on fault-free runs).
+  /// Client-side retries across all requests (deliveries beyond the first).
+  int64_t retries = 0;
+  /// Requests whose *terminal* status was kUnavailable (a transient fault
+  /// that retries did not, or could not, absorb).
+  int64_t unavailable = 0;
+  /// ok() completions whose CI was salvaged from K' < K replicates after
+  /// fault-induced replicate loss.
+  int64_t salvaged = 0;
+  /// ok() completions where faults were injected and all recovered
+  /// (bit-identical to a fault-free run).
+  int64_t fault_recovered = 0;
+  /// Total replicates lost across all ok() completions.
+  int64_t replicates_lost = 0;
+
   double offered_qps = 0.0;
   double duration_seconds = 0.0;
   /// ok() completions per second of actual harness wall time.
@@ -104,7 +155,11 @@ struct LoadReport {
   PercentileEstimate p95;
   PercentileEstimate p99;
 
-  /// One JSON object (no trailing newline) with every field above.
+  /// Recorded ok() responses (when LoadGenOptions::record_samples > 0),
+  /// merged across clients. Not part of ToJson().
+  std::vector<RecordedSample> samples;
+
+  /// One JSON object (no trailing newline) with every scalar field above.
   std::string ToJson() const;
 };
 

@@ -1,0 +1,111 @@
+#include "server/retry.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "runtime/rng_stream.h"
+#include "util/mutex.h"
+#include "util/random.h"
+
+namespace aqp {
+namespace {
+
+/// Timed wait on a local CondVar nobody signals — the sanctioned way to
+/// block for a duration (see util/mutex.h); never raw sleep calls.
+void BackoffWait(double wait_ms) {
+  if (wait_ms <= 0.0) return;
+  Mutex mu;
+  CondVar cv;
+  MutexLock lock(mu);
+  cv.WaitForNanos(mu, static_cast<int64_t>(wait_ms * 1e6) + 1);
+}
+
+bool Retryable(StatusCode code) {
+  return code == StatusCode::kUnavailable ||
+         code == StatusCode::kResourceExhausted;
+}
+
+}  // namespace
+
+RetryingSession::RetryingSession(AqpServer& server, RetryPolicy policy)
+    : server_(server), policy_(policy), session_(server.OpenSession()) {}
+
+RetryingSession::~RetryingSession() {
+  // Destruction is the disconnect; in-flight work was already synchronous.
+  server_.CloseSession(session_).IgnoreError();
+}
+
+double RetryingSession::BackoffMs(int retry_index, uint64_t request_key) const {
+  double base = policy_.initial_backoff_ms *
+                std::pow(std::max(policy_.multiplier, 1.0),
+                         std::max(retry_index, 0));
+  base = std::min(base, policy_.max_backoff_ms);
+  double fraction = std::clamp(policy_.jitter_fraction, 0.0, 1.0);
+  if (fraction <= 0.0) return base;
+  // Jitter stream keyed by (policy seed, request, retry): the schedule is a
+  // pure function of the keys — reproducible per client, decorrelated
+  // across clients and across a request's own retries.
+  Rng jitter(DeriveStreamSeed(DeriveStreamSeed(policy_.seed, request_key),
+                              static_cast<uint64_t>(retry_index)));
+  double factor = 1.0 + fraction * (2.0 * jitter.NextDouble() - 1.0);
+  return base * factor;
+}
+
+QueryResponse RetryingSession::Execute(const QueryRequest& request,
+                                       RetryStats* stats) {
+  RetryStats local;
+  // The SLO clock: starts at the first delivery, shared by every retry.
+  // Each attempt is handed only what remains of it.
+  const Deadline budget = request.deadline_ms > 0.0
+                              ? Deadline::After(request.deadline_ms / 1e3)
+                              : Deadline::Infinite();
+  QueryRequest attempt_request = request;
+  QueryResponse response;
+  const int max_attempts = std::max(policy_.max_attempts, 1);
+  for (int attempt = 0; attempt < max_attempts; ++attempt) {
+    attempt_request.attempt = attempt;
+    if (!budget.infinite()) {
+      // Burn the original budget: the retry's deadline is what is left of
+      // the first delivery's, never a fresh allocation.
+      attempt_request.deadline_ms =
+          std::max(budget.RemainingSeconds() * 1e3, 1e-3);
+    }
+    ++local.attempts;
+    response = server_.Execute(session_, attempt_request);
+    // Pin the stream: whatever seed the first delivery used (explicit or
+    // session-assigned), every retry replays it — this is what makes a
+    // post-retry success bit-identical to a fault-free run.
+    if (attempt_request.rng_seed < 0) {
+      attempt_request.rng_seed = response.rng_seed;
+    }
+    if (!Retryable(response.status.code())) break;
+    if (attempt + 1 >= max_attempts) break;
+
+    double wait_ms =
+        BackoffMs(attempt, static_cast<uint64_t>(
+                               std::max<int64_t>(attempt_request.rng_seed, 0)));
+    if (response.status.code() == StatusCode::kResourceExhausted) {
+      // Honor the server's load-derived hint when it is longer than the
+      // client's own schedule: retrying into a known-full queue only adds
+      // load.
+      wait_ms = std::max(wait_ms, response.retry_after_ms);
+    }
+    const double remaining_ms = budget.RemainingSeconds() * 1e3;
+    if (wait_ms >= remaining_ms) {
+      // The wait alone would outlive the SLO: report the deadline as the
+      // terminal cause instead of sleeping past it (no retry amplification).
+      local.budget_exhausted = true;
+      response.status = Status::DeadlineExceeded(
+          "retry budget exhausted: backoff would outlive the deadline (" +
+          response.status.ToString() + ")");
+      break;
+    }
+    BackoffWait(wait_ms);
+    local.backoff_ms_total += wait_ms;
+  }
+  local.retries = local.attempts - 1;
+  if (stats != nullptr) *stats = local;
+  return response;
+}
+
+}  // namespace aqp

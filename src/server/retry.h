@@ -1,0 +1,106 @@
+#ifndef AQP_SERVER_RETRY_H_
+#define AQP_SERVER_RETRY_H_
+
+#include <cstdint>
+
+#include "server/server.h"
+#include "server/session.h"
+#include "util/status.h"
+
+namespace aqp {
+
+/// Client-side retry policy: capped exponential backoff with deterministic
+/// seeded jitter. The sanctioned backoff implementation for this codebase —
+/// aqp_lint forbids ad-hoc sleep loops elsewhere, so transient-fault
+/// handling concentrates here where the budget math is enforced.
+struct RetryPolicy {
+  /// Total deliveries allowed (first attempt included). 1 disables retries.
+  int max_attempts = 4;
+
+  /// Backoff before the first retry; doubles (times `multiplier`) per retry.
+  double initial_backoff_ms = 5.0;
+
+  /// Growth factor between consecutive backoffs.
+  double multiplier = 2.0;
+
+  /// Ceiling on any single backoff wait.
+  double max_backoff_ms = 100.0;
+
+  /// Backoff waits are scaled by a uniform factor in
+  /// [1 - jitter_fraction, 1 + jitter_fraction], drawn deterministically
+  /// from (seed, request rng_seed, attempt) — reproducible runs, decorrelated
+  /// clients.
+  double jitter_fraction = 0.2;
+
+  /// Base seed for the jitter draws (give each client its own).
+  uint64_t seed = 0;
+};
+
+/// What one RetryingSession::Execute call actually did.
+struct RetryStats {
+  /// Deliveries made (>= 1).
+  int attempts = 0;
+  /// Retries after the first delivery (attempts - 1).
+  int retries = 0;
+  /// Total wall time spent in backoff waits.
+  double backoff_ms_total = 0.0;
+  /// True when the original deadline budget ran out before the next retry
+  /// could be delivered (the response reports kDeadlineExceeded).
+  bool budget_exhausted = false;
+};
+
+/// A server session that retries transient failures for the caller, burning
+/// the *original* request's deadline budget across all attempts — the SLO
+/// clock starts at the first delivery and is never reset, so retries can
+/// make a request late but never amplify its time bound.
+///
+/// Retryable statuses:
+///  - kUnavailable: transient fault, nothing executed; retried after the
+///    jittered exponential backoff.
+///  - kResourceExhausted: load-shed; retried after
+///    max(backoff, retry_after_ms), honoring the server's load-derived hint.
+/// Everything else (success, deadline expiry, cancellation, engine errors)
+/// returns immediately.
+///
+/// Determinism contract: the first delivery pins the request's rng_seed
+/// (the session-assigned one when the caller left it negative) and every
+/// retry resends that exact seed, so a request that succeeds after retries
+/// returns the same bits as one that never saw a fault. The attempt counter
+/// advances per delivery, keying the server's fault-injection draws.
+///
+/// Not thread-safe: one RetryingSession per client thread (it wraps one
+/// session, like a connection handle).
+class RetryingSession {
+ public:
+  /// Opens a session on `server` (closed again by the destructor). `server`
+  /// must outlive this object.
+  explicit RetryingSession(AqpServer& server, RetryPolicy policy = {});
+  ~RetryingSession();
+
+  RetryingSession(const RetryingSession&) = delete;
+  RetryingSession& operator=(const RetryingSession&) = delete;
+
+  SessionId session_id() const { return session_; }
+  const RetryPolicy& policy() const { return policy_; }
+
+  /// Serves `request`, retrying per the policy. The returned response is
+  /// the final attempt's (with `status` overridden to kDeadlineExceeded
+  /// when the retry budget ran out first). `stats` (may be null) receives
+  /// the attempt accounting.
+  QueryResponse Execute(const QueryRequest& request,
+                        RetryStats* stats = nullptr);
+
+  /// The jittered backoff before retry number `retry_index` (0-based) of
+  /// the request keyed by `request_key`. Pure — exposed for tests to pin
+  /// the schedule.
+  double BackoffMs(int retry_index, uint64_t request_key) const;
+
+ private:
+  AqpServer& server_;
+  const RetryPolicy policy_;
+  SessionId session_;
+};
+
+}  // namespace aqp
+
+#endif  // AQP_SERVER_RETRY_H_

@@ -23,12 +23,38 @@ AdmissionOptions DeriveAdmission(const AdmissionOptions& options,
   return derived;
 }
 
+/// Executes an injected stall when `site` is armed for latency: the
+/// failpoint decides (deterministically per (unit, attempt)), this helper
+/// sleeps, capped by the request's remaining deadline budget so a straggler
+/// makes the request late — never immortal. The wait runs on a local
+/// CondVar nobody signals: the sanctioned timed-blocking primitive, not a
+/// raw sleep.
+void MaybeStall(const FailpointRegistry* failpoints, const char* site,
+                uint64_t unit, uint64_t attempt,
+                const CancellationToken& token) {
+  if (failpoints == nullptr) return;
+  int64_t delay_nanos = failpoints->InjectedDelayNanos(site, unit, attempt);
+  if (delay_nanos <= 0) return;
+  const double remaining = token.deadline().RemainingSeconds();
+  if (remaining <= 0.0) return;  // Already expired; stalling adds nothing.
+  const double cap_nanos = remaining * 1e9;
+  if (cap_nanos < static_cast<double>(delay_nanos)) {
+    delay_nanos = static_cast<int64_t>(cap_nanos) + 1;
+  }
+  Mutex mu;
+  CondVar cv;
+  MutexLock lock(mu);
+  cv.WaitForNanos(mu, delay_nanos);  // Timeout is the point; no notifier.
+}
+
 }  // namespace
 
 AqpServer::AqpServer(ServerOptions options)
     : engine_(options.engine),
       admission_(DeriveAdmission(options.admission, engine_),
-                 options.engine.bootstrap_replicates) {
+                 options.engine.bootstrap_replicates),
+      failpoints_(options.engine.failpoints) {
+  admission_.set_failpoints(failpoints_);
   MetricsRegistry& registry = MetricsRegistry::Default();
   sessions_opened_ = registry.GetCounter("server.sessions.opened");
   sessions_closed_ = registry.GetCounter("server.sessions.closed");
@@ -43,17 +69,25 @@ SessionId AqpServer::OpenSession() {
 }
 
 Status AqpServer::CloseSession(SessionId id) {
-  MutexLock lock(sessions_mu_);
-  auto it = sessions_.find(id);
-  if (it == sessions_.end()) {
-    return Status::NotFound("no open session with this id");
+  {
+    MutexLock lock(sessions_mu_);
+    auto it = sessions_.find(id);
+    if (it == sessions_.end()) {
+      return Status::NotFound("no open session with this id");
+    }
+    // Disconnect semantics: every in-flight query of the session stops at
+    // its next cooperative checkpoint. The tokens are shared state, so
+    // cancelling here reaches executions already running inside Execute()
+    // calls — including requests still *waiting in the admission queue*,
+    // whose Admit() loop re-checks its token on every wakeup.
+    for (auto& [query_id, token] : it->second.active) token.Cancel();
+    sessions_.erase(it);
+    sessions_closed_->Increment();
   }
-  // Disconnect semantics: every in-flight query of the session stops at its
-  // next cooperative checkpoint. The tokens are shared state, so cancelling
-  // here reaches executions already running inside Execute() calls.
-  for (auto& [query_id, token] : it->second.active) token.Cancel();
-  sessions_.erase(it);
-  sessions_closed_->Increment();
+  // Wake the admission queue (outside sessions_mu_, respecting lock order)
+  // so a request this close just cancelled leaves the queue now rather than
+  // at its next re-evaluation slice.
+  admission_.WakeWaiters();
   return Status::OK();
 }
 
@@ -94,6 +128,31 @@ QueryResponse AqpServer::Execute(SessionId session_id,
     session.active.emplace(query_id, token);
   }
 
+  // Fault-injection keys for this delivery: the request's RNG stream id
+  // (stable across retries once pinned) and the client's attempt counter
+  // (so a retried delivery draws fresh).
+  const uint64_t fault_unit = static_cast<uint64_t>(response.rng_seed);
+  const uint64_t fault_attempt =
+      static_cast<uint64_t>(request.attempt < 0 ? 0 : request.attempt);
+
+  // Injected submission fault: the request dies at the front door —
+  // kUnavailable, nothing executed, no slot held. An immediate retry with
+  // the same rng_seed is safe and bit-identical.
+  if (failpoints_ != nullptr &&
+      failpoints_->ShouldFail(kServerSubmitFailSite, fault_unit,
+                              fault_attempt)) {
+    UnregisterQuery(session_id, query_id);
+    response.total_ms =
+        static_cast<double>(MonotonicNanos() - submit_ns) / 1e6;
+    response.status = Status::Unavailable(
+        "transient submission fault; retry with the same rng_seed");
+    return response;
+  }
+
+  // Injected front-door straggler: burns deadline budget before admission.
+  MaybeStall(failpoints_, kAdmissionDelaySite, fault_unit, fault_attempt,
+             token);
+
   // Per-request work estimate for the admission policy: rows the query will
   // scan over the engine's current observed throughput.
   const double predicted_rows =
@@ -104,8 +163,9 @@ QueryResponse AqpServer::Execute(SessionId session_id,
                     : engine_.options().rows_per_second;
   const double predicted_service_seconds = predicted_rows / rows_per_second;
 
-  AdmissionDecision decision = admission_.Admit(
-      sampler_, predicted_service_seconds, token, request.priority);
+  AdmissionDecision decision =
+      admission_.Admit(sampler_, predicted_service_seconds, token,
+                       request.priority, fault_unit, fault_attempt);
   const int64_t admitted_ns = MonotonicNanos();
   response.queue_wait_ms = static_cast<double>(admitted_ns - submit_ns) / 1e6;
   response.shed_stage = decision.stage;
@@ -117,6 +177,11 @@ QueryResponse AqpServer::Execute(SessionId session_id,
     if (decision.deadline_expired) {
       response.status = Status::DeadlineExceeded(
           "deadline expired before the query could be admitted");
+    } else if (decision.fault_injected) {
+      std::ostringstream msg;
+      msg << "injected admission rejection; retry in "
+          << decision.retry_after_ms << " ms";
+      response.status = Status::ResourceExhausted(msg.str());
     } else if (token.CancelRequested()) {
       response.status = Status::Cancelled("session closed while queued");
     } else {
@@ -127,6 +192,12 @@ QueryResponse AqpServer::Execute(SessionId session_id,
     }
     return response;
   }
+
+  // Injected in-slot straggler: the stall holds the slot and burns budget,
+  // but the engine's deadline token still caps the total — the query
+  // degrades (salvaged CI) instead of overrunning the SLO.
+  MaybeStall(failpoints_, kServerStragglerSite, fault_unit, fault_attempt,
+             token);
 
   AqpEngine::ServeOptions serve;
   serve.rng_seed = static_cast<uint64_t>(response.rng_seed);

@@ -14,7 +14,27 @@
 
 namespace aqp {
 
+/// Failpoint site at which Execute() injects a transient submission fault
+/// (unit = the request's rng_seed, attempt = QueryRequest::attempt). The
+/// request fails with kUnavailable after session registration but before
+/// admission: no slot was held, no work ran, and a retry with the same
+/// rng_seed returns the bits a fault-free run would.
+inline constexpr const char* kServerSubmitFailSite = "server.session.submit";
+
+/// Latency-injection site stalling a request before admission control (a
+/// straggler in the front door: the stall burns deadline budget the request
+/// has not yet committed to a slot).
+inline constexpr const char* kAdmissionDelaySite = "server.admission.delay";
+
+/// Latency-injection site stalling an admitted request before execution (a
+/// straggler holding a slot: the engine's deadline token still enforces the
+/// SLO, so the query degrades rather than overruns).
+inline constexpr const char* kServerStragglerSite = "server.execute.straggler";
+
 /// Serving-layer configuration: the engine it wraps plus admission control.
+/// Fault injection comes from `engine.failpoints` — the server arms its own
+/// sites on the same registry the runtime uses, so one seed fixes the whole
+/// served path's fault schedule.
 struct ServerOptions {
   EngineOptions engine;
   AdmissionOptions admission;
@@ -90,6 +110,9 @@ class AqpServer {
   AqpEngine engine_;
   AdmissionController admission_;
   LoadSampler sampler_;
+  /// The engine's fault-injection registry (null in production); the server
+  /// consults it for its own sites.
+  const FailpointRegistry* failpoints_;
 
   mutable Mutex sessions_mu_;
   std::unordered_map<SessionId, SessionState> sessions_

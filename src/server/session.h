@@ -50,6 +50,14 @@ struct QueryRequest {
   /// thread count and under any concurrent load — the reproducibility hook
   /// the serving tests pin.
   int64_t rng_seed = -1;
+
+  /// Which delivery attempt this is (0 = first). Retrying clients increment
+  /// it on each resend: the server keys its fault-injection draws by
+  /// (rng_seed, attempt), so a fault that killed attempt 0 does not
+  /// mechanically recur on attempt 1, while the result — keyed by rng_seed
+  /// alone — stays bit-identical to what a fault-free first attempt would
+  /// have returned.
+  int attempt = 0;
 };
 
 /// The server's reply envelope. `status` is the protocol-level verdict:

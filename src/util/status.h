@@ -25,6 +25,12 @@ enum class StatusCode {
   /// kCancelled/kDeadlineExceeded — the query never started, and the caller
   /// should retry later (responses carry a retry_after_ms hint).
   kResourceExhausted,
+  /// A transient serving-path fault (injected or real): the request did not
+  /// execute, the server's state is unchanged, and an immediate retry with
+  /// the same rng_seed is safe and returns the same bits a fault-free run
+  /// would. Distinct from kResourceExhausted — the server is not overloaded,
+  /// so no retry_after_ms hint applies (clients back off on their own).
+  kUnavailable,
 };
 
 /// Name of `code`, e.g. "InvalidArgument"; every code round-trips through
@@ -79,6 +85,9 @@ class [[nodiscard]] Status {
   }
   static Status ResourceExhausted(std::string msg) {
     return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   [[nodiscard]] bool ok() const { return code_ == StatusCode::kOk; }

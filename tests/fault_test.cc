@@ -1,0 +1,748 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/engine.h"
+#include "exec/executor.h"
+#include "obs/load_snapshot.h"
+#include "runtime/failpoint.h"
+#include "runtime/parallel_for.h"
+#include "runtime/thread_pool.h"
+#include "server/admission.h"
+#include "server/retry.h"
+#include "server/server.h"
+#include "server/session.h"
+#include "util/random.h"
+#include "util/status.h"
+
+namespace aqp {
+namespace {
+
+std::shared_ptr<const Table> MakeGaussianTable(int64_t rows, uint64_t seed) {
+  Rng rng(seed);
+  auto t = std::make_shared<Table>("g");
+  Column v = Column::MakeDouble("v");
+  for (int64_t i = 0; i < rows; ++i) {
+    v.AppendDouble(rng.NextGaussian(100.0, 15.0));
+  }
+  EXPECT_TRUE(t->AddColumn(std::move(v)).ok());
+  return t;
+}
+
+QuerySpec MakeQuery(AggregateKind kind) {
+  QuerySpec q;
+  q.id = "fault_test";
+  q.table = "g";
+  q.aggregate.kind = kind;
+  q.aggregate.input = ColumnRef("v");
+  return q;
+}
+
+EngineOptions FastEngineOptions(int num_threads) {
+  EngineOptions options;
+  options.bootstrap_replicates = 40;
+  options.diagnostic.num_subsamples = 50;
+  options.default_sample_rows = 5000;
+  options.num_threads = num_threads;
+  options.seed = 42;
+  return options;
+}
+
+/// First registry seed whose draw at `site` fails attempt 0 of unit 0 and
+/// passes attempt 1 — the canonical "transient fault, recovered on retry"
+/// schedule. Draws are pure in (seed, site, unit, attempt), so the probe
+/// registry predicts exactly what a fresh registry with the same seed does.
+uint64_t PickTransientSeed(const char* site, double probability) {
+  for (uint64_t seed = 1;; ++seed) {
+    FailpointRegistry probe(seed);
+    probe.Arm(site, probability);
+    if (probe.ShouldFail(site, 0, 0) && !probe.ShouldFail(site, 0, 1)) {
+      return seed;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Failpoint latency injection (straggler arming).
+// ---------------------------------------------------------------------------
+
+TEST(FailpointLatencyTest, DelayDrawsAreDeterministicPerKeys) {
+  constexpr double kDelaySeconds = 0.001;
+  constexpr int64_t kDelayNanos = 1000000;
+  FailpointRegistry a(7);
+  FailpointRegistry b(7);
+  a.ArmLatency("site", 0.5, kDelaySeconds);
+  b.ArmLatency("site", 0.5, kDelaySeconds);
+  int64_t fired = 0;
+  for (uint64_t unit = 0; unit < 200; ++unit) {
+    for (uint64_t attempt = 0; attempt < 3; ++attempt) {
+      const int64_t da = a.InjectedDelayNanos("site", unit, attempt);
+      EXPECT_EQ(da, b.InjectedDelayNanos("site", unit, attempt));
+      EXPECT_TRUE(da == 0 || da == kDelayNanos);
+      if (da != 0) ++fired;
+    }
+  }
+  // At probability 0.5 over 600 draws both outcomes must appear.
+  EXPECT_GT(fired, 0);
+  EXPECT_LT(fired, 600);
+  EXPECT_EQ(a.injected_delays(), fired);
+}
+
+TEST(FailpointLatencyTest, FailureArmingDoesNotPerturbDelayDraws) {
+  // Latency draws are a pure function of (seed, site, unit, attempt):
+  // arming the same site for failures must not change them.
+  FailpointRegistry plain(11);
+  FailpointRegistry both(11);
+  plain.ArmLatency("site", 0.5, 0.002);
+  both.ArmLatency("site", 0.5, 0.002);
+  both.Arm("site", 0.5);
+  for (uint64_t unit = 0; unit < 100; ++unit) {
+    EXPECT_EQ(plain.InjectedDelayNanos("site", unit, 0),
+              both.InjectedDelayNanos("site", unit, 0));
+  }
+}
+
+TEST(FailpointLatencyTest, UnarmedCertainAndDisarmedSites) {
+  FailpointRegistry fp(3);
+  EXPECT_EQ(fp.InjectedDelayNanos("never", 0, 0), 0);
+  EXPECT_EQ(fp.injected_delays(), 0);
+
+  fp.ArmLatency("always", 1.0, 0.0005);
+  for (uint64_t unit = 0; unit < 20; ++unit) {
+    EXPECT_EQ(fp.InjectedDelayNanos("always", unit, 0), 500000);
+  }
+  fp.Disarm("always");
+  EXPECT_EQ(fp.InjectedDelayNanos("always", 0, 0), 0);
+}
+
+TEST(FaultStatusTest, UnavailableRoundTrips) {
+  Status s = Status::Unavailable("transient submit fault");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kUnavailable);
+  EXPECT_NE(s.ToString().find("transient submit fault"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Load-derived retry_after_ms against scripted snapshots.
+// ---------------------------------------------------------------------------
+
+AdmissionOptions PolicyOptions() {
+  AdmissionOptions options;
+  options.slots = 4;
+  options.max_queue = 8;
+  options.degrade_pressure = 0.75;
+  options.min_replicates = 20;
+  options.initial_service_seconds = 0.01;
+  return options;
+}
+
+TEST(RetryAfterTest, IdleServerHintsOneServiceTimePerSlot) {
+  AdmissionController controller(PolicyOptions(), 100);
+  LoadSnapshot idle;
+  // Nothing to drain: the floor is one EWMA service time spread across the
+  // slots (10 ms / 4 slots), never zero — an unloaded rejection still tells
+  // the client to back off a little instead of hammering.
+  EXPECT_DOUBLE_EQ(controller.RetryAfterMs(idle), 2.5);
+}
+
+TEST(RetryAfterTest, HintScalesWithQueueDepthTimesEwma) {
+  AdmissionController controller(PolicyOptions(), 100);
+  LoadSnapshot load;
+  load.running = 4;
+  load.admission_queued = 8;
+  // Drain time for 12 queries at 10 ms each across 4 slots = 30 ms.
+  EXPECT_DOUBLE_EQ(controller.RetryAfterMs(load), 30.0);
+  load.admission_queued = 2;
+  EXPECT_DOUBLE_EQ(controller.RetryAfterMs(load), 15.0);
+}
+
+TEST(RetryAfterTest, HintFollowsTheServiceEwma) {
+  AdmissionController controller(PolicyOptions(), 100);
+  LoadSampler sampler;
+  CancellationToken token = CancellationToken::Cancellable();
+  // Fold one slow completion (alpha defaults to 0.3): the hint must track
+  // the same EWMA admission feasibility uses, not the configured prior.
+  (void)controller.Admit(sampler, 0.001, token, 0);
+  controller.Release(0.11);
+  const double ewma = controller.ewma_service_seconds();
+  EXPECT_DOUBLE_EQ(ewma, 0.3 * 0.11 + 0.7 * 0.01);
+  LoadSnapshot load;
+  load.running = 4;
+  EXPECT_DOUBLE_EQ(controller.RetryAfterMs(load), 4.0 * ewma / 4.0 * 1e3);
+}
+
+// ---------------------------------------------------------------------------
+// Injected admission rejections.
+// ---------------------------------------------------------------------------
+
+TEST(AdmissionFaultTest, InjectedRejectionHoldsNoSlot) {
+  FailpointRegistry fp(5);
+  fp.Arm(kAdmissionRejectSite, 1.0);
+  AdmissionOptions options = PolicyOptions();
+  options.slots = 1;
+  AdmissionController controller(options, 100);
+  controller.set_failpoints(&fp);
+  LoadSampler sampler;
+  CancellationToken token = CancellationToken::Cancellable();
+
+  AdmissionDecision d = controller.Admit(sampler, 0.001, token, 0, 9, 0);
+  EXPECT_EQ(d.stage, ShedStage::kRejected);
+  EXPECT_TRUE(d.fault_injected);
+  EXPECT_FALSE(d.deadline_expired);
+  EXPECT_GT(d.retry_after_ms, 0.0);
+  EXPECT_GE(fp.injected_failures(), 1);
+
+  // The injected rejection never took the slot: with the site disarmed the
+  // next request admits immediately (slots = 1, so a leaked slot would
+  // defer it instead).
+  fp.Disarm(kAdmissionRejectSite);
+  AdmissionDecision retry = controller.Admit(sampler, 0.001, token, 0, 9, 1);
+  EXPECT_EQ(retry.stage, ShedStage::kNone);
+  controller.Release(0.0);
+}
+
+TEST(ServerFaultTest, InjectedAdmissionRejectionCarriesRetryHint) {
+  FailpointRegistry fp(5);
+  fp.Arm(kAdmissionRejectSite, 1.0);
+  ServerOptions options;
+  options.engine = FastEngineOptions(1);
+  options.engine.failpoints = &fp;
+  AqpServer server(options);
+  ASSERT_TRUE(server.engine().RegisterTable(MakeGaussianTable(50000, 1)).ok());
+  ASSERT_TRUE(server.engine().CreateSample("g", 5000).ok());
+
+  SessionId session = server.OpenSession();
+  QueryRequest request;
+  request.query = MakeQuery(AggregateKind::kAvg);
+  request.rng_seed = 0;
+  QueryResponse response = server.Execute(session, request);
+  EXPECT_EQ(response.status.code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(response.shed_stage, ShedStage::kRejected);
+  EXPECT_GT(response.retry_after_ms, 0.0);
+  EXPECT_EQ(response.service_ms, 0.0);
+
+  // No admission state leaked from the injected rejection.
+  LoadSnapshot after = server.Load();
+  EXPECT_EQ(after.running, 0);
+  EXPECT_EQ(after.admission_queued, 0);
+  EXPECT_TRUE(server.CloseSession(session).ok());
+}
+
+// ---------------------------------------------------------------------------
+// RetryingSession: backoff schedule, retry semantics, bit identity.
+// ---------------------------------------------------------------------------
+
+TEST(RetryPolicyTest, BackoffIsDeterministicJitteredAndCapped) {
+  ServerOptions options;
+  options.engine = FastEngineOptions(1);
+  AqpServer server(options);
+  RetryPolicy policy;
+  policy.seed = 9;
+  RetryingSession session(server, policy);
+
+  // Same (retry_index, request_key) -> same wait; the schedule is pinnable.
+  EXPECT_DOUBLE_EQ(session.BackoffMs(0, 123), session.BackoffMs(0, 123));
+  // Jitter stays inside [1 - f, 1 + f] of the exponential nominal.
+  for (uint64_t key = 0; key < 32; ++key) {
+    EXPECT_GE(session.BackoffMs(0, key), 5.0 * 0.8);
+    EXPECT_LE(session.BackoffMs(0, key), 5.0 * 1.2);
+    EXPECT_GE(session.BackoffMs(1, key), 10.0 * 0.8);
+    EXPECT_LE(session.BackoffMs(1, key), 10.0 * 1.2);
+    // Deep retries hit the cap (plus jitter headroom).
+    EXPECT_LE(session.BackoffMs(10, key), 100.0 * 1.2);
+  }
+}
+
+TEST(RetryingSessionTest, TransientSubmitFaultRetriesToFaultFreeBits) {
+  const uint64_t seed = PickTransientSeed(kServerSubmitFailSite, 0.5);
+  FailpointRegistry fp(seed);
+  fp.Arm(kServerSubmitFailSite, 0.5);
+
+  QueryRequest request;
+  request.query = MakeQuery(AggregateKind::kPercentile);
+  request.query.aggregate.percentile = 0.5;  // bootstrap: RNG-dependent CI
+  request.rng_seed = 0;                      // failpoint unit 0
+
+  // Fault-free reference bits for rng_seed 0.
+  ServerOptions clean;
+  clean.engine = FastEngineOptions(1);
+  AqpServer reference(clean);
+  ASSERT_TRUE(
+      reference.engine().RegisterTable(MakeGaussianTable(50000, 1)).ok());
+  ASSERT_TRUE(reference.engine().CreateSample("g", 5000).ok());
+  SessionId ref_session = reference.OpenSession();
+  QueryResponse want = reference.Execute(ref_session, request);
+  ASSERT_TRUE(want.status.ok()) << want.status.ToString();
+
+  ServerOptions faulty = clean;
+  faulty.engine.failpoints = &fp;
+  AqpServer server(faulty);
+  ASSERT_TRUE(server.engine().RegisterTable(MakeGaussianTable(50000, 1)).ok());
+  ASSERT_TRUE(server.engine().CreateSample("g", 5000).ok());
+  RetryPolicy policy;
+  policy.initial_backoff_ms = 0.1;  // keep the test fast
+  policy.seed = 1;
+  RetryingSession session(server, policy);
+  RetryStats stats;
+  QueryResponse got = session.Execute(request, &stats);
+
+  ASSERT_TRUE(got.status.ok()) << got.status.ToString();
+  EXPECT_EQ(stats.attempts, 2);
+  EXPECT_EQ(stats.retries, 1);
+  EXPECT_FALSE(stats.budget_exhausted);
+  EXPECT_GE(fp.injected_failures(), 1);
+  // A request that succeeds after a retry returns the same bits as one that
+  // never saw a fault.
+  EXPECT_EQ(got.rng_seed, want.rng_seed);
+  EXPECT_EQ(got.result.estimate, want.result.estimate);
+  EXPECT_EQ(got.result.ci.center, want.result.ci.center);
+  EXPECT_EQ(got.result.ci.half_width, want.result.ci.half_width);
+  EXPECT_EQ(got.result.replicates_used, want.result.replicates_used);
+}
+
+TEST(RetryingSessionTest, PermanentFaultExhaustsAttempts) {
+  FailpointRegistry fp(1);
+  fp.Arm(kServerSubmitFailSite, 1.0);
+  ServerOptions options;
+  options.engine = FastEngineOptions(1);
+  options.engine.failpoints = &fp;
+  AqpServer server(options);
+  ASSERT_TRUE(server.engine().RegisterTable(MakeGaussianTable(50000, 1)).ok());
+  ASSERT_TRUE(server.engine().CreateSample("g", 5000).ok());
+
+  RetryPolicy policy;
+  policy.max_attempts = 3;
+  policy.initial_backoff_ms = 0.05;
+  RetryingSession session(server, policy);
+  QueryRequest request;
+  request.query = MakeQuery(AggregateKind::kAvg);
+  request.rng_seed = 0;
+  RetryStats stats;
+  QueryResponse response = session.Execute(request, &stats);
+  EXPECT_EQ(response.status.code(), StatusCode::kUnavailable);
+  EXPECT_EQ(stats.attempts, 3);
+  EXPECT_EQ(stats.retries, 2);
+  EXPECT_FALSE(stats.budget_exhausted);
+}
+
+TEST(RetryingSessionTest, RetryAfterHintDominatesConfiguredBackoff) {
+  const uint64_t seed = PickTransientSeed(kAdmissionRejectSite, 0.5);
+  FailpointRegistry fp(seed);
+  fp.Arm(kAdmissionRejectSite, 0.5);
+  ServerOptions options;
+  options.engine = FastEngineOptions(1);
+  options.engine.failpoints = &fp;
+  options.admission.initial_service_seconds = 0.04;  // hint ~40 ms, slots = 1
+  AqpServer server(options);
+  ASSERT_TRUE(server.engine().RegisterTable(MakeGaussianTable(50000, 1)).ok());
+  ASSERT_TRUE(server.engine().CreateSample("g", 5000).ok());
+
+  RetryPolicy policy;
+  policy.initial_backoff_ms = 0.01;  // negligible next to the hint
+  RetryingSession session(server, policy);
+  QueryRequest request;
+  request.query = MakeQuery(AggregateKind::kAvg);
+  request.rng_seed = 0;
+  RetryStats stats;
+  QueryResponse response = session.Execute(request, &stats);
+  ASSERT_TRUE(response.status.ok()) << response.status.ToString();
+  EXPECT_EQ(stats.attempts, 2);
+  // The wait honored the server's load-derived retry_after_ms (~40 ms), not
+  // the 0.01 ms configured backoff.
+  EXPECT_GE(stats.backoff_ms_total, 10.0);
+}
+
+TEST(RetryingSessionTest, BackoffPastDeadlineSurfacesBudgetExhaustion) {
+  FailpointRegistry fp(1);
+  fp.Arm(kServerSubmitFailSite, 1.0);
+  ServerOptions options;
+  options.engine = FastEngineOptions(1);
+  options.engine.failpoints = &fp;
+  AqpServer server(options);
+  ASSERT_TRUE(server.engine().RegisterTable(MakeGaussianTable(50000, 1)).ok());
+  ASSERT_TRUE(server.engine().CreateSample("g", 5000).ok());
+
+  RetryPolicy policy;
+  policy.initial_backoff_ms = 200.0;  // first wait alone overruns the SLO
+  policy.jitter_fraction = 0.0;
+  RetryingSession session(server, policy);
+  QueryRequest request;
+  request.query = MakeQuery(AggregateKind::kAvg);
+  request.rng_seed = 0;
+  request.deadline_ms = 50.0;
+  RetryStats stats;
+  QueryResponse response = session.Execute(request, &stats);
+  // The retry budget is the original deadline: waiting 200 ms against a
+  // 50 ms SLO must surface kDeadlineExceeded instead of sleeping past it.
+  EXPECT_EQ(response.status.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_TRUE(stats.budget_exhausted);
+  EXPECT_EQ(stats.attempts, 1);
+  EXPECT_LT(stats.backoff_ms_total, 200.0);
+}
+
+// ---------------------------------------------------------------------------
+// Straggler (latency) injection through the served path.
+// ---------------------------------------------------------------------------
+
+TEST(ServerFaultTest, StragglerStallsChangeLatencyButNotBits) {
+  QueryRequest request;
+  request.query = MakeQuery(AggregateKind::kPercentile);
+  request.query.aggregate.percentile = 0.5;
+  request.rng_seed = 0;
+
+  ServerOptions clean;
+  clean.engine = FastEngineOptions(1);
+  AqpServer reference(clean);
+  ASSERT_TRUE(
+      reference.engine().RegisterTable(MakeGaussianTable(50000, 1)).ok());
+  ASSERT_TRUE(reference.engine().CreateSample("g", 5000).ok());
+  SessionId ref_session = reference.OpenSession();
+  QueryResponse want = reference.Execute(ref_session, request);
+  ASSERT_TRUE(want.status.ok()) << want.status.ToString();
+
+  FailpointRegistry fp(3);
+  fp.ArmLatency(kAdmissionDelaySite, 1.0, 0.005);
+  fp.ArmLatency(kServerStragglerSite, 1.0, 0.005);
+  ServerOptions stalled = clean;
+  stalled.engine.failpoints = &fp;
+  AqpServer server(stalled);
+  ASSERT_TRUE(server.engine().RegisterTable(MakeGaussianTable(50000, 1)).ok());
+  ASSERT_TRUE(server.engine().CreateSample("g", 5000).ok());
+  SessionId session = server.OpenSession();
+  QueryResponse got = server.Execute(session, request);
+  ASSERT_TRUE(got.status.ok()) << got.status.ToString();
+
+  // A stalled unit computes the same bits, later.
+  EXPECT_EQ(fp.injected_delays(), 2);
+  EXPECT_GE(got.total_ms, 9.0);  // two injected 5 ms stalls, minus timer slop
+  EXPECT_EQ(got.result.estimate, want.result.estimate);
+  EXPECT_EQ(got.result.ci.half_width, want.result.ci.half_width);
+  EXPECT_EQ(got.result.replicates_used, want.result.replicates_used);
+}
+
+// ---------------------------------------------------------------------------
+// Replicate salvage: CI from K' < K surviving replicates.
+// ---------------------------------------------------------------------------
+
+struct FaultedRun {
+  uint64_t seed = 0;
+  ApproxResult result;
+};
+
+/// Runs the percentile query on a fresh engine whose chunk failpoint is
+/// armed at `probability` under registry seed `seed`.
+Result<ApproxResult> RunWithChunkFaults(
+    const std::shared_ptr<const Table>& table, uint64_t seed,
+    double probability, int num_threads) {
+  FailpointRegistry fp(seed);
+  fp.Arm(kParallelForChunkSite, probability);
+  EngineOptions options = FastEngineOptions(num_threads);
+  options.run_diagnostic = false;
+  options.failpoints = &fp;
+  AqpEngine engine(options);
+  Status registered = engine.RegisterTable(table);
+  if (!registered.ok()) return registered;
+  Status sampled = engine.CreateSample("g", 5000);
+  if (!sampled.ok()) return sampled;
+  QuerySpec query = MakeQuery(AggregateKind::kPercentile);
+  query.aggregate.percentile = 0.5;
+  AqpEngine::ServeOptions serve;
+  serve.rng_seed = 0;
+  // Served requests always execute under a cancellable token (the server
+  // wraps every deadline, even an infinite one); matching it here keeps the
+  // bounded-execution contract — and the fallback suppression — identical.
+  serve.token = CancellationToken::Cancellable();
+  return engine.ExecuteServed(query, serve);
+}
+
+/// First seed whose chunk-fault schedule at `probability` yields an ok
+/// result satisfying `accept`. The schedule is pure in the seed, so the
+/// search is deterministic and the found seed replays identically at any
+/// thread count.
+template <typename Accept>
+FaultedRun FindFaultedRun(const std::shared_ptr<const Table>& table,
+                          double probability, Accept accept,
+                          uint64_t max_seed = 300) {
+  for (uint64_t seed = 1; seed <= max_seed; ++seed) {
+    Result<ApproxResult> r = RunWithChunkFaults(table, seed, probability, 1);
+    if (r.ok() && accept(*r)) return {seed, *r};
+  }
+  ADD_FAILURE() << "no seed under " << max_seed
+                << " produced the wanted fault schedule";
+  return {};
+}
+
+TEST(SalvageTest, LostChunksSalvageToPartialReplicateCi) {
+  auto table = MakeGaussianTable(50000, 1);
+  FaultedRun run = FindFaultedRun(table, 0.7, [](const ApproxResult& r) {
+    return r.profile.replicates_lost > 0;
+  });
+  ASSERT_NE(run.seed, 0u);
+  const ApproxResult& r = run.result;
+  // Bootstrap: K = 40, grain = 4. Lost chunks cost exactly their replicate
+  // ranges; the CI is read from the K' survivors and accounting is exact.
+  EXPECT_EQ(r.replicates_used, 40 - r.profile.replicates_lost);
+  EXPECT_EQ(r.profile.replicates_completed, r.replicates_used);
+  EXPECT_EQ(r.profile.replicates_lost % static_cast<int>(kReplicateGrain), 0);
+  EXPECT_GT(r.profile.chunks_lost, 0);
+  EXPECT_GT(r.ci.half_width, 0.0);
+  // Chunks were lost, so this is salvage, not recovery.
+  EXPECT_FALSE(r.profile.fault_recovered);
+  EXPECT_FALSE(r.deadline_hit);
+}
+
+TEST(SalvageTest, SalvagedCiIsBitIdenticalAcrossThreadCounts) {
+  auto table = MakeGaussianTable(50000, 1);
+  FaultedRun run = FindFaultedRun(table, 0.7, [](const ApproxResult& r) {
+    return r.profile.replicates_lost > 0;
+  });
+  ASSERT_NE(run.seed, 0u);
+  for (int threads : {4, 8}) {
+    Result<ApproxResult> r = RunWithChunkFaults(table, run.seed, 0.7, threads);
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    EXPECT_EQ(r->estimate, run.result.estimate) << threads << " threads";
+    EXPECT_EQ(r->ci.half_width, run.result.ci.half_width)
+        << threads << " threads";
+    EXPECT_EQ(r->replicates_used, run.result.replicates_used)
+        << threads << " threads";
+    EXPECT_EQ(r->profile.replicates_lost, run.result.profile.replicates_lost)
+        << threads << " threads";
+  }
+}
+
+TEST(SalvageTest, RecoveredFaultsAreBitIdenticalToFaultFreeRun) {
+  auto table = MakeGaussianTable(50000, 1);
+  // Low probability: injections happen but every chunk survives its three
+  // attempts, so the run recovers completely.
+  FaultedRun run = FindFaultedRun(table, 0.25, [](const ApproxResult& r) {
+    return r.profile.fault_recovered;
+  });
+  ASSERT_NE(run.seed, 0u);
+  EXPECT_EQ(run.result.profile.chunks_lost, 0);
+  EXPECT_EQ(run.result.profile.replicates_lost, 0);
+  EXPECT_GT(run.result.profile.failpoint_retries, 0);
+
+  // Fault-free oracle: same engine config, no registry.
+  EngineOptions options = FastEngineOptions(1);
+  options.run_diagnostic = false;
+  AqpEngine engine(options);
+  ASSERT_TRUE(engine.RegisterTable(table).ok());
+  ASSERT_TRUE(engine.CreateSample("g", 5000).ok());
+  QuerySpec query = MakeQuery(AggregateKind::kPercentile);
+  query.aggregate.percentile = 0.5;
+  AqpEngine::ServeOptions serve;
+  serve.rng_seed = 0;
+  serve.token = CancellationToken::Cancellable();
+  Result<ApproxResult> want = engine.ExecuteServed(query, serve);
+  ASSERT_TRUE(want.ok()) << want.status().ToString();
+  EXPECT_FALSE(want->profile.fault_recovered);
+
+  EXPECT_EQ(run.result.estimate, want->estimate);
+  EXPECT_EQ(run.result.ci.half_width, want->ci.half_width);
+  EXPECT_EQ(run.result.replicates_used, want->replicates_used);
+
+  // And the recovered run replays bit-identically at other thread counts.
+  Result<ApproxResult> wide = RunWithChunkFaults(table, run.seed, 0.25, 4);
+  ASSERT_TRUE(wide.ok()) << wide.status().ToString();
+  EXPECT_EQ(wide->estimate, want->estimate);
+  EXPECT_EQ(wide->ci.half_width, want->ci.half_width);
+}
+
+TEST(SalvageTest, DiagnosticDowngradesToNotDiagnosedWhenStarved) {
+  // Single-scan path (MAX is bootstrap-only and streaming-supported): the
+  // answer, CI, and diagnostic share one fan-out, so heavy chunk loss can
+  // starve the diagnostic's subsample floor while the answer survives. The
+  // verdict must downgrade to "not diagnosed" — never a rejection, never a
+  // fallback — with the answer and CI still standing.
+  auto table = MakeGaussianTable(50000, 1);
+  QuerySpec query = MakeQuery(AggregateKind::kMax);
+  uint64_t found = 0;
+  // 0.95 per attempt = ~86% of units lost after 3 retries: enough to push a
+  // size class under the 10-subsample floor while (usually) leaving the
+  // >= 2 bootstrap replicates the salvaged CI needs.
+  for (uint64_t seed = 1; seed <= 300 && found == 0; ++seed) {
+    FailpointRegistry fp(seed);
+    fp.Arm(kParallelForChunkSite, 0.95);
+    EngineOptions options = FastEngineOptions(1);
+    options.failpoints = &fp;
+    AqpEngine engine(options);
+    ASSERT_TRUE(engine.RegisterTable(table).ok());
+    ASSERT_TRUE(engine.CreateSample("g", 5000).ok());
+    AqpEngine::ServeOptions serve;
+    serve.rng_seed = 0;
+    serve.token = CancellationToken::Cancellable();
+    Result<ApproxResult> r = engine.ExecuteServed(query, serve);
+    if (!r.ok()) continue;  // answer itself lost at this seed; keep looking
+    if (r->diagnostic_ran || r->profile.chunks_lost == 0) continue;
+    found = seed;
+    EXPECT_FALSE(r->diagnostic_ok);
+    EXPECT_FALSE(r->fell_back);
+    EXPECT_GT(r->replicates_used, 0);
+    EXPECT_TRUE(std::isfinite(r->estimate));
+  }
+  EXPECT_NE(found, 0u) << "no seed starved the diagnostic without killing "
+                          "the answer";
+}
+
+// ---------------------------------------------------------------------------
+// CloseSession while queued: deferred requests cancel cleanly.
+// ---------------------------------------------------------------------------
+
+TEST(ServerFaultTest, CloseSessionCancelsRequestStillInAdmissionQueue) {
+  ServerOptions options;
+  options.engine.seed = 42;
+  options.engine.num_threads = 1;  // one slot
+  options.engine.bootstrap_replicates = 20000;  // holds the slot for seconds
+  options.engine.run_diagnostic = false;
+  options.engine.default_sample_rows = 50000;
+  AqpServer server(options);
+  ASSERT_TRUE(server.engine().RegisterTable(MakeGaussianTable(100000, 1)).ok());
+  ASSERT_TRUE(server.engine().CreateSample("g", 50000).ok());
+
+  SessionId blocker_session = server.OpenSession();
+  SessionId queued_session = server.OpenSession();
+  QueryRequest long_request;
+  long_request.query = MakeQuery(AggregateKind::kPercentile);
+  long_request.query.aggregate.percentile = 0.5;
+  QueryRequest queued_request;
+  queued_request.query = MakeQuery(AggregateKind::kAvg);
+
+  QueryResponse blocker_response;
+  QueryResponse queued_response;
+  ThreadPool client(2);
+  {
+    TaskGroup blocker(&client);
+    blocker.Run([&] {
+      blocker_response = server.Execute(blocker_session, long_request);
+    });
+    // Wait (bounded) until the long query holds the only slot.
+    Mutex mu;
+    CondVar cv;
+    for (int i = 0; i < 10000 && server.Load().running == 0; ++i) {
+      MutexLock lock(mu);
+      cv.WaitForNanos(mu, 1000000);  // 1 ms poll
+    }
+    ASSERT_EQ(server.Load().running, 1);
+    {
+      TaskGroup waiter(&client);
+      waiter.Run([&] {
+        queued_response = server.Execute(queued_session, queued_request);
+      });
+      for (int i = 0; i < 10000 && server.Load().admission_queued == 0; ++i) {
+        MutexLock lock(mu);
+        cv.WaitForNanos(mu, 1000000);
+      }
+      ASSERT_EQ(server.Load().admission_queued, 1);
+      // Disconnect the queued session: its deferred wait must observe the
+      // cancel and return without ever taking the slot.
+      ASSERT_TRUE(server.CloseSession(queued_session).ok());
+      waiter.Wait();
+    }
+    EXPECT_EQ(queued_response.status.code(), StatusCode::kCancelled);
+    EXPECT_EQ(queued_response.shed_stage, ShedStage::kRejected);
+    EXPECT_EQ(queued_response.service_ms, 0.0);
+    EXPECT_EQ(server.Load().admission_queued, 0);
+
+    (void)server.CloseSession(blocker_session);
+    blocker.Wait();
+  }
+  // The slot was released exactly once (by the blocker): admission state is
+  // clean and a fresh request admits immediately.
+  LoadSnapshot after = server.Load();
+  EXPECT_EQ(after.running, 0);
+  EXPECT_EQ(after.admission_queued, 0);
+  SessionId fresh = server.OpenSession();
+  QueryResponse ok_again = server.Execute(fresh, queued_request);
+  EXPECT_TRUE(ok_again.status.ok()) << ok_again.status.ToString();
+  EXPECT_TRUE(server.CloseSession(fresh).ok());
+}
+
+// ---------------------------------------------------------------------------
+// Fault + deadline interaction.
+// ---------------------------------------------------------------------------
+
+TEST(FaultDeadlineTest, RetriesPastDeadlineSurfaceDeadlineExceeded) {
+  FailpointRegistry fp(1);
+  fp.Arm(kServerSubmitFailSite, 1.0);  // every delivery faults
+  ServerOptions options;
+  options.engine = FastEngineOptions(1);
+  options.engine.failpoints = &fp;
+  AqpServer server(options);
+  ASSERT_TRUE(server.engine().RegisterTable(MakeGaussianTable(50000, 1)).ok());
+  ASSERT_TRUE(server.engine().CreateSample("g", 5000).ok());
+
+  RetryPolicy policy;
+  policy.initial_backoff_ms = 30.0;
+  policy.jitter_fraction = 0.0;
+  RetryingSession session(server, policy);
+  QueryRequest request;
+  request.query = MakeQuery(AggregateKind::kAvg);
+  request.rng_seed = 0;
+  request.deadline_ms = 50.0;
+  RetryStats stats;
+  QueryResponse response = session.Execute(request, &stats);
+  // Faults kept firing and backoff overran the budget: the client sees
+  // kDeadlineExceeded (the SLO verdict), not kUnavailable (the transient),
+  // and the loop terminated instead of sleeping past the deadline.
+  EXPECT_EQ(response.status.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_TRUE(stats.budget_exhausted);
+  EXPECT_GE(stats.attempts, 1);
+  EXPECT_LE(stats.attempts, 2);
+}
+
+TEST(FaultDeadlineTest, RetryThenDeadlineMidBootstrapReturnsPartialCi) {
+  const uint64_t seed = PickTransientSeed(kServerSubmitFailSite, 0.5);
+  FailpointRegistry fp(seed);
+  fp.Arm(kServerSubmitFailSite, 0.5);
+  ServerOptions options;
+  options.engine.seed = 42;
+  options.engine.num_threads = 1;
+  options.engine.bootstrap_replicates = 5000;  // >> what 400 ms allows
+  options.engine.run_diagnostic = false;
+  options.engine.default_sample_rows = 50000;
+  options.engine.failpoints = &fp;
+  AqpServer server(options);
+  ASSERT_TRUE(server.engine().RegisterTable(MakeGaussianTable(100000, 1)).ok());
+  ASSERT_TRUE(server.engine().CreateSample("g", 50000).ok());
+
+  RetryPolicy policy;
+  policy.initial_backoff_ms = 20.0;
+  policy.jitter_fraction = 0.0;
+  RetryingSession session(server, policy);
+  QueryRequest request;
+  request.query = MakeQuery(AggregateKind::kPercentile);
+  request.query.aggregate.percentile = 0.5;
+  request.rng_seed = 0;  // transient fault on attempt 0, clean on attempt 1
+  request.deadline_ms = 400.0;
+  RetryStats stats;
+  QueryResponse response = session.Execute(request, &stats);
+
+  // The retry consumed part of the budget; the second delivery ran and the
+  // deadline tripped mid-bootstrap. Either shape is a valid SLO outcome —
+  // what is never valid is hanging or double-counting replicates.
+  EXPECT_EQ(stats.attempts, 2);
+  if (response.status.ok()) {
+    const ApproxResult& r = response.result;
+    EXPECT_TRUE(r.deadline_hit || r.replicates_used == 5000);
+    EXPECT_GE(r.replicates_used, 2);
+    EXPECT_LE(r.replicates_used, 5000);
+    EXPECT_GT(r.ci.half_width, 0.0);
+    // replicates_used is counted once, in one place.
+    EXPECT_EQ(r.profile.replicates_completed, r.replicates_used);
+    EXPECT_LE(r.replicates_used + r.profile.replicates_lost, 5000);
+  } else {
+    EXPECT_EQ(response.status.code(), StatusCode::kDeadlineExceeded);
+  }
+  // No admission state leaked through the fault/deadline interaction.
+  LoadSnapshot after = server.Load();
+  EXPECT_EQ(after.running, 0);
+  EXPECT_EQ(after.admission_queued, 0);
+}
+
+}  // namespace
+}  // namespace aqp

@@ -23,6 +23,13 @@ The paper's guarantees lean on repo-wide conventions, not just local code:
                 not telemetry), and in src/server/load_gen.* (an open-loop
                 load generator *is* a clock: Poisson arrival pacing and
                 client-observed latency are its workload definition).
+  backoff       Nobody sleeps ad hoc. Client-side retry waits go through
+                RetryingSession's policy (src/server/retry.*: capped
+                exponential backoff, deterministic jitter, deadline-budget
+                aware) and every other timed block rides
+                CondVar::WaitForNanos — raw std::this_thread::sleep_for /
+                usleep / nanosleep calls build uncoordinated retry storms
+                and busy-waits the admission controller cannot see.
   include-guard Headers carry the canonical AQP_<PATH>_H_ guard.
 
 Usage:
@@ -202,6 +209,26 @@ def allow_timing(path):
     )
 
 
+AD_HOC_SLEEP = [
+    re.compile(p)
+    for p in (
+        r"std::this_thread\b",
+        r"(?<![:\w])sleep_for\s*\(",
+        r"(?<![:\w])sleep_until\s*\(",
+        r"(?<![:\w])u?sleep\s*\(",
+        r"(?<![:\w])nanosleep\s*\(",
+    )
+]
+
+
+def allow_backoff(path):
+    # Nothing in src/ sleeps raw — the sanctioned blocking primitive is
+    # CondVar::WaitForNanos (itself built on the annotated wrapper's
+    # wait_for), and the sanctioned retry schedule is RetryingSession's.
+    del path
+    return False
+
+
 RULES = [
     (
         "determinism",
@@ -236,6 +263,15 @@ RULES = [
         " MonotonicNanos/MonotonicSeconds or Tracer spans (obs/trace.h) so"
         " every reported duration has one source and tracing-off paths read"
         " no clocks",
+    ),
+    (
+        "backoff",
+        AD_HOC_SLEEP,
+        allow_backoff,
+        "ad-hoc sleep/busy-wait in src/; retry waits belong to"
+        " RetryingSession's policy (src/server/retry.*) and timed blocking"
+        " to CondVar::WaitForNanos (util/mutex.h) — uncoordinated sleeps"
+        " build retry storms the admission controller cannot see",
     ),
 ]
 

@@ -55,6 +55,12 @@ class FixtureTest(unittest.TestCase):
         # gettimeofday.
         self.assertGreaterEqual(len(findings), 6)
 
+    def test_bad_backoff_trips_backoff_only(self):
+        findings = lint(f"{FIXTURES}/bad_backoff.cc")
+        self.assertEqual(rules_of(findings), {"backoff"})
+        # sleep_for, sleep_until, usleep, sleep, nanosleep.
+        self.assertGreaterEqual(len(findings), 5)
+
 
 class PreprocessingTest(unittest.TestCase):
     def test_comments_and_strings_are_blanked(self):
@@ -115,6 +121,23 @@ class AllowlistTest(unittest.TestCase):
         findings = lint(f"{FIXTURES}/bad_server_timing.cc")
         self.assertEqual(rules_of(findings), {"timing"})
         self.assertGreaterEqual(len(findings), 2)
+
+    def test_sanctioned_waits_are_not_ad_hoc_sleeps(self):
+        # The retry policy and every timed block ride CondVar::WaitForNanos;
+        # neither it nor unrelated identifiers may trip the backoff rule.
+        patterns = [r for r in aqp_lint.RULES if r[0] == "backoff"][0][1]
+        for line in (
+            "cv.WaitForNanos(mu, delay_nanos);",
+            "slot_freed_.WaitForNanos(mu_, wait_nanos + 1);",
+            "bool asleep(const Worker& w);",  # not a sleep() call
+        ):
+            self.assertFalse(any(p.search(line) for p in patterns), line)
+
+    def test_nothing_in_src_may_sleep_raw(self):
+        # No allowlist: even the retry implementation blocks via the
+        # annotated condvar, never a raw sleep.
+        self.assertFalse(aqp_lint.allow_backoff("src/server/retry.cc"))
+        self.assertFalse(aqp_lint.allow_backoff("src/util/mutex.h"))
 
     def test_monotonic_wrappers_are_not_raw_clocks(self):
         patterns = [r for r in aqp_lint.RULES if r[0] == "timing"][0][1]

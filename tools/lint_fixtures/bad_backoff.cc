@@ -1,0 +1,12 @@
+// Fixture: every line in the function below must trip the `backoff` rule
+// (ad-hoc sleeps/busy-waits outside the sanctioned retry policy). Kept free
+// of includes and std::chrono so no other rule fires.
+struct timespec;
+
+void NaiveRetryLoop(const timespec* ts) {
+  std::this_thread::sleep_for(kBackoff);
+  std::this_thread::sleep_until(kDeadline);
+  usleep(1000);
+  sleep(1);
+  nanosleep(ts, nullptr);
+}
