@@ -133,6 +133,7 @@ int main() {
                               : 0.0;
     rec.wall_ms = runs[i].seconds * 1e3;
     rec.threads = thread_counts[i];
+    rec.unit = "row-replicates/s";
     rec.git_sha = bench::BenchGitSha();
     e2e.push_back(std::move(rec));
   }

@@ -159,6 +159,7 @@ int main() {
     record.rows_per_second = report.sustained_qps;
     record.wall_ms = report.p99.value;
     record.threads = slots;
+    record.unit = "queries/s";
     record.git_sha = bench::BenchGitSha();
     records.push_back(record);
 

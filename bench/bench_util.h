@@ -81,10 +81,16 @@ inline std::string ExtractJsonStringField(const std::string& line,
 /// re-run at the same commit replaces its own row, while rows from other
 /// commits survive — so one artifact can accumulate cross-commit history
 /// without re-runs appending duplicates.
+///
+/// `keep_last_shas` bounds that history: after merging, only rows whose
+/// git_sha is among the last N distinct shas (in file order, oldest first)
+/// survive. Rows from older commits — including commits rebased away, whose
+/// shas will never be re-run — are pruned, so the artifact cannot grow
+/// without bound across CI runs. 0 keeps everything.
 inline void MergeNamedJsonObjects(
     const std::string& path,
     const std::vector<std::pair<std::string, std::string>>& named_objects,
-    bool dedup_by_git_sha = false) {
+    bool dedup_by_git_sha = false, int keep_last_shas = 0) {
   // Load existing one-object-per-line entries, keyed, in file order.
   std::vector<std::string> order;
   std::map<std::string, std::string> lines;
@@ -106,6 +112,31 @@ inline void MergeNamedJsonObjects(
   for (const auto& [name, body] : named_objects) {
     if (lines.emplace(name, body).second) order.push_back(name);
     lines[name] = body;
+  }
+  if (dedup_by_git_sha && keep_last_shas > 0) {
+    // Distinct shas in first-appearance order; file order is history order
+    // (new commits' rows append), so "last N" = most recent N commits.
+    std::vector<std::string> shas;
+    for (const std::string& key : order) {
+      std::string sha = ExtractJsonStringField(lines[key], "git_sha");
+      if (std::find(shas.begin(), shas.end(), sha) == shas.end()) {
+        shas.push_back(sha);
+      }
+    }
+    if (static_cast<int>(shas.size()) > keep_last_shas) {
+      shas.erase(shas.begin(),
+                 shas.end() - static_cast<size_t>(keep_last_shas));
+      std::vector<std::string> kept;
+      for (const std::string& key : order) {
+        std::string sha = ExtractJsonStringField(lines[key], "git_sha");
+        if (std::find(shas.begin(), shas.end(), sha) != shas.end()) {
+          kept.push_back(key);
+        } else {
+          lines.erase(key);
+        }
+      }
+      order.swap(kept);
+    }
   }
   std::ofstream out(path, std::ios::trunc);
   out << "[\n";
@@ -141,6 +172,9 @@ struct E2eBenchRecord {
   double wall_ms = 0.0;          // Wall time of one run / iteration.
   int threads = 1;               // Worker threads the measurement used.
   std::string git_sha;           // From $AQP_GIT_SHA; "unknown" outside CI.
+  std::string unit = "rows/s";   // What rows_per_second counts: "rows/s"
+                                 // (scan benches), "queries/s" (serving
+                                 // benches), "items/s" (kernel micro).
 };
 
 /// Output path for the unified end-to-end JSON (override: $AQP_E2E_JSON).
@@ -165,9 +199,14 @@ inline std::string BenchGitSha() {
 #endif
 }
 
+/// How many distinct commits of history BENCH_e2e.json retains (see
+/// MergeNamedJsonObjects::keep_last_shas).
+inline constexpr int kE2eKeepLastShas = 8;
+
 /// Merges `records` into BENCH_e2e.json-format `path` (one object per line,
 /// replace-by-(name, git_sha) — see MergeNamedJsonObjects: re-runs at one
-/// commit update in place, runs at a new commit append history).
+/// commit update in place, runs at a new commit append history, and rows
+/// older than the last kE2eKeepLastShas distinct commits are pruned).
 inline void MergeE2eJson(const std::string& path,
                          const std::vector<E2eBenchRecord>& records) {
   std::vector<std::pair<std::string, std::string>> objects;
@@ -176,11 +215,12 @@ inline void MergeE2eJson(const std::string& path,
     std::ostringstream obj;
     obj << "{\"name\": \"" << r.name << "\", \"rows_per_second\": "
         << r.rows_per_second << ", \"wall_ms\": " << r.wall_ms
-        << ", \"threads\": " << r.threads << ", \"git_sha\": \"" << r.git_sha
-        << "\"}";
+        << ", \"threads\": " << r.threads << ", \"unit\": \"" << r.unit
+        << "\", \"git_sha\": \"" << r.git_sha << "\"}";
     objects.emplace_back(r.name + "@" + r.git_sha, obj.str());
   }
-  MergeNamedJsonObjects(path, objects, /*dedup_by_git_sha=*/true);
+  MergeNamedJsonObjects(path, objects, /*dedup_by_git_sha=*/true,
+                        kE2eKeepLastShas);
 }
 
 }  // namespace bench

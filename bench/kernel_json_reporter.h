@@ -54,6 +54,7 @@ class KernelJsonReporter : public benchmark::ConsoleReporter {
       rec.rows_per_second = r.items_per_second;
       rec.wall_ms = r.real_time_ns * 1e-6;
       rec.threads = 1;  // Micro-benches measure single-thread kernels.
+      rec.unit = "items/s";
       rec.git_sha = BenchGitSha();
       e2e.push_back(std::move(rec));
     }

@@ -7,6 +7,7 @@
 
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "plan/fingerprint.h"
 #include "runtime/cancellation.h"
 #include "runtime/rng_stream.h"
 #include "storage/serialize.h"
@@ -488,7 +489,8 @@ Result<ApproxResult> AqpEngine::ExecuteServed(
       serve.token.can_cancel() ? runtime_.WithToken(serve.token) : runtime_;
   int replicates =
       serve.replicates > 0 ? serve.replicates : options_.bootstrap_replicates;
-  return ExecuteApproximateImpl(query, rng, runtime, replicates);
+  return ExecuteApproximateImpl(query, rng, runtime, replicates,
+                                serve.shared_scans);
 }
 
 int64_t AqpEngine::PredictedWorkRows(const QuerySpec& query) const {
@@ -499,11 +501,12 @@ int64_t AqpEngine::PredictedWorkRows(const QuerySpec& query) const {
 
 Result<ApproxResult> AqpEngine::ExecuteApproximateImpl(
     const QuerySpec& query, Rng& rng, const ExecRuntime& runtime,
-    int replicates) const {
+    int replicates, ScanScheduler* shared_scans) const {
   if (!options_.enable_tracing || runtime.tracer() != nullptr) {
     // Tracing off (the zero-cost path — no tracer, no clock reads), or a
     // tracer is already attached upstream (don't re-root).
-    return ExecuteApproximatePipeline(query, rng, runtime, replicates);
+    return ExecuteApproximatePipeline(query, rng, runtime, replicates,
+                                      shared_scans);
   }
   // One tracer per query: group-by groups each come through here with their
   // own Impl call, so each group's profile gets its own trace.
@@ -511,7 +514,8 @@ Result<ApproxResult> AqpEngine::ExecuteApproximateImpl(
   ExecRuntime traced = runtime.WithTracer(&tracer);
   Result<ApproxResult> result = [&] {
     ScopedSpan root(&tracer, "query");
-    return ExecuteApproximatePipeline(query, rng, traced, replicates);
+    return ExecuteApproximatePipeline(query, rng, traced, replicates,
+                                      shared_scans);
   }();
   if (result.ok()) {
     QueryProfile& profile = result->profile;
@@ -529,7 +533,7 @@ Result<ApproxResult> AqpEngine::ExecuteApproximateImpl(
 
 Result<ApproxResult> AqpEngine::ExecuteApproximatePipeline(
     const QuerySpec& query, Rng& rng, const ExecRuntime& runtime,
-    int replicates) const {
+    int replicates, ScanScheduler* shared_scans) const {
   Result<ResolvedSample> resolved = ResolveSample(query);
   if (!resolved.ok()) return resolved.status();
   const Table& data = *resolved->data;
@@ -557,6 +561,36 @@ Result<ApproxResult> AqpEngine::ExecuteApproximatePipeline(
   BootstrapEstimator bootstrap(replicates, bootstrap_.mode());
   bootstrap.set_runtime(runtime);
 
+  // Cross-request shared scan: adopt the group's PreparedQuery when a
+  // scheduler is attached and the plan has a structural scan key (UDF
+  // plans have none). PrepareQuery is deterministic and RNG-free, so the
+  // substitution is bit-invisible to everything downstream — every path
+  // below (single-scan, two-phase bootstrap, closed form, diagnostic)
+  // consumes the same prepared rows it would have produced privately.
+  std::shared_ptr<const PreparedQuery> shared_prepared;
+  SharedScanStats shared_stats;
+  if (shared_scans != nullptr) {
+    const std::string scan_key = ScanKeyText(effective);
+    if (!scan_key.empty()) {
+      Result<std::shared_ptr<const PreparedQuery>> adopted =
+          shared_scans->Prepare(data, effective, scan_key, runtime.token(),
+                                &shared_stats);
+      if (adopted.ok()) {
+        shared_prepared = std::move(*adopted);
+      } else if (adopted.status().code() == StatusCode::kCancelled ||
+                 adopted.status().code() == StatusCode::kDeadlineExceeded) {
+        // This request's own token tripped while waiting on the group:
+        // honor it. Any other prepare error re-surfaces identically from
+        // the private prepare below.
+        return adopted.status();
+      }
+    }
+  }
+  result.profile.shared_scan = shared_stats.shared;
+  result.profile.shared_scan_leader = shared_stats.leader;
+  result.profile.shared_scan_group = shared_stats.group_size;
+  result.profile.shared_scan_wait_ms = shared_stats.wait_seconds * 1e3;
+
   // Bootstrap path on streaming aggregates: the full §5.3.1 single scan
   // computes the answer, the CI, and the diagnostic in one pass.
   if (use_bootstrap && options_.run_diagnostic &&
@@ -565,7 +599,7 @@ Result<ApproxResult> AqpEngine::ExecuteApproximatePipeline(
     config.alpha = options_.alpha;
     Result<SingleScanResult> single = RunSingleScanPipeline(
         data, effective, resolved->population_rows, replicates, replicates,
-        config, bootstrap_.mode(), rng, runtime);
+        config, bootstrap_.mode(), rng, runtime, shared_prepared.get());
     if (single.ok()) {
       result.estimate = single->theta;
       result.ci = single->ci;
@@ -627,8 +661,14 @@ Result<ApproxResult> AqpEngine::ExecuteApproximatePipeline(
       use_bootstrap
           ? bootstrap.EstimateWithUsage(data, effective, scale,
                                         options_.alpha, rng, runtime,
-                                        &replicates_used, &resample_stats)
-          : closed_form_.Estimate(data, effective, scale, options_.alpha, rng);
+                                        &replicates_used, &resample_stats,
+                                        shared_prepared.get())
+          : (shared_prepared != nullptr
+                 ? closed_form_.EstimateFromPrepared(
+                       *shared_prepared, effective.aggregate, scale,
+                       options_.alpha, rng)
+                 : closed_form_.Estimate(data, effective, scale,
+                                         options_.alpha, rng));
   result.replicates_used = replicates_used;
   result.profile.replicates_completed = replicates_used;
   // Fault accounting for the two-phase bootstrap fan-out (all-zero for the
@@ -657,7 +697,7 @@ Result<ApproxResult> AqpEngine::ExecuteApproximatePipeline(
                       : static_cast<const ErrorEstimator&>(closed_form_);
     Result<DiagnosticReport> report = RunDiagnosticConsolidated(
         data, effective, estimator, resolved->population_rows, config, rng,
-        runtime);
+        runtime, shared_prepared.get());
     if (report.ok()) {
       result.diagnostic_ran = true;
       result.diagnostic_ok = report->accepted;

@@ -12,6 +12,7 @@
 #include "estimation/large_deviation.h"
 #include "exec/executor.h"
 #include "exec/query_spec.h"
+#include "exec/shared_scan.h"
 #include "obs/query_profile.h"
 #include "runtime/failpoint.h"
 #include "runtime/parallel_for.h"
@@ -183,6 +184,12 @@ class AqpEngine {
     /// Bootstrap replicate override (the admission controller's degrade
     /// stage); 0 keeps EngineOptions::bootstrap_replicates.
     int replicates = 0;
+    /// Cross-request shared-scan scheduler (scan consolidation across
+    /// concurrent queries). Null — the default — prepares privately, making
+    /// the served path byte-identical to pre-sharing behavior. Sharing only
+    /// substitutes the deterministic, RNG-free PrepareQuery output, so a
+    /// request's result stays a pure function of its rng_seed either way.
+    ScanScheduler* shared_scans = nullptr;
   };
 
   /// Thread-safe served entry point: runs the ExecuteApproximate pipeline
@@ -301,10 +308,15 @@ class AqpEngine {
   /// degrades (partial-replicate CI, no diagnosis, no exact fallback)
   /// rather than starting new work. `replicates` is the bootstrap K for
   /// this query (the serving layer's degrade stage passes a shrunk count).
+  /// `shared_scans`, when non-null, lets the single-scan branch adopt a
+  /// PreparedQuery from a cross-request scan group instead of scanning
+  /// privately (see ServeOptions::shared_scans).
   [[nodiscard]] Result<ApproxResult> ExecuteApproximateImpl(const QuerySpec& query,
                                               Rng& rng,
                                               const ExecRuntime& runtime,
-                                              int replicates) const;
+                                              int replicates,
+                                              ScanScheduler* shared_scans =
+                                                  nullptr) const;
 
   /// The pipeline body behind ExecuteApproximateImpl. Impl is the tracing
   /// wrapper: when `EngineOptions::enable_tracing` is set it owns a
@@ -313,7 +325,7 @@ class AqpEngine {
   /// always-on counters.
   [[nodiscard]] Result<ApproxResult> ExecuteApproximatePipeline(
       const QuerySpec& query, Rng& rng, const ExecRuntime& runtime,
-      int replicates) const;
+      int replicates, ScanScheduler* shared_scans = nullptr) const;
 
   [[nodiscard]] Result<ApproxResult> FallBack(const QuerySpec& query, ApproxResult result,
                                 Rng& rng) const;

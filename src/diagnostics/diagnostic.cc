@@ -223,7 +223,8 @@ Result<DiagnosticReport> RunDiagnostic(const Table& sample,
 Result<DiagnosticReport> RunDiagnosticConsolidated(
     const Table& sample, const QuerySpec& query,
     const ErrorEstimator& estimator, int64_t population_rows,
-    const DiagnosticConfig& config, Rng& rng, const ExecRuntime& runtime) {
+    const DiagnosticConfig& config, Rng& rng, const ExecRuntime& runtime,
+    const PreparedQuery* shared_prepared) {
   if (!estimator.Applicable(query)) {
     return Status::InvalidArgument("estimator '" + estimator.name() +
                                    "' not applicable to " + query.ToString());
@@ -235,14 +236,21 @@ Result<DiagnosticReport> RunDiagnosticConsolidated(
 
   // The single pass of scan consolidation: filter + projection evaluated
   // once over the whole sample. prepared.rows is ascending by construction,
-  // so each subsample's passing rows form a contiguous run.
-  Result<PreparedQuery> prepared = PrepareQuery(sample, query);
-  if (!prepared.ok()) return prepared.status();
+  // so each subsample's passing rows form a contiguous run. An adopted
+  // shared scan replaces the private pass; PrepareQuery is deterministic so
+  // either source yields the same prepared rows.
+  Result<PreparedQuery> own_prepared = [&]() -> Result<PreparedQuery> {
+    if (shared_prepared != nullptr) return PreparedQuery{};
+    return PrepareQuery(sample, query);
+  }();
+  if (!own_prepared.ok()) return own_prepared.status();
+  const PreparedQuery& prepared =
+      shared_prepared != nullptr ? *shared_prepared : *own_prepared;
 
   double sample_scale = static_cast<double>(population_rows) /
                         static_cast<double>(n);
   Result<double> t =
-      ComputeAggregate(*prepared, query.aggregate, sample_scale);
+      ComputeAggregate(prepared, query.aggregate, sample_scale);
   if (!t.ok()) return t.status();
 
   // Probe the estimator's prepared path once (on a tiny prefix slice)
@@ -252,24 +260,24 @@ Result<DiagnosticReport> RunDiagnosticConsolidated(
     PreparedQuery probe;
     probe.table_rows = (*sizes)[0];
     size_t probe_len;
-    if (prepared->all_rows) {
+    if (prepared.all_rows) {
       // Dense prepared query: the prefix's passing set is the prefix itself.
       probe.all_rows = true;
       probe_len = static_cast<size_t>((*sizes)[0]);
     } else {
       probe_len = 0;
-      while (probe_len < prepared->rows.size() &&
-             prepared->rows[probe_len] < (*sizes)[0]) {
+      while (probe_len < prepared.rows.size() &&
+             prepared.rows[probe_len] < (*sizes)[0]) {
         ++probe_len;
       }
       probe.rows.assign(
-          prepared->rows.begin(),
-          prepared->rows.begin() + static_cast<int64_t>(probe_len));
+          prepared.rows.begin(),
+          prepared.rows.begin() + static_cast<int64_t>(probe_len));
     }
-    if (!prepared->values.empty()) {
+    if (!prepared.values.empty()) {
       probe.values.assign(
-          prepared->values.begin(),
-          prepared->values.begin() + static_cast<int64_t>(probe_len));
+          prepared.values.begin(),
+          prepared.values.begin() + static_cast<int64_t>(probe_len));
     }
     Rng probe_rng(0);
     Result<ConfidenceInterval> ci = estimator.EstimateFromPrepared(
@@ -297,7 +305,7 @@ Result<DiagnosticReport> RunDiagnosticConsolidated(
     // dense (unfiltered) prepared query needs no sweep: subsample j's run
     // is exactly [j*b, (j+1)*b).
     std::vector<size_t> bounds(static_cast<size_t>(p) + 1);
-    if (prepared->all_rows) {
+    if (prepared.all_rows) {
       for (int j = 0; j <= p; ++j) {
         bounds[static_cast<size_t>(j)] =
             static_cast<size_t>(static_cast<int64_t>(j) * b);
@@ -307,8 +315,8 @@ Result<DiagnosticReport> RunDiagnosticConsolidated(
       for (int j = 0; j < p; ++j) {
         bounds[static_cast<size_t>(j)] = cursor;
         int64_t row_end = (static_cast<int64_t>(j) + 1) * b;
-        while (cursor < prepared->rows.size() &&
-               prepared->rows[cursor] < row_end) {
+        while (cursor < prepared.rows.size() &&
+               prepared.rows[cursor] < row_end) {
           ++cursor;
         }
       }
@@ -328,16 +336,16 @@ Result<DiagnosticReport> RunDiagnosticConsolidated(
         // the estimators, only the passing count and values.
         PreparedQuery sub;
         sub.table_rows = b;
-        if (prepared->all_rows) {
+        if (prepared.all_rows) {
           sub.all_rows = true;
         } else {
-          sub.rows.assign(prepared->rows.begin() + static_cast<int64_t>(first),
-                          prepared->rows.begin() + static_cast<int64_t>(last));
+          sub.rows.assign(prepared.rows.begin() + static_cast<int64_t>(first),
+                          prepared.rows.begin() + static_cast<int64_t>(last));
         }
-        if (!prepared->values.empty()) {
+        if (!prepared.values.empty()) {
           sub.values.assign(
-              prepared->values.begin() + static_cast<int64_t>(first),
-              prepared->values.begin() + static_cast<int64_t>(last));
+              prepared.values.begin() + static_cast<int64_t>(first),
+              prepared.values.begin() + static_cast<int64_t>(last));
         }
         Result<double> theta =
             ComputeAggregate(sub, query.aggregate, subsample_scale);

@@ -95,11 +95,17 @@ Result<DiagnosticReport> RunDiagnostic(const Table& sample,
 /// evaluation. Statistically identical to RunDiagnostic (bit-identical for
 /// deterministic estimators such as closed forms); requires the estimator
 /// to implement EstimateFromPrepared, else falls back to RunDiagnostic.
+///
+/// `shared_prepared` (may be null) supplies an already-prepared scan for
+/// exactly this (sample, query) pair — e.g. from a cross-request shared
+/// scan — and skips the internal PrepareQuery. PrepareQuery is
+/// deterministic, so the substitution is bit-invisible.
 Result<DiagnosticReport> RunDiagnosticConsolidated(
     const Table& sample, const QuerySpec& query,
     const ErrorEstimator& estimator, int64_t population_rows,
     const DiagnosticConfig& config, Rng& rng,
-    const ExecRuntime& runtime = ExecRuntime());
+    const ExecRuntime& runtime = ExecRuntime(),
+    const PreparedQuery* shared_prepared = nullptr);
 
 namespace diag_internal {
 

@@ -125,7 +125,7 @@ Result<SingleScanResult> RunSingleScanPipeline(
     const Table& sample, const QuerySpec& query, int64_t population_rows,
     int bootstrap_replicates, int diag_replicates,
     const DiagnosticConfig& config, BootstrapCiMode mode, Rng& rng,
-    const ExecRuntime& runtime) {
+    const ExecRuntime& runtime, const PreparedQuery* shared_prepared) {
   if (bootstrap_replicates < 2 || diag_replicates < 2) {
     return Status::InvalidArgument("need >= 2 replicates");
   }
@@ -141,15 +141,19 @@ Result<SingleScanResult> RunSingleScanPipeline(
 
   Tracer* tracer = runtime.tracer();
 
-  // --- The single scan: filter + projection once. -------------------------
-  Result<PreparedQuery> prepared = [&] {
+  // --- The single scan: filter + projection once (or adopt a shared
+  // scan's output; see the header contract for `prepared`). ----------------
+  Result<PreparedQuery> own_prepared = [&]() -> Result<PreparedQuery> {
+    if (shared_prepared != nullptr) return PreparedQuery{};
     ScopedSpan span(tracer, "scan");
     return PrepareQuery(sample, query);
   }();
-  if (!prepared.ok()) return prepared.status();
-  int64_t passing = prepared->num_passing();
+  if (!own_prepared.ok()) return own_prepared.status();
+  const PreparedQuery& prepared =
+      shared_prepared != nullptr ? *shared_prepared : *own_prepared;
+  int64_t passing = prepared.num_passing();
   bool has_input = query.aggregate.input != nullptr;
-  const double* values = has_input ? prepared->values.data() : nullptr;
+  const double* values = has_input ? prepared.values.data() : nullptr;
   AggregateKind kind = query.aggregate.kind;
 
   // The plain answer needs no weights and no RNG: fold it serially.
@@ -173,7 +177,7 @@ Result<SingleScanResult> RunSingleScanPipeline(
     int p = static_cast<int>(std::min<int64_t>(config.num_subsamples, n / b));
     subsamples_per_size[i] = p;
     bounds[i].resize(static_cast<size_t>(p) + 1);
-    if (prepared->all_rows) {
+    if (prepared.all_rows) {
       // Dense (unfiltered): subsample j's passing run is [j*b, (j+1)*b).
       for (int j = 0; j <= p; ++j) {
         bounds[i][static_cast<size_t>(j)] =
@@ -185,7 +189,7 @@ Result<SingleScanResult> RunSingleScanPipeline(
         bounds[i][static_cast<size_t>(j)] = cursor;
         int64_t row_end = (static_cast<int64_t>(j) + 1) * b;
         while (cursor < static_cast<size_t>(passing) &&
-               prepared->rows[cursor] < row_end) {
+               prepared.rows[cursor] < row_end) {
           ++cursor;
         }
       }

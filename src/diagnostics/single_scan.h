@@ -4,6 +4,7 @@
 #include "diagnostics/diagnostic.h"
 #include "estimation/bootstrap.h"
 #include "estimation/confidence_interval.h"
+#include "exec/executor.h"
 #include "exec/query_spec.h"
 #include "runtime/parallel_for.h"
 #include "storage/table.h"
@@ -66,11 +67,19 @@ struct SingleScanResult {
 /// Each replicate draws from the RNG stream keyed by its index (and each
 /// subsample from its (size, j) substream), so a fixed incoming `rng` state
 /// yields a bit-identical result at every thread count.
+///
+/// `prepared`, when non-null, supplies the filter+projection output for
+/// (sample, query) computed elsewhere (e.g. a shared scan serving several
+/// concurrent queries) and must be exactly what PrepareQuery(sample, query)
+/// returns — PrepareQuery is deterministic and draws no randomness, so
+/// substituting it cannot perturb any downstream RNG stream and the result
+/// stays bit-identical to the self-scanning path.
 Result<SingleScanResult> RunSingleScanPipeline(
     const Table& sample, const QuerySpec& query, int64_t population_rows,
     int bootstrap_replicates, int diag_replicates,
     const DiagnosticConfig& config, BootstrapCiMode mode, Rng& rng,
-    const ExecRuntime& runtime = ExecRuntime());
+    const ExecRuntime& runtime = ExecRuntime(),
+    const PreparedQuery* prepared = nullptr);
 
 }  // namespace aqp
 

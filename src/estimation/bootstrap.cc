@@ -40,20 +40,26 @@ Result<ConfidenceInterval> BootstrapEstimator::Estimate(
 Result<ConfidenceInterval> BootstrapEstimator::EstimateWithUsage(
     const Table& sample, const QuerySpec& query, double scale_factor,
     double alpha, Rng& rng, const ExecRuntime& runtime,
-    int* replicates_used, ResampleRunStats* stats) const {
+    int* replicates_used, ResampleRunStats* stats,
+    const PreparedQuery* shared_prepared) const {
   Tracer* tracer = runtime.tracer();
-  Result<PreparedQuery> prepared = [&] {
+  // An adopted shared scan replaces the private one; PrepareQuery is
+  // deterministic so either source yields the same prepared rows.
+  Result<PreparedQuery> own_prepared = [&]() -> Result<PreparedQuery> {
+    if (shared_prepared != nullptr) return PreparedQuery{};
     ScopedSpan span(tracer, "scan");
     return PrepareQuery(sample, query);
   }();
-  if (!prepared.ok()) return prepared.status();
+  if (!own_prepared.ok()) return own_prepared.status();
+  const PreparedQuery& prepared =
+      shared_prepared != nullptr ? *shared_prepared : *own_prepared;
   Result<double> theta = [&] {
     ScopedSpan span(tracer, "aggregate");
-    return ComputeAggregate(*prepared, query.aggregate, scale_factor);
+    return ComputeAggregate(prepared, query.aggregate, scale_factor);
   }();
   if (!theta.ok()) return theta.status();
   Result<std::vector<double>> replicates = MultiResampleFromPrepared(
-      *prepared, query.aggregate, scale_factor, num_resamples_, rng, runtime,
+      prepared, query.aggregate, scale_factor, num_resamples_, rng, runtime,
       stats);
   if (!replicates.ok()) return replicates.status();
   if (replicates_used != nullptr) {

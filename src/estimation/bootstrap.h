@@ -61,10 +61,16 @@ class BootstrapEstimator final : public ErrorEstimator {
   /// `stats` (may be null) receives the run's fault accounting
   /// (replicates_lost, injected retries, chunk counts) so callers can tell
   /// a salvage from a clean run.
+  ///
+  /// `shared_prepared` (may be null) supplies an already-prepared scan for
+  /// exactly this (sample, query) pair — e.g. from a cross-request shared
+  /// scan — and skips the internal PrepareQuery. PrepareQuery is
+  /// deterministic, so the substitution is bit-invisible.
   Result<ConfidenceInterval> EstimateWithUsage(
       const Table& sample, const QuerySpec& query, double scale_factor,
       double alpha, Rng& rng, const ExecRuntime& runtime,
-      int* replicates_used, ResampleRunStats* stats = nullptr) const;
+      int* replicates_used, ResampleRunStats* stats = nullptr,
+      const PreparedQuery* shared_prepared = nullptr) const;
 
   /// Runtime the K replicate computations fan out on (§5.3.2). Default is
   /// serial; the engine points every estimator it owns at its shared pool.

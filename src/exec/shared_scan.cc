@@ -1,0 +1,174 @@
+#include "exec/shared_scan.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <utility>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace aqp {
+namespace {
+
+/// Wait slice for holds and follower waits: short enough that cancellation
+/// is honored promptly, long enough not to thrash the condvar.
+constexpr int64_t kWaitSliceNanos = 1000000;  // 1 ms
+
+}  // namespace
+
+/// One in-flight scan: a leader runs PrepareQuery, members wait for the
+/// published result. The group is unlinked from the scheduler's map before
+/// the result is published, so late arrivals start a fresh scan instead of
+/// adopting one that began before they existed.
+struct ScanScheduler::Group {
+  Mutex mu;
+  CondVar cv;
+  /// Written by the leader before the group is published to the map (the
+  /// map mutex orders the write); read-only afterwards.
+  double hold_seconds = 0.0;
+  bool scan_started AQP_GUARDED_BY(mu) = false;
+  bool done AQP_GUARDED_BY(mu) = false;
+  int members AQP_GUARDED_BY(mu) = 1;  // the leader
+  std::shared_ptr<const PreparedQuery> ready AQP_GUARDED_BY(mu);
+  Status error AQP_GUARDED_BY(mu);
+};
+
+ScanScheduler::ScanScheduler(ScanSchedulerOptions options)
+    : options_(options),
+      leader_scans_(MetricsRegistry::Default().GetCounter(
+          "exec.shared_scan.leader_scans")),
+      shared_served_(MetricsRegistry::Default().GetCounter(
+          "exec.shared_scan.shared_served")),
+      detached_waits_(MetricsRegistry::Default().GetCounter(
+          "exec.shared_scan.detached_waits")),
+      private_scans_(MetricsRegistry::Default().GetCounter(
+          "exec.shared_scan.private_scans")) {}
+
+double ScanScheduler::HoldSeconds(const CancellationToken& token) const {
+  double hold = options_.batch_window_seconds;
+  if (hold <= 0.0) return 0.0;
+  if (token.can_cancel() && !token.deadline().infinite()) {
+    const double slack =
+        token.deadline().RemainingSeconds() * options_.max_hold_fraction;
+    hold = std::min(hold, std::max(slack, 0.0));
+  }
+  return hold;
+}
+
+Result<std::shared_ptr<const PreparedQuery>> ScanScheduler::Prepare(
+    const Table& table, const QuerySpec& query, const std::string& scan_key,
+    const CancellationToken& token, SharedScanStats* stats) {
+  SharedScanStats local;
+  if (stats == nullptr) stats = &local;
+  // Structural key + table identity: equal text over the same physical
+  // table is what makes sharing a PreparedQuery byte-safe.
+  char suffix[32];
+  std::snprintf(suffix, sizeof(suffix), "@%p",
+                static_cast<const void*>(&table));
+  const std::string key = scan_key + suffix;
+
+  std::shared_ptr<Group> group;
+  bool leader = false;
+  {
+    MutexLock lock(mu_);
+    auto it = groups_.find(key);
+    if (it == groups_.end()) {
+      group = std::make_shared<Group>();
+      group->hold_seconds = HoldSeconds(token);
+      groups_.emplace(key, group);
+      leader = true;
+    } else {
+      group = it->second;
+    }
+  }
+
+  if (leader) {
+    leader_scans_->Increment();
+    const double hold_start = MonotonicSeconds();
+    if (group->hold_seconds > 0.0) {
+      // Micro-batch window: give same-scan arrivals a bounded chance to
+      // join before the scan runs. A tripped token ends the hold early but
+      // the leader still scans and publishes — members depend on it.
+      MutexLock lock(group->mu);
+      const double hold_end = hold_start + group->hold_seconds;
+      while (!token.CancelRequested()) {
+        const double remaining = hold_end - MonotonicSeconds();
+        if (remaining <= 0.0) break;
+        const int64_t nanos = std::min<int64_t>(
+            kWaitSliceNanos, static_cast<int64_t>(remaining * 1e9) + 1);
+        group->cv.WaitForNanos(group->mu, nanos);
+      }
+      group->scan_started = true;
+    } else {
+      MutexLock lock(group->mu);
+      group->scan_started = true;
+    }
+    stats->wait_seconds = MonotonicSeconds() - hold_start;
+    Result<PreparedQuery> prepared = PrepareQuery(table, query);
+    {
+      // Retire the group before publishing (see Group's comment).
+      MutexLock lock(mu_);
+      auto it = groups_.find(key);
+      if (it != groups_.end() && it->second == group) groups_.erase(it);
+    }
+    std::shared_ptr<const PreparedQuery> ready;
+    Status error;
+    {
+      MutexLock lock(group->mu);
+      if (prepared.ok()) {
+        group->ready =
+            std::make_shared<const PreparedQuery>(std::move(*prepared));
+      } else {
+        group->error = prepared.status();
+      }
+      group->done = true;
+      group->cv.NotifyAll();
+      stats->leader = true;
+      stats->group_size = group->members;
+      stats->shared = group->members > 1;
+      ready = group->ready;
+      error = group->error;
+    }
+    if (!error.ok()) return error;
+    return ready;
+  }
+
+  // Member path: adopt the group's scan, or bail out when waiting would
+  // endanger this request's own deadline.
+  const double wait_start = MonotonicSeconds();
+  bool go_private = false;
+  {
+    MutexLock lock(group->mu);
+    if (!group->done && !group->scan_started && token.can_cancel() &&
+        !token.deadline().infinite() &&
+        token.deadline().RemainingSeconds() < 2.0 * group->hold_seconds) {
+      // Joining a not-yet-started scan costs up to the leader's remaining
+      // hold plus the scan; with this little budget left, batching would
+      // risk the SLO — scan privately instead.
+      go_private = true;
+    }
+    if (!go_private) {
+      ++group->members;
+      while (!group->done) {
+        if (token.CancelRequested()) {
+          detached_waits_->Increment();
+          return token.CheckCancelled("shared-scan wait");
+        }
+        group->cv.WaitForNanos(group->mu, kWaitSliceNanos);
+      }
+      stats->wait_seconds = MonotonicSeconds() - wait_start;
+      stats->group_size = group->members;
+      stats->shared = true;
+      if (!group->error.ok()) return group->error;
+      shared_served_->Increment();
+      return group->ready;
+    }
+  }
+  private_scans_->Increment();
+  Result<PreparedQuery> prepared = PrepareQuery(table, query);
+  if (!prepared.ok()) return prepared.status();
+  stats->wait_seconds = MonotonicSeconds() - wait_start;
+  return std::make_shared<const PreparedQuery>(std::move(*prepared));
+}
+
+}  // namespace aqp

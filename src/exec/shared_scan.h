@@ -1,0 +1,99 @@
+#ifndef AQP_EXEC_SHARED_SCAN_H_
+#define AQP_EXEC_SHARED_SCAN_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+
+#include "exec/executor.h"
+#include "exec/query_spec.h"
+#include "runtime/cancellation.h"
+#include "storage/table.h"
+#include "util/mutex.h"
+#include "util/status.h"
+#include "util/thread_annotations.h"
+
+namespace aqp {
+
+class Counter;
+
+/// Tuning for the shared-scan scheduler (all sharing is off by default at
+/// the serving layer; see ServerOptions).
+struct ScanSchedulerOptions {
+  /// Micro-batch admission window: how long a group leader holds its scan
+  /// open so same-scan arrivals can coalesce into it. 0 disables holding
+  /// (sharing still happens when arrivals overlap an in-flight scan).
+  double batch_window_seconds = 0.0;
+  /// A leader never holds longer than this fraction of its own remaining
+  /// deadline budget, so batching can shrink under deadline pressure but
+  /// never push a request past its SLO.
+  double max_hold_fraction = 0.25;
+};
+
+/// Per-request outcome of a ScanScheduler::Prepare call, surfaced into
+/// QueryProfile.
+struct SharedScanStats {
+  /// True when this request's PreparedQuery was produced by a group scan
+  /// with more than one member (leader or follower side).
+  bool shared = false;
+  /// True when this request ran the group's scan itself.
+  bool leader = false;
+  /// Members of the group at publish time (1 = effectively solo).
+  int group_size = 1;
+  /// Time spent holding the batch window open (leader) or waiting for the
+  /// group's scan (follower).
+  double wait_seconds = 0.0;
+};
+
+/// Shared-scan scheduler (§5.3 scan consolidation across *queries*): when N
+/// concurrent requests need the same filter+projection over the same table,
+/// one leader runs PrepareQuery once and all members adopt the result.
+///
+/// Grouping keys on the caller-supplied structural scan key (see
+/// plan/fingerprint.h ScanKeyText) plus the table's identity, so only
+/// byte-identical scans ever share. PrepareQuery is deterministic and draws
+/// no randomness, which is exactly why it is the safe thing to share: each
+/// query's downstream resampling still consumes its own RNG streams, so a
+/// shared-scan result is bit-identical to solo execution at any thread
+/// count.
+///
+/// Deadline interaction: the leader's hold is capped by its own slack
+/// (`max_hold_fraction`); a follower that would join a not-yet-started scan
+/// with too little budget left detaches and scans privately; a follower
+/// whose cancellation token trips while waiting returns Cancelled without
+/// blocking the group.
+class ScanScheduler {
+ public:
+  explicit ScanScheduler(ScanSchedulerOptions options = {});
+
+  /// Returns the PreparedQuery for (table, query), shared with every other
+  /// in-flight request carrying the same `scan_key` over the same table.
+  /// `table` must stay alive for the duration of the call. `stats` is
+  /// optional.
+  Result<std::shared_ptr<const PreparedQuery>> Prepare(
+      const Table& table, const QuerySpec& query, const std::string& scan_key,
+      const CancellationToken& token, SharedScanStats* stats = nullptr);
+
+  const ScanSchedulerOptions& options() const { return options_; }
+
+ private:
+  struct Group;
+
+  /// Batch hold for a leader under `token`: the configured window, shrunk
+  /// to `max_hold_fraction` of the token's remaining deadline budget.
+  double HoldSeconds(const CancellationToken& token) const;
+
+  ScanSchedulerOptions options_;
+  Mutex mu_;
+  std::unordered_map<std::string, std::shared_ptr<Group>> groups_
+      AQP_GUARDED_BY(mu_);
+
+  Counter* leader_scans_;
+  Counter* shared_served_;
+  Counter* detached_waits_;
+  Counter* private_scans_;
+};
+
+}  // namespace aqp
+
+#endif  // AQP_EXEC_SHARED_SCAN_H_

@@ -78,6 +78,11 @@ class ColumnRefExpr final : public Expr {
     out.push_back(name_);
   }
 
+  bool GetShape(ExprShape* shape) const override {
+    shape->name = name_;
+    return true;
+  }
+
   std::string ToString() const override { return name_; }
 
  private:
@@ -102,6 +107,11 @@ class LiteralExpr final : public Expr {
   }
 
   void CollectColumns(std::vector<std::string>&) const override {}
+
+  bool GetShape(ExprShape* shape) const override {
+    shape->value = value_;
+    return true;
+  }
 
   std::string ToString() const override { return std::to_string(value_); }
 
@@ -176,6 +186,12 @@ class ArithmeticExpr final : public Expr {
   }
 
   bool HasUdf() const override { return lhs_->HasUdf() || rhs_->HasUdf(); }
+
+  bool GetShape(ExprShape* shape) const override {
+    shape->arith = op_;
+    shape->children = {lhs_, rhs_};
+    return true;
+  }
 
   std::string ToString() const override {
     const char* symbol = "?";
@@ -302,6 +318,12 @@ class ComparisonExpr final : public Expr {
 
   bool HasUdf() const override { return lhs_->HasUdf() || rhs_->HasUdf(); }
 
+  bool GetShape(ExprShape* shape) const override {
+    shape->compare = op_;
+    shape->children = {lhs_, rhs_};
+    return true;
+  }
+
   std::string ToString() const override {
     const char* symbol = "?";
     switch (op_) {
@@ -420,6 +442,12 @@ class StringEqualsExpr final : public Expr {
     return true;
   }
 
+  bool GetShape(ExprShape* shape) const override {
+    shape->name = column_;
+    shape->text = value_;
+    return true;
+  }
+
   std::string ToString() const override {
     return "(" + column_ + " == '" + value_ + "')";
   }
@@ -503,6 +531,12 @@ class LogicalExpr final : public Expr {
     return true;
   }
 
+  bool GetShape(ExprShape* shape) const override {
+    shape->logical = op_;
+    shape->children = {lhs_, rhs_};
+    return true;
+  }
+
   std::string ToString() const override {
     return "(" + lhs_->ToString() +
            (op_ == LogicalOp::kAnd ? " AND " : " OR ") + rhs_->ToString() +
@@ -561,6 +595,11 @@ class NotExpr final : public Expr {
   }
 
   bool HasUdf() const override { return operand_->HasUdf(); }
+
+  bool GetShape(ExprShape* shape) const override {
+    shape->children = {operand_};
+    return true;
+  }
 
   std::string ToString() const override {
     return "NOT " + operand_->ToString();

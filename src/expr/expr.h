@@ -34,6 +34,28 @@ enum class LogicalOp { kAnd, kOr };
 /// Scalar UDF: maps one row's evaluated argument values to a double.
 using ScalarUdf = std::function<double(const std::vector<double>& args)>;
 
+/// Structural decomposition of one expression node, for planners that
+/// canonicalize or fingerprint trees without re-parsing `ToString()` output.
+/// Which fields are meaningful depends on the node's kind:
+///   kColumnRef:  `name` (column name)
+///   kLiteral:    `value`
+///   kArithmetic: `arith`,   `children` = {lhs, rhs}
+///   kComparison: `compare`, `children` = {lhs, rhs}
+///   kStringEq:   `name` (column), `text` (compared string value)
+///   kLogical:    `logical`, `children` = {lhs, rhs}
+///   kNot:        `children` = {operand}
+///   kUdf:        not decomposable — `GetShape` returns false (the function
+///                body is an opaque std::function).
+struct ExprShape {
+  double value = 0.0;
+  std::string name;
+  std::string text;
+  ArithOp arith = ArithOp::kAdd;
+  CompareOp compare = CompareOp::kEq;
+  LogicalOp logical = LogicalOp::kAnd;
+  std::vector<ExprPtr> children;
+};
+
 /// Immutable expression tree evaluated column-at-a-time against a `Table`.
 ///
 /// Two evaluation disciplines exist:
@@ -103,6 +125,14 @@ class Expr {
   /// and returns true. Lets planners flatten conjunctive filters.
   virtual bool GetAndOperands(std::vector<ExprPtr>& out) const {
     (void)out;
+    return false;
+  }
+
+  /// Fills `shape` with this node's structural decomposition and returns
+  /// true; returns false for nodes that cannot be decomposed (UDFs). See
+  /// `ExprShape` for the per-kind field contract.
+  virtual bool GetShape(ExprShape* shape) const {
+    (void)shape;
     return false;
   }
 

@@ -66,6 +66,11 @@ std::string QueryProfile::ToJson() const {
   out << ", \"throughput_ewma_rows_per_second\": " << buffer;
   out << ", \"shed_stage\": \"" << ShedStageName(shed_stage) << "\", ";
   AppendMs(out, "admission_wait_ms", admission_wait_ms / 1e3);
+  out << ", \"cache_hit\": " << (cache_hit ? "true" : "false")
+      << ", \"shared_scan\": " << (shared_scan ? "true" : "false")
+      << ", \"shared_scan_leader\": " << (shared_scan_leader ? "true" : "false")
+      << ", \"shared_scan_group\": " << shared_scan_group << ", ";
+  AppendMs(out, "shared_scan_wait_ms", shared_scan_wait_ms / 1e3);
   out << "}";
   return out.str();
 }

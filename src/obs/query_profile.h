@@ -109,6 +109,19 @@ struct QueryProfile {
   /// execution started (0 unless the request was deferred).
   double admission_wait_ms = 0.0;
 
+  /// Concurrency-sharing accounting (serving layer). `cache_hit` marks a
+  /// response served straight from the plan-keyed result cache (no engine
+  /// work; the stored profile's execution fields describe the producing
+  /// run). The shared-scan fields describe this query's participation in a
+  /// fused scan: whether its PreparedQuery came from a group scan, how many
+  /// queries that scan fed, and how long this request held the batching
+  /// window open (leader) or waited for the group's scan (follower).
+  bool cache_hit = false;
+  bool shared_scan = false;
+  bool shared_scan_leader = false;
+  int shared_scan_group = 1;
+  double shared_scan_wait_ms = 0.0;
+
   /// Chrome trace-event JSON for this query (loadable in Perfetto /
   /// chrome://tracing); empty when tracing is off.
   std::string chrome_trace_json;

@@ -1,0 +1,369 @@
+#include "plan/fingerprint.h"
+
+#include <cstdio>
+#include <utility>
+
+#include "expr/expr.h"
+
+namespace aqp {
+namespace {
+
+// 17 significant digits round-trip every double, so two literals render
+// identically iff they are the same value (with "-0" kept distinct from
+// "0": the sign of zero is observable through SUM/AVG bit-equality).
+std::string FormatDouble(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+/// One canonicalized subtree. A literal stays symbolic (value, not text)
+/// until rendered, so folds compose; `is_boolean` marks nodes whose numeric
+/// value is always 0/1 (comparisons, logicals, NOT, string equality), which
+/// lets logical-identity absorption drop redundant bool() wrappers.
+struct CanonNode {
+  bool is_literal = false;
+  bool is_boolean = false;
+  double value = 0.0;
+  std::string text;
+};
+
+CanonNode MakeLiteral(double v) {
+  CanonNode n;
+  n.is_literal = true;
+  n.value = v;
+  return n;
+}
+
+std::string Render(const CanonNode& n) {
+  return n.is_literal ? "lit:" + FormatDouble(n.value) : n.text;
+}
+
+/// Rewrites `n` as the 0/1 truth value an enclosing boolean context would
+/// read from it. Identity for nodes that are already 0/1-valued; numeric
+/// nodes get an explicit bool() so e.g. `(1 AND x)` and `x` canonicalize
+/// apart as *numeric* expressions (their values differ) but together as
+/// predicates (only truthiness matters there).
+CanonNode AsBoolean(CanonNode n) {
+  if (n.is_literal) return MakeLiteral(n.value != 0.0 ? 1.0 : 0.0);
+  if (n.is_boolean) return n;
+  CanonNode out;
+  out.is_boolean = true;
+  out.text = "bool(" + n.text + ")";
+  return out;
+}
+
+/// Canonicalizes `e` into `out`; false when the tree holds a node that
+/// cannot be decomposed (UDFs). Every rewrite below is value-exact against
+/// the executor's Eval semantics — see the header contract.
+bool Canonicalize(const ExprPtr& e, CanonNode* out) {
+  ExprShape shape;
+  if (e == nullptr || !e->GetShape(&shape)) return false;
+  switch (e->kind()) {
+    case ExprKind::kLiteral:
+      *out = MakeLiteral(shape.value);
+      return true;
+    case ExprKind::kColumnRef: {
+      CanonNode n;
+      n.text = "col:" + shape.name;
+      *out = n;
+      return true;
+    }
+    case ExprKind::kStringEq: {
+      CanonNode n;
+      n.is_boolean = true;
+      n.text = "(col:" + shape.name + " ==s <" + shape.text + ">)";
+      *out = n;
+      return true;
+    }
+    case ExprKind::kArithmetic: {
+      CanonNode l, r;
+      if (!Canonicalize(shape.children[0], &l) ||
+          !Canonicalize(shape.children[1], &r)) {
+        return false;
+      }
+      if (l.is_literal && r.is_literal) {
+        // Fold exactly as ArithmeticExpr::Eval would at runtime, including
+        // the executor's divide-by-zero -> 0.0 convention.
+        double v = 0.0;
+        switch (shape.arith) {
+          case ArithOp::kAdd:
+            v = l.value + r.value;
+            break;
+          case ArithOp::kSub:
+            v = l.value - r.value;
+            break;
+          case ArithOp::kMul:
+            v = l.value * r.value;
+            break;
+          case ArithOp::kDiv:
+            v = r.value == 0.0 ? 0.0 : l.value / r.value;
+            break;
+        }
+        *out = MakeLiteral(v);
+        return true;
+      }
+      std::string a = Render(l);
+      std::string b = Render(r);
+      const char* symbol = "?";
+      switch (shape.arith) {
+        case ArithOp::kAdd:
+          // IEEE addition/multiplication are commutative (identical bits
+          // either way), so order operands canonically.
+          symbol = "+";
+          if (b < a) std::swap(a, b);
+          break;
+        case ArithOp::kMul:
+          symbol = "*";
+          if (b < a) std::swap(a, b);
+          break;
+        case ArithOp::kSub:
+          symbol = "-";
+          break;
+        case ArithOp::kDiv:
+          symbol = "/";
+          break;
+      }
+      CanonNode n;
+      n.text = "(" + a + " " + symbol + " " + b + ")";
+      *out = n;
+      return true;
+    }
+    case ExprKind::kComparison: {
+      CanonNode l, r;
+      if (!Canonicalize(shape.children[0], &l) ||
+          !Canonicalize(shape.children[1], &r)) {
+        return false;
+      }
+      CompareOp op = shape.compare;
+      if (l.is_literal && r.is_literal) {
+        bool truth = false;
+        switch (op) {
+          case CompareOp::kEq:
+            truth = l.value == r.value;
+            break;
+          case CompareOp::kNe:
+            truth = l.value != r.value;
+            break;
+          case CompareOp::kLt:
+            truth = l.value < r.value;
+            break;
+          case CompareOp::kLe:
+            truth = l.value <= r.value;
+            break;
+          case CompareOp::kGt:
+            truth = l.value > r.value;
+            break;
+          case CompareOp::kGe:
+            truth = l.value >= r.value;
+            break;
+        }
+        *out = MakeLiteral(truth ? 1.0 : 0.0);
+        return true;
+      }
+      std::string a = Render(l);
+      std::string b = Render(r);
+      // Orientation: a > b and b < a select the same rows, so only the
+      // < / <= spellings survive; == and != are symmetric, so their
+      // operands sort canonically.
+      if (op == CompareOp::kGt) {
+        op = CompareOp::kLt;
+        std::swap(a, b);
+      } else if (op == CompareOp::kGe) {
+        op = CompareOp::kLe;
+        std::swap(a, b);
+      }
+      if ((op == CompareOp::kEq || op == CompareOp::kNe) && b < a) {
+        std::swap(a, b);
+      }
+      const char* symbol = op == CompareOp::kEq   ? "=="
+                           : op == CompareOp::kNe ? "!="
+                           : op == CompareOp::kLt ? "<"
+                                                  : "<=";
+      CanonNode n;
+      n.is_boolean = true;
+      n.text = "(" + a + " " + symbol + " " + b + ")";
+      *out = n;
+      return true;
+    }
+    case ExprKind::kLogical: {
+      CanonNode l, r;
+      if (!Canonicalize(shape.children[0], &l) ||
+          !Canonicalize(shape.children[1], &r)) {
+        return false;
+      }
+      const bool is_and = shape.logical == LogicalOp::kAnd;
+      if (l.is_literal && r.is_literal) {
+        const bool lt = l.value != 0.0;
+        const bool rt = r.value != 0.0;
+        *out = MakeLiteral((is_and ? (lt && rt) : (lt || rt)) ? 1.0 : 0.0);
+        return true;
+      }
+      if (l.is_literal || r.is_literal) {
+        // Absorb the literal operand. LogicalExpr evaluates both sides with
+        // no short-circuit, so this is pure value algebra: a dominating
+        // literal fixes the whole node at 0/1, an identity literal leaves
+        // the other operand's truth value (kept 0/1 via AsBoolean, since
+        // the logical node always produced 0/1 even under numeric reads).
+        const CanonNode& lit = l.is_literal ? l : r;
+        CanonNode other = l.is_literal ? r : l;
+        const bool truthy = lit.value != 0.0;
+        if (is_and) {
+          *out = truthy ? AsBoolean(std::move(other)) : MakeLiteral(0.0);
+        } else {
+          *out = truthy ? MakeLiteral(1.0) : AsBoolean(std::move(other));
+        }
+        return true;
+      }
+      std::string a = Render(l);
+      std::string b = Render(r);
+      if (b < a) std::swap(a, b);
+      CanonNode n;
+      n.is_boolean = true;
+      n.text = "(" + a + (is_and ? " AND " : " OR ") + b + ")";
+      *out = n;
+      return true;
+    }
+    case ExprKind::kNot: {
+      CanonNode c;
+      if (!Canonicalize(shape.children[0], &c)) return false;
+      if (c.is_literal) {
+        *out = MakeLiteral(c.value != 0.0 ? 0.0 : 1.0);
+        return true;
+      }
+      CanonNode n;
+      n.is_boolean = true;
+      n.text = "(NOT " + Render(c) + ")";
+      *out = n;
+      return true;
+    }
+    case ExprKind::kUdf:
+      return false;
+  }
+  return false;
+}
+
+/// Exact structural rendering: the tree as built, no commuting, no folding,
+/// literals at full precision. Equal structural text implies byte-identical
+/// EvalPredicateBlock/EvalNumericBlock behavior.
+bool Structural(const ExprPtr& e, std::string* out) {
+  ExprShape shape;
+  if (e == nullptr || !e->GetShape(&shape)) return false;
+  switch (e->kind()) {
+    case ExprKind::kLiteral:
+      *out += "lit:" + FormatDouble(shape.value);
+      return true;
+    case ExprKind::kColumnRef:
+      *out += "col:" + shape.name;
+      return true;
+    case ExprKind::kStringEq:
+      *out += "(col:" + shape.name + " ==s <" + shape.text + ">)";
+      return true;
+    case ExprKind::kArithmetic: {
+      const char* symbol = shape.arith == ArithOp::kAdd   ? "+"
+                           : shape.arith == ArithOp::kSub ? "-"
+                           : shape.arith == ArithOp::kMul ? "*"
+                                                          : "/";
+      *out += "(";
+      if (!Structural(shape.children[0], out)) return false;
+      *out += std::string(" ") + symbol + " ";
+      if (!Structural(shape.children[1], out)) return false;
+      *out += ")";
+      return true;
+    }
+    case ExprKind::kComparison: {
+      const char* symbol = shape.compare == CompareOp::kEq   ? "=="
+                           : shape.compare == CompareOp::kNe ? "!="
+                           : shape.compare == CompareOp::kLt ? "<"
+                           : shape.compare == CompareOp::kLe ? "<="
+                           : shape.compare == CompareOp::kGt ? ">"
+                                                             : ">=";
+      *out += "(";
+      if (!Structural(shape.children[0], out)) return false;
+      *out += std::string(" ") + symbol + " ";
+      if (!Structural(shape.children[1], out)) return false;
+      *out += ")";
+      return true;
+    }
+    case ExprKind::kLogical: {
+      *out += "(";
+      if (!Structural(shape.children[0], out)) return false;
+      *out += shape.logical == LogicalOp::kAnd ? " AND " : " OR ";
+      if (!Structural(shape.children[1], out)) return false;
+      *out += ")";
+      return true;
+    }
+    case ExprKind::kNot:
+      *out += "(NOT ";
+      if (!Structural(shape.children[0], out)) return false;
+      *out += ")";
+      return true;
+    case ExprKind::kUdf:
+      return false;
+  }
+  return false;
+}
+
+uint64_t Fnv1a64(const std::string& s) {
+  uint64_t h = 1469598103934665603ULL;
+  for (unsigned char c : s) {
+    h ^= static_cast<uint64_t>(c);
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+}  // namespace
+
+bool PlanCanonicalizable(const QuerySpec& query) {
+  return !CanonicalPlanText(query).empty();
+}
+
+std::string CanonicalPlanText(const QuerySpec& query) {
+  std::string where = "-";
+  if (query.filter != nullptr) {
+    CanonNode w;
+    if (!Canonicalize(query.filter, &w)) return "";
+    // The filter is a pure predicate context: only truthiness matters, so
+    // canonicalize its value to 0/1. A filter that folds to always-true is
+    // the same plan as no filter at all.
+    CanonNode b = AsBoolean(std::move(w));
+    if (!(b.is_literal && b.value != 0.0)) where = Render(b);
+  }
+  std::string input = "*";
+  if (query.aggregate.input != nullptr) {
+    CanonNode v;
+    if (!Canonicalize(query.aggregate.input, &v)) return "";
+    input = Render(v);
+  }
+  std::string text = "aqp/plan/v1|t=" + query.table + "|w=" + where + "|a=" +
+                     AggregateKindName(query.aggregate.kind) + "(" + input +
+                     ")";
+  if (query.aggregate.kind == AggregateKind::kPercentile) {
+    text += "|q=" + FormatDouble(query.aggregate.percentile);
+  }
+  return text;
+}
+
+uint64_t PlanFingerprint(const QuerySpec& query) {
+  return Fnv1a64(CanonicalPlanText(query));
+}
+
+std::string ScanKeyText(const QuerySpec& query) {
+  // Only what PrepareQuery consumes: the filter tree and the aggregate
+  // input tree. The aggregate *kind* is deliberately absent — AVG(v) and
+  // SUM(v) over the same filter drive the same scan and may share it.
+  std::string where = "-";
+  if (query.filter != nullptr) {
+    where.clear();
+    if (!Structural(query.filter, &where)) return "";
+  }
+  std::string input = "-";
+  if (query.aggregate.input != nullptr) {
+    input.clear();
+    if (!Structural(query.aggregate.input, &input)) return "";
+  }
+  return "aqp/scan/v1|t=" + query.table + "|w=" + where + "|in=" + input;
+}
+
+}  // namespace aqp

@@ -1,0 +1,55 @@
+#ifndef AQP_PLAN_FINGERPRINT_H_
+#define AQP_PLAN_FINGERPRINT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "exec/query_spec.h"
+
+namespace aqp {
+
+/// True when `query` can be canonicalized and fingerprinted: every
+/// expression node is structurally decomposable. UDF queries are excluded —
+/// a UDF body is an opaque std::function, so two UDF queries can never be
+/// proven equivalent (nor distinct), and they must not share cache lines.
+bool PlanCanonicalizable(const QuerySpec& query);
+
+/// Canonical rendering of the query plan: a deterministic string such that
+/// two queries with equal text compute bit-identical answers against the
+/// same engine state. The rendering deliberately excludes `query.id` (a
+/// display alias) and any RNG stream identity — per the paper's
+/// partial-result reuse, the cache key is the *plan*, never the randomness
+/// used to answer it.
+///
+/// Normalizations applied, all value-exact under the executor's IEEE
+/// evaluation semantics (see DESIGN.md §14):
+///  - operand ordering for the commutative operators +, *, ==, !=, AND, OR
+///  - comparison orientation: a > b -> b < a, a >= b -> b <= a
+///  - constant folding of literal-only subtrees, mirroring Eval exactly
+///    (including the executor's divide-by-zero -> 0.0 convention)
+///  - AND/OR absorption of literal operands, preserving the node's 0/1
+///    boolean output when the surviving operand is numeric
+///
+/// Requires PlanCanonicalizable(query); returns "" otherwise.
+std::string CanonicalPlanText(const QuerySpec& query);
+
+/// 64-bit FNV-1a hash of CanonicalPlanText, for compact display, metrics
+/// and profiles. Hash collisions are possible in principle, so
+/// correctness-critical consumers (the result cache, the scan scheduler)
+/// key on the canonical/structural text itself, never on this hash alone.
+uint64_t PlanFingerprint(const QuerySpec& query);
+
+/// Strict structural scan key: an exact rendering of the parts of the plan
+/// that PrepareQuery consumes (table, filter tree, aggregate input tree)
+/// with NO algebraic normalization and 17-significant-digit literals. Two
+/// queries with equal ScanKeyText drive byte-identical filter+projection
+/// work and may therefore share one PreparedQuery; semantically equivalent
+/// but structurally different plans (e.g. commuted predicates) do NOT get
+/// the same scan key, because sharing a scan requires bit-equality of the
+/// prepared values, a stronger property than answer equality.
+/// Requires PlanCanonicalizable(query); returns "" otherwise.
+std::string ScanKeyText(const QuerySpec& query);
+
+}  // namespace aqp
+
+#endif  // AQP_PLAN_FINGERPRINT_H_

@@ -89,6 +89,7 @@ void RunClient(AqpServer& server, const QuerySpec& query,
   CondVar sleep_cv;
 
   double next_arrival_seconds = 0.0;
+  uint64_t request_index = 0;
   for (;;) {
     next_arrival_seconds += rng.NextExponential(per_client_qps);
     const Clock::time_point scheduled =
@@ -107,7 +108,12 @@ void RunClient(AqpServer& server, const QuerySpec& query,
 
     ++out->offered;
     QueryRequest request;
-    request.query = query;
+    // Workload mix: round-robin over the configured shapes (deterministic
+    // per client), or the single harness query when no mix is set.
+    request.query =
+        options.queries.empty()
+            ? query
+            : options.queries[request_index++ % options.queries.size()];
     request.target_ci_width = options.target_ci_width;
     request.priority = options.priority;
     if (options.deadline_ms > 0.0) {

@@ -70,6 +70,14 @@ struct LoadGenOptions {
   /// recorded fault-recovered samples against a fault-free engine to verify
   /// bit-identity.
   int record_samples = 0;
+
+  /// Overlapping-workload mix: when non-empty, each client cycles through
+  /// these specs round-robin (request k uses queries[k % size]), ignoring
+  /// the single `query` argument of RunOpenLoopLoad. Deterministic per
+  /// client, and with few distinct shapes across many clients the offered
+  /// stream is guaranteed to overlap — the workload the shared-scan
+  /// scheduler and result cache exist for.
+  std::vector<QuerySpec> queries;
 };
 
 /// One completed request, captured for offline replay/verification.

@@ -1,0 +1,100 @@
+#include "server/result_cache.h"
+
+#include <utility>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace aqp {
+
+ResultCache::ResultCache(ResultCacheOptions options)
+    : options_(options),
+      hits_(MetricsRegistry::Default().GetCounter("server.cache.hits")),
+      misses_(MetricsRegistry::Default().GetCounter("server.cache.misses")),
+      stale_misses_(
+          MetricsRegistry::Default().GetCounter("server.cache.stale_misses")),
+      insertions_(
+          MetricsRegistry::Default().GetCounter("server.cache.insertions")),
+      evictions_(
+          MetricsRegistry::Default().GetCounter("server.cache.evictions")) {}
+
+bool ResultCache::Lookup(const std::string& plan_key, double target_ci_width,
+                         Hit* hit) {
+  MutexLock lock(mu_);
+  auto it = entries_.find(plan_key);
+  if (it == entries_.end()) {
+    misses_->Increment();
+    return false;
+  }
+  if (options_.ttl_seconds > 0.0 &&
+      MonotonicSeconds() - it->second.stored_at_seconds >
+          options_.ttl_seconds) {
+    lru_.erase(it->second.lru_pos);
+    entries_.erase(it);
+    evictions_->Increment();
+    misses_->Increment();
+    return false;
+  }
+  const double stored_width = 2.0 * it->second.result.ci.half_width;
+  if (target_ci_width > 0.0 && stored_width > target_ci_width) {
+    // Too coarse for this asker; keep the entry for laxer targets until a
+    // tighter result replaces it.
+    stale_misses_->Increment();
+    misses_->Increment();
+    return false;
+  }
+  lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
+  hits_->Increment();
+  hit->result = it->second.result;
+  hit->rng_seed = it->second.rng_seed;
+  return true;
+}
+
+void ResultCache::Insert(const std::string& plan_key,
+                         const ApproxResult& result, int64_t rng_seed) {
+  MutexLock lock(mu_);
+  auto it = entries_.find(plan_key);
+  if (it != entries_.end()) {
+    it->second.result = result;
+    it->second.rng_seed = rng_seed;
+    it->second.stored_at_seconds = MonotonicSeconds();
+    lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
+    insertions_->Increment();
+    return;
+  }
+  while (options_.max_entries > 0 &&
+         static_cast<int64_t>(entries_.size()) >= options_.max_entries) {
+    entries_.erase(lru_.back());
+    lru_.pop_back();
+    evictions_->Increment();
+  }
+  lru_.push_front(plan_key);
+  Entry entry;
+  entry.result = result;
+  entry.rng_seed = rng_seed;
+  entry.stored_at_seconds = MonotonicSeconds();
+  entry.lru_pos = lru_.begin();
+  entries_.emplace(plan_key, std::move(entry));
+  insertions_->Increment();
+}
+
+bool ResultCache::CacheableResult(const ApproxResult& result) {
+  if (result.profile.deadline_hit || result.profile.starved) return false;
+  if (result.profile.chunks_lost > 0 || result.profile.replicates_lost > 0) {
+    return false;
+  }
+  if (result.shed_stage == ShedStage::kDegraded) return false;
+  // A diagnostic-rejected estimate is only cacheable once fallback repaired
+  // it; an unrepaired rejection must re-execute, not propagate.
+  if (result.diagnostic_ran && !result.diagnostic_ok && !result.fell_back) {
+    return false;
+  }
+  return true;
+}
+
+int64_t ResultCache::size() const {
+  MutexLock lock(mu_);
+  return static_cast<int64_t>(entries_.size());
+}
+
+}  // namespace aqp

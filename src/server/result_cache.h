@@ -1,0 +1,97 @@
+#ifndef AQP_SERVER_RESULT_CACHE_H_
+#define AQP_SERVER_RESULT_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <string>
+#include <unordered_map>
+
+#include "core/engine.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+
+namespace aqp {
+
+class Counter;
+
+/// Tuning for the plan-keyed result cache (disabled by default; see
+/// ServerOptions).
+struct ResultCacheOptions {
+  bool enabled = false;
+  /// LRU capacity: inserting past this evicts the least-recently-hit plan.
+  int64_t max_entries = 256;
+  /// Entries older than this are evicted on lookup; <= 0 means entries
+  /// never age out (error-aware admission still applies).
+  double ttl_seconds = 0.0;
+};
+
+/// Plan-keyed, error-aware ApproxResult cache (the paper's partial-result
+/// reuse, keyed the VerdictDB way: by normalized plan, so equivalent
+/// queries hit the same line).
+///
+/// Keys are CanonicalPlanText strings (plan/fingerprint.h) — never the
+/// request's rng_seed, which identifies randomness, not the plan. Each
+/// entry remembers the rng_seed that *produced* the stored result, so a hit
+/// is exactly replayable: re-executing the plan with the stored seed
+/// reproduces the cached bits.
+///
+/// Error-aware serving: a hit is returned only while the stored CI width
+/// still satisfies the request's `target_ci_width` — a cached result that
+/// has become too coarse for the asker is a miss (and stays cached for
+/// laxer askers until a tighter result replaces it). This is what keeps
+/// `ci_target_met` honest across the cache (see DESIGN.md §14).
+class ResultCache {
+ public:
+  explicit ResultCache(ResultCacheOptions options = ResultCacheOptions());
+
+  struct Hit {
+    ApproxResult result;
+    /// The stream identity the stored result was computed with.
+    int64_t rng_seed = -1;
+  };
+
+  /// Looks up `plan_key`. Returns true and fills `hit` only when an entry
+  /// exists, is within TTL, and its stored CI width (2 * half_width) meets
+  /// `target_ci_width` (a target <= 0 accepts any width). Counts hits,
+  /// misses, and TTL evictions in the metrics registry.
+  bool Lookup(const std::string& plan_key, double target_ci_width, Hit* hit);
+
+  /// Inserts (or replaces) the entry for `plan_key`. Callers gate on
+  /// CacheableResult first — only full-fidelity, fault-free results belong
+  /// in the cache.
+  void Insert(const std::string& plan_key, const ApproxResult& result,
+              int64_t rng_seed);
+
+  /// Admission predicate: true when `result` is safe to serve to future
+  /// requests — completed at full fidelity (no deadline hit, no degraded
+  /// replicate count, no lost chunks/replicates, not starved) and not a
+  /// diagnostic-rejected estimate left unrepaired by fallback.
+  static bool CacheableResult(const ApproxResult& result);
+
+  int64_t size() const;
+  const ResultCacheOptions& options() const { return options_; }
+
+ private:
+  struct Entry {
+    ApproxResult result;
+    int64_t rng_seed = -1;
+    double stored_at_seconds = 0.0;
+    std::list<std::string>::iterator lru_pos;
+  };
+
+  ResultCacheOptions options_;
+  mutable Mutex mu_;
+  /// Front = most recently hit/inserted.
+  std::list<std::string> lru_ AQP_GUARDED_BY(mu_);
+  std::unordered_map<std::string, Entry> entries_ AQP_GUARDED_BY(mu_);
+
+  Counter* hits_;
+  Counter* misses_;
+  Counter* stale_misses_;
+  Counter* insertions_;
+  Counter* evictions_;
+};
+
+}  // namespace aqp
+
+#endif  // AQP_SERVER_RESULT_CACHE_H_

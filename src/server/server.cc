@@ -5,6 +5,7 @@
 
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "plan/fingerprint.h"
 
 namespace aqp {
 namespace {
@@ -55,6 +56,12 @@ AqpServer::AqpServer(ServerOptions options)
                  options.engine.bootstrap_replicates),
       failpoints_(options.engine.failpoints) {
   admission_.set_failpoints(failpoints_);
+  if (options.enable_shared_scans) {
+    shared_scans_ = std::make_unique<ScanScheduler>(options.shared_scan);
+  }
+  if (options.cache.enabled) {
+    cache_ = std::make_unique<ResultCache>(options.cache);
+  }
   MetricsRegistry& registry = MetricsRegistry::Default();
   sessions_opened_ = registry.GetCounter("server.sessions.opened");
   sessions_closed_ = registry.GetCounter("server.sessions.closed");
@@ -101,6 +108,48 @@ QueryResponse AqpServer::Execute(SessionId session_id,
                                  const QueryRequest& request) {
   const int64_t submit_ns = MonotonicNanos();
   QueryResponse response;
+
+  // Plan-keyed cache key: the canonicalized plan text (seed-free by
+  // construction — two requests that differ only in rng_seed share a key).
+  // Computed up front so both the fast path below and the insert after
+  // execution agree on it.
+  std::string cache_key;
+  if (cache_ != nullptr && PlanCanonicalizable(request.query)) {
+    cache_key = CanonicalPlanText(request.query);
+  }
+
+  // Cache fast path: only requests that did not pin an RNG stream are
+  // eligible — a pinned seed demands that stream's exact bits. A hit holds
+  // no admission slot and consumes no session seed; the response carries the
+  // stored result plus the rng_seed that produced it, so the hit is exactly
+  // replayable.
+  if (!cache_key.empty() && request.rng_seed < 0) {
+    {
+      MutexLock lock(sessions_mu_);
+      if (sessions_.find(session_id) == sessions_.end()) {
+        response.status = Status::FailedPrecondition(
+            "session is not open; call OpenSession()");
+        return response;
+      }
+    }
+    ResultCache::Hit hit;
+    if (cache_->Lookup(cache_key, request.target_ci_width, &hit)) {
+      response.result = hit.result;
+      response.result.shed_stage = ShedStage::kNone;
+      response.result.profile.shed_stage = ShedStage::kNone;
+      response.result.profile.admission_wait_ms = 0.0;
+      response.result.profile.cache_hit = true;
+      response.rng_seed = hit.rng_seed;
+      if (request.target_ci_width > 0.0) {
+        response.ci_target_met =
+            2.0 * response.result.ci.half_width <= request.target_ci_width;
+      }
+      response.total_ms =
+          static_cast<double>(MonotonicNanos() - submit_ns) / 1e6;
+      response.status = Status::OK();
+      return response;
+    }
+  }
 
   // SLO translation: the deadline clock starts *now*, so time spent in the
   // admission queue spends the same budget execution does.
@@ -203,6 +252,7 @@ QueryResponse AqpServer::Execute(SessionId session_id,
   serve.rng_seed = static_cast<uint64_t>(response.rng_seed);
   serve.token = token;
   serve.replicates = decision.replicates;
+  serve.shared_scans = shared_scans_.get();
   Result<ApproxResult> result = engine_.ExecuteServed(request.query, serve);
 
   const int64_t done_ns = MonotonicNanos();
@@ -226,6 +276,11 @@ QueryResponse AqpServer::Execute(SessionId session_id,
   if (request.target_ci_width > 0.0) {
     response.ci_target_met =
         2.0 * response.result.ci.half_width <= request.target_ci_width;
+  }
+  // Feed the cache only with full-fidelity, fault-free results — a degraded
+  // or salvaged answer must not become the answer for everyone.
+  if (!cache_key.empty() && ResultCache::CacheableResult(response.result)) {
+    cache_->Insert(cache_key, response.result, response.rng_seed);
   }
   response.status = Status::OK();
   return response;

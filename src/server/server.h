@@ -2,11 +2,14 @@
 #define AQP_SERVER_SERVER_H_
 
 #include <cstdint>
+#include <memory>
 #include <unordered_map>
 
 #include "core/engine.h"
+#include "exec/shared_scan.h"
 #include "obs/load_snapshot.h"
 #include "server/admission.h"
+#include "server/result_cache.h"
 #include "server/session.h"
 #include "util/mutex.h"
 #include "util/status.h"
@@ -38,6 +41,26 @@ inline constexpr const char* kServerStragglerSite = "server.execute.straggler";
 struct ServerOptions {
   EngineOptions engine;
   AdmissionOptions admission;
+
+  /// Shared scans: when enabled, concurrently admitted queries over the same
+  /// table whose scans are structurally identical (plan/fingerprint.h
+  /// ScanKeyText) share one filter+projection pass. Off by default — with
+  /// sharing off the served path is byte-identical to a server built before
+  /// this knob existed. Sharing never changes results: the scan output is
+  /// deterministic and RNG-free, so each participant's answer remains a pure
+  /// function of its rng_seed.
+  bool enable_shared_scans = false;
+  /// Micro-batching window and hold cap for the scan scheduler (meaningful
+  /// only with `enable_shared_scans`). The window is additionally bounded by
+  /// each request's own deadline slack, so batching never violates an SLO.
+  ScanSchedulerOptions shared_scan;
+
+  /// Plan-keyed, error-aware result cache (server/result_cache.h). Off by
+  /// default; `cache.enabled` must be set for the server to construct one.
+  /// Only requests with an unpinned rng_seed (< 0) are eligible — a pinned
+  /// seed asks for one specific stream's bits, which the cache cannot
+  /// promise.
+  ResultCacheOptions cache;
 };
 
 /// The long-lived AQP service: owns one AqpEngine (and with it the bounded
@@ -92,6 +115,11 @@ class AqpServer {
 
   const AdmissionController& admission() const { return admission_; }
 
+  /// The result cache, or null when ServerOptions::cache.enabled is false.
+  const ResultCache* cache() const { return cache_.get(); }
+  /// The shared-scan scheduler, or null when sharing is disabled.
+  const ScanScheduler* shared_scans() const { return shared_scans_.get(); }
+
  private:
   struct SessionState {
     /// Next auto-assigned RNG stream id (requests with rng_seed < 0).
@@ -110,6 +138,10 @@ class AqpServer {
   AqpEngine engine_;
   AdmissionController admission_;
   LoadSampler sampler_;
+  /// Non-null only when the corresponding ServerOptions knob is on; null
+  /// keeps Execute() byte-identical to the pre-sharing server.
+  std::unique_ptr<ScanScheduler> shared_scans_;
+  std::unique_ptr<ResultCache> cache_;
   /// The engine's fault-injection registry (null in production); the server
   /// consults it for its own sites.
   const FailpointRegistry* failpoints_;

@@ -1,0 +1,471 @@
+// Concurrent-sharing correctness: (a) shared scans are invisible in the
+// bits — a served result under scan sharing and micro-batching is
+// bit-identical to solo execution with the same rng_seed at 1/4/8 threads;
+// (b) the plan-keyed result cache serves hits only within the request's CI
+// target (staleness honesty: a stored CI wider than the new target must
+// re-execute, and ci_target_met is never true off such a hit), returns the
+// producing rng_seed so hits replay exactly, and never serves pinned-seed
+// requests; (c) both features default off, leaving the server byte-identical
+// to its pre-sharing behavior.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/engine.h"
+#include "exec/query_spec.h"
+#include "exec/shared_scan.h"
+#include "expr/expr.h"
+#include "obs/metrics.h"
+#include "plan/fingerprint.h"
+#include "runtime/thread_pool.h"
+#include "server/result_cache.h"
+#include "server/server.h"
+#include "server/session.h"
+#include "util/random.h"
+
+namespace aqp {
+namespace {
+
+std::shared_ptr<const Table> MakeGaussianTable(int64_t rows, uint64_t seed) {
+  Rng rng(seed);
+  auto t = std::make_shared<Table>("g");
+  Column v = Column::MakeDouble("v");
+  for (int64_t i = 0; i < rows; ++i) {
+    v.AppendDouble(rng.NextGaussian(100.0, 15.0));
+  }
+  EXPECT_TRUE(t->AddColumn(std::move(v)).ok());
+  return t;
+}
+
+QuerySpec MakeQuery(AggregateKind kind = AggregateKind::kAvg) {
+  QuerySpec q;
+  q.id = "shared_exec_test";
+  q.table = "g";
+  q.filter = Lt(ColumnRef("v"), Literal(120.0));
+  q.aggregate.kind = kind;
+  q.aggregate.input = ColumnRef("v");
+  return q;
+}
+
+EngineOptions FastEngineOptions(int num_threads) {
+  EngineOptions options;
+  options.bootstrap_replicates = 40;
+  options.diagnostic.num_subsamples = 50;
+  options.default_sample_rows = 5000;
+  options.num_threads = num_threads;
+  options.seed = 42;
+  return options;
+}
+
+ServerOptions SharingServerOptions(int num_threads) {
+  ServerOptions options;
+  options.engine = FastEngineOptions(num_threads);
+  // Pin the reproducibility knobs: no degradation under the concurrent
+  // submission bursts below, and no deadlines.
+  options.admission.degrade_pressure = 1e9;
+  options.admission.max_queue = 64;
+  options.enable_shared_scans = true;
+  // A deliberately generous window so concurrent same-scan submissions
+  // coalesce reliably; deadline-free requests allow the full hold.
+  options.shared_scan.batch_window_seconds = 0.05;
+  return options;
+}
+
+void RegisterData(AqpServer& server) {
+  ASSERT_TRUE(server.engine().RegisterTable(MakeGaussianTable(50000, 1)).ok());
+  ASSERT_TRUE(server.engine().CreateSample("g", 5000).ok());
+}
+
+// ---------------------------------------------------------------------------
+// Shared scans: bit-identity to solo execution at 1/4/8 threads.
+// ---------------------------------------------------------------------------
+
+TEST(SharedScanExecTest, SharedScanResultsBitIdenticalToSolo) {
+  constexpr int kRequests = 16;
+  const QuerySpec query = MakeQuery();
+
+  // Solo reference from a single-threaded engine with no scheduler: a
+  // served result is a pure function of (options, data, query, rng_seed).
+  std::vector<ApproxResult> reference;
+  {
+    AqpEngine engine(FastEngineOptions(1));
+    ASSERT_TRUE(engine.RegisterTable(MakeGaussianTable(50000, 1)).ok());
+    ASSERT_TRUE(engine.CreateSample("g", 5000).ok());
+    for (int i = 0; i < kRequests; ++i) {
+      AqpEngine::ServeOptions serve;
+      serve.rng_seed = static_cast<uint64_t>(i);
+      serve.token = CancellationToken::Cancellable();
+      Result<ApproxResult> r = engine.ExecuteServed(query, serve);
+      ASSERT_TRUE(r.ok()) << r.status().ToString();
+      reference.push_back(*r);
+    }
+  }
+
+  for (int threads : {1, 4, 8}) {
+    AqpServer server(SharingServerOptions(threads));
+    RegisterData(server);
+
+    std::vector<QueryResponse> responses(kRequests);
+    {
+      ThreadPool clients(kRequests);
+      TaskGroup group(&clients);
+      for (int i = 0; i < kRequests; ++i) {
+        QueryResponse* slot = &responses[static_cast<size_t>(i)];
+        SessionId session = server.OpenSession();
+        group.Run([&server, session, &query, i, slot] {
+          QueryRequest request;
+          request.query = query;
+          request.rng_seed = i;
+          *slot = server.Execute(session, request);
+        });
+      }
+      group.Wait();
+    }
+
+    int shared_count = 0;
+    for (int i = 0; i < kRequests; ++i) {
+      const QueryResponse& response = responses[static_cast<size_t>(i)];
+      ASSERT_TRUE(response.status.ok())
+          << "threads=" << threads << " i=" << i << ": "
+          << response.status.ToString();
+      const ApproxResult& served = response.result;
+      const ApproxResult& direct = reference[static_cast<size_t>(i)];
+      // Bit identity, not tolerance: the fused scan feeds each query's own
+      // accumulators and RNG streams, so sharing must be invisible here.
+      EXPECT_EQ(served.estimate, direct.estimate)
+          << "threads=" << threads << " i=" << i;
+      EXPECT_EQ(served.ci.center, direct.ci.center)
+          << "threads=" << threads << " i=" << i;
+      EXPECT_EQ(served.ci.half_width, direct.ci.half_width)
+          << "threads=" << threads << " i=" << i;
+      EXPECT_EQ(served.replicates_used, direct.replicates_used)
+          << "threads=" << threads << " i=" << i;
+      if (served.profile.shared_scan) {
+        ++shared_count;
+        EXPECT_GT(served.profile.shared_scan_group, 1);
+      }
+    }
+    // Anti-vacuity: with >1 slot, a 50 ms batch window, and 16 concurrent
+    // same-scan submissions, fused scans must actually have happened —
+    // otherwise this test would pass with the scheduler unplugged.
+    if (threads >= 4) {
+      EXPECT_GT(shared_count, 0) << "threads=" << threads;
+    }
+  }
+}
+
+TEST(SharedScanExecTest, DifferentAggregatesShareAScan) {
+  // AVG and SUM over the same filter/input have the same structural scan
+  // key: the scheduler may fuse them while the result cache keeps their
+  // plans distinct.
+  const QuerySpec avg = MakeQuery(AggregateKind::kAvg);
+  const QuerySpec sum = MakeQuery(AggregateKind::kSum);
+  ASSERT_EQ(ScanKeyText(avg), ScanKeyText(sum));
+  ASSERT_NE(CanonicalPlanText(avg), CanonicalPlanText(sum));
+
+  AqpServer server(SharingServerOptions(4));
+  RegisterData(server);
+
+  // Direct references.
+  ApproxResult avg_ref, sum_ref;
+  {
+    AqpEngine engine(FastEngineOptions(1));
+    ASSERT_TRUE(engine.RegisterTable(MakeGaussianTable(50000, 1)).ok());
+    ASSERT_TRUE(engine.CreateSample("g", 5000).ok());
+    AqpEngine::ServeOptions serve;
+    serve.rng_seed = 0;
+    serve.token = CancellationToken::Cancellable();
+    Result<ApproxResult> a = engine.ExecuteServed(avg, serve);
+    ASSERT_TRUE(a.ok());
+    avg_ref = *a;
+    serve.rng_seed = 1;
+    serve.token = CancellationToken::Cancellable();
+    Result<ApproxResult> s = engine.ExecuteServed(sum, serve);
+    ASSERT_TRUE(s.ok());
+    sum_ref = *s;
+  }
+
+  QueryResponse avg_response, sum_response;
+  {
+    ThreadPool clients(2);
+    TaskGroup group(&clients);
+    SessionId s1 = server.OpenSession();
+    SessionId s2 = server.OpenSession();
+    group.Run([&server, s1, &avg, &avg_response] {
+      QueryRequest request;
+      request.query = avg;
+      request.rng_seed = 0;
+      avg_response = server.Execute(s1, request);
+    });
+    group.Run([&server, s2, &sum, &sum_response] {
+      QueryRequest request;
+      request.query = sum;
+      request.rng_seed = 1;
+      sum_response = server.Execute(s2, request);
+    });
+    group.Wait();
+  }
+  ASSERT_TRUE(avg_response.status.ok());
+  ASSERT_TRUE(sum_response.status.ok());
+  EXPECT_EQ(avg_response.result.estimate, avg_ref.estimate);
+  EXPECT_EQ(avg_response.result.ci.half_width, avg_ref.ci.half_width);
+  EXPECT_EQ(sum_response.result.estimate, sum_ref.estimate);
+  EXPECT_EQ(sum_response.result.ci.half_width, sum_ref.ci.half_width);
+}
+
+// ---------------------------------------------------------------------------
+// Result cache: hits, replay, honesty.
+// ---------------------------------------------------------------------------
+
+ServerOptions CachingServerOptions() {
+  ServerOptions options;
+  options.engine = FastEngineOptions(2);
+  options.admission.degrade_pressure = 1e9;
+  options.cache.enabled = true;
+  return options;
+}
+
+TEST(ResultCacheExecTest, HitIsBitIdenticalAndReplaysViaStoredSeed) {
+  AqpServer server(CachingServerOptions());
+  RegisterData(server);
+  SessionId session = server.OpenSession();
+
+  QueryRequest request;
+  request.query = MakeQuery();
+
+  QueryResponse first = server.Execute(session, request);
+  ASSERT_TRUE(first.status.ok()) << first.status.ToString();
+  EXPECT_FALSE(first.result.profile.cache_hit);
+
+  // Second submission of the same plan (unpinned seed): a cache hit with
+  // the stored bits and the producing rng_seed.
+  QueryResponse hit = server.Execute(session, request);
+  ASSERT_TRUE(hit.status.ok());
+  EXPECT_TRUE(hit.result.profile.cache_hit);
+  EXPECT_EQ(hit.rng_seed, first.rng_seed);
+  EXPECT_EQ(hit.result.estimate, first.result.estimate);
+  EXPECT_EQ(hit.result.ci.center, first.result.ci.center);
+  EXPECT_EQ(hit.result.ci.half_width, first.result.ci.half_width);
+
+  // A semantically equivalent spelling (commuted AND, folded constant,
+  // different id) hits the same line.
+  QueryRequest commuted;
+  commuted.query = MakeQuery();
+  commuted.query.id = "different_alias";
+  commuted.query.filter = Lt(ColumnRef("v"),
+                             Mul(Literal(2.0), Literal(60.0)));
+  ASSERT_EQ(CanonicalPlanText(commuted.query),
+            CanonicalPlanText(request.query));
+  QueryResponse equivalent = server.Execute(session, commuted);
+  ASSERT_TRUE(equivalent.status.ok());
+  EXPECT_TRUE(equivalent.result.profile.cache_hit);
+  EXPECT_EQ(equivalent.result.estimate, first.result.estimate);
+
+  // Replaying the stored rng_seed through the server (pinned seeds bypass
+  // the cache by design) reproduces the cached bits by execution.
+  QueryRequest pinned;
+  pinned.query = MakeQuery();
+  pinned.rng_seed = first.rng_seed;
+  QueryResponse replay = server.Execute(session, pinned);
+  ASSERT_TRUE(replay.status.ok());
+  EXPECT_FALSE(replay.result.profile.cache_hit);
+  EXPECT_EQ(replay.result.estimate, first.result.estimate);
+  EXPECT_EQ(replay.result.ci.half_width, first.result.ci.half_width);
+}
+
+TEST(ResultCacheExecTest, StaleHitMustMissAndReexecute) {
+  AqpServer server(CachingServerOptions());
+  RegisterData(server);
+  SessionId session = server.OpenSession();
+
+  QueryRequest request;
+  request.query = MakeQuery();
+  QueryResponse first = server.Execute(session, request);
+  ASSERT_TRUE(first.status.ok());
+  const double stored_width = 2.0 * first.result.ci.half_width;
+  ASSERT_GT(stored_width, 0.0);
+
+  // A laxer target is served from the cache...
+  QueryRequest lax = request;
+  lax.target_ci_width = stored_width * 2.0;
+  QueryResponse lax_response = server.Execute(session, lax);
+  ASSERT_TRUE(lax_response.status.ok());
+  EXPECT_TRUE(lax_response.result.profile.cache_hit);
+  EXPECT_TRUE(lax_response.ci_target_met);
+
+  // ...but a target tighter than the stored CI must re-execute: serving the
+  // stale entry would hand out error bars the client already declared
+  // useless. And ci_target_met must never be true off such a hit — here the
+  // fresh execution cannot meet the impossible target either, so the
+  // response reports that honestly.
+  QueryRequest tight = request;
+  tight.target_ci_width = stored_width / 1e6;
+  QueryResponse tight_response = server.Execute(session, tight);
+  ASSERT_TRUE(tight_response.status.ok());
+  EXPECT_FALSE(tight_response.result.profile.cache_hit);
+  EXPECT_FALSE(tight_response.ci_target_met);
+}
+
+TEST(ResultCacheExecTest, DisabledByDefaultAndInert) {
+  ServerOptions options;
+  options.engine = FastEngineOptions(2);
+  AqpServer server(options);
+  EXPECT_EQ(server.cache(), nullptr);
+  EXPECT_EQ(server.shared_scans(), nullptr);
+  RegisterData(server);
+  SessionId session = server.OpenSession();
+  QueryRequest request;
+  request.query = MakeQuery();
+  QueryResponse a = server.Execute(session, request);
+  QueryResponse b = server.Execute(session, request);
+  ASSERT_TRUE(a.status.ok());
+  ASSERT_TRUE(b.status.ok());
+  // No cache: the second submission executed with the next session stream.
+  EXPECT_FALSE(b.result.profile.cache_hit);
+  EXPECT_NE(a.rng_seed, b.rng_seed);
+}
+
+// ---------------------------------------------------------------------------
+// ResultCache unit behavior: TTL, LRU, admission predicate.
+// ---------------------------------------------------------------------------
+
+ApproxResult CleanResult(double half_width) {
+  ApproxResult r;
+  r.estimate = 1.0;
+  r.ci.center = 1.0;
+  r.ci.half_width = half_width;
+  return r;
+}
+
+TEST(ResultCacheTest, ErrorAwareLookup) {
+  ResultCacheOptions options;
+  options.enabled = true;
+  ResultCache cache(options);
+  cache.Insert("plan", CleanResult(0.5), 7);
+
+  ResultCache::Hit hit;
+  // Any-width target and laxer targets hit; tighter targets miss but keep
+  // the entry for laxer askers.
+  EXPECT_TRUE(cache.Lookup("plan", 0.0, &hit));
+  EXPECT_EQ(hit.rng_seed, 7);
+  EXPECT_TRUE(cache.Lookup("plan", 1.5, &hit));
+  EXPECT_FALSE(cache.Lookup("plan", 0.5, &hit));  // stored width = 1.0
+  EXPECT_EQ(cache.size(), 1);
+  EXPECT_TRUE(cache.Lookup("plan", 1.0, &hit));
+  EXPECT_FALSE(cache.Lookup("other_plan", 0.0, &hit));
+
+  // A tighter re-insert replaces the entry and serves the tight asker.
+  cache.Insert("plan", CleanResult(0.2), 9);
+  EXPECT_TRUE(cache.Lookup("plan", 0.5, &hit));
+  EXPECT_EQ(hit.rng_seed, 9);
+  EXPECT_EQ(cache.size(), 1);
+}
+
+TEST(ResultCacheTest, TtlExpiryEvictsOnLookup) {
+  ResultCacheOptions options;
+  options.enabled = true;
+  options.ttl_seconds = 1e-9;  // Expired by the time Lookup reads the clock.
+  ResultCache cache(options);
+  cache.Insert("plan", CleanResult(0.5), 1);
+  EXPECT_EQ(cache.size(), 1);
+  ResultCache::Hit hit;
+  EXPECT_FALSE(cache.Lookup("plan", 0.0, &hit));
+  EXPECT_EQ(cache.size(), 0);
+}
+
+TEST(ResultCacheTest, LruEvictsOldestAtCapacity) {
+  ResultCacheOptions options;
+  options.enabled = true;
+  options.max_entries = 2;
+  ResultCache cache(options);
+  cache.Insert("a", CleanResult(0.5), 1);
+  cache.Insert("b", CleanResult(0.5), 2);
+  ResultCache::Hit hit;
+  EXPECT_TRUE(cache.Lookup("a", 0.0, &hit));  // touch: b is now LRU
+  cache.Insert("c", CleanResult(0.5), 3);
+  EXPECT_EQ(cache.size(), 2);
+  EXPECT_FALSE(cache.Lookup("b", 0.0, &hit));
+  EXPECT_TRUE(cache.Lookup("a", 0.0, &hit));
+  EXPECT_TRUE(cache.Lookup("c", 0.0, &hit));
+}
+
+TEST(ResultCacheTest, CacheableResultRejectsDegradedAndFaulty) {
+  EXPECT_TRUE(ResultCache::CacheableResult(CleanResult(0.5)));
+
+  ApproxResult degraded = CleanResult(0.5);
+  degraded.shed_stage = ShedStage::kDegraded;
+  EXPECT_FALSE(ResultCache::CacheableResult(degraded));
+
+  ApproxResult deadline = CleanResult(0.5);
+  deadline.profile.deadline_hit = true;
+  EXPECT_FALSE(ResultCache::CacheableResult(deadline));
+
+  ApproxResult salvaged = CleanResult(0.5);
+  salvaged.profile.replicates_lost = 2;
+  EXPECT_FALSE(ResultCache::CacheableResult(salvaged));
+
+  ApproxResult starved = CleanResult(0.5);
+  starved.profile.starved = true;
+  EXPECT_FALSE(ResultCache::CacheableResult(starved));
+
+  ApproxResult rejected = CleanResult(0.5);
+  rejected.diagnostic_ran = true;
+  rejected.diagnostic_ok = false;
+  rejected.fell_back = false;
+  EXPECT_FALSE(ResultCache::CacheableResult(rejected));
+
+  ApproxResult repaired = CleanResult(0.5);
+  repaired.diagnostic_ran = true;
+  repaired.diagnostic_ok = false;
+  repaired.fell_back = true;
+  EXPECT_TRUE(ResultCache::CacheableResult(repaired));
+}
+
+// ---------------------------------------------------------------------------
+// ScanScheduler unit behavior: solo prepare, key separation.
+// ---------------------------------------------------------------------------
+
+TEST(ScanSchedulerTest, SoloPrepareMatchesDirect) {
+  auto table = MakeGaussianTable(5000, 1);
+  const QuerySpec query = MakeQuery();
+
+  Result<PreparedQuery> direct = PrepareQuery(*table, query);
+  ASSERT_TRUE(direct.ok());
+
+  ScanScheduler scheduler;
+  SharedScanStats stats;
+  CancellationToken token = CancellationToken::Cancellable();
+  Result<std::shared_ptr<const PreparedQuery>> shared = scheduler.Prepare(
+      *table, query, ScanKeyText(query), token, &stats);
+  ASSERT_TRUE(shared.ok()) << shared.status().ToString();
+  EXPECT_TRUE(stats.leader);
+  EXPECT_FALSE(stats.shared);
+  EXPECT_EQ(stats.group_size, 1);
+  EXPECT_EQ((*shared)->num_passing(), direct->num_passing());
+  EXPECT_EQ((*shared)->all_rows, direct->all_rows);
+  ASSERT_EQ((*shared)->values.size(), direct->values.size());
+  for (size_t i = 0; i < direct->values.size(); ++i) {
+    EXPECT_EQ((*shared)->values[i], direct->values[i]) << i;
+  }
+}
+
+TEST(ScanSchedulerTest, CancelledLeaderStillPublishes) {
+  auto table = MakeGaussianTable(5000, 1);
+  const QuerySpec query = MakeQuery();
+  ScanSchedulerOptions options;
+  options.batch_window_seconds = 0.01;
+  ScanScheduler scheduler;
+  CancellationToken token = CancellationToken::Cancellable();
+  token.Cancel();
+  // A cancelled token cuts the hold short but the prepare itself still
+  // completes (cancellation is enforced downstream at pipeline checkpoints).
+  SharedScanStats stats;
+  Result<std::shared_ptr<const PreparedQuery>> shared = scheduler.Prepare(
+      *table, query, ScanKeyText(query), token, &stats);
+  EXPECT_TRUE(shared.ok());
+}
+
+}  // namespace
+}  // namespace aqp

@@ -229,6 +229,29 @@ def allow_backoff(path):
     return False
 
 
+SEED_IN_CACHE_KEY = [
+    re.compile(p)
+    for p in (
+        r"\brng_seed\b",
+        r"\bseed\b",
+    )
+]
+
+
+def allow_cache_key(path):
+    # Inverted allowlist: this rule *targets* only the plan-fingerprint
+    # translation unit (plus its self-test fixture) and allows everything
+    # else. The canonical plan text is the result-cache key; a seed-named
+    # identifier appearing there means per-request randomness is leaking
+    # into the key, which would make semantically identical requests miss
+    # (or a pinned-seed request collide with a fresh one).
+    return not (
+        _in(path, "src/plan/fingerprint.h")
+        or _in(path, "src/plan/fingerprint.cc")
+        or _in(path, "tools/lint_fixtures/bad_cache_key.cc")
+    )
+
+
 RULES = [
     (
         "determinism",
@@ -272,6 +295,15 @@ RULES = [
         " RetryingSession's policy (src/server/retry.*) and timed blocking"
         " to CondVar::WaitForNanos (util/mutex.h) — uncoordinated sleeps"
         " build retry storms the admission controller cannot see",
+    ),
+    (
+        "cache-key",
+        SEED_IN_CACHE_KEY,
+        allow_cache_key,
+        "seed-named identifier inside the plan-fingerprint unit; the"
+        " canonical plan text keys the result cache and must be a pure"
+        " function of query semantics — folding any RNG seed into it makes"
+        " equivalent requests miss and breaks seed-replay on hits",
     ),
 ]
 

@@ -61,6 +61,12 @@ class FixtureTest(unittest.TestCase):
         # sleep_for, sleep_until, usleep, sleep, nanosleep.
         self.assertGreaterEqual(len(findings), 5)
 
+    def test_bad_cache_key_trips_cache_key_only(self):
+        findings = lint(f"{FIXTURES}/bad_cache_key.cc")
+        self.assertEqual(rules_of(findings), {"cache-key"})
+        # rng_seed field decl, query.rng_seed read, seed local, seed use.
+        self.assertGreaterEqual(len(findings), 4)
+
 
 class PreprocessingTest(unittest.TestCase):
     def test_comments_and_strings_are_blanked(self):
@@ -143,6 +149,27 @@ class AllowlistTest(unittest.TestCase):
         patterns = [r for r in aqp_lint.RULES if r[0] == "timing"][0][1]
         line = "double t0 = MonotonicSeconds(); int64_t n = MonotonicNanos();"
         self.assertFalse(any(p.search(line) for p in patterns))
+
+    def test_cache_key_rule_targets_only_the_fingerprint_unit(self):
+        # Inverted allowlist: the fingerprint unit (and its fixture) are the
+        # only files the rule inspects; seed-named identifiers are fine
+        # everywhere else (the engine and server legitimately plumb seeds).
+        self.assertFalse(aqp_lint.allow_cache_key("src/plan/fingerprint.cc"))
+        self.assertFalse(aqp_lint.allow_cache_key("src/plan/fingerprint.h"))
+        self.assertTrue(aqp_lint.allow_cache_key("src/core/engine.cc"))
+        self.assertTrue(aqp_lint.allow_cache_key("src/server/server.cc"))
+        self.assertTrue(aqp_lint.allow_cache_key("src/util/random.h"))
+
+    def test_seed_suffixed_identifiers_do_not_trip_cache_key(self):
+        # \b-anchored: member names like seed_ and words containing "seed"
+        # (Reseed, DeriveStreamSeed) are not the seed identifier itself.
+        patterns = [r for r in aqp_lint.RULES if r[0] == "cache-key"][0][1]
+        for line in (
+            "uint64_t seed_ = 0;",
+            "rng.Reseed(streams);",
+            "uint64_t s = DeriveStreamSeed(a, b);",
+        ):
+            self.assertFalse(any(p.search(line) for p in patterns), line)
 
     def test_expected_guard_derivation(self):
         self.assertEqual(

@@ -1,0 +1,24 @@
+// Fixture: a plan fingerprint that folds the request's RNG seed into the
+// cache key. Semantically identical requests would then miss the result
+// cache, and a pinned-seed request would collide with a fresh one — the
+// cache-key rule must flag every seed-named identifier in code here (the
+// mentions in this comment must not trip: rng_seed, seed).
+#include <cstdint>
+#include <string>
+
+namespace fixture {
+
+struct QuerySpec {
+  std::string table;
+  int64_t rng_seed = -1;
+};
+
+std::string CanonicalPlanText(const QuerySpec& query) {
+  std::string key = query.table;
+  key += std::to_string(query.rng_seed);
+  int64_t seed = query.rng_seed;
+  key += std::to_string(seed);
+  return key;
+}
+
+}  // namespace fixture
