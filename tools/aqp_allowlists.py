@@ -1,0 +1,87 @@
+"""Shared path-allowlist tables for the repo's static checkers.
+
+Both checkers — `tools/aqp_lint.py` (regex, always available) and
+`tools/aqp_sema` (AST/call-graph, compile_commands-driven) — enforce the
+same repo conventions, so they must agree on *where* each convention is
+allowed to be broken. This module is the single source of truth for those
+path tables; each tool imports it rather than keeping a private copy, so the
+timing/backoff/cache-key allowlists cannot drift between the two tools.
+
+Every table carries its justification here, next to the paths. Extending a
+table is a reviewed change: the question to answer in the comment is why the
+listed unit *owns* the primitive (e.g. "the load generator IS a clock"),
+never "it was convenient".
+
+Paths are repo-relative POSIX paths; an entry allows the exact file or, for
+a directory, everything under it.
+"""
+
+
+def in_path(path, prefix):
+    """True if repo-relative `path` is `prefix` or lies under it."""
+    return path == prefix or path.startswith(prefix.rstrip("/") + "/")
+
+
+def allowed(path, prefixes):
+    """True if `path` matches any entry of an allowlist table."""
+    return any(in_path(path, p) for p in prefixes)
+
+
+# --- determinism / RNG roots ------------------------------------------------
+# The seeded generator itself and the seed-derivation helpers: the only code
+# allowed to touch raw <random>-style machinery (aqp_lint) and the only
+# sanctioned roots for an Rng whose seed is not visibly derived from a
+# factory/parameter (aqp_sema's rng-discipline rule).
+RANDOM_ALLOW = (
+    "src/util/random.h",
+    "src/util/random.cc",
+)
+
+# Seed-derivation layer on top of RANDOM_ALLOW: RngStreamFactory and
+# DeriveStreamSeed construct Rngs *by definition* — they are the sanctioned
+# construction path every other site must route through.
+RNG_ROOT_ALLOW = RANDOM_ALLOW + ("src/runtime/rng_stream.h",)
+
+# --- parallelism ------------------------------------------------------------
+# The bounded-parallelism runtime owns every thread; the annotated aqp::Mutex
+# wrapper owns the only raw std::mutex/condition_variable.
+THREADING_ALLOW = (
+    "src/runtime",
+    "src/util/mutex.h",
+)
+
+# --- console ----------------------------------------------------------------
+# The logging facility is the sanctioned stderr writer.
+CONSOLE_ALLOW = ("src/util/logging.h",)
+
+# --- timing -----------------------------------------------------------------
+# src/obs owns measurement (MonotonicNanos/Seconds, Tracer); cancellation.h
+# owns deadline *enforcement* and mutex.h the timed condvar wait
+# (timing-as-semantics, not telemetry); the open-loop load generator is
+# itself a clock (Poisson arrival pacing + client-observed latency are its
+# workload definition).
+TIMING_ALLOW = (
+    "src/obs",
+    "src/runtime/cancellation.h",
+    "src/util/mutex.h",
+    "src/server/load_gen.h",
+    "src/server/load_gen.cc",
+)
+
+# --- backoff ----------------------------------------------------------------
+# Nobody sleeps ad hoc, anywhere: the sanctioned blocking primitive is
+# CondVar::WaitForNanos and the sanctioned retry schedule is
+# RetryingSession's (src/server/retry.*). Deliberately empty.
+BACKOFF_ALLOW = ()
+
+# --- cache-key (inverted: these are the *targets*, not exemptions) ----------
+# The canonical plan text is the result-cache key and must be a pure
+# function of query semantics; a seed-named identifier inside the
+# plan-fingerprint unit means per-request randomness is leaking into the
+# key. Only these units are checked (everything else legitimately names
+# seeds); the lint fixture keeps the rule's self-test honest.
+CACHE_KEY_TARGETS = (
+    "src/plan/fingerprint.h",
+    "src/plan/fingerprint.cc",
+    "tools/lint_fixtures/bad_cache_key.cc",
+)

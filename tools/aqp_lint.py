@@ -47,6 +47,11 @@ import os
 import re
 import sys
 
+# Path allowlists are shared with tools/aqp_sema (the semantic checker) via
+# tools/aqp_allowlists.py — one table, two enforcers, no drift.
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+import aqp_allowlists  # noqa: E402  (needs the sys.path line above)
+
 # ---------------------------------------------------------------------------
 # Source preprocessing: matching happens on code only, with comments and
 # string/char literals blanked (a comment *mentioning* std::mutex is fine).
@@ -116,8 +121,7 @@ def strip_comments_and_strings(text):
 # ---------------------------------------------------------------------------
 
 
-def _in(path, prefix):
-    return path == prefix or path.startswith(prefix.rstrip("/") + "/")
+_in = aqp_allowlists.in_path
 
 
 RAW_RANDOM = [
@@ -166,18 +170,18 @@ CONSOLE_OUTPUT = [
 
 def allow_random(path):
     # The seeded generator itself, and the stream-derivation helpers.
-    return _in(path, "src/util/random.h") or _in(path, "src/util/random.cc")
+    return aqp_allowlists.allowed(path, aqp_allowlists.RANDOM_ALLOW)
 
 
 def allow_threading(path):
     # The bounded-parallelism runtime owns every thread; the annotated
     # wrapper owns the only raw std::mutex/condition_variable.
-    return _in(path, "src/runtime") or _in(path, "src/util/mutex.h")
+    return aqp_allowlists.allowed(path, aqp_allowlists.THREADING_ALLOW)
 
 
 def allow_console(path):
     # The logging facility is the sanctioned stderr writer.
-    return _in(path, "src/util/logging.h")
+    return aqp_allowlists.allowed(path, aqp_allowlists.CONSOLE_ALLOW)
 
 
 RAW_TIMING = [
@@ -200,13 +204,7 @@ def allow_timing(path):
     # cancellation.h owns deadline *enforcement* and mutex.h the timed
     # condvar wait (timing-as-semantics); the open-loop load generator is
     # itself a clock (Poisson arrival pacing + client-observed latency).
-    return (
-        _in(path, "src/obs")
-        or _in(path, "src/runtime/cancellation.h")
-        or _in(path, "src/util/mutex.h")
-        or _in(path, "src/server/load_gen.h")
-        or _in(path, "src/server/load_gen.cc")
-    )
+    return aqp_allowlists.allowed(path, aqp_allowlists.TIMING_ALLOW)
 
 
 AD_HOC_SLEEP = [
@@ -225,8 +223,7 @@ def allow_backoff(path):
     # Nothing in src/ sleeps raw — the sanctioned blocking primitive is
     # CondVar::WaitForNanos (itself built on the annotated wrapper's
     # wait_for), and the sanctioned retry schedule is RetryingSession's.
-    del path
-    return False
+    return aqp_allowlists.allowed(path, aqp_allowlists.BACKOFF_ALLOW)
 
 
 SEED_IN_CACHE_KEY = [
@@ -245,11 +242,7 @@ def allow_cache_key(path):
     # identifier appearing there means per-request randomness is leaking
     # into the key, which would make semantically identical requests miss
     # (or a pinned-seed request collide with a fresh one).
-    return not (
-        _in(path, "src/plan/fingerprint.h")
-        or _in(path, "src/plan/fingerprint.cc")
-        or _in(path, "tools/lint_fixtures/bad_cache_key.cc")
-    )
+    return not aqp_allowlists.allowed(path, aqp_allowlists.CACHE_KEY_TARGETS)
 
 
 RULES = [

@@ -1,0 +1,41 @@
+"""aqp_sema: compile_commands-driven semantic invariant checker.
+
+Where tools/aqp_lint.py pattern-matches single lines, aqp_sema builds a
+function-level model of the code (parameters with types, call sites with
+argument text, member writes, RNG constructions, lock-held regions, loops)
+and an interprocedural call graph over the whole tree, then checks four
+invariant families regex cannot express:
+
+  honest-ci           Writes to ApproxResult/QueryProfile/QueryResponse
+                      honesty fields (ci, ci_target_met, deadline_hit, ...)
+                      only at sanctioned constructor/setter sites.
+  cancel-propagation  A function holding a CancellationToken/Deadline/
+                      ExecRuntime must not reach a row/replicate loop that
+                      cannot observe cancellation.
+  rng-discipline      Every Rng is seeded from RngStreamFactory /
+                      DeriveStreamSeed / a *seed* parameter — no ambient or
+                      literal seeds outside sanctioned roots.
+  lock-hygiene        No blocking call (Wait*, Admit, scheduler Prepare,
+                      failpoint stalls, ParallelFor) and no nested lock
+                      while holding an aqp::Mutex, except the CondVar
+                      pattern that releases the held mutex.
+
+Plus a semantic port of aqp_lint's cache-key rule (seed-named identifier
+declarations/uses inside the plan-fingerprint unit).
+
+Two interchangeable frontends produce the same IR, so rule behavior is
+backend-independent:
+
+  libclang  (preferred) Enumerates function definitions and canonical
+            parameter types from the AST, driven by compile_commands.json.
+            Used when the clang Python bindings + a loadable libclang are
+            present; the pinned-clang CI job runs this backend.
+  lexer     A built-in C++ tokenizer + declarator scanner. Always
+            available; what `ctest -R aqp_sema` runs when libclang is not
+            installed (the tool *says* which backend ran — never a silent
+            downgrade).
+
+Entry point: tools/aqp_sema/cli.py (see --help).
+"""
+
+__version__ = "1.0"

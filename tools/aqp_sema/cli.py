@@ -1,0 +1,223 @@
+#!/usr/bin/env python3
+"""aqp-sema: compile_commands-driven semantic invariant checker.
+
+Builds a function-level model of the tree (either via libclang + the
+repo's compile_commands.json, or via the built-in lexer frontend), then
+checks the four semantic rule families — honest-CI construction,
+cancellation propagation, RNG discipline, lock hygiene — plus the semantic
+cache-key rule. See tools/aqp_sema/__init__.py for the rule inventory and
+DESIGN.md §15 for the model.
+
+Usage:
+  tools/aqp_sema/cli.py [--root REPO] [--compile-commands CCJSON]
+                        [--backend auto|libclang|lexer] [--report out.json]
+                        [--self-check] [PATH...]
+
+PATHs (files or directories, default: src) are analyzed; findings print as
+`path:line: [rule] function: message`.
+
+Exit status:
+  0        clean (and, with --self-check, anti-vacuity proven)
+  1..125   number of unsuppressed findings (capped)
+  3        requested backend unavailable — an explicit SKIP, wired to
+           ctest's SKIP_RETURN_CODE so it can never read as a pass
+  4        --self-check failed: a rule family did not flag its known-bad
+           fixture (the sweep would be vacuous) or flagged its known-good
+           one
+"""
+
+import argparse
+import json
+import os
+import sys
+
+_TOOLS_DIR = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+if _TOOLS_DIR not in sys.path:
+    sys.path.insert(0, _TOOLS_DIR)
+
+from aqp_sema import frontend_clang, frontend_lexer, rules  # noqa: E402
+from aqp_sema.model import Index  # noqa: E402
+
+EXIT_SKIP = 3
+EXIT_SELF_CHECK_FAILED = 4
+
+#: Fixture → rule families it must trip (bad) / must not trip (ok).
+#: This is the anti-vacuity contract: an empty sweep only counts if every
+#: rule demonstrably still fires on its known-bad input.
+FIXTURE_EXPECTATIONS = {
+    "tools/sema_fixtures/honest_ci_bad.cc": {"honest-ci"},
+    "tools/sema_fixtures/honest_ci_ok.cc": set(),
+    "tools/sema_fixtures/cancel_bad.cc": {"cancel-propagation"},
+    "tools/sema_fixtures/cancel_ok.cc": set(),
+    "tools/sema_fixtures/rng_bad.cc": {"rng-discipline"},
+    "tools/sema_fixtures/rng_ok.cc": set(),
+    "tools/sema_fixtures/lock_bad.cc": {"lock-hygiene"},
+    "tools/sema_fixtures/lock_ok.cc": set(),
+    "tools/sema_fixtures/cache_key_bad.cc": {"cache-key"},
+    "tools/sema_fixtures/cache_key_ok.cc": set(),
+}
+
+
+def collect_files(root, paths):
+    exts = (".h", ".cc", ".cpp", ".hpp")
+    files = []
+    for p in paths:
+        ap = p if os.path.isabs(p) else os.path.join(root, p)
+        if os.path.isfile(ap):
+            files.append(os.path.relpath(ap, root).replace(os.sep, "/"))
+        else:
+            for dirpath, _, names in os.walk(ap):
+                for name in sorted(names):
+                    if name.endswith(exts):
+                        full = os.path.join(dirpath, name)
+                        files.append(
+                            os.path.relpath(full, root).replace(os.sep, "/"))
+    return sorted(set(files))
+
+
+def build_index(files, root, backend, compile_commands):
+    """Returns (Index, info_dict) or raises RuntimeError."""
+    if backend == "libclang":
+        functions, info = frontend_clang.build(
+            files, root, compile_commands=compile_commands)
+    else:
+        functions, info = frontend_lexer.build(files, root)
+    return Index(functions), info
+
+
+def resolve_backend(requested):
+    """Returns (backend_name, skip_reason). skip_reason set only when a
+    hard-requested backend cannot run."""
+    if requested == "lexer":
+        return "lexer", None
+    ok, reason = frontend_clang.available()
+    if ok:
+        return "libclang", None
+    if requested == "libclang":
+        return None, reason
+    return "lexer", None
+
+
+def run_self_check(root, backend, compile_commands):
+    """Anti-vacuity: every rule family still fires on its bad fixture and
+    stays quiet on its good one. Returns a list of failure strings."""
+    failures = []
+    fixture_files = [f for f in FIXTURE_EXPECTATIONS
+                     if os.path.exists(os.path.join(root, f))]
+    missing = sorted(set(FIXTURE_EXPECTATIONS) - set(fixture_files))
+    for m in missing:
+        failures.append(f"fixture missing: {m}")
+    if not fixture_files:
+        return failures
+    index, _ = build_index(fixture_files, root, backend, compile_commands)
+    findings, _ = rules.run_all(index)
+    by_file = {}
+    for f in findings:
+        by_file.setdefault(f.path, set()).add(f.rule)
+    for fixture, expected in FIXTURE_EXPECTATIONS.items():
+        if fixture in missing:
+            continue
+        got = by_file.get(fixture, set())
+        for rule in expected - got:
+            failures.append(
+                f"{fixture}: rule '{rule}' did NOT fire on its known-bad "
+                f"fixture — the sweep would be vacuous")
+        if not expected and got:
+            failures.append(
+                f"{fixture}: clean fixture unexpectedly flagged by "
+                f"{sorted(got)}")
+    return failures
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        description=__doc__.splitlines()[1],
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("paths", nargs="*", default=["src"],
+                        help="files or directories (default: src)")
+    parser.add_argument("--root", default=None,
+                        help="repository root (default: the checkout "
+                             "containing this script)")
+    parser.add_argument("--compile-commands", default=None,
+                        help="compile_commands.json for the libclang "
+                             "backend (default: <root>/build/"
+                             "compile_commands.json when present)")
+    parser.add_argument("--backend", default="auto",
+                        choices=("auto", "libclang", "lexer"),
+                        help="auto prefers libclang, falls back to the "
+                             "built-in lexer frontend; libclang exits "
+                             f"{EXIT_SKIP} (SKIP) when unavailable")
+    parser.add_argument("--report", default=None,
+                        help="write the JSON report here")
+    parser.add_argument("--self-check", action="store_true",
+                        help="before sweeping, prove anti-vacuity: every "
+                             "rule family must flag its known-bad fixture")
+    args = parser.parse_args(argv)
+
+    root = os.path.abspath(
+        args.root if args.root
+        else os.path.join(_TOOLS_DIR, os.pardir))
+    compile_commands = args.compile_commands
+    if compile_commands is None:
+        default_cc = os.path.join(root, "build", "compile_commands.json")
+        compile_commands = default_cc if os.path.exists(default_cc) else None
+
+    backend, skip_reason = resolve_backend(args.backend)
+    if backend is None:
+        print(f"aqp-sema: SKIP — {skip_reason}")
+        print("aqp-sema: (install the clang python bindings + libclang, "
+              "or run with --backend auto to use the lexer frontend)")
+        if args.report:
+            with open(args.report, "w", encoding="utf-8") as f:
+                json.dump({"skipped": True, "reason": skip_reason}, f,
+                          indent=2)
+        return EXIT_SKIP
+
+    if args.self_check:
+        failures = run_self_check(root, backend, compile_commands)
+        if failures:
+            for failure in failures:
+                print(f"aqp-sema: self-check FAILED: {failure}")
+            return EXIT_SELF_CHECK_FAILED
+        print(f"aqp-sema: self-check OK "
+              f"({len(FIXTURE_EXPECTATIONS)} fixtures, backend={backend})")
+
+    paths = args.paths if args.paths else ["src"]
+    files = collect_files(root, paths)
+    index, info = build_index(files, root, backend, compile_commands)
+    findings, suppressed = rules.run_all(index)
+
+    for f in findings:
+        print(f"{f.path}:{f.line}: [{f.rule}] {f.function}: {f.message}")
+
+    if args.report:
+        payload = {
+            "backend": info.get("backend"),
+            "compile_commands": compile_commands,
+            "files": len(files),
+            "functions": len(index.functions),
+            "parse_failures": info.get("parse_failures", []),
+            "findings": [
+                {"path": f.path, "line": f.line, "rule": f.rule,
+                 "function": f.function, "message": f.message}
+                for f in findings
+            ],
+            "suppressed": [
+                {"path": f.path, "line": f.line, "rule": f.rule,
+                 "function": f.function, "message": f.message,
+                 "justification": f.justification}
+                for f in suppressed
+            ],
+        }
+        with open(args.report, "w", encoding="utf-8") as f:
+            json.dump(payload, f, indent=2)
+
+    if not findings:
+        print(f"aqp-sema: OK ({len(files)} files, "
+              f"{len(index.functions)} functions, "
+              f"{len(suppressed)} sanctioned sites, backend={backend})")
+    return min(len(findings), 125)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,355 @@
+"""Token-stream → FunctionInfo extraction, shared by both frontends.
+
+The lexer frontend runs `scan_stream` over whole files; the libclang
+frontend runs it over each function definition's extent (with the name,
+qualified name, and canonical parameter types taken from the AST cursor
+instead). Keeping one body-fact extractor means a rule behaves identically
+under either backend — the backends differ only in how precisely they
+*locate* functions and type their parameters.
+"""
+
+from .lexer import match_braces
+from .model import (CallSite, FieldWrite, FunctionInfo, LockRegion, Loop,
+                    Param, RngConstruction)
+
+#: Keywords that can head a parenthesized clause but are not callees.
+CONTROL_KEYWORDS = {
+    "if", "for", "while", "switch", "catch", "do", "else", "return",
+    "sizeof", "alignof", "decltype", "new", "delete", "throw", "case",
+    "goto", "co_return", "co_await", "co_yield", "assert",
+    "static_assert", "alignas", "typeid", "requires",
+}
+
+#: Tokens allowed between a parameter list's ')' and the body '{'.
+_QUAL_IDENTS = {
+    "const", "noexcept", "override", "final", "mutable", "volatile", "try",
+}
+
+#: Identifiers that look like types but start statements (never callees).
+_NON_CALL_IDENTS = CONTROL_KEYWORDS | {
+    "using", "typedef", "template", "typename", "operator", "namespace",
+    "public", "private", "protected", "friend", "explicit", "inline",
+    "constexpr", "consteval", "constinit", "static", "extern", "virtual",
+}
+
+_ASSIGN_OPS = {"=", "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^="}
+
+
+def _text(tokens, lo, hi):
+    """Joined source text of tokens[lo:hi] (space-separated)."""
+    return " ".join(t.text for t in tokens[lo:hi])
+
+
+def _parse_params(tokens, lo, hi):
+    """Parses a parameter list slice into Param entries."""
+    params = []
+    depth = 0
+    start = lo
+    slices = []
+    for i in range(lo, hi):
+        t = tokens[i]
+        if t.kind == "punct":
+            if t.text in ("(", "[", "{", "<"):
+                depth += 1
+            elif t.text in (")", "]", "}", ">"):
+                depth = max(0, depth - 1)
+            elif t.text == "," and depth == 0:
+                slices.append((start, i))
+                start = i + 1
+    if start < hi:
+        slices.append((start, hi))
+    for lo2, hi2 in slices:
+        toks = tokens[lo2:hi2]
+        if not toks or (len(toks) == 1 and toks[0].text in ("void", "...")):
+            continue
+        # Trim a default argument.
+        depth = 0
+        for j, t in enumerate(toks):
+            if t.kind == "punct":
+                if t.text in ("(", "[", "{", "<"):
+                    depth += 1
+                elif t.text in (")", "]", "}", ">"):
+                    depth -= 1
+                elif t.text == "=" and depth == 0:
+                    toks = toks[:j]
+                    break
+        if not toks:
+            continue
+        if toks[-1].kind == "ident" and toks[-1].text not in _QUAL_IDENTS \
+                and len(toks) > 1:
+            name = toks[-1].text
+            type_text = " ".join(t.text for t in toks[:-1])
+        else:
+            name = ""
+            type_text = " ".join(t.text for t in toks)
+        params.append(Param(type_text=type_text, name=name))
+    return params
+
+
+def _probe_after_params(tokens, j, pairs):
+    """From just after a ')' decides declaration vs definition.
+
+    Returns (body_open_index, init_entries) when a function body follows
+    (init_entries = [(name, args_text, line)] from a ctor init list), else
+    (None, None).
+    """
+    n = len(tokens)
+    init_entries = []
+    while j < n:
+        t = tokens[j]
+        if t.kind == "punct":
+            if t.text == "{":
+                return j, init_entries
+            if t.text in (";", ",", ")", "]"):
+                return None, None
+            if t.text == "=":  # = default / = delete / = 0 / var init
+                return None, None
+            if t.text in ("&", "&&"):  # ref-qualifier
+                j += 1
+                continue
+            if t.text == "->":  # trailing return type
+                j += 1
+                while j < n and not (
+                    tokens[j].kind == "punct" and tokens[j].text in ("{", ";")
+                ):
+                    j += 1
+                continue
+            if t.text == ":":  # ctor init list
+                j += 1
+                while j < n:
+                    # Entry name: qualified identifier (pack/template ok).
+                    if tokens[j].kind != "ident":
+                        return None, None
+                    name_start = j
+                    j += 1
+                    while j + 1 < n and tokens[j].kind == "punct" \
+                            and tokens[j].text == "::" \
+                            and tokens[j + 1].kind == "ident":
+                        j += 2
+                    name = tokens[j - 1].text
+                    if j < n and tokens[j].kind == "punct" \
+                            and tokens[j].text == "<":
+                        depth = 1
+                        j += 1
+                        while j < n and depth:
+                            if tokens[j].text == "<":
+                                depth += 1
+                            elif tokens[j].text == ">":
+                                depth -= 1
+                            j += 1
+                    if j >= n or tokens[j].kind != "punct" \
+                            or tokens[j].text not in ("(", "{"):
+                        return None, None
+                    close = pairs.get(j)
+                    if close is None:
+                        return None, None
+                    init_entries.append(
+                        (name, _text(tokens, j + 1, close),
+                         tokens[name_start].line))
+                    j = close + 1
+                    if j < n and tokens[j].kind == "punct" \
+                            and tokens[j].text == "...":
+                        j += 1
+                    if j < n and tokens[j].kind == "punct" \
+                            and tokens[j].text == ",":
+                        j += 1
+                        continue
+                    if j < n and tokens[j].kind == "punct" \
+                            and tokens[j].text == "{":
+                        return j, init_entries
+                    return None, None
+                return None, None
+            return None, None
+        if t.kind == "ident":
+            if t.text in _QUAL_IDENTS:
+                j += 1
+                continue
+            if t.text == "noexcept" or t.text.startswith("AQP_"):
+                j += 1
+                if j < n and tokens[j].kind == "punct" \
+                        and tokens[j].text == "(":
+                    close = pairs.get(j)
+                    if close is None:
+                        return None, None
+                    j = close + 1
+                continue
+            return None, None
+        return None, None
+    return None, None
+
+
+def _qual_name(tokens, name_idx):
+    """Walks back over `A::B::` qualifiers before the name token."""
+    parts = [tokens[name_idx].text]
+    i = name_idx - 1
+    # Destructor tilde.
+    if i >= 0 and tokens[i].kind == "punct" and tokens[i].text == "~":
+        parts[0] = "~" + parts[0]
+        i -= 1
+    while i - 1 >= 0 and tokens[i].kind == "punct" \
+            and tokens[i].text == "::" and tokens[i - 1].kind == "ident":
+        parts.insert(0, tokens[i - 1].text)
+        i -= 2
+    return "::".join(parts)
+
+
+def _walk_chain(tokens, i):
+    """Walks an lvalue member chain ending at token index i (an ident).
+
+    Returns (segments, start_index): segments outermost-first, e.g.
+    `result -> profile . deadline_hit` → ("result","profile","deadline_hit").
+    Chains through `]`/`)` keep the segments seen so far.
+    """
+    segments = [tokens[i].text]
+    j = i - 1
+    while j >= 1 and tokens[j].kind == "punct" and tokens[j].text in (".", "->"):
+        prev = tokens[j - 1]
+        if prev.kind == "ident":
+            segments.insert(0, prev.text)
+            j -= 2
+        elif prev.kind == "punct" and prev.text in (")", "]"):
+            break  # foo(...).x / arr[i].x — keep what we have.
+        else:
+            break
+    return tuple(segments), j + 1
+
+
+def parse_body(fn, tokens, body_open, body_close, pairs):
+    """Populates `fn` with facts from tokens[body_open..body_close]."""
+    brace_stack = []
+    i = body_open
+    while i <= body_close:
+        t = tokens[i]
+        if t.kind == "punct":
+            if t.text == "{":
+                brace_stack.append(i)
+            elif t.text == "}":
+                if brace_stack:
+                    brace_stack.pop()
+            elif t.text in _ASSIGN_OPS and i >= 1:
+                prev = tokens[i - 1]
+                if prev.kind == "ident" and prev.text != "operator":
+                    chain, start = _walk_chain(tokens, i - 1)
+                    before = tokens[start - 1] if start >= 1 else None
+                    designated = (
+                        len(chain) == 1
+                        and before is not None
+                        and before.kind == "punct"
+                        and before.text == "."
+                        and start >= 2
+                        and tokens[start - 2].kind == "punct"
+                        and tokens[start - 2].text in ("{", ",")
+                    )
+                    if len(chain) >= 2 or designated:
+                        fn.field_writes.append(FieldWrite(
+                            chain=chain, designated=designated,
+                            op=t.text, line=prev.line))
+            i += 1
+            continue
+        if t.kind == "ident":
+            fn.idents.append((t.text, t.line))
+            nxt = tokens[i + 1] if i + 1 <= body_close else None
+            if nxt is not None and nxt.kind == "punct" and nxt.text == "(":
+                close = pairs.get(i + 1)
+                if close is None or close > body_close:
+                    i += 1
+                    continue
+                if t.text in ("for", "while"):
+                    fn.loops.append(Loop(
+                        header=_text(tokens, i + 2, close),
+                        line=t.line, tok=i))
+                    i += 1
+                    continue
+                if t.text in CONTROL_KEYWORDS or t.text in ("if",):
+                    i += 1
+                    continue
+                prev = tokens[i - 1] if i >= 1 else None
+                prev_is_type = (
+                    prev is not None and prev.kind == "ident"
+                    and prev.text not in _NON_CALL_IDENTS
+                    and not (i >= 2 and tokens[i - 2].kind == "punct"
+                             and tokens[i - 2].text in (".", "->"))
+                )
+                args_text = _text(tokens, i + 2, close)
+                if prev_is_type:
+                    # `Type var(args)` declaration-with-constructor.
+                    if prev.text == "Rng":
+                        fn.rng_constructions.append(RngConstruction(
+                            var=t.text, args_text=args_text, how="decl",
+                            line=t.line))
+                    elif prev.text == "MutexLock":
+                        scope_close = pairs[brace_stack[-1]] \
+                            if brace_stack else body_close
+                        fn.lock_regions.append(LockRegion(
+                            mutex_text=args_text.replace(" ", ""),
+                            line=t.line, start=i, end=scope_close))
+                else:
+                    base = ""
+                    if prev is not None and prev.kind == "punct" \
+                            and prev.text in (".", "->", "::"):
+                        _, chain_start = _walk_chain(tokens, i)
+                        base = _text(tokens, chain_start, i - 1)
+                    fn.calls.append(CallSite(
+                        name=t.text, base=base, args_text=args_text,
+                        line=t.line, tok=i))
+                    if t.text == "Rng":
+                        fn.rng_constructions.append(RngConstruction(
+                            var="", args_text=args_text, how="temp",
+                            line=t.line))
+                i += 1
+                continue
+            # `Type var ;` / `Type var {` default- or brace-construction.
+            if nxt is not None and t.kind == "ident" and i >= 1:
+                prev = tokens[i - 1]
+                if prev.kind == "ident" and prev.text == "Rng" \
+                        and nxt.kind == "punct" and nxt.text in (";", "{"):
+                    args = ""
+                    if nxt.text == "{":
+                        close = pairs.get(i + 1)
+                        if close is not None:
+                            args = _text(tokens, i + 2, close)
+                    fn.rng_constructions.append(RngConstruction(
+                        var=t.text, args_text=args, how="decl", line=t.line))
+        i += 1
+    return fn
+
+
+def scan_stream(tokens, file, pairs=None):
+    """Finds function definitions in a token stream; returns FunctionInfo[]."""
+    if pairs is None:
+        pairs = match_braces(tokens)
+    functions = []
+    n = len(tokens)
+    i = 0
+    while i < n:
+        t = tokens[i]
+        if (t.kind == "ident"
+                and t.text not in _NON_CALL_IDENTS
+                and not t.text.startswith("AQP_")
+                and i + 1 < n
+                and tokens[i + 1].kind == "punct"
+                and tokens[i + 1].text == "("):
+            close = pairs.get(i + 1)
+            if close is not None:
+                body_open, init_entries = _probe_after_params(
+                    tokens, close + 1, pairs)
+                if body_open is not None and body_open in pairs:
+                    body_close = pairs[body_open]
+                    fn = FunctionInfo(
+                        name=t.text,
+                        qual_name=_qual_name(tokens, i),
+                        file=file,
+                        line=t.line,
+                        params=_parse_params(tokens, i + 2, close),
+                    )
+                    for name, args_text, line in init_entries or []:
+                        if "rng" in name.lower():
+                            fn.rng_constructions.append(RngConstruction(
+                                var=name, args_text=args_text,
+                                how="init-list", line=line))
+                    parse_body(fn, tokens, body_open, body_close, pairs)
+                    functions.append(fn)
+                    i = body_close + 1
+                    continue
+        i += 1
+    return functions

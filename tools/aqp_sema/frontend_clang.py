@@ -1,0 +1,195 @@
+"""libclang frontend: AST-located functions, canonical parameter types.
+
+Driven by the repo's CMAKE_EXPORT_COMPILE_COMMANDS output: every .cc file
+is parsed with its real compile arguments, headers with the project include
+root, so function boundaries and parameter types come from clang's AST
+(typedefs resolved, templates/namespaces exact) instead of the declarator
+heuristic. Body facts still come from the shared token extractor over each
+definition's extent, which is what keeps rule behavior identical across
+backends.
+
+Availability is probed, never assumed: `available()` reports exactly why
+the backend cannot run (missing clang.cindex module, unloadable libclang),
+and the CLI turns that into an explicit SKIP — not a silent pass — when
+the backend was requested. Set AQP_LIBCLANG to a libclang.so path to
+override discovery.
+"""
+
+import glob
+import json
+import os
+
+from . import extract, lexer
+from .frontend_lexer import read_source
+
+_DEFAULT_ARGS = ["-x", "c++", "-std=c++17"]
+
+#: Cursor kinds that are function definitions we analyze.
+_FUNCTION_KINDS = (
+    "FUNCTION_DECL", "CXX_METHOD", "CONSTRUCTOR", "DESTRUCTOR",
+    "FUNCTION_TEMPLATE",
+)
+
+
+def _configure():
+    """Imports clang.cindex and points it at a loadable libclang.
+
+    Returns (cindex_module, None) or (None, reason).
+    """
+    try:
+        import clang.cindex as cindex
+    except ImportError as e:
+        return None, f"python clang bindings unavailable ({e})"
+    if not cindex.Config.loaded:
+        override = os.environ.get("AQP_LIBCLANG")
+        candidates = [override] if override else []
+        candidates += sorted(
+            glob.glob("/usr/lib/llvm-*/lib/libclang.so*")
+            + glob.glob("/usr/lib/*/libclang*.so*")
+            + glob.glob("/usr/local/lib/libclang*.so*"),
+            reverse=True,
+        )
+        for candidate in candidates:
+            if candidate and os.path.exists(candidate) \
+                    and "libclang-cpp" not in candidate:
+                cindex.Config.set_library_file(candidate)
+                break
+    try:
+        cindex.Index.create()
+    except Exception as e:  # cindex raises LibclangError, a plain Exception.
+        return None, f"libclang not loadable ({e})"
+    return cindex, None
+
+
+def available():
+    """Returns (ok, reason): can this backend run here?"""
+    cindex, reason = _configure()
+    return cindex is not None, reason
+
+
+def _load_compile_args(compile_commands):
+    """Maps absolute source path → compile args (minus -c/-o/the file)."""
+    args_by_file = {}
+    if not compile_commands or not os.path.exists(compile_commands):
+        return args_by_file
+    with open(compile_commands, "r", encoding="utf-8") as f:
+        for entry in json.load(f):
+            path = os.path.normpath(
+                os.path.join(entry["directory"], entry["file"]))
+            raw = entry.get("arguments")
+            if raw is None:
+                raw = entry.get("command", "").split()
+            args = []
+            skip = False
+            for a in raw[1:]:
+                if skip:
+                    skip = False
+                    continue
+                if a in ("-c", entry["file"], path):
+                    continue
+                if a == "-o":
+                    skip = True
+                    continue
+                args.append(a)
+            args_by_file[path] = args
+    return args_by_file
+
+
+def _qualified_name(cursor):
+    parts = [cursor.spelling]
+    parent = cursor.semantic_parent
+    while parent is not None and parent.kind is not None:
+        kind = str(parent.kind)
+        if "TRANSLATION_UNIT" in kind:
+            break
+        if parent.spelling:
+            parts.insert(0, parent.spelling)
+        parent = parent.semantic_parent
+    return "::".join(p for p in parts if p)
+
+
+def build(files, root, compile_commands=None):
+    """Analyzes `files` via libclang; returns (functions, info)."""
+    cindex, reason = _configure()
+    if cindex is None:
+        raise RuntimeError(f"libclang backend unavailable: {reason}")
+    index = cindex.Index.create()
+    args_by_file = _load_compile_args(compile_commands)
+    include_args = ["-I", os.path.join(root, "src")]
+    wanted = {os.path.normpath(os.path.join(root, f)): f for f in files}
+
+    functions = []
+    parse_failures = []
+    for relpath in files:
+        abspath = os.path.normpath(os.path.join(root, relpath))
+        args = args_by_file.get(abspath)
+        if args is None:
+            args = list(_DEFAULT_ARGS) + include_args
+            if relpath.endswith((".h", ".hpp")):
+                args[1] = "c++-header"
+        try:
+            tu = index.parse(abspath, args=args)
+        except Exception as e:
+            parse_failures.append(f"{relpath}: {e}")
+            continue
+        text = read_source(root, relpath)
+        lines = text.split("\n")
+        for cursor in tu.cursor.walk_preorder():
+            try:
+                kind_name = cursor.kind.name
+            except Exception:
+                continue
+            if kind_name not in _FUNCTION_KINDS:
+                continue
+            if not cursor.is_definition():
+                continue
+            loc_file = cursor.location.file
+            if loc_file is None:
+                continue
+            if os.path.normpath(loc_file.name) != abspath:
+                continue  # Definitions pulled in from other headers.
+            # Slice the definition's extent and reuse the shared extractor.
+            start, end = cursor.extent.start, cursor.extent.end
+            if start.line < 1 or end.line > len(lines):
+                continue
+            snippet = "\n".join(lines[start.line - 1:end.line])
+            tokens = lexer.tokenize(snippet)
+            found = extract.scan_stream(tokens, relpath)
+            if not found:
+                continue
+            fn = found[0]
+            # Upgrade identity + parameter types from the AST.
+            fn.name = cursor.spelling or fn.name
+            fn.qual_name = _qualified_name(cursor) or fn.qual_name
+            fn.line = start.line
+            # Re-base fact line numbers from snippet-relative to file lines.
+            delta = start.line - 1
+            for group in (fn.calls, fn.field_writes, fn.rng_constructions,
+                          fn.lock_regions, fn.loops):
+                for fact in group:
+                    fact.line += delta
+            fn.idents = [(name, line + delta) for name, line in fn.idents]
+            try:
+                ast_params = [
+                    (a.type.spelling, a.spelling)
+                    for a in cursor.get_arguments()
+                ]
+            except Exception:
+                ast_params = []
+            if ast_params:
+                from .model import Param
+                fn.params = [Param(type_text=t, name=n)
+                             for t, n in ast_params]
+            functions.append(fn)
+    # De-duplicate: a header analyzed both standalone and via inclusion.
+    seen = set()
+    unique = []
+    for fn in functions:
+        key = (fn.file, fn.line, fn.qual_name)
+        if key not in seen:
+            seen.add(key)
+            unique.append(fn)
+    return unique, {
+        "backend": "libclang",
+        "parse_failures": parse_failures,
+    }

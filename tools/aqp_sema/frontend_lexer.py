@@ -1,0 +1,37 @@
+"""Built-in frontend: pure-Python C++ lexer + declarator scanner.
+
+Always available — this is what runs when libclang is not installed. It
+locates function definitions with a declarator heuristic (identifier +
+balanced parameter list + optional qualifiers/ctor-init-list + `{`) and
+extracts body facts with the shared extractor. Parameter types are source
+spellings (no typedef resolution); the libclang frontend upgrades exactly
+those two aspects and nothing else.
+"""
+
+import os
+
+from . import extract, lexer
+
+
+def read_source(root, relpath):
+    with open(os.path.join(root, relpath), "r", encoding="utf-8",
+              errors="replace") as f:
+        return f.read()
+
+
+def build(files, root):
+    """Analyzes `files` (repo-relative paths); returns (functions, info)."""
+    functions = []
+    parse_failures = []
+    for relpath in files:
+        try:
+            text = read_source(root, relpath)
+        except OSError as e:
+            parse_failures.append(f"{relpath}: {e}")
+            continue
+        tokens = lexer.tokenize(text)
+        functions.extend(extract.scan_stream(tokens, relpath))
+    return functions, {
+        "backend": "lexer",
+        "parse_failures": parse_failures,
+    }

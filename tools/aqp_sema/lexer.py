@@ -1,0 +1,150 @@
+"""A small C++ tokenizer: comments/strings stripped, lines preserved.
+
+Produces the token stream both frontends feed to extract.py. Not a full
+lexer — it only needs to be exact about the things the rules read:
+identifiers, numbers, and multi-character punctuators (so `==` never reads
+as an assignment), with correct line numbers, and with comments, string
+literals (including raw strings), char literals, and preprocessor lines
+removed entirely.
+"""
+
+import re
+from collections import namedtuple
+
+#: kind is one of "ident", "num", "punct".
+Token = namedtuple("Token", ["kind", "text", "line"])
+
+_IDENT_RE = re.compile(r"[A-Za-z_][A-Za-z0-9_]*")
+_NUM_RE = re.compile(
+    r"(?:0[xX][0-9a-fA-F']+|(?:\d[\d']*)(?:\.[\d']*)?(?:[eEpP][+-]?\d+)?)"
+    r"[uUlLzZfF]*"
+)
+_RAW_STRING_RE = re.compile(r'R"([^()\\ \t\n]*)\(')
+
+# Longest-match punctuator set; order by length so ">>=" wins over ">>".
+_PUNCTS = sorted(
+    [
+        "<<=", ">>=", "...", "->*", "<=>",
+        "->", "::", "==", "!=", "<=", ">=", "&&", "||", "<<", ">>",
+        "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "++", "--", ".*",
+        "{", "}", "(", ")", "[", "]", "<", ">", ";", ":", ",", ".", "?",
+        "=", "+", "-", "*", "/", "%", "&", "|", "^", "!", "~", "#",
+    ],
+    key=len,
+    reverse=True,
+)
+
+
+def tokenize(text):
+    """Tokenizes C++ source `text`; returns a list of Token."""
+    tokens = []
+    i = 0
+    n = len(text)
+    line = 1
+    while i < n:
+        c = text[i]
+        if c == "\n":
+            line += 1
+            i += 1
+            continue
+        if c in " \t\r\f\v":
+            i += 1
+            continue
+        nxt = text[i + 1] if i + 1 < n else ""
+        # Comments.
+        if c == "/" and nxt == "/":
+            j = text.find("\n", i)
+            i = n if j < 0 else j
+            continue
+        if c == "/" and nxt == "*":
+            j = text.find("*/", i + 2)
+            if j < 0:
+                break
+            line += text.count("\n", i, j + 2)
+            i = j + 2
+            continue
+        # Preprocessor directive: drop the whole (continued) line.
+        if c == "#" and (not tokens or tokens[-1].line != line):
+            while i < n:
+                j = text.find("\n", i)
+                if j < 0:
+                    i = n
+                    break
+                if text[j - 1] == "\\" and j >= 1:
+                    line += 1
+                    i = j + 1
+                    continue
+                line += 1
+                i = j + 1
+                break
+            continue
+        # Raw string literal.
+        if c == "R" and nxt == '"':
+            m = _RAW_STRING_RE.match(text, i)
+            if m:
+                close = ")" + m.group(1) + '"'
+                j = text.find(close, m.end())
+                if j < 0:
+                    break
+                line += text.count("\n", i, j + len(close))
+                i = j + len(close)
+                continue
+        # String / char literal (with escapes). Prefix literals (u8"", L'')
+        # reach here as an ident token followed by the literal — fine.
+        if c in "\"'":
+            quote = c
+            j = i + 1
+            while j < n:
+                if text[j] == "\\":
+                    j += 2
+                    continue
+                if text[j] == quote:
+                    break
+                if text[j] == "\n":  # Unterminated; don't swallow the file.
+                    break
+                j += 1
+            i = j + 1
+            continue
+        # Identifier.
+        m = _IDENT_RE.match(text, i)
+        if m:
+            tokens.append(Token("ident", m.group(0), line))
+            i = m.end()
+            continue
+        # Number.
+        if c.isdigit() or (c == "." and nxt.isdigit()):
+            m = _NUM_RE.match(text, i)
+            if m:
+                tokens.append(Token("num", m.group(0), line))
+                i = m.end()
+                continue
+        # Punctuator.
+        for p in _PUNCTS:
+            if text.startswith(p, i):
+                tokens.append(Token("punct", p, line))
+                i += len(p)
+                break
+        else:
+            i += 1  # Unknown byte: skip.
+    return tokens
+
+
+def match_braces(tokens):
+    """Returns {open_index: close_index} for every (), [], {} pair."""
+    pairs = {}
+    stack = []
+    opens = {"(": ")", "[": "]", "{": "}"}
+    for idx, tok in enumerate(tokens):
+        if tok.kind != "punct":
+            continue
+        if tok.text in opens:
+            stack.append((idx, opens[tok.text]))
+        elif tok.text in (")", "]", "}"):
+            # Pop until the matching opener kind (tolerates mismatched
+            # input rather than corrupting the whole map).
+            while stack:
+                open_idx, want = stack.pop()
+                if tok.text == want:
+                    pairs[open_idx] = idx
+                    break
+    return pairs

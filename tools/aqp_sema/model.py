@@ -1,0 +1,92 @@
+"""The IR the rules run on — one model, produced by either frontend.
+
+Everything is function-granular: a FunctionInfo per function *definition*
+found in the analyzed tree, carrying exactly the facts the rule families
+need. Token indices (`tok`) are positions in the function's private body
+token list, so lock regions can be expressed as index ranges.
+"""
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class Param:
+    type_text: str  #: e.g. "const CancellationToken &" (canonical w/ clang)
+    name: str       #: "" for unnamed parameters
+
+
+@dataclass
+class CallSite:
+    name: str       #: last component, e.g. "ParallelFor" for aqp::ParallelFor
+    base: str       #: object/scope expression text ("runtime" in runtime.x())
+    args_text: str  #: argument list source text, whitespace-joined
+    line: int
+    tok: int        #: index of the callee name token in the body stream
+
+
+@dataclass
+class FieldWrite:
+    chain: tuple    #: lvalue member segments, e.g. ("result", "ci")
+    designated: bool  #: .field = inside a braced initializer
+    op: str         #: "=", "+=", ...
+    line: int
+
+
+@dataclass
+class RngConstruction:
+    var: str        #: variable name ("" for a temporary / init-list entry)
+    args_text: str  #: constructor argument text ("" for default-construction)
+    how: str        #: "decl" | "temp" | "init-list"
+    line: int
+
+
+@dataclass
+class LockRegion:
+    mutex_text: str  #: lock argument, e.g. "mu_" or "group->mu"
+    line: int
+    start: int       #: body-token index where the region begins
+    end: int         #: body-token index where the enclosing scope closes
+
+
+@dataclass
+class Loop:
+    header: str     #: text inside for(...)/while(...)
+    line: int
+    tok: int
+
+
+@dataclass
+class FunctionInfo:
+    name: str        #: unqualified name
+    qual_name: str   #: e.g. "AqpEngine::ExecuteServed"
+    file: str        #: repo-relative POSIX path
+    line: int
+    params: list = field(default_factory=list)
+    calls: list = field(default_factory=list)
+    field_writes: list = field(default_factory=list)
+    rng_constructions: list = field(default_factory=list)
+    lock_regions: list = field(default_factory=list)
+    loops: list = field(default_factory=list)
+    #: identifier tokens of the body (text, line) — cache-key rule input.
+    idents: list = field(default_factory=list)
+
+    def display(self):
+        return self.qual_name or self.name
+
+
+class Index:
+    """All functions of the analyzed tree, resolvable by unqualified name.
+
+    Name-based resolution is deliberately overload/namespace-blind: when
+    several definitions share a name, interprocedural rules treat a call as
+    possibly reaching *any* of them (conservative for reachability).
+    """
+
+    def __init__(self, functions):
+        self.functions = list(functions)
+        self.by_name = {}
+        for fn in self.functions:
+            self.by_name.setdefault(fn.name, []).append(fn)
+
+    def resolve(self, name):
+        return self.by_name.get(name, [])

@@ -1,0 +1,379 @@
+"""The four semantic rule families + the semantic cache-key check.
+
+Each rule yields Finding records; sites matched by the sanctioned table
+come back as `suppressed` (with the table's justification) instead, so the
+report always shows what was waived. All rules operate on the shared IR —
+never on raw text — which is what lets both frontends enforce identical
+semantics.
+"""
+
+import re
+from dataclasses import dataclass
+
+from . import sanctioned
+
+try:  # Shared path tables (same ones aqp_lint.py consumes).
+    import aqp_allowlists
+except ImportError:  # pragma: no cover - cli.py fixes sys.path first.
+    aqp_allowlists = None
+
+
+@dataclass
+class Finding:
+    path: str
+    line: int
+    rule: str
+    function: str
+    message: str
+    justification: str = ""  #: set when suppressed by the sanctioned table
+
+
+# ===================================================================== #
+# Rule 1: honest-CI construction.                                        #
+# ===================================================================== #
+
+#: Member fields whose writes assert result honesty. A write to any of
+#: these outside a sanctioned constructor/setter path could fabricate a
+#: tight CI after salvage, shedding, or a stale cache hit.
+HONESTY_FIELDS = frozenset({
+    "ci", "ci_target_met", "deadline_hit", "fell_back", "shed_stage",
+    "replicates_used", "replicates_lost", "fault_recovered",
+    "diagnostic_ok", "diagnostic_ran", "starved", "cache_hit",
+})
+
+
+def check_honest_ci(index):
+    for fn in index.functions:
+        for write in fn.field_writes:
+            watched = [seg for seg in write.chain if seg in HONESTY_FIELDS]
+            if not watched:
+                continue
+            field = watched[-1] if watched[-1] in HONESTY_FIELDS \
+                else watched[0]
+            site = sanctioned.find("honest-ci", fn.file, fn.display(), field)
+            chain_text = ".".join(write.chain)
+            message = (
+                f"write to honesty field '{chain_text}' outside the "
+                f"sanctioned constructor/setter table; results must not "
+                f"be able to claim a tighter CI or cleaner provenance "
+                f"than execution produced (see tools/aqp_sema/"
+                f"sanctioned.py)"
+            )
+            yield Finding(fn.file, write.line, "honest-ci", fn.display(),
+                          message,
+                          justification=site.why if site else "")
+
+
+# ===================================================================== #
+# Rule 2: cancellation propagation.                                      #
+# ===================================================================== #
+
+#: Parameter types that carry (or can carry) a cancellation signal.
+TOKEN_TYPE_RE = re.compile(
+    r"\b(CancellationToken|Deadline|ExecRuntime|ServeOptions)\b")
+
+#: Calls that observe cancellation or delegate to a polling primitive.
+POLL_CALLS = frozenset({
+    "CancelRequested", "CheckCancelled", "DeadlineHit", "Expired",
+    "RemainingSeconds", "ParallelFor", "WithToken", "MaybeStall",
+})
+
+#: Loop headers that iterate rows or replicates (the unbounded work the
+#: deadline contract exists to bound). Deliberately narrow: generic
+#: `i < v.size()` loops are not row loops.
+ROWISH_RE = re.compile(
+    r"\b(num_rows|table_rows|row_count|n_rows|rows|num_passing|"
+    r"replicates|num_replicates|kReplicateGrain|num_blocks|row_blocks|"
+    r"RowAt|block_begin)\b")
+
+#: Argument text that forwards a cancellation signal onward.
+FORWARD_ARG_RE = re.compile(
+    r"\b(token|runtime|bounded|deadline|serve|cancel)\w*\b|WithToken|"
+    r"\.\s*token\s*\(", re.IGNORECASE)
+
+
+def _token_params(fn):
+    return [p for p in fn.params if TOKEN_TYPE_RE.search(p.type_text)]
+
+
+def _polls(fn):
+    return any(c.name in POLL_CALLS for c in fn.calls)
+
+
+def _rowish_loops(fn):
+    return [lp for lp in fn.loops if ROWISH_RE.search(lp.header)]
+
+
+def _reaches_unbounded_loop(fn, index, memo, stack):
+    """True if fn transitively reaches a row/replicate loop through
+    functions that neither receive a token nor poll cancellation."""
+    key = (fn.file, fn.line, fn.qual_name)
+    if key in memo:
+        return memo[key]
+    if key in stack:
+        return False  # Recursion: resolved by the rest of the cycle.
+    if _token_params(fn) or _polls(fn):
+        memo[key] = False
+        return False
+    if _rowish_loops(fn):
+        memo[key] = True
+        return True
+    stack.add(key)
+    result = False
+    for call in fn.calls:
+        for callee in index.resolve(call.name):
+            if callee is fn:
+                continue
+            if _reaches_unbounded_loop(callee, index, memo, stack):
+                result = True
+                break
+        if result:
+            break
+    stack.discard(key)
+    memo[key] = result
+    return result
+
+
+def check_cancel_propagation(index):
+    memo = {}
+    for fn in index.functions:
+        token_params = _token_params(fn)
+        if not token_params:
+            continue
+        # (a) Direct: a row/replicate loop in a token-holding function
+        # that never observes cancellation.
+        rowish = _rowish_loops(fn)
+        if rowish and not _polls(fn):
+            # Forwarding the signal into a call made anywhere in the
+            # function body also counts: the loop may delegate per-row
+            # work to the polling callee.
+            forwards = any(
+                FORWARD_ARG_RE.search(c.args_text) for c in fn.calls)
+            if not forwards:
+                lp = rowish[0]
+                site = sanctioned.find("cancel-propagation", fn.file,
+                                       fn.display(), "loop")
+                yield Finding(
+                    fn.file, lp.line, "cancel-propagation", fn.display(),
+                    f"receives a cancellation signal "
+                    f"({token_params[0].type_text}) but loops over "
+                    f"rows/replicates ('{lp.header[:60]}') without "
+                    f"polling CancelRequested/CheckCancelled or "
+                    f"delegating to ParallelFor",
+                    justification=site.why if site else "")
+        # (b) Interprocedural: calling into a loop that cannot see the
+        # token (the deadline-swallowing shape). A caller that itself
+        # polls the signal is compliant: the repo's cancellation contract
+        # is chunk-boundary-cooperative, so bounded helpers (a block fold,
+        # one replicate tile) between the caller's own poll points are by
+        # design — the rule targets token holders that NEVER observe the
+        # signal on the path to row/replicate work.
+        if _polls(fn):
+            continue
+        for call in fn.calls:
+            callees = index.resolve(call.name)
+            if not callees:
+                continue
+            if FORWARD_ARG_RE.search(call.args_text):
+                continue  # Signal forwarded (token/runtime/deadline arg).
+            for callee in callees:
+                if callee is fn:
+                    continue
+                if _reaches_unbounded_loop(callee, index, memo, set()):
+                    site = sanctioned.find(
+                        "cancel-propagation", callee.file,
+                        callee.display(), "*") or sanctioned.find(
+                        "cancel-propagation", fn.file, fn.display(),
+                        call.name)
+                    yield Finding(
+                        fn.file, call.line, "cancel-propagation",
+                        fn.display(),
+                        f"holds a cancellation signal but calls "
+                        f"'{call.name}' ({callee.file}:{callee.line}) "
+                        f"which reaches a row/replicate loop that can "
+                        f"never observe it — pass the token/runtime "
+                        f"through or poll at this call site",
+                        justification=site.why if site else "")
+                    break
+
+
+# ===================================================================== #
+# Rule 3: RNG discipline.                                                #
+# ===================================================================== #
+
+#: Constructor arguments that visibly derive from a sanctioned seed root.
+SEED_DERIVED_RE = re.compile(
+    r"DeriveStreamSeed|RngStreamFactory|\bStream\s*\(|[Ss]eed")
+
+
+def _rng_root_allowed(path):
+    if aqp_allowlists is None:
+        return False
+    return aqp_allowlists.allowed(path, aqp_allowlists.RNG_ROOT_ALLOW)
+
+
+def check_rng_discipline(index):
+    for fn in index.functions:
+        if _rng_root_allowed(fn.file):
+            continue
+        for ctor in fn.rng_constructions:
+            if SEED_DERIVED_RE.search(ctor.args_text):
+                continue
+            site = sanctioned.find("rng-discipline", fn.file, fn.display(),
+                                   ctor.var or "*")
+            what = f"'Rng {ctor.var}'" if ctor.var else "a temporary Rng"
+            detail = (f"seeded with '{ctor.args_text[:40]}'"
+                      if ctor.args_text else "default-constructed "
+                      "(ambient seed)")
+            yield Finding(
+                fn.file, ctor.line, "rng-discipline", fn.display(),
+                f"{what} {detail}: every Rng must derive from "
+                f"RngStreamFactory / DeriveStreamSeed / a *seed* "
+                f"parameter so fixed-seed replay stays bit-identical at "
+                f"any thread count",
+                justification=site.why if site else "")
+
+
+# ===================================================================== #
+# Rule 4: lock hygiene.                                                  #
+# ===================================================================== #
+
+#: Callee names that block the calling thread. Calling one while holding
+#: an aqp::Mutex is the deadlock shape TSan can only catch dynamically.
+BLOCKING_CALLS = frozenset({
+    "Wait", "WaitFor", "WaitForNanos", "Admit", "MaybeStall", "Prepare",
+    "ParallelFor", "Sleep", "SleepFor", "Join",
+})
+
+#: Blocking calls that RELEASE the mutex they are handed (the sanctioned
+#: CondVar pattern) — exempt when their first argument is the held mutex.
+_CONDVAR_CALLS = frozenset({"Wait", "WaitFor", "WaitForNanos"})
+
+
+def _first_arg(args_text):
+    depth = 0
+    out = []
+    for piece in args_text.split(" "):
+        if piece in ("(", "[", "{", "<"):
+            depth += 1
+        elif piece in (")", "]", "}", ">"):
+            depth -= 1
+        elif piece == "," and depth == 0:
+            break
+        out.append(piece)
+    return "".join(out)
+
+
+def check_lock_hygiene(index):
+    for fn in index.functions:
+        for region in fn.lock_regions:
+            for call in fn.calls:
+                if not (region.start < call.tok <= region.end):
+                    continue
+                if call.name not in BLOCKING_CALLS:
+                    continue
+                if call.name in _CONDVAR_CALLS and \
+                        _first_arg(call.args_text) == region.mutex_text:
+                    continue  # CondVar releases the held mutex: sanctioned.
+                site = sanctioned.find("lock-hygiene", fn.file,
+                                       fn.display(), call.name)
+                yield Finding(
+                    fn.file, call.line, "lock-hygiene", fn.display(),
+                    f"blocking call '{call.name}(...)' while holding "
+                    f"aqp::Mutex '{region.mutex_text}' (locked at line "
+                    f"{region.line}); blocking under a lock stalls every "
+                    f"contender and is the static deadlock shape — "
+                    f"release first, or use the CondVar(mu) pattern",
+                    justification=site.why if site else "")
+            # Nested lock acquisition: lock-order-inversion shape.
+            for other in fn.lock_regions:
+                if other is region:
+                    continue
+                if region.start < other.start <= region.end:
+                    site = sanctioned.find("lock-hygiene", fn.file,
+                                           fn.display(), "nested-lock")
+                    yield Finding(
+                        fn.file, other.line, "lock-hygiene", fn.display(),
+                        f"acquires '{other.mutex_text}' while already "
+                        f"holding '{region.mutex_text}' (line "
+                        f"{region.line}); nested aqp::Mutex acquisition "
+                        f"is a lock-order deadlock shape — stage the "
+                        f"critical sections instead",
+                        justification=site.why if site else "")
+
+
+# ===================================================================== #
+# Rule 5: semantic cache-key (port of aqp_lint's regex rule).            #
+# ===================================================================== #
+
+SEED_IDENT_RE = re.compile(r"seed", re.IGNORECASE)
+
+
+def _cache_key_target(path):
+    if aqp_allowlists is None:
+        return False
+    return aqp_allowlists.allowed(path, aqp_allowlists.CACHE_KEY_TARGETS) \
+        or path.startswith("tools/sema_fixtures/")
+
+
+def check_cache_key(index):
+    """Seed-named identifier declarations/uses inside the plan-fingerprint
+    unit: the canonical plan text keys the result cache and must be a pure
+    function of query semantics. Unlike the regex fallback in aqp_lint,
+    this checks actual identifier tokens (params, locals, uses) — a
+    comment or string mentioning seeds does not trip it, a declaration
+    does."""
+    for fn in index.functions:
+        if not _cache_key_target(fn.file):
+            continue
+        if not fn.file.endswith(("fingerprint.h", "fingerprint.cc")) \
+                and "cache_key" not in fn.file:
+            continue
+        flagged_lines = set()
+        for p in fn.params:
+            if p.name and SEED_IDENT_RE.search(p.name):
+                site = sanctioned.find("cache-key", fn.file, fn.display(),
+                                       p.name)
+                yield Finding(
+                    fn.file, fn.line, "cache-key", fn.display(),
+                    f"parameter '{p.name}' names a seed inside the "
+                    f"plan-fingerprint unit; the cache key must be a "
+                    f"pure function of query semantics",
+                    justification=site.why if site else "")
+                flagged_lines.add(fn.line)
+        for name, line in fn.idents:
+            if not SEED_IDENT_RE.search(name):
+                continue
+            if line in flagged_lines:
+                continue
+            flagged_lines.add(line)
+            site = sanctioned.find("cache-key", fn.file, fn.display(), name)
+            yield Finding(
+                fn.file, line, "cache-key", fn.display(),
+                f"identifier '{name}' used inside the plan-fingerprint "
+                f"unit; per-request randomness leaking into the "
+                f"canonical plan text makes equivalent requests miss "
+                f"and breaks seed-replay on hits",
+                justification=site.why if site else "")
+
+
+ALL_RULES = (
+    ("honest-ci", check_honest_ci),
+    ("cancel-propagation", check_cancel_propagation),
+    ("rng-discipline", check_rng_discipline),
+    ("lock-hygiene", check_lock_hygiene),
+    ("cache-key", check_cache_key),
+)
+
+
+def run_all(index):
+    """Runs every rule; returns (findings, suppressed)."""
+    findings = []
+    suppressed = []
+    for _, rule_fn in ALL_RULES:
+        for finding in rule_fn(index):
+            (suppressed if finding.justification else findings).append(
+                finding)
+    findings.sort(key=lambda f: (f.path, f.line, f.rule))
+    suppressed.sort(key=lambda f: (f.path, f.line, f.rule))
+    return findings, suppressed

@@ -1,0 +1,17 @@
+// sema fixture: MUST trip [cache-key]. A seed-named identifier declared
+// and used inside a plan-fingerprint-shaped unit: per-request randomness
+// leaking into the canonical plan text makes semantically identical
+// requests miss the result cache and breaks seed-replay on hits. The file
+// name marks it as a fingerprint unit for the rule, mirroring
+// tools/lint_fixtures/bad_cache_key.cc for the regex fallback.
+
+unsigned long long HashPlanWithSeed(const char* canonical_text,
+                                    unsigned long long rng_seed) {
+  unsigned long long hash = 1469598103934665603ULL;
+  while (*canonical_text) {
+    hash = (hash ^ static_cast<unsigned long long>(*canonical_text)) *
+           1099511628211ULL;
+    ++canonical_text;
+  }
+  return hash ^ rng_seed;  // Violation: the request's seed keys the cache.
+}

@@ -1,0 +1,14 @@
+// sema fixture: must stay clean. A fingerprint-shaped unit whose hash is a
+// pure function of the canonical plan text — no seed-named identifier
+// anywhere. (File name marks it as a cache-key target, like its _bad
+// sibling.)
+
+unsigned long long HashPlanPure(const char* canonical_text) {
+  unsigned long long hash = 1469598103934665603ULL;
+  while (*canonical_text) {
+    hash = (hash ^ static_cast<unsigned long long>(*canonical_text)) *
+           1099511628211ULL;
+    ++canonical_text;
+  }
+  return hash;
+}

@@ -1,0 +1,38 @@
+// sema fixture: MUST trip [cancel-propagation]. The deadline-swallowing
+// shape PR 4's audit found twice by hand: a function receives the query's
+// CancellationToken, then calls into a row loop that can never observe it
+// — the token is silently dropped and the deadline contract is void.
+
+class CancellationToken {
+ public:
+  bool CancelRequested() const { return false; }
+};
+
+// A helper with a row loop and no way to see cancellation: not a violation
+// by itself (plenty of non-cancellable callers are fine) — the violation
+// is reaching it FROM a token-holding function without the token.
+double SumAllRowsNoToken(const double* values, long num_rows) {
+  double total = 0.0;
+  for (long row = 0; row < num_rows; ++row) {
+    total = total + values[row];
+  }
+  return total;
+}
+
+double DeadlineSwallowingEstimate(const double* values, long num_rows,
+                                  const CancellationToken& cancel_token) {
+  // Violation: holds cancel_token but calls the unbounded row loop
+  // without forwarding it (and never polls around the call).
+  return SumAllRowsNoToken(values, num_rows);
+}
+
+double InlineLoopIgnoringToken(const double* values, long num_rows,
+                               const CancellationToken& cancel_token) {
+  // Violation (direct shape): the token-holding function runs the row
+  // loop itself, with no poll and no delegation to a polling helper.
+  double total = 0.0;
+  for (long row = 0; row < num_rows; ++row) {
+    total = total + values[row];
+  }
+  return total;
+}

@@ -1,0 +1,26 @@
+// sema fixture: must stay clean. The sanctioned patterns: a token-holding
+// row loop that polls its token at the chunk boundary, and a caller that
+// forwards the token instead of dropping it.
+
+class CancellationToken {
+ public:
+  bool CancelRequested() const { return false; }
+};
+
+double SumRowsPollingToken(const double* values, long num_rows,
+                           const CancellationToken& token) {
+  double total = 0.0;
+  for (long row = 0; row < num_rows; ++row) {
+    if (token.CancelRequested()) {
+      break;  // Cooperative cancellation at the iteration boundary.
+    }
+    total = total + values[row];
+  }
+  return total;
+}
+
+double ForwardingEstimate(const double* values, long num_rows,
+                          const CancellationToken& token) {
+  // Clean: the token rides along, so the loop below can observe it.
+  return SumRowsPollingToken(values, num_rows, token);
+}

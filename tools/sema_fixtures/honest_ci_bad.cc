@@ -1,0 +1,27 @@
+// sema fixture: MUST trip [honest-ci]. This is the exact shape the rule
+// exists to forbid — a code path that fabricates a tight, "target met" CI
+// on a result whose execution was degraded by a deadline hit. Nothing
+// includes this file; it is compiled by eye and parsed by aqp_sema only.
+
+// Minimal stand-ins so the libclang backend can parse this TU standalone.
+struct FixtureCi {
+  double center = 0.0;
+  double half_width = 0.0;
+};
+
+struct FixtureResult {
+  FixtureCi ci;
+  bool ci_target_met = false;
+  bool deadline_hit = false;
+};
+
+// A salvaged result comes in with deadline_hit set and a wide CI read from
+// the K' < K completed replicates. Every write below is a violation: the
+// function is not in the sanctioned constructor/setter table, and the
+// combination claims a quality the execution did not earn.
+FixtureResult FabricateTightCiAfterDeadline(FixtureResult salvaged) {
+  salvaged.deadline_hit = false;     // hides the degradation
+  salvaged.ci.half_width = 0.0;      // tightens the error bars to zero
+  salvaged.ci_target_met = true;     // claims the target was met anyway
+  return salvaged;
+}

@@ -1,0 +1,15 @@
+// sema fixture: must stay clean. Ordinary member writes to fields that
+// carry no honesty semantics — the honest-ci rule watches a specific field
+// set, not assignment in general.
+
+struct FixtureAccumulator {
+  double value_sum = 0.0;
+  long weight_sum = 0;
+};
+
+FixtureAccumulator FoldSample(FixtureAccumulator acc, double value,
+                              long weight) {
+  acc.value_sum = acc.value_sum + value * static_cast<double>(weight);
+  acc.weight_sum += weight;
+  return acc;
+}

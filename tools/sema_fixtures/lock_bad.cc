@@ -1,0 +1,31 @@
+// sema fixture: MUST trip [lock-hygiene]. Blocking while holding an
+// aqp::Mutex: every contender stalls behind the blocked holder, and with a
+// second lock in the mix this is the classic lock-order deadlock. TSan can
+// only catch this shape when the schedule happens to produce it; the
+// static rule catches it always.
+
+class Mutex {};
+
+class MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu);
+};
+
+class TaskGroup {
+ public:
+  void Wait();  // Blocks until all spawned tasks finish.
+};
+
+class FixtureScheduler {
+ public:
+  void DrainUnderLock() {
+    MutexLock lock(mu_);
+    pending_.Wait();          // Violation: blocking call under mu_.
+    MutexLock nested(other_);  // Violation: nested acquisition shape.
+  }
+
+ private:
+  Mutex mu_;
+  Mutex other_;
+  TaskGroup pending_;
+};

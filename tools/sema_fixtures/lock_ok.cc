@@ -1,0 +1,39 @@
+// sema fixture: must stay clean. The one sanctioned way to block while
+// holding an aqp::Mutex: a CondVar wait handed the held mutex, which
+// atomically releases it for the duration of the block.
+
+class Mutex {};
+
+class MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu);
+};
+
+class CondVar {
+ public:
+  void Wait(Mutex& mu);
+  bool WaitForNanos(Mutex& mu, long long nanos);
+};
+
+class FixtureQueue {
+ public:
+  void AwaitReady() {
+    MutexLock lock(mu_);
+    while (!ready_) {
+      cv_.Wait(mu_);  // Clean: releases mu_ while blocked.
+    }
+  }
+
+  bool AwaitReadyFor(long long nanos) {
+    MutexLock lock(mu_);
+    if (!ready_) {
+      cv_.WaitForNanos(mu_, nanos);  // Clean: timed variant, same pattern.
+    }
+    return ready_;
+  }
+
+ private:
+  Mutex mu_;
+  CondVar cv_;
+  bool ready_ = false;
+};

@@ -1,0 +1,20 @@
+// sema fixture: MUST trip [rng-discipline]. Ambient and literal seeds:
+// both break the bit-identical-replay guarantee, because the stream is no
+// longer a pure function of (engine seed, request rng_seed).
+
+class Rng {
+ public:
+  Rng();
+  explicit Rng(unsigned long long seed_value);
+  double NextDouble();
+};
+
+double DrawWithAmbientSeed() {
+  Rng ambient;          // Violation: default-constructed (ambient seed).
+  return ambient.NextDouble();
+}
+
+double DrawWithLiteralSeed() {
+  Rng pinned(12345);    // Violation: literal seed, not factory-derived.
+  return pinned.NextDouble();
+}

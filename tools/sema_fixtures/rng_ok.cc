@@ -1,0 +1,17 @@
+// sema fixture: must stay clean. Sanctioned Rng constructions: seeds that
+// visibly derive from a seed parameter or the stream-derivation helper.
+
+class Rng {
+ public:
+  explicit Rng(unsigned long long seed_value);
+  double NextDouble();
+};
+
+unsigned long long DeriveStreamSeed(unsigned long long base,
+                                    unsigned long long id);
+
+double DrawWithDerivedSeed(unsigned long long rng_seed) {
+  Rng derived(DeriveStreamSeed(rng_seed, 7));  // Factory-derived: clean.
+  Rng direct(rng_seed);                        // Seed parameter: clean.
+  return derived.NextDouble() + direct.NextDouble();
+}
