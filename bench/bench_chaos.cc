@@ -72,6 +72,20 @@ double BenchSeconds() {
   return 3.0;
 }
 
+/// Served-path telemetry toggle (AQP_TELEMETRY=0 disables; default on —
+/// chaos is exactly when the black box should be recording).
+bool BenchTelemetry() {
+  const char* env = std::getenv("AQP_TELEMETRY");
+  return env == nullptr || std::atoi(env) != 0;
+}
+
+/// Where the black box lands on a burn-rate alert or gate failure
+/// (override: AQP_FLIGHT_RECORDER_JSON).
+std::string RecorderPath() {
+  const char* env = std::getenv("AQP_FLIGHT_RECORDER_JSON");
+  return env != nullptr ? env : "flight_recorder_chaos.json";
+}
+
 Table MakeTable(int64_t rows) {
   Table t("events");
   Column v = Column::MakeDouble("v");
@@ -159,6 +173,13 @@ int main() {
   ServerOptions options;
   options.engine.seed = kSeed;
   options.engine.default_sample_rows = sample_rows;
+  const bool telemetry = BenchTelemetry();
+  const std::string recorder_path = RecorderPath();
+  if (telemetry) {
+    options.telemetry.enabled = true;
+    options.telemetry.window_seconds = 0.5;
+    options.telemetry.dump_path = recorder_path;
+  }
   const int bootstrap_units =
       static_cast<int>((options.engine.bootstrap_replicates +
                         kReplicateGrain - 1) /
@@ -369,6 +390,24 @@ int main() {
       static_cast<long long>(report.fault_recovered),
       faults_fired ? "OK" : "VACUOUS");
   std::printf("chaos gate: %s\n", gate_ok ? "OK" : "VIOLATED");
+
+  if (telemetry) {
+    const StatusReport status = server.Introspect(StatusRequest{
+        /*include_windows=*/false, /*include_records=*/false, 0});
+    std::printf("telemetry: budget_state=%s windows=%lld recorded=%lld "
+                "fault_recovered=%lld cache_hit=%lld\n",
+                BudgetStateName(status.budget_state),
+                static_cast<long long>(status.windows_sampled),
+                static_cast<long long>(status.records_recorded),
+                static_cast<long long>(status.fault_recovered),
+                static_cast<long long>(status.cache_hits));
+    if (!gate_ok) {
+      Status dumped =
+          server.DumpFlightRecorder(recorder_path, "chaos gate failure");
+      std::printf("flight recorder: %s -> %s\n", recorder_path.c_str(),
+                  dumped.ok() ? "dumped" : dumped.ToString().c_str());
+    }
+  }
 
   std::vector<E2eBenchRecord> records;
   E2eBenchRecord record;

@@ -53,6 +53,21 @@ double BenchSeconds() {
   return 3.0;
 }
 
+/// Served-path telemetry toggle (AQP_TELEMETRY=0 disables; default on so
+/// the sweep exercises the ring + SLO monitor + recorder, and the CI
+/// obs-overhead job can difference on vs off).
+bool BenchTelemetry() {
+  const char* env = std::getenv("AQP_TELEMETRY");
+  return env == nullptr || std::atoi(env) != 0;
+}
+
+/// Where the black box lands on a burn-rate alert or gate failure
+/// (override: AQP_FLIGHT_RECORDER_JSON).
+std::string RecorderPath() {
+  const char* env = std::getenv("AQP_FLIGHT_RECORDER_JSON");
+  return env != nullptr ? env : "flight_recorder.json";
+}
+
 Table MakeTable(int64_t rows) {
   Table t("events");
   Column v = Column::MakeDouble("v");
@@ -82,9 +97,18 @@ int main() {
   using aqp::bench::E2eBenchRecord;
 
   const int64_t rows = BenchRows();
+  const bool telemetry = BenchTelemetry();
+  const std::string recorder_path = RecorderPath();
   ServerOptions options;
   options.engine.seed = kSeed;
   options.engine.default_sample_rows = std::max<int64_t>(rows / 8, 1024);
+  if (telemetry) {
+    options.telemetry.enabled = true;
+    // Sub-second windows so a short CI run still fills enough of the ring
+    // for the multi-window burn-rate rule to have evidence.
+    options.telemetry.window_seconds = 0.5;
+    options.telemetry.dump_path = recorder_path;
+  }
   AqpServer server(options);
   {
     auto table = std::make_shared<Table>(MakeTable(rows));
@@ -126,10 +150,10 @@ int main() {
   const double deadline_ms = std::max(4.0 * median_service_ms, 100.0);
 
   bench::PrintHeader("AqpServer open-loop load sweep");
-  std::printf("rows=%lld sample_rows=%lld slots=%d\n",
+  std::printf("rows=%lld sample_rows=%lld slots=%d telemetry=%s\n",
               static_cast<long long>(rows),
               static_cast<long long>(options.engine.default_sample_rows),
-              slots);
+              slots, telemetry ? "on" : "off");
   std::printf("calibrated: median_service=%.2f ms capacity=%.1f qps "
               "deadline_slo=%.1f ms\n",
               median_service_ms, capacity_qps, deadline_ms);
@@ -176,6 +200,31 @@ int main() {
       std::printf("gate@x2: p99=%.1f ms (slo %.1f ms), shed=%lld -> %s\n",
                   report.p99.value, deadline_ms,
                   static_cast<long long>(shed), gate_ok ? "OK" : "VIOLATED");
+    }
+  }
+  if (telemetry) {
+    // The black box's own verdict on the sweep: with 2x overload behind us
+    // the SLO monitor should be burning budget (the alert edge dumps the
+    // recorder to recorder_path on its own).
+    const StatusReport status = server.Introspect(StatusRequest{
+        /*include_windows=*/false, /*include_records=*/false, 0});
+    std::printf("telemetry: budget_state=%s windows=%lld recorded=%lld "
+                "(shed none/degraded/deferred/rejected = "
+                "%lld/%lld/%lld/%lld)\n",
+                BudgetStateName(status.budget_state),
+                static_cast<long long>(status.windows_sampled),
+                static_cast<long long>(status.records_recorded),
+                static_cast<long long>(status.shed_none),
+                static_cast<long long>(status.shed_degraded),
+                static_cast<long long>(status.shed_deferred),
+                static_cast<long long>(status.shed_rejected));
+    if (!gate_ok) {
+      // Gate failure freezes the box even if no burn-rate alert fired —
+      // CI uploads the dump so the failure is diagnosable post mortem.
+      Status dumped =
+          server.DumpFlightRecorder(recorder_path, "bench gate failure");
+      std::printf("flight recorder: %s -> %s\n", recorder_path.c_str(),
+                  dumped.ok() ? "dumped" : dumped.ToString().c_str());
     }
   }
   bench::MergeE2eJson(bench::E2eJsonPath(), records);

@@ -1,0 +1,106 @@
+#include "obs/flight_recorder.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace aqp {
+namespace {
+
+void AppendFixed(std::ostringstream& out, const char* key, double value) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.3f", value);
+  out << "\"" << key << "\": " << buffer;
+}
+
+}  // namespace
+
+std::string FlightRecord::ToJson() const {
+  std::ostringstream out;
+  out << "{\"kind\": \""
+      << (kind == Kind::kQuery ? "query" : "admission") << "\""
+      << ", \"session_id\": " << session_id
+      << ", \"rng_seed\": " << rng_seed
+      << ", \"submit_ns\": " << submit_ns
+      << ", \"admitted_ns\": " << admitted_ns
+      << ", \"done_ns\": " << done_ns
+      << ", \"status_code\": " << status_code << ", \"shed_stage\": \""
+      << ShedStageName(shed_stage) << "\""
+      << ", \"ci_target_met\": " << (ci_target_met ? "true" : "false")
+      << ", ";
+  AppendFixed(out, "queue_wait_ms", queue_wait_ms);
+  out << ", ";
+  AppendFixed(out, "service_ms", service_ms);
+  out << ", ";
+  AppendFixed(out, "total_ms", total_ms);
+  out << ", ";
+  AppendFixed(out, "retry_after_ms", retry_after_ms);
+  out << ", \"profile\": " << profile.ToJson() << "}";
+  return out.str();
+}
+
+FlightRecorder::FlightRecorder(int capacity)
+    : capacity_(capacity < 1 ? 1 : capacity),
+      slots_(std::make_unique<Slot[]>(static_cast<size_t>(capacity_))) {}
+
+void FlightRecorder::Record(const FlightRecord& record) {
+  const int64_t seq = next_.fetch_add(1, std::memory_order_relaxed);
+  Slot& slot = slots_[static_cast<size_t>(seq % capacity_)];
+  MutexLock lock(slot.mu);
+  slot.record = record;
+  slot.seq = seq;
+}
+
+std::vector<FlightRecord> FlightRecorder::Snapshot() const {
+  // Collect (seq, record) pairs one slot lock at a time — never two slot
+  // mutexes at once, so writers reserving any other slot are unaffected.
+  std::vector<std::pair<int64_t, FlightRecord>> held;
+  held.reserve(static_cast<size_t>(capacity_));
+  for (int i = 0; i < capacity_; ++i) {
+    const Slot& slot = slots_[static_cast<size_t>(i)];
+    MutexLock lock(slot.mu);
+    if (slot.seq < 0) continue;
+    held.emplace_back(slot.seq, slot.record);
+  }
+  std::sort(held.begin(), held.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  std::vector<FlightRecord> out;
+  out.reserve(held.size());
+  for (auto& [seq, record] : held) out.push_back(std::move(record));
+  return out;
+}
+
+std::string FlightRecorder::ExportJson(const std::string& reason,
+                                       const std::string& timeseries_json,
+                                       const std::string& slo_json) const {
+  const std::vector<FlightRecord> records = Snapshot();
+  std::ostringstream out;
+  out << "{\"reason\": \"" << reason << "\""
+      << ", \"recorded\": " << recorded()
+      << ", \"capacity\": " << capacity_ << ", \"timeseries\": "
+      << (timeseries_json.empty() ? "null" : timeseries_json)
+      << ", \"slo\": " << (slo_json.empty() ? "null" : slo_json)
+      << ", \"records\": [";
+  bool first = true;
+  for (const FlightRecord& record : records) {
+    if (!first) out << ", ";
+    first = false;
+    out << record.ToJson();
+  }
+  out << "]}";
+  return out.str();
+}
+
+bool FlightRecorder::DumpToFile(const std::string& path,
+                                const std::string& reason,
+                                const std::string& timeseries_json,
+                                const std::string& slo_json) const {
+  std::ofstream file(path, std::ios::out | std::ios::trunc);
+  if (!file.is_open()) return false;
+  file << ExportJson(reason, timeseries_json, slo_json) << "\n";
+  file.close();
+  return file.good();
+}
+
+}  // namespace aqp

@@ -1,0 +1,117 @@
+#ifndef AQP_OBS_FLIGHT_RECORDER_H_
+#define AQP_OBS_FLIGHT_RECORDER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "obs/query_profile.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+
+namespace aqp {
+
+/// One served request as the black box remembers it: the protocol-level
+/// outcome plus a wholesale copy of the per-query profile. Every field is
+/// copied verbatim from the response the client actually received —
+/// honesty rule: the recorder is a witness, never a narrator. It may claim
+/// only what the serving layer already claimed to the client; it never
+/// recomputes, reclassifies, or "cleans up" an outcome after the fact.
+struct FlightRecord {
+  /// Record kinds: admitted executions vs. requests the admission ladder
+  /// (or a front-door fault) terminated before any engine work ran.
+  enum class Kind { kQuery = 0, kAdmission = 1 };
+
+  Kind kind = Kind::kQuery;
+  uint64_t session_id = 0;
+  int64_t rng_seed = -1;
+  /// Timestamps as the server already read them on the query path (the
+  /// recorder adds no clock reads of its own). admitted_ns == submit_ns
+  /// for requests that never reached admission.
+  int64_t submit_ns = 0;
+  int64_t admitted_ns = 0;
+  int64_t done_ns = 0;
+  /// util/status.h StatusCode of the response, as an integer.
+  int status_code = 0;
+  ShedStage shed_stage = ShedStage::kNone;
+  bool ci_target_met = true;
+  double queue_wait_ms = 0.0;
+  double service_ms = 0.0;
+  double total_ms = 0.0;
+  double retry_after_ms = 0.0;
+  /// The response's profile, copied whole (cache_hit, fault_recovered,
+  /// shed_stage and the rest travel together — the recorder cannot drift
+  /// from what the per-query view reported).
+  QueryProfile profile;
+
+  /// One JSON object (no trailing newline); the profile embeds via its own
+  /// ToJson so the two renderings share one formatter.
+  std::string ToJson() const;
+};
+
+/// Bounded ring of recent served-path records — the serving layer's black
+/// box. Writers reserve a slot with one atomic fetch-add and then copy
+/// under that slot's own (uncontended in steady state) mutex, so concurrent
+/// client threads never serialize on a shared lock; the same per-slot
+/// locking makes Snapshot() safe while serving continues (the Tracer's
+/// per-thread-buffer discipline, applied to a ring). When the ring wraps,
+/// the oldest record is overwritten — the box always holds the most recent
+/// `capacity` outcomes.
+///
+/// The recorder performs no IO and reads no clocks on the record path;
+/// freezing and exporting (ExportJson / DumpToFile) happen on the alerting
+/// or introspecting thread.
+class FlightRecorder {
+ public:
+  explicit FlightRecorder(int capacity = 256);
+
+  FlightRecorder(const FlightRecorder&) = delete;
+  FlightRecorder& operator=(const FlightRecorder&) = delete;
+
+  /// Appends one record (lock-free slot reservation + per-slot copy).
+  void Record(const FlightRecord& record);
+
+  int capacity() const { return capacity_; }
+  /// Records ever written (>= retained; retained = min(recorded, capacity)).
+  int64_t recorded() const {
+    return next_.load(std::memory_order_relaxed);
+  }
+
+  /// Retained records, oldest to newest. Slots mid-write are skipped (a
+  /// record is either fully present or absent — never torn).
+  std::vector<FlightRecord> Snapshot() const;
+
+  /// The frozen black box as one JSON document:
+  /// {"reason": ..., "recorded": N, "capacity": C,
+  ///  "timeseries": {...}|null, "slo": {...}|null, "records": [...]}.
+  /// `timeseries_json`/`slo_json` are embedded verbatim when non-empty
+  /// (pass TimeSeries::JsonSnapshot / SloMonitor::ToJson), null otherwise.
+  std::string ExportJson(const std::string& reason,
+                         const std::string& timeseries_json,
+                         const std::string& slo_json) const;
+
+  /// Writes ExportJson (plus a trailing newline) to `path`. Returns false
+  /// when the file cannot be written.
+  bool DumpToFile(const std::string& path, const std::string& reason,
+                  const std::string& timeseries_json,
+                  const std::string& slo_json) const;
+
+ private:
+  struct Slot {
+    mutable Mutex mu;
+    /// Global sequence of the record held (-1 = never written). Snapshot
+    /// orders by this, so wrap order is reconstruction, not guesswork.
+    int64_t seq AQP_GUARDED_BY(mu) = -1;
+    FlightRecord record AQP_GUARDED_BY(mu);
+  };
+
+  const int capacity_;
+  std::atomic<int64_t> next_{0};
+  const std::unique_ptr<Slot[]> slots_;
+};
+
+}  // namespace aqp
+
+#endif  // AQP_OBS_FLIGHT_RECORDER_H_

@@ -1,0 +1,172 @@
+#include "obs/slo_monitor.h"
+
+#include <cmath>
+#include <sstream>
+
+namespace aqp {
+namespace {
+
+/// Whole windows covering `seconds` at the series' nominal window width,
+/// floored at 1 so a horizon shorter than one window still evaluates.
+int WindowsFor(double seconds, double window_seconds) {
+  if (window_seconds <= 0.0) return 1;
+  const int windows = static_cast<int>(std::ceil(seconds / window_seconds));
+  return windows < 1 ? 1 : windows;
+}
+
+/// Burn rate of one horizon: bad fraction over the budget. A horizon with
+/// no events burns nothing — absence of traffic is not a breach.
+double BurnRate(int64_t good, int64_t bad, double budget) {
+  const int64_t total = good + bad;
+  if (total <= 0 || budget <= 0.0) return 0.0;
+  const double bad_fraction =
+      static_cast<double>(bad) / static_cast<double>(total);
+  return bad_fraction / budget;
+}
+
+}  // namespace
+
+std::vector<SliSpec> DefaultServerSlis() {
+  return {
+      {"deadline", "server.responses.ok",
+       "server.responses.deadline_exceeded"},
+      {"ci_width", "server.responses.ci_target_met",
+       "server.responses.ci_target_missed"},
+      {"shed", "server.responses.ok", "server.responses.rejected"},
+      {"salvage", "server.responses.intact", "server.responses.salvaged"},
+      {"fault_recovery", "server.responses.fault_recovered",
+       "server.responses.unavailable"},
+      {"diagnostic", "server.responses.diagnostic_clean",
+       "server.responses.diagnostic_rejected"},
+  };
+}
+
+const char* BudgetStateName(BudgetState state) {
+  switch (state) {
+    case BudgetState::kHealthy:
+      return "healthy";
+    case BudgetState::kWarning:
+      return "warning";
+    case BudgetState::kBreached:
+      return "breached";
+  }
+  return "unknown";
+}
+
+SloMonitor::SloMonitor(TimeSeries* series, const SloOptions& options,
+                       MetricsRegistry& registry)
+    : series_(series),
+      options_(options),
+      fast_windows_(WindowsFor(options.fast_window_seconds,
+                               series->options().window_seconds)),
+      slow_windows_(WindowsFor(options.slow_window_seconds,
+                               series->options().window_seconds)) {
+  const std::vector<SliSpec> specs =
+      options_.slis.empty() ? DefaultServerSlis() : options_.slis;
+  for (const SliSpec& spec : specs) {
+    ResolvedSli resolved;
+    resolved.name = spec.name;
+    resolved.good_index = series_->CounterIndex(spec.good_counter);
+    resolved.bad_index = series_->CounterIndex(spec.bad_counter);
+    // An SLI over untracked counters is dropped, not zero-filled: a burn
+    // rate computed from data nobody collects would always read "healthy",
+    // which is exactly the false claim this layer exists to prevent.
+    if (resolved.good_index < 0 || resolved.bad_index < 0) continue;
+    slis_.push_back(std::move(resolved));
+  }
+  evaluations_ = registry.GetCounter("server.slo.evaluations");
+  alerts_ = registry.GetCounter("server.slo.alerts");
+  state_gauge_ = registry.GetGauge("server.slo.budget_state");
+}
+
+SloMonitor::SloMonitor(TimeSeries* series, const SloOptions& options)
+    : SloMonitor(series, options, MetricsRegistry::Default()) {}
+
+BudgetState SloMonitor::Evaluate() {
+  const std::vector<TimeWindow> windows = series_->Windows();
+  const int available = static_cast<int>(windows.size());
+
+  std::vector<SliState> states;
+  states.reserve(slis_.size());
+  BudgetState combined = BudgetState::kHealthy;
+  for (const ResolvedSli& sli : slis_) {
+    SliState state;
+    state.name = sli.name;
+    const int fast_span = fast_windows_ < available ? fast_windows_ : available;
+    const int slow_span = slow_windows_ < available ? slow_windows_ : available;
+    for (int i = 0; i < slow_span; ++i) {
+      const TimeWindow& window =
+          windows[static_cast<size_t>(available - slow_span + i)];
+      const int64_t good =
+          window.counter_deltas[static_cast<size_t>(sli.good_index)];
+      const int64_t bad =
+          window.counter_deltas[static_cast<size_t>(sli.bad_index)];
+      state.slow_good += good;
+      state.slow_bad += bad;
+      if (i >= slow_span - fast_span) {
+        state.fast_good += good;
+        state.fast_bad += bad;
+      }
+    }
+    state.fast_burn =
+        BurnRate(state.fast_good, state.fast_bad, options_.error_budget);
+    state.slow_burn =
+        BurnRate(state.slow_good, state.slow_bad, options_.error_budget);
+    // The multi-window rule: alert only when the budget is burning at the
+    // alert multiple over BOTH horizons — fast for detection latency, slow
+    // so one bad window amid an otherwise healthy minute cannot page.
+    state.alerting = state.fast_burn >= options_.burn_rate_alert &&
+                     state.slow_burn >= options_.burn_rate_alert;
+    if (state.alerting) {
+      combined = BudgetState::kBreached;
+    } else if (state.slow_burn >= 1.0 && combined == BudgetState::kHealthy) {
+      combined = BudgetState::kWarning;
+    }
+    states.push_back(std::move(state));
+  }
+
+  evaluations_->Increment();
+  if (combined == BudgetState::kBreached && !was_breached_) {
+    alerts_->Increment();
+  }
+  was_breached_ = combined == BudgetState::kBreached;
+  state_gauge_->Set(static_cast<int64_t>(combined));
+  state_.store(static_cast<int>(combined), std::memory_order_relaxed);
+  {
+    MutexLock lock(mu_);
+    states_ = std::move(states);
+  }
+  return combined;
+}
+
+std::vector<SliState> SloMonitor::States() const {
+  MutexLock lock(mu_);
+  return states_;
+}
+
+std::string SloMonitor::ToJson() const {
+  const std::vector<SliState> states = States();
+  std::ostringstream out;
+  out << "{\"state\": \"" << BudgetStateName(state()) << "\""
+      << ", \"error_budget\": " << options_.error_budget
+      << ", \"burn_rate_alert\": " << options_.burn_rate_alert
+      << ", \"fast_windows\": " << fast_windows_
+      << ", \"slow_windows\": " << slow_windows_ << ", \"slis\": [";
+  bool first = true;
+  for (const SliState& state : states) {
+    if (!first) out << ", ";
+    first = false;
+    out << "{\"name\": \"" << state.name << "\""
+        << ", \"fast_good\": " << state.fast_good
+        << ", \"fast_bad\": " << state.fast_bad
+        << ", \"slow_good\": " << state.slow_good
+        << ", \"slow_bad\": " << state.slow_bad
+        << ", \"fast_burn\": " << state.fast_burn
+        << ", \"slow_burn\": " << state.slow_burn << ", \"alerting\": "
+        << (state.alerting ? "true" : "false") << "}";
+  }
+  out << "]}";
+  return out.str();
+}
+
+}  // namespace aqp

@@ -1,0 +1,143 @@
+#ifndef AQP_OBS_SLO_MONITOR_H_
+#define AQP_OBS_SLO_MONITOR_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/timeseries.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+
+namespace aqp {
+
+/// One service-level indicator as a good/bad counter pair over the tracked
+/// time series. The two counters must be disjoint by construction at their
+/// increment sites (each event bumps exactly one of them), so
+/// bad / (good + bad) is the true bad fraction for the events the SLI
+/// covers — never a ratio of overlapping tallies.
+struct SliSpec {
+  std::string name;
+  std::string good_counter;
+  std::string bad_counter;
+};
+
+/// The serving path's contract-attainment SLIs over the counters AqpServer
+/// publishes per terminal response (see server.cc RecordResponse): deadline
+/// attainment, CI-target attainment, shed/reject ratio, replicate-salvage
+/// rate, fault-recovery rate, and diagnostic-rejection ratio — the paper's
+/// "knowing when you're wrong" contract, tracked continuously.
+std::vector<SliSpec> DefaultServerSlis();
+
+/// Error-budget verdict, most severe across the configured SLIs.
+enum class BudgetState {
+  kHealthy = 0,  ///< Every SLI inside its budget at both horizons.
+  kWarning = 1,  ///< Some SLI's slow-window burn rate is >= 1 (the budget
+                 ///< is being consumed faster than allotted).
+  kBreached = 2,  ///< Some SLI's burn rate exceeds the alert threshold at
+                  ///< BOTH horizons — the multi-window alert is firing.
+};
+
+/// Name of `state`, e.g. "breached"; stable for log scraping.
+const char* BudgetStateName(BudgetState state);
+
+struct SloOptions {
+  /// Allowed bad fraction per SLI (error budget). Burn rate is the observed
+  /// bad fraction divided by this; burn 1.0 = consuming exactly the budget.
+  double error_budget = 0.05;
+  /// Horizons of the multi-window burn-rate rule, in seconds of tracked
+  /// windows (rounded up to whole windows). The fast window catches a
+  /// breach quickly; requiring the slow window too keeps one bad second
+  /// from paging.
+  double fast_window_seconds = 5.0;
+  double slow_window_seconds = 60.0;
+  /// Burn-rate multiple both horizons must exceed to alert.
+  double burn_rate_alert = 2.0;
+  /// SLI definitions; empty selects DefaultServerSlis(). Each referenced
+  /// counter must be tracked by the TimeSeries (SloMonitor resolves the
+  /// indexes at construction and ignores SLIs whose counters are not
+  /// tracked rather than inventing zero-valued data for them).
+  std::vector<SliSpec> slis;
+};
+
+/// One SLI's most recent evaluation.
+struct SliState {
+  std::string name;
+  int64_t fast_good = 0;
+  int64_t fast_bad = 0;
+  int64_t slow_good = 0;
+  int64_t slow_bad = 0;
+  double fast_burn = 0.0;
+  double slow_burn = 0.0;
+  bool alerting = false;
+};
+
+/// Multi-window burn-rate evaluation over a TimeSeries. Evaluate() runs on
+/// the sampler thread after each Sample(); everyone else reads the atomic
+/// state() (the admission controller's default-off budget consult) or the
+/// guarded per-SLI breakdown. No clocks: the evaluation horizon is counted
+/// in windows, and windows carry their own observed edges.
+class SloMonitor {
+ public:
+  SloMonitor(TimeSeries* series, const SloOptions& options,
+             MetricsRegistry& registry);
+  /// As above on MetricsRegistry::Default().
+  SloMonitor(TimeSeries* series, const SloOptions& options);
+
+  SloMonitor(const SloMonitor&) = delete;
+  SloMonitor& operator=(const SloMonitor&) = delete;
+
+  const SloOptions& options() const { return options_; }
+
+  /// Re-evaluates every SLI against the current windows, updates the
+  /// `server.slo.*` instrumentation, and returns (and stores) the combined
+  /// state. Call from one thread — the sampler tick.
+  BudgetState Evaluate() AQP_EXCLUDES(mu_);
+
+  /// Last evaluated state, readable lock-free from any thread.
+  BudgetState state() const {
+    return static_cast<BudgetState>(state_.load(std::memory_order_relaxed));
+  }
+
+  /// Per-SLI breakdown of the last evaluation (copy).
+  std::vector<SliState> States() const AQP_EXCLUDES(mu_);
+
+  /// The last evaluation as one JSON object (no trailing newline):
+  /// {"state": "...", "error_budget": B, "burn_rate_alert": T,
+  ///  "fast_windows": F, "slow_windows": S, "slis": [{...}, ...]}.
+  std::string ToJson() const AQP_EXCLUDES(mu_);
+
+  int fast_windows() const { return fast_windows_; }
+  int slow_windows() const { return slow_windows_; }
+
+ private:
+  struct ResolvedSli {
+    std::string name;
+    int good_index;
+    int bad_index;
+  };
+
+  TimeSeries* const series_;
+  const SloOptions options_;
+  const int fast_windows_;
+  const int slow_windows_;
+  std::vector<ResolvedSli> slis_;
+
+  /// Default-registry instrumentation: evaluations run, alert transitions
+  /// (healthy/warning -> breached edges), and the live state as a gauge.
+  Counter* evaluations_;
+  Counter* alerts_;
+  Gauge* state_gauge_;
+
+  std::atomic<int> state_{0};
+  /// Edge detector for the alerts counter; sampler-thread only.
+  bool was_breached_ = false;
+
+  mutable Mutex mu_;
+  std::vector<SliState> states_ AQP_GUARDED_BY(mu_);
+};
+
+}  // namespace aqp
+
+#endif  // AQP_OBS_SLO_MONITOR_H_

@@ -1,0 +1,223 @@
+#ifndef AQP_OBS_TIMESERIES_H_
+#define AQP_OBS_TIMESERIES_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+
+namespace aqp {
+
+class ThreadPool;  // runtime/thread_pool.h
+
+/// Cumulative histogram state captured at one instant — a value-type copy of
+/// a lock-free Histogram, comparable and mergeable offline. Snapshots of the
+/// same histogram taken at two times subtract (Delta) into the per-window
+/// distribution; windows merge (Merge) back into a longer horizon; Quantile
+/// reads a bucket-boundary-exact upper bound on the empirical quantile.
+struct HistogramSnapshot {
+  int64_t count = 0;
+  int64_t sum = 0;
+  int64_t buckets[Histogram::kNumBuckets + 1] = {};
+
+  /// One pass of relaxed reads over the live histogram. Like every registry
+  /// snapshot this is per-field consistent, not cross-field atomic: a
+  /// concurrent Observe may be visible in `count` but not yet in its bucket
+  /// (or vice versa), which Delta clamps rather than propagates.
+  static HistogramSnapshot FromHistogram(const Histogram& histogram);
+
+  /// Bucketwise `newer - older`, each field clamped at 0 — cumulative
+  /// snapshots only ever grow, so a negative delta means a torn read or a
+  /// ResetForTest between captures, and an empty window is the honest
+  /// rendering of both.
+  static HistogramSnapshot Delta(const HistogramSnapshot& newer,
+                                 const HistogramSnapshot& older);
+
+  /// Accumulates `other` into this snapshot (cross-window merge).
+  void Merge(const HistogramSnapshot& other);
+
+  /// Bucket-boundary quantile: the inclusive upper bound of the first bucket
+  /// whose cumulative count reaches ceil(q * count) — an exact upper bound
+  /// on the empirical q-quantile given this bucketing (INT64_MAX when the
+  /// rank lands in the overflow bucket). `q` clamps to [0, 1]. Returns -1
+  /// for an empty snapshot: a window with no observations has no quantile,
+  /// and inventing one (0? the last value?) is the kind of claim the
+  /// recorder's honesty rules forbid.
+  int64_t Quantile(double q) const;
+};
+
+/// Configuration for one TimeSeries: the ring geometry and the registry
+/// metrics it tracks. Names not yet registered are resolved at construction
+/// (registering them empty) — registry pointers are stable, so tracking a
+/// metric that a subsystem registers later Just Works.
+struct TimeSeriesOptions {
+  /// Nominal width of one window; the sampler thread ticks at this period.
+  /// Actual window edges are the sampler's observed timestamps (recorded in
+  /// each window), so rate math never assumes the nominal width.
+  double window_seconds = 1.0;
+  /// Ring capacity: how much history is retained (60 x 1 s by default).
+  int num_windows = 60;
+  std::vector<std::string> counters;
+  std::vector<std::string> gauges;
+  std::vector<std::string> histograms;
+};
+
+/// One closed window: what the tracked metrics did between two consecutive
+/// sampler ticks. Metric vectors are parallel to the option name lists.
+struct TimeWindow {
+  /// 0-based position in the sampled sequence (monotone; the ring retains
+  /// the newest num_windows of them).
+  int64_t index = -1;
+  /// Window edges (MonotonicNanos, read by the sampler thread only).
+  int64_t start_ns = 0;
+  int64_t end_ns = 0;
+  /// Counter increments during the window (>= 0; clamped across resets).
+  std::vector<int64_t> counter_deltas;
+  /// Gauge value observed at the window's closing edge.
+  std::vector<int64_t> gauge_values;
+  /// Histogram observations made during the window.
+  std::vector<HistogramSnapshot> histogram_deltas;
+
+  double Seconds() const {
+    return static_cast<double>(end_ns - start_ns) * 1e-9;
+  }
+};
+
+/// Fixed-size ring of windowed aggregates over the lock-free metrics
+/// registry — the temporal layer the point-in-time snapshots lack. Metric
+/// pointers are resolved once at construction (the LoadSampler pattern);
+/// Sample() then reads them lock-free and publishes one closed window under
+/// a brief ring lock. Readers (rates, percentiles, quantile merges, the
+/// exporters) copy under the same lock, so a snapshot is always a set of
+/// complete windows — never a half-written one.
+///
+/// Clock discipline: TimeSeries itself never reads a clock. Sample() takes
+/// the closing timestamp as an argument — the sampler thread (or a test
+/// scripting synthetic time) owns every clock read, which is what keeps the
+/// query path at zero clock reads when telemetry is on.
+class TimeSeries {
+ public:
+  TimeSeries(const TimeSeriesOptions& options, MetricsRegistry& registry);
+  /// As above, on MetricsRegistry::Default() (where the runtime, engine,
+  /// and server instrumentation publish).
+  explicit TimeSeries(const TimeSeriesOptions& options);
+
+  TimeSeries(const TimeSeries&) = delete;
+  TimeSeries& operator=(const TimeSeries&) = delete;
+
+  const TimeSeriesOptions& options() const { return options_; }
+
+  /// Position of `name` in the tracked list, or -1. SLI definitions resolve
+  /// through these once instead of string-matching per evaluation.
+  int CounterIndex(const std::string& name) const;
+  int GaugeIndex(const std::string& name) const;
+  int HistogramIndex(const std::string& name) const;
+
+  /// Closes the window ending at `now_ns`: captures cumulative metric state,
+  /// publishes the delta against the previous capture, and advances the
+  /// ring. The first call only establishes the baseline (no window is
+  /// emitted — there is no "since" yet). Call from one thread (the sampler);
+  /// concurrent readers are safe.
+  void Sample(int64_t now_ns) AQP_EXCLUDES(mu_);
+
+  /// Retained windows, oldest to newest. Copies under the ring lock.
+  std::vector<TimeWindow> Windows() const AQP_EXCLUDES(mu_);
+
+  /// Windows closed since construction (>= retained count).
+  int64_t windows_sampled() const AQP_EXCLUDES(mu_);
+
+  /// Sum of the named counter's deltas over the newest `last_n` windows
+  /// (every retained window when last_n <= 0 or exceeds the retention).
+  /// 0 for untracked names.
+  int64_t CounterDelta(const std::string& name, int last_n) const
+      AQP_EXCLUDES(mu_);
+
+  /// CounterDelta over the same span divided by the span's actual wall time
+  /// (observed window edges, not nominal width). 0.0 when no time elapsed.
+  double CounterRate(const std::string& name, int last_n) const
+      AQP_EXCLUDES(mu_);
+
+  /// Nearest-rank percentile (q in [0, 1]) of the gauge's per-window
+  /// samples over the newest `last_n` windows. 0 when no windows are
+  /// retained or the name is untracked.
+  int64_t GaugePercentile(const std::string& name, double q, int last_n) const
+      AQP_EXCLUDES(mu_);
+
+  /// Cross-window histogram merge over the newest `last_n` windows: feed
+  /// the result to HistogramSnapshot::Quantile for horizon quantiles.
+  HistogramSnapshot MergedHistogram(const std::string& name, int last_n) const
+      AQP_EXCLUDES(mu_);
+
+  /// One `name value` line per (window, metric), in the MetricsRegistry
+  /// text style with a `wN.` window prefix, e.g.
+  /// `w42.server.responses.ok 17`.
+  std::string TextSnapshot() const AQP_EXCLUDES(mu_);
+
+  /// The retained ring as one JSON object:
+  /// {"window_seconds": W, "num_windows": N, "windows_sampled": S,
+  ///  "windows": [{"index", "start_ns", "end_ns", "counters": {...},
+  ///               "gauges": {...}, "histograms": {name: {count, sum,
+  ///               buckets: [{le, count}, ...]}}}, ...]}
+  /// (no trailing newline, so the flight recorder can embed it verbatim).
+  std::string JsonSnapshot() const AQP_EXCLUDES(mu_);
+
+ private:
+  const TimeSeriesOptions options_;
+  /// Tracked metrics, resolved once (stable registry pointers), then read
+  /// lock-free on the sampler thread.
+  std::vector<Counter*> counters_;
+  std::vector<Gauge*> gauges_;
+  std::vector<Histogram*> histograms_;
+
+  mutable Mutex mu_;
+  /// Ring of closed windows, chronological from `first_` (ring-relative).
+  std::vector<TimeWindow> ring_ AQP_GUARDED_BY(mu_);
+  size_t first_ AQP_GUARDED_BY(mu_) = 0;
+  int64_t windows_sampled_ AQP_GUARDED_BY(mu_) = 0;
+  /// Previous cumulative capture (the "since" side of every delta).
+  bool have_baseline_ AQP_GUARDED_BY(mu_) = false;
+  int64_t baseline_ns_ AQP_GUARDED_BY(mu_) = 0;
+  std::vector<int64_t> baseline_counters_ AQP_GUARDED_BY(mu_);
+  std::vector<HistogramSnapshot> baseline_histograms_ AQP_GUARDED_BY(mu_);
+};
+
+/// The cheap sampler thread behind a TimeSeries: one long-lived task on a
+/// private 1-thread pool (threads are only created in src/runtime), paced by
+/// the sanctioned timed block (CondVar::WaitForNanos — never a raw sleep),
+/// invoking `tick(MonotonicNanos())` once per period. Every telemetry clock
+/// read happens here, on this thread; the tick callback is where the server
+/// composes Sample() + SLO evaluation + alert-triggered dumps.
+///
+/// Destruction is prompt: the destructor raises the stop flag, wakes the
+/// loop, and joins through the pool's destructor — no partial tick runs
+/// after ~TimeSeriesSampler returns.
+class TimeSeriesSampler {
+ public:
+  TimeSeriesSampler(double period_seconds,
+                    std::function<void(int64_t now_ns)> tick);
+  ~TimeSeriesSampler();
+
+  TimeSeriesSampler(const TimeSeriesSampler&) = delete;
+  TimeSeriesSampler& operator=(const TimeSeriesSampler&) = delete;
+
+ private:
+  void Loop() AQP_EXCLUDES(mu_);
+
+  const int64_t period_nanos_;
+  const std::function<void(int64_t)> tick_;
+  Mutex mu_;
+  CondVar wake_;
+  bool stop_ AQP_GUARDED_BY(mu_) = false;
+  /// Declared last: destroyed (drained + joined) first, while the members
+  /// the loop touches are still alive.
+  std::unique_ptr<ThreadPool> pool_;
+};
+
+}  // namespace aqp
+
+#endif  // AQP_OBS_TIMESERIES_H_

@@ -83,9 +83,16 @@ AdmissionDecision AdmissionController::Decide(
   // Stage 1 (degrade): above the priority-adjusted pressure threshold the
   // replicate count shrinks in proportion to the overload, floored at
   // min_replicates — latency holds, the CI honestly widens.
-  const double threshold =
+  double threshold =
       options_.degrade_pressure +
       static_cast<double>(std::max(priority, 0)) * options_.priority_headroom;
+  // Error-budget feedback (default off): while the SLO monitor reports the
+  // budget breached, degrade earlier — trading CI width for the latency the
+  // budget says we are not delivering.
+  if (options_.respect_error_budget &&
+      budget_state() == BudgetState::kBreached) {
+    threshold *= options_.budget_degrade_factor;
+  }
   const double pressure = load.PressurePerSlot(slots_);
   if (pressure > threshold && threshold > 0.0) {
     const double scale = threshold / pressure;

@@ -6,6 +6,7 @@
 
 #include "obs/load_snapshot.h"
 #include "obs/query_profile.h"
+#include "obs/slo_monitor.h"
 #include "runtime/cancellation.h"
 #include "runtime/failpoint.h"
 #include "util/mutex.h"
@@ -72,6 +73,20 @@ struct AdmissionOptions {
 
   /// Re-evaluation cadence while a deferred request waits for a slot.
   double max_wait_slice_seconds = 0.05;
+
+  /// When true, a breached SLO error budget (SloMonitor burn-rate alert,
+  /// published via set_budget_state) tightens the degrade threshold by
+  /// `budget_degrade_factor`: queries start shedding accuracy *earlier*
+  /// while the budget is burning, spending CI width to win back latency.
+  /// Off by default — with the knob off the budget state is recorded but
+  /// never consulted, and admission decisions are byte-identical to a
+  /// controller built before this knob existed.
+  bool respect_error_budget = false;
+
+  /// Multiplier applied to the degrade threshold while the budget is
+  /// breached (meaningful only with `respect_error_budget`). 0.5 halves
+  /// the pressure needed before replicate counts start shrinking.
+  double budget_degrade_factor = 0.5;
 };
 
 /// Outcome of one admission evaluation.
@@ -183,6 +198,17 @@ class AdmissionController {
     return ewma_service_seconds_.load(std::memory_order_relaxed);
   }
 
+  /// Publishes the SLO monitor's verdict (called from the telemetry sampler
+  /// thread, once per window). Consulted by Decide() only when
+  /// `respect_error_budget` is set; always safe to call.
+  void set_budget_state(BudgetState state) {
+    budget_state_.store(static_cast<int>(state), std::memory_order_relaxed);
+  }
+  BudgetState budget_state() const {
+    return static_cast<BudgetState>(
+        budget_state_.load(std::memory_order_relaxed));
+  }
+
   int slots() const { return slots_; }
   int default_replicates() const { return default_replicates_; }
 
@@ -203,6 +229,11 @@ class AdmissionController {
   /// EWMA of observed service seconds. Written under mu_ (Release is the
   /// only writer); read lock-free by Decide().
   std::atomic<double> ewma_service_seconds_;
+
+  /// Last BudgetState published by the telemetry sampler (kHealthy until
+  /// telemetry says otherwise). Relaxed atomic: a one-window-stale read
+  /// only delays the threshold tightening by one evaluation.
+  std::atomic<int> budget_state_{0};
 
   /// Default-registry instrumentation: terminal admission outcomes (each
   /// request increments `admitted` xor `rejected`, plus `degraded` and/or

@@ -60,6 +60,8 @@ struct ClientResult {
   int64_t salvaged = 0;
   int64_t fault_recovered = 0;
   int64_t replicates_lost = 0;
+  int64_t ci_target_met = 0;
+  int64_t ci_target_missed = 0;
 };
 
 /// One client: own session, own RNG stream, own precomputable Poisson
@@ -153,6 +155,13 @@ void RunClient(AqpServer& server, const QuerySpec& query,
       if (profile.replicates_lost > 0) ++out->salvaged;
       out->replicates_lost += profile.replicates_lost;
       if (profile.fault_recovered) ++out->fault_recovered;
+      // Counted as the response reported it — the harness never recomputes
+      // the CI verdict.
+      if (response.ci_target_met) {
+        ++out->ci_target_met;
+      } else {
+        ++out->ci_target_missed;
+      }
       if (static_cast<int>(out->samples.size()) < options.record_samples) {
         RecordedSample sample;
         sample.rng_seed = response.rng_seed;
@@ -252,6 +261,8 @@ std::string LoadReport::ToJson() const {
       << ", \"salvaged\": " << salvaged
       << ", \"fault_recovered\": " << fault_recovered
       << ", \"replicates_lost\": " << replicates_lost
+      << ", \"ci_target_met\": " << ci_target_met
+      << ", \"ci_target_missed\": " << ci_target_missed
       << ", \"offered_qps\": " << offered_qps
       << ", \"duration_seconds\": " << duration_seconds
       << ", \"sustained_qps\": " << sustained_qps
@@ -307,6 +318,8 @@ LoadReport RunOpenLoopLoad(AqpServer& server, const QuerySpec& query,
     report.salvaged += r.salvaged;
     report.fault_recovered += r.fault_recovered;
     report.replicates_lost += r.replicates_lost;
+    report.ci_target_met += r.ci_target_met;
+    report.ci_target_missed += r.ci_target_missed;
     report.samples.insert(report.samples.end(), r.samples.begin(),
                           r.samples.end());
     latencies.insert(latencies.end(), r.latencies_ms.begin(),

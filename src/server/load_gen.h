@@ -149,6 +149,13 @@ struct LoadReport {
   /// Total replicates lost across all ok() completions.
   int64_t replicates_lost = 0;
 
+  /// CI-target accounting over ok() completions (the response's own
+  /// ci_target_met verdict, counted as-is): how often the served error bars
+  /// fit the client's target_ci_width. Both zero when no target was set —
+  /// every response then reports ci_target_met, counted under `met`.
+  int64_t ci_target_met = 0;
+  int64_t ci_target_missed = 0;
+
   double offered_qps = 0.0;
   double duration_seconds = 0.0;
   /// ok() completions per second of actual harness wall time.

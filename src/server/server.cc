@@ -1,7 +1,9 @@
 #include "server/server.h"
 
+#include <cstring>
 #include <sstream>
 #include <utility>
+#include <vector>
 
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -65,6 +67,242 @@ AqpServer::AqpServer(ServerOptions options)
   MetricsRegistry& registry = MetricsRegistry::Default();
   sessions_opened_ = registry.GetCounter("server.sessions.opened");
   sessions_closed_ = registry.GetCounter("server.sessions.closed");
+
+  telemetry_options_ = options.telemetry;
+  if (telemetry_options_.enabled) {
+    // Response counters: one "outcome" counter per terminal status class,
+    // plus the honesty splits the default SLIs watch. Registered before the
+    // ring so the ring tracks them from window zero.
+    responses_ok_ = registry.GetCounter("server.responses.ok");
+    responses_deadline_exceeded_ =
+        registry.GetCounter("server.responses.deadline_exceeded");
+    responses_rejected_ = registry.GetCounter("server.responses.rejected");
+    responses_cancelled_ = registry.GetCounter("server.responses.cancelled");
+    responses_unavailable_ =
+        registry.GetCounter("server.responses.unavailable");
+    responses_error_ = registry.GetCounter("server.responses.error");
+    responses_ci_target_met_ =
+        registry.GetCounter("server.responses.ci_target_met");
+    responses_ci_target_missed_ =
+        registry.GetCounter("server.responses.ci_target_missed");
+    responses_intact_ = registry.GetCounter("server.responses.intact");
+    responses_salvaged_ = registry.GetCounter("server.responses.salvaged");
+    responses_fault_recovered_ =
+        registry.GetCounter("server.responses.fault_recovered");
+    responses_diagnostic_clean_ =
+        registry.GetCounter("server.responses.diagnostic_clean");
+    responses_diagnostic_rejected_ =
+        registry.GetCounter("server.responses.diagnostic_rejected");
+    latency_total_ms_ = registry.GetHistogram("server.latency.total_ms");
+    latency_queue_wait_ms_ =
+        registry.GetHistogram("server.latency.queue_wait_ms");
+    latency_service_ms_ = registry.GetHistogram("server.latency.service_ms");
+
+    TimeSeriesOptions ts;
+    ts.window_seconds = telemetry_options_.window_seconds;
+    ts.num_windows = telemetry_options_.num_windows;
+    ts.counters = {
+        "server.responses.ok",
+        "server.responses.deadline_exceeded",
+        "server.responses.rejected",
+        "server.responses.cancelled",
+        "server.responses.unavailable",
+        "server.responses.error",
+        "server.responses.ci_target_met",
+        "server.responses.ci_target_missed",
+        "server.responses.intact",
+        "server.responses.salvaged",
+        "server.responses.fault_recovered",
+        "server.responses.diagnostic_clean",
+        "server.responses.diagnostic_rejected",
+        "server.admission.admitted",
+        "server.admission.degraded",
+        "server.admission.deferred",
+        "server.admission.rejected",
+        "server.sessions.opened",
+        "server.sessions.closed",
+    };
+    ts.gauges = {
+        "server.queries.running",
+        "server.admission.queued",
+        "runtime.thread_pool.queue_depth",
+        "engine.throughput.ewma_rows_per_second",
+    };
+    ts.histograms = {
+        "server.latency.total_ms",
+        "server.latency.queue_wait_ms",
+        "server.latency.service_ms",
+    };
+    timeseries_ = std::make_unique<TimeSeries>(ts, registry);
+    slo_ = std::make_unique<SloMonitor>(timeseries_.get(),
+                                        telemetry_options_.slo, registry);
+    recorder_ = std::make_unique<FlightRecorder>(
+        telemetry_options_.recorder_capacity);
+    // Started last: the tick reads everything constructed above. Member
+    // order mirrors this so destruction stops the thread first.
+    telemetry_sampler_ = std::make_unique<TimeSeriesSampler>(
+        telemetry_options_.window_seconds,
+        [this](int64_t now_ns) { TelemetryTick(now_ns); });
+  }
+}
+
+void AqpServer::TelemetryTick(int64_t now_ns) {
+  // Sampler thread only. Close a window, re-evaluate the burn rates over
+  // the updated ring, and publish the verdict where the admission ladder
+  // (optionally) and introspection read it.
+  timeseries_->Sample(now_ns);
+  const BudgetState state = slo_->Evaluate();
+  admission_.set_budget_state(state);
+  if (state == BudgetState::kBreached) {
+    // One dump per alert episode: the first breached tick freezes the box;
+    // re-arming requires the budget to recover first.
+    if (!alert_dumped_ && !telemetry_options_.dump_path.empty()) {
+      alert_dumped_ = true;
+      recorder_->DumpToFile(telemetry_options_.dump_path, "burn-rate alert",
+                            timeseries_->JsonSnapshot(), slo_->ToJson());
+    }
+  } else {
+    alert_dumped_ = false;
+  }
+}
+
+void AqpServer::RecordResponse(uint64_t session_id,
+                               const QueryRequest& request,
+                               const QueryResponse& response,
+                               int64_t submit_ns, int64_t admitted_ns,
+                               int64_t done_ns) {
+  if (recorder_ == nullptr) return;  // Telemetry off: this one branch.
+  (void)request;
+
+  FlightRecord rec;
+  // Admission-kind records never ran the engine: load-shed rejections and
+  // front-door submission faults. Everything else — including cache hits
+  // and engine errors — is a query-kind outcome.
+  rec.kind = (response.shed_stage == ShedStage::kRejected ||
+              response.status.code() == StatusCode::kUnavailable)
+                 ? FlightRecord::Kind::kAdmission
+                 : FlightRecord::Kind::kQuery;
+  rec.session_id = session_id;
+  rec.rng_seed = response.rng_seed;
+  rec.submit_ns = submit_ns;
+  rec.admitted_ns = admitted_ns;
+  rec.done_ns = done_ns;
+  rec.status_code = static_cast<int>(response.status.code());
+  rec.shed_stage = response.shed_stage;
+  rec.ci_target_met = response.ci_target_met;
+  rec.queue_wait_ms = response.queue_wait_ms;
+  rec.service_ms = response.service_ms;
+  rec.total_ms = response.total_ms;
+  rec.retry_after_ms = response.retry_after_ms;
+  rec.profile = response.result.profile;
+  recorder_->Record(rec);
+
+  switch (response.status.code()) {
+    case StatusCode::kOk:
+      responses_ok_->Increment();
+      break;
+    case StatusCode::kDeadlineExceeded:
+      responses_deadline_exceeded_->Increment();
+      break;
+    case StatusCode::kResourceExhausted:
+      responses_rejected_->Increment();
+      break;
+    case StatusCode::kCancelled:
+      responses_cancelled_->Increment();
+      break;
+    case StatusCode::kUnavailable:
+      responses_unavailable_->Increment();
+      break;
+    default:
+      responses_error_->Increment();
+      break;
+  }
+  if (response.status.ok()) {
+    const QueryProfile& profile = response.result.profile;
+    (response.ci_target_met ? responses_ci_target_met_
+                            : responses_ci_target_missed_)
+        ->Increment();
+    (profile.replicates_lost > 0 ? responses_salvaged_ : responses_intact_)
+        ->Increment();
+    if (profile.fault_recovered) responses_fault_recovered_->Increment();
+    // The diagnostic SLI counts only diagnosed queries; "not-diagnosed"
+    // is absence of evidence, not a clean bill.
+    if (std::strcmp(profile.diagnostic_verdict, "accepted") == 0) {
+      responses_diagnostic_clean_->Increment();
+    } else if (std::strcmp(profile.diagnostic_verdict, "rejected") == 0) {
+      responses_diagnostic_rejected_->Increment();
+    }
+  }
+  latency_total_ms_->Observe(static_cast<int64_t>(response.total_ms));
+  latency_queue_wait_ms_->Observe(
+      static_cast<int64_t>(response.queue_wait_ms));
+  if (response.status.ok()) {
+    latency_service_ms_->Observe(static_cast<int64_t>(response.service_ms));
+  }
+}
+
+StatusReport AqpServer::Introspect(const StatusRequest& request) const {
+  StatusReport report;
+  if (recorder_ == nullptr) return report;  // telemetry_enabled = false.
+  report.telemetry_enabled = true;
+  report.budget_state = slo_->state();
+  report.windows_sampled = timeseries_->windows_sampled();
+  report.records_recorded = recorder_->recorded();
+  report.recorder_capacity = recorder_->capacity();
+
+  // Aggregates and the embedded array come from ONE Snapshot(): the tallies
+  // are provably over the same records the report shows.
+  const std::vector<FlightRecord> records = recorder_->Snapshot();
+  report.records = static_cast<int64_t>(records.size());
+  for (const FlightRecord& rec : records) {
+    switch (rec.shed_stage) {
+      case ShedStage::kNone:
+        ++report.shed_none;
+        break;
+      case ShedStage::kDegraded:
+        ++report.shed_degraded;
+        break;
+      case ShedStage::kDeferred:
+        ++report.shed_deferred;
+        break;
+      case ShedStage::kRejected:
+        ++report.shed_rejected;
+        break;
+    }
+    if (rec.profile.cache_hit) ++report.cache_hits;
+    if (rec.profile.fault_recovered) ++report.fault_recovered;
+  }
+  if (request.include_records && request.max_records > 0) {
+    const size_t keep = static_cast<size_t>(request.max_records);
+    const size_t begin =
+        records.size() > keep ? records.size() - keep : 0;  // newest win
+    std::ostringstream out;
+    out << "[";
+    for (size_t i = begin; i < records.size(); ++i) {
+      if (i != begin) out << ", ";
+      out << records[i].ToJson();
+    }
+    out << "]";
+    report.records_json = out.str();
+  }
+  if (request.include_windows) {
+    report.timeseries_json = timeseries_->JsonSnapshot();
+  }
+  report.slo_json = slo_->ToJson();
+  return report;
+}
+
+Status AqpServer::DumpFlightRecorder(const std::string& path,
+                                     const std::string& reason) const {
+  if (recorder_ == nullptr) {
+    return Status::FailedPrecondition(
+        "telemetry is disabled; enable ServerOptions::telemetry first");
+  }
+  if (!recorder_->DumpToFile(path, reason, timeseries_->JsonSnapshot(),
+                             slo_->ToJson())) {
+    return Status::Internal("could not write flight recorder dump: " + path);
+  }
+  return Status::OK();
 }
 
 SessionId AqpServer::OpenSession() {
@@ -102,6 +340,26 @@ void AqpServer::UnregisterQuery(SessionId session_id, uint64_t query_id) {
   MutexLock lock(sessions_mu_);
   auto it = sessions_.find(session_id);
   if (it != sessions_.end()) it->second.active.erase(query_id);
+}
+
+std::string StatusReport::ToJson() const {
+  std::ostringstream out;
+  out << "{\"telemetry_enabled\": " << (telemetry_enabled ? "true" : "false")
+      << ", \"budget_state\": \"" << BudgetStateName(budget_state) << "\""
+      << ", \"windows_sampled\": " << windows_sampled
+      << ", \"records_recorded\": " << records_recorded
+      << ", \"recorder_capacity\": " << recorder_capacity
+      << ", \"records\": " << records << ", \"shed_stage\": {\"none\": "
+      << shed_none << ", \"degraded\": " << shed_degraded
+      << ", \"deferred\": " << shed_deferred
+      << ", \"rejected\": " << shed_rejected << "}"
+      << ", \"cache_hit\": " << cache_hits
+      << ", \"fault_recovered\": " << fault_recovered << ", \"timeseries\": "
+      << (timeseries_json.empty() ? "null" : timeseries_json)
+      << ", \"slo\": " << (slo_json.empty() ? "null" : slo_json)
+      << ", \"records_json\": "
+      << (records_json.empty() ? "null" : records_json) << "}";
+  return out.str();
 }
 
 QueryResponse AqpServer::Execute(SessionId session_id,
@@ -144,9 +402,13 @@ QueryResponse AqpServer::Execute(SessionId session_id,
         response.ci_target_met =
             2.0 * response.result.ci.half_width <= request.target_ci_width;
       }
+      const int64_t hit_done_ns = MonotonicNanos();
       response.total_ms =
-          static_cast<double>(MonotonicNanos() - submit_ns) / 1e6;
+          static_cast<double>(hit_done_ns - submit_ns) / 1e6;
       response.status = Status::OK();
+      // A hit never reached admission: admitted == submit by convention.
+      RecordResponse(session_id, request, response, submit_ns, submit_ns,
+                     hit_done_ns);
       return response;
     }
   }
@@ -191,10 +453,13 @@ QueryResponse AqpServer::Execute(SessionId session_id,
       failpoints_->ShouldFail(kServerSubmitFailSite, fault_unit,
                               fault_attempt)) {
     UnregisterQuery(session_id, query_id);
+    const int64_t fault_done_ns = MonotonicNanos();
     response.total_ms =
-        static_cast<double>(MonotonicNanos() - submit_ns) / 1e6;
+        static_cast<double>(fault_done_ns - submit_ns) / 1e6;
     response.status = Status::Unavailable(
         "transient submission fault; retry with the same rng_seed");
+    RecordResponse(session_id, request, response, submit_ns, submit_ns,
+                   fault_done_ns);
     return response;
   }
 
@@ -239,6 +504,9 @@ QueryResponse AqpServer::Execute(SessionId session_id,
           << decision.retry_after_ms << " ms";
       response.status = Status::ResourceExhausted(msg.str());
     }
+    // Rejections did no work after the admission verdict: done == admitted.
+    RecordResponse(session_id, request, response, submit_ns, admitted_ns,
+                   admitted_ns);
     return response;
   }
 
@@ -267,6 +535,8 @@ QueryResponse AqpServer::Execute(SessionId session_id,
   response.total_ms = static_cast<double>(done_ns - submit_ns) / 1e6;
   if (!result.ok()) {
     response.status = result.status();
+    RecordResponse(session_id, request, response, submit_ns, admitted_ns,
+                   done_ns);
     return response;
   }
   response.result = std::move(*result);
@@ -283,6 +553,8 @@ QueryResponse AqpServer::Execute(SessionId session_id,
     cache_->Insert(cache_key, response.result, response.rng_seed);
   }
   response.status = Status::OK();
+  RecordResponse(session_id, request, response, submit_ns, admitted_ns,
+                 done_ns);
   return response;
 }
 

@@ -5,9 +5,14 @@
 #include <memory>
 #include <unordered_map>
 
+#include <string>
+
 #include "core/engine.h"
 #include "exec/shared_scan.h"
+#include "obs/flight_recorder.h"
 #include "obs/load_snapshot.h"
+#include "obs/slo_monitor.h"
+#include "obs/timeseries.h"
 #include "server/admission.h"
 #include "server/result_cache.h"
 #include "server/session.h"
@@ -33,6 +38,34 @@ inline constexpr const char* kAdmissionDelaySite = "server.admission.delay";
 /// straggler holding a slot: the engine's deadline token still enforces the
 /// SLO, so the query degrades rather than overruns).
 inline constexpr const char* kServerStragglerSite = "server.execute.straggler";
+
+/// Temporal telemetry for the served path (DESIGN.md §16). Off by default:
+/// with `enabled` false the server constructs none of it and Execute() pays
+/// exactly one pointer-null branch per response — the disabled path is
+/// byte-identical in behavior to a server built before this knob existed,
+/// and provably RNG-neutral (telemetry reads counters and clocks, never the
+/// RNG; telemetry_test pins bit-identical fixed-seed results on/off at
+/// 1/4/8 threads).
+struct TelemetryOptions {
+  bool enabled = false;
+
+  /// Time-series ring geometry (60 x 1 s by default). The sampler thread
+  /// ticks once per window; every telemetry clock read happens on it.
+  double window_seconds = 1.0;
+  int num_windows = 60;
+
+  /// SLO/error-budget evaluation over those windows. `slo.slis` empty
+  /// selects DefaultServerSlis() over the server's response counters.
+  SloOptions slo;
+
+  /// Flight-recorder ring capacity (most recent served outcomes retained).
+  int recorder_capacity = 256;
+
+  /// When non-empty, a burn-rate alert (BudgetState::kBreached edge)
+  /// freezes the recorder and writes the black box here, once per alert
+  /// episode. Explicit dumps via DumpFlightRecorder work regardless.
+  std::string dump_path;
+};
 
 /// Serving-layer configuration: the engine it wraps plus admission control.
 /// Fault injection comes from `engine.failpoints` — the server arms its own
@@ -61,6 +94,10 @@ struct ServerOptions {
   /// seed asks for one specific stream's bits, which the cache cannot
   /// promise.
   ResultCacheOptions cache;
+
+  /// Time-series telemetry, SLO burn-rate tracking, and the flight
+  /// recorder. Off by default (see TelemetryOptions).
+  TelemetryOptions telemetry;
 };
 
 /// The long-lived AQP service: owns one AqpEngine (and with it the bounded
@@ -120,6 +157,24 @@ class AqpServer {
   /// The shared-scan scheduler, or null when sharing is disabled.
   const ScanScheduler* shared_scans() const { return shared_scans_.get(); }
 
+  /// The introspection call of the session protocol: current windows, SLO
+  /// state, and a recorder summary whose aggregate honesty tallies are
+  /// computed from the same records it embeds. With telemetry disabled the
+  /// report says so (telemetry_enabled = false) and claims nothing else.
+  StatusReport Introspect(const StatusRequest& request = {}) const;
+
+  /// Freezes the flight recorder and writes the black box (records + the
+  /// current windows + SLO state) to `path`. kFailedPrecondition when
+  /// telemetry is disabled; kInternal when the file cannot be written.
+  [[nodiscard]] Status DumpFlightRecorder(const std::string& path,
+                                          const std::string& reason) const;
+
+  /// Telemetry components, or null when ServerOptions::telemetry.enabled
+  /// is false.
+  const TimeSeries* timeseries() const { return timeseries_.get(); }
+  const SloMonitor* slo_monitor() const { return slo_.get(); }
+  const FlightRecorder* flight_recorder() const { return recorder_.get(); }
+
  private:
   struct SessionState {
     /// Next auto-assigned RNG stream id (requests with rng_seed < 0).
@@ -134,6 +189,20 @@ class AqpServer {
   /// Removes a finished query's token; no-op if the session is gone.
   void UnregisterQuery(SessionId session_id, uint64_t query_id)
       AQP_EXCLUDES(sessions_mu_);
+
+  /// Telemetry witness for one terminal Execute() outcome: records the
+  /// response into the flight recorder and bumps the response counters the
+  /// SLO monitor watches. The disabled path is this function's first
+  /// branch (recorder_ == nullptr → return). Reuses timestamps the query
+  /// path already read — zero additional clock reads.
+  void RecordResponse(uint64_t session_id, const QueryRequest& request,
+                      const QueryResponse& response, int64_t submit_ns,
+                      int64_t admitted_ns, int64_t done_ns);
+
+  /// One sampler tick (sampler thread only): close a window, evaluate the
+  /// SLO burn rates, publish the budget state to admission control, and on
+  /// a kBreached edge dump the black box (once per alert episode).
+  void TelemetryTick(int64_t now_ns);
 
   AqpEngine engine_;
   AdmissionController admission_;
@@ -153,6 +222,34 @@ class AqpServer {
 
   Counter* sessions_opened_;
   Counter* sessions_closed_;
+
+  /// Telemetry (all null/unused when telemetry.enabled is false). The
+  /// sampler is declared last so its thread stops before the components it
+  /// ticks are destroyed.
+  TelemetryOptions telemetry_options_;
+  std::unique_ptr<TimeSeries> timeseries_;
+  std::unique_ptr<SloMonitor> slo_;
+  std::unique_ptr<FlightRecorder> recorder_;
+  /// Response counters RecordResponse feeds and DefaultServerSlis watches.
+  Counter* responses_ok_ = nullptr;
+  Counter* responses_deadline_exceeded_ = nullptr;
+  Counter* responses_rejected_ = nullptr;
+  Counter* responses_cancelled_ = nullptr;
+  Counter* responses_unavailable_ = nullptr;
+  Counter* responses_error_ = nullptr;
+  Counter* responses_ci_target_met_ = nullptr;
+  Counter* responses_ci_target_missed_ = nullptr;
+  Counter* responses_intact_ = nullptr;
+  Counter* responses_salvaged_ = nullptr;
+  Counter* responses_fault_recovered_ = nullptr;
+  Counter* responses_diagnostic_clean_ = nullptr;
+  Counter* responses_diagnostic_rejected_ = nullptr;
+  Histogram* latency_total_ms_ = nullptr;
+  Histogram* latency_queue_wait_ms_ = nullptr;
+  Histogram* latency_service_ms_ = nullptr;
+  /// Sampler-thread-only edge detector for once-per-episode alert dumps.
+  bool alert_dumped_ = false;
+  std::unique_ptr<TimeSeriesSampler> telemetry_sampler_;
 };
 
 }  // namespace aqp

@@ -2,10 +2,12 @@
 #define AQP_SERVER_SESSION_H_
 
 #include <cstdint>
+#include <string>
 
 #include "core/engine.h"
 #include "exec/query_spec.h"
 #include "obs/query_profile.h"
+#include "obs/slo_monitor.h"
 #include "util/status.h"
 
 namespace aqp {
@@ -93,6 +95,59 @@ struct QueryResponse {
   /// RNG stream id the request actually used (the explicit one, or the
   /// session-assigned one) — replaying it reproduces `result` bit-for-bit.
   int64_t rng_seed = -1;
+};
+
+/// Introspection call: what of the server's telemetry to embed in the
+/// report. Transport-free like the query types — an RPC layer would marshal
+/// it; tests and the benches call AqpServer::Introspect directly.
+struct StatusRequest {
+  /// Embed the time-series ring (TimeSeries::JsonSnapshot) in the report.
+  bool include_windows = true;
+  /// Embed the newest flight-recorder records (FlightRecord::ToJson each).
+  bool include_records = true;
+  /// Cap on embedded records (newest first wins; <= 0 embeds none).
+  int max_records = 32;
+};
+
+/// The server's operational self-report: current windows, SLO/error-budget
+/// state, and a flight-recorder summary. The aggregate honesty tallies
+/// (shed stages, cache hits, fault recoveries) are computed from the SAME
+/// retained records whose per-query profiles the report embeds — the
+/// introspection view cannot drift from what each query itself reported,
+/// and telemetry_test pins the round trip.
+struct StatusReport {
+  /// False when ServerOptions::telemetry.enabled was off: every other
+  /// field is then empty/zero, and honest about it — no made-up health.
+  bool telemetry_enabled = false;
+  BudgetState budget_state = BudgetState::kHealthy;
+
+  /// Time-series coverage: windows closed since the server started.
+  int64_t windows_sampled = 0;
+
+  /// Flight-recorder coverage.
+  int64_t records_recorded = 0;
+  int recorder_capacity = 0;
+
+  /// Aggregates over the retained records (the recorder's current ring).
+  int64_t records = 0;
+  int64_t shed_none = 0;
+  int64_t shed_degraded = 0;
+  int64_t shed_deferred = 0;
+  int64_t shed_rejected = 0;
+  int64_t cache_hits = 0;
+  int64_t fault_recovered = 0;
+
+  /// Embedded JSON documents (empty when not requested / not enabled):
+  /// the ring (TimeSeries::JsonSnapshot), the SLO evaluation
+  /// (SloMonitor::ToJson), and a JSON array of the newest records.
+  std::string timeseries_json;
+  std::string slo_json;
+  std::string records_json;
+
+  /// The report as one JSON object (no trailing newline). Aggregate keys
+  /// reuse the per-profile field spellings ("shed_stage", "cache_hit",
+  /// "fault_recovered") so scrapers of either view share a vocabulary.
+  std::string ToJson() const;
 };
 
 }  // namespace aqp

@@ -1,0 +1,756 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <limits>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/engine.h"
+#include "expr/expr.h"
+#include "obs/flight_recorder.h"
+#include "obs/metrics.h"
+#include "obs/slo_monitor.h"
+#include "obs/timeseries.h"
+#include "server/server.h"
+#include "server/session.h"
+#include "storage/table.h"
+#include "util/random.h"
+
+namespace aqp {
+namespace {
+
+// ---------------------------------------------------------------------------
+// HistogramSnapshot: delta / merge / quantile math.
+// ---------------------------------------------------------------------------
+
+TEST(HistogramSnapshotTest, QuantileIsBucketBoundaryExact) {
+  MetricsRegistry registry;
+  Histogram* h = registry.GetHistogram("h");
+  // One observation exactly at each of four power-of-two bucket bounds:
+  // ranks land exactly on bucket edges, so the quantile must return the
+  // bound itself — not the next bucket up.
+  h->Observe(1);
+  h->Observe(2);
+  h->Observe(4);
+  h->Observe(8);
+  HistogramSnapshot snap = HistogramSnapshot::FromHistogram(*h);
+  EXPECT_EQ(snap.count, 4);
+  EXPECT_EQ(snap.sum, 15);
+  EXPECT_EQ(snap.Quantile(0.25), 1);
+  EXPECT_EQ(snap.Quantile(0.5), 2);
+  EXPECT_EQ(snap.Quantile(0.75), 4);
+  EXPECT_EQ(snap.Quantile(1.0), 8);
+  // Quantiles between edges round the rank up (ceil), never down.
+  EXPECT_EQ(snap.Quantile(0.26), 2);
+  EXPECT_EQ(snap.Quantile(0.51), 4);
+}
+
+TEST(HistogramSnapshotTest, EmptySnapshotHasNoQuantile) {
+  HistogramSnapshot empty;
+  EXPECT_EQ(empty.Quantile(0.5), -1);
+  EXPECT_EQ(empty.Quantile(0.0), -1);
+  EXPECT_EQ(empty.Quantile(1.0), -1);
+}
+
+TEST(HistogramSnapshotTest, OverflowBucketReportsInt64Max) {
+  MetricsRegistry registry;
+  Histogram* h = registry.GetHistogram("h");
+  h->Observe(std::numeric_limits<int64_t>::max() / 2);
+  HistogramSnapshot snap = HistogramSnapshot::FromHistogram(*h);
+  EXPECT_EQ(snap.Quantile(1.0), std::numeric_limits<int64_t>::max());
+}
+
+TEST(HistogramSnapshotTest, DeltaSubtractsAndClampsAtZero) {
+  MetricsRegistry registry;
+  Histogram* h = registry.GetHistogram("h");
+  h->Observe(3);
+  HistogramSnapshot older = HistogramSnapshot::FromHistogram(*h);
+  h->Observe(5);
+  h->Observe(100);
+  HistogramSnapshot newer = HistogramSnapshot::FromHistogram(*h);
+
+  HistogramSnapshot delta = HistogramSnapshot::Delta(newer, older);
+  EXPECT_EQ(delta.count, 2);
+  EXPECT_EQ(delta.sum, 105);
+  EXPECT_EQ(delta.Quantile(1.0), 128);
+
+  // Reversed operands model a registry reset between captures: everything
+  // clamps to the empty window instead of going negative.
+  HistogramSnapshot clamped = HistogramSnapshot::Delta(older, newer);
+  EXPECT_EQ(clamped.count, 0);
+  EXPECT_EQ(clamped.sum, 0);
+  EXPECT_EQ(clamped.Quantile(0.5), -1);
+}
+
+TEST(HistogramSnapshotTest, MergeAccumulatesAcrossWindows) {
+  MetricsRegistry registry;
+  Histogram* a = registry.GetHistogram("a");
+  Histogram* b = registry.GetHistogram("b");
+  a->Observe(1);
+  a->Observe(16);
+  b->Observe(16);
+  b->Observe(1024);
+  HistogramSnapshot merged = HistogramSnapshot::FromHistogram(*a);
+  merged.Merge(HistogramSnapshot::FromHistogram(*b));
+  EXPECT_EQ(merged.count, 4);
+  EXPECT_EQ(merged.sum, 1 + 16 + 16 + 1024);
+  EXPECT_EQ(merged.Quantile(0.5), 16);
+  EXPECT_EQ(merged.Quantile(1.0), 1024);
+}
+
+// ---------------------------------------------------------------------------
+// TimeSeries: scripted timestamps (Sample never reads a clock, so tests own
+// time wholesale).
+// ---------------------------------------------------------------------------
+
+constexpr int64_t kT0 = 1'000'000'000;  // 1 s in nanos.
+
+TimeSeriesOptions SmallRing(int num_windows) {
+  TimeSeriesOptions options;
+  options.window_seconds = 1.0;
+  options.num_windows = num_windows;
+  options.counters = {"c"};
+  options.gauges = {"g"};
+  options.histograms = {"h"};
+  return options;
+}
+
+TEST(TimeSeriesTest, FirstSampleIsBaselineOnly) {
+  MetricsRegistry registry;
+  TimeSeries series(SmallRing(4), registry);
+  registry.GetCounter("c")->Increment(7);
+  series.Sample(kT0);
+  EXPECT_EQ(series.windows_sampled(), 0);
+  EXPECT_TRUE(series.Windows().empty());
+  EXPECT_EQ(series.CounterDelta("c", 0), 0);
+}
+
+TEST(TimeSeriesTest, WindowsCarryDeltasRatesAndGaugeValues) {
+  MetricsRegistry registry;
+  Counter* c = registry.GetCounter("c");
+  Gauge* g = registry.GetGauge("g");
+  Histogram* h = registry.GetHistogram("h");
+  TimeSeries series(SmallRing(4), registry);
+
+  c->Increment(10);  // Pre-baseline traffic must not leak into any window.
+  series.Sample(kT0);
+
+  c->Increment(5);
+  g->Set(3);
+  h->Observe(2);
+  series.Sample(kT0 + 1'000'000'000);  // Window 0: exactly 1 s wide.
+
+  c->Increment(15);
+  g->Set(9);
+  series.Sample(kT0 + 3'000'000'000);  // Window 1: 2 s wide.
+
+  std::vector<TimeWindow> windows = series.Windows();
+  ASSERT_EQ(windows.size(), 2u);
+  EXPECT_EQ(windows[0].index, 0);
+  EXPECT_EQ(windows[0].counter_deltas[0], 5);
+  EXPECT_EQ(windows[0].gauge_values[0], 3);
+  EXPECT_EQ(windows[0].histogram_deltas[0].count, 1);
+  EXPECT_DOUBLE_EQ(windows[0].Seconds(), 1.0);
+  EXPECT_EQ(windows[1].counter_deltas[0], 15);
+  EXPECT_EQ(windows[1].gauge_values[0], 9);
+  EXPECT_DOUBLE_EQ(windows[1].Seconds(), 2.0);
+
+  EXPECT_EQ(series.CounterDelta("c", 0), 20);
+  EXPECT_EQ(series.CounterDelta("c", 1), 15);
+  // Rate over the full 3 observed seconds, not the nominal window width.
+  EXPECT_DOUBLE_EQ(series.CounterRate("c", 0), 20.0 / 3.0);
+  EXPECT_EQ(series.GaugePercentile("g", 0.0, 0), 3);
+  EXPECT_EQ(series.GaugePercentile("g", 1.0, 0), 9);
+  EXPECT_EQ(series.CounterDelta("absent", 0), 0);
+  EXPECT_EQ(series.CounterIndex("absent"), -1);
+}
+
+TEST(TimeSeriesTest, RingRetainsOnlyNewestWindows) {
+  MetricsRegistry registry;
+  Counter* c = registry.GetCounter("c");
+  TimeSeries series(SmallRing(4), registry);
+  series.Sample(kT0);
+  for (int i = 1; i <= 10; ++i) {
+    c->Increment(i);  // Window i-1 carries delta i.
+    series.Sample(kT0 + static_cast<int64_t>(i) * 1'000'000'000);
+  }
+  EXPECT_EQ(series.windows_sampled(), 10);
+  std::vector<TimeWindow> windows = series.Windows();
+  ASSERT_EQ(windows.size(), 4u);
+  EXPECT_EQ(windows.front().index, 6);
+  EXPECT_EQ(windows.back().index, 9);
+  EXPECT_EQ(windows.front().counter_deltas[0], 7);
+  EXPECT_EQ(windows.back().counter_deltas[0], 10);
+  // last_n beyond retention degrades to "everything retained".
+  EXPECT_EQ(series.CounterDelta("c", 100), 7 + 8 + 9 + 10);
+}
+
+TEST(TimeSeriesTest, ExportersRenderEveryRetainedWindow) {
+  MetricsRegistry registry;
+  Counter* c = registry.GetCounter("c");
+  TimeSeries series(SmallRing(4), registry);
+  series.Sample(kT0);
+  c->Increment(17);
+  series.Sample(kT0 + 1'000'000'000);
+
+  const std::string text = series.TextSnapshot();
+  EXPECT_NE(text.find("w0.c 17"), std::string::npos);
+
+  const std::string json = series.JsonSnapshot();
+  EXPECT_EQ(json.find("\n"), std::string::npos);
+  EXPECT_NE(json.find("\"windows_sampled\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"c\": 17"), std::string::npos);
+  EXPECT_NE(json.find("\"index\": 0"), std::string::npos);
+}
+
+TEST(TimeSeriesTest, ConcurrentFeedWhileSnapshotting) {
+  // 8 writer threads hammer the tracked metrics while the "sampler" closes
+  // windows and readers merge histograms — the TSan target for the
+  // feed-while-snapshot contract. Totals must reconcile exactly after join.
+  MetricsRegistry registry;
+  Counter* c = registry.GetCounter("c");
+  Histogram* h = registry.GetHistogram("h");
+  TimeSeriesOptions options = SmallRing(128);
+  TimeSeries series(options, registry);
+  series.Sample(kT0);
+
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 5000;
+  std::atomic<bool> done{false};
+  std::vector<std::thread> writers;
+  writers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    writers.emplace_back([c, h, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        c->Increment();
+        h->Observe((t + i) % 64);
+      }
+    });
+  }
+  std::thread reader([&series, &done] {
+    while (!done.load(std::memory_order_relaxed)) {
+      (void)series.MergedHistogram("h", 0).Quantile(0.99);
+      (void)series.Windows();
+    }
+  });
+  // At most 100 concurrent windows + 1 final: strictly under the ring's
+  // 128, so no window with observations is ever evicted and the totals
+  // below must reconcile exactly.
+  int64_t tick = 1;
+  for (int s = 0;
+       s < 100 && c->value() < static_cast<int64_t>(kThreads) * kPerThread;
+       ++s) {
+    series.Sample(kT0 + tick * 1'000'000);
+    ++tick;
+  }
+  for (std::thread& w : writers) w.join();
+  series.Sample(kT0 + (tick + 1) * 1'000'000'000);
+  done.store(true, std::memory_order_relaxed);
+  reader.join();
+
+  // Every observation lands in exactly one window.
+  EXPECT_EQ(series.CounterDelta("c", 0),
+            static_cast<int64_t>(kThreads) * kPerThread);
+  HistogramSnapshot merged = series.MergedHistogram("h", 0);
+  EXPECT_EQ(merged.count, static_cast<int64_t>(kThreads) * kPerThread);
+}
+
+// ---------------------------------------------------------------------------
+// TimeSeriesSampler: the one real thread in the subsystem.
+// ---------------------------------------------------------------------------
+
+TEST(TimeSeriesSamplerTest, TicksPeriodicallyAndStopsOnDestruction) {
+  std::atomic<int64_t> ticks{0};
+  std::atomic<int64_t> last_now{0};
+  {
+    TimeSeriesSampler sampler(0.002, [&](int64_t now_ns) {
+      last_now.store(now_ns, std::memory_order_relaxed);
+      ticks.fetch_add(1, std::memory_order_relaxed);
+    });
+    while (ticks.load(std::memory_order_relaxed) < 3) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    EXPECT_GT(last_now.load(std::memory_order_relaxed), 0);
+  }
+  // Destruction is a barrier: no tick may run after ~TimeSeriesSampler.
+  const int64_t after_destruction = ticks.load(std::memory_order_relaxed);
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_EQ(ticks.load(std::memory_order_relaxed), after_destruction);
+}
+
+// ---------------------------------------------------------------------------
+// SloMonitor: scripted windows, deterministic burn-rate math.
+// ---------------------------------------------------------------------------
+
+SloOptions OneSli(double budget, double fast_s, double slow_s,
+                  double alert) {
+  SloOptions options;
+  options.error_budget = budget;
+  options.fast_window_seconds = fast_s;
+  options.slow_window_seconds = slow_s;
+  options.burn_rate_alert = alert;
+  options.slis = {{"x", "good", "bad"}};
+  return options;
+}
+
+struct SloHarness {
+  MetricsRegistry registry;
+  Counter* good;
+  Counter* bad;
+  std::unique_ptr<TimeSeries> series;
+  std::unique_ptr<SloMonitor> monitor;
+  int64_t now = kT0;
+
+  explicit SloHarness(const SloOptions& slo) {
+    good = registry.GetCounter("good");
+    bad = registry.GetCounter("bad");
+    TimeSeriesOptions options;
+    options.num_windows = 16;
+    options.counters = {"good", "bad"};
+    series = std::make_unique<TimeSeries>(options, registry);
+    monitor = std::make_unique<SloMonitor>(series.get(), slo, registry);
+    series->Sample(now);  // Baseline.
+  }
+
+  /// Closes one 1 s window containing `g` good and `b` bad events.
+  BudgetState Window(int64_t g, int64_t b) {
+    good->Increment(g);
+    bad->Increment(b);
+    now += 1'000'000'000;
+    series->Sample(now);
+    return monitor->Evaluate();
+  }
+};
+
+TEST(SloMonitorTest, AllGoodTrafficIsHealthy) {
+  SloHarness h(OneSli(0.05, 2.0, 5.0, 2.0));
+  EXPECT_EQ(h.Window(100, 0), BudgetState::kHealthy);
+  EXPECT_EQ(h.Window(100, 0), BudgetState::kHealthy);
+  std::vector<SliState> states = h.monitor->States();
+  ASSERT_EQ(states.size(), 1u);
+  EXPECT_DOUBLE_EQ(states[0].fast_burn, 0.0);
+  EXPECT_DOUBLE_EQ(states[0].slow_burn, 0.0);
+  EXPECT_FALSE(states[0].alerting);
+}
+
+TEST(SloMonitorTest, BurnRateMathIsExactOnScriptedWindows) {
+  // budget 0.1; one window of 90 good / 10 bad: bad fraction 0.1, burn 1.0
+  // at both horizons — consuming exactly the budget: warning, not alert.
+  SloHarness h(OneSli(0.1, 1.0, 5.0, 2.0));
+  EXPECT_EQ(h.Window(90, 10), BudgetState::kWarning);
+  std::vector<SliState> states = h.monitor->States();
+  ASSERT_EQ(states.size(), 1u);
+  EXPECT_EQ(states[0].fast_good, 90);
+  EXPECT_EQ(states[0].fast_bad, 10);
+  EXPECT_DOUBLE_EQ(states[0].fast_burn, 1.0);
+  EXPECT_DOUBLE_EQ(states[0].slow_burn, 1.0);
+  EXPECT_FALSE(states[0].alerting);
+}
+
+TEST(SloMonitorTest, FastBurnAloneDoesNotAlert) {
+  // The multi-window AND rule: a single terrible window trips the fast
+  // horizon but the slow horizon (amortized over the good history) stays
+  // under the alert multiple — no page.
+  SloHarness h(OneSli(0.25, 1.0, 5.0, 2.0));
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(h.Window(10, 0), BudgetState::kHealthy);
+  BudgetState state = h.Window(5, 5);  // Fast: burn 2.0. Slow: 5/50 -> 0.4.
+  EXPECT_EQ(state, BudgetState::kHealthy);
+  std::vector<SliState> states = h.monitor->States();
+  ASSERT_EQ(states.size(), 1u);
+  EXPECT_DOUBLE_EQ(states[0].fast_burn, 2.0);
+  EXPECT_DOUBLE_EQ(states[0].slow_burn, (5.0 / 50.0) / 0.25);
+  EXPECT_FALSE(states[0].alerting);
+}
+
+TEST(SloMonitorTest, SustainedBurnBreachesAndAlertsOncePerEpisode) {
+  SloHarness h(OneSli(0.05, 1.0, 3.0, 2.0));
+  Counter* alerts = h.registry.GetCounter("server.slo.alerts");
+  Counter* evaluations = h.registry.GetCounter("server.slo.evaluations");
+
+  // Saturate both horizons with 50% bad traffic: burn 10x the budget.
+  EXPECT_EQ(h.Window(50, 50), BudgetState::kBreached);
+  EXPECT_EQ(h.monitor->state(), BudgetState::kBreached);
+  EXPECT_EQ(alerts->value(), 1);
+  // Staying breached is the same episode — no second alert.
+  EXPECT_EQ(h.Window(50, 50), BudgetState::kBreached);
+  EXPECT_EQ(alerts->value(), 1);
+  // Recovery: good-only windows push both horizons back under the alert
+  // multiple (the slow horizon forgets the bad windows as they age out).
+  BudgetState state = BudgetState::kBreached;
+  for (int i = 0; i < 4; ++i) state = h.Window(100, 0);
+  EXPECT_NE(state, BudgetState::kBreached);
+  // A fresh breach is a fresh episode: the edge counter fires again.
+  h.Window(50, 50);
+  EXPECT_EQ(h.Window(50, 50), BudgetState::kBreached);
+  EXPECT_EQ(alerts->value(), 2);
+  EXPECT_EQ(evaluations->value(), 8);
+  EXPECT_EQ(h.registry.GetGauge("server.slo.budget_state")->value(),
+            static_cast<int64_t>(BudgetState::kBreached));
+}
+
+TEST(SloMonitorTest, UntrackedSliCountersAreDroppedNotZeroFilled) {
+  SloOptions slo = OneSli(0.05, 1.0, 5.0, 2.0);
+  slo.slis.push_back({"ghost", "no.such.good", "no.such.bad"});
+  SloHarness h(slo);
+  h.Window(10, 0);
+  std::vector<SliState> states = h.monitor->States();
+  ASSERT_EQ(states.size(), 1u);  // "ghost" was dropped at construction.
+  EXPECT_EQ(states[0].name, "x");
+}
+
+TEST(SloMonitorTest, JsonCarriesStateAndPerSliBreakdown) {
+  SloHarness h(OneSli(0.05, 1.0, 3.0, 2.0));
+  h.Window(50, 50);
+  const std::string json = h.monitor->ToJson();
+  EXPECT_NE(json.find("\"state\": \"breached\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\": \"x\""), std::string::npos);
+  EXPECT_NE(json.find("\"alerting\": true"), std::string::npos);
+  EXPECT_EQ(json.find("\n"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// FlightRecorder.
+// ---------------------------------------------------------------------------
+
+TEST(FlightRecorderTest, RingWrapsKeepingNewestInOrder) {
+  FlightRecorder recorder(4);
+  for (uint64_t i = 0; i < 10; ++i) {
+    FlightRecord rec;
+    rec.session_id = i;
+    recorder.Record(rec);
+  }
+  EXPECT_EQ(recorder.recorded(), 10);
+  EXPECT_EQ(recorder.capacity(), 4);
+  std::vector<FlightRecord> records = recorder.Snapshot();
+  ASSERT_EQ(records.size(), 4u);
+  for (size_t i = 0; i < records.size(); ++i) {
+    EXPECT_EQ(records[i].session_id, 6 + i);
+  }
+}
+
+TEST(FlightRecorderTest, ConcurrentRecordersLoseNothingButTheOverwritten) {
+  FlightRecorder recorder(64);
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 1000;
+  std::vector<std::thread> writers;
+  writers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    writers.emplace_back([&recorder, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        FlightRecord rec;
+        rec.session_id = static_cast<uint64_t>(t);
+        rec.rng_seed = i;
+        recorder.Record(rec);
+      }
+    });
+  }
+  std::thread reader([&recorder] {
+    for (int i = 0; i < 100; ++i) (void)recorder.Snapshot();
+  });
+  for (std::thread& w : writers) w.join();
+  reader.join();
+  EXPECT_EQ(recorder.recorded(),
+            static_cast<int64_t>(kThreads) * kPerThread);
+  EXPECT_EQ(recorder.Snapshot().size(), 64u);
+}
+
+TEST(FlightRecorderTest, ExportEmbedsContextOrHonestNulls) {
+  FlightRecorder recorder(4);
+  FlightRecord rec;
+  rec.session_id = 3;
+  rec.status_code = static_cast<int>(StatusCode::kDeadlineExceeded);
+  rec.shed_stage = ShedStage::kRejected;
+  recorder.Record(rec);
+
+  const std::string with_context =
+      recorder.ExportJson("unit test", "{\"ring\": true}", "{\"slo\": 1}");
+  EXPECT_NE(with_context.find("\"reason\": \"unit test\""),
+            std::string::npos);
+  EXPECT_NE(with_context.find("\"timeseries\": {\"ring\": true}"),
+            std::string::npos);
+  EXPECT_NE(with_context.find("\"shed_stage\": \"rejected\""),
+            std::string::npos);
+
+  const std::string bare = recorder.ExportJson("bare", "", "");
+  EXPECT_NE(bare.find("\"timeseries\": null"), std::string::npos);
+  EXPECT_NE(bare.find("\"slo\": null"), std::string::npos);
+}
+
+TEST(FlightRecorderTest, DumpToFileWritesAndReportsFailure) {
+  FlightRecorder recorder(4);
+  recorder.Record(FlightRecord{});
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "aqp_recorder_test.json")
+          .string();
+  ASSERT_TRUE(recorder.DumpToFile(path, "test", "", ""));
+  std::ifstream file(path);
+  std::stringstream content;
+  content << file.rdbuf();
+  EXPECT_NE(content.str().find("\"reason\": \"test\""), std::string::npos);
+  std::filesystem::remove(path);
+  EXPECT_FALSE(recorder.DumpToFile("/no/such/dir/x.json", "test", "", ""));
+}
+
+// ---------------------------------------------------------------------------
+// Server integration: the telemetry path end to end.
+// ---------------------------------------------------------------------------
+
+std::shared_ptr<const Table> MakeGaussianTable(int64_t rows, uint64_t seed) {
+  Rng rng(seed);
+  auto t = std::make_shared<Table>("g");
+  Column v = Column::MakeDouble("v");
+  for (int64_t i = 0; i < rows; ++i) {
+    v.AppendDouble(rng.NextGaussian(100.0, 15.0));
+  }
+  EXPECT_TRUE(t->AddColumn(std::move(v)).ok());
+  return t;
+}
+
+QuerySpec AvgQuery() {
+  QuerySpec q;
+  q.id = "telemetry_test";
+  q.table = "g";
+  q.aggregate.kind = AggregateKind::kAvg;
+  q.aggregate.input = ColumnRef("v");
+  return q;
+}
+
+ServerOptions SmallServer(int num_threads, bool telemetry) {
+  ServerOptions options;
+  options.engine.bootstrap_replicates = 40;
+  options.engine.diagnostic.num_subsamples = 50;
+  options.engine.default_sample_rows = 4000;
+  options.engine.num_threads = num_threads;
+  options.engine.seed = 42;
+  options.telemetry.enabled = telemetry;
+  return options;
+}
+
+TEST(ServerTelemetryTest, ResultsBitIdenticalWithTelemetryOnAndOff) {
+  // The RNG-neutrality pin: identical fixed-seed requests return identical
+  // bits with the whole telemetry stack on vs. off, at 1, 4, and 8 threads.
+  for (int threads : {1, 4, 8}) {
+    std::vector<double> estimates[2];
+    std::vector<double> half_widths[2];
+    for (int pass = 0; pass < 2; ++pass) {
+      MetricsRegistry::Default().ResetForTest();
+      AqpServer server(SmallServer(threads, /*telemetry=*/pass == 1));
+      ASSERT_TRUE(
+          server.engine().RegisterTable(MakeGaussianTable(20000, 9)).ok());
+      ASSERT_TRUE(server.engine().CreateSample("g", 4000).ok());
+      SessionId session = server.OpenSession();
+      for (int64_t seed = 0; seed < 4; ++seed) {
+        QueryRequest request;
+        request.query = AvgQuery();
+        request.rng_seed = seed;
+        QueryResponse response = server.Execute(session, request);
+        ASSERT_TRUE(response.status.ok());
+        estimates[pass].push_back(response.result.estimate);
+        half_widths[pass].push_back(response.result.ci.half_width);
+      }
+      EXPECT_TRUE(server.CloseSession(session).ok());
+    }
+    // Bitwise equality, not tolerance: telemetry must never touch the RNG.
+    EXPECT_EQ(estimates[0], estimates[1]) << "threads=" << threads;
+    EXPECT_EQ(half_widths[0], half_widths[1]) << "threads=" << threads;
+  }
+}
+
+TEST(ServerTelemetryTest, DisabledServerReportsNothingAndRefusesToDump) {
+  MetricsRegistry::Default().ResetForTest();
+  AqpServer server(SmallServer(2, /*telemetry=*/false));
+  ASSERT_TRUE(server.engine().RegisterTable(MakeGaussianTable(4000, 9)).ok());
+  ASSERT_TRUE(server.engine().CreateSample("g", 1000).ok());
+  EXPECT_EQ(server.timeseries(), nullptr);
+  EXPECT_EQ(server.slo_monitor(), nullptr);
+  EXPECT_EQ(server.flight_recorder(), nullptr);
+
+  StatusReport report = server.Introspect();
+  EXPECT_FALSE(report.telemetry_enabled);
+  EXPECT_EQ(report.records_recorded, 0);
+  EXPECT_TRUE(report.timeseries_json.empty());
+  EXPECT_NE(report.ToJson().find("\"telemetry_enabled\": false"),
+            std::string::npos);
+
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "aqp_no_dump.json").string();
+  std::filesystem::remove(path);
+  Status dump = server.DumpFlightRecorder(path, "should refuse");
+  EXPECT_EQ(dump.code(), StatusCode::kFailedPrecondition);
+  EXPECT_FALSE(std::filesystem::exists(path));
+}
+
+/// Counts non-overlapping occurrences of `needle` in `haystack`.
+int CountOccurrences(const std::string& haystack, const std::string& needle) {
+  int count = 0;
+  for (size_t pos = haystack.find(needle); pos != std::string::npos;
+       pos = haystack.find(needle, pos + needle.size())) {
+    ++count;
+  }
+  return count;
+}
+
+TEST(ServerTelemetryTest, IntrospectAggregatesRoundTripWithEmbeddedRecords) {
+  MetricsRegistry::Default().ResetForTest();
+  ServerOptions options = SmallServer(2, /*telemetry=*/true);
+  options.cache.enabled = true;
+  AqpServer server(options);
+  ASSERT_TRUE(server.engine().RegisterTable(MakeGaussianTable(8000, 9)).ok());
+  ASSERT_TRUE(server.engine().CreateSample("g", 2000).ok());
+  SessionId session = server.OpenSession();
+
+  // 3 identical cacheable queries: one engine run, then two cache hits.
+  for (int i = 0; i < 3; ++i) {
+    QueryRequest request;
+    request.query = AvgQuery();
+    QueryResponse response = server.Execute(session, request);
+    ASSERT_TRUE(response.status.ok());
+    EXPECT_EQ(response.result.profile.cache_hit, i > 0);
+  }
+  // 4 requests whose deadline is already spent: deterministic fast-reject
+  // (kDeadlineExceeded, shed stage kRejected, no engine work).
+  for (int i = 0; i < 4; ++i) {
+    QueryRequest request;
+    request.query = AvgQuery();
+    request.rng_seed = 100 + i;  // Pinned: skips the cache fast path.
+    request.deadline_ms = 1e-6;
+    QueryResponse response = server.Execute(session, request);
+    EXPECT_EQ(response.status.code(), StatusCode::kDeadlineExceeded);
+    EXPECT_EQ(response.shed_stage, ShedStage::kRejected);
+  }
+  EXPECT_TRUE(server.CloseSession(session).ok());
+
+  StatusRequest request;
+  request.max_records = 1024;  // Embed everything the ring retains.
+  StatusReport report = server.Introspect(request);
+  EXPECT_TRUE(report.telemetry_enabled);
+  EXPECT_EQ(report.records_recorded, 7);
+  EXPECT_EQ(report.records, 7);
+  EXPECT_EQ(report.shed_none, 3);
+  EXPECT_EQ(report.shed_rejected, 4);
+  EXPECT_EQ(report.shed_degraded, 0);
+  EXPECT_EQ(report.shed_deferred, 0);
+  EXPECT_EQ(report.cache_hits, 2);
+  EXPECT_EQ(report.fault_recovered, 0);
+
+  // The round trip: every aggregate must be recomputable from the embedded
+  // records themselves. Rejected records carry "rejected" only at the
+  // record level (their never-populated profile honestly says "none");
+  // cache_hit/fault_recovered appear only inside the profile.
+  EXPECT_EQ(CountOccurrences(report.records_json, "{\"kind\": "), 7);
+  EXPECT_EQ(
+      CountOccurrences(report.records_json, "\"shed_stage\": \"rejected\""),
+      4);
+  EXPECT_EQ(CountOccurrences(report.records_json, "\"cache_hit\": true"), 2);
+  EXPECT_EQ(
+      CountOccurrences(report.records_json, "\"fault_recovered\": true"), 0);
+
+  // The JSON rendering reuses the per-profile vocabulary.
+  const std::string json = report.ToJson();
+  EXPECT_NE(json.find("\"shed_stage\": {\"none\": 3"), std::string::npos);
+  EXPECT_NE(json.find("\"cache_hit\": 2"), std::string::npos);
+  EXPECT_NE(json.find("\"fault_recovered\": 0"), std::string::npos);
+
+  // Counter reconciliation: what the ring's counters saw must match the
+  // recorder (the anti-drift half of the acceptance criteria).
+  Counter* ok = MetricsRegistry::Default().GetCounter("server.responses.ok");
+  Counter* expired = MetricsRegistry::Default().GetCounter(
+      "server.responses.deadline_exceeded");
+  EXPECT_EQ(ok->value(), 3);
+  EXPECT_EQ(expired->value(), 4);
+}
+
+TEST(ServerTelemetryTest, SustainedSloViolationsTripTheAlertAndDumpTheBox) {
+  MetricsRegistry::Default().ResetForTest();
+  const std::string dump_path =
+      (std::filesystem::temp_directory_path() / "aqp_breach_dump.json")
+          .string();
+  std::filesystem::remove(dump_path);
+
+  ServerOptions options = SmallServer(2, /*telemetry=*/true);
+  options.telemetry.window_seconds = 0.01;  // Fast windows for a fast test.
+  options.telemetry.slo.fast_window_seconds = 0.02;
+  options.telemetry.slo.slow_window_seconds = 0.05;
+  options.telemetry.dump_path = dump_path;
+  AqpServer server(options);
+  ASSERT_TRUE(server.engine().RegisterTable(MakeGaussianTable(8000, 9)).ok());
+  ASSERT_TRUE(server.engine().CreateSample("g", 2000).ok());
+  SessionId session = server.OpenSession();
+
+  // 100% deadline-expired traffic, sustained until the sampler has seen it
+  // at both horizons: the deadline SLI burns at 20x budget and must breach.
+  const auto deadline_by = std::chrono::steady_clock::now() +
+                           std::chrono::seconds(30);
+  while (server.slo_monitor()->state() != BudgetState::kBreached) {
+    ASSERT_LT(std::chrono::steady_clock::now(), deadline_by)
+        << "burn-rate alert never fired";
+    QueryRequest request;
+    request.query = AvgQuery();
+    request.deadline_ms = 1e-6;
+    QueryResponse response = server.Execute(session, request);
+    EXPECT_EQ(response.status.code(), StatusCode::kDeadlineExceeded);
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  EXPECT_TRUE(server.CloseSession(session).ok());
+
+  // The breach edge must have frozen the box to the configured path.
+  const auto dump_by =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (!std::filesystem::exists(dump_path)) {
+    ASSERT_LT(std::chrono::steady_clock::now(), dump_by)
+        << "alert fired but no dump appeared";
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  std::ifstream file(dump_path);
+  std::stringstream content;
+  content << file.rdbuf();
+  const std::string dump = content.str();
+  EXPECT_NE(dump.find("\"reason\": \"burn-rate alert\""), std::string::npos);
+  EXPECT_NE(dump.find("\"records\": ["), std::string::npos);
+  EXPECT_NE(dump.find("\"state\": \"breached\""), std::string::npos);
+  EXPECT_NE(dump.find("\"timeseries\": {"), std::string::npos);
+  // The dump reconciles with the live counters: at least one record, and
+  // the deadline_exceeded counter the SLI burned on is in the ring.
+  EXPECT_NE(dump.find("server.responses.deadline_exceeded"),
+            std::string::npos);
+  EXPECT_GT(server.flight_recorder()->recorded(), 0);
+  EXPECT_EQ(server.Introspect().budget_state, BudgetState::kBreached);
+}
+
+TEST(ServerTelemetryTest, BudgetFeedbackTightensAdmissionOnlyWhenEnabled) {
+  // Pure Decide() scripting: the same load snapshot degrades earlier when
+  // the knob is on and the published budget state is breached — and is
+  // byte-identical to the legacy policy when the knob is off.
+  AdmissionOptions options;
+  options.slots = 4;
+  options.degrade_pressure = 0.75;
+  options.min_replicates = 20;
+  LoadSnapshot load;
+  load.running = 3;
+  load.admission_queued = 0;  // Pressure 0.75: at the legacy threshold.
+  constexpr double kNoDeadline = std::numeric_limits<double>::infinity();
+
+  AdmissionController plain(options, 100);
+  plain.set_budget_state(BudgetState::kBreached);
+  EXPECT_EQ(plain.Decide(load, 0.001, kNoDeadline, 0).replicates, 100);
+
+  options.respect_error_budget = true;
+  AdmissionController reactive(options, 100);
+  EXPECT_EQ(reactive.Decide(load, 0.001, kNoDeadline, 0).replicates, 100);
+  reactive.set_budget_state(BudgetState::kBreached);
+  AdmissionDecision tightened = reactive.Decide(load, 0.001, kNoDeadline, 0);
+  EXPECT_LT(tightened.replicates, 100);  // Threshold halved: now degrading.
+  EXPECT_GE(tightened.replicates, options.min_replicates);
+  reactive.set_budget_state(BudgetState::kHealthy);
+  EXPECT_EQ(reactive.Decide(load, 0.001, kNoDeadline, 0).replicates, 100);
+}
+
+}  // namespace
+}  // namespace aqp

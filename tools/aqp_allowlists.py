@@ -55,13 +55,23 @@ THREADING_ALLOW = (
 CONSOLE_ALLOW = ("src/util/logging.h",)
 
 # --- timing -----------------------------------------------------------------
-# src/obs owns measurement (MonotonicNanos/Seconds, Tracer); cancellation.h
-# owns deadline *enforcement* and mutex.h the timed condvar wait
-# (timing-as-semantics, not telemetry); the open-loop load generator is
-# itself a clock (Poisson arrival pacing + client-observed latency are its
-# workload definition).
+# Explicit files, not a blanket src/obs: only the clock *sources* are
+# exempt. trace.* defines MonotonicNanos/Seconds and Tracer spans — it IS
+# the clock; the timeseries sampler unit is the one sanctioned consumer
+# (its thread owns every telemetry clock read, and TimeSeries::Sample takes
+# caller timestamps so the ring itself never reads one). Everything else in
+# src/obs — metrics, slo_monitor, flight_recorder, query_profile — must
+# stay raw-clock-free: they consume timestamps handed to them, which is
+# what keeps the telemetry-off query path at zero clock reads.
+# cancellation.h owns deadline *enforcement* and mutex.h the timed condvar
+# wait (timing-as-semantics, not telemetry); the open-loop load generator
+# is itself a clock (Poisson arrival pacing + client-observed latency are
+# its workload definition).
 TIMING_ALLOW = (
-    "src/obs",
+    "src/obs/trace.h",
+    "src/obs/trace.cc",
+    "src/obs/timeseries.h",
+    "src/obs/timeseries.cc",
     "src/runtime/cancellation.h",
     "src/util/mutex.h",
     "src/server/load_gen.h",

@@ -17,7 +17,8 @@ The paper's guarantees lean on repo-wide conventions, not just local code:
                 obs/trace.h (MonotonicNanos/MonotonicSeconds, Tracer spans),
                 so profiles stay comparable and the tracing-off path provably
                 reads no clocks. Raw std::chrono / clock_gettime in src/ is
-                allowed only in src/obs/ itself, in
+                allowed only in the clock sources themselves
+                (src/obs/trace.* and the src/obs/timeseries.* sampler), in
                 src/runtime/cancellation.h and src/util/mutex.h (deadline
                 enforcement and timed condvar waits are timing-as-semantics,
                 not telemetry), and in src/server/load_gen.* (an open-loop
@@ -200,10 +201,12 @@ RAW_TIMING = [
 
 
 def allow_timing(path):
-    # src/obs owns measurement (MonotonicNanos/Seconds, Tracer);
-    # cancellation.h owns deadline *enforcement* and mutex.h the timed
-    # condvar wait (timing-as-semantics); the open-loop load generator is
-    # itself a clock (Poisson arrival pacing + client-observed latency).
+    # Only the clock sources: trace.* (MonotonicNanos/Seconds, Tracer) and
+    # the timeseries sampler unit; the rest of src/obs consumes caller
+    # timestamps and must stay raw-clock-free. cancellation.h owns deadline
+    # *enforcement* and mutex.h the timed condvar wait (timing-as-
+    # semantics); the open-loop load generator is itself a clock (Poisson
+    # arrival pacing + client-observed latency).
     return aqp_allowlists.allowed(path, aqp_allowlists.TIMING_ALLOW)
 
 
@@ -273,7 +276,8 @@ RULES = [
         "timing",
         RAW_TIMING,
         allow_timing,
-        "raw clock use outside src/obs (+ the timing-as-semantics machinery"
+        "raw clock use outside the clock sources src/obs/trace.* and the"
+        " src/obs/timeseries.* sampler (+ the timing-as-semantics machinery"
         " in src/runtime/cancellation.h and src/util/mutex.h, and the"
         " open-loop load generator src/server/load_gen.*); measure time via"
         " MonotonicNanos/MonotonicSeconds or Tracer spans (obs/trace.h) so"

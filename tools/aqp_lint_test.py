@@ -114,6 +114,25 @@ class AllowlistTest(unittest.TestCase):
         self.assertFalse(aqp_lint.allow_timing("src/core/engine.cc"))
         self.assertFalse(aqp_lint.allow_timing("src/runtime/thread_pool.cc"))
 
+    def test_only_the_clock_sources_in_obs_may_read_clocks(self):
+        # The timing allowlist names files, not the src/obs directory: the
+        # trace unit (MonotonicNanos/Tracer) and the timeseries sampler are
+        # the clock sources; the SLO monitor, flight recorder, and metrics
+        # registry consume caller timestamps and must stay raw-clock-free.
+        self.assertTrue(aqp_lint.allow_timing("src/obs/trace.h"))
+        self.assertTrue(aqp_lint.allow_timing("src/obs/timeseries.h"))
+        self.assertTrue(aqp_lint.allow_timing("src/obs/timeseries.cc"))
+        self.assertFalse(aqp_lint.allow_timing("src/obs/slo_monitor.cc"))
+        self.assertFalse(aqp_lint.allow_timing("src/obs/flight_recorder.cc"))
+        self.assertFalse(aqp_lint.allow_timing("src/obs/metrics.cc"))
+        self.assertFalse(aqp_lint.allow_timing("src/obs/query_profile.h"))
+
+    def test_timeseries_fixture_trips_timing_outside_clock_sources(self):
+        findings = lint(f"{FIXTURES}/bad_timeseries_timing.cc")
+        self.assertEqual(rules_of(findings), {"timing"})
+        # <chrono> include, steady_clock::now line, duration_cast line.
+        self.assertGreaterEqual(len(findings), 2)
+
     def test_load_generator_is_a_clock_but_the_server_is_not(self):
         # The open-loop load generator's Poisson pacing and client-observed
         # latency are timing-as-semantics; the serving layer proper must

@@ -1,0 +1,168 @@
+#!/usr/bin/env python3
+"""Cross-commit benchmark trend gate over BENCH_e2e.json.
+
+Every bench binary appends rows of the same five-field shape
+({name, rows_per_second, wall_ms, threads, unit, git_sha}; see
+bench/bench_util.h MergeE2eJson) into one artifact whose row order is
+oldest-to-newest. This tool compares, per benchmark name, the row from the
+newest git_sha against the row from the previous *distinct* git_sha, prints
+a trend table, and exits nonzero when any benchmark's rows_per_second
+dropped by more than the threshold (default 10 %).
+
+CI runs it as a soft (continue-on-error) step of the bench-smoke job with
+the table uploaded as an artifact: a short-run smoke box is too noisy to
+hard-gate on, but the trend must be *visible* on every PR.
+
+Verdicts:
+  ok         within threshold (improvements included)
+  REGRESSED  rows_per_second dropped more than threshold
+  new        benchmark has no row under an earlier sha
+  unmeasured rows_per_second is 0 in either row (wall-time-only bench)
+
+Exit codes: 0 no regression, 1 regression(s), 2 unreadable input.
+Stdlib only.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_rows(path):
+    """Parse the artifact; returns a list of row dicts in file order."""
+    with open(path, "r", encoding="utf-8") as f:
+        rows = json.load(f)
+    if not isinstance(rows, list):
+        raise ValueError("top-level JSON value must be an array of rows")
+    for row in rows:
+        if not isinstance(row, dict) or "name" not in row:
+            raise ValueError("every row must be an object with a 'name'")
+    return rows
+
+
+def sha_order(rows):
+    """Distinct git_shas by first appearance (file order is oldest-first)."""
+    order = []
+    for row in rows:
+        sha = row.get("git_sha", "unknown")
+        if sha not in order:
+            order.append(sha)
+    return order
+
+
+def compare(rows, threshold_pct):
+    """Build one trend entry per benchmark name, oldest-name-first.
+
+    The newest sha *overall* anchors the comparison: a benchmark whose
+    latest row is older than that (retired or not run this commit) is
+    still reported against its own two newest shas, so a bench that
+    silently stopped running does not vanish from the table.
+    """
+    order = sha_order(rows)
+    rank = {sha: i for i, sha in enumerate(order)}
+    by_name = {}
+    for row in rows:
+        by_name.setdefault(row["name"], []).append(row)
+
+    entries = []
+    for name in by_name:
+        history = sorted(by_name[name], key=lambda r: rank[r.get("git_sha")])
+        latest = history[-1]
+        prev = None
+        for row in reversed(history[:-1]):
+            if row.get("git_sha") != latest.get("git_sha"):
+                prev = row
+                break
+        entry = {
+            "name": name,
+            "unit": latest.get("unit", ""),
+            "latest_sha": latest.get("git_sha", "unknown"),
+            "latest_rps": float(latest.get("rows_per_second", 0.0)),
+            "latest_wall_ms": float(latest.get("wall_ms", 0.0)),
+        }
+        if prev is None:
+            entry.update(verdict="new", prev_sha=None, prev_rps=None,
+                         delta_pct=None)
+        else:
+            entry["prev_sha"] = prev.get("git_sha", "unknown")
+            entry["prev_rps"] = float(prev.get("rows_per_second", 0.0))
+            if entry["prev_rps"] <= 0.0 or entry["latest_rps"] <= 0.0:
+                entry.update(verdict="unmeasured", delta_pct=None)
+            else:
+                delta = (entry["latest_rps"] / entry["prev_rps"] - 1.0) * 100
+                entry["delta_pct"] = delta
+                entry["verdict"] = (
+                    "REGRESSED" if delta < -threshold_pct else "ok"
+                )
+        entries.append(entry)
+    entries.sort(key=lambda e: e["name"])
+    return entries
+
+
+def fmt_rate(v):
+    return "-" if v is None else f"{v:.3g}"
+
+
+def print_table(entries, threshold_pct, out=sys.stdout):
+    header = (
+        f"{'benchmark':<36} {'unit':<18} {'prev':<9} {'latest':<9} "
+        f"{'prev_rps':>10} {'latest_rps':>10} {'delta':>8}  verdict"
+    )
+    out.write(header + "\n")
+    out.write("-" * len(header) + "\n")
+    for e in entries:
+        delta = (
+            "-" if e["delta_pct"] is None else f"{e['delta_pct']:+.1f}%"
+        )
+        out.write(
+            f"{e['name']:<36} {e['unit']:<18} "
+            f"{e['prev_sha'] or '-':<9} {e['latest_sha']:<9} "
+            f"{fmt_rate(e['prev_rps']):>10} {fmt_rate(e['latest_rps']):>10} "
+            f"{delta:>8}  {e['verdict']}\n"
+        )
+    regressed = [e["name"] for e in entries if e["verdict"] == "REGRESSED"]
+    if regressed:
+        out.write(
+            f"REGRESSION: {len(regressed)} benchmark(s) dropped more than "
+            f"{threshold_pct:g}%: {', '.join(regressed)}\n"
+        )
+    else:
+        out.write(f"trend OK: no rows_per_second drop beyond "
+                  f"{threshold_pct:g}%\n")
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        description="Compare each benchmark's newest git_sha row against "
+        "the previous sha and gate on rows_per_second regressions."
+    )
+    parser.add_argument("path", nargs="?", default="BENCH_e2e.json",
+                        help="merged e2e artifact (default: BENCH_e2e.json)")
+    parser.add_argument("--threshold", type=float, default=10.0,
+                        help="regression threshold in percent (default: 10)")
+    parser.add_argument("--json", action="store_true",
+                        help="emit the trend as JSON instead of a table")
+    args = parser.parse_args(argv)
+
+    if args.threshold < 0:
+        parser.error("--threshold must be non-negative")
+    try:
+        rows = load_rows(args.path)
+    except (OSError, ValueError) as err:
+        print(f"bench-trend: cannot read {args.path}: {err}",
+              file=sys.stderr)
+        return 2
+
+    entries = compare(rows, args.threshold)
+    if args.json:
+        print(json.dumps({"threshold_pct": args.threshold,
+                          "benchmarks": entries}, indent=2))
+    else:
+        print_table(entries, args.threshold)
+    if not entries:
+        print("bench-trend: no rows to compare", file=sys.stderr)
+    return 1 if any(e["verdict"] == "REGRESSED" for e in entries) else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,14 @@
+// Fixture: telemetry code in src/obs *outside* the sanctioned clock
+// sources (trace.* and the timeseries sampler unit) reading a raw clock
+// must trip the `timing` rule — the SLO monitor and flight recorder
+// consume timestamps handed to them by the sampler thread, never read
+// their own. This file mimics an slo_monitor.cc that timestamps its
+// evaluations by hand instead of trusting Sample(now_ns).
+#include <chrono>
+
+int64_t EvaluationInstantNanos() {
+  auto now = std::chrono::steady_clock::now();
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             now.time_since_epoch())
+      .count();
+}
